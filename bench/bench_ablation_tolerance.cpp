@@ -1,0 +1,48 @@
+// Ablation: plain intent validation vs k-failure-tolerance-aware validation
+// in the repair loop (§1's k-failure tolerance as a repair objective).
+//
+// On the Figure-2 incident the minimal plain repair disables one override
+// site and leaves the other as a latent fault; tolerance-aware fitness
+// (RepairOptions::tolerance_k = 1) forces the paper's complete two-site
+// repair. This bench quantifies the price (validations, time) and the
+// benefit (no residual violating failure scenarios).
+#include <cstdio>
+
+#include "bench/util.hpp"
+#include "core/acr.hpp"
+
+int main() {
+  using namespace acr;
+  const Scenario scenario = figure2Scenario(/*faulty=*/true);
+
+  bench::Table table({"Validation target", "Repaired", "Changes",
+                      "Validations", "Time (ms)", "Latent 1-failure viol."},
+                     {20, 10, 9, 13, 11, 24});
+  table.printHeader();
+  for (const int k : {0, 1}) {
+    repair::RepairOptions options;
+    options.tolerance_k = k;
+    options.seed = 2;
+    const repair::RepairResult result =
+        repair::AcrEngine(scenario.intents, options).repair(scenario.network());
+    const verify::FailureToleranceReport residual =
+        verify::verifyUnderFailures(result.repaired, scenario.intents);
+    int residual_failures = 0;
+    for (const auto& violation : residual.violations) {
+      residual_failures += violation.tests_failed;
+    }
+    table.printRow({k == 0 ? "plain intents" : "intents + 1-failure",
+                    result.success ? "yes" : "NO",
+                    std::to_string(result.changes.size()),
+                    std::to_string(result.validations),
+                    bench::fmt(result.elapsed_ms, 1),
+                    std::to_string(residual_failures)});
+  }
+  table.printRule();
+  std::puts(
+      "\nshape check: the plain repair is intent-clean but leaves latent\n"
+      "violations under single link failures; the tolerance-aware repair\n"
+      "spends more validations and removes them all (the paper's complete\n"
+      "two-site Figure-2 fix).");
+  return 0;
+}

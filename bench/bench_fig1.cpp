@@ -1,0 +1,82 @@
+// Figure 1 reproduction: distribution of resolving time for misconfiguration
+// incidents. The paper histograms *manual* localization+repair (47.9% under
+// 5 minutes, 16.6% over 30 minutes, worst case >5h); this harness measures
+// ACR's automated resolving time over the same fault distribution and prints
+// both the paper's manual buckets and the automated distribution, plus a CDF.
+//
+// Usage: bench_fig1 [incidents] [seed]
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/util.hpp"
+#include "core/acr.hpp"
+
+int main(int argc, char** argv) {
+  const int incidents = argc > 1 ? std::atoi(argv[1]) : 120;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  acr::CampaignOptions options;
+  options.incidents = incidents;
+  options.seed = seed;
+  const acr::CampaignResult campaign = acr::runCampaign(options);
+
+  std::vector<double> times_ms;
+  for (const auto& record : campaign.records) {
+    if (record.repair.success) times_ms.push_back(record.repair.elapsed_ms);
+  }
+  std::sort(times_ms.begin(), times_ms.end());
+  if (times_ms.empty()) {
+    std::puts("no repaired incidents; nothing to report");
+    return 1;
+  }
+
+  acr::bench::section("Figure 1 — manual resolving time (paper, minutes)");
+  acr::bench::Table paper({"Bucket", "Share"}, {16, 10});
+  paper.printHeader();
+  paper.printRow({"< 5 min", "47.9%"});
+  paper.printRow({"5 - 30 min", "35.5%"});
+  paper.printRow({"> 30 min", "16.6%"});
+  paper.printRow({"worst case", "> 5 h"});
+  paper.printRule();
+
+  acr::bench::section("ACR automated resolving time (this reproduction)");
+  const double buckets_ms[] = {10, 50, 100, 500, 1000, 5000};
+  acr::bench::Table table({"Bucket", "Count", "Share"}, {16, 8, 10});
+  table.printHeader();
+  double previous = 0;
+  for (const double bound : buckets_ms) {
+    const auto count = std::count_if(
+        times_ms.begin(), times_ms.end(),
+        [&](double t) { return t >= previous && t < bound; });
+    table.printRow({acr::bench::fmt(previous, 0) + "-" +
+                        acr::bench::fmt(bound, 0) + " ms",
+                    std::to_string(count),
+                    acr::bench::pct(double(count) / times_ms.size())});
+    previous = bound;
+  }
+  const auto over = std::count_if(times_ms.begin(), times_ms.end(),
+                                  [&](double t) { return t >= previous; });
+  table.printRow({">= " + acr::bench::fmt(previous, 0) + " ms",
+                  std::to_string(over),
+                  acr::bench::pct(double(over) / times_ms.size())});
+  table.printRule();
+
+  acr::bench::section("CDF (automated, ms)");
+  acr::bench::Table cdf({"Percentile", "Resolving time (ms)"}, {12, 22});
+  cdf.printHeader();
+  for (const double percentile : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.00}) {
+    const std::size_t index = std::min(
+        times_ms.size() - 1,
+        static_cast<std::size_t>(percentile * (times_ms.size() - 1) + 0.5));
+    cdf.printRow({acr::bench::pct(percentile, 0),
+                  acr::bench::fmt(times_ms[index], 2)});
+  }
+  cdf.printRule();
+
+  std::printf(
+      "\nshape check: the paper's >30-min manual tail becomes a sub-second\n"
+      "automated tail (max %.1f ms across %zu repaired incidents)\n",
+      times_ms.back(), times_ms.size());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 3 reproduction: the search space N of each method, on the same
+// incident, as the network grows.
+//
+//   MetaProv (3a): N = leaf nodes of the failed event's provenance tree.
+//   AED      (3b): N = 2^(free variables) — one delta variable per line.
+//   ACR      (3c): N = leaves of the search forest (template instantiations
+//                  on the most suspicious lines).
+//
+// The shape to reproduce: AED explodes exponentially with configuration
+// size; MetaProv and ACR stay within the incident's provenance footprint,
+// with ACR bounded by (suspicious lines x applicable templates).
+#include <cstdio>
+
+#include "bench/util.hpp"
+#include "core/acr.hpp"
+
+namespace {
+
+struct Case {
+  std::string label;
+  acr::Scenario scenario;
+  acr::inject::FaultType fault;
+};
+
+}  // namespace
+
+int main() {
+  using namespace acr;
+  std::vector<Case> cases;
+  cases.push_back({"figure2 (4 routers)", figure2Scenario(false),
+                   inject::FaultType::kMissingPrefixListItemsM});
+  cases.push_back({"backbone n=8", backboneScenario(8),
+                   inject::FaultType::kMissingPrefixListItemsS});
+  cases.push_back({"backbone n=16", backboneScenario(16),
+                   inject::FaultType::kMissingPrefixListItemsS});
+  cases.push_back({"backbone n=32", backboneScenario(32),
+                   inject::FaultType::kMissingPrefixListItemsS});
+  cases.push_back({"dcn 2x2 (9 devices)", dcnScenario(2, 2),
+                   inject::FaultType::kMissingPbrPermit});
+  cases.push_back({"dcn 4x3 (19 devices)", dcnScenario(4, 3),
+                   inject::FaultType::kMissingPbrPermit});
+  cases.push_back({"dcn 6x4 (35 devices)", dcnScenario(6, 4),
+                   inject::FaultType::kMissingPbrPermit});
+
+  bench::Table table({"Incident network", "Devices", "Config lines",
+                      "MetaProv N", "AED N", "ACR N"},
+                     {22, 9, 14, 12, 14, 8});
+  table.printHeader();
+
+  inject::FaultInjector injector(17);
+  for (auto& c : cases) {
+    const auto incident = injector.inject(c.scenario.built, c.fault);
+    if (!incident) {
+      table.printRow({c.label, "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const repair::SearchSpaceReport report =
+        repair::measureSearchSpaces(incident->network, c.scenario.intents);
+    table.printRow({c.label, std::to_string(report.devices),
+                    std::to_string(report.total_lines),
+                    std::to_string(report.metaprov_leaves),
+                    "2^" + bench::fmt(report.aed_log2, 0),
+                    std::to_string(report.acr_leaves)});
+  }
+  table.printRule();
+  std::puts(
+      "\nshape check: AED's exponent tracks total config lines (the paper's\n"
+      "'at least 2^12 for a 12-line snippet'); MetaProv and ACR track the\n"
+      "incident's provenance footprint and stay flat by comparison.");
+  return 0;
+}

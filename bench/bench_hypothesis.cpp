@@ -1,0 +1,139 @@
+// §6 "Hypotheses for ACR": the plastic-surgery hypothesis assumes devices
+// with the same role have similar configurations, so repairs can be copied
+// or solved from same-role donors. The paper asks for this to be *validated*
+// per network class before trusting template repair there.
+//
+// This harness measures, for each scenario family:
+//   * structural config similarity (Jaccard over shape-normalized lines —
+//     addresses and numbers blanked) between same-role and different-role
+//     device pairs;
+//   * donor availability: the fraction of (device, policy) definitions for
+//     which some same-role device defines a policy of the same name — the
+//     precondition of the restore-policy / restore-peer-group templates.
+//
+// Expected shape: same-role similarity far above different-role similarity
+// in the DCN (the paper's claim for DCNs), high everywhere in the uniform
+// backbone, and donor availability near 100% outside singleton roles.
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "bench/util.hpp"
+#include "core/acr.hpp"
+
+namespace {
+
+/// Blanks every digit run so only the configuration *shape* remains:
+/// "peer 172.16.0.2 as-number 65002" -> "peer #.#.#.# as-number #".
+std::string normalizeLine(const std::string& line) {
+  std::string out;
+  bool in_number = false;
+  for (const char c : line) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      if (!in_number) out += '#';
+      in_number = true;
+    } else {
+      out += c;
+      in_number = false;
+    }
+  }
+  return out;
+}
+
+std::set<std::string> shapeOf(const acr::cfg::DeviceConfig& device) {
+  std::set<std::string> lines;
+  for (const auto& line : device.renderLines()) {
+    lines.insert(normalizeLine(line));
+  }
+  return lines;
+}
+
+double jaccard(const std::set<std::string>& a, const std::set<std::string>& b) {
+  std::size_t common = 0;
+  for (const auto& line : a) {
+    if (b.count(line) != 0) ++common;
+  }
+  const std::size_t total = a.size() + b.size() - common;
+  return total == 0 ? 1.0 : static_cast<double>(common) / total;
+}
+
+struct SimilarityStats {
+  double same_role_sum = 0;
+  int same_role_pairs = 0;
+  double cross_role_sum = 0;
+  int cross_role_pairs = 0;
+};
+
+}  // namespace
+
+int main() {
+  acr::bench::Table table({"Scenario", "Same-role sim.", "Cross-role sim.",
+                           "Ratio", "Donor availability"},
+                          {16, 16, 17, 8, 20});
+  table.printHeader();
+
+  for (const char* family : {"figure2", "dcn", "backbone"}) {
+    const acr::Scenario scenario = acr::scenarioByFamily(family, 4, 3, 12);
+    const auto& network = scenario.network();
+
+    std::map<std::string, std::set<std::string>> shapes;
+    for (const auto& [name, device] : network.configs) {
+      shapes[name] = shapeOf(device);
+    }
+    const auto roleOf = [&](const std::string& name) {
+      const auto* decl = network.topology.findRouter(name);
+      return decl == nullptr ? std::string{} : decl->role;
+    };
+
+    SimilarityStats stats;
+    const auto& routers = network.topology.routers();
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      for (std::size_t j = i + 1; j < routers.size(); ++j) {
+        const double similarity =
+            jaccard(shapes[routers[i].name], shapes[routers[j].name]);
+        if (routers[i].role == routers[j].role) {
+          stats.same_role_sum += similarity;
+          ++stats.same_role_pairs;
+        } else {
+          stats.cross_role_sum += similarity;
+          ++stats.cross_role_pairs;
+        }
+      }
+    }
+
+    // Donor availability for policy definitions.
+    int definitions = 0;
+    int with_donor = 0;
+    for (const auto& [name, device] : network.configs) {
+      for (const auto& policy : device.policies) {
+        ++definitions;
+        for (const auto& [other_name, other] : network.configs) {
+          if (other_name != name && roleOf(other_name) == roleOf(name) &&
+              other.findPolicy(policy.name) != nullptr) {
+            ++with_donor;
+            break;
+          }
+        }
+      }
+    }
+
+    const double same = stats.same_role_pairs == 0
+                            ? 0
+                            : stats.same_role_sum / stats.same_role_pairs;
+    const double cross = stats.cross_role_pairs == 0
+                             ? 0
+                             : stats.cross_role_sum / stats.cross_role_pairs;
+    table.printRow({scenario.name, acr::bench::fmt(same, 3),
+                    acr::bench::fmt(cross, 3),
+                    cross == 0 ? "-" : acr::bench::fmt(same / cross, 2) + "x",
+                    definitions == 0
+                        ? "-"
+                        : acr::bench::pct(double(with_donor) / definitions)});
+  }
+  table.printRule();
+  std::puts(
+      "\nhypothesis check: same-role structural similarity must dominate\n"
+      "cross-role similarity (plastic surgery viable), and donor\n"
+      "availability bounds how often restore-from-donor templates apply.");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Micro-benchmarks (google-benchmark) for the hot substrate paths: prefix
+// trie LPM, prefix subtraction, control-plane simulation, full and
+// incremental verification, and one complete ACR repair.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/acr.hpp"
+
+namespace {
+
+void BM_PrefixTrieLpm(benchmark::State& state) {
+  acr::net::PrefixTrie<int> trie;
+  std::mt19937 rng(1);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    trie.insert(acr::net::Prefix(acr::net::Ipv4Address(rng()),
+                                 static_cast<std::uint8_t>(8 + rng() % 17)),
+                i);
+  }
+  std::uint32_t probe = 0x0A000001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trie.longestMatch(acr::net::Ipv4Address(probe)));
+    probe = probe * 1664525u + 1013904223u;
+  }
+}
+BENCHMARK(BM_PrefixTrieLpm)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_PrefixSubtract(benchmark::State& state) {
+  const acr::net::Prefix from = *acr::net::Prefix::parse("10.0.0.0/8");
+  const acr::net::Prefix remove = *acr::net::Prefix::parse("10.128.37.0/24");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acr::net::subtract(from, remove));
+  }
+}
+BENCHMARK(BM_PrefixSubtract);
+
+void BM_ParseRenderRoundTrip(benchmark::State& state) {
+  const acr::topo::BuiltNetwork built = acr::topo::buildDcn(3, 2);
+  const std::string text = built.network.configs.begin()->second.render();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acr::cfg::parseDevice(text));
+  }
+}
+BENCHMARK(BM_ParseRenderRoundTrip);
+
+void BM_SimulateDcn(benchmark::State& state) {
+  const acr::topo::BuiltNetwork built =
+      acr::topo::buildDcn(static_cast<int>(state.range(0)), 2);
+  acr::route::SimOptions options;
+  options.record_provenance = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acr::route::Simulator(built.network).run(options));
+  }
+  state.SetLabel(std::to_string(built.network.configs.size()) + " devices");
+}
+BENCHMARK(BM_SimulateDcn)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SimulateWithProvenance(benchmark::State& state) {
+  const acr::topo::BuiltNetwork built = acr::topo::buildDcn(3, 2);
+  acr::route::SimOptions options;
+  options.record_provenance = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acr::route::Simulator(built.network).run(options));
+  }
+}
+BENCHMARK(BM_SimulateWithProvenance);
+
+void BM_FullVerify(benchmark::State& state) {
+  const acr::Scenario scenario = acr::dcnScenario(3, 2);
+  const acr::verify::Verifier verifier(scenario.intents);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.verify(scenario.network()));
+  }
+}
+BENCHMARK(BM_FullVerify);
+
+void BM_IncrementalUpdateNoChange(benchmark::State& state) {
+  const acr::Scenario scenario = acr::dcnScenario(3, 2);
+  acr::verify::IncrementalVerifier verifier(scenario.intents);
+  (void)verifier.baseline(scenario.network());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.update(scenario.network()));
+  }
+}
+BENCHMARK(BM_IncrementalUpdateNoChange);
+
+void BM_NegativeProvenance(benchmark::State& state) {
+  acr::Scenario scenario = acr::dcnScenario(3, 2);
+  acr::topo::Network broken = scenario.network();
+  broken.config("tor1_1")->bgp->redistributes.pop_back();
+  broken.renumberAll();
+  acr::route::SimOptions options;
+  options.record_provenance = true;
+  const acr::route::SimResult sim = acr::route::Simulator(broken).run(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acr::prov::explainAbsence(
+        broken, sim, "tor2_1", *acr::net::Prefix::parse("20.1.1.0/24")));
+  }
+}
+BENCHMARK(BM_NegativeProvenance);
+
+void BM_MultipathTrace(benchmark::State& state) {
+  const acr::Scenario scenario = acr::dcnScenario(3, 2);
+  acr::route::SimOptions options;
+  options.enable_ecmp = true;
+  options.record_provenance = false;
+  const acr::route::SimResult sim =
+      acr::route::Simulator(scenario.network()).run(options);
+  const acr::dp::DataPlane dataplane(scenario.network(), sim);
+  acr::net::FiveTuple packet;
+  packet.src = *acr::net::Ipv4Address::parse("10.1.1.7");
+  packet.dst = *acr::net::Ipv4Address::parse("10.2.1.7");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dataplane.traceMultipath(packet));
+  }
+}
+BENCHMARK(BM_MultipathTrace);
+
+void BM_FailureToleranceK1(benchmark::State& state) {
+  const acr::Scenario scenario = acr::figure2Scenario(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        acr::verify::verifyUnderFailures(scenario.network(), scenario.intents));
+  }
+}
+BENCHMARK(BM_FailureToleranceK1);
+
+void BM_RepairFigure2(benchmark::State& state) {
+  const acr::Scenario scenario = acr::figure2Scenario(true);
+  for (auto _ : state) {
+    const acr::repair::AcrEngine engine(scenario.intents);
+    benchmark::DoNotOptimize(engine.repair(scenario.network()));
+  }
+}
+BENCHMARK(BM_RepairFigure2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Scalability sweep (the paper's challenge #2): how simulation,
+// verification and the full repair loop scale with network size, for both
+// scenario families. The paper's target is tens of thousands of devices on
+// production hardware; the shape to check here is that ACR's per-incident
+// cost is dominated by a small number of simulations and stays polynomial,
+// while the AED-style synthesis space (also printed) grows exponentially.
+//
+// Usage: bench_scalability [seed]
+#include <chrono>
+#include <cstdlib>
+
+#include "bench/util.hpp"
+#include "core/acr.hpp"
+
+namespace {
+
+double msSince(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void sweep(const std::string& family, const std::vector<acr::Scenario>& sizes,
+           acr::inject::FaultType fault, std::uint64_t seed) {
+  acr::bench::section(family + " sweep");
+  acr::bench::Table table({"Network", "Devices", "Lines", "Intents",
+                           "Sim (ms)", "Verify (ms)", "Repair (ms)",
+                           "Validations", "AED space"},
+                          {16, 9, 8, 9, 10, 12, 12, 12, 11});
+  table.printHeader();
+  for (const auto& scenario : sizes) {
+    auto start = std::chrono::steady_clock::now();
+    const acr::route::SimResult sim =
+        acr::route::Simulator(scenario.network()).run();
+    const double sim_ms = msSince(start);
+
+    const acr::verify::Verifier verifier(scenario.intents);
+    start = std::chrono::steady_clock::now();
+    const acr::verify::VerifyResult verdict =
+        verifier.verify(scenario.network());
+    const double verify_ms = msSince(start);
+    if (!verdict.ok()) {
+      table.printRow({scenario.name, "-", "-", "-", "-", "-",
+                      "pristine network failed verification", "-", "-"});
+      continue;
+    }
+
+    acr::inject::FaultInjector injector(seed);
+    const auto incident = injector.inject(scenario.built, fault);
+    std::string repair_ms = "-";
+    std::string validations = "-";
+    if (incident) {
+      const acr::repair::AcrEngine engine(scenario.intents);
+      const acr::repair::RepairResult result =
+          engine.repair(incident->network);
+      repair_ms = acr::bench::fmt(result.elapsed_ms, 1) +
+                  (result.success ? "" : " (FAILED)");
+      validations = std::to_string(result.validations);
+    }
+    table.printRow({scenario.name,
+                    std::to_string(scenario.network().configs.size()),
+                    std::to_string(scenario.network().totalLines()),
+                    std::to_string(scenario.intents.size()),
+                    acr::bench::fmt(sim_ms, 1), acr::bench::fmt(verify_ms, 1),
+                    repair_ms, validations,
+                    "2^" + std::to_string(scenario.network().totalLines())});
+    (void)sim;
+  }
+  table.printRule();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 23;
+
+  std::vector<acr::Scenario> dcns;
+  for (const int pods : {2, 4, 6, 8}) dcns.push_back(acr::dcnScenario(pods, 3));
+  sweep("DCN (Clos, 3 ToRs/pod)", dcns,
+        acr::inject::FaultType::kExtraPbrRedirect, seed);
+
+  std::vector<acr::Scenario> backbones;
+  for (const int n : {8, 16, 32, 48}) {
+    backbones.push_back(acr::backboneScenario(n));
+  }
+  sweep("WAN backbone (ring+chords)", backbones,
+        acr::inject::FaultType::kMissingPrefixListItemsS, seed);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Quickstart: reproduce the paper's worked example end to end.
+//
+// Builds the Figure-2 incident network (the catch-all `0.0.0.0 0`
+// prefix-list makes the AS-path override erase path history, flapping
+// 10.0/16), shows the violations a verifier reports, then runs the ACR
+// localize-fix-validate loop and prints the repair as a config diff.
+#include <iostream>
+
+#include "core/acr.hpp"
+
+int main() {
+  acr::Scenario scenario = acr::figure2Scenario(/*faulty=*/true);
+
+  std::cout << "=== Figure 2 incident network ===\n";
+  for (const auto& [name, config] : scenario.network().configs) {
+    std::cout << "--- " << name << " ---\n" << config.render();
+  }
+
+  std::cout << "\n=== Verification before repair ===\n";
+  const acr::verify::Verifier verifier(scenario.intents);
+  const acr::verify::VerifyResult before = verifier.verify(scenario.network());
+  std::cout << before.tests_failed << "/" << before.tests_run
+            << " tests failing:\n";
+  for (const auto* failure : before.failures()) {
+    std::cout << "  FAIL " << scenario.intents[failure->test.intent_index].str()
+              << " -- " << failure->reason << '\n';
+  }
+
+  std::cout << "\n=== ACR repair ===\n";
+  const acr::repair::RepairResult result =
+      acr::repairNetwork(scenario.network(), scenario.intents);
+  std::cout << result.summary() << '\n';
+
+  std::cout << "\n=== Config diff (repaired vs incident) ===\n";
+  for (const auto& diff : result.diff) std::cout << diff.str();
+
+  std::cout << "\n=== Verification after repair ===\n";
+  const acr::verify::VerifyResult after = verifier.verify(result.repaired);
+  std::cout << after.tests_failed << "/" << after.tests_run
+            << " tests failing\n";
+  return result.success && after.ok() ? 0 : 1;
+}

@@ -1,0 +1,423 @@
+#include "config/ast.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace acr::cfg {
+
+std::string actionName(Action action) {
+  return action == Action::kPermit ? "permit" : "deny";
+}
+
+std::string redistSourceName(RedistSource source) {
+  return source == RedistSource::kStatic ? "static" : "connected";
+}
+
+std::string policyActionName(PolicyActionKind kind) {
+  switch (kind) {
+    case PolicyActionKind::kAsPathOverwrite:
+      return "as-path overwrite";
+    case PolicyActionKind::kSetLocalPref:
+      return "local-preference";
+    case PolicyActionKind::kSetMed:
+      return "med";
+    case PolicyActionKind::kAsPathPrepend:
+      return "as-path prepend";
+  }
+  return "?";
+}
+
+std::string pbrActionName(PbrAction action) {
+  switch (action) {
+    case PbrAction::kPermit:
+      return "permit";
+    case PbrAction::kDeny:
+      return "deny";
+    case PbrAction::kRedirect:
+      return "redirect";
+  }
+  return "?";
+}
+
+std::string lineKindName(LineKind kind) {
+  switch (kind) {
+    case LineKind::kHostname: return "hostname";
+    case LineKind::kInterface: return "interface";
+    case LineKind::kInterfaceIp: return "interface-ip";
+    case LineKind::kStaticRoute: return "static-route";
+    case LineKind::kBgpHeader: return "bgp";
+    case LineKind::kRouterId: return "router-id";
+    case LineKind::kRedistribute: return "redistribute";
+    case LineKind::kGroup: return "group";
+    case LineKind::kGroupImport: return "group-import";
+    case LineKind::kGroupExport: return "group-export";
+    case LineKind::kPeerAs: return "peer-as";
+    case LineKind::kPeerGroupRef: return "peer-group-ref";
+    case LineKind::kPeerImport: return "peer-import";
+    case LineKind::kPeerExport: return "peer-export";
+    case LineKind::kPrefixListEntry: return "prefix-list-entry";
+    case LineKind::kPolicyNode: return "policy-node";
+    case LineKind::kPolicyMatch: return "policy-match";
+    case LineKind::kPolicyAction: return "policy-action";
+    case LineKind::kPbrHeader: return "pbr";
+    case LineKind::kPbrRule: return "pbr-rule";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// BgpConfig lookups
+// ---------------------------------------------------------------------------
+
+const PeerGroupConfig* BgpConfig::findGroup(const std::string& name) const {
+  for (const auto& g : groups) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+PeerGroupConfig* BgpConfig::findGroup(const std::string& name) {
+  return const_cast<PeerGroupConfig*>(
+      static_cast<const BgpConfig*>(this)->findGroup(name));
+}
+
+const PeerConfig* BgpConfig::findPeer(net::Ipv4Address address) const {
+  for (const auto& p : peers) {
+    if (p.address == address) return &p;
+  }
+  return nullptr;
+}
+
+PeerConfig* BgpConfig::findPeer(net::Ipv4Address address) {
+  return const_cast<PeerConfig*>(
+      static_cast<const BgpConfig*>(this)->findPeer(address));
+}
+
+bool BgpConfig::redistributes_source(RedistSource source) const {
+  return std::any_of(redistributes.begin(), redistributes.end(),
+                     [&](const RedistributeConfig& r) {
+                       return r.source == source;
+                     });
+}
+
+// ---------------------------------------------------------------------------
+// Prefix lists
+// ---------------------------------------------------------------------------
+
+bool PrefixListEntry::matches(const net::Prefix& candidate) const {
+  if (greater_equal == 0 && less_equal == 0) {
+    // Exact semantics: prefix and length must match the entry exactly,
+    // unless the entry is the catch-all "0.0.0.0 0" which matches any route
+    // (this mirrors vendor behaviour where `0.0.0.0 0 le 32` is commonly
+    // abbreviated — and is exactly how Figure 2b's `default_all` behaves).
+    if (prefix.length() == 0) return true;
+    return candidate == prefix;
+  }
+  if (!prefix.contains(candidate)) return false;
+  const std::uint8_t lo = greater_equal != 0 ? greater_equal : prefix.length();
+  const std::uint8_t hi = less_equal != 0 ? less_equal : 32;
+  return candidate.length() >= lo && candidate.length() <= hi;
+}
+
+const PrefixListEntry* PrefixList::match(const net::Prefix& candidate) const {
+  for (const auto& entry : entries) {
+    if (entry.matches(candidate)) return &entry;
+  }
+  return nullptr;
+}
+
+bool PrefixList::permits(const net::Prefix& candidate) const {
+  const PrefixListEntry* entry = match(candidate);
+  return entry != nullptr && entry->action == Action::kPermit;
+}
+
+int PrefixList::nextIndex() const {
+  int max_index = 0;
+  for (const auto& entry : entries) max_index = std::max(max_index, entry.index);
+  return max_index + 10;
+}
+
+// ---------------------------------------------------------------------------
+// Route policies
+// ---------------------------------------------------------------------------
+
+const PolicyNode* RoutePolicy::findNode(int index) const {
+  for (const auto& node : nodes) {
+    if (node.index == index) return &node;
+  }
+  return nullptr;
+}
+
+int RoutePolicy::nextNodeIndex() const {
+  int max_index = 0;
+  for (const auto& node : nodes) max_index = std::max(max_index, node.index);
+  return max_index + 10;
+}
+
+// ---------------------------------------------------------------------------
+// PBR
+// ---------------------------------------------------------------------------
+
+bool PbrRule::matches(net::Ipv4Address src, net::Ipv4Address dst) const {
+  return source.contains(src) && destination.contains(dst);
+}
+
+const PbrRule* PbrPolicy::match(net::Ipv4Address src,
+                                net::Ipv4Address dst) const {
+  for (const auto& rule : rules) {
+    if (rule.matches(src, dst)) return &rule;
+  }
+  return nullptr;
+}
+
+int PbrPolicy::nextIndex() const {
+  int max_index = 0;
+  for (const auto& rule : rules) max_index = std::max(max_index, rule.index);
+  return max_index + 10;
+}
+
+// ---------------------------------------------------------------------------
+// DeviceConfig lookups
+// ---------------------------------------------------------------------------
+
+const PrefixList* DeviceConfig::findPrefixList(const std::string& name) const {
+  for (const auto& pl : prefix_lists) {
+    if (pl.name == name) return &pl;
+  }
+  return nullptr;
+}
+
+PrefixList* DeviceConfig::findPrefixList(const std::string& name) {
+  return const_cast<PrefixList*>(
+      static_cast<const DeviceConfig*>(this)->findPrefixList(name));
+}
+
+const RoutePolicy* DeviceConfig::findPolicy(const std::string& name) const {
+  for (const auto& p : policies) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+RoutePolicy* DeviceConfig::findPolicy(const std::string& name) {
+  return const_cast<RoutePolicy*>(
+      static_cast<const DeviceConfig*>(this)->findPolicy(name));
+}
+
+const PbrPolicy* DeviceConfig::findPbr(const std::string& name) const {
+  for (const auto& p : pbr_policies) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+PbrPolicy* DeviceConfig::findPbr(const std::string& name) {
+  return const_cast<PbrPolicy*>(
+      static_cast<const DeviceConfig*>(this)->findPbr(name));
+}
+
+const InterfaceConfig* DeviceConfig::interfaceFor(net::Ipv4Address peer) const {
+  for (const auto& itf : interfaces) {
+    if (itf.connectedPrefix().contains(peer)) return &itf;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Canonical line walk: the single source of truth for print order, line
+// numbering and the line index. `emit(text, info, slot)` is called once per
+// line; `slot` points at the AST member holding that line's number.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string prefixWords(const net::Prefix& prefix) {
+  return prefix.address().str() + ' ' + std::to_string(prefix.length());
+}
+
+using EmitFn =
+    std::function<void(const std::string& text, const LineInfo& info, int* slot)>;
+
+void walkLines(DeviceConfig& dc, const EmitFn& emit) {
+  auto info = [](LineKind kind, int a = -1, int b = -1, int c = -1) {
+    LineInfo li;
+    li.kind = kind;
+    li.a = a;
+    li.b = b;
+    li.c = c;
+    return li;
+  };
+
+  emit("hostname " + dc.hostname, info(LineKind::kHostname), &dc.hostname_line);
+
+  for (std::size_t i = 0; i < dc.interfaces.size(); ++i) {
+    auto& itf = dc.interfaces[i];
+    emit("interface " + itf.name, info(LineKind::kInterface, int(i)), &itf.line);
+    emit(" ip address " + itf.address.str() + ' ' +
+             std::to_string(itf.prefix_length),
+         info(LineKind::kInterfaceIp, int(i)), &itf.ip_line);
+  }
+
+  for (std::size_t i = 0; i < dc.static_routes.size(); ++i) {
+    auto& sr = dc.static_routes[i];
+    emit("ip route-static " + prefixWords(sr.prefix) + ' ' + sr.next_hop.str(),
+         info(LineKind::kStaticRoute, int(i)), &sr.line);
+  }
+
+  if (dc.bgp) {
+    auto& bgp = *dc.bgp;
+    emit("bgp " + std::to_string(bgp.asn), info(LineKind::kBgpHeader),
+         &bgp.line);
+    if (bgp.router_id.value() != 0) {
+      emit(" router-id " + bgp.router_id.str(), info(LineKind::kRouterId),
+           &bgp.router_id_line);
+    }
+    for (std::size_t i = 0; i < bgp.redistributes.size(); ++i) {
+      auto& redist = bgp.redistributes[i];
+      emit(" redistribute " + redistSourceName(redist.source),
+           info(LineKind::kRedistribute, int(i)), &redist.line);
+    }
+    for (std::size_t i = 0; i < bgp.groups.size(); ++i) {
+      auto& group = bgp.groups[i];
+      emit(" group " + group.name, info(LineKind::kGroup, int(i)), &group.line);
+      if (!group.import_policy.empty()) {
+        emit(" peer-group " + group.name + " route-policy " +
+                 group.import_policy + " import",
+             info(LineKind::kGroupImport, int(i)), &group.import_line);
+      }
+      if (!group.export_policy.empty()) {
+        emit(" peer-group " + group.name + " route-policy " +
+                 group.export_policy + " export",
+             info(LineKind::kGroupExport, int(i)), &group.export_line);
+      }
+    }
+    for (std::size_t i = 0; i < bgp.peers.size(); ++i) {
+      auto& peer = bgp.peers[i];
+      const std::string head = " peer " + peer.address.str();
+      emit(head + " as-number " + std::to_string(peer.remote_as),
+           info(LineKind::kPeerAs, int(i)), &peer.as_line);
+      if (!peer.group.empty()) {
+        emit(head + " group " + peer.group, info(LineKind::kPeerGroupRef, int(i)),
+             &peer.group_line);
+      }
+      if (!peer.import_policy.empty()) {
+        emit(head + " route-policy " + peer.import_policy + " import",
+             info(LineKind::kPeerImport, int(i)), &peer.import_line);
+      }
+      if (!peer.export_policy.empty()) {
+        emit(head + " route-policy " + peer.export_policy + " export",
+             info(LineKind::kPeerExport, int(i)), &peer.export_line);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < dc.prefix_lists.size(); ++i) {
+    auto& pl = dc.prefix_lists[i];
+    for (std::size_t j = 0; j < pl.entries.size(); ++j) {
+      auto& entry = pl.entries[j];
+      std::string text = "ip prefix-list " + pl.name + " index " +
+                         std::to_string(entry.index) + ' ' +
+                         actionName(entry.action) + ' ' +
+                         prefixWords(entry.prefix);
+      if (entry.greater_equal != 0) {
+        text += " greater-equal " + std::to_string(entry.greater_equal);
+      }
+      if (entry.less_equal != 0) {
+        text += " less-equal " + std::to_string(entry.less_equal);
+      }
+      emit(text, info(LineKind::kPrefixListEntry, int(i), int(j)), &entry.line);
+    }
+  }
+
+  for (std::size_t i = 0; i < dc.policies.size(); ++i) {
+    auto& policy = dc.policies[i];
+    for (std::size_t j = 0; j < policy.nodes.size(); ++j) {
+      auto& node = policy.nodes[j];
+      emit("route-policy " + policy.name + ' ' + actionName(node.action) +
+               " node " + std::to_string(node.index),
+           info(LineKind::kPolicyNode, int(i), int(j)), &node.line);
+      for (std::size_t k = 0; k < node.matches.size(); ++k) {
+        auto& match = node.matches[k];
+        emit(" if-match ip-prefix " + match.prefix_list,
+             info(LineKind::kPolicyMatch, int(i), int(j), int(k)), &match.line);
+      }
+      for (std::size_t k = 0; k < node.actions.size(); ++k) {
+        auto& act = node.actions[k];
+        std::string text = " apply " + policyActionName(act.kind);
+        if (act.kind != PolicyActionKind::kAsPathOverwrite || act.value != 0) {
+          text += ' ' + std::to_string(act.value);
+        }
+        emit(text, info(LineKind::kPolicyAction, int(i), int(j), int(k)),
+             &act.line);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < dc.pbr_policies.size(); ++i) {
+    auto& pbr = dc.pbr_policies[i];
+    emit("pbr policy " + pbr.name, info(LineKind::kPbrHeader, int(i)),
+         &pbr.line);
+    for (std::size_t j = 0; j < pbr.rules.size(); ++j) {
+      auto& rule = pbr.rules[j];
+      std::string text =
+          " rule " + std::to_string(rule.index) + ' ' + pbrActionName(rule.action);
+      if (rule.action == PbrAction::kRedirect) {
+        text += ' ' + rule.redirect_next_hop.str();
+      }
+      text += " source " + prefixWords(rule.source) + " destination " +
+              prefixWords(rule.destination);
+      emit(text, info(LineKind::kPbrRule, int(i), int(j)), &rule.line);
+    }
+  }
+}
+
+}  // namespace
+
+int DeviceConfig::renumber() {
+  int next = 0;
+  walkLines(*this, [&next](const std::string&, const LineInfo&, int* slot) {
+    *slot = ++next;
+  });
+  return next;
+}
+
+std::vector<std::string> DeviceConfig::renderLines() const {
+  std::vector<std::string> lines;
+  // walkLines requires mutable access for the slot pointers; rendering never
+  // writes through them.
+  walkLines(const_cast<DeviceConfig&>(*this),
+            [&lines](const std::string& text, const LineInfo&, int*) {
+              lines.push_back(text);
+            });
+  return lines;
+}
+
+std::string DeviceConfig::render() const {
+  std::string out;
+  for (const auto& line : renderLines()) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+int DeviceConfig::lineCount() const {
+  int count = 0;
+  walkLines(const_cast<DeviceConfig&>(*this),
+            [&count](const std::string&, const LineInfo&, int*) { ++count; });
+  return count;
+}
+
+std::map<int, LineInfo> DeviceConfig::buildLineIndex() const {
+  std::map<int, LineInfo> index;
+  int next = 0;
+  walkLines(const_cast<DeviceConfig&>(*this),
+            [&](const std::string& text, const LineInfo& info, int*) {
+              LineInfo entry = info;
+              entry.text = text.substr(text.find_first_not_of(' '));
+              index.emplace(++next, entry);
+            });
+  return index;
+}
+
+}  // namespace acr::cfg

@@ -1,0 +1,294 @@
+// AST of the `acr-cfg` router configuration language.
+//
+// The dialect is Huawei-flavoured, chosen to express the paper's Figure 2b
+// snippet verbatim: BGP peers and peer groups, route-policies with
+// `if-match ip-prefix` and `apply as-path overwrite`, `ip prefix-list`
+// entries written as "address length" pairs (e.g. "0.0.0.0 0"),
+// policy-based routing, static routes and redistribution.
+//
+// Every configuration *line* carries a line number assigned by renumber(),
+// which walks the canonical print order. Line numbers are the unit of
+// spectrum-based fault localization: coverage, suspiciousness and change
+// templates all address (device, line) pairs.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netcore/ipv4.hpp"
+#include "netcore/prefix.hpp"
+
+namespace acr::cfg {
+
+/// Globally unique identifier of one configuration line.
+struct LineId {
+  std::string device;
+  int line = 0;
+
+  friend auto operator<=>(const LineId&, const LineId&) = default;
+  [[nodiscard]] std::string str() const {
+    return device + ':' + std::to_string(line);
+  }
+};
+
+enum class Action : std::uint8_t { kPermit, kDeny };
+
+[[nodiscard]] std::string actionName(Action action);
+
+// --------------------------------------------------------------------------
+// Interfaces, static routes, redistribution
+// --------------------------------------------------------------------------
+
+struct InterfaceConfig {
+  std::string name;
+  net::Ipv4Address address;
+  std::uint8_t prefix_length = 24;
+  int line = 0;     // "interface <name>"
+  int ip_line = 0;  // " ip address <addr> <len>"
+
+  /// Subnet directly connected through this interface.
+  [[nodiscard]] net::Prefix connectedPrefix() const {
+    return net::Prefix(address, prefix_length);
+  }
+};
+
+struct StaticRouteConfig {
+  net::Prefix prefix;
+  net::Ipv4Address next_hop;
+  int line = 0;  // "ip route-static <addr> <len> <next-hop>"
+};
+
+enum class RedistSource : std::uint8_t { kStatic, kConnected };
+
+[[nodiscard]] std::string redistSourceName(RedistSource source);
+
+struct RedistributeConfig {
+  RedistSource source = RedistSource::kStatic;
+  int line = 0;  // " redistribute static|connected" (inside bgp)
+};
+
+// --------------------------------------------------------------------------
+// BGP: peers and peer groups
+// --------------------------------------------------------------------------
+
+struct PeerGroupConfig {
+  std::string name;
+  int line = 0;  // " group <name>"
+  std::string import_policy;
+  int import_line = 0;  // " peer-group <name> route-policy <p> import"
+  std::string export_policy;
+  int export_line = 0;
+};
+
+struct PeerConfig {
+  net::Ipv4Address address;
+  std::uint32_t remote_as = 0;
+  int as_line = 0;  // " peer <addr> as-number <asn>"
+  std::string group;
+  int group_line = 0;  // " peer <addr> group <g>"
+  std::string import_policy;
+  int import_line = 0;  // " peer <addr> route-policy <p> import"
+  std::string export_policy;
+  int export_line = 0;
+};
+
+struct BgpConfig {
+  std::uint32_t asn = 0;
+  int line = 0;  // "bgp <asn>"
+  net::Ipv4Address router_id;
+  int router_id_line = 0;
+  std::vector<RedistributeConfig> redistributes;
+  std::vector<PeerGroupConfig> groups;
+  std::vector<PeerConfig> peers;
+
+  [[nodiscard]] const PeerGroupConfig* findGroup(const std::string& name) const;
+  [[nodiscard]] PeerGroupConfig* findGroup(const std::string& name);
+  [[nodiscard]] const PeerConfig* findPeer(net::Ipv4Address address) const;
+  [[nodiscard]] PeerConfig* findPeer(net::Ipv4Address address);
+  [[nodiscard]] bool redistributes_source(RedistSource source) const;
+};
+
+// --------------------------------------------------------------------------
+// Prefix lists
+// --------------------------------------------------------------------------
+
+struct PrefixListEntry {
+  int index = 10;
+  Action action = Action::kPermit;
+  net::Prefix prefix;
+  // Optional length bounds: matches routes whose length lies in
+  // [greater_equal, less_equal] when set (0 = unset, exact-length match).
+  std::uint8_t greater_equal = 0;
+  std::uint8_t less_equal = 0;
+  int line = 0;  // "ip prefix-list <name> index <i> <action> <addr> <len> ..."
+
+  /// Whether a route for `candidate` matches this entry.
+  [[nodiscard]] bool matches(const net::Prefix& candidate) const;
+};
+
+struct PrefixList {
+  std::string name;
+  std::vector<PrefixListEntry> entries;
+
+  /// First matching entry decides; no match => deny (standard semantics).
+  /// Returns the matching entry, or nullptr when the list denies by default.
+  [[nodiscard]] const PrefixListEntry* match(const net::Prefix& candidate) const;
+  [[nodiscard]] bool permits(const net::Prefix& candidate) const;
+  [[nodiscard]] int nextIndex() const;
+};
+
+// --------------------------------------------------------------------------
+// Route policies
+// --------------------------------------------------------------------------
+
+enum class MatchKind : std::uint8_t { kIpPrefixList };
+
+struct PolicyMatch {
+  MatchKind kind = MatchKind::kIpPrefixList;
+  std::string prefix_list;
+  int line = 0;  // " if-match ip-prefix <name>"
+};
+
+enum class PolicyActionKind : std::uint8_t {
+  kAsPathOverwrite,  // rewrite AS_PATH to [own AS]  (the Figure-2 policy)
+  kSetLocalPref,
+  kSetMed,
+  kAsPathPrepend,  // prepend own AS `value` times
+};
+
+[[nodiscard]] std::string policyActionName(PolicyActionKind kind);
+
+struct PolicyAction {
+  PolicyActionKind kind = PolicyActionKind::kSetLocalPref;
+  std::uint32_t value = 0;
+  int line = 0;  // " apply ..."
+};
+
+struct PolicyNode {
+  int index = 10;
+  Action action = Action::kPermit;
+  std::vector<PolicyMatch> matches;  // all must match (AND)
+  std::vector<PolicyAction> actions;
+  int line = 0;  // "route-policy <name> <action> node <index>"
+};
+
+struct RoutePolicy {
+  std::string name;
+  std::vector<PolicyNode> nodes;
+
+  [[nodiscard]] const PolicyNode* findNode(int index) const;
+  [[nodiscard]] int nextNodeIndex() const;
+};
+
+// --------------------------------------------------------------------------
+// Policy-based routing
+// --------------------------------------------------------------------------
+
+enum class PbrAction : std::uint8_t { kPermit, kDeny, kRedirect };
+
+[[nodiscard]] std::string pbrActionName(PbrAction action);
+
+struct PbrRule {
+  int index = 10;
+  PbrAction action = PbrAction::kPermit;
+  net::Prefix source;       // 0.0.0.0/0 = any
+  net::Prefix destination;  // 0.0.0.0/0 = any
+  net::Ipv4Address redirect_next_hop;  // only for kRedirect
+  int line = 0;  // " rule <i> <action> source <p> destination <p> [...]"
+
+  [[nodiscard]] bool matches(net::Ipv4Address src, net::Ipv4Address dst) const;
+};
+
+struct PbrPolicy {
+  std::string name;
+  std::vector<PbrRule> rules;
+  int line = 0;  // "pbr policy <name>"
+
+  /// First matching rule, or nullptr (=> regular FIB forwarding).
+  [[nodiscard]] const PbrRule* match(net::Ipv4Address src,
+                                     net::Ipv4Address dst) const;
+  [[nodiscard]] int nextIndex() const;
+};
+
+// --------------------------------------------------------------------------
+// Device configuration
+// --------------------------------------------------------------------------
+
+/// Kind of configuration line, used to select applicable change templates
+/// for a suspicious line (Figure 3c of the paper).
+enum class LineKind : std::uint8_t {
+  kHostname,
+  kInterface,
+  kInterfaceIp,
+  kStaticRoute,
+  kBgpHeader,
+  kRouterId,
+  kRedistribute,
+  kGroup,
+  kGroupImport,
+  kGroupExport,
+  kPeerAs,
+  kPeerGroupRef,
+  kPeerImport,
+  kPeerExport,
+  kPrefixListEntry,
+  kPolicyNode,
+  kPolicyMatch,
+  kPolicyAction,
+  kPbrHeader,
+  kPbrRule,
+};
+
+[[nodiscard]] std::string lineKindName(LineKind kind);
+
+/// Resolved reference from a line number back into the AST. The `a`/`b`/`c`
+/// fields index into the owning vectors (meaning depends on `kind`, e.g. for
+/// kPolicyMatch: a = policy index, b = node index, c = match index).
+struct LineInfo {
+  LineKind kind = LineKind::kHostname;
+  int a = -1;
+  int b = -1;
+  int c = -1;
+  std::string text;  // rendered content of the line (trimmed)
+};
+
+struct DeviceConfig {
+  std::string hostname;
+  int hostname_line = 0;
+  std::vector<InterfaceConfig> interfaces;
+  std::vector<StaticRouteConfig> static_routes;
+  std::optional<BgpConfig> bgp;
+  std::vector<PrefixList> prefix_lists;
+  std::vector<RoutePolicy> policies;
+  std::vector<PbrPolicy> pbr_policies;
+
+  // ---- lookups -----------------------------------------------------------
+  [[nodiscard]] const PrefixList* findPrefixList(const std::string& name) const;
+  [[nodiscard]] PrefixList* findPrefixList(const std::string& name);
+  [[nodiscard]] const RoutePolicy* findPolicy(const std::string& name) const;
+  [[nodiscard]] RoutePolicy* findPolicy(const std::string& name);
+  [[nodiscard]] const PbrPolicy* findPbr(const std::string& name) const;
+  [[nodiscard]] PbrPolicy* findPbr(const std::string& name);
+  [[nodiscard]] const InterfaceConfig* interfaceFor(net::Ipv4Address peer) const;
+
+  // ---- rendering & line numbering ---------------------------------------
+  /// Re-assigns line numbers following canonical print order; returns the
+  /// total number of lines. Must be called after any structural edit.
+  int renumber();
+
+  /// Canonical text rendering; line i of the output (1-based) is the line
+  /// numbered i by renumber().
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] std::vector<std::string> renderLines() const;
+  [[nodiscard]] int lineCount() const;
+
+  /// Maps every line number to its AST location. Rebuilt on demand;
+  /// invalidated by structural edits (call after renumber()).
+  [[nodiscard]] std::map<int, LineInfo> buildLineIndex() const;
+};
+
+}  // namespace acr::cfg

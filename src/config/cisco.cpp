@@ -1,0 +1,534 @@
+#include "config/cisco.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace acr::cfg {
+
+std::string lengthToNetmask(std::uint8_t length) {
+  const std::uint32_t mask =
+      length == 0 ? 0U : ~std::uint32_t{0} << (32 - length);
+  return net::Ipv4Address(mask).str();
+}
+
+std::optional<std::uint8_t> netmaskToLength(std::string_view netmask) {
+  const auto address = net::Ipv4Address::parse(netmask);
+  if (!address) return std::nullopt;
+  const std::uint32_t mask = address->value();
+  // Must be a contiguous run of leading ones.
+  const std::uint32_t inverted = ~mask;
+  if ((inverted & (inverted + 1)) != 0) return std::nullopt;
+  std::uint8_t length = 0;
+  for (std::uint32_t bits = mask; bits & 0x80000000u; bits <<= 1) ++length;
+  if (length != 32 && (mask << length) != 0) return std::nullopt;
+  return length;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering — mirrors the canonical element order of DeviceConfig::render()
+// exactly (one output line per AST line). tests/config/cisco_test.cc guards
+// the line-for-line correspondence across every generator family.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string prefixSlash(const net::Prefix& prefix) { return prefix.str(); }
+
+void renderPrefixListEntry(std::vector<std::string>& out,
+                           const std::string& list_name,
+                           const PrefixListEntry& entry) {
+  std::string line = "ip prefix-list " + list_name + " seq " +
+                     std::to_string(entry.index) + ' ' +
+                     actionName(entry.action) + ' ' +
+                     prefixSlash(entry.prefix);
+  if (entry.greater_equal != 0) {
+    line += " ge " + std::to_string(entry.greater_equal);
+  }
+  if (entry.less_equal != 0) {
+    line += " le " + std::to_string(entry.less_equal);
+  }
+  out.push_back(std::move(line));
+}
+
+}  // namespace
+
+std::vector<std::string> renderCiscoLines(const DeviceConfig& device) {
+  std::vector<std::string> out;
+
+  out.push_back("hostname " + device.hostname);
+
+  for (const auto& itf : device.interfaces) {
+    out.push_back("interface " + itf.name);
+    out.push_back(" ip address " + itf.address.str() + ' ' +
+                  lengthToNetmask(itf.prefix_length));
+  }
+
+  for (const auto& sr : device.static_routes) {
+    out.push_back("ip route " + sr.prefix.address().str() + ' ' +
+                  lengthToNetmask(sr.prefix.length()) + ' ' +
+                  sr.next_hop.str());
+  }
+
+  if (device.bgp) {
+    const BgpConfig& bgp = *device.bgp;
+    out.push_back("router bgp " + std::to_string(bgp.asn));
+    if (bgp.router_id.value() != 0) {
+      out.push_back(" bgp router-id " + bgp.router_id.str());
+    }
+    for (const auto& redist : bgp.redistributes) {
+      out.push_back(" redistribute " + redistSourceName(redist.source));
+    }
+    for (const auto& group : bgp.groups) {
+      out.push_back(" neighbor " + group.name + " peer-group");
+      if (!group.import_policy.empty()) {
+        out.push_back(" neighbor " + group.name + " route-map " +
+                      group.import_policy + " in");
+      }
+      if (!group.export_policy.empty()) {
+        out.push_back(" neighbor " + group.name + " route-map " +
+                      group.export_policy + " out");
+      }
+    }
+    for (const auto& peer : bgp.peers) {
+      const std::string head = " neighbor " + peer.address.str();
+      out.push_back(head + " remote-as " + std::to_string(peer.remote_as));
+      if (!peer.group.empty()) {
+        out.push_back(head + " peer-group " + peer.group);
+      }
+      if (!peer.import_policy.empty()) {
+        out.push_back(head + " route-map " + peer.import_policy + " in");
+      }
+      if (!peer.export_policy.empty()) {
+        out.push_back(head + " route-map " + peer.export_policy + " out");
+      }
+    }
+  }
+
+  for (const auto& list : device.prefix_lists) {
+    for (const auto& entry : list.entries) {
+      renderPrefixListEntry(out, list.name, entry);
+    }
+  }
+
+  for (const auto& policy : device.policies) {
+    for (const auto& node : policy.nodes) {
+      out.push_back("route-map " + policy.name + ' ' + actionName(node.action) +
+                    ' ' + std::to_string(node.index));
+      for (const auto& match : node.matches) {
+        out.push_back(" match ip address prefix-list " + match.prefix_list);
+      }
+      for (const auto& action : node.actions) {
+        switch (action.kind) {
+          case PolicyActionKind::kAsPathOverwrite:
+            out.push_back(action.value == 0
+                              ? " set as-path overwrite"
+                              : " set as-path overwrite " +
+                                    std::to_string(action.value));
+            break;
+          case PolicyActionKind::kSetLocalPref:
+            out.push_back(" set local-preference " +
+                          std::to_string(action.value));
+            break;
+          case PolicyActionKind::kSetMed:
+            out.push_back(" set metric " + std::to_string(action.value));
+            break;
+          case PolicyActionKind::kAsPathPrepend:
+            out.push_back(" set as-path prepend " +
+                          std::to_string(action.value));
+            break;
+        }
+      }
+    }
+  }
+
+  for (const auto& pbr : device.pbr_policies) {
+    out.push_back("ip policy " + pbr.name);
+    for (const auto& rule : pbr.rules) {
+      std::string line =
+          " rule " + std::to_string(rule.index) + ' ' + pbrActionName(rule.action);
+      if (rule.action == PbrAction::kRedirect) {
+        line += ' ' + rule.redirect_next_hop.str();
+      }
+      line += " source " + prefixSlash(rule.source) + " destination " +
+              prefixSlash(rule.destination);
+      out.push_back(std::move(line));
+    }
+  }
+  return out;
+}
+
+std::string renderCisco(const DeviceConfig& device) {
+  std::string out;
+  for (const auto& line : renderCiscoLines(device)) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    const std::size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ') ++pos;
+    if (pos > start) tokens.push_back(line.substr(start, pos - start));
+  }
+  return tokens;
+}
+
+enum class Context { kTop, kInterface, kBgp, kRouteMapNode, kPbr };
+
+class CiscoParser {
+ public:
+  explicit CiscoParser(std::string_view text) : text_(text) {}
+
+  DeviceConfig run() {
+    std::size_t pos = 0;
+    while (pos <= text_.size()) {
+      const std::size_t end = text_.find('\n', pos);
+      const std::string_view raw =
+          text_.substr(pos, end == std::string_view::npos ? end : end - pos);
+      ++line_no_;
+      parseLine(raw);
+      if (end == std::string_view::npos) break;
+      pos = end + 1;
+    }
+    config_.renumber();
+    return std::move(config_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(line_no_, message);
+  }
+
+  std::uint32_t parseUint(std::string_view token, const char* what) const {
+    std::uint32_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      fail(std::string("expected ") + what + ", got '" + std::string(token) +
+           "'");
+    }
+    return value;
+  }
+
+  net::Ipv4Address parseAddress(std::string_view token) const {
+    const auto address = net::Ipv4Address::parse(token);
+    if (!address) fail("malformed IPv4 address '" + std::string(token) + "'");
+    return *address;
+  }
+
+  net::Prefix parseSlashPrefix(std::string_view token) const {
+    const auto prefix = net::Prefix::parse(token);
+    if (!prefix || token.find('/') == std::string_view::npos) {
+      fail("malformed prefix '" + std::string(token) + "'");
+    }
+    return *prefix;
+  }
+
+  std::uint8_t parseNetmask(std::string_view token) const {
+    const auto length = netmaskToLength(token);
+    if (!length) fail("malformed netmask '" + std::string(token) + "'");
+    return *length;
+  }
+
+  void parseLine(std::string_view raw) {
+    if (raw.empty()) return;
+    const bool indented = raw.front() == ' ';
+    const auto tokens = tokenize(raw);
+    if (tokens.empty()) return;
+    if (tokens[0].front() == '!' || tokens[0].front() == '#') return;
+    if (indented) {
+      parseBlockLine(tokens);
+    } else {
+      parseTopLine(tokens);
+    }
+  }
+
+  void parseTopLine(const std::vector<std::string_view>& t) {
+    context_ = Context::kTop;
+    if (t[0] == "hostname") {
+      if (t.size() != 2) fail("hostname expects one argument");
+      config_.hostname = std::string(t[1]);
+    } else if (t[0] == "interface") {
+      if (t.size() != 2) fail("interface expects one argument");
+      InterfaceConfig itf;
+      itf.name = std::string(t[1]);
+      config_.interfaces.push_back(itf);
+      context_ = Context::kInterface;
+    } else if (t[0] == "ip" && t.size() >= 2 && t[1] == "route") {
+      if (t.size() != 5) fail("ip route expects <addr> <netmask> <next-hop>");
+      StaticRouteConfig sr;
+      sr.prefix = net::Prefix(parseAddress(t[2]), parseNetmask(t[3]));
+      sr.next_hop = parseAddress(t[4]);
+      config_.static_routes.push_back(sr);
+    } else if (t[0] == "router" && t.size() == 3 && t[1] == "bgp") {
+      if (config_.bgp) fail("duplicate router bgp section");
+      BgpConfig bgp;
+      bgp.asn = parseUint(t[2], "AS number");
+      config_.bgp = bgp;
+      context_ = Context::kBgp;
+    } else if (t[0] == "ip" && t.size() >= 2 && t[1] == "prefix-list") {
+      parsePrefixListLine(t);
+    } else if (t[0] == "route-map") {
+      if (t.size() != 4) fail("route-map expects: route-map <name> permit|deny <seq>");
+      PolicyNode node;
+      node.index = static_cast<int>(parseUint(t[3], "sequence"));
+      node.action = parseAction(t[2]);
+      RoutePolicy* policy = config_.findPolicy(std::string(t[1]));
+      if (policy == nullptr) {
+        config_.policies.push_back(RoutePolicy{std::string(t[1]), {}});
+        policy = &config_.policies.back();
+      }
+      policy->nodes.push_back(node);
+      current_policy_ = policy;
+      context_ = Context::kRouteMapNode;
+    } else if (t[0] == "ip" && t.size() == 3 && t[1] == "policy") {
+      PbrPolicy pbr;
+      pbr.name = std::string(t[2]);
+      config_.pbr_policies.push_back(pbr);
+      context_ = Context::kPbr;
+    } else {
+      fail("unknown statement '" + std::string(t[0]) + "'");
+    }
+  }
+
+  void parseBlockLine(const std::vector<std::string_view>& t) {
+    switch (context_) {
+      case Context::kInterface:
+        if (t.size() == 4 && t[0] == "ip" && t[1] == "address") {
+          InterfaceConfig& itf = config_.interfaces.back();
+          itf.address = parseAddress(t[2]);
+          itf.prefix_length = parseNetmask(t[3]);
+          return;
+        }
+        fail("unknown interface statement");
+      case Context::kBgp:
+        parseBgpLine(t);
+        return;
+      case Context::kRouteMapNode:
+        parseRouteMapLine(t);
+        return;
+      case Context::kPbr:
+        parsePbrLine(t);
+        return;
+      case Context::kTop:
+        fail("indented line outside of a block");
+    }
+  }
+
+  void parseBgpLine(const std::vector<std::string_view>& t) {
+    BgpConfig& bgp = *config_.bgp;
+    if (t[0] == "bgp" && t.size() == 3 && t[1] == "router-id") {
+      bgp.router_id = parseAddress(t[2]);
+    } else if (t[0] == "redistribute" && t.size() == 2) {
+      RedistributeConfig redist;
+      if (t[1] == "static") {
+        redist.source = RedistSource::kStatic;
+      } else if (t[1] == "connected") {
+        redist.source = RedistSource::kConnected;
+      } else {
+        fail("unknown redistribute source '" + std::string(t[1]) + "'");
+      }
+      bgp.redistributes.push_back(redist);
+    } else if (t[0] == "neighbor" && t.size() >= 3) {
+      parseNeighborLine(t, bgp);
+    } else {
+      fail("unknown router bgp statement '" + std::string(t[0]) + "'");
+    }
+  }
+
+  void parseNeighborLine(const std::vector<std::string_view>& t,
+                         BgpConfig& bgp) {
+    const std::string target(t[1]);
+    const bool is_address = net::Ipv4Address::parse(target).has_value() &&
+                            target.find('.') != std::string::npos;
+    if (!is_address) {
+      // Peer-group statements.
+      if (t.size() == 3 && t[2] == "peer-group") {
+        if (bgp.findGroup(target) != nullptr) fail("duplicate peer-group");
+        bgp.groups.push_back(PeerGroupConfig{target, 0, "", 0, "", 0});
+        return;
+      }
+      if (t.size() == 5 && t[2] == "route-map") {
+        PeerGroupConfig* group = bgp.findGroup(target);
+        if (group == nullptr) fail("unknown peer-group '" + target + "'");
+        if (t[4] == "in") {
+          group->import_policy = std::string(t[3]);
+        } else if (t[4] == "out") {
+          group->export_policy = std::string(t[3]);
+        } else {
+          fail("direction must be in or out");
+        }
+        return;
+      }
+      fail("unknown neighbor statement");
+    }
+    const net::Ipv4Address address = parseAddress(t[1]);
+    PeerConfig* peer = bgp.findPeer(address);
+    if (peer == nullptr) {
+      bgp.peers.push_back(PeerConfig{});
+      peer = &bgp.peers.back();
+      peer->address = address;
+    }
+    if (t.size() == 4 && t[2] == "remote-as") {
+      peer->remote_as = parseUint(t[3], "AS number");
+    } else if (t.size() == 4 && t[2] == "peer-group") {
+      peer->group = std::string(t[3]);
+    } else if (t.size() == 5 && t[2] == "route-map") {
+      if (t[4] == "in") {
+        peer->import_policy = std::string(t[3]);
+      } else if (t[4] == "out") {
+        peer->export_policy = std::string(t[3]);
+      } else {
+        fail("direction must be in or out");
+      }
+    } else {
+      fail("unknown neighbor statement");
+    }
+  }
+
+  void parsePrefixListLine(const std::vector<std::string_view>& t) {
+    // ip prefix-list NAME seq N permit|deny A.B.C.D/L [ge G] [le L]
+    if (t.size() < 7 || t[3] != "seq") {
+      fail("ip prefix-list expects: ip prefix-list <name> seq <n> permit|deny "
+           "<prefix>");
+    }
+    PrefixListEntry entry;
+    entry.index = static_cast<int>(parseUint(t[4], "sequence"));
+    entry.action = parseAction(t[5]);
+    entry.prefix = parseSlashPrefix(t[6]);
+    std::size_t pos = 7;
+    while (pos < t.size()) {
+      if (t[pos] == "ge" && pos + 1 < t.size()) {
+        entry.greater_equal =
+            static_cast<std::uint8_t>(parseUint(t[pos + 1], "length"));
+        pos += 2;
+      } else if (t[pos] == "le" && pos + 1 < t.size()) {
+        entry.less_equal =
+            static_cast<std::uint8_t>(parseUint(t[pos + 1], "length"));
+        pos += 2;
+      } else {
+        fail("unexpected token '" + std::string(t[pos]) + "'");
+      }
+    }
+    PrefixList* list = config_.findPrefixList(std::string(t[2]));
+    if (list == nullptr) {
+      config_.prefix_lists.push_back(PrefixList{std::string(t[2]), {}});
+      list = &config_.prefix_lists.back();
+    }
+    list->entries.push_back(entry);
+  }
+
+  void parseRouteMapLine(const std::vector<std::string_view>& t) {
+    PolicyNode& node = current_policy_->nodes.back();
+    if (t[0] == "match") {
+      if (t.size() != 5 || t[1] != "ip" || t[2] != "address" ||
+          t[3] != "prefix-list") {
+        fail("match expects: match ip address prefix-list <name>");
+      }
+      node.matches.push_back(
+          PolicyMatch{MatchKind::kIpPrefixList, std::string(t[4]), 0});
+    } else if (t[0] == "set") {
+      PolicyAction action;
+      if ((t.size() == 3 || t.size() == 4) && t[1] == "as-path" &&
+          t[2] == "overwrite") {
+        action.kind = PolicyActionKind::kAsPathOverwrite;
+        if (t.size() == 4) action.value = parseUint(t[3], "AS number");
+      } else if (t.size() == 3 && t[1] == "local-preference") {
+        action.kind = PolicyActionKind::kSetLocalPref;
+        action.value = parseUint(t[2], "local-preference");
+      } else if (t.size() == 3 && t[1] == "metric") {
+        action.kind = PolicyActionKind::kSetMed;
+        action.value = parseUint(t[2], "metric");
+      } else if (t.size() == 4 && t[1] == "as-path" && t[2] == "prepend") {
+        action.kind = PolicyActionKind::kAsPathPrepend;
+        action.value = parseUint(t[3], "prepend count");
+      } else {
+        fail("unknown set action");
+      }
+      node.actions.push_back(action);
+    } else {
+      fail("unknown route-map statement '" + std::string(t[0]) + "'");
+    }
+  }
+
+  void parsePbrLine(const std::vector<std::string_view>& t) {
+    if (t.size() < 2 || t[0] != "rule") fail("ip policy body expects rules");
+    PbrRule rule;
+    rule.index = static_cast<int>(parseUint(t[1], "rule index"));
+    std::size_t pos = 3;
+    if (t.size() > 2 && t[2] == "permit") {
+      rule.action = PbrAction::kPermit;
+    } else if (t.size() > 2 && t[2] == "deny") {
+      rule.action = PbrAction::kDeny;
+    } else if (t.size() > 3 && t[2] == "redirect") {
+      rule.action = PbrAction::kRedirect;
+      rule.redirect_next_hop = parseAddress(t[3]);
+      pos = 4;
+    } else {
+      fail("rule action must be permit, deny or redirect");
+    }
+    if (t.size() != pos + 4 || t[pos] != "source" ||
+        t[pos + 2] != "destination") {
+      fail("rule expects: source <prefix> destination <prefix>");
+    }
+    rule.source = parseSlashPrefix(t[pos + 1]);
+    rule.destination = parseSlashPrefix(t[pos + 3]);
+    config_.pbr_policies.back().rules.push_back(rule);
+  }
+
+  Action parseAction(std::string_view token) const {
+    if (token == "permit") return Action::kPermit;
+    if (token == "deny") return Action::kDeny;
+    fail("expected permit|deny, got '" + std::string(token) + "'");
+  }
+
+  std::string_view text_;
+  int line_no_ = 0;
+  DeviceConfig config_;
+  Context context_ = Context::kTop;
+  RoutePolicy* current_policy_ = nullptr;
+};
+
+}  // namespace
+
+DeviceConfig parseCiscoDevice(std::string_view text) {
+  return CiscoParser(text).run();
+}
+
+std::string renderAs(const DeviceConfig& device, Dialect dialect) {
+  return dialect == Dialect::kCisco ? renderCisco(device) : device.render();
+}
+
+DeviceConfig parseAs(std::string_view text, Dialect dialect) {
+  return dialect == Dialect::kCisco ? parseCiscoDevice(text)
+                                    : parseDevice(text);
+}
+
+Dialect detectDialect(std::string_view text) {
+  if (text.find("router bgp") != std::string_view::npos ||
+      text.find("neighbor ") != std::string_view::npos ||
+      text.find("route-map ") != std::string_view::npos ||
+      text.find(" seq ") != std::string_view::npos) {
+    // `route-map` also appears in the Huawei dialect's bindings; prefer the
+    // unambiguous markers first.
+    if (text.find("router bgp") != std::string_view::npos ||
+        text.find("neighbor ") != std::string_view::npos ||
+        text.find(" seq ") != std::string_view::npos) {
+      return Dialect::kCisco;
+    }
+  }
+  return Dialect::kHuawei;
+}
+
+}  // namespace acr::cfg

@@ -1,0 +1,70 @@
+// Cisco-flavoured dialect front-end.
+//
+// The paper stresses that production networks mix vendors with
+// vendor-specific behaviours; ACR's repair algorithms must therefore be
+// dialect-independent. This module renders and parses the same DeviceConfig
+// AST in an IOS-style syntax:
+//
+//   hostname A
+//   interface eth0
+//    ip address 172.16.0.1 255.255.255.252
+//   ip route 20.1.1.0 255.255.255.0 10.1.1.10
+//   router bgp 65001
+//    bgp router-id 1.1.1.2
+//    redistribute connected
+//    neighbor TORS peer-group
+//    neighbor TORS route-map TOR_IN in
+//    neighbor 172.16.0.2 remote-as 65002
+//    neighbor 172.16.0.2 peer-group TORS
+//   ip prefix-list default_all seq 10 permit 0.0.0.0/0
+//   route-map Override_All permit 10
+//    match ip address prefix-list default_all
+//    set as-path overwrite
+//   ip policy EDGE
+//    rule 10 permit source 0.0.0.0/0 destination 10.0.0.0/8
+//
+// Documented liberties (no IOS equivalent exists): `set as-path overwrite
+// [asn]` mirrors the Huawei overwrite the paper's incident depends on;
+// `set as-path prepend <n>` carries a repetition count; PBR keeps the
+// rule-based form under `ip policy`.
+//
+// Both renderers emit exactly one text line per AST line, in the same
+// canonical order, so (device, line) coordinates — the SBFL unit — are
+// dialect-independent: localization on a Cisco-rendered config points at
+// the same lines as on the Huawei rendering.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/ast.hpp"
+#include "config/parser.hpp"
+
+namespace acr::cfg {
+
+/// IOS-style rendering, line-for-line parallel to DeviceConfig::render().
+[[nodiscard]] std::string renderCisco(const DeviceConfig& device);
+[[nodiscard]] std::vector<std::string> renderCiscoLines(const DeviceConfig& device);
+
+/// Parses the IOS-style dialect; line numbers are canonical (renumber()ed).
+/// Throws ParseError on malformed input.
+[[nodiscard]] DeviceConfig parseCiscoDevice(std::string_view text);
+
+/// Netmask helpers ("255.255.255.252" <-> /30).
+[[nodiscard]] std::string lengthToNetmask(std::uint8_t length);
+[[nodiscard]] std::optional<std::uint8_t> netmaskToLength(std::string_view netmask);
+
+enum class Dialect : std::uint8_t { kHuawei, kCisco };
+
+/// Renders in the requested dialect.
+[[nodiscard]] std::string renderAs(const DeviceConfig& device, Dialect dialect);
+
+/// Parses `text` in the requested dialect.
+[[nodiscard]] DeviceConfig parseAs(std::string_view text, Dialect dialect);
+
+/// Best-effort dialect detection (looks for `router bgp` / `neighbor` vs
+/// `bgp <asn>` / `peer`).
+[[nodiscard]] Dialect detectDialect(std::string_view text);
+
+}  // namespace acr::cfg

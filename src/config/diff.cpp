@@ -1,0 +1,38 @@
+#include "config/diff.hpp"
+
+#include <algorithm>
+
+namespace acr::cfg {
+
+ConfigDiff diffDevice(const DeviceConfig& before, const DeviceConfig& after) {
+  ConfigDiff diff;
+  diff.device = after.hostname.empty() ? before.hostname : after.hostname;
+  std::vector<std::string> old_lines = before.renderLines();
+  std::vector<std::string> new_lines = after.renderLines();
+  std::sort(old_lines.begin(), old_lines.end());
+  std::sort(new_lines.begin(), new_lines.end());
+  std::set_difference(new_lines.begin(), new_lines.end(), old_lines.begin(),
+                      old_lines.end(), std::back_inserter(diff.added));
+  std::set_difference(old_lines.begin(), old_lines.end(), new_lines.begin(),
+                      new_lines.end(), std::back_inserter(diff.removed));
+  return diff;
+}
+
+std::string ConfigDiff::str() const {
+  std::string out;
+  for (const auto& line : removed) {
+    out += "- [" + device + "] " + line + '\n';
+  }
+  for (const auto& line : added) {
+    out += "+ [" + device + "] " + line + '\n';
+  }
+  return out;
+}
+
+std::size_t totalChangedLines(const std::vector<ConfigDiff>& diffs) {
+  std::size_t total = 0;
+  for (const auto& diff : diffs) total += diff.size();
+  return total;
+}
+
+}  // namespace acr::cfg

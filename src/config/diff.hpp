@@ -1,0 +1,35 @@
+// Line-based configuration diff.
+//
+// Used to (a) report a repair to the operator as the exact config-line delta
+// and (b) let the incremental verifier decide which devices changed. The
+// diff is order-insensitive within a device (the canonical renderer fixes
+// ordering anyway).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/ast.hpp"
+
+namespace acr::cfg {
+
+struct ConfigDiff {
+  std::string device;
+  std::vector<std::string> added;    // lines present only in the new config
+  std::vector<std::string> removed;  // lines present only in the old config
+
+  [[nodiscard]] bool empty() const { return added.empty() && removed.empty(); }
+  [[nodiscard]] std::size_t size() const { return added.size() + removed.size(); }
+
+  /// Unified-diff-flavoured rendering ("+ line" / "- line").
+  [[nodiscard]] std::string str() const;
+};
+
+/// Diff of two versions of one device's configuration.
+[[nodiscard]] ConfigDiff diffDevice(const DeviceConfig& before,
+                                    const DeviceConfig& after);
+
+/// Total number of changed lines across a network-wide set of diffs.
+[[nodiscard]] std::size_t totalChangedLines(const std::vector<ConfigDiff>& diffs);
+
+}  // namespace acr::cfg

@@ -1,0 +1,362 @@
+#include "config/parser.hpp"
+
+#include <charconv>
+#include <cstdint>
+
+namespace acr::cfg {
+
+namespace {
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    const std::size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ') ++pos;
+    if (pos > start) tokens.push_back(line.substr(start, pos - start));
+  }
+  return tokens;
+}
+
+/// Current block context while scanning lines.
+enum class Context { kTop, kInterface, kBgp, kPolicyNode, kPbr };
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  DeviceConfig run() {
+    std::size_t pos = 0;
+    while (pos <= text_.size()) {
+      const std::size_t end = text_.find('\n', pos);
+      const std::string_view raw =
+          text_.substr(pos, end == std::string_view::npos ? end : end - pos);
+      ++line_no_;
+      parseLine(raw);
+      if (end == std::string_view::npos) break;
+      pos = end + 1;
+    }
+    config_.renumber();
+    return std::move(config_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(line_no_, message);
+  }
+
+  std::uint32_t parseUint(std::string_view token, const char* what) const {
+    std::uint32_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      fail(std::string("expected ") + what + ", got '" + std::string(token) +
+           "'");
+    }
+    return value;
+  }
+
+  net::Ipv4Address parseAddress(std::string_view token) const {
+    const auto address = net::Ipv4Address::parse(token);
+    if (!address) fail("malformed IPv4 address '" + std::string(token) + "'");
+    return *address;
+  }
+
+  /// Parses the "<addr> <len>" two-token prefix notation used throughout the
+  /// dialect (as in Figure 2b's "0.0.0.0 0").
+  net::Prefix parsePrefixPair(std::string_view addr,
+                              std::string_view len) const {
+    const auto address = net::Ipv4Address::parse(addr);
+    if (!address) fail("malformed IPv4 address '" + std::string(addr) + "'");
+    const std::uint32_t length = parseUint(len, "prefix length");
+    if (length > 32) fail("prefix length out of range");
+    return net::Prefix(*address, static_cast<std::uint8_t>(length));
+  }
+
+  void parseLine(std::string_view raw) {
+    if (raw.empty()) return;
+    const bool indented = raw.front() == ' ';
+    const auto tokens = tokenize(raw);
+    if (tokens.empty()) return;
+    if (tokens[0].front() == '#' || tokens[0].front() == '!') return;
+    if (indented) {
+      parseBlockLine(tokens);
+    } else {
+      parseTopLine(tokens);
+    }
+  }
+
+  void parseTopLine(const std::vector<std::string_view>& t) {
+    context_ = Context::kTop;
+    if (t[0] == "hostname") {
+      if (t.size() != 2) fail("hostname expects one argument");
+      config_.hostname = std::string(t[1]);
+    } else if (t[0] == "interface") {
+      if (t.size() != 2) fail("interface expects one argument");
+      InterfaceConfig itf;
+      itf.name = std::string(t[1]);
+      config_.interfaces.push_back(itf);
+      context_ = Context::kInterface;
+    } else if (t[0] == "ip" && t.size() >= 2 && t[1] == "route-static") {
+      if (t.size() != 5) fail("ip route-static expects <addr> <len> <next-hop>");
+      StaticRouteConfig sr;
+      sr.prefix = parsePrefixPair(t[2], t[3]);
+      sr.next_hop = parseAddress(t[4]);
+      config_.static_routes.push_back(sr);
+    } else if (t[0] == "bgp") {
+      if (t.size() != 2) fail("bgp expects the AS number");
+      if (config_.bgp) fail("duplicate bgp section");
+      BgpConfig bgp;
+      bgp.asn = parseUint(t[1], "AS number");
+      config_.bgp = bgp;
+      context_ = Context::kBgp;
+    } else if (t[0] == "ip" && t.size() >= 2 && t[1] == "prefix-list") {
+      parsePrefixListLine(t);
+    } else if (t[0] == "route-policy") {
+      // route-policy NAME permit|deny node N
+      if (t.size() != 5 || t[3] != "node") {
+        fail("route-policy expects: route-policy <name> permit|deny node <n>");
+      }
+      PolicyNode node;
+      node.index = static_cast<int>(parseUint(t[4], "node index"));
+      node.action = parseAction(t[2]);
+      RoutePolicy* policy = config_.findPolicy(std::string(t[1]));
+      if (policy == nullptr) {
+        config_.policies.push_back(RoutePolicy{std::string(t[1]), {}});
+        policy = &config_.policies.back();
+      }
+      policy->nodes.push_back(node);
+      current_policy_ = policy;
+      context_ = Context::kPolicyNode;
+    } else if (t[0] == "pbr") {
+      if (t.size() != 3 || t[1] != "policy") fail("pbr expects: pbr policy <name>");
+      PbrPolicy pbr;
+      pbr.name = std::string(t[2]);
+      config_.pbr_policies.push_back(pbr);
+      context_ = Context::kPbr;
+    } else {
+      fail("unknown statement '" + std::string(t[0]) + "'");
+    }
+  }
+
+  void parseBlockLine(const std::vector<std::string_view>& t) {
+    switch (context_) {
+      case Context::kInterface:
+        parseInterfaceLine(t);
+        return;
+      case Context::kBgp:
+        parseBgpLine(t);
+        return;
+      case Context::kPolicyNode:
+        parsePolicyLine(t);
+        return;
+      case Context::kPbr:
+        parsePbrLine(t);
+        return;
+      case Context::kTop:
+        fail("indented line outside of a block");
+    }
+  }
+
+  void parseInterfaceLine(const std::vector<std::string_view>& t) {
+    if (t.size() == 4 && t[0] == "ip" && t[1] == "address") {
+      InterfaceConfig& itf = config_.interfaces.back();
+      itf.address = parseAddress(t[2]);
+      const std::uint32_t length = parseUint(t[3], "prefix length");
+      if (length > 32) fail("prefix length out of range");
+      itf.prefix_length = static_cast<std::uint8_t>(length);
+      return;
+    }
+    fail("unknown interface statement");
+  }
+
+  void parseBgpLine(const std::vector<std::string_view>& t) {
+    BgpConfig& bgp = *config_.bgp;
+    if (t[0] == "router-id") {
+      if (t.size() != 2) fail("router-id expects an address");
+      bgp.router_id = parseAddress(t[1]);
+    } else if (t[0] == "redistribute") {
+      if (t.size() != 2) fail("redistribute expects static|connected");
+      RedistributeConfig redist;
+      if (t[1] == "static") {
+        redist.source = RedistSource::kStatic;
+      } else if (t[1] == "connected") {
+        redist.source = RedistSource::kConnected;
+      } else {
+        fail("unknown redistribute source '" + std::string(t[1]) + "'");
+      }
+      bgp.redistributes.push_back(redist);
+    } else if (t[0] == "group") {
+      if (t.size() != 2) fail("group expects a name");
+      if (bgp.findGroup(std::string(t[1])) != nullptr) fail("duplicate group");
+      bgp.groups.push_back(PeerGroupConfig{std::string(t[1]), 0, "", 0, "", 0});
+    } else if (t[0] == "peer-group") {
+      // peer-group G route-policy P import|export
+      if (t.size() != 5 || t[2] != "route-policy") {
+        fail("peer-group expects: peer-group <g> route-policy <p> import|export");
+      }
+      PeerGroupConfig* group = bgp.findGroup(std::string(t[1]));
+      if (group == nullptr) fail("unknown group '" + std::string(t[1]) + "'");
+      if (t[4] == "import") {
+        group->import_policy = std::string(t[3]);
+      } else if (t[4] == "export") {
+        group->export_policy = std::string(t[3]);
+      } else {
+        fail("direction must be import or export");
+      }
+    } else if (t[0] == "peer") {
+      parsePeerLine(t, bgp);
+    } else {
+      fail("unknown bgp statement '" + std::string(t[0]) + "'");
+    }
+  }
+
+  void parsePeerLine(const std::vector<std::string_view>& t, BgpConfig& bgp) {
+    if (t.size() < 3) fail("truncated peer statement");
+    const net::Ipv4Address address = parseAddress(t[1]);
+    PeerConfig* peer = bgp.findPeer(address);
+    if (peer == nullptr) {
+      bgp.peers.push_back(PeerConfig{});
+      peer = &bgp.peers.back();
+      peer->address = address;
+    }
+    if (t[2] == "as-number") {
+      if (t.size() != 4) fail("peer as-number expects a value");
+      peer->remote_as = parseUint(t[3], "AS number");
+    } else if (t[2] == "group") {
+      if (t.size() != 4) fail("peer group expects a name");
+      peer->group = std::string(t[3]);
+    } else if (t[2] == "route-policy") {
+      if (t.size() != 5) fail("peer route-policy expects <p> import|export");
+      if (t[4] == "import") {
+        peer->import_policy = std::string(t[3]);
+      } else if (t[4] == "export") {
+        peer->export_policy = std::string(t[3]);
+      } else {
+        fail("direction must be import or export");
+      }
+    } else {
+      fail("unknown peer statement '" + std::string(t[2]) + "'");
+    }
+  }
+
+  void parsePrefixListLine(const std::vector<std::string_view>& t) {
+    // ip prefix-list NAME index N permit|deny ADDR LEN [greater-equal G]
+    // [less-equal L]
+    if (t.size() < 8 || t[3] != "index") {
+      fail("ip prefix-list expects: ip prefix-list <name> index <i> "
+           "permit|deny <addr> <len>");
+    }
+    PrefixListEntry entry;
+    entry.index = static_cast<int>(parseUint(t[4], "index"));
+    entry.action = parseAction(t[5]);
+    entry.prefix = parsePrefixPair(t[6], t[7]);
+    std::size_t pos = 8;
+    while (pos < t.size()) {
+      if (t[pos] == "greater-equal" && pos + 1 < t.size()) {
+        entry.greater_equal =
+            static_cast<std::uint8_t>(parseUint(t[pos + 1], "length"));
+        pos += 2;
+      } else if (t[pos] == "less-equal" && pos + 1 < t.size()) {
+        entry.less_equal =
+            static_cast<std::uint8_t>(parseUint(t[pos + 1], "length"));
+        pos += 2;
+      } else {
+        fail("unexpected token '" + std::string(t[pos]) + "'");
+      }
+    }
+    PrefixList* list = config_.findPrefixList(std::string(t[2]));
+    if (list == nullptr) {
+      config_.prefix_lists.push_back(PrefixList{std::string(t[2]), {}});
+      list = &config_.prefix_lists.back();
+    }
+    list->entries.push_back(entry);
+  }
+
+  void parsePolicyLine(const std::vector<std::string_view>& t) {
+    PolicyNode& node = current_policy_->nodes.back();
+    if (t[0] == "if-match") {
+      if (t.size() != 3 || t[1] != "ip-prefix") {
+        fail("if-match expects: if-match ip-prefix <name>");
+      }
+      node.matches.push_back(
+          PolicyMatch{MatchKind::kIpPrefixList, std::string(t[2]), 0});
+    } else if (t[0] == "apply") {
+      PolicyAction action;
+      if ((t.size() == 3 || t.size() == 4) && t[1] == "as-path" &&
+          t[2] == "overwrite") {
+        action.kind = PolicyActionKind::kAsPathOverwrite;
+        if (t.size() == 4) action.value = parseUint(t[3], "AS number");
+      } else if (t.size() == 3 && t[1] == "local-preference") {
+        action.kind = PolicyActionKind::kSetLocalPref;
+        action.value = parseUint(t[2], "local-preference");
+      } else if (t.size() == 3 && t[1] == "med") {
+        action.kind = PolicyActionKind::kSetMed;
+        action.value = parseUint(t[2], "med");
+      } else if (t.size() == 4 && t[1] == "as-path" && t[2] == "prepend") {
+        action.kind = PolicyActionKind::kAsPathPrepend;
+        action.value = parseUint(t[3], "prepend count");
+      } else {
+        fail("unknown apply action");
+      }
+      node.actions.push_back(action);
+    } else {
+      fail("unknown route-policy statement '" + std::string(t[0]) + "'");
+    }
+  }
+
+  void parsePbrLine(const std::vector<std::string_view>& t) {
+    // rule N permit|deny source A L destination A L
+    // rule N redirect NH source A L destination A L
+    if (t.size() < 2 || t[0] != "rule") fail("pbr body expects rule statements");
+    PbrRule rule;
+    rule.index = static_cast<int>(parseUint(t[1], "rule index"));
+    std::size_t pos = 3;
+    if (t.size() > 2 && t[2] == "permit") {
+      rule.action = PbrAction::kPermit;
+    } else if (t.size() > 2 && t[2] == "deny") {
+      rule.action = PbrAction::kDeny;
+    } else if (t.size() > 3 && t[2] == "redirect") {
+      rule.action = PbrAction::kRedirect;
+      rule.redirect_next_hop = parseAddress(t[3]);
+      pos = 4;
+    } else {
+      fail("pbr rule action must be permit, deny or redirect");
+    }
+    if (t.size() != pos + 6 || t[pos] != "source" || t[pos + 3] != "destination") {
+      fail("pbr rule expects: source <addr> <len> destination <addr> <len>");
+    }
+    rule.source = parsePrefixPair(t[pos + 1], t[pos + 2]);
+    rule.destination = parsePrefixPair(t[pos + 4], t[pos + 5]);
+    config_.pbr_policies.back().rules.push_back(rule);
+  }
+
+  Action parseAction(std::string_view token) const {
+    if (token == "permit") return Action::kPermit;
+    if (token == "deny") return Action::kDeny;
+    fail("expected permit|deny, got '" + std::string(token) + "'");
+  }
+
+  std::string_view text_;
+  int line_no_ = 0;
+  DeviceConfig config_;
+  Context context_ = Context::kTop;
+  RoutePolicy* current_policy_ = nullptr;
+};
+
+}  // namespace
+
+DeviceConfig parseDevice(std::string_view text) { return Parser(text).run(); }
+
+std::optional<DeviceConfig> tryParseDevice(std::string_view text,
+                                           std::vector<std::string>& errors) {
+  try {
+    return parseDevice(text);
+  } catch (const ParseError& error) {
+    errors.emplace_back(error.what());
+    return std::nullopt;
+  }
+}
+
+}  // namespace acr::cfg

@@ -1,0 +1,42 @@
+// Parser for the `acr-cfg` configuration dialect (see ast.hpp).
+//
+// The grammar is line-oriented: top-level statements start in column 0,
+// block members (interface / bgp / route-policy node / pbr policy bodies)
+// are indented by at least one space. Blank lines and lines starting with
+// '#' or '!' are comments.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/ast.hpp"
+
+namespace acr::cfg {
+
+/// Parse failure: carries the 1-based source line and a message.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses a full device configuration. Line numbers in the returned AST are
+/// canonical (assigned by DeviceConfig::renumber), so `parse(render(c))`
+/// reproduces `c` exactly. Throws ParseError on malformed input.
+[[nodiscard]] DeviceConfig parseDevice(std::string_view text);
+
+/// Non-throwing variant: returns the config on success and appends
+/// human-readable diagnostics to `errors` on failure (partial config is not
+/// returned — repair must never run on a half-parsed AST).
+[[nodiscard]] std::optional<DeviceConfig> tryParseDevice(
+    std::string_view text, std::vector<std::string>& errors);
+
+}  // namespace acr::cfg

@@ -1,0 +1,73 @@
+#include "core/campaign.hpp"
+
+#include "verify/verifier.hpp"
+
+namespace acr {
+
+int CampaignResult::violatedCount() const {
+  int count = 0;
+  for (const auto& record : records) {
+    if (record.violated) ++count;
+  }
+  return count;
+}
+
+int CampaignResult::repairedCount() const {
+  int count = 0;
+  for (const auto& record : records) {
+    if (record.violated && record.repair.success) ++count;
+  }
+  return count;
+}
+
+CampaignResult runCampaign(const CampaignOptions& options) {
+  CampaignResult campaign;
+  inject::FaultInjector injector(options.seed);
+  std::shared_ptr<fix::RepairHistory> history;
+  if (options.share_history) history = std::make_shared<fix::RepairHistory>();
+
+  for (int i = 0; i < options.incidents; ++i) {
+    IncidentRecord record;
+    bool have_incident = false;
+    for (int attempt = 0;
+         attempt < options.max_attempts_per_incident && !have_incident;
+         ++attempt) {
+      const inject::FaultType type = injector.sampleType();
+      const inject::FaultSpec& spec = inject::specOf(type);
+      Scenario scenario = scenarioByFamily(spec.scenario, options.dcn_pods,
+                                           options.dcn_tors,
+                                           options.backbone_n);
+      const auto incident = injector.inject(scenario.built, type);
+      if (!incident) continue;
+
+      const verify::Verifier verifier(scenario.intents,
+                                      options.repair.sim_options);
+      const verify::VerifyResult verdict = verifier.verify(
+          incident->network, options.repair.samples_per_intent);
+      if (verdict.tests_failed == 0) continue;  // masked by redundancy
+
+      record.type = type;
+      record.scenario = scenario.name;
+      record.description = incident->description;
+      record.injected_lines = incident->changed_lines;
+      record.violated = true;
+
+      repair::RepairOptions repair_options = options.repair;
+      repair_options.seed = options.seed + static_cast<std::uint64_t>(i);
+      if (history != nullptr) repair_options.history = history;
+      const repair::AcrEngine engine(scenario.intents, repair_options);
+      record.repair = engine.repair(incident->network);
+      have_incident = true;
+    }
+    if (have_incident) campaign.records.push_back(std::move(record));
+  }
+  return campaign;
+}
+
+repair::RepairResult repairNetwork(const topo::Network& faulty,
+                                   const std::vector<verify::Intent>& intents,
+                                   const repair::RepairOptions& options) {
+  return repair::AcrEngine(intents, options).repair(faulty);
+}
+
+}  // namespace acr

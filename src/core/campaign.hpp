@@ -1,0 +1,55 @@
+// Incident campaigns: sample faults with the Table-1 distribution, inject
+// them into fresh scenarios, repair with ACR, and record everything the
+// benches need (per-type success, iteration counts, resolving time,
+// verifier work). This is the synthetic stand-in for the paper's study of
+// 100+ production incidents.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenarios.hpp"
+#include "faultinject/faults.hpp"
+#include "repair/engine.hpp"
+
+namespace acr {
+
+struct CampaignOptions {
+  int incidents = 100;
+  std::uint64_t seed = 42;
+  repair::RepairOptions repair;
+  int dcn_pods = 3;
+  int dcn_tors = 2;
+  int backbone_n = 8;
+  /// Re-sampling attempts when an injection yields no intent violation.
+  int max_attempts_per_incident = 8;
+  /// Share one fix::RepairHistory across all incidents (§3.2 obs. 1): later
+  /// repairs are guided by the templates that resolved earlier ones.
+  bool share_history = false;
+};
+
+struct IncidentRecord {
+  inject::FaultType type = inject::FaultType::kMissingRedistribution;
+  std::string scenario;
+  std::string description;
+  int injected_lines = 0;
+  bool violated = false;  // the fault produced at least one failing test
+  repair::RepairResult repair;  // meaningful only when `violated`
+};
+
+struct CampaignResult {
+  std::vector<IncidentRecord> records;
+
+  [[nodiscard]] int violatedCount() const;
+  [[nodiscard]] int repairedCount() const;
+};
+
+[[nodiscard]] CampaignResult runCampaign(const CampaignOptions& options);
+
+/// Repairs one network against an intent spec (facade used by examples).
+[[nodiscard]] repair::RepairResult repairNetwork(
+    const topo::Network& faulty, const std::vector<verify::Intent>& intents,
+    const repair::RepairOptions& options = {});
+
+}  // namespace acr

@@ -1,0 +1,107 @@
+#include "core/scenarios.hpp"
+
+namespace acr {
+
+namespace {
+
+verify::Intent makeIntent(verify::IntentKind kind, const std::string& name,
+                          const net::Prefix& src, const net::Prefix& dst) {
+  verify::Intent intent;
+  intent.kind = kind;
+  intent.name = name;
+  intent.space.src_space = src;
+  intent.space.dst_space = dst;
+  return intent;
+}
+
+}  // namespace
+
+std::vector<verify::Intent> buildIntents(const topo::BuiltNetwork& built) {
+  std::vector<verify::Intent> intents;
+  std::vector<const topo::SubnetExpectation*> open;
+  std::vector<const topo::SubnetExpectation*> quarantined;
+  const topo::SubnetExpectation* vip = nullptr;
+  for (const auto& subnet : built.subnets) {
+    if (subnet.quarantined) {
+      quarantined.push_back(&subnet);
+    } else {
+      open.push_back(&subnet);
+      if (vip == nullptr && subnet.via_static) vip = &subnet;
+    }
+  }
+  if (open.empty()) return intents;
+  const topo::SubnetExpectation* hub = open.front();
+
+  for (const auto* subnet : open) {
+    if (subnet != hub) {
+      intents.push_back(makeIntent(verify::IntentKind::kReachability,
+                                   subnet->name + "->" + hub->name,
+                                   subnet->prefix, hub->prefix));
+      intents.push_back(makeIntent(verify::IntentKind::kReachability,
+                                   hub->name + "->" + subnet->name,
+                                   hub->prefix, subnet->prefix));
+    }
+    if (vip != nullptr && subnet != vip) {
+      intents.push_back(makeIntent(verify::IntentKind::kReachability,
+                                   subnet->name + "->" + vip->name,
+                                   subnet->prefix, vip->prefix));
+    }
+    intents.push_back(makeIntent(verify::IntentKind::kLoopFree,
+                                 "loopfree:" + subnet->name, hub->prefix,
+                                 subnet->prefix));
+    intents.push_back(makeIntent(verify::IntentKind::kBlackholeFree,
+                                 "blackholefree:" + subnet->name, hub->prefix,
+                                 subnet->prefix));
+  }
+  for (std::size_t i = 0; i + 1 < open.size(); ++i) {
+    intents.push_back(makeIntent(verify::IntentKind::kReachability,
+                                 open[i]->name + "->" + open[i + 1]->name,
+                                 open[i]->prefix, open[i + 1]->prefix));
+  }
+  for (const auto* q : quarantined) {
+    for (const auto* subnet : open) {
+      // A subnet on the quarantined range's own first-hop router reaches it
+      // locally by construction; isolation is only meaningful across the
+      // fabric.
+      if (subnet->router == q->router) continue;
+      intents.push_back(makeIntent(verify::IntentKind::kIsolation,
+                                   subnet->name + "-x->" + q->name,
+                                   subnet->prefix, q->prefix));
+    }
+  }
+  return intents;
+}
+
+Scenario figure2Scenario(bool faulty) {
+  Scenario scenario;
+  scenario.name = faulty ? "figure2-faulty" : "figure2";
+  scenario.built = faulty ? topo::buildFigure2Faulty() : topo::buildFigure2();
+  scenario.intents = buildIntents(scenario.built);
+  return scenario;
+}
+
+Scenario dcnScenario(int pods, int tors_per_pod) {
+  Scenario scenario;
+  scenario.name = "dcn-" + std::to_string(pods) + "x" +
+                  std::to_string(tors_per_pod);
+  scenario.built = topo::buildDcn(pods, tors_per_pod);
+  scenario.intents = buildIntents(scenario.built);
+  return scenario;
+}
+
+Scenario backboneScenario(int n) {
+  Scenario scenario;
+  scenario.name = "backbone-" + std::to_string(n);
+  scenario.built = topo::buildBackbone(n);
+  scenario.intents = buildIntents(scenario.built);
+  return scenario;
+}
+
+Scenario scenarioByFamily(const std::string& family, int dcn_pods,
+                          int dcn_tors, int backbone_n) {
+  if (family == "figure2") return figure2Scenario(/*faulty=*/false);
+  if (family == "backbone") return backboneScenario(backbone_n);
+  return dcnScenario(dcn_pods, dcn_tors);
+}
+
+}  // namespace acr

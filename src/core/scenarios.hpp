@@ -1,0 +1,42 @@
+// Scenario = generated network + the operator intent specification derived
+// from its subnet expectations. This is the level benches and examples work
+// at: build a scenario, inject a fault, repair, measure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/generators.hpp"
+#include "verify/intent.hpp"
+
+namespace acr {
+
+struct Scenario {
+  std::string name;
+  topo::BuiltNetwork built;
+  std::vector<verify::Intent> intents;
+
+  [[nodiscard]] const topo::Network& network() const { return built.network; }
+};
+
+/// Derives the intent specification from a built network's subnet
+/// expectations (§4.1: "the specifications ... already cover most errors of
+/// interest"):
+///   * reachability: every subnet to/from a hub subnet, consecutive subnet
+///     pairs, and every subnet to the first VIP range;
+///   * loop- and blackhole-freedom towards every subnet;
+///   * isolation of every quarantined subnet from every other subnet.
+[[nodiscard]] std::vector<verify::Intent> buildIntents(
+    const topo::BuiltNetwork& built);
+
+[[nodiscard]] Scenario figure2Scenario(bool faulty = false);
+[[nodiscard]] Scenario dcnScenario(int pods, int tors_per_pod);
+[[nodiscard]] Scenario backboneScenario(int n);
+
+/// Scenario by family name ("figure2" | "dcn" | "backbone") with default
+/// sizes — the fault catalog names its preferred family this way.
+[[nodiscard]] Scenario scenarioByFamily(const std::string& family,
+                                        int dcn_pods = 3, int dcn_tors = 2,
+                                        int backbone_n = 8);
+
+}  // namespace acr

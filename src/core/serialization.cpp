@@ -1,0 +1,193 @@
+#include "core/serialization.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace acr {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+void writeFile(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+  out << content;
+}
+
+std::string readFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+net::Prefix parsePrefixOrThrow(const std::string& token, int line_no) {
+  const auto prefix = net::Prefix::parse(token);
+  if (!prefix || token.find('/') == std::string::npos) {
+    throw std::runtime_error("line " + std::to_string(line_no) +
+                             ": malformed prefix '" + token + "'");
+  }
+  return *prefix;
+}
+
+net::Ipv4Address parseAddressOrThrow(const std::string& token, int line_no) {
+  const auto address = net::Ipv4Address::parse(token);
+  if (!address) {
+    throw std::runtime_error("line " + std::to_string(line_no) +
+                             ": malformed address '" + token + "'");
+  }
+  return *address;
+}
+
+}  // namespace
+
+std::string topologyToText(
+    const topo::Topology& topology,
+    const std::vector<topo::SubnetExpectation>& subnets) {
+  std::string out = "# acr topology\n";
+  for (const auto& router : topology.routers()) {
+    out += "router " + router.name + ' ' + std::to_string(router.asn) + ' ' +
+           router.router_id.str() + ' ' +
+           (router.role.empty() ? "-" : router.role) + '\n';
+  }
+  for (const auto& link : topology.links()) {
+    out += "link " + link.a + ' ' + link.b + ' ' + link.subnet.str() + '\n';
+  }
+  for (const auto& subnet : subnets) {
+    out += "subnet " + subnet.router + ' ' + subnet.prefix.str() + ' ' +
+           subnet.name;
+    if (subnet.via_static) out += " static";
+    if (subnet.quarantined) out += " quarantined";
+    out += '\n';
+  }
+  return out;
+}
+
+void parseTopologyText(const std::string& text, topo::Topology& topology,
+                       std::vector<topo::SubnetExpectation>& subnets) {
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    if (tokens[0] == "router" && tokens.size() == 5) {
+      topo::RouterDecl router;
+      router.name = tokens[1];
+      router.asn = static_cast<std::uint32_t>(std::stoul(tokens[2]));
+      router.router_id = parseAddressOrThrow(tokens[3], line_no);
+      router.role = tokens[4] == "-" ? "" : tokens[4];
+      topology.addRouter(router);
+    } else if (tokens[0] == "link" && tokens.size() == 4) {
+      topology.addLink(topo::LinkDecl{tokens[1], tokens[2],
+                                      parsePrefixOrThrow(tokens[3], line_no)});
+    } else if (tokens[0] == "subnet" && tokens.size() >= 4) {
+      topo::SubnetExpectation subnet;
+      subnet.router = tokens[1];
+      subnet.prefix = parsePrefixOrThrow(tokens[2], line_no);
+      subnet.name = tokens[3];
+      for (std::size_t i = 4; i < tokens.size(); ++i) {
+        if (tokens[i] == "static") {
+          subnet.via_static = true;
+        } else if (tokens[i] == "quarantined") {
+          subnet.quarantined = true;
+        } else {
+          throw std::runtime_error("line " + std::to_string(line_no) +
+                                   ": unknown subnet flag '" + tokens[i] + "'");
+        }
+      }
+      topology.addSubnet(
+          topo::SubnetDecl{subnet.router, subnet.prefix, subnet.name});
+      subnets.push_back(std::move(subnet));
+    } else {
+      throw std::runtime_error("line " + std::to_string(line_no) +
+                               ": unknown topology statement '" + tokens[0] +
+                               "'");
+    }
+  }
+}
+
+std::string intentsToText(const std::vector<verify::Intent>& intents) {
+  std::string out = "# acr intents\n";
+  for (const auto& intent : intents) {
+    out += verify::intentKindName(intent.kind) + ' ' + intent.name + ' ' +
+           intent.space.src_space.str() + ' ' + intent.space.dst_space.str() +
+           '\n';
+  }
+  return out;
+}
+
+std::vector<verify::Intent> parseIntentsText(const std::string& text) {
+  std::vector<verify::Intent> intents;
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    if (tokens.size() != 4) {
+      throw std::runtime_error("line " + std::to_string(line_no) +
+                               ": intent expects <kind> <name> <src> <dst>");
+    }
+    verify::Intent intent;
+    if (tokens[0] == "reachability") {
+      intent.kind = verify::IntentKind::kReachability;
+    } else if (tokens[0] == "isolation") {
+      intent.kind = verify::IntentKind::kIsolation;
+    } else if (tokens[0] == "loop-free") {
+      intent.kind = verify::IntentKind::kLoopFree;
+    } else if (tokens[0] == "blackhole-free") {
+      intent.kind = verify::IntentKind::kBlackholeFree;
+    } else {
+      throw std::runtime_error("line " + std::to_string(line_no) +
+                               ": unknown intent kind '" + tokens[0] + "'");
+    }
+    intent.name = tokens[1];
+    intent.space.src_space = parsePrefixOrThrow(tokens[2], line_no);
+    intent.space.dst_space = parsePrefixOrThrow(tokens[3], line_no);
+    intents.push_back(std::move(intent));
+  }
+  return intents;
+}
+
+void saveScenario(const Scenario& scenario, const std::string& directory,
+                  const SaveOptions& options) {
+  const std::filesystem::path dir(directory);
+  std::filesystem::create_directories(dir);
+  writeFile(dir / "topology.acr",
+            topologyToText(scenario.built.network.topology,
+                           scenario.built.subnets));
+  writeFile(dir / "intents.acr", intentsToText(scenario.intents));
+  for (const auto& [name, device] : scenario.built.network.configs) {
+    writeFile(dir / (name + ".cfg"), cfg::renderAs(device, options.dialect));
+  }
+}
+
+Scenario loadScenario(const std::string& directory) {
+  const std::filesystem::path dir(directory);
+  Scenario scenario;
+  scenario.name = dir.filename().string();
+  parseTopologyText(readFile(dir / "topology.acr"),
+                    scenario.built.network.topology, scenario.built.subnets);
+  scenario.intents = parseIntentsText(readFile(dir / "intents.acr"));
+  for (const auto& router : scenario.built.network.topology.routers()) {
+    const std::string text = readFile(dir / (router.name + ".cfg"));
+    scenario.built.network.configs[router.name] =
+        cfg::parseAs(text, cfg::detectDialect(text));
+  }
+  return scenario;
+}
+
+}  // namespace acr

@@ -1,0 +1,50 @@
+// On-disk scenario format: a directory holding the topology, the intent
+// specification and one configuration file per device. This is the exchange
+// format of the `acrctl` CLI — export a generated scenario, edit configs
+// with any tool (in either dialect), verify/triage/repair the result.
+//
+// Layout:
+//   <dir>/topology.acr      router/link/subnet declarations
+//   <dir>/intents.acr       one intent per line
+//   <dir>/<router>.cfg      device configuration (huawei or cisco dialect)
+//
+// topology.acr grammar (line-oriented, '#' comments):
+//   router <name> <asn> <router-id> <role>
+//   link <a> <b> <subnet/len>
+//   subnet <router> <prefix/len> <name> [static] [quarantined]
+//
+// intents.acr grammar:
+//   reachability|isolation|loop-free|blackhole-free <name> <src/len> <dst/len>
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/cisco.hpp"
+#include "core/scenarios.hpp"
+
+namespace acr {
+
+struct SaveOptions {
+  cfg::Dialect dialect = cfg::Dialect::kHuawei;
+};
+
+/// Writes the scenario to `directory` (created if missing). Throws
+/// std::runtime_error on I/O failure.
+void saveScenario(const Scenario& scenario, const std::string& directory,
+                  const SaveOptions& options = {});
+
+/// Loads a scenario from `directory`. Config dialects are auto-detected per
+/// file. Throws std::runtime_error (I/O, malformed topology/intents) or
+/// cfg::ParseError (malformed configs).
+[[nodiscard]] Scenario loadScenario(const std::string& directory);
+
+/// Serialization helpers (used by the loaders and tested directly).
+[[nodiscard]] std::string topologyToText(const topo::Topology& topology,
+                                         const std::vector<topo::SubnetExpectation>& subnets);
+[[nodiscard]] std::string intentsToText(const std::vector<verify::Intent>& intents);
+void parseTopologyText(const std::string& text, topo::Topology& topology,
+                       std::vector<topo::SubnetExpectation>& subnets);
+[[nodiscard]] std::vector<verify::Intent> parseIntentsText(const std::string& text);
+
+}  // namespace acr

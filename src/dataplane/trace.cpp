@@ -1,0 +1,244 @@
+#include "dataplane/trace.hpp"
+
+namespace acr::dp {
+
+std::string traceOutcomeName(TraceOutcome outcome) {
+  switch (outcome) {
+    case TraceOutcome::kDelivered:
+      return "delivered";
+    case TraceOutcome::kDroppedByPbr:
+      return "dropped-by-pbr";
+    case TraceOutcome::kBlackhole:
+      return "blackhole";
+    case TraceOutcome::kLoop:
+      return "loop";
+    case TraceOutcome::kNoIngress:
+      return "no-ingress";
+  }
+  return "?";
+}
+
+std::set<cfg::LineId> TraceResult::coveredLines(
+    const prov::ProvenanceGraph& provenance) const {
+  std::set<cfg::LineId> lines;
+  for (const Hop& hop : hops) {
+    lines.insert(hop.lines.begin(), hop.lines.end());
+    if (hop.derivation != prov::kNoDerivation) {
+      provenance.collectLines(hop.derivation, lines);
+    }
+  }
+  return lines;
+}
+
+std::string TraceResult::str() const {
+  std::string out = traceOutcomeName(outcome);
+  if (destination_flapping) out += " (flapping)";
+  out += ": ";
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (i != 0) out += " -> ";
+    out += hops[i].router;
+  }
+  if (!detail.empty()) out += " [" + detail + "]";
+  return out;
+}
+
+const TraceResult& MultiTrace::worst() const {
+  for (const auto& path : paths) {
+    if (path.outcome != TraceOutcome::kDelivered || path.destination_flapping) {
+      return path;
+    }
+  }
+  return paths.front();
+}
+
+bool MultiTrace::allDelivered() const {
+  for (const auto& path : paths) {
+    if (!path.delivered()) return false;
+  }
+  return !paths.empty();
+}
+
+namespace {
+
+/// One forwarding decision at `current`. Either terminal (outcome decided)
+/// or a set of possible next routers (ECMP alternatives, selected first).
+struct Step {
+  Hop hop;
+  bool terminal = true;
+  TraceOutcome outcome = TraceOutcome::kBlackhole;
+  std::string detail;
+  std::vector<std::string> next;
+};
+
+Step stepAt(const topo::Network& network, const route::SimResult& sim,
+            const std::string& current, const net::FiveTuple& packet) {
+  Step step;
+  step.hop.router = current;
+
+  const cfg::DeviceConfig* device = network.config(current);
+  if (device == nullptr) {
+    step.outcome = TraceOutcome::kBlackhole;
+    step.detail = "unknown router " + current;
+    return step;
+  }
+
+  // Policy-based routing first: the first matching rule across the device's
+  // PBR policies (in configuration order) decides.
+  const cfg::PbrRule* pbr_hit = nullptr;
+  for (const auto& policy : device->pbr_policies) {
+    for (const auto& rule : policy.rules) {
+      step.hop.lines.push_back(cfg::LineId{current, rule.line});
+      if (rule.matches(packet.src, packet.dst)) {
+        pbr_hit = &rule;
+        break;
+      }
+    }
+    if (pbr_hit != nullptr) break;
+  }
+  if (pbr_hit != nullptr && pbr_hit->action == cfg::PbrAction::kDeny) {
+    step.outcome = TraceOutcome::kDroppedByPbr;
+    step.detail = "pbr deny at " + current;
+    return step;
+  }
+  if (pbr_hit != nullptr && pbr_hit->action == cfg::PbrAction::kRedirect) {
+    const net::Ipv4Address target = pbr_hit->redirect_next_hop;
+    const auto next_router = network.topology.routerAt(target);
+    if (!next_router) {
+      // Redirect towards a non-router address: the packet leaves the routed
+      // fabric and is lost.
+      step.outcome = TraceOutcome::kBlackhole;
+      step.detail =
+          "pbr redirect at " + current + " to non-router " + target.str();
+      return step;
+    }
+    step.terminal = false;
+    step.next.push_back(*next_router);
+    return step;
+  }
+
+  // FIB longest-prefix match.
+  const route::Route* route = sim.lookup(current, packet.dst);
+  if (route == nullptr) {
+    step.outcome = TraceOutcome::kBlackhole;
+    step.detail = "no route for " + packet.dst.str() + " at " + current;
+    return step;
+  }
+  step.hop.derivation = route->derivation;
+
+  if (route->source == route::RouteSource::kConnected) {
+    step.outcome = TraceOutcome::kDelivered;
+    step.detail = "delivered on " + route->prefix.str();
+    return step;
+  }
+  if (route->source == route::RouteSource::kStatic) {
+    const auto next_router = network.topology.routerAt(route->next_hop);
+    if (!next_router) {
+      // Static next hop is a host (e.g. a load balancer) on a connected
+      // subnet: the packet is handed off and counts as delivered.
+      step.outcome = TraceOutcome::kDelivered;
+      step.detail = "handed to host " + route->next_hop.str();
+      return step;
+    }
+    step.terminal = false;
+    step.next.push_back(*next_router);
+    return step;
+  }
+
+  // BGP route: the selected neighbor first, then any equal-cost siblings.
+  step.terminal = false;
+  step.next.push_back(route->learned_from);
+  for (const auto& [neighbor, next_hop] : route->ecmp) {
+    if (neighbor != route->learned_from) step.next.push_back(neighbor);
+  }
+  return step;
+}
+
+}  // namespace
+
+TraceResult DataPlane::trace(const net::FiveTuple& packet) const {
+  const auto ingress = network_.topology.subnetOwner(packet.src);
+  if (!ingress) {
+    TraceResult result;
+    result.outcome = TraceOutcome::kNoIngress;
+    result.detail = "no subnet owns source " + packet.src.str();
+    return result;
+  }
+  return traceFrom(*ingress, packet);
+}
+
+TraceResult DataPlane::traceFrom(const std::string& ingress,
+                                 const net::FiveTuple& packet) const {
+  TraceResult result;
+  result.destination_flapping = sim_.isFlapping(packet.dst);
+
+  std::set<std::string> visited;
+  std::string current = ingress;
+  constexpr int kMaxHops = 64;
+
+  for (int hop_count = 0; hop_count < kMaxHops; ++hop_count) {
+    if (!visited.insert(current).second) {
+      result.outcome = TraceOutcome::kLoop;
+      result.detail = "revisited " + current;
+      return result;
+    }
+    Step step = stepAt(network_, sim_, current, packet);
+    result.hops.push_back(std::move(step.hop));
+    if (step.terminal) {
+      result.outcome = step.outcome;
+      result.detail = std::move(step.detail);
+      return result;
+    }
+    current = step.next.front();  // single-path semantics: the selected hop
+  }
+
+  result.outcome = TraceOutcome::kLoop;
+  result.detail = "hop limit exceeded";
+  return result;
+}
+
+void DataPlane::explore(const std::string& current,
+                        const net::FiveTuple& packet,
+                        std::set<std::string> visited, TraceResult partial,
+                        MultiTrace& out, int max_paths) const {
+  if (static_cast<int>(out.paths.size()) >= max_paths) {
+    out.truncated = true;
+    return;
+  }
+  if (!visited.insert(current).second ||
+      partial.hops.size() >= 64) {
+    partial.outcome = TraceOutcome::kLoop;
+    partial.detail = "revisited " + current;
+    out.paths.push_back(std::move(partial));
+    return;
+  }
+  Step step = stepAt(network_, sim_, current, packet);
+  partial.hops.push_back(std::move(step.hop));
+  if (step.terminal) {
+    partial.outcome = step.outcome;
+    partial.detail = std::move(step.detail);
+    out.paths.push_back(std::move(partial));
+    return;
+  }
+  for (const auto& next : step.next) {
+    explore(next, packet, visited, partial, out, max_paths);
+  }
+}
+
+MultiTrace DataPlane::traceMultipath(const net::FiveTuple& packet,
+                                     int max_paths) const {
+  MultiTrace out;
+  const auto ingress = network_.topology.subnetOwner(packet.src);
+  if (!ingress) {
+    TraceResult result;
+    result.outcome = TraceOutcome::kNoIngress;
+    result.detail = "no subnet owns source " + packet.src.str();
+    out.paths.push_back(std::move(result));
+    return out;
+  }
+  TraceResult seed;
+  seed.destination_flapping = sim_.isFlapping(packet.dst);
+  explore(*ingress, packet, {}, std::move(seed), out, max_paths);
+  return out;
+}
+
+}  // namespace acr::dp

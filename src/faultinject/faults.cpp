@@ -1,0 +1,465 @@
+#include "faultinject/faults.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace acr::inject {
+
+const std::vector<FaultSpec>& faultCatalog() {
+  static const std::vector<FaultSpec> kCatalog = {
+      {FaultType::kMissingRedistribution,
+       "Missing redistribution of static route", "Route", true, 0.208, "dcn"},
+      {FaultType::kMissingPbrPermit, "Missing permit rules in PBR", "PBR", true,
+       0.125, "dcn"},
+      {FaultType::kExtraPbrRedirect, "Extra redirect rule in PBR", "PBR", false,
+       0.042, "dcn"},
+      {FaultType::kMissingPeerGroup, "Missing peer group", "Peer", true, 0.166,
+       "dcn"},
+      {FaultType::kExtraGroupItems, "Extra items in peer group", "Peer", true,
+       0.125, "dcn"},
+      {FaultType::kMissingRoutePolicy, "Missing a routing policy", "Policy",
+       true, 0.083, "backbone"},
+      {FaultType::kLeftoverRouteMap, "Fail to dis-enable route map", "Policy",
+       false, 0.042, "dcn"},
+      {FaultType::kWrongPeerAs, "Override to wrong AS number", "Policy", false,
+       0.042, "dcn"},
+      {FaultType::kMissingPrefixListItemsS, "Missing items in ip prefix-list",
+       "Policy", false, 0.042, "figure2"},
+      {FaultType::kMissingPrefixListItemsM, "Missing items in ip prefix-list",
+       "Policy", true, 0.125, "figure2"},
+  };
+  return kCatalog;
+}
+
+const FaultSpec& specOf(FaultType type) {
+  for (const auto& spec : faultCatalog()) {
+    if (spec.type == type) return spec;
+  }
+  return faultCatalog().front();
+}
+
+std::string faultTypeName(FaultType type) {
+  const FaultSpec& spec = specOf(type);
+  return std::string(spec.label) + (spec.multi_line ? " (M)" : " (S)");
+}
+
+FaultType FaultInjector::sampleType() {
+  double total = 0;
+  for (const auto& spec : faultCatalog()) total += spec.ratio;
+  std::uniform_real_distribution<double> dist(0.0, total);
+  double draw = dist(rng_);
+  for (const auto& spec : faultCatalog()) {
+    draw -= spec.ratio;
+    if (draw <= 0) return spec.type;
+  }
+  return faultCatalog().back().type;
+}
+
+namespace {
+
+int linkCount(const topo::Network& network, const std::string& router) {
+  return static_cast<int>(network.topology.linksOf(router).size());
+}
+
+std::string roleOf(const topo::Network& network, const std::string& router) {
+  const topo::RouterDecl* decl = network.topology.findRouter(router);
+  return decl == nullptr ? std::string{} : decl->role;
+}
+
+std::string remoteRouter(const topo::Network& network, net::Ipv4Address peer) {
+  return network.topology.routerAt(peer).value_or("");
+}
+
+/// Devices carrying an *as-path overwrite* policy bound on some peer, with
+/// the prefix-list the policy matches on.
+struct OverrideSite {
+  std::string device;
+  std::string list;
+  std::size_t entries;
+};
+
+std::vector<OverrideSite> overrideSites(const topo::Network& network) {
+  std::vector<OverrideSite> sites;
+  for (const auto& [name, device] : network.configs) {
+    if (!device.bgp) continue;
+    for (const auto& peer : device.bgp->peers) {
+      const cfg::RoutePolicy* policy = device.findPolicy(peer.import_policy);
+      if (policy == nullptr) continue;
+      for (const auto& node : policy->nodes) {
+        const bool rewrites = std::any_of(
+            node.actions.begin(), node.actions.end(),
+            [](const cfg::PolicyAction& action) {
+              return action.kind == cfg::PolicyActionKind::kAsPathOverwrite;
+            });
+        if (!rewrites) continue;
+        for (const auto& match : node.matches) {
+          const cfg::PrefixList* list = device.findPrefixList(match.prefix_list);
+          if (list == nullptr) continue;
+          const bool already_catch_all = std::any_of(
+              list->entries.begin(), list->entries.end(),
+              [](const cfg::PrefixListEntry& entry) {
+                return entry.prefix.length() == 0;
+              });
+          if (already_catch_all) continue;
+          sites.push_back(OverrideSite{name, list->name, list->entries.size()});
+        }
+      }
+    }
+  }
+  return sites;
+}
+
+void widenListToCatchAll(topo::Network& network, const OverrideSite& site) {
+  cfg::PrefixList* list = network.config(site.device)->findPrefixList(site.list);
+  list->entries.clear();
+  cfg::PrefixListEntry entry;
+  entry.index = 10;
+  entry.action = cfg::Action::kPermit;
+  entry.prefix = net::Prefix(net::Ipv4Address(0), 0);
+  list->entries.push_back(entry);
+}
+
+}  // namespace
+
+std::optional<Incident> FaultInjector::inject(const topo::BuiltNetwork& built,
+                                              FaultType type) {
+  Incident incident;
+  incident.type = type;
+  incident.network = built.network;  // mutate a copy
+  topo::Network& net = incident.network;
+
+  switch (type) {
+    case FaultType::kMissingRedistribution: {
+      std::vector<const topo::SubnetExpectation*> candidates;
+      for (const auto& subnet : built.subnets) {
+        if (subnet.via_static) candidates.push_back(&subnet);
+      }
+      const auto* target = pick(candidates);
+      if (target == nullptr) return std::nullopt;
+      cfg::DeviceConfig* device = net.config((*target)->router);
+      std::erase_if(device->static_routes,
+                    [&](const cfg::StaticRouteConfig& sr) {
+                      return sr.prefix == (*target)->prefix;
+                    });
+      std::erase_if(device->bgp->redistributes,
+                    [](const cfg::RedistributeConfig& redist) {
+                      return redist.source == cfg::RedistSource::kStatic;
+                    });
+      incident.description = "dropped static route for " +
+                             (*target)->prefix.str() +
+                             " and 'redistribute static' on " +
+                             (*target)->router;
+      break;
+    }
+
+    case FaultType::kMissingPbrPermit: {
+      struct Site {
+        std::string device;
+        std::string policy;
+      };
+      std::vector<Site> candidates;
+      for (const auto& [name, device] : net.configs) {
+        for (const auto& policy : device.pbr_policies) {
+          int permits = 0;
+          bool has_deny = false;
+          for (const auto& rule : policy.rules) {
+            if (rule.action == cfg::PbrAction::kPermit) ++permits;
+            if (rule.action == cfg::PbrAction::kDeny) has_deny = true;
+          }
+          if (permits >= 2 && has_deny) {
+            candidates.push_back(Site{name, policy.name});
+          }
+        }
+      }
+      const auto* target = pick(candidates);
+      if (target == nullptr) return std::nullopt;
+      cfg::PbrPolicy* policy = net.config(target->device)->findPbr(target->policy);
+      // Remove the last two permit rules before the deny.
+      int removed = 0;
+      for (auto it = policy->rules.rbegin();
+           it != policy->rules.rend() && removed < 2;) {
+        if (it->action == cfg::PbrAction::kPermit) {
+          it = decltype(it)(policy->rules.erase(std::next(it).base()));
+          ++removed;
+        } else {
+          ++it;
+        }
+      }
+      incident.description = "dropped " + std::to_string(removed) +
+                             " PBR permit rules from " + target->policy +
+                             " on " + target->device;
+      break;
+    }
+
+    case FaultType::kExtraPbrRedirect: {
+      std::vector<std::string> candidates;
+      for (const auto& [name, device] : net.configs) {
+        if (!device.pbr_policies.empty()) candidates.push_back(name);
+      }
+      const auto* target = pick(candidates);
+      if (target == nullptr) return std::nullopt;
+      cfg::DeviceConfig* device = net.config(*target);
+      net::Ipv4Address bogus;
+      for (const auto& itf : device->interfaces) {
+        if (itf.prefix_length < 30) {
+          bogus = net::Ipv4Address(itf.connectedPrefix().address().value() + 99);
+          break;
+        }
+      }
+      if (bogus.value() == 0) return std::nullopt;
+      cfg::PbrRule redirect;
+      redirect.index = 5;
+      redirect.action = cfg::PbrAction::kRedirect;
+      redirect.redirect_next_hop = bogus;
+      redirect.destination = *net::Prefix::parse("20.0.0.0/8");
+      auto& rules = device->pbr_policies.front().rules;
+      rules.insert(rules.begin(), redirect);
+      incident.description = "inserted stray PBR redirect to " + bogus.str() +
+                             " on " + *target;
+      break;
+    }
+
+    case FaultType::kMissingPeerGroup:
+    case FaultType::kExtraGroupItems: {
+      // Pick a device with a policy-bearing peer group; partners are the
+      // same-role devices sharing that group and a common neighbor (the
+      // other aggs of the pod) — multi-device, multi-line faults.
+      struct Site {
+        std::string device;
+        std::string group;
+      };
+      std::vector<Site> candidates;
+      for (const auto& [name, device] : net.configs) {
+        if (!device.bgp) continue;
+        for (const auto& group : device.bgp->groups) {
+          if (group.import_policy.empty() && group.export_policy.empty())
+            continue;
+          if (type == FaultType::kMissingPeerGroup) {
+            // Prefer a device adjacent to a quarantined subnet's owner so the
+            // dropped filter actually leaks something.
+            bool adjacent_to_quarantine = false;
+            for (const auto& neighbor :
+                 net.topology.neighborsOf(name)) {
+              for (const auto& subnet : built.subnets) {
+                if (subnet.quarantined && subnet.router == neighbor) {
+                  adjacent_to_quarantine = true;
+                }
+              }
+            }
+            if (!adjacent_to_quarantine) continue;
+          }
+          candidates.push_back(Site{name, group.name});
+        }
+      }
+      const auto* target = pick(candidates);
+      if (target == nullptr) return std::nullopt;
+      // Dominant remote role of the group's members on the target device —
+      // partners must share a neighbor of *that* role (the pod's ToRs), not
+      // merely any neighbor (every agg shares the cores).
+      std::string member_role;
+      {
+        const cfg::DeviceConfig* device = net.config(target->device);
+        std::map<std::string, int> roles;
+        for (const auto& peer : device->bgp->peers) {
+          if (peer.group == target->group) {
+            ++roles[roleOf(net, remoteRouter(net, peer.address))];
+          }
+        }
+        if (!roles.empty()) {
+          member_role = std::max_element(roles.begin(), roles.end(),
+                                         [](const auto& a, const auto& b) {
+                                           return a.second < b.second;
+                                         })
+                            ->first;
+        }
+      }
+      const std::string role = roleOf(net, target->device);
+      std::vector<std::string> members{target->device};
+      const auto neighbors = net.topology.neighborsOf(target->device);
+      for (const auto& [name, device] : net.configs) {
+        if (name == target->device || roleOf(net, name) != role) continue;
+        if (!device.bgp || device.bgp->findGroup(target->group) == nullptr)
+          continue;
+        const auto other_neighbors = net.topology.neighborsOf(name);
+        const bool shares = std::any_of(
+            neighbors.begin(), neighbors.end(), [&](const std::string& n) {
+              if (!member_role.empty() && roleOf(net, n) != member_role) {
+                return false;
+              }
+              return std::find(other_neighbors.begin(), other_neighbors.end(),
+                               n) != other_neighbors.end();
+            });
+        if (shares) members.push_back(name);
+      }
+
+      if (type == FaultType::kMissingPeerGroup) {
+        for (const auto& member : members) {
+          cfg::DeviceConfig* device = net.config(member);
+          std::erase_if(device->bgp->groups,
+                        [&](const cfg::PeerGroupConfig& group) {
+                          return group.name == target->group;
+                        });
+          for (auto& peer : device->bgp->peers) {
+            if (peer.group == target->group) peer.group.clear();
+          }
+        }
+        incident.description = "dropped peer group " + target->group + " on " +
+                               std::to_string(members.size()) + " device(s)";
+      } else {
+        if (member_role.empty()) return std::nullopt;
+        int added = 0;
+        for (const auto& member : members) {
+          cfg::DeviceConfig* dev = net.config(member);
+          for (auto& peer : dev->bgp->peers) {
+            if (!peer.group.empty()) continue;
+            if (roleOf(net, remoteRouter(net, peer.address)) != member_role) {
+              peer.group = target->group;
+              ++added;
+            }
+          }
+        }
+        if (added == 0) return std::nullopt;
+        incident.description = "wrongly enrolled " + std::to_string(added) +
+                               " peer(s) into group " + target->group;
+      }
+      break;
+    }
+
+    case FaultType::kMissingRoutePolicy: {
+      // A policy bound on the most sessions loses its definition. Export
+      // bindings are preferred: a device that can no longer export anything
+      // is visibly broken, while a lost import filter is often masked by
+      // path redundancy.
+      std::map<std::pair<std::string, std::string>, int> bound;
+      for (const auto& [name, device] : net.configs) {
+        if (!device.bgp) continue;
+        for (const auto& peer : device.bgp->peers) {
+          if (!peer.export_policy.empty() &&
+              device.findPolicy(peer.export_policy) != nullptr) {
+            ++bound[{name, peer.export_policy}];
+          }
+        }
+      }
+      if (bound.empty()) {
+        for (const auto& [name, device] : net.configs) {
+          if (!device.bgp) continue;
+          for (const auto& peer : device.bgp->peers) {
+            if (!peer.import_policy.empty() &&
+                device.findPolicy(peer.import_policy) != nullptr) {
+              ++bound[{name, peer.import_policy}];
+            }
+          }
+        }
+      }
+      if (bound.empty()) return std::nullopt;
+      const auto target =
+          std::max_element(bound.begin(), bound.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.second < b.second;
+                           })
+              ->first;
+      cfg::DeviceConfig* device = net.config(target.first);
+      std::erase_if(device->policies, [&](const cfg::RoutePolicy& policy) {
+        return policy.name == target.second;
+      });
+      incident.description = "dropped route-policy " + target.second +
+                             " definition on " + target.first +
+                             " (bindings remain)";
+      break;
+    }
+
+    case FaultType::kLeftoverRouteMap: {
+      // A deny-all maintenance policy left bound on a redundancy-free
+      // session (single-homed device).
+      struct Site {
+        std::string device;
+        net::Ipv4Address peer;
+      };
+      std::vector<Site> candidates;
+      for (const auto& [name, device] : net.configs) {
+        if (!device.bgp || linkCount(net, name) != 1) continue;
+        const cfg::RoutePolicy* maint = device.findPolicy("MAINT");
+        if (maint == nullptr) continue;
+        for (const auto& peer : device.bgp->peers) {
+          if (peer.import_policy.empty()) {
+            candidates.push_back(Site{name, peer.address});
+          }
+        }
+      }
+      const auto* target = pick(candidates);
+      if (target == nullptr) return std::nullopt;
+      net.config(target->device)
+          ->bgp->findPeer(target->peer)
+          ->import_policy = "MAINT";
+      incident.description = "left maintenance route-map MAINT enabled on " +
+                             target->device + " towards " + target->peer.str();
+      break;
+    }
+
+    case FaultType::kWrongPeerAs: {
+      // Wrong AS number configured towards a single-homed neighbor.
+      struct Site {
+        std::string device;
+        net::Ipv4Address peer;
+      };
+      std::vector<Site> candidates;
+      for (const auto& [name, device] : net.configs) {
+        if (!device.bgp) continue;
+        for (const auto& peer : device.bgp->peers) {
+          const std::string remote = remoteRouter(net, peer.address);
+          if (!remote.empty() && linkCount(net, remote) == 1) {
+            candidates.push_back(Site{name, peer.address});
+          }
+        }
+      }
+      const auto* target = pick(candidates);
+      if (target == nullptr) return std::nullopt;
+      cfg::PeerConfig* peer =
+          net.config(target->device)->bgp->findPeer(target->peer);
+      peer->remote_as += 1000;
+      incident.description = "corrupted as-number of peer " +
+                             target->peer.str() + " on " + target->device;
+      break;
+    }
+
+    case FaultType::kMissingPrefixListItemsS:
+    case FaultType::kMissingPrefixListItemsM: {
+      std::vector<OverrideSite> sites = overrideSites(net);
+      if (sites.empty()) return std::nullopt;
+      if (type == FaultType::kMissingPrefixListItemsS) {
+        // Single-line form: one list collapses to the catch-all.
+        std::vector<OverrideSite> small;
+        for (const auto& site : sites) {
+          if (site.entries == 1) small.push_back(site);
+        }
+        const auto* target = pick(small.empty() ? sites : small);
+        widenListToCatchAll(net, *target);
+        incident.description = "replaced prefix-list " + target->list + " on " +
+                               target->device + " with catch-all 0.0.0.0 0";
+      } else {
+        // Multi-line form: every override site of the (mirrored) policy —
+        // the full Figure-2 incident.
+        std::set<std::string> touched;
+        for (const auto& site : sites) {
+          if (touched.insert(site.device + '/' + site.list).second) {
+            widenListToCatchAll(net, site);
+          }
+        }
+        incident.description =
+            "replaced " + std::to_string(touched.size()) +
+            " override prefix-list(s) with catch-all 0.0.0.0 0";
+      }
+      break;
+    }
+  }
+
+  net.renumberAll();
+  incident.injected_diff = diffNetworks(built.network, net);
+  incident.changed_lines =
+      static_cast<int>(cfg::totalChangedLines(incident.injected_diff));
+  if (incident.changed_lines == 0) return std::nullopt;
+  return incident;
+}
+
+}  // namespace acr::inject

@@ -1,0 +1,86 @@
+// Fault injection: the nine misconfiguration types of Table 1.
+//
+// Each injector mutates a known-good generated network the way the paper's
+// incident study describes, records the ground-truth diff, and classifies
+// the fault as single-line (S) or multi-line (M). The catalog carries the
+// paper's observed ratios so campaigns can sample incidents with the same
+// distribution.
+//
+// One documented interpretation: Table 1's "Override to wrong AS number"
+// (Policy/S) is injected as a wrong `peer ... as-number` value on a
+// redundancy-free (legacy-pod) session — the policy-side variant
+// (`apply as-path overwrite <wrong-asn>`) is implemented as a change
+// template and unit-tested, but in redundant topologies it rarely produces
+// an intent violation to repair.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "topo/generators.hpp"
+
+namespace acr::inject {
+
+enum class FaultType : std::uint8_t {
+  kMissingRedistribution,    // Route / M / 20.8%
+  kMissingPbrPermit,         // PBR / M / 12.5%
+  kExtraPbrRedirect,         // PBR / S / 4.2%
+  kMissingPeerGroup,         // Peer / M / 16.6%
+  kExtraGroupItems,          // Peer / M / 12.5%
+  kMissingRoutePolicy,       // Policy / M / 8.3%
+  kLeftoverRouteMap,         // Policy / S / 4.2%
+  kWrongPeerAs,              // Policy ("override to wrong AS") / S / 4.2%
+  kMissingPrefixListItemsS,  // Policy / S / 4.2%
+  kMissingPrefixListItemsM,  // Policy / M / 12.5%
+};
+
+struct FaultSpec {
+  FaultType type;
+  const char* label;     // Table 1 wording
+  const char* category;  // Configs column
+  bool multi_line;       // Lines column (M/S)
+  double ratio;          // Ratio column
+  const char* scenario;  // preferred scenario family: "dcn" | "backbone" | "figure2"
+};
+
+/// The ten Table-1 rows (the prefix-list row appears twice, S and M).
+[[nodiscard]] const std::vector<FaultSpec>& faultCatalog();
+[[nodiscard]] const FaultSpec& specOf(FaultType type);
+[[nodiscard]] std::string faultTypeName(FaultType type);
+
+struct Incident {
+  FaultType type = FaultType::kMissingRedistribution;
+  std::string description;
+  topo::Network network;  // the faulty network
+  /// Ground truth: faulty vs correct configs.
+  std::vector<cfg::ConfigDiff> injected_diff;
+  int changed_lines = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// Injects `type` into a copy of `built.network`. Returns nullopt when the
+  /// scenario lacks the needed structure (e.g. no PBR policies anywhere).
+  [[nodiscard]] std::optional<Incident> inject(const topo::BuiltNetwork& built,
+                                               FaultType type);
+
+  /// Samples a fault type following the Table-1 ratio distribution.
+  [[nodiscard]] FaultType sampleType();
+
+ private:
+  template <typename T>
+  const T* pick(const std::vector<T>& items) {
+    if (items.empty()) return nullptr;
+    std::uniform_int_distribution<std::size_t> dist(0, items.size() - 1);
+    return &items[dist(rng_)];
+  }
+
+  std::mt19937_64 rng_;
+};
+
+}  // namespace acr::inject

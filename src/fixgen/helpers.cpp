@@ -1,0 +1,61 @@
+#include "fixgen/change.hpp"
+
+#include "smt/solver.hpp"
+
+namespace acr::fix {
+
+net::Prefix subnetPrefixOf(const topo::Network& network,
+                           net::Ipv4Address address) {
+  for (const auto& subnet : network.topology.subnets()) {
+    if (subnet.prefix.contains(address)) return subnet.prefix;
+  }
+  return net::Prefix(address, 32);
+}
+
+PrefixListConstraints collectListConstraints(const RepairContext& context,
+                                             const std::string& device,
+                                             const cfg::PrefixList& list) {
+  PrefixListConstraints constraints;
+  // Lines of the list under repair.
+  std::set<cfg::LineId> list_lines;
+  for (const auto& entry : list.entries) {
+    list_lines.insert(cfg::LineId{device, entry.line});
+  }
+  for (std::size_t i = 0; i < context.results.size(); ++i) {
+    const verify::TestResult& result = context.results[i];
+    const std::set<cfg::LineId>& covered = context.coverage[i];
+    bool touches = false;
+    for (const auto& line : list_lines) {
+      if (covered.count(line) != 0) {
+        touches = true;
+        break;
+      }
+    }
+    if (!touches) continue;
+    const net::Prefix subject =
+        subnetPrefixOf(context.network, result.test.packet.dst);
+    if (result.passed) {
+      constraints.required.push_back(subject);
+    } else {
+      constraints.forbidden.push_back(subject);
+    }
+  }
+  return constraints;
+}
+
+std::optional<std::vector<net::Prefix>> solveListModel(
+    const PrefixListConstraints& constraints) {
+  smt::Solver solver;
+  solver.declare("var", smt::VarKind::kPrefixSet);
+  for (const auto& prefix : constraints.required) {
+    solver.requireMember("var", prefix);
+  }
+  for (const auto& prefix : constraints.forbidden) {
+    solver.requireNotMember("var", prefix);
+  }
+  const smt::SolveResult result = solver.solve();
+  if (!result.sat) return std::nullopt;
+  return result.model.prefix_sets.at("var");
+}
+
+}  // namespace acr::fix

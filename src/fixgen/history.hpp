@@ -1,0 +1,60 @@
+// Repair history: success statistics per change template.
+//
+// The paper's observation (1) in §3.2: errors repeat across a fleet, so
+// repairs from history should guide the search for current incidents (the
+// same intuition as ASR's R2Fix). This class accumulates, across repairs,
+// how often each template was tried and how often it ended up in a
+// successful repair; the engine biases its random template draws by the
+// Laplace-smoothed success rate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace acr::fix {
+
+class RepairHistory {
+ public:
+  struct Entry {
+    std::uint64_t attempts = 0;
+    std::uint64_t successes = 0;
+  };
+
+  void recordAttempt(const std::string& template_name) {
+    ++entries_[template_name].attempts;
+  }
+
+  void recordSuccess(const std::string& template_name) {
+    ++entries_[template_name].successes;
+  }
+
+  /// Laplace-smoothed success rate: (successes + 1) / (attempts + 2).
+  /// Unknown templates get the neutral prior 0.5, so history never
+  /// *excludes* a template — it only reorders the draws.
+  [[nodiscard]] double weight(const std::string& template_name) const {
+    const auto it = entries_.find(template_name);
+    if (it == entries_.end()) return 0.5;
+    return (static_cast<double>(it->second.successes) + 1.0) /
+           (static_cast<double>(it->second.attempts) + 2.0);
+  }
+
+  [[nodiscard]] const std::map<std::string, Entry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  [[nodiscard]] std::string str() const {
+    std::string out;
+    for (const auto& [name, entry] : entries_) {
+      out += name + ": " + std::to_string(entry.successes) + "/" +
+             std::to_string(entry.attempts) + '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace acr::fix

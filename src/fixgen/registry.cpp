@@ -1,0 +1,25 @@
+#include "fixgen/change.hpp"
+
+namespace acr::fix {
+
+const std::vector<std::shared_ptr<const ChangeTemplate>>& defaultTemplates() {
+  static const std::vector<std::shared_ptr<const ChangeTemplate>> kTemplates = {
+      makeNarrowOverrideList(), makeAddPrefixListEntry(), makeFixOverrideAsn(),
+      makeAddStaticRoute(),     makeAddRedistribute(),    makeAddPbrPermit(),
+      makeRemovePbrRule(),      makeRestorePeerGroup(),   makeRemoveGroupMember(),
+      makeRemovePolicyBinding(), makeRestorePolicy(),     makeFixPeerAs(),
+      makeDenyLeakedPrefix(),
+  };
+  return kTemplates;
+}
+
+std::vector<std::shared_ptr<const ChangeTemplate>> templatesFor(
+    cfg::LineKind kind) {
+  std::vector<std::shared_ptr<const ChangeTemplate>> out;
+  for (const auto& tmpl : defaultTemplates()) {
+    if (tmpl->appliesTo(kind)) out.push_back(tmpl);
+  }
+  return out;
+}
+
+}  // namespace acr::fix

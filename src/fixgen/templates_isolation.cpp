@@ -1,0 +1,152 @@
+// Isolation-repair template: "deny-leaked-prefix".
+//
+// When an isolation intent fails (a quarantined/private range became
+// reachable), the minimal, always-available repair is to guard the leaked
+// prefix at its origin: insert a deny for it into every export policy of the
+// owning router, creating a guard policy on sessions that had none. This is
+// the paper's §6 "universal change operator" direction — it covers leaks
+// whatever upstream filter was lost (missing peer group, deleted policy,
+// widened prefix-list).
+#include <algorithm>
+
+#include "fixgen/change.hpp"
+
+namespace acr::fix {
+
+namespace {
+
+constexpr const char* kGuardList = "ACR_LEAK";
+constexpr const char* kGuardPolicy = "ACR_GUARD";
+
+class DenyLeakedPrefix final : public ChangeTemplate {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "deny-leaked-prefix";
+  }
+
+  [[nodiscard]] bool appliesTo(cfg::LineKind kind) const override {
+    switch (kind) {
+      case cfg::LineKind::kInterfaceIp:
+      case cfg::LineKind::kStaticRoute:
+      case cfg::LineKind::kRedistribute:
+      case cfg::LineKind::kPeerAs:
+      case cfg::LineKind::kPeerImport:
+      case cfg::LineKind::kPeerExport:
+      case cfg::LineKind::kGroupImport:
+      case cfg::LineKind::kGroupExport:
+      case cfg::LineKind::kPolicyNode:
+      case cfg::LineKind::kPolicyMatch:
+      case cfg::LineKind::kPrefixListEntry:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  [[nodiscard]] std::vector<ProposedChange> propose(
+      const RepairContext& context, const cfg::LineId& /*suspicious*/,
+      const cfg::LineInfo& /*info*/) const override {
+    std::vector<ProposedChange> changes;
+    std::set<std::string> proposed;
+    for (const auto& result : context.results) {
+      if (result.passed) continue;
+      if (context.intentOf(result).kind != verify::IntentKind::kIsolation) {
+        continue;
+      }
+      const auto owner =
+          context.network.topology.subnetOwner(result.test.packet.dst);
+      if (!owner) continue;
+      const net::Prefix leaked =
+          subnetPrefixOf(context.network, result.test.packet.dst);
+      if (!proposed.insert(*owner + '/' + leaked.str()).second) continue;
+
+      const std::string owner_name = *owner;
+      ProposedChange change;
+      change.template_name = name();
+      change.description = "deny leaked prefix " + leaked.str() +
+                           " in every export of its origin " + owner_name;
+      change.apply = [owner_name, leaked](topo::Network& network) {
+        cfg::DeviceConfig* target = network.config(owner_name);
+        if (target == nullptr || !target->bgp) return false;
+
+        // Guard prefix-list covering the leaked range.
+        cfg::PrefixList* list = target->findPrefixList(kGuardList);
+        if (list == nullptr) {
+          target->prefix_lists.push_back(cfg::PrefixList{kGuardList, {}});
+          list = &target->prefix_lists.back();
+        }
+        bool changed = false;
+        if (!list->permits(leaked)) {
+          cfg::PrefixListEntry entry;
+          entry.index = list->nextIndex();
+          entry.action = cfg::Action::kPermit;
+          entry.prefix = leaked;
+          entry.greater_equal = leaked.length();
+          entry.less_equal = 32;
+          list->entries.push_back(entry);
+          changed = true;
+        }
+
+        const auto hasGuardNode = [&](const cfg::RoutePolicy& policy) {
+          return std::any_of(
+              policy.nodes.begin(), policy.nodes.end(),
+              [&](const cfg::PolicyNode& node) {
+                return node.action == cfg::Action::kDeny &&
+                       std::any_of(node.matches.begin(), node.matches.end(),
+                                   [&](const cfg::PolicyMatch& match) {
+                                     return match.prefix_list == kGuardList;
+                                   });
+              });
+        };
+        const auto guardNode = [&](int index) {
+          cfg::PolicyNode node;
+          node.index = index;
+          node.action = cfg::Action::kDeny;
+          node.matches.push_back(
+              cfg::PolicyMatch{cfg::MatchKind::kIpPrefixList, kGuardList, 0});
+          return node;
+        };
+
+        for (auto& peer : target->bgp->peers) {
+          if (peer.export_policy.empty()) {
+            // Bind (and lazily create) the standalone guard policy.
+            if (target->findPolicy(kGuardPolicy) == nullptr) {
+              cfg::RoutePolicy policy;
+              policy.name = kGuardPolicy;
+              policy.nodes.push_back(guardNode(5));
+              cfg::PolicyNode pass;
+              pass.index = 100;
+              pass.action = cfg::Action::kPermit;
+              policy.nodes.push_back(pass);
+              target->policies.push_back(std::move(policy));
+            }
+            peer.export_policy = kGuardPolicy;
+            changed = true;
+          } else {
+            cfg::RoutePolicy* policy = target->findPolicy(peer.export_policy);
+            if (policy == nullptr || hasGuardNode(*policy)) continue;
+            int min_index = 5;
+            for (const auto& node : policy->nodes) {
+              min_index = std::min(min_index, node.index);
+            }
+            policy->nodes.insert(policy->nodes.begin(),
+                                 guardNode(std::max(1, min_index - 1)));
+            changed = true;
+          }
+        }
+        if (changed) target->renumber();
+        return changed;
+      };
+      changes.push_back(std::move(change));
+    }
+    return changes;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const ChangeTemplate> makeDenyLeakedPrefix() {
+  return std::make_shared<DenyLeakedPrefix>();
+}
+
+}  // namespace acr::fix

@@ -1,0 +1,181 @@
+// Templates for the PBR category of Table 1:
+//   * AddPbrPermit — "Missing permit rules in PBR": a failing packet is
+//     dropped by a deny rule; insert a permit for the destination space
+//     ahead of it.
+//   * RemovePbrRule — "Extra redirect rule in PBR": delete a redirect (or
+//     deny) rule that misdirects failing traffic, or the suspicious rule
+//     itself.
+#include <algorithm>
+
+#include "fixgen/change.hpp"
+
+namespace acr::fix {
+
+namespace {
+
+bool isolationForbids(const RepairContext& context, const net::Prefix& subject) {
+  for (const auto& result : context.results) {
+    if (result.passed &&
+        context.intentOf(result).kind == verify::IntentKind::kIsolation &&
+        subnetPrefixOf(context.network, result.test.packet.dst)
+            .overlaps(subject)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class AddPbrPermit final : public ChangeTemplate {
+ public:
+  [[nodiscard]] std::string name() const override { return "add-pbr-permit"; }
+
+  [[nodiscard]] bool appliesTo(cfg::LineKind kind) const override {
+    return kind == cfg::LineKind::kPbrRule ||
+           kind == cfg::LineKind::kPbrHeader ||
+           kind == cfg::LineKind::kInterfaceIp ||
+           kind == cfg::LineKind::kStaticRoute;
+  }
+
+  [[nodiscard]] std::vector<ProposedChange> propose(
+      const RepairContext& context, const cfg::LineId& /*suspicious*/,
+      const cfg::LineInfo& /*info*/) const override {
+    std::vector<ProposedChange> changes;
+    std::set<std::string> proposed;
+    for (const auto& result : context.results) {
+      if (result.passed) continue;
+      if (result.trace.outcome != dp::TraceOutcome::kDroppedByPbr) continue;
+      if (result.trace.hops.empty()) continue;
+      const std::string dropping = result.trace.hops.back().router;
+      const cfg::DeviceConfig* device = context.network.config(dropping);
+      if (device == nullptr) continue;
+      const net::Prefix subject =
+          subnetPrefixOf(context.network, result.test.packet.dst);
+      if (isolationForbids(context, subject)) continue;
+      for (const auto& policy : device->pbr_policies) {
+        const cfg::PbrRule* hit =
+            policy.match(result.test.packet.src, result.test.packet.dst);
+        if (hit == nullptr || hit->action != cfg::PbrAction::kDeny) continue;
+        const std::string key =
+            dropping + '/' + policy.name + '/' + subject.str();
+        if (!proposed.insert(key).second) continue;
+        const std::string device_name = dropping;
+        const std::string policy_name = policy.name;
+        const int deny_index = hit->index;
+        ProposedChange change;
+        change.template_name = name();
+        change.description = "insert PBR permit for " + subject.str() +
+                             " before rule " + std::to_string(deny_index) +
+                             " of policy " + policy_name + " on " + device_name;
+        change.apply = [device_name, policy_name, deny_index,
+                        subject](topo::Network& network) {
+          cfg::DeviceConfig* target = network.config(device_name);
+          if (target == nullptr) return false;
+          cfg::PbrPolicy* policy = target->findPbr(policy_name);
+          if (policy == nullptr) return false;
+          const auto it = std::find_if(
+              policy->rules.begin(), policy->rules.end(),
+              [&](const cfg::PbrRule& rule) { return rule.index == deny_index; });
+          if (it == policy->rules.end()) return false;
+          cfg::PbrRule permit;
+          permit.index = deny_index > 1 ? deny_index - 1 : 1;
+          permit.action = cfg::PbrAction::kPermit;
+          permit.destination = subject;
+          policy->rules.insert(it, permit);
+          target->renumber();
+          return true;
+        };
+        changes.push_back(std::move(change));
+      }
+    }
+    return changes;
+  }
+};
+
+class RemovePbrRule final : public ChangeTemplate {
+ public:
+  [[nodiscard]] std::string name() const override { return "remove-pbr-rule"; }
+
+  [[nodiscard]] bool appliesTo(cfg::LineKind kind) const override {
+    return kind == cfg::LineKind::kPbrRule ||
+           kind == cfg::LineKind::kPbrHeader ||
+           kind == cfg::LineKind::kInterfaceIp ||
+           kind == cfg::LineKind::kStaticRoute;
+  }
+
+  [[nodiscard]] std::vector<ProposedChange> propose(
+      const RepairContext& context, const cfg::LineId& suspicious,
+      const cfg::LineInfo& info) const override {
+    std::vector<ProposedChange> changes;
+    std::set<std::string> proposed;
+    const auto proposeRemoval = [&](const std::string& device_name,
+                                    const std::string& policy_name,
+                                    const cfg::PbrRule& rule) {
+      const std::string key =
+          device_name + '/' + policy_name + '/' + std::to_string(rule.index);
+      if (!proposed.insert(key).second) return;
+      const int rule_index = rule.index;
+      ProposedChange change;
+      change.template_name = name();
+      change.description = "remove PBR rule " + std::to_string(rule_index) +
+                           " (" + cfg::pbrActionName(rule.action) +
+                           ") from policy " + policy_name + " on " +
+                           device_name;
+      change.apply = [device_name, policy_name,
+                      rule_index](topo::Network& network) {
+        cfg::DeviceConfig* target = network.config(device_name);
+        if (target == nullptr) return false;
+        cfg::PbrPolicy* policy = target->findPbr(policy_name);
+        if (policy == nullptr) return false;
+        const auto it = std::find_if(
+            policy->rules.begin(), policy->rules.end(),
+            [&](const cfg::PbrRule& r) { return r.index == rule_index; });
+        if (it == policy->rules.end()) return false;
+        policy->rules.erase(it);
+        target->renumber();
+        return true;
+      };
+      changes.push_back(std::move(change));
+    };
+
+    // The suspicious line itself, when it is a non-permit PBR rule.
+    if (info.kind == cfg::LineKind::kPbrRule) {
+      const cfg::DeviceConfig* device = context.network.config(suspicious.device);
+      if (device != nullptr) {
+        const auto& policy =
+            device->pbr_policies[static_cast<std::size_t>(info.a)];
+        const auto& rule = policy.rules[static_cast<std::size_t>(info.b)];
+        if (rule.action != cfg::PbrAction::kPermit) {
+          proposeRemoval(suspicious.device, policy.name, rule);
+        }
+      }
+    }
+
+    // Fix-place search: redirect rules matching failing packets.
+    for (const auto& result : context.results) {
+      if (result.passed) continue;
+      for (const auto& hop : result.trace.hops) {
+        const cfg::DeviceConfig* device = context.network.config(hop.router);
+        if (device == nullptr) continue;
+        for (const auto& policy : device->pbr_policies) {
+          const cfg::PbrRule* hit =
+              policy.match(result.test.packet.src, result.test.packet.dst);
+          if (hit != nullptr && hit->action == cfg::PbrAction::kRedirect) {
+            proposeRemoval(hop.router, policy.name, *hit);
+          }
+        }
+      }
+    }
+    return changes;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const ChangeTemplate> makeAddPbrPermit() {
+  return std::make_shared<AddPbrPermit>();
+}
+std::shared_ptr<const ChangeTemplate> makeRemovePbrRule() {
+  return std::make_shared<RemovePbrRule>();
+}
+
+}  // namespace acr::fix

@@ -1,0 +1,537 @@
+// Templates for the Peer and remaining Policy categories of Table 1:
+//   * RestorePeerGroup — "Missing peer group": copy the group definition
+//     (with its policies and prefix-lists) from a same-role device and
+//     re-enrol the peers whose remote role matches the donor's members.
+//     This is the plastic-surgery operator: same-role devices have similar
+//     configurations, so the donor's group is the right template.
+//   * RemoveGroupMember — "Extra items in peer group": a peer whose remote
+//     role is a minority within its group is proposed for removal.
+//   * RemovePolicyBinding — "Fail to dis-enable route map": clear a leftover
+//     policy binding that either denies failing traffic or rewrites AS paths
+//     on a flapping test's derivation chain.
+//   * RestorePolicy — "Missing a routing policy": a binding references an
+//     undefined policy; copy the definition from a device that has it, or
+//     synthesize a permit-all.
+//   * FixPeerAs — wrong `peer ... as-number`: re-solve the value against the
+//     session-consistency constraint (the neighbor's actual AS).
+#include <algorithm>
+#include <map>
+
+#include "fixgen/change.hpp"
+#include "routing/policy_eval.hpp"
+#include "smt/solver.hpp"
+
+namespace acr::fix {
+
+namespace {
+
+std::string remoteRole(const topo::Network& network, net::Ipv4Address peer) {
+  const auto router = network.topology.routerAt(peer);
+  if (!router) return {};
+  const topo::RouterDecl* decl = network.topology.findRouter(*router);
+  return decl == nullptr ? std::string{} : decl->role;
+}
+
+/// Copies `policy_name` (and the prefix-lists it references) from `donor`
+/// into `target`, skipping anything already present.
+void copyPolicyWithLists(const cfg::DeviceConfig& donor,
+                         cfg::DeviceConfig& target,
+                         const std::string& policy_name) {
+  const cfg::RoutePolicy* policy = donor.findPolicy(policy_name);
+  if (policy == nullptr) return;
+  if (target.findPolicy(policy_name) == nullptr) {
+    target.policies.push_back(*policy);
+  }
+  for (const auto& node : policy->nodes) {
+    for (const auto& match : node.matches) {
+      if (target.findPrefixList(match.prefix_list) != nullptr) continue;
+      const cfg::PrefixList* list = donor.findPrefixList(match.prefix_list);
+      if (list != nullptr) target.prefix_lists.push_back(*list);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+class RestorePeerGroup final : public ChangeTemplate {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "restore-peer-group";
+  }
+
+  [[nodiscard]] bool appliesTo(cfg::LineKind kind) const override {
+    switch (kind) {
+      case cfg::LineKind::kPeerAs:
+      case cfg::LineKind::kPeerGroupRef:
+      case cfg::LineKind::kGroup:
+      case cfg::LineKind::kGroupImport:
+      case cfg::LineKind::kGroupExport:
+      case cfg::LineKind::kInterfaceIp:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  [[nodiscard]] std::vector<ProposedChange> propose(
+      const RepairContext& context, const cfg::LineId& suspicious,
+      const cfg::LineInfo& /*info*/) const override {
+    std::vector<ProposedChange> changes;
+    const topo::Network& network = context.network;
+    const cfg::DeviceConfig* device = network.config(suspicious.device);
+    const topo::RouterDecl* self = network.topology.findRouter(suspicious.device);
+    if (device == nullptr || self == nullptr || !device->bgp) return changes;
+
+    for (const auto& [donor_name, donor] : network.configs) {
+      if (donor_name == suspicious.device || !donor.bgp) continue;
+      const topo::RouterDecl* donor_decl =
+          network.topology.findRouter(donor_name);
+      if (donor_decl == nullptr || donor_decl->role != self->role) continue;
+      for (const auto& group : donor.bgp->groups) {
+        if (group.import_policy.empty() && group.export_policy.empty()) continue;
+        if (device->bgp->findGroup(group.name) != nullptr) continue;
+        // Dominant remote role among the donor's group members.
+        std::map<std::string, int> role_count;
+        for (const auto& peer : donor.bgp->peers) {
+          if (peer.group == group.name) {
+            ++role_count[remoteRole(network, peer.address)];
+          }
+        }
+        if (role_count.empty()) continue;
+        const std::string member_role =
+            std::max_element(role_count.begin(), role_count.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.second < b.second;
+                             })
+                ->first;
+        const std::string target_name = suspicious.device;
+        const std::string group_name = group.name;
+        const std::string donor_copy = donor_name;
+        ProposedChange change;
+        change.template_name = name();
+        change.description = "restore peer group " + group_name + " on " +
+                             target_name + " from same-role device " +
+                             donor_copy + " (enrolling " + member_role +
+                             " peers)";
+        change.apply = [target_name, group_name, donor_copy,
+                        member_role](topo::Network& net) {
+          cfg::DeviceConfig* target = net.config(target_name);
+          const cfg::DeviceConfig* donor_device = net.config(donor_copy);
+          if (target == nullptr || donor_device == nullptr || !target->bgp ||
+              !donor_device->bgp) {
+            return false;
+          }
+          if (target->bgp->findGroup(group_name) != nullptr) return false;
+          const cfg::PeerGroupConfig* donor_group =
+              donor_device->bgp->findGroup(group_name);
+          if (donor_group == nullptr) return false;
+          target->bgp->groups.push_back(*donor_group);
+          if (!donor_group->import_policy.empty()) {
+            copyPolicyWithLists(*donor_device, *target,
+                                donor_group->import_policy);
+          }
+          if (!donor_group->export_policy.empty()) {
+            copyPolicyWithLists(*donor_device, *target,
+                                donor_group->export_policy);
+          }
+          bool enrolled = false;
+          for (auto& peer : target->bgp->peers) {
+            if (!peer.group.empty()) continue;
+            if (remoteRole(net, peer.address) == member_role) {
+              peer.group = group_name;
+              enrolled = true;
+            }
+          }
+          target->renumber();
+          return enrolled;
+        };
+        changes.push_back(std::move(change));
+      }
+    }
+    return changes;
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class RemoveGroupMember final : public ChangeTemplate {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "remove-group-member";
+  }
+
+  [[nodiscard]] bool appliesTo(cfg::LineKind kind) const override {
+    switch (kind) {
+      case cfg::LineKind::kPeerGroupRef:
+      case cfg::LineKind::kPeerAs:
+      case cfg::LineKind::kGroup:
+      case cfg::LineKind::kGroupImport:
+      case cfg::LineKind::kGroupExport:
+      case cfg::LineKind::kInterfaceIp:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  [[nodiscard]] std::vector<ProposedChange> propose(
+      const RepairContext& context, const cfg::LineId& /*suspicious*/,
+      const cfg::LineInfo& /*info*/) const override {
+    std::vector<ProposedChange> changes;
+    constexpr std::size_t kMaxProposals = 8;
+    // Plastic-surgery signal: the dominant remote role of each group name is
+    // computed across the WHOLE network (same-role devices have similar
+    // configs), so a device-local tie — e.g. two cores wrongly enrolled next
+    // to two ToRs — is still resolved by the fleet-wide pattern.
+    std::map<std::string, std::map<std::string, int>> global_roles;
+    for (const auto& [device_name, device] : context.network.configs) {
+      if (!device.bgp) continue;
+      for (const auto& peer : device.bgp->peers) {
+        if (!peer.group.empty()) {
+          ++global_roles[peer.group]
+                        [remoteRole(context.network, peer.address)];
+        }
+      }
+    }
+    std::map<std::string, std::string> dominant_role;
+    for (const auto& [group_name, roles] : global_roles) {
+      dominant_role[group_name] =
+          std::max_element(roles.begin(), roles.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.second < b.second;
+                           })
+              ->first;
+    }
+    for (const auto& [device_name, device] : context.network.configs) {
+      if (!device.bgp) continue;
+      for (const auto& group : device.bgp->groups) {
+        if (global_roles[group.name].size() < 2) continue;
+        for (const auto& peer : device.bgp->peers) {
+          if (peer.group != group.name) continue;
+          const std::string role = remoteRole(context.network, peer.address);
+          if (role == dominant_role[group.name]) continue;  // majority: keep
+          if (changes.size() >= kMaxProposals) return changes;
+          const std::string dev = device_name;
+          const net::Ipv4Address address = peer.address;
+          const std::string group_name = group.name;
+          ProposedChange change;
+          change.template_name = name();
+          change.description = "remove " + role + " peer " + address.str() +
+                               " from group " + group_name + " on " + dev;
+          change.apply = [dev, address, group_name](topo::Network& network) {
+            cfg::DeviceConfig* target = network.config(dev);
+            if (target == nullptr || !target->bgp) return false;
+            cfg::PeerConfig* peer = target->bgp->findPeer(address);
+            if (peer == nullptr || peer->group != group_name) return false;
+            peer->group.clear();
+            target->renumber();
+            return true;
+          };
+          changes.push_back(std::move(change));
+        }
+      }
+    }
+    return changes;
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class RemovePolicyBinding final : public ChangeTemplate {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "remove-policy-binding";
+  }
+
+  [[nodiscard]] bool appliesTo(cfg::LineKind kind) const override {
+    switch (kind) {
+      case cfg::LineKind::kPeerImport:
+      case cfg::LineKind::kPeerExport:
+      case cfg::LineKind::kPeerAs:
+      case cfg::LineKind::kInterfaceIp:
+      case cfg::LineKind::kStaticRoute:
+      case cfg::LineKind::kRedistribute:
+      case cfg::LineKind::kPbrRule:
+      case cfg::LineKind::kPolicyNode:
+      case cfg::LineKind::kPolicyAction:
+      case cfg::LineKind::kPrefixListEntry:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  [[nodiscard]] std::vector<ProposedChange> propose(
+      const RepairContext& context, const cfg::LineId& /*suspicious*/,
+      const cfg::LineInfo& /*info*/) const override {
+    std::vector<ProposedChange> changes;
+    std::set<std::string> proposed;
+    constexpr std::size_t kMaxProposals = 8;
+
+    const auto proposeClear = [&](const std::string& device_name,
+                                  net::Ipv4Address peer_address, bool import,
+                                  const std::string& policy_name) {
+      if (changes.size() >= kMaxProposals) return;
+      const std::string key = device_name + '/' + peer_address.str() +
+                              (import ? "/in" : "/out");
+      if (!proposed.insert(key).second) return;
+      ProposedChange change;
+      change.template_name = name();
+      change.description = std::string("remove ") +
+                           (import ? "import" : "export") + " route-policy " +
+                           policy_name + " from peer " + peer_address.str() +
+                           " on " + device_name;
+      change.apply = [device_name, peer_address, import](topo::Network& net) {
+        cfg::DeviceConfig* target = net.config(device_name);
+        if (target == nullptr || !target->bgp) return false;
+        cfg::PeerConfig* peer = target->bgp->findPeer(peer_address);
+        if (peer == nullptr) return false;
+        std::string& binding = import ? peer->import_policy : peer->export_policy;
+        if (binding.empty()) return false;
+        binding.clear();
+        target->renumber();
+        return true;
+      };
+      changes.push_back(std::move(change));
+    };
+
+    // Source 1: bindings that deny a failing destination's route.
+    for (const auto& result : context.results) {
+      if (result.passed) continue;
+      const verify::IntentKind kind = context.intentOf(result).kind;
+      if (kind == verify::IntentKind::kIsolation) continue;
+      const net::Prefix subject =
+          subnetPrefixOf(context.network, result.test.packet.dst);
+      for (const auto& [device_name, device] : context.network.configs) {
+        if (!device.bgp) continue;
+        for (const auto& peer : device.bgp->peers) {
+          for (const bool import : {true, false}) {
+            const std::string& binding =
+                import ? peer.import_policy : peer.export_policy;
+            if (binding.empty()) continue;
+            route::Route probe;
+            probe.prefix = subject;
+            const route::PolicyVerdict verdict =
+                route::applyRoutePolicy(device, binding, probe, 0);
+            if (!verdict.permitted) {
+              proposeClear(device_name, peer.address, import, binding);
+            }
+          }
+        }
+      }
+    }
+
+    // Source 2: rewrite policies on the derivation chains of flapping tests.
+    for (std::size_t i = 0; i < context.results.size(); ++i) {
+      const verify::TestResult& result = context.results[i];
+      if (result.passed || !result.trace.destination_flapping) continue;
+      const std::set<cfg::LineId>& covered = context.coverage[i];
+      for (const auto& [device_name, device] : context.network.configs) {
+        if (!device.bgp) continue;
+        for (const auto& peer : device.bgp->peers) {
+          for (const bool import : {true, false}) {
+            const std::string& binding =
+                import ? peer.import_policy : peer.export_policy;
+            if (binding.empty()) continue;
+            const int line = import ? peer.import_line : peer.export_line;
+            if (covered.count(cfg::LineId{device_name, line}) == 0) continue;
+            const cfg::RoutePolicy* policy = device.findPolicy(binding);
+            if (policy == nullptr) continue;
+            const bool rewrites = std::any_of(
+                policy->nodes.begin(), policy->nodes.end(),
+                [](const cfg::PolicyNode& node) {
+                  return std::any_of(
+                      node.actions.begin(), node.actions.end(),
+                      [](const cfg::PolicyAction& action) {
+                        return action.kind ==
+                               cfg::PolicyActionKind::kAsPathOverwrite;
+                      });
+                });
+            if (rewrites) {
+              proposeClear(device_name, peer.address, import, binding);
+            }
+          }
+        }
+      }
+    }
+    return changes;
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class RestorePolicy final : public ChangeTemplate {
+ public:
+  [[nodiscard]] std::string name() const override { return "restore-policy"; }
+
+  [[nodiscard]] bool appliesTo(cfg::LineKind kind) const override {
+    switch (kind) {
+      case cfg::LineKind::kPeerImport:
+      case cfg::LineKind::kPeerExport:
+      case cfg::LineKind::kGroupImport:
+      case cfg::LineKind::kGroupExport:
+      case cfg::LineKind::kPeerAs:
+      case cfg::LineKind::kInterfaceIp:
+      case cfg::LineKind::kStaticRoute:
+      case cfg::LineKind::kRedistribute:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  [[nodiscard]] std::vector<ProposedChange> propose(
+      const RepairContext& context, const cfg::LineId& /*suspicious*/,
+      const cfg::LineInfo& /*info*/) const override {
+    std::vector<ProposedChange> changes;
+    std::set<std::string> proposed;
+    for (const auto& [device_name, device] : context.network.configs) {
+      if (!device.bgp) continue;
+      std::vector<std::string> missing;
+      for (const auto& peer : device.bgp->peers) {
+        for (const std::string& bound :
+             {peer.import_policy, peer.export_policy}) {
+          if (!bound.empty() && device.findPolicy(bound) == nullptr) {
+            missing.push_back(bound);
+          }
+        }
+      }
+      for (const auto& group : device.bgp->groups) {
+        for (const std::string& bound :
+             {group.import_policy, group.export_policy}) {
+          if (!bound.empty() && device.findPolicy(bound) == nullptr) {
+            missing.push_back(bound);
+          }
+        }
+      }
+      for (const std::string& policy_name : missing) {
+        if (!proposed.insert(device_name + '/' + policy_name).second) continue;
+        // Plastic surgery: prefer a same-named policy from another device.
+        std::string donor_name;
+        for (const auto& [other_name, other] : context.network.configs) {
+          if (other_name != device_name &&
+              other.findPolicy(policy_name) != nullptr) {
+            donor_name = other_name;
+            break;
+          }
+        }
+        const std::string dev = device_name;
+        ProposedChange change;
+        change.template_name = name();
+        change.description =
+            donor_name.empty()
+                ? "create permit-all route-policy " + policy_name + " on " + dev
+                : "restore route-policy " + policy_name + " on " + dev +
+                      " from " + donor_name;
+        change.apply = [dev, policy_name, donor_name](topo::Network& network) {
+          cfg::DeviceConfig* target = network.config(dev);
+          if (target == nullptr) return false;
+          if (target->findPolicy(policy_name) != nullptr) return false;
+          if (!donor_name.empty()) {
+            const cfg::DeviceConfig* donor = network.config(donor_name);
+            if (donor == nullptr) return false;
+            copyPolicyWithLists(*donor, *target, policy_name);
+          } else {
+            cfg::RoutePolicy policy;
+            policy.name = policy_name;
+            cfg::PolicyNode pass;
+            pass.index = 10;
+            pass.action = cfg::Action::kPermit;
+            policy.nodes.push_back(pass);
+            target->policies.push_back(policy);
+          }
+          target->renumber();
+          return true;
+        };
+        changes.push_back(std::move(change));
+      }
+    }
+    return changes;
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class FixPeerAs final : public ChangeTemplate {
+ public:
+  [[nodiscard]] std::string name() const override { return "fix-peer-as"; }
+
+  [[nodiscard]] bool appliesTo(cfg::LineKind kind) const override {
+    switch (kind) {
+      case cfg::LineKind::kPeerAs:
+      case cfg::LineKind::kPeerGroupRef:
+      case cfg::LineKind::kInterfaceIp:
+      case cfg::LineKind::kRedistribute:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  [[nodiscard]] std::vector<ProposedChange> propose(
+      const RepairContext& context, const cfg::LineId& /*suspicious*/,
+      const cfg::LineInfo& /*info*/) const override {
+    std::vector<ProposedChange> changes;
+    for (const auto& session : context.sim.sessions) {
+      if (session.up) continue;
+      // Which side is misconfigured? Check both.
+      for (const auto& [self, other, other_addr] :
+           {std::tuple{session.a, session.b, session.b_address},
+            std::tuple{session.b, session.a, session.a_address}}) {
+        const cfg::DeviceConfig* device = context.network.config(self);
+        const topo::RouterDecl* remote =
+            context.network.topology.findRouter(other);
+        if (device == nullptr || !device->bgp || remote == nullptr) continue;
+        const cfg::PeerConfig* peer = device->bgp->findPeer(other_addr);
+        if (peer == nullptr || peer->remote_as == remote->asn) continue;
+        // Solve the AS value against the session-consistency constraint.
+        smt::Solver solver;
+        solver.requireIntEq("asn", remote->asn);
+        solver.requireIntNeq("asn", peer->remote_as);
+        const smt::SolveResult solved = solver.solve();
+        if (!solved.sat) continue;
+        const std::uint32_t value =
+            static_cast<std::uint32_t>(solved.model.ints.at("asn"));
+        const std::string dev = self;
+        const net::Ipv4Address address = other_addr;
+        ProposedChange change;
+        change.template_name = name();
+        change.description = "fix as-number of peer " + address.str() +
+                             " on " + dev + ": " +
+                             std::to_string(peer->remote_as) + " -> " +
+                             std::to_string(value);
+        change.apply = [dev, address, value](topo::Network& network) {
+          cfg::DeviceConfig* target = network.config(dev);
+          if (target == nullptr || !target->bgp) return false;
+          cfg::PeerConfig* peer = target->bgp->findPeer(address);
+          if (peer == nullptr || peer->remote_as == value) return false;
+          peer->remote_as = value;
+          target->renumber();
+          return true;
+        };
+        changes.push_back(std::move(change));
+      }
+    }
+    return changes;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const ChangeTemplate> makeRestorePeerGroup() {
+  return std::make_shared<RestorePeerGroup>();
+}
+std::shared_ptr<const ChangeTemplate> makeRemoveGroupMember() {
+  return std::make_shared<RemoveGroupMember>();
+}
+std::shared_ptr<const ChangeTemplate> makeRemovePolicyBinding() {
+  return std::make_shared<RemovePolicyBinding>();
+}
+std::shared_ptr<const ChangeTemplate> makeRestorePolicy() {
+  return std::make_shared<RestorePolicy>();
+}
+std::shared_ptr<const ChangeTemplate> makeFixPeerAs() {
+  return std::make_shared<FixPeerAs>();
+}
+
+}  // namespace acr::fix

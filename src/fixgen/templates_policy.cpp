@@ -1,0 +1,339 @@
+// Templates for the Policy category of Table 1:
+//   * NarrowOverrideList — the paper's worked repair (§5): a route-policy
+//     with `apply as-path overwrite` matches a catch-all prefix-list; the
+//     list is symbolized and re-solved to the minimal scope that keeps
+//     passing tests passing (P) and stops covering failing ones (¬F).
+//   * AddPrefixListEntry — "Missing items in ip prefix-list": find the
+//     policies that deny a failing destination's route and add the missing
+//     permit to the prefix-list those policies match on. The fix place is
+//     discovered from the template, not the suspicious line (§5).
+//   * FixOverrideAsn — "Override to wrong AS number": an explicit
+//     `apply as-path overwrite <asn>` value is reset to the local AS.
+#include <algorithm>
+
+#include "fixgen/change.hpp"
+#include "routing/policy_eval.hpp"
+
+namespace acr::fix {
+
+namespace {
+
+/// Prefix-lists reachable from a suspicious line: the list itself, or the
+/// lists referenced by the policy node / policy the line belongs to.
+std::vector<std::string> listsForLine(const cfg::DeviceConfig& device,
+                                      const cfg::LineInfo& info) {
+  std::vector<std::string> names;
+  const auto addListsOfPolicy = [&](const cfg::RoutePolicy& policy) {
+    for (const auto& node : policy.nodes) {
+      for (const auto& match : node.matches) {
+        names.push_back(match.prefix_list);
+      }
+    }
+  };
+  switch (info.kind) {
+    case cfg::LineKind::kPrefixListEntry:
+      names.push_back(device.prefix_lists[static_cast<std::size_t>(info.a)].name);
+      break;
+    case cfg::LineKind::kPolicyMatch:
+      names.push_back(device.policies[static_cast<std::size_t>(info.a)]
+                          .nodes[static_cast<std::size_t>(info.b)]
+                          .matches[static_cast<std::size_t>(info.c)]
+                          .prefix_list);
+      break;
+    case cfg::LineKind::kPolicyNode:
+    case cfg::LineKind::kPolicyAction:
+      addListsOfPolicy(device.policies[static_cast<std::size_t>(info.a)]);
+      break;
+    case cfg::LineKind::kPeerImport:
+    case cfg::LineKind::kPeerExport: {
+      const auto& peer = device.bgp->peers[static_cast<std::size_t>(info.a)];
+      const std::string& policy_name = info.kind == cfg::LineKind::kPeerImport
+                                           ? peer.import_policy
+                                           : peer.export_policy;
+      const cfg::RoutePolicy* policy = device.findPolicy(policy_name);
+      if (policy != nullptr) addListsOfPolicy(*policy);
+      break;
+    }
+    case cfg::LineKind::kGroupImport:
+    case cfg::LineKind::kGroupExport: {
+      const auto& group = device.bgp->groups[static_cast<std::size_t>(info.a)];
+      const std::string& policy_name = info.kind == cfg::LineKind::kGroupImport
+                                           ? group.import_policy
+                                           : group.export_policy;
+      const cfg::RoutePolicy* policy = device.findPolicy(policy_name);
+      if (policy != nullptr) addListsOfPolicy(*policy);
+      break;
+    }
+    default:
+      break;
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::string coverStr(const std::vector<net::Prefix>& cover) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < cover.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += cover[i].str();
+  }
+  return out + "}";
+}
+
+// ---------------------------------------------------------------------------
+
+class NarrowOverrideList final : public ChangeTemplate {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "narrow-override-list";
+  }
+
+  [[nodiscard]] bool appliesTo(cfg::LineKind kind) const override {
+    switch (kind) {
+      case cfg::LineKind::kPrefixListEntry:
+      case cfg::LineKind::kPolicyMatch:
+      case cfg::LineKind::kPolicyNode:
+      case cfg::LineKind::kPolicyAction:
+      case cfg::LineKind::kPeerImport:
+      case cfg::LineKind::kGroupImport:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  [[nodiscard]] std::vector<ProposedChange> propose(
+      const RepairContext& context, const cfg::LineId& suspicious,
+      const cfg::LineInfo& info) const override {
+    std::vector<ProposedChange> changes;
+    const cfg::DeviceConfig* device = context.network.config(suspicious.device);
+    if (device == nullptr) return changes;
+    for (const std::string& list_name : listsForLine(*device, info)) {
+      const cfg::PrefixList* list = device->findPrefixList(list_name);
+      if (list == nullptr) continue;
+      const bool has_catch_all =
+          std::any_of(list->entries.begin(), list->entries.end(),
+                      [](const cfg::PrefixListEntry& entry) {
+                        return entry.prefix.length() == 0 &&
+                               entry.action == cfg::Action::kPermit;
+                      });
+      if (!has_catch_all) continue;
+      const PrefixListConstraints constraints =
+          collectListConstraints(context, suspicious.device, *list);
+      if (constraints.forbidden.empty()) continue;  // nothing to narrow away
+      const auto model = solveListModel(constraints);
+      if (!model) continue;
+      const std::string device_name = suspicious.device;
+      ProposedChange change;
+      change.template_name = name();
+      change.description = "narrow prefix-list " + list_name + " on " +
+                           device_name + " to " + coverStr(*model);
+      change.apply = [device_name, list_name, model](topo::Network& network) {
+        cfg::DeviceConfig* target = network.config(device_name);
+        if (target == nullptr) return false;
+        cfg::PrefixList* target_list = target->findPrefixList(list_name);
+        if (target_list == nullptr) return false;
+        const bool still_catch_all = std::any_of(
+            target_list->entries.begin(), target_list->entries.end(),
+            [](const cfg::PrefixListEntry& entry) {
+              return entry.prefix.length() == 0 &&
+                     entry.action == cfg::Action::kPermit;
+            });
+        if (!still_catch_all) return false;
+        target_list->entries.clear();
+        int index = 10;
+        for (const auto& prefix : *model) {
+          cfg::PrefixListEntry entry;
+          entry.index = index;
+          index += 10;
+          entry.action = cfg::Action::kPermit;
+          entry.prefix = prefix;
+          entry.greater_equal = prefix.length();
+          entry.less_equal = 32;
+          target_list->entries.push_back(entry);
+        }
+        target->renumber();
+        return true;
+      };
+      changes.push_back(std::move(change));
+    }
+    return changes;
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class AddPrefixListEntry final : public ChangeTemplate {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "add-prefix-list-entry";
+  }
+
+  [[nodiscard]] bool appliesTo(cfg::LineKind kind) const override {
+    // The fix place is discovered network-wide; the suspicious line only
+    // identifies the failing traffic, so accept the origination-side kinds
+    // SBFL flags for "route never arrived" symptoms as well.
+    switch (kind) {
+      case cfg::LineKind::kPrefixListEntry:
+      case cfg::LineKind::kPolicyMatch:
+      case cfg::LineKind::kPolicyNode:
+      case cfg::LineKind::kPeerImport:
+      case cfg::LineKind::kPeerExport:
+      case cfg::LineKind::kGroupImport:
+      case cfg::LineKind::kGroupExport:
+      case cfg::LineKind::kInterfaceIp:
+      case cfg::LineKind::kStaticRoute:
+      case cfg::LineKind::kRedistribute:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  [[nodiscard]] std::vector<ProposedChange> propose(
+      const RepairContext& context, const cfg::LineId& /*suspicious*/,
+      const cfg::LineInfo& /*info*/) const override {
+    std::vector<ProposedChange> changes;
+    // Forbidden prefixes: destinations that passing isolation tests rely on
+    // staying unreachable.
+    std::vector<net::Prefix> forbidden;
+    for (const auto& result : context.results) {
+      if (result.passed &&
+          context.intentOf(result).kind == verify::IntentKind::kIsolation) {
+        forbidden.push_back(
+            subnetPrefixOf(context.network, result.test.packet.dst));
+      }
+    }
+    std::set<std::pair<std::string, std::string>> proposed;  // (device, list)
+    for (const auto& result : context.results) {
+      if (result.passed) continue;
+      const verify::IntentKind kind = context.intentOf(result).kind;
+      if (kind != verify::IntentKind::kReachability &&
+          kind != verify::IntentKind::kBlackholeFree) {
+        continue;
+      }
+      const net::Prefix subject =
+          subnetPrefixOf(context.network, result.test.packet.dst);
+      if (std::any_of(forbidden.begin(), forbidden.end(),
+                      [&](const net::Prefix& f) { return f.overlaps(subject); }))
+        continue;
+      // Find every policy in the network that would deny this route, and the
+      // prefix-lists its permit nodes match on.
+      for (const auto& [device_name, device] : context.network.configs) {
+        for (const auto& policy : device.policies) {
+          route::Route probe;
+          probe.prefix = subject;
+          const route::PolicyVerdict verdict =
+              route::applyRoutePolicy(device, policy.name, probe, 0);
+          if (verdict.permitted) continue;
+          for (const auto& node : policy.nodes) {
+            if (node.action != cfg::Action::kPermit) continue;
+            for (const auto& match : node.matches) {
+              if (device.findPrefixList(match.prefix_list) == nullptr) continue;
+              if (!proposed.emplace(device_name, match.prefix_list).second) {
+                continue;
+              }
+              const std::string dev = device_name;
+              const std::string list_name = match.prefix_list;
+              ProposedChange change;
+              change.template_name = name();
+              change.description = "add permit " + subject.str() +
+                                   " to prefix-list " + list_name + " on " +
+                                   dev;
+              change.apply = [dev, list_name, subject](topo::Network& network) {
+                cfg::DeviceConfig* target = network.config(dev);
+                if (target == nullptr) return false;
+                cfg::PrefixList* list = target->findPrefixList(list_name);
+                if (list == nullptr) return false;
+                if (list->permits(subject)) return false;  // already permitted
+                cfg::PrefixListEntry entry;
+                entry.index = list->nextIndex();
+                entry.action = cfg::Action::kPermit;
+                entry.prefix = subject;
+                entry.greater_equal = subject.length();
+                entry.less_equal = 32;
+                list->entries.push_back(entry);
+                target->renumber();
+                return true;
+              };
+              changes.push_back(std::move(change));
+            }
+          }
+        }
+      }
+    }
+    return changes;
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class FixOverrideAsn final : public ChangeTemplate {
+ public:
+  [[nodiscard]] std::string name() const override { return "fix-override-asn"; }
+
+  [[nodiscard]] bool appliesTo(cfg::LineKind kind) const override {
+    return kind == cfg::LineKind::kPolicyAction;
+  }
+
+  [[nodiscard]] std::vector<ProposedChange> propose(
+      const RepairContext& context, const cfg::LineId& suspicious,
+      const cfg::LineInfo& info) const override {
+    std::vector<ProposedChange> changes;
+    const cfg::DeviceConfig* device = context.network.config(suspicious.device);
+    if (device == nullptr) return changes;
+    const auto& policy = device->policies[static_cast<std::size_t>(info.a)];
+    const auto& node = policy.nodes[static_cast<std::size_t>(info.b)];
+    const auto& action = node.actions[static_cast<std::size_t>(info.c)];
+    if (action.kind != cfg::PolicyActionKind::kAsPathOverwrite ||
+        action.value == 0) {
+      return changes;
+    }
+    const std::string device_name = suspicious.device;
+    const std::string policy_name = policy.name;
+    const int node_index = node.index;
+    const std::uint32_t bad_value = action.value;
+    ProposedChange change;
+    change.template_name = name();
+    change.description = "reset as-path overwrite on " + device_name + '/' +
+                         policy_name + " node " + std::to_string(node_index) +
+                         " from AS " + std::to_string(bad_value) +
+                         " to the local AS";
+    change.apply = [device_name, policy_name, node_index,
+                    bad_value](topo::Network& network) {
+      cfg::DeviceConfig* target = network.config(device_name);
+      if (target == nullptr) return false;
+      cfg::RoutePolicy* policy = target->findPolicy(policy_name);
+      if (policy == nullptr) return false;
+      for (auto& node : policy->nodes) {
+        if (node.index != node_index) continue;
+        for (auto& action : node.actions) {
+          if (action.kind == cfg::PolicyActionKind::kAsPathOverwrite &&
+              action.value == bad_value) {
+            action.value = 0;
+            target->renumber();
+            return true;
+          }
+        }
+      }
+      return false;
+    };
+    changes.push_back(std::move(change));
+    return changes;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const ChangeTemplate> makeNarrowOverrideList() {
+  return std::make_shared<NarrowOverrideList>();
+}
+std::shared_ptr<const ChangeTemplate> makeAddPrefixListEntry() {
+  return std::make_shared<AddPrefixListEntry>();
+}
+std::shared_ptr<const ChangeTemplate> makeFixOverrideAsn() {
+  return std::make_shared<FixOverrideAsn>();
+}
+
+}  // namespace acr::fix

@@ -1,0 +1,185 @@
+// Templates for the Route category of Table 1:
+//   * AddStaticRoute — "Missing redistribution of static route" (multi-line
+//     form): the destination subnet has no origination at its owner; re-add
+//     the static route and the `redistribute static` statement.
+//   * AddRedistribute — the single-line form: a static route (or connected
+//     interface) covers the destination but is never injected into BGP.
+#include <algorithm>
+
+#include "fixgen/change.hpp"
+
+namespace acr::fix {
+
+namespace {
+
+bool originationKind(cfg::LineKind kind) {
+  switch (kind) {
+    case cfg::LineKind::kInterfaceIp:
+    case cfg::LineKind::kStaticRoute:
+    case cfg::LineKind::kRedistribute:
+    case cfg::LineKind::kBgpHeader:
+    case cfg::LineKind::kPeerAs:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// First host address usable as a static next hop on `device`: a host on a
+/// connected non-transfer subnet (generator convention: .10).
+std::optional<net::Ipv4Address> nextHopCandidate(const cfg::DeviceConfig& device) {
+  for (const auto& itf : device.interfaces) {
+    if (itf.prefix_length < 30) {
+      return net::Ipv4Address(itf.connectedPrefix().address().value() + 10);
+    }
+  }
+  return std::nullopt;
+}
+
+struct FailingDestination {
+  net::Prefix subnet;
+  std::string owner;
+};
+
+std::vector<FailingDestination> failingReachabilityDests(
+    const RepairContext& context) {
+  std::vector<FailingDestination> dests;
+  std::set<std::string> seen;
+  for (const auto& result : context.results) {
+    if (result.passed) continue;
+    const verify::IntentKind kind = context.intentOf(result).kind;
+    if (kind != verify::IntentKind::kReachability &&
+        kind != verify::IntentKind::kBlackholeFree) {
+      continue;
+    }
+    const auto owner =
+        context.network.topology.subnetOwner(result.test.packet.dst);
+    if (!owner) continue;
+    const net::Prefix subnet =
+        subnetPrefixOf(context.network, result.test.packet.dst);
+    if (!seen.insert(subnet.str()).second) continue;
+    dests.push_back(FailingDestination{subnet, *owner});
+  }
+  return dests;
+}
+
+class AddStaticRoute final : public ChangeTemplate {
+ public:
+  [[nodiscard]] std::string name() const override { return "add-static-route"; }
+
+  [[nodiscard]] bool appliesTo(cfg::LineKind kind) const override {
+    return originationKind(kind);
+  }
+
+  [[nodiscard]] std::vector<ProposedChange> propose(
+      const RepairContext& context, const cfg::LineId& /*suspicious*/,
+      const cfg::LineInfo& /*info*/) const override {
+    std::vector<ProposedChange> changes;
+    for (const auto& dest : failingReachabilityDests(context)) {
+      const cfg::DeviceConfig* owner = context.network.config(dest.owner);
+      if (owner == nullptr || !owner->bgp) continue;
+      const bool has_origination =
+          std::any_of(owner->interfaces.begin(), owner->interfaces.end(),
+                      [&](const cfg::InterfaceConfig& itf) {
+                        return itf.connectedPrefix().contains(
+                            dest.subnet.address());
+                      }) ||
+          std::any_of(owner->static_routes.begin(), owner->static_routes.end(),
+                      [&](const cfg::StaticRouteConfig& sr) {
+                        return sr.prefix.contains(dest.subnet.address());
+                      });
+      if (has_origination) continue;
+      const auto next_hop = nextHopCandidate(*owner);
+      if (!next_hop) continue;
+      const std::string owner_name = dest.owner;
+      const net::Prefix subnet = dest.subnet;
+      const net::Ipv4Address hop = *next_hop;
+      ProposedChange change;
+      change.template_name = name();
+      change.description = "add static route " + subnet.str() + " via " +
+                           hop.str() + " (+ redistribute static) on " +
+                           owner_name;
+      change.apply = [owner_name, subnet, hop](topo::Network& network) {
+        cfg::DeviceConfig* target = network.config(owner_name);
+        if (target == nullptr || !target->bgp) return false;
+        const bool exists = std::any_of(
+            target->static_routes.begin(), target->static_routes.end(),
+            [&](const cfg::StaticRouteConfig& sr) {
+              return sr.prefix == subnet;
+            });
+        if (exists) return false;
+        target->static_routes.push_back(
+            cfg::StaticRouteConfig{subnet, hop, 0});
+        if (!target->bgp->redistributes_source(cfg::RedistSource::kStatic)) {
+          target->bgp->redistributes.push_back(
+              cfg::RedistributeConfig{cfg::RedistSource::kStatic, 0});
+        }
+        target->renumber();
+        return true;
+      };
+      changes.push_back(std::move(change));
+    }
+    return changes;
+  }
+};
+
+class AddRedistribute final : public ChangeTemplate {
+ public:
+  [[nodiscard]] std::string name() const override { return "add-redistribute"; }
+
+  [[nodiscard]] bool appliesTo(cfg::LineKind kind) const override {
+    return originationKind(kind);
+  }
+
+  [[nodiscard]] std::vector<ProposedChange> propose(
+      const RepairContext& context, const cfg::LineId& /*suspicious*/,
+      const cfg::LineInfo& /*info*/) const override {
+    std::vector<ProposedChange> changes;
+    for (const auto& dest : failingReachabilityDests(context)) {
+      const cfg::DeviceConfig* owner = context.network.config(dest.owner);
+      if (owner == nullptr || !owner->bgp) continue;
+      const bool via_static = std::any_of(
+          owner->static_routes.begin(), owner->static_routes.end(),
+          [&](const cfg::StaticRouteConfig& sr) {
+            return sr.prefix.contains(dest.subnet.address());
+          });
+      const bool via_connected = std::any_of(
+          owner->interfaces.begin(), owner->interfaces.end(),
+          [&](const cfg::InterfaceConfig& itf) {
+            return itf.connectedPrefix().contains(dest.subnet.address());
+          });
+      const cfg::RedistSource source = via_static
+                                           ? cfg::RedistSource::kStatic
+                                           : cfg::RedistSource::kConnected;
+      if (!via_static && !via_connected) continue;
+      if (owner->bgp->redistributes_source(source)) continue;
+      const std::string owner_name = dest.owner;
+      ProposedChange change;
+      change.template_name = name();
+      change.description = "add 'redistribute " +
+                           cfg::redistSourceName(source) + "' on " + owner_name;
+      change.apply = [owner_name, source](topo::Network& network) {
+        cfg::DeviceConfig* target = network.config(owner_name);
+        if (target == nullptr || !target->bgp) return false;
+        if (target->bgp->redistributes_source(source)) return false;
+        target->bgp->redistributes.push_back(
+            cfg::RedistributeConfig{source, 0});
+        target->renumber();
+        return true;
+      };
+      changes.push_back(std::move(change));
+    }
+    return changes;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const ChangeTemplate> makeAddStaticRoute() {
+  return std::make_shared<AddStaticRoute>();
+}
+std::shared_ptr<const ChangeTemplate> makeAddRedistribute() {
+  return std::make_shared<AddRedistribute>();
+}
+
+}  // namespace acr::fix

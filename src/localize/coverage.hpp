@@ -1,0 +1,26 @@
+// Coverage extraction: which configuration lines did a test "execute"?
+//
+// Per §4.1 of the paper, coverage is computed from network provenance: the
+// lines on the derivation chains of every route the test packet used, plus
+// the PBR rules evaluated along the trace. For tests that fail because a
+// route is *missing* (blackholes), the derivation chain alone cannot point
+// at the destination side, so the extractor additionally attributes the
+// destination-owning router's origination machinery (interface, static
+// routes covering the destination, redistribution statements) — the lines an
+// operator would inspect for a "route never announced" symptom.
+#pragma once
+
+#include <set>
+
+#include "config/ast.hpp"
+#include "routing/simulator.hpp"
+#include "topo/network.hpp"
+#include "verify/verifier.hpp"
+
+namespace acr::sbfl {
+
+[[nodiscard]] std::set<cfg::LineId> coverageOf(const topo::Network& network,
+                                               const route::SimResult& sim,
+                                               const verify::TestResult& result);
+
+}  // namespace acr::sbfl

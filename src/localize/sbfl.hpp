@@ -1,0 +1,78 @@
+// Spectrum-Based Fault Localization over configuration lines.
+//
+// The spectrum counts, per line, how many passing and failing tests covered
+// it; a suspiciousness formula turns the counts into a 0..1 score (§4.1,
+// Equation 1). Tarantula is the paper's choice; Ochiai, Jaccard and DStar(2)
+// are the §6 alternatives, and Random is the ablation floor.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config/ast.hpp"
+
+namespace acr::sbfl {
+
+enum class Metric : std::uint8_t {
+  kTarantula,
+  kOchiai,
+  kJaccard,
+  kDstar2,
+  kOp2,          // Naish et al.: f - p/(P+1); optimal for single faults
+  kKulczynski2,  // 0.5 * (f/F + f/(f+p))
+  kRandom,
+};
+
+[[nodiscard]] std::string metricName(Metric metric);
+
+/// All metrics (excluding kRandom) in declaration order, for sweeps.
+[[nodiscard]] const std::vector<Metric>& allMetrics();
+
+struct LineScore {
+  cfg::LineId line;
+  double suspiciousness = 0.0;
+  int failed_cover = 0;  // failed(s)
+  int passed_cover = 0;  // passed(s)
+};
+
+class Spectrum {
+ public:
+  /// Records one test's coverage and verdict.
+  void addTest(const std::set<cfg::LineId>& covered, bool passed);
+
+  [[nodiscard]] int totalPassed() const { return total_passed_; }
+  [[nodiscard]] int totalFailed() const { return total_failed_; }
+
+  /// Suspiciousness of one line under `metric`.
+  [[nodiscard]] double score(const cfg::LineId& line, Metric metric,
+                             std::uint64_t seed = 0) const;
+
+  /// Every covered line ranked by descending suspiciousness (ties broken by
+  /// line id for determinism).
+  [[nodiscard]] std::vector<LineScore> rank(Metric metric,
+                                            std::uint64_t seed = 0) const;
+
+  /// The top-scoring lines only (all lines sharing the maximum score).
+  [[nodiscard]] std::vector<LineScore> mostSuspicious(
+      Metric metric, std::uint64_t seed = 0) const;
+
+  [[nodiscard]] std::size_t coveredLineCount() const { return counts_.size(); }
+
+ private:
+  struct Counts {
+    int failed = 0;
+    int passed = 0;
+  };
+  [[nodiscard]] double scoreCounts(const Counts& counts, Metric metric,
+                                   const cfg::LineId& line,
+                                   std::uint64_t seed) const;
+
+  std::map<cfg::LineId, Counts> counts_;
+  int total_passed_ = 0;
+  int total_failed_ = 0;
+};
+
+}  // namespace acr::sbfl

@@ -1,0 +1,70 @@
+#include "localize/testgen.hpp"
+
+#include "localize/coverage.hpp"
+
+namespace acr::sbfl {
+
+TestGenResult generateCoverageGuidedTests(
+    const topo::Network& network, const std::vector<verify::Intent>& intents,
+    const TestGenOptions& options, const route::SimOptions& sim_options) {
+  TestGenResult result;
+
+  route::SimOptions with_provenance = sim_options;
+  with_provenance.record_provenance = true;
+  const route::SimResult sim = route::Simulator(network).run(with_provenance);
+  const verify::Verifier verifier(intents, with_provenance);
+
+  std::set<cfg::LineId> covered;
+  const auto tryAdd = [&](const verify::TestCase& test) {
+    const std::vector<verify::TestResult> outcome =
+        verifier.runTests(network, sim, {test});
+    const std::set<cfg::LineId> lines =
+        coverageOf(network, sim, outcome.front());
+    std::size_t fresh = 0;
+    for (const auto& line : lines) {
+      if (covered.insert(line).second) ++fresh;
+    }
+    if (fresh > 0) {
+      result.tests.push_back(test);
+      return true;
+    }
+    ++result.rejected;
+    return false;
+  };
+
+  // Round 1: the base suite — one packet per intent, kept unconditionally
+  // (every intent must stay represented so verification semantics are
+  // unchanged; redundant-by-coverage base tests still serve as verdicts).
+  for (std::size_t i = 0; i < intents.size(); ++i) {
+    verify::TestCase test;
+    test.intent_index = static_cast<int>(i);
+    test.packet = intents[i].space.sample(0);
+    const std::vector<verify::TestResult> outcome =
+        verifier.runTests(network, sim, {test});
+    const std::set<cfg::LineId> lines =
+        coverageOf(network, sim, outcome.front());
+    covered.insert(lines.begin(), lines.end());
+    result.tests.push_back(test);
+  }
+  result.rounds = 1;
+
+  int plateau = 0;
+  for (int round = 2; round <= options.max_samples_per_intent; ++round) {
+    result.rounds = round;
+    bool gained = false;
+    for (std::size_t i = 0; i < intents.size(); ++i) {
+      verify::TestCase test;
+      test.intent_index = static_cast<int>(i);
+      test.packet =
+          intents[i].space.sample(static_cast<std::uint64_t>(round - 1));
+      if (tryAdd(test)) gained = true;
+    }
+    plateau = gained ? 0 : plateau + 1;
+    if (plateau >= options.plateau_rounds) break;
+  }
+
+  result.covered_lines = covered.size();
+  return result;
+}
+
+}  // namespace acr::sbfl

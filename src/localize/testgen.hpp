@@ -1,0 +1,40 @@
+// Coverage-guided test-suite generation (§6, "Generating test suite for
+// configurations").
+//
+// SBFL's accuracy depends on test-suite coverage (§4.1). The base suite —
+// one sampled packet per intent — can leave configuration regions covered by
+// no test. This generator grows the suite greedily: each round samples one
+// more packet per intent (fresh deterministic seeds) and keeps only the
+// tests that cover configuration lines no earlier test covered, stopping
+// when a full round contributes nothing new (a coverage plateau).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "routing/simulator.hpp"
+#include "topo/network.hpp"
+#include "verify/verifier.hpp"
+
+namespace acr::sbfl {
+
+struct TestGenOptions {
+  int max_samples_per_intent = 8;
+  int plateau_rounds = 2;  // stop after this many rounds with no new lines
+};
+
+struct TestGenResult {
+  std::vector<verify::TestCase> tests;
+  std::size_t covered_lines = 0;  // lines covered by the final suite
+  int rounds = 0;                 // sampling rounds performed
+  int rejected = 0;               // samples dropped for adding no coverage
+};
+
+/// Builds a coverage-guided suite for `network` under `intents`. Simulates
+/// once (with provenance) and reuses that state for every candidate test.
+[[nodiscard]] TestGenResult generateCoverageGuidedTests(
+    const topo::Network& network, const std::vector<verify::Intent>& intents,
+    const TestGenOptions& options = {},
+    const route::SimOptions& sim_options = {});
+
+}  // namespace acr::sbfl

@@ -1,0 +1,62 @@
+#include "netcore/five_tuple.hpp"
+
+namespace acr::net {
+
+std::string protocolName(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kAny:
+      return "any";
+    case Protocol::kIcmp:
+      return "icmp";
+    case Protocol::kTcp:
+      return "tcp";
+    case Protocol::kUdp:
+      return "udp";
+  }
+  return "proto-" + std::to_string(static_cast<int>(protocol));
+}
+
+std::string FiveTuple::str() const {
+  return protocolName(protocol) + ' ' + src.str() + ':' +
+         std::to_string(src_port) + " -> " + dst.str() + ':' +
+         std::to_string(dst_port);
+}
+
+bool HeaderSpace::matches(const FiveTuple& packet) const {
+  if (!src_space.contains(packet.src)) return false;
+  if (!dst_space.contains(packet.dst)) return false;
+  if (protocol != Protocol::kAny && packet.protocol != protocol) return false;
+  if (dst_port != 0 && packet.dst_port != dst_port) return false;
+  return true;
+}
+
+FiveTuple HeaderSpace::sample(std::uint64_t seed) const {
+  // SplitMix64 step: cheap, deterministic, well spread.
+  auto mix = [](std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  };
+  const std::uint64_t r = mix(seed + 1);
+  FiveTuple packet;
+  const std::uint32_t src_host_bits = ~src_space.mask();
+  const std::uint32_t dst_host_bits = ~dst_space.mask();
+  packet.src = Ipv4Address(src_space.address().value() |
+                           (static_cast<std::uint32_t>(r) & src_host_bits));
+  packet.dst = Ipv4Address(dst_space.address().value() |
+                           (static_cast<std::uint32_t>(r >> 32) & dst_host_bits));
+  packet.protocol = protocol == Protocol::kAny ? Protocol::kTcp : protocol;
+  packet.src_port = static_cast<std::uint16_t>(1024 + (r % 50000));
+  packet.dst_port = dst_port != 0 ? dst_port : 80;
+  return packet;
+}
+
+std::string HeaderSpace::str() const {
+  std::string out = src_space.str() + " -> " + dst_space.str();
+  if (protocol != Protocol::kAny) out += ' ' + protocolName(protocol);
+  if (dst_port != 0) out += ":" + std::to_string(dst_port);
+  return out;
+}
+
+}  // namespace acr::net

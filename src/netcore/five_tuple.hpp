@@ -1,0 +1,56 @@
+// Packet header 5-tuple and deterministic header-space sampling.
+//
+// Intents in the verifier describe header spaces; the SBFL test generator
+// samples one concrete packet per intent from that space (§4.1 of the paper).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "netcore/ipv4.hpp"
+#include "netcore/prefix.hpp"
+
+namespace acr::net {
+
+enum class Protocol : std::uint8_t {
+  kAny = 0,
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+[[nodiscard]] std::string protocolName(Protocol protocol);
+
+struct FiveTuple {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Protocol protocol = Protocol::kAny;
+
+  friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Header space of an intent: source and destination prefixes plus an
+/// optional protocol/port restriction.
+struct HeaderSpace {
+  Prefix src_space;
+  Prefix dst_space;
+  Protocol protocol = Protocol::kAny;
+  std::uint16_t dst_port = 0;  // 0 = any
+
+  [[nodiscard]] bool matches(const FiveTuple& packet) const;
+
+  /// Deterministic sample: a representative packet from the space, seeded so
+  /// repeated sampling with distinct seeds spreads across the space.
+  [[nodiscard]] FiveTuple sample(std::uint64_t seed = 0) const;
+
+  [[nodiscard]] std::string str() const;
+
+  friend auto operator<=>(const HeaderSpace&, const HeaderSpace&) = default;
+};
+
+}  // namespace acr::net

@@ -1,0 +1,43 @@
+#include "netcore/ipv4.hpp"
+
+#include <charconv>
+
+namespace acr::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint32_t value = 0;
+  int octets = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t dot = text.find('.', pos);
+    const std::string_view part =
+        text.substr(pos, dot == std::string_view::npos ? dot : dot - pos);
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    unsigned octet = 0;
+    const auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), octet);
+    if (ec != std::errc{} || ptr != part.data() + part.size() || octet > 255) {
+      return std::nullopt;
+    }
+    if (++octets > 4) return std::nullopt;
+    value = (value << 8) | octet;
+    if (dot == std::string_view::npos) break;
+    pos = dot + 1;
+  }
+  // Right-pad abbreviated forms: "10.70" denotes 10.70.0.0.
+  value <<= 8 * (4 - octets);
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::str() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((value_ >> shift) & 0xFF);
+    if (shift != 0) out += '.';
+  }
+  return out;
+}
+
+}  // namespace acr::net

@@ -1,0 +1,46 @@
+// IPv4 address value type used throughout ACR.
+//
+// Addresses are stored in host byte order so arithmetic (masking, ranges,
+// trie walks) is plain integer arithmetic. Parsing accepts full dotted-quad
+// notation as well as the abbreviated forms that appear in the paper and in
+// operator shorthand ("10.0" == 10.0.0.0).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace acr::net {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t host_order) : value_(host_order) {}
+
+  /// Builds an address from its four octets, most significant first.
+  static constexpr Ipv4Address fromOctets(std::uint8_t a, std::uint8_t b,
+                                          std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses "a.b.c.d". Abbreviated forms "a", "a.b" and "a.b.c" are accepted
+  /// and right-padded with zero octets ("10.70" -> 10.70.0.0), matching the
+  /// notation used in the paper (e.g. "10.0/16"). Returns nullopt on any
+  /// malformed input; never throws.
+  [[nodiscard]] static std::optional<Ipv4Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  /// Dotted-quad rendering, always four octets.
+  [[nodiscard]] std::string str() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace acr::net

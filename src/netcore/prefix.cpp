@@ -1,0 +1,112 @@
+#include "netcore/prefix.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace acr::net {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  const std::string_view addr_part =
+      slash == std::string_view::npos ? text : text.substr(0, slash);
+  const auto address = Ipv4Address::parse(addr_part);
+  if (!address) return std::nullopt;
+  unsigned length = 32;
+  if (slash != std::string_view::npos) {
+    const std::string_view len_part = text.substr(slash + 1);
+    const auto [ptr, ec] = std::from_chars(
+        len_part.data(), len_part.data() + len_part.size(), length);
+    if (ec != std::errc{} || ptr != len_part.data() + len_part.size() ||
+        length > 32) {
+      return std::nullopt;
+    }
+  }
+  return Prefix(*address, static_cast<std::uint8_t>(length));
+}
+
+std::pair<Prefix, Prefix> Prefix::children() const {
+  const auto child_len = static_cast<std::uint8_t>(length_ + 1);
+  const std::uint32_t high_bit = 1U << (32 - child_len);
+  return {Prefix(address_, child_len),
+          Prefix(Ipv4Address(address_.value() | high_bit), child_len)};
+}
+
+std::string Prefix::str() const {
+  return address_.str() + '/' + std::to_string(length_);
+}
+
+std::vector<Prefix> subtract(const Prefix& from, const Prefix& remove) {
+  if (remove.contains(from)) return {};
+  if (!from.contains(remove)) return {from};
+  // `remove` is a strict sub-prefix: walk from `from` toward `remove`,
+  // emitting the sibling of each step — those siblings exactly cover
+  // from \ remove.
+  std::vector<Prefix> result;
+  Prefix current = from;
+  while (current.length() < remove.length()) {
+    const auto [left, right] = current.children();
+    if (left.contains(remove)) {
+      result.push_back(right);
+      current = left;
+    } else {
+      result.push_back(left);
+      current = right;
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Prefix& a, const Prefix& b) {
+              return a.address() < b.address();
+            });
+  return result;
+}
+
+std::vector<Prefix> subtract(const Prefix& from,
+                             std::span<const Prefix> removes) {
+  std::vector<Prefix> remaining{from};
+  for (const Prefix& remove : removes) {
+    std::vector<Prefix> next;
+    for (const Prefix& piece : remaining) {
+      auto pieces = subtract(piece, remove);
+      next.insert(next.end(), pieces.begin(), pieces.end());
+    }
+    remaining = std::move(next);
+  }
+  return minimizeCover(std::move(remaining));
+}
+
+std::vector<Prefix> minimizeCover(std::vector<Prefix> prefixes) {
+  if (prefixes.empty()) return prefixes;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::sort(prefixes.begin(), prefixes.end(),
+              [](const Prefix& a, const Prefix& b) {
+                return a.address() != b.address()
+                           ? a.address() < b.address()
+                           : a.length() < b.length();
+              });
+    std::vector<Prefix> next;
+    for (const Prefix& p : prefixes) {
+      if (!next.empty() && next.back().contains(p)) {
+        changed = true;  // drop contained prefix
+        continue;
+      }
+      if (!next.empty() && next.back().length() == p.length() &&
+          p.length() > 0) {
+        const Prefix parent(next.back().address(),
+                            static_cast<std::uint8_t>(p.length() - 1));
+        if (parent.contains(next.back()) && parent.contains(p) &&
+            next.back() != p) {
+          next.back() = parent;  // merge sibling pair
+          changed = true;
+          continue;
+        }
+      }
+      next.push_back(p);
+    }
+    prefixes = std::move(next);
+  }
+  return prefixes;
+}
+
+}  // namespace acr::net

@@ -1,0 +1,88 @@
+// IPv4 prefixes and exact prefix arithmetic.
+//
+// Prefixes are canonical (host bits masked off). Besides the usual
+// containment/overlap queries, this module provides exact prefix
+// *subtraction*, which the fix-generation solver (acr::smt) relies on: when a
+// required super-prefix contains a forbidden sub-prefix, the super-prefix is
+// split into the minimal set of prefixes covering everything but the
+// forbidden part.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netcore/ipv4.hpp"
+
+namespace acr::net {
+
+class Prefix {
+ public:
+  /// Default prefix is 0.0.0.0/0 (the full address space).
+  constexpr Prefix() = default;
+
+  /// Canonicalizes: host bits beyond `length` are cleared.
+  constexpr Prefix(Ipv4Address address, std::uint8_t length)
+      : length_(length > 32 ? 32 : length),
+        address_(Ipv4Address(address.value() & maskFor(length_))) {}
+
+  /// Parses "10.0.0.0/16", the paper's shorthand "10.0/16", or a bare address
+  /// (treated as /32). Returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<Prefix> parse(std::string_view text);
+
+  [[nodiscard]] constexpr Ipv4Address address() const { return address_; }
+  [[nodiscard]] constexpr std::uint8_t length() const { return length_; }
+  [[nodiscard]] constexpr std::uint32_t mask() const { return maskFor(length_); }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address a) const {
+    return (a.value() & mask()) == address_.value();
+  }
+  /// True when every address of `other` lies inside this prefix.
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const {
+    return length_ <= other.length_ && contains(other.address_);
+  }
+  [[nodiscard]] constexpr bool overlaps(const Prefix& other) const {
+    return contains(other) || other.contains(*this);
+  }
+
+  [[nodiscard]] constexpr Ipv4Address firstAddress() const { return address_; }
+  [[nodiscard]] constexpr Ipv4Address lastAddress() const {
+    return Ipv4Address(address_.value() | ~mask());
+  }
+
+  /// The two child prefixes of length+1. Precondition: length() < 32.
+  [[nodiscard]] std::pair<Prefix, Prefix> children() const;
+
+  /// "10.0.0.0/16" rendering.
+  [[nodiscard]] std::string str() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  static constexpr std::uint32_t maskFor(std::uint8_t length) {
+    return length == 0 ? 0U : ~std::uint32_t{0} << (32 - length);
+  }
+
+  std::uint8_t length_ = 0;
+  Ipv4Address address_{};
+};
+
+/// Exact set difference `from \ remove` as a minimal list of prefixes,
+/// ordered by address. Empty when `remove` covers `from`; {from} when they
+/// are disjoint.
+[[nodiscard]] std::vector<Prefix> subtract(const Prefix& from, const Prefix& remove);
+
+/// Set difference against a list of prefixes to remove.
+[[nodiscard]] std::vector<Prefix> subtract(const Prefix& from,
+                                           std::span<const Prefix> removes);
+
+/// Collapses a prefix list: drops prefixes contained in another and merges
+/// sibling pairs into their parent, repeatedly, yielding a minimal cover of
+/// the same address set.
+[[nodiscard]] std::vector<Prefix> minimizeCover(std::vector<Prefix> prefixes);
+
+}  // namespace acr::net

@@ -1,0 +1,171 @@
+// Binary prefix trie with longest-prefix match, the core lookup structure of
+// FIBs and prefix-list evaluation.
+//
+// Header-only template. Values are stored per exact prefix; lookups return
+// the value of the longest inserted prefix containing the query address.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "netcore/ipv4.hpp"
+#include "netcore/prefix.hpp"
+
+namespace acr::net {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  PrefixTrie(const PrefixTrie& other) : root_(cloneNode(other.root_.get())) {
+    size_ = other.size_;
+  }
+  PrefixTrie& operator=(const PrefixTrie& other) {
+    if (this != &other) {
+      root_ = cloneNode(other.root_.get());
+      size_ = other.size_;
+    }
+    return *this;
+  }
+  PrefixTrie(PrefixTrie&&) noexcept = default;
+  PrefixTrie& operator=(PrefixTrie&&) noexcept = default;
+
+  /// Inserts or replaces the value at `prefix`. Returns true when the prefix
+  /// was not present before.
+  bool insert(const Prefix& prefix, T value) {
+    Node* node = descend(prefix, /*create=*/true);
+    const bool fresh = !node->value.has_value();
+    node->value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Removes the value at exactly `prefix`; returns true when one existed.
+  bool erase(const Prefix& prefix) {
+    Node* node = descend(prefix, /*create=*/false);
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] const T* exactMatch(const Prefix& prefix) const {
+    const Node* node = descendConst(prefix);
+    return (node != nullptr && node->value) ? &*node->value : nullptr;
+  }
+
+  [[nodiscard]] T* exactMatch(const Prefix& prefix) {
+    Node* node = descend(prefix, /*create=*/false);
+    return (node != nullptr && node->value) ? &*node->value : nullptr;
+  }
+
+  /// Longest-prefix match: value of the longest inserted prefix containing
+  /// `address`, or nullptr when no prefix matches.
+  [[nodiscard]] const T* longestMatch(Ipv4Address address) const {
+    const Node* node = root_.get();
+    const T* best = node->value ? &*node->value : nullptr;
+    for (int bit = 31; bit >= 0 && node != nullptr; --bit) {
+      const std::size_t side = (address.value() >> bit) & 1U;
+      node = node->child[side].get();
+      if (node != nullptr && node->value) best = &*node->value;
+    }
+    return best;
+  }
+
+  /// Matched prefix alongside the value.
+  [[nodiscard]] std::optional<std::pair<Prefix, T>> longestMatchEntry(
+      Ipv4Address address) const {
+    const Node* node = root_.get();
+    std::optional<std::pair<Prefix, T>> best;
+    if (node->value) best = {Prefix(Ipv4Address(0), 0), *node->value};
+    std::uint32_t bits = 0;
+    for (int depth = 1; depth <= 32; ++depth) {
+      const std::size_t side = (address.value() >> (32 - depth)) & 1U;
+      node = node->child[side].get();
+      if (node == nullptr) break;
+      bits = (bits << 1) | static_cast<std::uint32_t>(side);
+      if (node->value) {
+        best = {Prefix(Ipv4Address(bits << (32 - depth)),
+                       static_cast<std::uint8_t>(depth)),
+                *node->value};
+      }
+    }
+    return best;
+  }
+
+  /// Visits every (prefix, value) pair in address order.
+  void visit(const std::function<void(const Prefix&, const T&)>& fn) const {
+    visitNode(root_.get(), 0, 0, fn);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  static std::unique_ptr<Node> cloneNode(const Node* node) {
+    auto copy = std::make_unique<Node>();
+    copy->value = node->value;
+    for (int i = 0; i < 2; ++i) {
+      if (node->child[i]) copy->child[i] = cloneNode(node->child[i].get());
+    }
+    return copy;
+  }
+
+  Node* descend(const Prefix& prefix, bool create) {
+    Node* node = root_.get();
+    for (int depth = 1; depth <= prefix.length(); ++depth) {
+      const std::size_t side =
+          (prefix.address().value() >> (32 - depth)) & 1U;
+      if (!node->child[side]) {
+        if (!create) return nullptr;
+        node->child[side] = std::make_unique<Node>();
+      }
+      node = node->child[side].get();
+    }
+    return node;
+  }
+
+  [[nodiscard]] const Node* descendConst(const Prefix& prefix) const {
+    const Node* node = root_.get();
+    for (int depth = 1; depth <= prefix.length(); ++depth) {
+      const std::size_t side =
+          (prefix.address().value() >> (32 - depth)) & 1U;
+      node = node->child[side].get();
+      if (node == nullptr) return nullptr;
+    }
+    return node;
+  }
+
+  static void visitNode(const Node* node, std::uint32_t bits, int depth,
+                        const std::function<void(const Prefix&, const T&)>& fn) {
+    if (node == nullptr) return;
+    if (node->value) {
+      fn(Prefix(Ipv4Address(depth == 0 ? 0 : bits << (32 - depth)),
+                static_cast<std::uint8_t>(depth)),
+         *node->value);
+    }
+    for (std::size_t side = 0; side < 2; ++side) {
+      visitNode(node->child[side].get(), (bits << 1) | side, depth + 1, fn);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace acr::net

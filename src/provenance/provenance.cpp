@@ -1,0 +1,38 @@
+#include "provenance/provenance.hpp"
+
+namespace acr::prov {
+
+void ProvenanceGraph::collectLines(DerivationId id,
+                                   std::set<cfg::LineId>& out) const {
+  while (id != kNoDerivation) {
+    const Derivation& node = at(id);
+    out.insert(node.lines.begin(), node.lines.end());
+    id = node.parent;
+  }
+}
+
+int ProvenanceGraph::chainLength(DerivationId id) const {
+  int length = 0;
+  while (id != kNoDerivation) {
+    ++length;
+    id = at(id).parent;
+  }
+  return length;
+}
+
+void ProvenanceGraph::collectLinesForPrefix(const net::Prefix& prefix,
+                                            std::set<cfg::LineId>& out) const {
+  for (const Derivation& node : nodes_) {
+    if (node.prefix == prefix) {
+      out.insert(node.lines.begin(), node.lines.end());
+    }
+  }
+}
+
+int ProvenanceGraph::leafCount(DerivationId id) const {
+  std::set<cfg::LineId> lines;
+  collectLines(id, lines);
+  return static_cast<int>(lines.size());
+}
+
+}  // namespace acr::prov

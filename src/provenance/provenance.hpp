@@ -1,0 +1,72 @@
+// Network provenance: a DAG of route derivations recorded by the simulator.
+//
+// Every candidate route a router accepts gets a Derivation node holding the
+// configuration lines evaluated while producing it (peer statements, policy
+// nodes, matched prefix-list entries, static-route and redistribution lines)
+// and a parent pointer to the derivation of the advertising router's route.
+//
+// Two consumers:
+//   * coverage extraction for SBFL — a test's coverage is the union of lines
+//     on the derivation chains of the routes its packet used (the paper's
+//     §4.1, mirroring Y!/NetCov);
+//   * the MetaProv baseline and Figure 3 — its search space is the set of
+//     leaf config lines of the provenance tree of the failed event.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config/ast.hpp"
+#include "netcore/prefix.hpp"
+
+namespace acr::prov {
+
+using DerivationId = std::int32_t;
+inline constexpr DerivationId kNoDerivation = -1;
+
+struct Derivation {
+  std::string router;
+  net::Prefix prefix;
+  DerivationId parent = kNoDerivation;
+  std::vector<cfg::LineId> lines;
+};
+
+class ProvenanceGraph {
+ public:
+  DerivationId add(Derivation derivation) {
+    nodes_.push_back(std::move(derivation));
+    return static_cast<DerivationId>(nodes_.size()) - 1;
+  }
+
+  [[nodiscard]] const Derivation& at(DerivationId id) const {
+    return nodes_.at(static_cast<std::size_t>(id));
+  }
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+  void clear() { nodes_.clear(); }
+
+  /// Union of config lines along the whole derivation chain of `id`.
+  void collectLines(DerivationId id, std::set<cfg::LineId>& out) const;
+
+  /// Number of derivation steps (routers traversed) in the chain.
+  [[nodiscard]] int chainLength(DerivationId id) const;
+
+  /// Number of distinct config lines on the chain — the provenance-tree
+  /// leaf count that defines MetaProv's search space (Figure 3a).
+  [[nodiscard]] int leafCount(DerivationId id) const;
+
+  /// Union of config lines across EVERY derivation recorded for `prefix`
+  /// (all routers, all simulation rounds). For an oscillating prefix the
+  /// final-state chain only reflects one cycle state; the lines "executed"
+  /// by the flap are the union over the whole cycle.
+  void collectLinesForPrefix(const net::Prefix& prefix,
+                             std::set<cfg::LineId>& out) const;
+
+ private:
+  std::vector<Derivation> nodes_;
+};
+
+}  // namespace acr::prov

@@ -1,0 +1,422 @@
+#include "repair/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <random>
+
+#include "fixgen/change.hpp"
+#include "localize/coverage.hpp"
+#include "localize/testgen.hpp"
+#include "verify/failures.hpp"
+
+namespace acr::repair {
+
+std::string terminationName(Termination termination) {
+  switch (termination) {
+    case Termination::kRepaired:
+      return "repaired";
+    case Termination::kNothingToRepair:
+      return "nothing-to-repair";
+    case Termination::kExhausted:
+      return "candidates-exhausted";
+    case Termination::kIterationLimit:
+      return "iteration-limit";
+    case Termination::kTimeBudget:
+      return "time-budget-exceeded";
+  }
+  return "?";
+}
+
+std::string RepairResult::summary() const {
+  std::string out = terminationName(termination);
+  out += ": " + std::to_string(initial_failed) + " -> " +
+         std::to_string(final_failed) + " failing tests in " +
+         std::to_string(iterations) + " iteration(s), " +
+         std::to_string(validations) + " validation(s)";
+  if (!changes.empty()) {
+    out += "\nchanges:";
+    for (const auto& change : changes) out += "\n  * " + change;
+  }
+  return out;
+}
+
+namespace {
+
+struct Candidate {
+  topo::Network network;
+  std::vector<std::string> changes;
+  /// The applied change closures, in order — replayable against the original
+  /// faulty network, which is what makes crossover possible.
+  std::vector<fix::ProposedChange> applied;
+  int fitness = 0;
+};
+
+}  // namespace
+
+RepairResult AcrEngine::repair(const topo::Network& faulty) const {
+  const auto started = std::chrono::steady_clock::now();
+  RepairResult result;
+  result.repaired = faulty;
+
+  route::SimOptions validate_options = options_.sim_options;
+  validate_options.record_provenance = false;  // validation never needs it
+  route::SimOptions localize_options = options_.sim_options;
+  localize_options.record_provenance = true;
+  if (options_.multipath) localize_options.enable_ecmp = true;
+
+  std::vector<verify::TestCase> tests;
+  if (options_.coverage_guided_tests) {
+    tests = sbfl::generateCoverageGuidedTests(faulty, intents_, {},
+                                              options_.sim_options)
+                .tests;
+  } else {
+    tests = verify::generateTests(intents_, options_.samples_per_intent);
+  }
+  // k-failure tolerance report / violation count (empty/0 when disabled).
+  const auto toleranceReport =
+      [&](const topo::Network& updated) -> verify::FailureToleranceReport {
+    if (options_.tolerance_k <= 0) return {};
+    verify::FailureToleranceOptions tolerance_options;
+    tolerance_options.max_link_failures = options_.tolerance_k;
+    tolerance_options.max_scenarios = options_.tolerance_max_scenarios;
+    tolerance_options.samples_per_intent = options_.samples_per_intent;
+    tolerance_options.sim_options = validate_options;
+    return verify::verifyUnderFailures(updated, intents_, tolerance_options);
+  };
+  const auto toleranceFailures = [&](const topo::Network& updated) -> int {
+    int failures = 0;
+    for (const auto& violation : toleranceReport(updated).violations) {
+      failures += violation.tests_failed;
+    }
+    return failures;
+  };
+
+  verify::IncrementalVerifier main_verifier(intents_, tests, validate_options,
+                                            options_.multipath);
+  const verify::VerifyResult baseline = main_verifier.baseline(faulty);
+  const int baseline_fitness =
+      baseline.tests_failed + toleranceFailures(faulty);
+  result.initial_failed = baseline_fitness;
+  result.final_failed = baseline_fitness;
+
+  const auto finish = [&](Termination termination, bool success) {
+    result.termination = termination;
+    result.success = success;
+    result.diff = diffNetworks(faulty, result.repaired);
+    result.elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    return result;
+  };
+
+  if (baseline_fitness == 0) return finish(Termination::kNothingToRepair, true);
+
+  std::mt19937_64 rng(options_.seed);
+  std::vector<Candidate> population{
+      Candidate{faulty, {}, {}, baseline_fitness}};
+  int previous_fitness = baseline_fitness;
+  const verify::Verifier localize_verifier(intents_, localize_options,
+                                           options_.multipath);
+
+  // Fitness of one candidate network (= number of failing tests), through
+  // the configured validation path.
+  const auto fitnessOf = [&](const topo::Network& updated) -> int {
+    ++result.validations;
+    if (options_.use_incremental) {
+      const auto before = main_verifier.stats();
+      const verify::VerifyResult verdict = main_verifier.probe(updated);
+      const auto after = main_verifier.stats();
+      result.tests_reverified +=
+          after.tests_reverified - before.tests_reverified;
+      result.tests_skipped += after.tests_skipped - before.tests_skipped;
+      return verdict.tests_failed + toleranceFailures(updated);
+    }
+    const verify::Verifier full(intents_, validate_options, options_.multipath);
+    const verify::VerifyResult verdict =
+        full.verify(updated, options_.samples_per_intent);
+    result.tests_reverified += static_cast<std::uint64_t>(verdict.tests_run);
+    return verdict.tests_failed + toleranceFailures(updated);
+  };
+
+  for (int iteration = 1; iteration <= options_.max_iterations; ++iteration) {
+    if (options_.time_budget_ms > 0.0) {
+      const double elapsed = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - started)
+                                 .count();
+      if (elapsed > options_.time_budget_ms) {
+        return finish(Termination::kTimeBudget, false);
+      }
+    }
+    result.iterations = iteration;
+    IterationStats stats;
+    stats.iteration = iteration;
+
+    std::vector<Candidate> next_population;
+    for (const Candidate& candidate : population) {
+      // ---- LOCALIZE -------------------------------------------------------
+      route::SimResult sim =
+          route::Simulator(candidate.network).run(localize_options);
+      std::vector<verify::TestResult> test_results =
+          localize_verifier.runTests(candidate.network, sim, tests);
+      // When the plain suite is green but a k-failure scenario violates,
+      // the fault is latent: localize on the degraded topology where the
+      // violation manifests (configs are identical, so line coordinates
+      // transfer directly).
+      const topo::Network* context_network = &candidate.network;
+      topo::Network degraded;
+      const bool plain_failing =
+          std::any_of(test_results.begin(), test_results.end(),
+                      [](const verify::TestResult& r) { return !r.passed; });
+      if (!plain_failing && options_.tolerance_k > 0) {
+        const verify::FailureToleranceReport report =
+            toleranceReport(candidate.network);
+        if (!report.violations.empty()) {
+          degraded = verify::withoutLinks(
+              candidate.network, report.violations.front().link_indices);
+          sim = route::Simulator(degraded).run(localize_options);
+          test_results = localize_verifier.runTests(degraded, sim, tests);
+          context_network = &degraded;
+        }
+      }
+      std::vector<std::set<cfg::LineId>> coverage;
+      coverage.reserve(test_results.size());
+      sbfl::Spectrum spectrum;
+      for (const auto& test_result : test_results) {
+        coverage.push_back(
+            sbfl::coverageOf(*context_network, sim, test_result));
+        spectrum.addTest(coverage.back(), test_result.passed);
+      }
+      const std::vector<sbfl::LineScore> ranked = spectrum.rank(
+          options_.metric, options_.seed + static_cast<std::uint64_t>(iteration));
+
+      // Resolve line info lazily, per device.
+      std::map<std::string, std::map<int, cfg::LineInfo>> line_index;
+      const auto infoOf =
+          [&](const cfg::LineId& line) -> const cfg::LineInfo* {
+        auto it = line_index.find(line.device);
+        if (it == line_index.end()) {
+          const cfg::DeviceConfig* device = candidate.network.config(line.device);
+          if (device == nullptr) return nullptr;
+          it = line_index.emplace(line.device, device->buildLineIndex()).first;
+        }
+        const auto line_it = it->second.find(line.line);
+        return line_it == it->second.end() ? nullptr : &line_it->second;
+      };
+
+      // ---- FIX ------------------------------------------------------------
+      const fix::RepairContext context{*context_network, sim, intents_,
+                                       test_results, coverage};
+      // generate(exhaustive): instantiate templates on the top suspicious
+      // lines. In search mode one randomly-drawn template per line; when
+      // `exhaustive`, every applicable template (used by brute-force mode
+      // and as the sampling-without-replacement fallback when a round's
+      // random draws all get discarded — S = ∅ must mean "no candidate can
+      // be generated", not "this round was unlucky").
+      std::set<std::string> seen_proposals;
+      const auto generate = [&](bool exhaustive) {
+        std::vector<fix::ProposedChange> proposals;
+        int productive_lines = 0;
+        for (const auto& score : ranked) {
+          if (productive_lines >= options_.top_k_lines) break;
+          if (score.failed_cover == 0) break;  // only failure-covered lines
+          const cfg::LineInfo* info = infoOf(score.line);
+          if (info == nullptr) continue;
+          auto applicable = fix::templatesFor(info->kind);
+          if (applicable.empty()) continue;
+          if (!exhaustive) {
+            if (options_.history != nullptr && !options_.history->empty()) {
+              // History-guided draw: order templates by a weighted sample
+              // (heavier past success => earlier draw), instead of a
+              // uniform shuffle.
+              std::vector<std::pair<double, std::size_t>> keys;
+              keys.reserve(applicable.size());
+              std::uniform_real_distribution<double> unit(1e-9, 1.0);
+              for (std::size_t t = 0; t < applicable.size(); ++t) {
+                const double w = options_.history->weight(applicable[t]->name());
+                // Exponential-race trick: smallest -log(u)/w wins.
+                keys.emplace_back(-std::log(unit(rng)) / w, t);
+              }
+              std::sort(keys.begin(), keys.end());
+              std::vector<std::shared_ptr<const fix::ChangeTemplate>> ordered;
+              ordered.reserve(applicable.size());
+              for (const auto& [key, t] : keys) ordered.push_back(applicable[t]);
+              applicable = std::move(ordered);
+            } else {
+              std::shuffle(applicable.begin(), applicable.end(), rng);
+            }
+          }
+          int from_line = 0;
+          for (const auto& tmpl : applicable) {
+            std::vector<fix::ProposedChange> from_template =
+                tmpl->propose(context, score.line, *info);
+            if (static_cast<int>(from_template.size()) >
+                options_.max_proposals_per_line) {
+              from_template.resize(
+                  static_cast<std::size_t>(options_.max_proposals_per_line));
+            }
+            from_line += static_cast<int>(from_template.size());
+            for (auto& proposal : from_template) {
+              if (seen_proposals.insert(proposal.description).second) {
+                proposals.push_back(std::move(proposal));
+              }
+            }
+            if (!exhaustive && from_line > 0) break;
+          }
+          if (from_line > 0) ++productive_lines;
+        }
+        result.search_space += proposals.size();
+        return proposals;
+      };
+
+      std::vector<fix::ProposedChange> proposals =
+          generate(options_.brute_force);
+
+      // ---- VALIDATE -------------------------------------------------------
+      bool repaired = false;
+      const auto validate =
+          [&](const std::vector<fix::ProposedChange>& proposals) {
+            for (const auto& proposal : proposals) {
+              topo::Network updated = candidate.network;
+              if (!proposal.apply(updated)) continue;
+              ++stats.candidates_generated;
+              if (options_.history != nullptr) {
+                options_.history->recordAttempt(proposal.template_name);
+              }
+              const int fitness = fitnessOf(updated);
+              // The paper's fitness rule: discard updates whose fitness
+              // exceeds the previous iteration's.
+              if (fitness > previous_fitness) continue;
+
+              Candidate next;
+              next.network = std::move(updated);
+              next.changes = candidate.changes;
+              next.changes.push_back('[' + proposal.template_name + "] " +
+                                     proposal.description);
+              next.applied = candidate.applied;
+              next.applied.push_back(proposal);
+              next.fitness = fitness;
+              if (fitness == 0) {
+                result.repaired = next.network;
+                result.changes = next.changes;
+                result.final_failed = 0;
+                repaired = true;
+                if (options_.history != nullptr) {
+                  for (const auto& change : next.applied) {
+                    options_.history->recordSuccess(change.template_name);
+                  }
+                }
+              }
+              next_population.push_back(std::move(next));
+              if (repaired) return;
+            }
+          };
+
+      validate(proposals);
+      if (!repaired && next_population.empty() && !options_.brute_force) {
+        // Every random draw was discarded: continue sampling without
+        // replacement before concluding S = ∅.
+        validate(generate(/*exhaustive=*/true));
+      }
+      if (repaired) {
+        stats.candidates_kept = 1;
+        stats.fitness = 0;
+        result.history.push_back(stats);
+        return finish(Termination::kRepaired, true);
+      }
+    }
+
+    // ---- CROSSOVER (optional, §4.2) ---------------------------------------
+    // Single-point recombination of two survivors' change sequences,
+    // replayed against the original faulty network. An individual change
+    // whose apply() no longer holds (e.g. the other parent already made it)
+    // is skipped — the idempotence guards make replay safe.
+    if (options_.use_crossover && next_population.size() >= 2) {
+      std::vector<Candidate> children;
+      std::uniform_int_distribution<std::size_t> pick(
+          0, next_population.size() - 1);
+      for (int pair = 0; pair < options_.crossover_pairs; ++pair) {
+        const std::size_t ia = pick(rng);
+        const std::size_t ib = pick(rng);
+        if (ia == ib) continue;
+        const Candidate& a = next_population[ia];
+        const Candidate& b = next_population[ib];
+        if (a.applied.empty() || b.applied.empty()) continue;
+        std::uniform_int_distribution<std::size_t> cut_a(1, a.applied.size());
+        std::uniform_int_distribution<std::size_t> cut_b(
+            0, b.applied.size() - 1);
+        const std::size_t head = cut_a(rng);
+        const std::size_t tail = cut_b(rng);
+        Candidate child;
+        child.network = faulty;
+        for (std::size_t k = 0; k < head; ++k) {
+          if (a.applied[k].apply(child.network)) {
+            child.applied.push_back(a.applied[k]);
+            child.changes.push_back(a.changes[k]);
+          }
+        }
+        for (std::size_t k = tail; k < b.applied.size(); ++k) {
+          if (b.applied[k].apply(child.network)) {
+            child.applied.push_back(b.applied[k]);
+            child.changes.push_back(b.changes[k]);
+          }
+        }
+        if (child.applied.empty() || child.changes == a.changes ||
+            child.changes == b.changes) {
+          continue;
+        }
+        ++stats.candidates_generated;
+        child.fitness = fitnessOf(child.network);
+        if (child.fitness > previous_fitness) continue;
+        if (child.fitness == 0) {
+          result.repaired = child.network;
+          result.changes = child.changes;
+          result.final_failed = 0;
+          if (options_.history != nullptr) {
+            for (const auto& change : child.applied) {
+              options_.history->recordSuccess(change.template_name);
+            }
+          }
+          stats.candidates_kept = 1;
+          stats.fitness = 0;
+          result.history.push_back(stats);
+          return finish(Termination::kRepaired, true);
+        }
+        children.push_back(std::move(child));
+      }
+      for (auto& child : children) {
+        next_population.push_back(std::move(child));
+      }
+    }
+
+    if (next_population.empty()) {
+      return finish(Termination::kExhausted, false);
+    }
+    std::sort(next_population.begin(), next_population.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.fitness != b.fitness) return a.fitness < b.fitness;
+                return a.changes.size() < b.changes.size();
+              });
+    if (static_cast<int>(next_population.size()) > options_.max_candidates) {
+      next_population.resize(static_cast<std::size_t>(options_.max_candidates));
+    }
+    stats.candidates_kept = static_cast<int>(next_population.size());
+    // The paper: the iteration's fitness is the largest fitness among the
+    // preserved updates.
+    stats.fitness = next_population.back().fitness;
+    previous_fitness = stats.fitness;
+    result.history.push_back(stats);
+
+    population = std::move(next_population);
+    result.repaired = population.front().network;
+    result.changes = population.front().changes;
+    result.final_failed = population.front().fitness;
+    // Re-anchor the differential cache at the current best candidate.
+    (void)main_verifier.update(population.front().network);
+  }
+
+  return finish(Termination::kIterationLimit, false);
+}
+
+}  // namespace acr::repair

@@ -1,0 +1,126 @@
+// The ACR engine: the localize-fix-validate loop of Figure 4.
+//
+// Each iteration:
+//   1. LOCALIZE — simulate each surviving candidate with provenance, run the
+//      intent-derived test suite, compute per-test coverage and rank lines
+//      with an SBFL metric (Tarantula by default).
+//   2. FIX — for the top suspicious lines, select change templates (randomly
+//      in search mode, exhaustively in brute-force mode) and instantiate
+//      candidate updates; values are solved, not guessed (acr::smt).
+//   3. VALIDATE — score every update's fitness (= number of failing tests)
+//      with the incremental verifier; updates whose fitness exceeds the
+//      previous iteration's are discarded (the paper's fitness rule).
+//
+// Termination (§5): a fitness-0 update is found; no candidate updates can
+// be generated (S = ∅); or the iteration limit (500) is reached.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/diff.hpp"
+#include "fixgen/history.hpp"
+#include "localize/sbfl.hpp"
+#include "routing/simulator.hpp"
+#include "topo/network.hpp"
+#include "verify/incremental.hpp"
+
+namespace acr::repair {
+
+struct RepairOptions {
+  sbfl::Metric metric = sbfl::Metric::kTarantula;
+  int max_iterations = 500;  // the paper's limit
+  int top_k_lines = 3;       // suspicious lines explored per candidate
+  int max_candidates = 4;    // population cap between iterations
+  int max_proposals_per_line = 4;
+  int samples_per_intent = 1;
+  std::uint64_t seed = 1;
+  bool use_incremental = true;  // DNA-style differential validation
+  bool brute_force = false;     // ablation: all templates on all top lines
+  /// §4.2's genetic single-point crossover: recombine the change sequences
+  /// of two surviving candidates into extra candidates each iteration.
+  bool use_crossover = false;
+  int crossover_pairs = 2;
+  /// §6's test-suite generation: grow the suite coverage-guided (on the
+  /// faulty network) instead of one sample per intent, sharpening SBFL.
+  bool coverage_guided_tests = false;
+  /// §3.2 observation (1): shared repair history biasing template draws
+  /// towards patterns that resolved past incidents. Null disables. The
+  /// engine records attempts/successes into it.
+  std::shared_ptr<fix::RepairHistory> history;
+  /// Judge every intent on all ECMP branches (the worst branch decides),
+  /// so faults hidden behind equal-cost path diversity are caught too.
+  bool multipath = false;
+  /// When > 0, candidate fitness additionally counts intent violations under
+  /// every k-link-failure scenario — repairs must not leave *latent* faults
+  /// that only surface when redundancy is consumed (§1's k-failure
+  /// tolerance). When the plain suite is green but tolerance is not, the
+  /// engine localizes on the first violating degraded topology.
+  int tolerance_k = 0;
+  int tolerance_max_scenarios = 64;
+  /// Wall-clock budget; 0 = unlimited. When exceeded the loop stops at the
+  /// next iteration boundary with kTimeBudget (the best candidate so far is
+  /// still returned in `repaired`).
+  double time_budget_ms = 0.0;
+  route::SimOptions sim_options;
+};
+
+enum class Termination : std::uint8_t {
+  kRepaired,        // fitness reached 0
+  kNothingToRepair, // the input network already satisfied every intent
+  kExhausted,       // S = ∅: no candidate updates survived
+  kIterationLimit,  // more than max_iterations iterations
+  kTimeBudget,      // RepairOptions::time_budget_ms exceeded
+};
+
+[[nodiscard]] std::string terminationName(Termination termination);
+
+struct IterationStats {
+  int iteration = 0;
+  int fitness = 0;              // largest fitness among preserved updates
+  int candidates_generated = 0;
+  int candidates_kept = 0;
+};
+
+struct RepairResult {
+  bool success = false;
+  Termination termination = Termination::kIterationLimit;
+  topo::Network repaired;            // best network found
+  std::vector<std::string> changes;  // applied change descriptions, in order
+  std::vector<cfg::ConfigDiff> diff; // repaired vs faulty input
+  int iterations = 0;
+  int initial_failed = 0;
+  int final_failed = 0;
+  std::vector<IterationStats> history;
+  double elapsed_ms = 0.0;
+  /// Candidate validations performed (each = one fitness evaluation).
+  std::uint64_t validations = 0;
+  /// Differential-verifier work counters, summed over all validations.
+  std::uint64_t tests_reverified = 0;
+  std::uint64_t tests_skipped = 0;
+  /// Search-forest leaves generated (the ACR column of Figure 3).
+  std::uint64_t search_space = 0;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+class AcrEngine {
+ public:
+  AcrEngine(std::vector<verify::Intent> intents, RepairOptions options = {})
+      : intents_(std::move(intents)), options_(options) {}
+
+  [[nodiscard]] RepairResult repair(const topo::Network& faulty) const;
+
+  [[nodiscard]] const RepairOptions& options() const { return options_; }
+  [[nodiscard]] const std::vector<verify::Intent>& intents() const {
+    return intents_;
+  }
+
+ private:
+  std::vector<verify::Intent> intents_;
+  RepairOptions options_;
+};
+
+}  // namespace acr::repair

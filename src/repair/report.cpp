@@ -1,0 +1,59 @@
+#include "repair/report.hpp"
+
+namespace acr::repair {
+
+namespace {
+
+std::string fmtMs(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f ms", ms);
+  return buffer;
+}
+
+}  // namespace
+
+std::string renderReport(const RepairResult& result,
+                         const ReportOptions& options) {
+  std::string out;
+  out += "# ACR repair report\n\n";
+  out += "* outcome: **" + terminationName(result.termination) + "**\n";
+  out += "* failing tests: " + std::to_string(result.initial_failed) +
+         " -> " + std::to_string(result.final_failed) + "\n";
+  out += "* iterations: " + std::to_string(result.iterations) + "\n";
+  out += "* candidate validations: " + std::to_string(result.validations) +
+         " (" + std::to_string(result.tests_reverified) + " tests judged, " +
+         std::to_string(result.tests_skipped) +
+         " skipped by the differential verifier)\n";
+  out += "* search-forest leaves generated: " +
+         std::to_string(result.search_space) + "\n";
+  out += "* resolving time: " + fmtMs(result.elapsed_ms) + "\n";
+
+  if (!result.changes.empty()) {
+    out += "\n## Applied changes\n\n";
+    int index = 0;
+    for (const auto& change : result.changes) {
+      out += std::to_string(++index) + ". " + change + "\n";
+    }
+  }
+
+  if (options.include_diff && !result.diff.empty()) {
+    out += "\n## Configuration delta\n\n```\n";
+    for (const auto& diff : result.diff) out += diff.str();
+    out += "```\n";
+  }
+
+  if (options.include_history && !result.history.empty()) {
+    out += "\n## Loop telemetry\n\n";
+    out += "| iteration | fitness | generated | kept |\n";
+    out += "|---|---|---|---|\n";
+    for (const auto& stats : result.history) {
+      out += "| " + std::to_string(stats.iteration) + " | " +
+             std::to_string(stats.fitness) + " | " +
+             std::to_string(stats.candidates_generated) + " | " +
+             std::to_string(stats.candidates_kept) + " |\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace acr::repair

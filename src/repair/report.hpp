@@ -1,0 +1,21 @@
+// Operator-facing repair report: a markdown post-mortem of one ACR run —
+// what failed, what the loop did per iteration, the exact config delta, and
+// the validation evidence. `acrctl repair --report` prints it; integrations
+// can archive it next to the change ticket.
+#pragma once
+
+#include <string>
+
+#include "repair/engine.hpp"
+
+namespace acr::repair {
+
+struct ReportOptions {
+  bool include_diff = true;
+  bool include_history = true;  // per-iteration loop telemetry
+};
+
+[[nodiscard]] std::string renderReport(const RepairResult& result,
+                                       const ReportOptions& options = {});
+
+}  // namespace acr::repair

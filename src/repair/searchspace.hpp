@@ -1,0 +1,39 @@
+// Search-space accounting for Figure 3: for the same incident, the size of
+// the space each method must search.
+//
+//   * MetaProv (3a): the leaf nodes of the failed event's provenance tree —
+//     the config lines on the failing test's derivation chains.
+//   * AED (3b): 2^(free variables); one delta variable per configuration
+//     line, so reported as log2 = total lines.
+//   * ACR (3c): the leaves of the search forest — for each of the most
+//     suspicious lines, the concrete proposals its applicable templates
+//     instantiate.
+#pragma once
+
+#include <cstdint>
+
+#include "localize/sbfl.hpp"
+#include "topo/network.hpp"
+#include "verify/intent.hpp"
+
+namespace acr::repair {
+
+struct SearchSpaceReport {
+  std::uint64_t metaprov_leaves = 0;
+  double aed_log2 = 0.0;  // log2 of AED's 2^lines space
+  std::uint64_t acr_leaves = 0;
+  int total_lines = 0;
+  int devices = 0;
+};
+
+struct SearchSpaceOptions {
+  int top_k_lines = 3;
+  sbfl::Metric metric = sbfl::Metric::kTarantula;
+  int samples_per_intent = 1;
+};
+
+[[nodiscard]] SearchSpaceReport measureSearchSpaces(
+    const topo::Network& faulty, const std::vector<verify::Intent>& intents,
+    const SearchSpaceOptions& options = {});
+
+}  // namespace acr::repair

@@ -1,0 +1,126 @@
+#include "routing/policy_eval.hpp"
+
+#include <algorithm>
+
+namespace acr::route {
+
+namespace {
+
+/// Evaluates one prefix-list against the route's prefix, appending every
+/// evaluated entry line (entries are checked in order; evaluation stops at
+/// the first match).
+const cfg::PrefixListEntry* evalPrefixList(const cfg::DeviceConfig& device,
+                                           const cfg::PrefixList& list,
+                                           const net::Prefix& prefix,
+                                           std::vector<cfg::LineId>& lines) {
+  for (const auto& entry : list.entries) {
+    lines.push_back(cfg::LineId{device.hostname, entry.line});
+    if (entry.matches(prefix)) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+PolicyVerdict applyRoutePolicy(const cfg::DeviceConfig& device,
+                               const std::string& policy_name,
+                               const Route& route, std::uint32_t own_asn) {
+  PolicyVerdict verdict;
+  verdict.route = route;
+
+  const cfg::RoutePolicy* policy = device.findPolicy(policy_name);
+  if (policy == nullptr) {
+    // Binding references a policy that does not exist: deny (safe default).
+    verdict.permitted = false;
+    return verdict;
+  }
+
+  // Nodes are evaluated in index order.
+  std::vector<const cfg::PolicyNode*> nodes;
+  nodes.reserve(policy->nodes.size());
+  for (const auto& node : policy->nodes) nodes.push_back(&node);
+  std::sort(nodes.begin(), nodes.end(),
+            [](const cfg::PolicyNode* a, const cfg::PolicyNode* b) {
+              return a->index < b->index;
+            });
+
+  for (const cfg::PolicyNode* node : nodes) {
+    verdict.lines.push_back(cfg::LineId{device.hostname, node->line});
+    bool all_match = true;
+    for (const auto& match : node->matches) {
+      verdict.lines.push_back(cfg::LineId{device.hostname, match.line});
+      const cfg::PrefixList* list = device.findPrefixList(match.prefix_list);
+      const cfg::PrefixListEntry* entry =
+          list == nullptr ? nullptr
+                          : evalPrefixList(device, *list, route.prefix,
+                                           verdict.lines);
+      if (entry == nullptr || entry->action != cfg::Action::kPermit) {
+        all_match = false;
+        break;
+      }
+    }
+    if (!all_match) continue;
+
+    if (node->action == cfg::Action::kDeny) {
+      verdict.permitted = false;
+      return verdict;
+    }
+    for (const auto& action : node->actions) {
+      verdict.lines.push_back(cfg::LineId{device.hostname, action.line});
+      switch (action.kind) {
+        case cfg::PolicyActionKind::kAsPathOverwrite:
+          verdict.route.as_path = {action.value != 0 ? action.value : own_asn};
+          break;
+        case cfg::PolicyActionKind::kSetLocalPref:
+          verdict.route.local_pref = action.value;
+          break;
+        case cfg::PolicyActionKind::kSetMed:
+          verdict.route.med = action.value;
+          break;
+        case cfg::PolicyActionKind::kAsPathPrepend:
+          for (std::uint32_t i = 0; i < action.value; ++i) {
+            verdict.route.as_path.insert(verdict.route.as_path.begin(), own_asn);
+          }
+          break;
+      }
+    }
+    verdict.permitted = true;
+    return verdict;
+  }
+
+  // No node matched: implicit deny.
+  verdict.permitted = false;
+  return verdict;
+}
+
+PolicyBinding resolvePolicyBinding(const cfg::DeviceConfig& device,
+                                   const cfg::PeerConfig& peer,
+                                   Direction direction) {
+  PolicyBinding binding;
+  const bool import = direction == Direction::kImport;
+  const std::string& own = import ? peer.import_policy : peer.export_policy;
+  if (!own.empty()) {
+    binding.policy = own;
+    binding.bound = true;
+    binding.lines.push_back(cfg::LineId{
+        device.hostname, import ? peer.import_line : peer.export_line});
+    return binding;
+  }
+  if (!peer.group.empty() && device.bgp) {
+    const cfg::PeerGroupConfig* group = device.bgp->findGroup(peer.group);
+    if (group != nullptr) {
+      const std::string& inherited =
+          import ? group->import_policy : group->export_policy;
+      if (!inherited.empty()) {
+        binding.policy = inherited;
+        binding.bound = true;
+        binding.lines.push_back(cfg::LineId{device.hostname, peer.group_line});
+        binding.lines.push_back(cfg::LineId{
+            device.hostname, import ? group->import_line : group->export_line});
+      }
+    }
+  }
+  return binding;
+}
+
+}  // namespace acr::route

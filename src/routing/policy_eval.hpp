@@ -1,0 +1,51 @@
+// Route-policy evaluation with line-level attribution.
+//
+// Every evaluation returns the verdict, the (possibly rewritten) route and
+// the exact configuration lines that were "executed" — the provenance/SBFL
+// coverage signal. Vendor-realistic defaults:
+//   * a session with no policy binding permits everything;
+//   * a binding that references a *nonexistent* policy denies everything;
+//   * a route matching no policy node is denied;
+//   * `if-match ip-prefix` against a nonexistent prefix-list never matches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/ast.hpp"
+#include "routing/route.hpp"
+
+namespace acr::route {
+
+struct PolicyVerdict {
+  bool permitted = true;
+  Route route;                     // attributes after policy actions
+  std::vector<cfg::LineId> lines;  // config lines evaluated
+};
+
+/// Applies the route-policy `policy_name` configured on `device` to `route`.
+/// `own_asn` is the AS written by `apply as-path overwrite` (when the action
+/// carries no explicit value).
+[[nodiscard]] PolicyVerdict applyRoutePolicy(const cfg::DeviceConfig& device,
+                                             const std::string& policy_name,
+                                             const Route& route,
+                                             std::uint32_t own_asn);
+
+/// A resolved policy binding for one peer/direction: the policy name (empty
+/// = no binding = permit all) and the binding lines evaluated.
+struct PolicyBinding {
+  std::string policy;
+  bool bound = false;
+  std::vector<cfg::LineId> lines;
+};
+
+enum class Direction : std::uint8_t { kImport, kExport };
+
+/// Resolves the effective policy for `peer` in `direction`: a peer-level
+/// binding wins over the peer-group binding.
+[[nodiscard]] PolicyBinding resolvePolicyBinding(const cfg::DeviceConfig& device,
+                                                 const cfg::PeerConfig& peer,
+                                                 Direction direction);
+
+}  // namespace acr::route

@@ -1,0 +1,44 @@
+#include "routing/route.hpp"
+
+namespace acr::route {
+
+std::string routeSourceName(RouteSource source) {
+  switch (source) {
+    case RouteSource::kConnected:
+      return "connected";
+    case RouteSource::kStatic:
+      return "static";
+    case RouteSource::kBgp:
+      return "bgp";
+  }
+  return "?";
+}
+
+std::string Route::key() const {
+  std::string out = prefix.str();
+  out += '|';
+  out += routeSourceName(source);
+  out += '|';
+  out += learned_from;
+  out += '|';
+  out += next_hop.str();
+  out += '|';
+  out += pathStr();
+  out += '|';
+  out += std::to_string(local_pref);
+  out += '|';
+  out += std::to_string(med);
+  return out;
+}
+
+std::string Route::pathStr() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < as_path.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += std::to_string(as_path[i]);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace acr::route

@@ -1,0 +1,48 @@
+// Route representation shared by the control-plane simulator, the data
+// plane and the verifier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netcore/ipv4.hpp"
+#include "netcore/prefix.hpp"
+#include "provenance/provenance.hpp"
+
+namespace acr::route {
+
+/// Route origin in administrative-distance order (lower wins).
+enum class RouteSource : std::uint8_t {
+  kConnected = 0,
+  kStatic = 1,
+  kBgp = 20,
+};
+
+[[nodiscard]] std::string routeSourceName(RouteSource source);
+
+struct Route {
+  net::Prefix prefix;
+  RouteSource source = RouteSource::kBgp;
+  std::vector<std::uint32_t> as_path;
+  std::uint32_t local_pref = 100;
+  std::uint32_t med = 0;
+  /// Advertising neighbor's router name; empty for locally originated routes.
+  std::string learned_from;
+  /// BGP: the neighbor's peering address. Static: the configured next hop.
+  /// Connected: 0.
+  net::Ipv4Address next_hop;
+  prov::DerivationId derivation = prov::kNoDerivation;
+  /// Equal-cost alternatives (neighbor name, next hop), including the
+  /// selected one — populated only when SimOptions::enable_ecmp is set.
+  /// Deliberately excluded from key(): the ECMP set is derived state.
+  std::vector<std::pair<std::string, net::Ipv4Address>> ecmp;
+
+  /// Stable identity used for convergence/oscillation detection. Excludes
+  /// the derivation id (which differs every round by construction).
+  [[nodiscard]] std::string key() const;
+
+  [[nodiscard]] std::string pathStr() const;
+};
+
+}  // namespace acr::route

@@ -1,0 +1,85 @@
+// Synchronous-round BGP control-plane simulator with oscillation detection.
+//
+// Model (documented in DESIGN.md §5):
+//   * eBGP everywhere — each router is its own AS, matching the paper's
+//     backbone and modern BGP-to-the-ToR DCNs.
+//   * Synchronous rounds: every router advertises its current best route for
+//     every prefix to every established session each round; a receiver's
+//     candidate set from a neighbor is wholly replaced each round (implicit
+//     withdrawals).
+//   * No sender-side split horizon; loop prevention is the receiver-side
+//     AS_PATH check — which `apply as-path overwrite` defeats, reproducing
+//     the Figure-2 route flap.
+//   * Export prepends the local AS unless it is already the first path
+//     element (the overwrite already installed it).
+//   * Decision process: admin distance, then highest local-pref, shortest
+//     AS_PATH, lowest MED, lowest advertising-neighbor router-id.
+//   * Convergence: a round with an unchanged global best-route state.
+//     A repeated non-fixpoint state ⇒ persistent oscillation; the prefixes
+//     whose best route varies inside the cycle window are reported as
+//     *flapping*.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "provenance/provenance.hpp"
+#include "routing/route.hpp"
+#include "topo/network.hpp"
+
+namespace acr::route {
+
+struct Session {
+  std::string a;
+  std::string b;
+  net::Ipv4Address a_address;
+  net::Ipv4Address b_address;
+  bool up = false;
+  std::string down_reason;  // empty when up
+};
+
+struct SimOptions {
+  int max_rounds = 64;
+  bool record_provenance = true;
+  /// Record equal-cost alternatives (same admin distance, local-pref,
+  /// AS-path length and MED as the winner) into Route::ecmp.
+  bool enable_ecmp = false;
+};
+
+/// Best routes per router: router -> prefix -> selected route.
+using Rib = std::map<std::string, std::map<net::Prefix, Route>>;
+
+struct SimResult {
+  bool converged = false;
+  int rounds = 0;
+  /// Prefixes whose best route oscillates (route flapping).
+  std::set<net::Prefix> flapping;
+  /// Final best routes (last simulated round — for a flapping network this
+  /// is one representative state of the cycle).
+  Rib rib;
+  prov::ProvenanceGraph provenance;
+  std::vector<Session> sessions;
+  std::uint64_t announcements = 0;
+
+  [[nodiscard]] const Route* lookup(const std::string& router,
+                                    net::Ipv4Address destination) const;
+  [[nodiscard]] bool isFlapping(net::Ipv4Address destination) const;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const topo::Network& network) : network_(network) {}
+
+  [[nodiscard]] SimResult run(const SimOptions& options = {}) const;
+
+  /// Session establishment alone (configs + topology, no route exchange).
+  [[nodiscard]] std::vector<Session> computeSessions() const;
+
+ private:
+  const topo::Network& network_;
+};
+
+}  // namespace acr::route

@@ -1,0 +1,223 @@
+#include "smt/solver.hpp"
+
+#include <algorithm>
+
+namespace acr::smt {
+
+std::string Constraint::str() const {
+  switch (kind) {
+    case Kind::kMember:
+      return prefix.str() + " in " + variable;
+    case Kind::kNotMember:
+      return prefix.str() + " not-in " + variable;
+    case Kind::kIntEq:
+      return variable + " == " + std::to_string(value);
+    case Kind::kIntNeq:
+      return variable + " != " + std::to_string(value);
+    case Kind::kIntOneOf: {
+      std::string out = variable + " in {";
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += std::to_string(values[i]);
+      }
+      return out + '}';
+    }
+  }
+  return "?";
+}
+
+void Solver::declare(const std::string& name, VarKind kind) {
+  variables_.emplace(name, kind);
+}
+
+void Solver::require(Constraint constraint) {
+  constraints_.push_back(std::move(constraint));
+}
+
+void Solver::requireMember(const std::string& variable,
+                           const net::Prefix& prefix) {
+  declare(variable, VarKind::kPrefixSet);
+  Constraint c;
+  c.kind = Constraint::Kind::kMember;
+  c.variable = variable;
+  c.prefix = prefix;
+  require(std::move(c));
+}
+
+void Solver::requireNotMember(const std::string& variable,
+                              const net::Prefix& prefix) {
+  declare(variable, VarKind::kPrefixSet);
+  Constraint c;
+  c.kind = Constraint::Kind::kNotMember;
+  c.variable = variable;
+  c.prefix = prefix;
+  require(std::move(c));
+}
+
+void Solver::requireIntEq(const std::string& variable, std::uint64_t value) {
+  declare(variable, VarKind::kInt);
+  Constraint c;
+  c.kind = Constraint::Kind::kIntEq;
+  c.variable = variable;
+  c.value = value;
+  require(std::move(c));
+}
+
+void Solver::requireIntNeq(const std::string& variable, std::uint64_t value) {
+  declare(variable, VarKind::kInt);
+  Constraint c;
+  c.kind = Constraint::Kind::kIntNeq;
+  c.variable = variable;
+  c.value = value;
+  require(std::move(c));
+}
+
+void Solver::requireIntOneOf(const std::string& variable,
+                             std::vector<std::uint64_t> values) {
+  declare(variable, VarKind::kInt);
+  Constraint c;
+  c.kind = Constraint::Kind::kIntOneOf;
+  c.variable = variable;
+  c.values = std::move(values);
+  require(std::move(c));
+}
+
+namespace {
+
+/// Solves one PrefixSet variable: include every Member prefix, then carve
+/// out every NotMember prefix by exact subtraction. Unsat iff a NotMember
+/// prefix *contains* (or equals) a Member prefix — excluding it would
+/// necessarily exclude the required one too.
+bool solvePrefixSet(const std::string& name,
+                    const std::vector<const Constraint*>& constraints,
+                    std::vector<net::Prefix>& out, std::string& conflict) {
+  std::vector<net::Prefix> required;
+  std::vector<net::Prefix> forbidden;
+  for (const Constraint* c : constraints) {
+    if (c->kind == Constraint::Kind::kMember) required.push_back(c->prefix);
+    if (c->kind == Constraint::Kind::kNotMember) forbidden.push_back(c->prefix);
+  }
+  for (const auto& f : forbidden) {
+    for (const auto& r : required) {
+      if (f.contains(r)) {
+        conflict = name + ": required " + r.str() + " lies inside forbidden " +
+                   f.str();
+        return false;
+      }
+    }
+  }
+  std::vector<net::Prefix> cover;
+  for (const auto& r : required) {
+    // A forbidden prefix strictly inside a required one: split the required
+    // prefix around it.
+    auto pieces = net::subtract(r, std::span<const net::Prefix>(forbidden));
+    cover.insert(cover.end(), pieces.begin(), pieces.end());
+  }
+  out = net::minimizeCover(std::move(cover));
+  return true;
+}
+
+bool solveInt(const std::string& name,
+              const std::vector<const Constraint*>& constraints,
+              std::uint64_t& out, std::string& conflict) {
+  std::optional<std::uint64_t> fixed;
+  std::vector<std::uint64_t> excluded;
+  std::optional<std::vector<std::uint64_t>> domain;
+  for (const Constraint* c : constraints) {
+    switch (c->kind) {
+      case Constraint::Kind::kIntEq:
+        if (fixed && *fixed != c->value) {
+          conflict = name + ": conflicting equalities " +
+                     std::to_string(*fixed) + " vs " + std::to_string(c->value);
+          return false;
+        }
+        fixed = c->value;
+        break;
+      case Constraint::Kind::kIntNeq:
+        excluded.push_back(c->value);
+        break;
+      case Constraint::Kind::kIntOneOf:
+        if (!domain) {
+          domain = c->values;
+        } else {
+          std::vector<std::uint64_t> merged;
+          for (const auto v : *domain) {
+            if (std::find(c->values.begin(), c->values.end(), v) !=
+                c->values.end()) {
+              merged.push_back(v);
+            }
+          }
+          domain = std::move(merged);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  const auto allowed = [&](std::uint64_t v) {
+    return std::find(excluded.begin(), excluded.end(), v) == excluded.end();
+  };
+  if (fixed) {
+    if (!allowed(*fixed)) {
+      conflict = name + ": value " + std::to_string(*fixed) + " is excluded";
+      return false;
+    }
+    if (domain && std::find(domain->begin(), domain->end(), *fixed) ==
+                      domain->end()) {
+      conflict = name + ": value " + std::to_string(*fixed) +
+                 " is outside its domain";
+      return false;
+    }
+    out = *fixed;
+    return true;
+  }
+  if (domain) {
+    for (const auto v : *domain) {
+      if (allowed(v)) {
+        out = v;
+        return true;
+      }
+    }
+    conflict = name + ": domain exhausted";
+    return false;
+  }
+  // Unconstrained but for exclusions: pick the smallest non-excluded value.
+  std::uint64_t v = 0;
+  while (!allowed(v)) ++v;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+SolveResult Solver::solve() const {
+  SolveResult result;
+  std::map<std::string, std::vector<const Constraint*>> grouped;
+  for (const auto& constraint : constraints_) {
+    grouped[constraint.variable].push_back(&constraint);
+  }
+  for (const auto& [name, kind] : variables_) {
+    const auto it = grouped.find(name);
+    static const std::vector<const Constraint*> kEmpty;
+    const auto& constraints = it == grouped.end() ? kEmpty : it->second;
+    if (kind == VarKind::kPrefixSet) {
+      std::vector<net::Prefix> cover;
+      if (!solvePrefixSet(name, constraints, cover, result.conflict)) {
+        result.sat = false;
+        return result;
+      }
+      result.model.prefix_sets[name] = std::move(cover);
+    } else {
+      std::uint64_t value = 0;
+      if (!solveInt(name, constraints, value, result.conflict)) {
+        result.sat = false;
+        return result;
+      }
+      result.model.ints[name] = value;
+    }
+  }
+  result.sat = true;
+  return result;
+}
+
+}  // namespace acr::smt

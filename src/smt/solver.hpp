@@ -1,0 +1,90 @@
+// Mini constraint solver over prefix sets and integers ("SMT-lite").
+//
+// The paper's fix step symbolizes ONE value at a time (§4.2/§5) and solves
+// P ∧ ¬F, where P are membership constraints collected from passing tests'
+// provenance and F from failing ones. That fragment — membership /
+// non-membership of prefixes in a prefix-set variable, plus simple integer
+// equalities — does not need a general SMT solver; this module solves it
+// exactly and extracts minimal models:
+//   * PrefixSet variables: the model is the minimal prefix cover that
+//     contains every Member prefix and excludes every NotMember prefix,
+//     using exact prefix subtraction when a required prefix contains a
+//     forbidden one.
+//   * Int variables: Eq/Neq/OneOf constraints, solved by propagation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netcore/prefix.hpp"
+
+namespace acr::smt {
+
+enum class VarKind : std::uint8_t { kPrefixSet, kInt };
+
+struct Variable {
+  std::string name;
+  VarKind kind = VarKind::kPrefixSet;
+};
+
+struct Constraint {
+  enum class Kind : std::uint8_t {
+    kMember,     // prefix ∈ var            (PrefixSet)
+    kNotMember,  // prefix ∉ var            (PrefixSet)
+    kIntEq,      // var == value            (Int)
+    kIntNeq,     // var != value            (Int)
+    kIntOneOf,   // var ∈ values            (Int)
+  };
+  Kind kind = Kind::kMember;
+  std::string variable;
+  net::Prefix prefix;                 // for Member/NotMember
+  std::uint64_t value = 0;            // for IntEq/IntNeq
+  std::vector<std::uint64_t> values;  // for IntOneOf
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// A model: assignment for every declared variable.
+struct Model {
+  /// PrefixSet assignments: minimal prefix covers.
+  std::map<std::string, std::vector<net::Prefix>> prefix_sets;
+  std::map<std::string, std::uint64_t> ints;
+};
+
+struct SolveResult {
+  bool sat = false;
+  Model model;
+  std::string conflict;  // human-readable reason when unsat
+};
+
+class Solver {
+ public:
+  /// Declares a variable; re-declaring the same name/kind is a no-op.
+  void declare(const std::string& name, VarKind kind);
+
+  void require(Constraint constraint);
+
+  /// Convenience constraint builders.
+  void requireMember(const std::string& variable, const net::Prefix& prefix);
+  void requireNotMember(const std::string& variable, const net::Prefix& prefix);
+  void requireIntEq(const std::string& variable, std::uint64_t value);
+  void requireIntNeq(const std::string& variable, std::uint64_t value);
+  void requireIntOneOf(const std::string& variable,
+                       std::vector<std::uint64_t> values);
+
+  [[nodiscard]] SolveResult solve() const;
+
+  [[nodiscard]] const std::vector<Constraint>& constraints() const {
+    return constraints_;
+  }
+  [[nodiscard]] std::size_t variableCount() const { return variables_.size(); }
+
+ private:
+  std::map<std::string, VarKind> variables_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace acr::smt

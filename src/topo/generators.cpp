@@ -1,0 +1,536 @@
+#include "topo/generators.hpp"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+
+namespace acr::topo {
+
+namespace {
+
+/// Sequential /30 transfer-subnet allocator out of 172.16.0.0/12.
+class LinkAllocator {
+ public:
+  net::Prefix next() {
+    const net::Prefix subnet(net::Ipv4Address(next_), 30);
+    next_ += 4;
+    return subnet;
+  }
+
+ private:
+  std::uint32_t next_ = net::Ipv4Address::fromOctets(172, 16, 0, 0).value();
+};
+
+cfg::DeviceConfig& ensureRouter(BuiltNetwork& built, const std::string& name,
+                                std::uint32_t asn, net::Ipv4Address router_id,
+                                const std::string& role) {
+  built.network.topology.addRouter(RouterDecl{name, asn, router_id, role});
+  cfg::DeviceConfig device;
+  device.hostname = name;
+  cfg::BgpConfig bgp;
+  bgp.asn = asn;
+  bgp.router_id = router_id;
+  bgp.redistributes.push_back(
+      cfg::RedistributeConfig{cfg::RedistSource::kConnected, 0});
+  device.bgp = bgp;
+  auto [it, inserted] = built.network.configs.emplace(name, std::move(device));
+  return it->second;
+}
+
+/// Adds a link, the two transfer interfaces and the two `peer ... as-number`
+/// statements.
+void connect(BuiltNetwork& built, const std::string& a, const std::string& b,
+             LinkAllocator& alloc) {
+  Topology& topology = built.network.topology;
+  const LinkDecl link{a, b, alloc.next()};
+  topology.addLink(link);
+  for (const std::string& self : {a, b}) {
+    const std::string other = link.otherEnd(self);
+    cfg::DeviceConfig& device = *built.network.config(self);
+    cfg::InterfaceConfig itf;
+    itf.name = "eth" + std::to_string(device.interfaces.size());
+    itf.address = link.addressOf(self);
+    itf.prefix_length = 30;
+    device.interfaces.push_back(itf);
+    cfg::PeerConfig peer;
+    peer.address = link.addressOf(other);
+    peer.remote_as = topology.findRouter(other)->asn;
+    device.bgp->peers.push_back(peer);
+  }
+}
+
+/// Attaches a connected edge subnet (interface + topology record).
+void attachConnectedSubnet(BuiltNetwork& built, const std::string& router,
+                           const net::Prefix& prefix, const std::string& name,
+                           bool quarantined = false) {
+  built.network.topology.addSubnet(SubnetDecl{router, prefix, name});
+  cfg::DeviceConfig& device = *built.network.config(router);
+  cfg::InterfaceConfig itf;
+  itf.name = "eth" + std::to_string(device.interfaces.size());
+  itf.address = net::Ipv4Address(prefix.address().value() + 1);
+  itf.prefix_length = prefix.length();
+  device.interfaces.push_back(itf);
+  built.subnets.push_back(
+      SubnetExpectation{name, router, prefix, /*via_static=*/false, quarantined});
+}
+
+/// Attaches a subnet originated by a static route (+ redistribute static).
+void attachStaticSubnet(BuiltNetwork& built, const std::string& router,
+                        const net::Prefix& prefix, const std::string& name,
+                        net::Ipv4Address next_hop) {
+  built.network.topology.addSubnet(SubnetDecl{router, prefix, name});
+  cfg::DeviceConfig& device = *built.network.config(router);
+  device.static_routes.push_back(cfg::StaticRouteConfig{prefix, next_hop, 0});
+  if (!device.bgp->redistributes_source(cfg::RedistSource::kStatic)) {
+    device.bgp->redistributes.push_back(
+        cfg::RedistributeConfig{cfg::RedistSource::kStatic, 0});
+  }
+  built.subnets.push_back(
+      SubnetExpectation{name, router, prefix, /*via_static=*/true, false});
+}
+
+cfg::PrefixList makeList(const std::string& name,
+                         const std::vector<cfg::PrefixListEntry>& entries) {
+  cfg::PrefixList list;
+  list.name = name;
+  list.entries = entries;
+  return list;
+}
+
+cfg::PrefixListEntry entryOf(int index, const net::Prefix& prefix,
+                             std::uint8_t ge = 0, std::uint8_t le = 0,
+                             cfg::Action action = cfg::Action::kPermit) {
+  cfg::PrefixListEntry entry;
+  entry.index = index;
+  entry.action = action;
+  entry.prefix = prefix;
+  entry.greater_equal = ge;
+  entry.less_equal = le;
+  return entry;
+}
+
+net::Prefix pfx(std::string_view text) { return *net::Prefix::parse(text); }
+
+/// The Figure-2 Override_All policy: rewrite the AS_PATH of routes matching
+/// `list` to the local AS; let everything else through unchanged.
+cfg::RoutePolicy makeOverridePolicy(const std::string& name,
+                                    const std::string& list) {
+  cfg::RoutePolicy policy;
+  policy.name = name;
+  cfg::PolicyNode rewrite;
+  rewrite.index = 10;
+  rewrite.action = cfg::Action::kPermit;
+  rewrite.matches.push_back(cfg::PolicyMatch{cfg::MatchKind::kIpPrefixList, list, 0});
+  rewrite.actions.push_back(
+      cfg::PolicyAction{cfg::PolicyActionKind::kAsPathOverwrite, 0, 0});
+  policy.nodes.push_back(rewrite);
+  cfg::PolicyNode pass;
+  pass.index = 20;
+  pass.action = cfg::Action::kPermit;
+  policy.nodes.push_back(pass);
+  return policy;
+}
+
+/// The unbound deny-all maintenance policy found on production devices;
+/// pure localization noise in the correct network, and the raw material of
+/// the "fail to dis-enable route map" fault (Table 1).
+cfg::RoutePolicy makeMaintPolicy() {
+  cfg::RoutePolicy policy;
+  policy.name = "MAINT";
+  cfg::PolicyNode deny;
+  deny.index = 10;
+  deny.action = cfg::Action::kDeny;
+  policy.nodes.push_back(deny);
+  return policy;
+}
+
+}  // namespace
+
+// ===========================================================================
+// Figure 2: the paper's incident network
+// ===========================================================================
+
+BuiltNetwork buildFigure2() {
+  BuiltNetwork built;
+  LinkAllocator alloc;
+
+  // Router-ids are chosen so the decision-process tiebreak (lowest peer
+  // router-id) matches the incident narrative: S wins ties at C, A wins ties
+  // at S.
+  ensureRouter(built, "A", 65001, net::Ipv4Address::fromOctets(1, 1, 1, 2),
+               "backbone");
+  ensureRouter(built, "B", 65002, net::Ipv4Address::fromOctets(1, 1, 1, 3),
+               "backbone");
+  ensureRouter(built, "C", 65003, net::Ipv4Address::fromOctets(1, 1, 1, 4),
+               "backbone");
+  ensureRouter(built, "S", 65004, net::Ipv4Address::fromOctets(1, 1, 1, 1),
+               "backbone");
+
+  connect(built, "A", "B", alloc);
+  connect(built, "B", "C", alloc);
+  connect(built, "C", "S", alloc);  // the new session that triggered the flap
+  connect(built, "S", "A", alloc);
+
+  attachConnectedSubnet(built, "A", pfx("10.70.0.0/16"), "PoP_A");
+  attachConnectedSubnet(built, "B", pfx("10.0.0.0/16"), "PoP_B");
+  attachConnectedSubnet(built, "S", pfx("20.0.0.0/16"), "DCN_S");
+
+  // A rewrites routes imported from S, intended scope: the regional
+  // aggregates 10.70/16 (its PoP) and 20.0/16 (the DCN behind S).
+  {
+    cfg::DeviceConfig& a = *built.network.config("A");
+    a.prefix_lists.push_back(makeList(
+        "default_all", {entryOf(10, pfx("10.70.0.0/16"), 16, 32),
+                        entryOf(20, pfx("20.0.0.0/16"), 16, 32)}));
+    a.policies.push_back(makeOverridePolicy("Override_All", "default_all"));
+    a.bgp->findPeer(built.network.topology.peeringAddress("S", "A").value())
+        ->import_policy = "Override_All";
+  }
+  // C rewrites routes imported from S, intended scope: the DCN 20.0/16.
+  {
+    cfg::DeviceConfig& c = *built.network.config("C");
+    c.prefix_lists.push_back(
+        makeList("default_all", {entryOf(10, pfx("20.0.0.0/16"), 16, 32)}));
+    c.policies.push_back(makeOverridePolicy("Override_All", "default_all"));
+    c.bgp->findPeer(built.network.topology.peeringAddress("S", "C").value())
+        ->import_policy = "Override_All";
+  }
+  // B and S carry the same policy pattern toward their PoP/DCN CE sessions,
+  // which this model does not represent as BGP peers; the definitions remain
+  // as (realistic) unbound configuration.
+  {
+    cfg::DeviceConfig& b = *built.network.config("B");
+    b.prefix_lists.push_back(
+        makeList("default_all", {entryOf(10, pfx("10.0.0.0/16"), 16, 32)}));
+    b.policies.push_back(makeOverridePolicy("Override_All", "default_all"));
+    cfg::DeviceConfig& s = *built.network.config("S");
+    s.prefix_lists.push_back(
+        makeList("default_all", {entryOf(10, pfx("20.0.0.0/16"), 16, 32)}));
+    s.policies.push_back(makeOverridePolicy("Override_All", "default_all"));
+  }
+
+  built.network.renumberAll();
+  return built;
+}
+
+BuiltNetwork buildFigure2Faulty() {
+  BuiltNetwork built = buildFigure2();
+  // The incident configuration: `default_all` is the catch-all "0.0.0.0 0"
+  // (Figure 2b line 11), so the override applies to *every* route imported
+  // from S — including 10.0/16, whose AS_PATH history it erases.
+  for (const std::string router : {"A", "C"}) {
+    cfg::PrefixList* list = built.network.config(router)->findPrefixList("default_all");
+    list->entries.clear();
+    list->entries.push_back(entryOf(10, pfx("0.0.0.0/0")));
+  }
+  built.network.renumberAll();
+  return built;
+}
+
+// ===========================================================================
+// 3-tier Clos DCN
+// ===========================================================================
+
+BuiltNetwork buildDcn(int pods, int tors_per_pod) {
+  BuiltNetwork built;
+  LinkAllocator alloc;
+
+  const int cores = 2;
+  for (int i = 1; i <= cores; ++i) {
+    ensureRouter(built, "core" + std::to_string(i), 64500 + i,
+                 net::Ipv4Address::fromOctets(1, 0, 0, std::uint8_t(i)), "core");
+  }
+
+  std::uint32_t next_asn = 64512;
+  for (int p = 1; p <= pods; ++p) {
+    // The last pod is a "legacy" single-aggregation pod — the paper notes
+    // that multiple generations of architectures coexist; legacy pods have
+    // no redundancy, which is where single-line faults become visible.
+    const bool legacy = (p == pods && pods >= 2);
+    const int aggs = legacy ? 1 : 2;
+    std::vector<std::string> agg_names;
+    for (int j = 1; j <= aggs; ++j) {
+      const std::string name =
+          "agg" + std::to_string(p) + (j == 1 ? "a" : "b");
+      ensureRouter(built, name, next_asn++,
+                   net::Ipv4Address::fromOctets(2, std::uint8_t(p),
+                                                std::uint8_t(j), 1),
+                   legacy ? "agg-legacy" : "agg");
+      agg_names.push_back(name);
+      for (int i = 1; i <= cores; ++i) {
+        connect(built, name, "core" + std::to_string(i), alloc);
+      }
+    }
+
+    // Per-pod import filter: drop quarantined routes, accept only this pod's
+    // aggregates; everything else from a ToR is denied (default deny).
+    for (const std::string& agg : agg_names) {
+      cfg::DeviceConfig& device = *built.network.config(agg);
+      device.prefix_lists.push_back(makeList(
+          "QUAR", {entryOf(10, pfx("30.0.0.0/16"), 16, 32)}));
+      device.prefix_lists.push_back(makeList(
+          "POD_LOCAL",
+          {entryOf(10, net::Prefix(net::Ipv4Address::fromOctets(
+                                       10, std::uint8_t(p), 0, 0),
+                                   16),
+                   16, 32),
+           entryOf(20, net::Prefix(net::Ipv4Address::fromOctets(
+                                       20, std::uint8_t(p), 0, 0),
+                                   16),
+                   16, 32)}));
+      cfg::RoutePolicy tor_in;
+      tor_in.name = "TOR_IN";
+      cfg::PolicyNode quarantine;
+      quarantine.index = 5;
+      quarantine.action = cfg::Action::kDeny;
+      quarantine.matches.push_back(
+          cfg::PolicyMatch{cfg::MatchKind::kIpPrefixList, "QUAR", 0});
+      tor_in.nodes.push_back(quarantine);
+      cfg::PolicyNode pod_local;
+      pod_local.index = 10;
+      pod_local.action = cfg::Action::kPermit;
+      pod_local.matches.push_back(
+          cfg::PolicyMatch{cfg::MatchKind::kIpPrefixList, "POD_LOCAL", 0});
+      tor_in.nodes.push_back(pod_local);
+      device.policies.push_back(tor_in);
+      device.policies.push_back(makeMaintPolicy());
+      device.bgp->groups.push_back(
+          cfg::PeerGroupConfig{"TORS", 0, "TOR_IN", 0, "", 0});
+    }
+
+    for (int t = 1; t <= tors_per_pod; ++t) {
+      const std::string tor =
+          "tor" + std::to_string(p) + "_" + std::to_string(t);
+      ensureRouter(built, tor, next_asn++,
+                   net::Ipv4Address::fromOctets(3, std::uint8_t(p),
+                                                std::uint8_t(t), 1),
+                   legacy ? "tor-legacy" : "tor");
+      for (const std::string& agg : agg_names) {
+        connect(built, tor, agg, alloc);
+        // Enrol the ToR in the agg's TORS peer group.
+        cfg::DeviceConfig& agg_device = *built.network.config(agg);
+        agg_device.bgp->findPeer(
+            built.network.topology.peeringAddress(tor, agg).value())
+            ->group = "TORS";
+      }
+
+      const net::Prefix servers(
+          net::Ipv4Address::fromOctets(10, std::uint8_t(p), std::uint8_t(t), 0),
+          24);
+      attachConnectedSubnet(built, tor, servers,
+                            "servers_" + std::to_string(p) + "_" +
+                                std::to_string(t));
+
+      // The first ToR of each pod hosts a VIP range reachable through a
+      // static route to a load-balancer host, redistributed into BGP.
+      if (t == 1) {
+        const net::Prefix vip(
+            net::Ipv4Address::fromOctets(20, std::uint8_t(p), 1, 0), 24);
+        attachStaticSubnet(built, tor, vip, "vip_" + std::to_string(p),
+                           net::Ipv4Address(servers.address().value() + 10));
+      }
+
+      // Edge PBR: permit fabric and VIP traffic plus the quarantine range
+      // (quarantine isolation is enforced by the agg route filters), deny
+      // the rest.
+      cfg::PbrPolicy edge;
+      edge.name = "EDGE";
+      cfg::PbrRule r10;
+      r10.index = 10;
+      r10.action = cfg::PbrAction::kPermit;
+      r10.destination = pfx("10.0.0.0/8");
+      edge.rules.push_back(r10);
+      cfg::PbrRule r15;
+      r15.index = 15;
+      r15.action = cfg::PbrAction::kPermit;
+      r15.destination = pfx("30.0.0.0/16");
+      edge.rules.push_back(r15);
+      cfg::PbrRule r20;
+      r20.index = 20;
+      r20.action = cfg::PbrAction::kPermit;
+      r20.destination = pfx("20.0.0.0/8");
+      edge.rules.push_back(r20);
+      cfg::PbrRule r30;
+      r30.index = 30;
+      r30.action = cfg::PbrAction::kDeny;
+      edge.rules.push_back(r30);
+      cfg::DeviceConfig& tor_device = *built.network.config(tor);
+      tor_device.pbr_policies.push_back(edge);
+      tor_device.policies.push_back(makeMaintPolicy());
+    }
+  }
+
+  // Quarantine subnet on the last ToR of the first pod: advertised by its
+  // owner but filtered at the aggregation layer, so it must stay unreachable.
+  {
+    const std::string host = "tor1_" + std::to_string(tors_per_pod);
+    attachConnectedSubnet(built, host, pfx("30.0.0.0/16"), "quarantine",
+                          /*quarantined=*/true);
+  }
+
+  built.network.renumberAll();
+  return built;
+}
+
+// ===========================================================================
+// WAN backbone
+// ===========================================================================
+
+BuiltNetwork buildBackbone(int n) {
+  BuiltNetwork built;
+  LinkAllocator alloc;
+
+  for (int i = 1; i <= n; ++i) {
+    ensureRouter(built, "R" + std::to_string(i), 65000 + i,
+                 net::Ipv4Address::fromOctets(1, 1, std::uint8_t(i / 256),
+                                              std::uint8_t(i % 256)),
+                 "backbone");
+  }
+  for (int i = 1; i <= n; ++i) {
+    connect(built, "R" + std::to_string(i),
+            "R" + std::to_string(i % n + 1), alloc);  // ring
+  }
+  for (int i = 1; i + 2 <= n; i += 2) {
+    connect(built, "R" + std::to_string(i), "R" + std::to_string(i + 2),
+            alloc);  // chords
+  }
+
+  for (int i = 1; i <= n; ++i) {
+    const std::string name = "R" + std::to_string(i);
+    const net::Prefix pop(
+        net::Ipv4Address::fromOctets(10, std::uint8_t(i % 256), 0, 0), 16);
+    attachConnectedSubnet(built, name, pop, "pop_" + std::to_string(i));
+    if (i % 3 == 1) {
+      const net::Prefix vip(
+          net::Ipv4Address::fromOctets(20, std::uint8_t(i % 256), 0, 0), 16);
+      attachStaticSubnet(built, name, vip, "vip_" + std::to_string(i),
+                         net::Ipv4Address(pop.address().value() + 10));
+    }
+    built.network.config(name)->policies.push_back(makeMaintPolicy());
+  }
+
+  // Regional override policies on chord sessions, Figure-2 style: each chord
+  // endpoint rewrites the AS_PATH of the *partner region's* prefixes.
+  for (int i = 1; i + 2 <= n; i += 2) {
+    const int j = i + 2;
+    for (const auto& [self, other] : {std::pair{i, j}, std::pair{j, i}}) {
+      const std::string self_name = "R" + std::to_string(self);
+      const std::string other_name = "R" + std::to_string(other);
+      cfg::DeviceConfig& device = *built.network.config(self_name);
+      std::vector<cfg::PrefixListEntry> entries = {
+          entryOf(10,
+                  net::Prefix(net::Ipv4Address::fromOctets(
+                                  10, std::uint8_t(other % 256), 0, 0),
+                              16),
+                  16, 32)};
+      if (other % 3 == 1) {
+        entries.push_back(
+            entryOf(20,
+                    net::Prefix(net::Ipv4Address::fromOctets(
+                                    20, std::uint8_t(other % 256), 0, 0),
+                                16),
+                    16, 32));
+      }
+      device.prefix_lists.push_back(makeList("REGION", entries));
+      device.policies.push_back(
+          makeOverridePolicy("Override_Region", "REGION"));
+      device.bgp
+          ->findPeer(built.network.topology.peeringAddress(other_name, self_name)
+                         .value())
+          ->import_policy = "Override_Region";
+    }
+  }
+
+  // Private range on the last router, guarded by an export policy bound on
+  // every session. The guard policy and its prefix-list are part of the
+  // org-wide base config (defined on every router, bound only where a
+  // private range exists) — which is what makes the plastic-surgery repair
+  // of a deleted policy possible.
+  for (int i = 1; i <= n; ++i) {
+    cfg::DeviceConfig& device = *built.network.config("R" + std::to_string(i));
+    device.prefix_lists.push_back(
+        makeList("PRIVATE", {entryOf(10, pfx("30.0.0.0/16"), 16, 32)}));
+    cfg::RoutePolicy guard;
+    guard.name = "EXPORT_GUARD";
+    cfg::PolicyNode deny;
+    deny.index = 5;
+    deny.action = cfg::Action::kDeny;
+    deny.matches.push_back(
+        cfg::PolicyMatch{cfg::MatchKind::kIpPrefixList, "PRIVATE", 0});
+    guard.nodes.push_back(deny);
+    cfg::PolicyNode pass;
+    pass.index = 10;
+    pass.action = cfg::Action::kPermit;
+    guard.nodes.push_back(pass);
+    device.policies.push_back(guard);
+  }
+  {
+    const std::string name = "R" + std::to_string(n);
+    attachConnectedSubnet(built, name, pfx("30.0.0.0/16"), "private",
+                          /*quarantined=*/true);
+    cfg::DeviceConfig& device = *built.network.config(name);
+    for (auto& peer : device.bgp->peers) peer.export_policy = "EXPORT_GUARD";
+  }
+
+  built.network.renumberAll();
+  return built;
+}
+
+// ===========================================================================
+// Random connected network (property-test substrate)
+// ===========================================================================
+
+BuiltNetwork buildRandom(int n, unsigned seed) {
+  BuiltNetwork built;
+  LinkAllocator alloc;
+  std::mt19937 rng(seed);
+
+  for (int i = 1; i <= n; ++i) {
+    ensureRouter(built, "N" + std::to_string(i), 64000 + i,
+                 net::Ipv4Address::fromOctets(9, std::uint8_t(i / 256),
+                                              std::uint8_t(i % 256), 1),
+                 "random");
+  }
+
+  // Spanning tree first (guarantees connectivity), then extra chords.
+  std::set<std::pair<int, int>> edges;
+  for (int i = 2; i <= n; ++i) {
+    std::uniform_int_distribution<int> pick(1, i - 1);
+    const int j = pick(rng);
+    edges.insert({j, i});
+    connect(built, "N" + std::to_string(j), "N" + std::to_string(i), alloc);
+  }
+  const int extra = n / 2;
+  std::uniform_int_distribution<int> any(1, n);
+  for (int e = 0; e < extra; ++e) {
+    const int a = any(rng);
+    const int b = any(rng);
+    if (a == b) continue;
+    const auto edge = std::minmax(a, b);
+    if (!edges.insert({edge.first, edge.second}).second) continue;
+    connect(built, "N" + std::to_string(edge.first),
+            "N" + std::to_string(edge.second), alloc);
+  }
+
+  for (int i = 1; i <= n; ++i) {
+    const std::string name = "N" + std::to_string(i);
+    const net::Prefix pop(
+        net::Ipv4Address::fromOctets(10, std::uint8_t(i % 256), 0, 0), 16);
+    attachConnectedSubnet(built, name, pop, "net_" + std::to_string(i));
+    if (i % 3 == 0) {
+      const net::Prefix vip(
+          net::Ipv4Address::fromOctets(20, std::uint8_t(i % 256), 0, 0), 16);
+      attachStaticSubnet(built, name, vip, "svc_" + std::to_string(i),
+                         net::Ipv4Address(pop.address().value() + 10));
+    }
+    if (i % 4 == 0) {
+      built.network.config(name)->policies.push_back(makeMaintPolicy());
+    }
+  }
+
+  built.network.renumberAll();
+  return built;
+}
+
+}  // namespace acr::topo

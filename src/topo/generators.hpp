@@ -1,0 +1,68 @@
+// Scenario generators: topology + known-good configurations + metadata that
+// the intent builder (core/scenarios) turns into verification specs.
+//
+// Three families:
+//   * figure2*: the paper's exact incident network (4 backbone routers,
+//     2 PoPs, 1 DCN, AS-path override policies). The `faulty` variant ships
+//     the over-broad `0.0.0.0 0` prefix-list that causes the 10.0/16 flap.
+//   * buildDcn: a 3-tier Clos DCN (cores / aggs / ToRs) with server subnets,
+//     VIP ranges via static+redistribute, per-pod import filters via peer
+//     groups, a quarantine subnet, and PBR edge policies — one realistic
+//     home for each of Table 1's misconfiguration types.
+//   * buildBackbone: a WAN ring with chords where every router applies a
+//     Figure-2-style AS-path override scoped to regional prefixes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/network.hpp"
+
+namespace acr::topo {
+
+struct SubnetExpectation {
+  std::string name;
+  std::string router;
+  net::Prefix prefix;
+  bool via_static = false;   // originated by static route + redistribution
+  bool quarantined = false;  // must be unreachable from every other subnet
+};
+
+struct BuiltNetwork {
+  Network network;
+  std::vector<SubnetExpectation> subnets;
+
+  [[nodiscard]] const SubnetExpectation* findSubnet(const std::string& name) const {
+    for (const auto& subnet : subnets) {
+      if (subnet.name == name) return &subnet;
+    }
+    return nullptr;
+  }
+};
+
+/// The Figure-2 network with *correct* override scopes (converges, all
+/// intents hold).
+[[nodiscard]] BuiltNetwork buildFigure2();
+
+/// The Figure-2 network as it was during the incident: the `default_all`
+/// prefix-list on A and C is the catch-all "0.0.0.0 0", so the AS-path
+/// override applies to every imported route and 10.0/16 flaps.
+[[nodiscard]] BuiltNetwork buildFigure2Faulty();
+
+/// 3-tier Clos DCN: 2 cores, `pods` pods with 2 aggs and `tors_per_pod`
+/// ToRs each. Roughly 2 + pods*(2 + tors_per_pod) devices.
+[[nodiscard]] BuiltNetwork buildDcn(int pods, int tors_per_pod);
+
+/// WAN backbone ring of `n` routers with chords and per-region override
+/// policies.
+[[nodiscard]] BuiltNetwork buildBackbone(int n);
+
+/// Random connected network: a spanning tree plus ~n/2 extra edges, a PoP
+/// per router, a VIP (static + redistribute) on every third router, and
+/// maintenance-policy noise. No override policies, so a correct build
+/// always converges — the property-test substrate for "does the pipeline
+/// hold beyond the hand-designed families".
+[[nodiscard]] BuiltNetwork buildRandom(int n, unsigned seed);
+
+}  // namespace acr::topo

@@ -1,0 +1,17 @@
+#include "topo/network.hpp"
+
+namespace acr::topo {
+
+std::vector<cfg::ConfigDiff> diffNetworks(const Network& before,
+                                          const Network& after) {
+  std::vector<cfg::ConfigDiff> diffs;
+  for (const auto& [name, new_config] : after.configs) {
+    const cfg::DeviceConfig* old_config = before.config(name);
+    if (old_config == nullptr) continue;
+    cfg::ConfigDiff diff = cfg::diffDevice(*old_config, new_config);
+    if (!diff.empty()) diffs.push_back(std::move(diff));
+  }
+  return diffs;
+}
+
+}  // namespace acr::topo

@@ -1,0 +1,49 @@
+// A Network = topology + the per-device configurations under analysis.
+//
+// This is the value passed through the whole ACR pipeline: fault injection
+// mutates configs, the simulator computes RIBs/FIBs from them, the verifier
+// judges intents, and the repair engine edits them.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "config/ast.hpp"
+#include "config/diff.hpp"
+#include "topo/topology.hpp"
+
+namespace acr::topo {
+
+struct Network {
+  Topology topology;
+  std::map<std::string, cfg::DeviceConfig> configs;
+
+  [[nodiscard]] const cfg::DeviceConfig* config(const std::string& router) const {
+    const auto it = configs.find(router);
+    return it == configs.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] cfg::DeviceConfig* config(const std::string& router) {
+    const auto it = configs.find(router);
+    return it == configs.end() ? nullptr : &it->second;
+  }
+
+  /// Re-numbers every device config; call after any structural edit.
+  void renumberAll() {
+    for (auto& [name, config] : configs) config.renumber();
+  }
+
+  /// Total configuration lines across all devices (the raw search space).
+  [[nodiscard]] int totalLines() const {
+    int total = 0;
+    for (const auto& [name, config] : configs) total += config.lineCount();
+    return total;
+  }
+};
+
+/// Per-device diffs between two versions of the same network (devices whose
+/// configs are identical are omitted).
+[[nodiscard]] std::vector<cfg::ConfigDiff> diffNetworks(const Network& before,
+                                                        const Network& after);
+
+}  // namespace acr::topo

@@ -1,0 +1,93 @@
+#include "topo/topology.hpp"
+
+namespace acr::topo {
+
+net::Ipv4Address LinkDecl::addressOf(const std::string& router) const {
+  const std::uint32_t base = subnet.address().value();
+  if (router == a) return net::Ipv4Address(base + 1);
+  if (router == b) return net::Ipv4Address(base + 2);
+  return net::Ipv4Address(0);
+}
+
+std::string LinkDecl::otherEnd(const std::string& router) const {
+  if (router == a) return b;
+  if (router == b) return a;
+  return {};
+}
+
+void Topology::addRouter(RouterDecl router) {
+  routers_.push_back(std::move(router));
+}
+
+void Topology::addLink(LinkDecl link) { links_.push_back(std::move(link)); }
+
+void Topology::addSubnet(SubnetDecl subnet) {
+  subnets_.push_back(std::move(subnet));
+}
+
+const RouterDecl* Topology::findRouter(const std::string& name) const {
+  for (const auto& router : routers_) {
+    if (router.name == name) return &router;
+  }
+  return nullptr;
+}
+
+std::vector<const LinkDecl*> Topology::linksOf(const std::string& router) const {
+  std::vector<const LinkDecl*> result;
+  for (const auto& link : links_) {
+    if (link.touches(router)) result.push_back(&link);
+  }
+  return result;
+}
+
+std::vector<std::string> Topology::neighborsOf(const std::string& router) const {
+  std::vector<std::string> result;
+  for (const auto& link : links_) {
+    if (link.touches(router)) result.push_back(link.otherEnd(router));
+  }
+  return result;
+}
+
+std::vector<const SubnetDecl*> Topology::subnetsOf(
+    const std::string& router) const {
+  std::vector<const SubnetDecl*> result;
+  for (const auto& subnet : subnets_) {
+    if (subnet.router == router) result.push_back(&subnet);
+  }
+  return result;
+}
+
+const SubnetDecl* Topology::findSubnet(const std::string& name) const {
+  for (const auto& subnet : subnets_) {
+    if (subnet.name == name) return &subnet;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> Topology::routerAt(net::Ipv4Address address) const {
+  for (const auto& link : links_) {
+    if (link.addressOf(link.a) == address) return link.a;
+    if (link.addressOf(link.b) == address) return link.b;
+  }
+  return std::nullopt;
+}
+
+std::optional<net::Ipv4Address> Topology::peeringAddress(
+    const std::string& router, const std::string& neighbor) const {
+  for (const auto& link : links_) {
+    if ((link.a == router && link.b == neighbor) ||
+        (link.b == router && link.a == neighbor)) {
+      return link.addressOf(router);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Topology::subnetOwner(net::Ipv4Address address) const {
+  for (const auto& subnet : subnets_) {
+    if (subnet.prefix.contains(address)) return subnet.router;
+  }
+  return std::nullopt;
+}
+
+}  // namespace acr::topo

@@ -1,0 +1,76 @@
+// Physical topology: routers, point-to-point links (each with a /30 transfer
+// subnet) and edge subnets (PoPs, DCN server ranges) attached to routers.
+//
+// The topology is the ground truth the configuration is supposed to match;
+// the routing simulator uses it to resolve peering addresses to routers and
+// to deliver packets on attached subnets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netcore/ipv4.hpp"
+#include "netcore/prefix.hpp"
+
+namespace acr::topo {
+
+struct RouterDecl {
+  std::string name;
+  std::uint32_t asn = 0;
+  net::Ipv4Address router_id;
+  std::string role;  // free-form: "core", "agg", "tor", "backbone", ...
+};
+
+struct LinkDecl {
+  std::string a;
+  std::string b;
+  net::Prefix subnet;  // /30; endpoint `a` owns .1, endpoint `b` owns .2
+
+  [[nodiscard]] net::Ipv4Address addressOf(const std::string& router) const;
+  [[nodiscard]] std::string otherEnd(const std::string& router) const;
+  [[nodiscard]] bool touches(const std::string& router) const {
+    return a == router || b == router;
+  }
+};
+
+struct SubnetDecl {
+  std::string router;  // owning router
+  net::Prefix prefix;
+  std::string name;  // e.g. "PoP_B"
+};
+
+class Topology {
+ public:
+  void addRouter(RouterDecl router);
+  void addLink(LinkDecl link);
+  void addSubnet(SubnetDecl subnet);
+
+  [[nodiscard]] const std::vector<RouterDecl>& routers() const { return routers_; }
+  [[nodiscard]] const std::vector<LinkDecl>& links() const { return links_; }
+  [[nodiscard]] const std::vector<SubnetDecl>& subnets() const { return subnets_; }
+
+  [[nodiscard]] const RouterDecl* findRouter(const std::string& name) const;
+  [[nodiscard]] std::vector<const LinkDecl*> linksOf(const std::string& router) const;
+  [[nodiscard]] std::vector<std::string> neighborsOf(const std::string& router) const;
+  [[nodiscard]] std::vector<const SubnetDecl*> subnetsOf(const std::string& router) const;
+  [[nodiscard]] const SubnetDecl* findSubnet(const std::string& name) const;
+
+  /// Router owning the given peering address, if any.
+  [[nodiscard]] std::optional<std::string> routerAt(net::Ipv4Address address) const;
+
+  /// Peering address used by `router` on its link towards `neighbor`.
+  [[nodiscard]] std::optional<net::Ipv4Address> peeringAddress(
+      const std::string& router, const std::string& neighbor) const;
+
+  /// Router owning the subnet that contains `address` (edge subnets only).
+  [[nodiscard]] std::optional<std::string> subnetOwner(net::Ipv4Address address) const;
+
+ private:
+  std::vector<RouterDecl> routers_;
+  std::vector<LinkDecl> links_;
+  std::vector<SubnetDecl> subnets_;
+};
+
+}  // namespace acr::topo

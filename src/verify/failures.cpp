@@ -1,0 +1,94 @@
+#include "verify/failures.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace acr::verify {
+
+std::string FailureScenario::str() const {
+  std::string out = "fail{";
+  for (std::size_t i = 0; i < failed_links.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += failed_links[i];
+  }
+  out += "}: " + std::to_string(tests_failed) + " failing test(s)";
+  return out;
+}
+
+std::vector<std::string> FailureToleranceReport::singlePointsOfFailure() const {
+  std::vector<std::string> out;
+  for (const auto& scenario : violations) {
+    if (scenario.failed_links.size() == 1) {
+      out.push_back(scenario.failed_links.front());
+    }
+  }
+  return out;
+}
+
+topo::Network withoutLinks(const topo::Network& network,
+                           const std::vector<std::size_t>& links) {
+  topo::Network out;
+  out.configs = network.configs;
+  for (const auto& router : network.topology.routers()) {
+    out.topology.addRouter(router);
+  }
+  for (const auto& subnet : network.topology.subnets()) {
+    out.topology.addSubnet(subnet);
+  }
+  const auto& all = network.topology.links();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (std::find(links.begin(), links.end(), i) == links.end()) {
+      out.topology.addLink(all[i]);
+    }
+  }
+  return out;
+}
+
+FailureToleranceReport verifyUnderFailures(
+    const topo::Network& network, const std::vector<Intent>& intents,
+    const FailureToleranceOptions& options) {
+  FailureToleranceReport report;
+  const Verifier verifier(intents, options.sim_options);
+  const std::size_t link_count = network.topology.links().size();
+
+  const auto check = [&](const std::vector<std::size_t>& failed) {
+    if (report.scenarios_checked >= options.max_scenarios) {
+      report.truncated = true;
+      return;
+    }
+    ++report.scenarios_checked;
+    const topo::Network degraded = withoutLinks(network, failed);
+    const VerifyResult result =
+        verifier.verify(degraded, options.samples_per_intent);
+    if (result.ok()) return;
+    FailureScenario scenario;
+    scenario.link_indices = failed;
+    for (const std::size_t index : failed) {
+      const auto& link = network.topology.links()[index];
+      scenario.failed_links.push_back(link.a + "-" + link.b);
+    }
+    scenario.tests_failed = result.tests_failed;
+    for (const auto& test : result.results) {
+      if (!test.passed) scenario.failures.push_back(test);
+    }
+    report.violations.push_back(std::move(scenario));
+  };
+
+  // Enumerate combinations of size 1..k (lexicographic, deterministic),
+  // checking each exactly once.
+  std::vector<std::size_t> combo;
+  const std::function<void(std::size_t, int)> walk = [&](std::size_t first,
+                                                         int depth) {
+    if (report.truncated) return;
+    for (std::size_t i = first; i < link_count; ++i) {
+      combo.push_back(i);
+      check(combo);
+      if (depth + 1 < options.max_link_failures) walk(i + 1, depth + 1);
+      combo.pop_back();
+    }
+  };
+  walk(0, 0);
+  return report;
+}
+
+}  // namespace acr::verify

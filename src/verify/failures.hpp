@@ -1,0 +1,57 @@
+// k-failure tolerance verification (§1: "operator intent, such as k-failure
+// tolerance, loop-freedom, and blackhole-freedom").
+//
+// Enumerates link-failure scenarios up to k simultaneous failures, re-runs
+// the control plane and the intent suite under each, and reports every
+// scenario that violates an intent. A network that passes plain
+// verification can still fail here — e.g. an incident that silently burned
+// the redundancy a fabric is supposed to keep (a down session on one of two
+// uplinks) is invisible to plain verification but a single further failure
+// partitions the pod.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/verifier.hpp"
+
+namespace acr::verify {
+
+struct FailureToleranceOptions {
+  int max_link_failures = 1;  // k
+  int samples_per_intent = 1;
+  /// Upper bound on enumerated scenarios (k>=2 grows combinatorially).
+  int max_scenarios = 512;
+  route::SimOptions sim_options;
+};
+
+struct FailureScenario {
+  std::vector<std::string> failed_links;  // "A-B" labels
+  std::vector<std::size_t> link_indices;  // into topology.links()
+  int tests_failed = 0;
+  std::vector<TestResult> failures;  // the failing tests only
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct FailureToleranceReport {
+  int scenarios_checked = 0;
+  bool truncated = false;  // max_scenarios hit
+  std::vector<FailureScenario> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// Links that appear in every violating scenario of size 1 — the single
+  /// points of failure.
+  [[nodiscard]] std::vector<std::string> singlePointsOfFailure() const;
+};
+
+[[nodiscard]] FailureToleranceReport verifyUnderFailures(
+    const topo::Network& network, const std::vector<Intent>& intents,
+    const FailureToleranceOptions& options = {});
+
+/// The network with the given links (indices into topology.links()) removed;
+/// configs are untouched — dead cables keep their addresses.
+[[nodiscard]] topo::Network withoutLinks(const topo::Network& network,
+                                         const std::vector<std::size_t>& links);
+
+}  // namespace acr::verify

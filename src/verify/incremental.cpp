@@ -1,0 +1,159 @@
+#include "verify/incremental.hpp"
+
+#include <set>
+
+namespace acr::verify {
+
+IncrementalVerifier::IncrementalVerifier(std::vector<Intent> intents,
+                                         route::SimOptions sim_options,
+                                         int samples_per_intent,
+                                         bool multipath)
+    : intents_(std::move(intents)),
+      tests_(generateTests(intents_, samples_per_intent)),
+      sim_options_(sim_options),
+      multipath_(multipath) {
+  if (multipath_) sim_options_.enable_ecmp = true;
+}
+
+IncrementalVerifier::IncrementalVerifier(std::vector<Intent> intents,
+                                         std::vector<TestCase> tests,
+                                         route::SimOptions sim_options,
+                                         bool multipath)
+    : intents_(std::move(intents)),
+      tests_(std::move(tests)),
+      sim_options_(sim_options),
+      multipath_(multipath) {
+  if (multipath_) sim_options_.enable_ecmp = true;
+}
+
+VerifyResult IncrementalVerifier::toVerifyResult() const {
+  VerifyResult out;
+  out.results = cached_results_;
+  out.tests_run = static_cast<int>(out.results.size());
+  for (const auto& result : out.results) {
+    if (!result.passed) ++out.tests_failed;
+  }
+  return out;
+}
+
+VerifyResult IncrementalVerifier::baseline(const topo::Network& network) {
+  const Verifier verifier(intents_, sim_options_, multipath_);
+  route::SimResult sim = route::Simulator(network).run(sim_options_);
+  ++stats_.simulations;
+  cached_results_ = verifier.runTests(network, sim, tests_);
+  stats_.tests_total += tests_.size();
+  stats_.tests_reverified += tests_.size();
+  cached_sim_ = std::move(sim);
+  cached_network_ = network;
+  return toVerifyResult();
+}
+
+VerifyResult IncrementalVerifier::probe(const topo::Network& network) {
+  if (!cached_sim_ || !cached_network_) return baseline(network);
+  route::SimResult sim = route::Simulator(network).run(sim_options_);
+  ++stats_.simulations;
+  std::vector<TestResult> results = cached_results_;
+  rejudge(network, sim, results);
+  VerifyResult out;
+  out.tests_run = static_cast<int>(results.size());
+  for (const auto& result : results) {
+    if (!result.passed) ++out.tests_failed;
+  }
+  out.results = std::move(results);
+  return out;
+}
+
+VerifyResult IncrementalVerifier::update(const topo::Network& network) {
+  if (!cached_sim_ || !cached_network_) return baseline(network);
+
+  route::SimResult sim = route::Simulator(network).run(sim_options_);
+  ++stats_.simulations;
+  rejudge(network, sim, cached_results_);
+  cached_sim_ = std::move(sim);
+  cached_network_ = network;
+  return toVerifyResult();
+}
+
+void IncrementalVerifier::rejudge(const topo::Network& network,
+                                  const route::SimResult& sim,
+                                  std::vector<TestResult>& results) {
+
+  // Changed devices (catches data-plane-only edits such as PBR rules).
+  std::set<std::string> changed_devices;
+  for (const auto& diff : diffNetworks(*cached_network_, network)) {
+    changed_devices.insert(diff.device);
+  }
+
+  // Prefixes whose best route changed on any router, plus flapping-set churn.
+  std::set<net::Prefix> changed_prefixes;
+  for (const auto& [router, routes] : sim.rib) {
+    const auto old_it = cached_sim_->rib.find(router);
+    if (old_it == cached_sim_->rib.end()) {
+      for (const auto& [prefix, route] : routes) changed_prefixes.insert(prefix);
+      continue;
+    }
+    for (const auto& [prefix, route] : routes) {
+      const auto it = old_it->second.find(prefix);
+      if (it == old_it->second.end() || it->second.key() != route.key()) {
+        changed_prefixes.insert(prefix);
+      }
+    }
+    for (const auto& [prefix, route] : old_it->second) {
+      if (routes.find(prefix) == routes.end()) changed_prefixes.insert(prefix);
+    }
+  }
+  changed_prefixes.insert(cached_sim_->flapping.begin(),
+                          cached_sim_->flapping.end());
+  changed_prefixes.insert(sim.flapping.begin(), sim.flapping.end());
+
+  const auto address_affected = [&](net::Ipv4Address address) {
+    for (const auto& prefix : changed_prefixes) {
+      if (prefix.contains(address)) return true;
+    }
+    return false;
+  };
+
+  const Verifier verifier(intents_, sim_options_, multipath_);
+  const dp::DataPlane dataplane(network, sim);
+
+  for (std::size_t i = 0; i < tests_.size(); ++i) {
+    ++stats_.tests_total;
+    TestResult& cached = results[i];
+    bool must_recheck = !cached.passed;
+    if (!must_recheck) {
+      must_recheck = address_affected(tests_[i].packet.dst) ||
+                     address_affected(tests_[i].packet.src);
+    }
+    if (!must_recheck && !changed_devices.empty()) {
+      if (multipath_) {
+        // The cached trace is only the worst branch; an edited device could
+        // sit on an unexplored sibling branch, so device edits invalidate
+        // every cached verdict under multipath semantics.
+        must_recheck = true;
+      } else {
+        for (const auto& hop : cached.trace.hops) {
+          if (changed_devices.count(hop.router) != 0) {
+            must_recheck = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!must_recheck) {
+      ++stats_.tests_skipped;
+      continue;
+    }
+    ++stats_.tests_reverified;
+    TestResult fresh;
+    fresh.test = tests_[i];
+    fresh.trace = multipath_
+                      ? dataplane.traceMultipath(tests_[i].packet).worst()
+                      : dataplane.trace(tests_[i].packet);
+    fresh.passed = judgeTest(
+        intents_[static_cast<std::size_t>(tests_[i].intent_index)], fresh.trace,
+        &fresh.reason);
+    cached = std::move(fresh);
+  }
+}
+
+}  // namespace acr::verify

@@ -1,0 +1,87 @@
+// DNA-style incremental (differential) verification.
+//
+// The paper's validation step leans on incremental verifiers (DNA, NSDI'22)
+// to make trying many candidate updates cheap. This implementation keeps the
+// previous simulation, FIBs and per-test verdicts; after a config change it
+// re-simulates (the synchronous simulator is the cheap part) and then
+// re-judges ONLY the tests that could have been affected:
+//   * tests whose src/dst lies in a prefix whose best route changed anywhere
+//     (including prefixes entering/leaving the flapping set),
+//   * tests whose cached forwarding path crosses a device whose config
+//     changed (catches PBR edits, which never show up in FIB diffs),
+//   * tests that were failing before (failures are always re-checked).
+// Everything else reuses the cached verdict. Counters expose the saving;
+// a property test asserts equivalence with full verification.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "routing/simulator.hpp"
+#include "topo/network.hpp"
+#include "verify/verifier.hpp"
+
+namespace acr::verify {
+
+class IncrementalVerifier {
+ public:
+  explicit IncrementalVerifier(std::vector<Intent> intents,
+                               route::SimOptions sim_options = {},
+                               int samples_per_intent = 1,
+                               bool multipath = false);
+
+  /// Runs an explicit test suite (e.g. a coverage-guided one) instead of the
+  /// default one-sample-per-intent suite.
+  IncrementalVerifier(std::vector<Intent> intents,
+                      std::vector<TestCase> tests,
+                      route::SimOptions sim_options, bool multipath = false);
+
+  /// Full verification; primes the cache.
+  VerifyResult baseline(const topo::Network& network);
+
+  /// Differential verification against the cached state; updates the cache.
+  /// Falls back to baseline() when no cache exists.
+  VerifyResult update(const topo::Network& network);
+
+  /// Differential verification WITHOUT updating the cache — the candidate-
+  /// validation fast path: the repair engine probes many candidate updates
+  /// against the same anchor state and only re-anchors (update) on the one
+  /// it keeps. Requires a primed cache.
+  [[nodiscard]] VerifyResult probe(const topo::Network& network);
+
+  struct Stats {
+    std::uint64_t simulations = 0;
+    std::uint64_t tests_total = 0;
+    std::uint64_t tests_reverified = 0;
+    std::uint64_t tests_skipped = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+
+  [[nodiscard]] const route::SimResult* cachedSim() const {
+    return cached_sim_ ? &*cached_sim_ : nullptr;
+  }
+  [[nodiscard]] const std::vector<Intent>& intents() const { return intents_; }
+  [[nodiscard]] const std::vector<TestCase>& tests() const { return tests_; }
+
+ private:
+  VerifyResult toVerifyResult() const;
+
+  /// Differential core shared by update() and probe(): recomputes the
+  /// affected entries of `results` against `sim`, leaving the cache alone.
+  void rejudge(const topo::Network& network, const route::SimResult& sim,
+               std::vector<TestResult>& results);
+
+  std::vector<Intent> intents_;
+  std::vector<TestCase> tests_;
+  route::SimOptions sim_options_;
+  bool multipath_ = false;
+  Stats stats_;
+
+  std::optional<route::SimResult> cached_sim_;
+  std::optional<topo::Network> cached_network_;
+  std::vector<TestResult> cached_results_;
+};
+
+}  // namespace acr::verify

@@ -1,0 +1,46 @@
+// Operator intents and the test cases sampled from them.
+//
+// Following §4.1 of the paper, every intent carries a header space; the test
+// generator samples one (or more) concrete packet(s) per intent, and the
+// verifier classifies each test as passing or failing. Those test verdicts
+// feed both verification (a failing test = an intent violation) and SBFL
+// (pass/fail × coverage = suspiciousness).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netcore/five_tuple.hpp"
+
+namespace acr::verify {
+
+enum class IntentKind : std::uint8_t {
+  kReachability,   // packets in the space must be delivered
+  kIsolation,      // packets in the space must NOT be delivered
+  kLoopFree,       // packets in the space must not traverse a loop
+  kBlackholeFree,  // packets in the space must not hit a routing blackhole
+};
+
+[[nodiscard]] std::string intentKindName(IntentKind kind);
+
+struct Intent {
+  IntentKind kind = IntentKind::kReachability;
+  std::string name;
+  net::HeaderSpace space;
+
+  [[nodiscard]] std::string str() const {
+    return intentKindName(kind) + ' ' + name + " (" + space.str() + ')';
+  }
+};
+
+struct TestCase {
+  int intent_index = 0;  // into the intent list the suite was built from
+  net::FiveTuple packet;
+};
+
+/// Samples `samples_per_intent` packets per intent (deterministic seeds).
+[[nodiscard]] std::vector<TestCase> generateTests(
+    const std::vector<Intent>& intents, int samples_per_intent = 1);
+
+}  // namespace acr::verify

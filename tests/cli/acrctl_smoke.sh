@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the acrctl workflow:
+#   export (cisco dialect) -> inject -> verify (fails) -> triage ->
+#   repair --report -> verify repaired (passes)
+set -u
+
+ACRCTL="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+"$ACRCTL" list-faults | grep -q "Missing peer group" \
+  || fail "list-faults should include Table-1 types"
+
+"$ACRCTL" export --scenario dcn-2x2 --out "$WORK/clean" --dialect cisco \
+  || fail "export"
+[ -f "$WORK/clean/topology.acr" ] || fail "topology.acr missing"
+[ -f "$WORK/clean/intents.acr" ] || fail "intents.acr missing"
+grep -q "router bgp" "$WORK/clean/core1.cfg" \
+  || fail "cisco dialect not used in export"
+
+"$ACRCTL" verify "$WORK/clean" || fail "pristine scenario should verify clean"
+
+"$ACRCTL" inject "$WORK/clean" --fault 2 --seed 4 --out "$WORK/broken" \
+  || fail "inject"
+"$ACRCTL" verify "$WORK/broken" > "$WORK/verify.out" 2>&1 \
+  && fail "broken scenario should fail verification"
+grep -q "FAIL" "$WORK/verify.out" || fail "verify should print failures"
+
+"$ACRCTL" triage "$WORK/broken" > "$WORK/triage.out" 2>&1
+grep -q "top suspicious lines" "$WORK/triage.out" || fail "triage output"
+
+"$ACRCTL" repair "$WORK/broken" --out "$WORK/repaired" --report \
+  > "$WORK/repair.out" || fail "repair"
+grep -q "# ACR repair report" "$WORK/repair.out" || fail "repair report"
+grep -q "outcome: \*\*repaired\*\*" "$WORK/repair.out" || fail "not repaired"
+
+"$ACRCTL" verify "$WORK/repaired" || fail "repaired scenario should verify"
+
+"$ACRCTL" tolerance "$WORK/clean" --k 1 > "$WORK/tol.out" 2>&1
+grep -q "single points of failure" "$WORK/tol.out" \
+  || fail "the legacy pod should expose SPOFs"
+
+echo "acrctl smoke: OK"

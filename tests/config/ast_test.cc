@@ -1,0 +1,224 @@
+#include "config/ast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "config/parser.hpp"
+#include "topo/generators.hpp"
+
+namespace acr::cfg {
+namespace {
+
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+
+DeviceConfig sampleDevice() {
+  return parseDevice(
+      "hostname A\n"
+      "interface eth0\n"
+      " ip address 10.1.1.1 30\n"
+      "interface eth1\n"
+      " ip address 10.70.0.1 16\n"
+      "ip route-static 20.0.0.0 24 10.70.0.10\n"
+      "bgp 65001\n"
+      " router-id 1.1.1.1\n"
+      " redistribute connected\n"
+      " redistribute static\n"
+      " group POPS\n"
+      " peer-group POPS route-policy Override_All import\n"
+      " peer 10.1.1.2 as-number 65002\n"
+      " peer 10.1.1.2 group POPS\n"
+      "ip prefix-list default_all index 10 permit 0.0.0.0 0\n"
+      "route-policy Override_All permit node 10\n"
+      " if-match ip-prefix default_all\n"
+      " apply as-path overwrite\n"
+      "route-policy Override_All permit node 20\n"
+      "pbr policy EDGE\n"
+      " rule 10 permit source 0.0.0.0 0 destination 10.0.0.0 8\n"
+      " rule 20 deny source 0.0.0.0 0 destination 0.0.0.0 0\n");
+}
+
+TEST(DeviceConfig, RenumberAssignsSequentialLines) {
+  DeviceConfig device = sampleDevice();
+  const int total = device.renumber();
+  EXPECT_EQ(total, device.lineCount());
+  EXPECT_EQ(device.hostname_line, 1);
+  EXPECT_EQ(device.interfaces[0].line, 2);
+  EXPECT_EQ(device.interfaces[0].ip_line, 3);
+  // Line numbers strictly increase in render order.
+  const auto index = device.buildLineIndex();
+  EXPECT_EQ(static_cast<int>(index.size()), total);
+  int expected = 1;
+  for (const auto& [line, info] : index) {
+    EXPECT_EQ(line, expected++);
+  }
+}
+
+TEST(DeviceConfig, RenderMatchesLineIndexText) {
+  DeviceConfig device = sampleDevice();
+  device.renumber();
+  const auto lines = device.renderLines();
+  const auto index = device.buildLineIndex();
+  ASSERT_EQ(lines.size(), index.size());
+  for (const auto& [line_no, info] : index) {
+    const std::string& raw = lines[static_cast<std::size_t>(line_no - 1)];
+    EXPECT_EQ(raw.substr(raw.find_first_not_of(' ')), info.text);
+  }
+}
+
+TEST(DeviceConfig, LineIndexResolvesKinds) {
+  DeviceConfig device = sampleDevice();
+  device.renumber();
+  const auto index = device.buildLineIndex();
+  std::map<LineKind, int> kinds;
+  for (const auto& [line, info] : index) ++kinds[info.kind];
+  EXPECT_EQ(kinds[LineKind::kHostname], 1);
+  EXPECT_EQ(kinds[LineKind::kInterface], 2);
+  EXPECT_EQ(kinds[LineKind::kInterfaceIp], 2);
+  EXPECT_EQ(kinds[LineKind::kStaticRoute], 1);
+  EXPECT_EQ(kinds[LineKind::kBgpHeader], 1);
+  EXPECT_EQ(kinds[LineKind::kRedistribute], 2);
+  EXPECT_EQ(kinds[LineKind::kGroup], 1);
+  EXPECT_EQ(kinds[LineKind::kGroupImport], 1);
+  EXPECT_EQ(kinds[LineKind::kPeerAs], 1);
+  EXPECT_EQ(kinds[LineKind::kPeerGroupRef], 1);
+  EXPECT_EQ(kinds[LineKind::kPrefixListEntry], 1);
+  EXPECT_EQ(kinds[LineKind::kPolicyNode], 2);
+  EXPECT_EQ(kinds[LineKind::kPolicyMatch], 1);
+  EXPECT_EQ(kinds[LineKind::kPolicyAction], 1);
+  EXPECT_EQ(kinds[LineKind::kPbrHeader], 1);
+  EXPECT_EQ(kinds[LineKind::kPbrRule], 2);
+}
+
+TEST(DeviceConfig, EditThenRenumberShiftsLines) {
+  DeviceConfig device = sampleDevice();
+  device.renumber();
+  const int route_policy_line = device.policies[0].nodes[0].line;
+  // Insert a prefix-list entry before the policies: following lines shift.
+  PrefixListEntry entry;
+  entry.index = 20;
+  entry.prefix = P("10.70.0.0/16");
+  device.prefix_lists[0].entries.push_back(entry);
+  device.renumber();
+  EXPECT_EQ(device.policies[0].nodes[0].line, route_policy_line + 1);
+}
+
+TEST(PrefixListEntry, CatchAllMatchesEverything) {
+  PrefixListEntry entry;
+  entry.prefix = P("0.0.0.0/0");
+  EXPECT_TRUE(entry.matches(P("10.0.0.0/16")));
+  EXPECT_TRUE(entry.matches(P("1.2.3.4/32")));
+}
+
+TEST(PrefixListEntry, ExactMatchWithoutBounds) {
+  PrefixListEntry entry;
+  entry.prefix = P("10.0.0.0/16");
+  EXPECT_TRUE(entry.matches(P("10.0.0.0/16")));
+  EXPECT_FALSE(entry.matches(P("10.0.0.0/24")));  // no ge/le: exact only
+  EXPECT_FALSE(entry.matches(P("10.0.0.0/8")));
+}
+
+TEST(PrefixListEntry, RangeMatchWithBounds) {
+  PrefixListEntry entry;
+  entry.prefix = P("10.0.0.0/16");
+  entry.greater_equal = 16;
+  entry.less_equal = 24;
+  EXPECT_TRUE(entry.matches(P("10.0.0.0/16")));
+  EXPECT_TRUE(entry.matches(P("10.0.5.0/24")));
+  EXPECT_FALSE(entry.matches(P("10.0.5.0/25")));  // longer than le
+  EXPECT_FALSE(entry.matches(P("10.1.0.0/16")));  // outside the prefix
+}
+
+TEST(PrefixList, FirstMatchWinsAndDefaultDeny) {
+  PrefixList list;
+  list.name = "L";
+  PrefixListEntry deny;
+  deny.index = 5;
+  deny.action = Action::kDeny;
+  deny.prefix = P("10.0.0.0/16");
+  deny.greater_equal = 16;
+  deny.less_equal = 32;
+  list.entries.push_back(deny);
+  PrefixListEntry permit;
+  permit.index = 10;
+  permit.prefix = P("0.0.0.0/0");
+  list.entries.push_back(permit);
+  EXPECT_FALSE(list.permits(P("10.0.1.0/24")));  // deny entry first
+  EXPECT_TRUE(list.permits(P("20.0.0.0/16")));   // catch-all permit
+  list.entries.clear();
+  EXPECT_FALSE(list.permits(P("20.0.0.0/16")));  // empty list denies
+}
+
+TEST(PrefixList, NextIndexSteps) {
+  PrefixList list;
+  EXPECT_EQ(list.nextIndex(), 10);
+  PrefixListEntry entry;
+  entry.index = 25;
+  list.entries.push_back(entry);
+  EXPECT_EQ(list.nextIndex(), 35);
+}
+
+TEST(BgpConfig, Lookups) {
+  DeviceConfig device = sampleDevice();
+  ASSERT_TRUE(device.bgp.has_value());
+  EXPECT_NE(device.bgp->findGroup("POPS"), nullptr);
+  EXPECT_EQ(device.bgp->findGroup("NOPE"), nullptr);
+  EXPECT_NE(device.bgp->findPeer(*net::Ipv4Address::parse("10.1.1.2")), nullptr);
+  EXPECT_EQ(device.bgp->findPeer(*net::Ipv4Address::parse("10.1.1.9")), nullptr);
+  EXPECT_TRUE(device.bgp->redistributes_source(RedistSource::kStatic));
+  EXPECT_TRUE(device.bgp->redistributes_source(RedistSource::kConnected));
+}
+
+TEST(RoutePolicy, NodeLookupAndNextIndex) {
+  DeviceConfig device = sampleDevice();
+  const RoutePolicy* policy = device.findPolicy("Override_All");
+  ASSERT_NE(policy, nullptr);
+  EXPECT_NE(policy->findNode(10), nullptr);
+  EXPECT_EQ(policy->findNode(15), nullptr);
+  EXPECT_EQ(policy->nextNodeIndex(), 30);
+}
+
+TEST(PbrPolicy, FirstMatchAndNextIndex) {
+  DeviceConfig device = sampleDevice();
+  const PbrPolicy* pbr = device.findPbr("EDGE");
+  ASSERT_NE(pbr, nullptr);
+  const PbrRule* hit = pbr->match(*net::Ipv4Address::parse("1.1.1.1"),
+                                  *net::Ipv4Address::parse("10.2.3.4"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->index, 10);
+  hit = pbr->match(*net::Ipv4Address::parse("1.1.1.1"),
+                   *net::Ipv4Address::parse("99.0.0.1"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->action, PbrAction::kDeny);
+  EXPECT_EQ(pbr->nextIndex(), 30);
+}
+
+TEST(DeviceConfig, InterfaceForPeerAddress) {
+  DeviceConfig device = sampleDevice();
+  const InterfaceConfig* itf =
+      device.interfaceFor(*net::Ipv4Address::parse("10.1.1.2"));
+  ASSERT_NE(itf, nullptr);
+  EXPECT_EQ(itf->name, "eth0");
+  EXPECT_EQ(device.interfaceFor(*net::Ipv4Address::parse("99.1.1.2")), nullptr);
+}
+
+TEST(LineId, OrderingAndStr) {
+  const LineId a{"A", 3};
+  const LineId b{"A", 5};
+  const LineId c{"B", 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a.str(), "A:3");
+}
+
+TEST(GeneratedConfigs, EveryLineResolvesInIndex) {
+  // Property over all generator families: buildLineIndex covers every line.
+  for (const auto& built :
+       {topo::buildFigure2(), topo::buildDcn(2, 2), topo::buildBackbone(6)}) {
+    for (const auto& [name, device] : built.network.configs) {
+      const auto index = device.buildLineIndex();
+      EXPECT_EQ(static_cast<int>(index.size()), device.lineCount()) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acr::cfg

@@ -1,0 +1,79 @@
+#include "config/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "config/parser.hpp"
+#include "topo/generators.hpp"
+#include "topo/network.hpp"
+
+namespace acr::cfg {
+namespace {
+
+TEST(Diff, IdenticalConfigsAreEmpty) {
+  const DeviceConfig device = parseDevice("hostname A\nbgp 65001\n");
+  const ConfigDiff diff = diffDevice(device, device);
+  EXPECT_TRUE(diff.empty());
+  EXPECT_EQ(diff.size(), 0u);
+}
+
+TEST(Diff, DetectsAddedAndRemovedLines) {
+  const DeviceConfig before = parseDevice(
+      "hostname A\n"
+      "bgp 65001\n"
+      " redistribute static\n");
+  const DeviceConfig after = parseDevice(
+      "hostname A\n"
+      "bgp 65001\n"
+      " redistribute connected\n");
+  const ConfigDiff diff = diffDevice(before, after);
+  ASSERT_EQ(diff.added.size(), 1u);
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.added[0], " redistribute connected");
+  EXPECT_EQ(diff.removed[0], " redistribute static");
+  EXPECT_EQ(diff.size(), 2u);
+}
+
+TEST(Diff, StrRendersUnifiedStyle) {
+  const DeviceConfig before = parseDevice("hostname A\n");
+  const DeviceConfig after =
+      parseDevice("hostname A\nip route-static 10.0.0.0 16 10.1.1.2\n");
+  const std::string text = diffDevice(before, after).str();
+  EXPECT_NE(text.find("+ [A] ip route-static 10.0.0.0 16 10.1.1.2"),
+            std::string::npos);
+}
+
+TEST(Diff, NetworkDiffSkipsUnchangedDevices) {
+  topo::BuiltNetwork correct = topo::buildFigure2();
+  topo::BuiltNetwork faulty = topo::buildFigure2Faulty();
+  const auto diffs = topo::diffNetworks(correct.network, faulty.network);
+  // Only A and C were touched by the incident.
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_EQ(diffs[0].device, "A");
+  EXPECT_EQ(diffs[1].device, "C");
+  for (const auto& diff : diffs) {
+    EXPECT_FALSE(diff.empty());
+    // The incident replaced the narrow entries with the catch-all.
+    bool has_catch_all = false;
+    for (const auto& line : diff.added) {
+      if (line.find("0.0.0.0 0") != std::string::npos) has_catch_all = true;
+    }
+    EXPECT_TRUE(has_catch_all) << diff.str();
+  }
+  EXPECT_GE(totalChangedLines(diffs), 4u);
+}
+
+TEST(Diff, OrderInsensitiveWithinDevice) {
+  // Same lines, different AST order: canonical rendering sorts identically.
+  const DeviceConfig a = parseDevice(
+      "hostname A\n"
+      "ip prefix-list L index 10 permit 10.0.0.0 16\n"
+      "ip prefix-list M index 10 permit 20.0.0.0 16\n");
+  const DeviceConfig b = parseDevice(
+      "hostname A\n"
+      "ip prefix-list M index 10 permit 20.0.0.0 16\n"
+      "ip prefix-list L index 10 permit 10.0.0.0 16\n");
+  EXPECT_TRUE(diffDevice(a, b).empty());
+}
+
+}  // namespace
+}  // namespace acr::cfg

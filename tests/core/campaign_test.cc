@@ -1,0 +1,60 @@
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "verify/verifier.hpp"
+
+namespace acr {
+namespace {
+
+TEST(Campaign, RunsIncidentsAndRepairsThem) {
+  CampaignOptions options;
+  options.incidents = 6;
+  options.seed = 5;
+  options.dcn_pods = 2;
+  options.dcn_tors = 2;
+  options.backbone_n = 6;
+  const CampaignResult result = runCampaign(options);
+  EXPECT_GE(result.records.size(), 4u);  // a few attempts may be masked
+  EXPECT_EQ(result.violatedCount(), static_cast<int>(result.records.size()));
+  // The engine repairs the vast majority; require all for this small corpus.
+  EXPECT_EQ(result.repairedCount(), result.violatedCount());
+  for (const auto& record : result.records) {
+    EXPECT_FALSE(record.scenario.empty());
+    EXPECT_FALSE(record.description.empty());
+    EXPECT_GT(record.injected_lines, 0);
+    if (record.repair.success) {
+      EXPECT_EQ(record.repair.final_failed, 0);
+      EXPECT_GT(record.repair.elapsed_ms, 0.0);
+    }
+  }
+}
+
+TEST(Campaign, DeterministicForSeed) {
+  CampaignOptions options;
+  options.incidents = 3;
+  options.seed = 9;
+  options.dcn_pods = 2;
+  options.dcn_tors = 2;
+  options.backbone_n = 6;
+  const CampaignResult a = runCampaign(options);
+  const CampaignResult b = runCampaign(options);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].type, b.records[i].type);
+    EXPECT_EQ(a.records[i].description, b.records[i].description);
+    EXPECT_EQ(a.records[i].repair.success, b.records[i].repair.success);
+  }
+}
+
+TEST(RepairNetworkFacade, MatchesEngine) {
+  const Scenario scenario = figure2Scenario(true);
+  const repair::RepairResult result =
+      repairNetwork(scenario.network(), scenario.intents);
+  EXPECT_TRUE(result.success);
+  const verify::Verifier verifier(scenario.intents);
+  EXPECT_TRUE(verifier.verify(result.repaired).ok());
+}
+
+}  // namespace
+}  // namespace acr

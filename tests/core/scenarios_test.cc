@@ -1,0 +1,85 @@
+#include "core/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acr {
+namespace {
+
+TEST(Intents, Figure2SpecCoversAllSubnets) {
+  const Scenario scenario = figure2Scenario(false);
+  EXPECT_FALSE(scenario.intents.empty());
+  // Every subnet appears as a destination of some reachability intent.
+  for (const auto& subnet : scenario.built.subnets) {
+    bool covered = false;
+    for (const auto& intent : scenario.intents) {
+      if (intent.kind == verify::IntentKind::kReachability &&
+          intent.space.dst_space == subnet.prefix) {
+        covered = true;
+      }
+    }
+    EXPECT_TRUE(covered) << subnet.name;
+  }
+}
+
+TEST(Intents, QuarantinedSubnetsGetIsolationNotReachability) {
+  const Scenario scenario = dcnScenario(2, 2);
+  const topo::SubnetExpectation* quarantine =
+      scenario.built.findSubnet("quarantine");
+  ASSERT_NE(quarantine, nullptr);
+  int isolation = 0;
+  for (const auto& intent : scenario.intents) {
+    if (intent.space.dst_space == quarantine->prefix) {
+      EXPECT_EQ(intent.kind, verify::IntentKind::kIsolation) << intent.name;
+      ++isolation;
+    }
+    if (intent.kind == verify::IntentKind::kReachability) {
+      EXPECT_NE(intent.space.src_space, quarantine->prefix) << intent.name;
+    }
+  }
+  EXPECT_GT(isolation, 0);
+}
+
+TEST(Intents, EverySubnetIsAReachabilitySource) {
+  // PBR faults only manifest for traffic *sourced* at the faulty ToR, so the
+  // spec must use every open subnet as a source.
+  const Scenario scenario = dcnScenario(3, 2);
+  for (const auto& subnet : scenario.built.subnets) {
+    if (subnet.quarantined) continue;
+    bool is_source = false;
+    for (const auto& intent : scenario.intents) {
+      if (intent.kind == verify::IntentKind::kReachability &&
+          intent.space.src_space == subnet.prefix) {
+        is_source = true;
+      }
+    }
+    EXPECT_TRUE(is_source) << subnet.name;
+  }
+}
+
+TEST(Intents, LoopAndBlackholeIntentsPresent) {
+  const Scenario scenario = backboneScenario(6);
+  int loopfree = 0, blackholefree = 0;
+  for (const auto& intent : scenario.intents) {
+    if (intent.kind == verify::IntentKind::kLoopFree) ++loopfree;
+    if (intent.kind == verify::IntentKind::kBlackholeFree) ++blackholefree;
+  }
+  EXPECT_GT(loopfree, 0);
+  EXPECT_GT(blackholefree, 0);
+}
+
+TEST(Scenarios, ByFamilyDispatch) {
+  EXPECT_EQ(scenarioByFamily("figure2").name, "figure2");
+  EXPECT_EQ(scenarioByFamily("backbone", 3, 2, 7).name, "backbone-7");
+  EXPECT_EQ(scenarioByFamily("dcn", 3, 2).name, "dcn-3x2");
+}
+
+TEST(Scenarios, NamesAndSizes) {
+  const Scenario dcn = dcnScenario(2, 2);
+  EXPECT_EQ(dcn.name, "dcn-2x2");
+  EXPECT_GT(dcn.network().totalLines(), 100);
+  const Scenario figure2 = figure2Scenario(true);
+  EXPECT_EQ(figure2.name, "figure2-faulty");
+}
+
+}  // namespace
+}  // namespace acr

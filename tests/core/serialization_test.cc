@@ -1,0 +1,150 @@
+#include "core/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "routing/simulator.hpp"
+#include "verify/verifier.hpp"
+
+namespace acr {
+namespace {
+
+/// Unique scratch directory per test, removed on destruction.
+struct TempDir {
+  std::filesystem::path path;
+
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("acr_ser_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+
+  static int& counter() {
+    static int value = 0;
+    return value;
+  }
+};
+
+void expectScenarioEqual(const Scenario& a, const Scenario& b) {
+  ASSERT_EQ(a.built.network.configs.size(), b.built.network.configs.size());
+  for (const auto& [name, device] : a.built.network.configs) {
+    const cfg::DeviceConfig* other = b.built.network.config(name);
+    ASSERT_NE(other, nullptr) << name;
+    EXPECT_EQ(device.render(), other->render()) << name;
+  }
+  EXPECT_EQ(a.built.network.topology.routers().size(),
+            b.built.network.topology.routers().size());
+  EXPECT_EQ(a.built.network.topology.links().size(),
+            b.built.network.topology.links().size());
+  ASSERT_EQ(a.built.subnets.size(), b.built.subnets.size());
+  for (std::size_t i = 0; i < a.built.subnets.size(); ++i) {
+    EXPECT_EQ(a.built.subnets[i].name, b.built.subnets[i].name);
+    EXPECT_EQ(a.built.subnets[i].prefix, b.built.subnets[i].prefix);
+    EXPECT_EQ(a.built.subnets[i].via_static, b.built.subnets[i].via_static);
+    EXPECT_EQ(a.built.subnets[i].quarantined, b.built.subnets[i].quarantined);
+  }
+  ASSERT_EQ(a.intents.size(), b.intents.size());
+  for (std::size_t i = 0; i < a.intents.size(); ++i) {
+    EXPECT_EQ(a.intents[i].kind, b.intents[i].kind);
+    EXPECT_EQ(a.intents[i].space, b.intents[i].space);
+  }
+}
+
+class SaveLoadRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SaveLoadRoundTrip, PreservesEverything) {
+  const std::string family = GetParam();
+  Scenario scenario;
+  if (family == "figure2-faulty") {
+    scenario = figure2Scenario(true);
+  } else if (family == "dcn") {
+    scenario = dcnScenario(2, 2);
+  } else {
+    scenario = backboneScenario(6);
+  }
+  const TempDir dir;
+  saveScenario(scenario, dir.path.string());
+  const Scenario loaded = loadScenario(dir.path.string());
+  expectScenarioEqual(scenario, loaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SaveLoadRoundTrip,
+                         ::testing::Values("figure2-faulty", "dcn",
+                                           "backbone"));
+
+TEST(SaveLoad, CiscoDialectRoundTrips) {
+  const Scenario scenario = figure2Scenario(true);
+  const TempDir dir;
+  SaveOptions options;
+  options.dialect = cfg::Dialect::kCisco;
+  saveScenario(scenario, dir.path.string(), options);
+  // The dialect is auto-detected on load; the AST must match exactly.
+  const Scenario loaded = loadScenario(dir.path.string());
+  expectScenarioEqual(scenario, loaded);
+  // And the loaded network still reproduces the incident.
+  const route::SimResult sim =
+      route::Simulator(loaded.network()).run();
+  EXPECT_FALSE(sim.converged);
+}
+
+TEST(SaveLoad, LoadedScenarioVerifiesLikeTheOriginal) {
+  const Scenario scenario = dcnScenario(2, 2);
+  const TempDir dir;
+  saveScenario(scenario, dir.path.string());
+  const Scenario loaded = loadScenario(dir.path.string());
+  const verify::Verifier verifier(loaded.intents);
+  EXPECT_TRUE(verifier.verify(loaded.network()).ok());
+}
+
+TEST(TopologyText, RoundTrip) {
+  const Scenario scenario = backboneScenario(6);
+  const std::string text = topologyToText(scenario.built.network.topology,
+                                          scenario.built.subnets);
+  topo::Topology reparsed;
+  std::vector<topo::SubnetExpectation> subnets;
+  parseTopologyText(text, reparsed, subnets);
+  EXPECT_EQ(reparsed.routers().size(),
+            scenario.built.network.topology.routers().size());
+  EXPECT_EQ(reparsed.links().size(),
+            scenario.built.network.topology.links().size());
+  EXPECT_EQ(subnets.size(), scenario.built.subnets.size());
+}
+
+TEST(TopologyText, RejectsMalformedInput) {
+  topo::Topology topology;
+  std::vector<topo::SubnetExpectation> subnets;
+  EXPECT_THROW(parseTopologyText("bogus A B\n", topology, subnets),
+               std::runtime_error);
+  EXPECT_THROW(
+      parseTopologyText("subnet R 10.0.0.0/16 name wat\n", topology, subnets),
+      std::runtime_error);
+  EXPECT_THROW(
+      parseTopologyText("link A B not-a-prefix\n", topology, subnets),
+      std::runtime_error);
+}
+
+TEST(IntentsText, RoundTripAndErrors) {
+  const Scenario scenario = figure2Scenario(false);
+  const std::string text = intentsToText(scenario.intents);
+  const auto reparsed = parseIntentsText(text);
+  ASSERT_EQ(reparsed.size(), scenario.intents.size());
+  for (std::size_t i = 0; i < reparsed.size(); ++i) {
+    EXPECT_EQ(reparsed[i].kind, scenario.intents[i].kind);
+    EXPECT_EQ(reparsed[i].space, scenario.intents[i].space);
+  }
+  EXPECT_THROW(parseIntentsText("teleport x 10.0.0.0/8 20.0.0.0/8\n"),
+               std::runtime_error);
+  EXPECT_THROW(parseIntentsText("reachability x 10.0.0.0/8\n"),
+               std::runtime_error);
+}
+
+TEST(SaveLoad, MissingDirectoryThrows) {
+  EXPECT_THROW(loadScenario("/nonexistent/acr/dir"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace acr

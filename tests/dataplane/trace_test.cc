@@ -1,0 +1,183 @@
+#include "dataplane/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/generators.hpp"
+
+namespace acr::dp {
+namespace {
+
+net::Ipv4Address A(const char* text) { return *net::Ipv4Address::parse(text); }
+
+net::FiveTuple packet(const char* src, const char* dst) {
+  net::FiveTuple p;
+  p.src = A(src);
+  p.dst = A(dst);
+  p.protocol = net::Protocol::kTcp;
+  p.src_port = 1234;
+  p.dst_port = 80;
+  return p;
+}
+
+struct Fixture {
+  topo::BuiltNetwork built;
+  route::SimResult sim;
+
+  explicit Fixture(topo::BuiltNetwork b) : built(std::move(b)) {
+    route::SimOptions options;
+    options.record_provenance = true;
+    sim = route::Simulator(built.network).run(options);
+  }
+};
+
+TEST(Trace, DeliversAcrossFigure2) {
+  const Fixture f(topo::buildFigure2());
+  const DataPlane dataplane(f.built.network, f.sim);
+  const TraceResult result = dataplane.trace(packet("10.70.0.5", "20.0.0.5"));
+  EXPECT_EQ(result.outcome, TraceOutcome::kDelivered);
+  EXPECT_TRUE(result.delivered());
+  ASSERT_GE(result.hops.size(), 2u);
+  EXPECT_EQ(result.hops.front().router, "A");
+  EXPECT_EQ(result.hops.back().router, "S");
+}
+
+TEST(Trace, NoIngressForUnknownSource) {
+  const Fixture f(topo::buildFigure2());
+  const DataPlane dataplane(f.built.network, f.sim);
+  const TraceResult result = dataplane.trace(packet("99.0.0.1", "10.0.0.1"));
+  EXPECT_EQ(result.outcome, TraceOutcome::kNoIngress);
+}
+
+TEST(Trace, BlackholeWhenNoRoute) {
+  topo::BuiltNetwork built = topo::buildFigure2();
+  // Remove S's redistribution so 20.0/16 is never announced.
+  built.network.config("S")->bgp->redistributes.clear();
+  built.network.renumberAll();
+  const Fixture f(std::move(built));
+  const DataPlane dataplane(f.built.network, f.sim);
+  const TraceResult result = dataplane.trace(packet("10.70.0.5", "20.0.0.5"));
+  EXPECT_EQ(result.outcome, TraceOutcome::kBlackhole);
+  EXPECT_FALSE(result.delivered());
+}
+
+TEST(Trace, FlappingDestinationFlagged) {
+  const Fixture f(topo::buildFigure2Faulty());
+  const DataPlane dataplane(f.built.network, f.sim);
+  const TraceResult result = dataplane.trace(packet("10.70.0.5", "10.0.0.5"));
+  EXPECT_TRUE(result.destination_flapping);
+  EXPECT_FALSE(result.delivered());
+}
+
+TEST(Trace, PbrDenyDropsPacket) {
+  const Fixture f(topo::buildDcn(2, 2));
+  const DataPlane dataplane(f.built.network, f.sim);
+  // From a pod-1 server to an address outside 10/8, 20/8 and 30/16: the
+  // EDGE policy's final deny applies at the ToR.
+  const TraceResult result = dataplane.trace(packet("10.1.1.7", "10.1.1.1"));
+  EXPECT_EQ(result.outcome, TraceOutcome::kDelivered);  // fabric traffic OK
+  const TraceResult vip = dataplane.trace(packet("10.1.1.7", "20.1.1.9"));
+  EXPECT_EQ(vip.outcome, TraceOutcome::kDelivered);  // VIP permitted + static
+}
+
+TEST(Trace, PbrDenyOutcomeRecordsDevice) {
+  topo::BuiltNetwork built = topo::buildDcn(2, 2);
+  // Make the ToR's EDGE policy deny VIP traffic by dropping rule 20.
+  auto& rules = built.network.config("tor1_1")->pbr_policies[0].rules;
+  std::erase_if(rules, [](const cfg::PbrRule& rule) {
+    return rule.index == 20;
+  });
+  built.network.renumberAll();
+  const Fixture f(std::move(built));
+  const DataPlane dataplane(f.built.network, f.sim);
+  const TraceResult result = dataplane.trace(packet("10.1.1.7", "20.2.1.9"));
+  EXPECT_EQ(result.outcome, TraceOutcome::kDroppedByPbr);
+  ASSERT_FALSE(result.hops.empty());
+  EXPECT_EQ(result.hops.back().router, "tor1_1");
+  EXPECT_FALSE(result.hops.back().lines.empty());
+}
+
+TEST(Trace, PbrRedirectToNonRouterBlackholes) {
+  topo::BuiltNetwork built = topo::buildDcn(2, 2);
+  cfg::PbrRule redirect;
+  redirect.index = 1;
+  redirect.action = cfg::PbrAction::kRedirect;
+  redirect.redirect_next_hop = A("10.1.1.99");  // a host, not a router
+  redirect.destination = *net::Prefix::parse("20.0.0.0/8");
+  auto& rules = built.network.config("tor1_1")->pbr_policies[0].rules;
+  rules.insert(rules.begin(), redirect);
+  built.network.renumberAll();
+  const Fixture f(std::move(built));
+  const DataPlane dataplane(f.built.network, f.sim);
+  const TraceResult result = dataplane.trace(packet("10.1.1.7", "20.2.1.9"));
+  EXPECT_EQ(result.outcome, TraceOutcome::kBlackhole);
+  EXPECT_NE(result.detail.find("redirect"), std::string::npos);
+}
+
+TEST(Trace, PbrRedirectToRouterForwards) {
+  topo::BuiltNetwork built = topo::buildDcn(2, 2);
+  // Redirect VIP traffic at tor1_1 explicitly to agg1b's peering address.
+  const auto agg_address =
+      built.network.topology.peeringAddress("agg1b", "tor1_1").value();
+  cfg::PbrRule redirect;
+  redirect.index = 1;
+  redirect.action = cfg::PbrAction::kRedirect;
+  redirect.redirect_next_hop = agg_address;
+  redirect.destination = *net::Prefix::parse("20.2.0.0/16");
+  auto& rules = built.network.config("tor1_1")->pbr_policies[0].rules;
+  rules.insert(rules.begin(), redirect);
+  built.network.renumberAll();
+  const Fixture f(std::move(built));
+  const DataPlane dataplane(f.built.network, f.sim);
+  const TraceResult result = dataplane.trace(packet("10.1.1.7", "20.2.1.9"));
+  EXPECT_EQ(result.outcome, TraceOutcome::kDelivered);
+  ASSERT_GE(result.hops.size(), 2u);
+  EXPECT_EQ(result.hops[1].router, "agg1b");
+}
+
+TEST(Trace, StaticNextHopHandoffCountsAsDelivered) {
+  const Fixture f(topo::buildDcn(2, 2));
+  const DataPlane dataplane(f.built.network, f.sim);
+  // VIP 20.1.1.0/24 terminates at tor1_1 via a static route to a host.
+  const TraceResult result = dataplane.trace(packet("10.2.1.7", "20.1.1.9"));
+  EXPECT_EQ(result.outcome, TraceOutcome::kDelivered);
+  EXPECT_NE(result.detail.find("handed to host"), std::string::npos);
+}
+
+TEST(Trace, CoveredLinesSpanPathDevices) {
+  const Fixture f(topo::buildFigure2());
+  const DataPlane dataplane(f.built.network, f.sim);
+  const TraceResult result = dataplane.trace(packet("10.70.0.5", "20.0.0.5"));
+  const auto lines = result.coveredLines(f.sim.provenance);
+  EXPECT_FALSE(lines.empty());
+  std::set<std::string> devices;
+  for (const auto& line : lines) devices.insert(line.device);
+  EXPECT_GE(devices.size(), 2u);  // at least source + destination side
+}
+
+TEST(Trace, LoopDetected) {
+  // Handcraft a loop: A routes 55.0.0.0/16 to B statically, B routes it back
+  // to A.
+  topo::BuiltNetwork built = topo::buildFigure2();
+  const auto b_address = built.network.topology.peeringAddress("B", "A").value();
+  const auto a_address = built.network.topology.peeringAddress("A", "B").value();
+  built.network.config("A")->static_routes.push_back(
+      cfg::StaticRouteConfig{*net::Prefix::parse("55.0.0.0/16"), b_address, 0});
+  built.network.config("B")->static_routes.push_back(
+      cfg::StaticRouteConfig{*net::Prefix::parse("55.0.0.0/16"), a_address, 0});
+  built.network.renumberAll();
+  const Fixture f(std::move(built));
+  const DataPlane dataplane(f.built.network, f.sim);
+  const TraceResult result = dataplane.trace(packet("10.70.0.5", "55.0.0.1"));
+  EXPECT_EQ(result.outcome, TraceOutcome::kLoop);
+}
+
+TEST(Trace, OutcomeNames) {
+  EXPECT_EQ(traceOutcomeName(TraceOutcome::kDelivered), "delivered");
+  EXPECT_EQ(traceOutcomeName(TraceOutcome::kDroppedByPbr), "dropped-by-pbr");
+  EXPECT_EQ(traceOutcomeName(TraceOutcome::kBlackhole), "blackhole");
+  EXPECT_EQ(traceOutcomeName(TraceOutcome::kLoop), "loop");
+  EXPECT_EQ(traceOutcomeName(TraceOutcome::kNoIngress), "no-ingress");
+}
+
+}  // namespace
+}  // namespace acr::dp

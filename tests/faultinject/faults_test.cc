@@ -1,0 +1,138 @@
+#include "faultinject/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/scenarios.hpp"
+#include "verify/verifier.hpp"
+
+namespace acr::inject {
+namespace {
+
+TEST(Catalog, MatchesTableOne) {
+  const auto& catalog = faultCatalog();
+  ASSERT_EQ(catalog.size(), 10u);  // 9 types; the prefix-list row is S and M
+  double total = 0;
+  int multi = 0;
+  for (const auto& spec : catalog) {
+    total += spec.ratio;
+    if (spec.multi_line) ++multi;
+  }
+  // Table 1 ratios sum to 100% (95.8% listed + rounding; we normalize on
+  // sampling). The M rows carry 83.2% minus rounding.
+  EXPECT_NEAR(total, 1.0, 0.05);
+  EXPECT_EQ(multi, 6);
+  EXPECT_EQ(specOf(FaultType::kMissingRedistribution).ratio, 0.208);
+  EXPECT_EQ(specOf(FaultType::kMissingPeerGroup).ratio, 0.166);
+  EXPECT_STREQ(specOf(FaultType::kMissingPrefixListItemsM).category, "Policy");
+}
+
+TEST(Sampler, FollowsTableOneDistribution) {
+  FaultInjector injector(123);
+  std::map<FaultType, int> histogram;
+  const int draws = 5000;
+  for (int i = 0; i < draws; ++i) ++histogram[injector.sampleType()];
+  for (const auto& spec : faultCatalog()) {
+    const double observed =
+        static_cast<double>(histogram[spec.type]) / draws;
+    EXPECT_NEAR(observed, spec.ratio / 0.958, 0.03)
+        << faultTypeName(spec.type);
+  }
+}
+
+struct InjectCase {
+  FaultType type;
+  bool expect_multi;
+};
+
+class Injection : public ::testing::TestWithParam<FaultType> {};
+
+TEST_P(Injection, ProducesGroundTruthDiffAndViolation) {
+  const FaultSpec& spec = specOf(GetParam());
+  acr::Scenario scenario = acr::scenarioByFamily(spec.scenario);
+  FaultInjector injector(7);
+  const auto incident = injector.inject(scenario.built, GetParam());
+  ASSERT_TRUE(incident.has_value()) << spec.label;
+  EXPECT_EQ(incident->type, GetParam());
+  EXPECT_FALSE(incident->description.empty());
+  EXPECT_GT(incident->changed_lines, 0);
+  if (spec.multi_line) {
+    EXPECT_GT(incident->changed_lines, 1) << incident->description;
+  }
+  // The incident violates at least one intent (that is what makes it an
+  // incident).
+  const verify::Verifier verifier(scenario.intents);
+  const verify::VerifyResult verdict = verifier.verify(incident->network);
+  EXPECT_GT(verdict.tests_failed, 0) << incident->description;
+  // The pristine network still passes (injection did not mutate the input).
+  EXPECT_TRUE(verifier.verify(scenario.network()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, Injection,
+    ::testing::Values(FaultType::kMissingRedistribution,
+                      FaultType::kMissingPbrPermit,
+                      FaultType::kExtraPbrRedirect,
+                      FaultType::kMissingPeerGroup,
+                      FaultType::kExtraGroupItems,
+                      FaultType::kMissingRoutePolicy,
+                      FaultType::kLeftoverRouteMap, FaultType::kWrongPeerAs,
+                      FaultType::kMissingPrefixListItemsS,
+                      FaultType::kMissingPrefixListItemsM),
+    [](const ::testing::TestParamInfo<FaultType>& info) {
+      std::string name = faultTypeName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Injection, MissingRedistributionRemovesBothLines) {
+  acr::Scenario scenario = acr::dcnScenario(3, 2);
+  FaultInjector injector(5);
+  const auto incident =
+      injector.inject(scenario.built, FaultType::kMissingRedistribution);
+  ASSERT_TRUE(incident.has_value());
+  ASSERT_EQ(incident->injected_diff.size(), 1u);
+  const auto& diff = incident->injected_diff[0];
+  EXPECT_EQ(diff.added.size(), 0u);
+  EXPECT_EQ(diff.removed.size(), 2u);  // static route + redistribute static
+}
+
+TEST(Injection, PrefixListMultiTouchesBothOverrideDevices) {
+  acr::Scenario scenario = acr::figure2Scenario(false);
+  FaultInjector injector(5);
+  const auto incident =
+      injector.inject(scenario.built, FaultType::kMissingPrefixListItemsM);
+  ASSERT_TRUE(incident.has_value());
+  // The full Figure-2 incident: both A and C widened.
+  std::set<std::string> devices;
+  for (const auto& diff : incident->injected_diff) devices.insert(diff.device);
+  EXPECT_EQ(devices.size(), 2u);
+  EXPECT_TRUE(devices.count("A") == 1 && devices.count("C") == 1);
+}
+
+TEST(Injection, InapplicableTypeReturnsNullopt) {
+  // The Figure-2 network has no PBR policies at all.
+  acr::Scenario scenario = acr::figure2Scenario(false);
+  FaultInjector injector(5);
+  EXPECT_FALSE(
+      injector.inject(scenario.built, FaultType::kMissingPbrPermit).has_value());
+  EXPECT_FALSE(
+      injector.inject(scenario.built, FaultType::kExtraPbrRedirect).has_value());
+}
+
+TEST(Injection, DeterministicForAGivenSeed) {
+  acr::Scenario scenario = acr::dcnScenario(3, 2);
+  FaultInjector a(99);
+  FaultInjector b(99);
+  const auto first = a.inject(scenario.built, FaultType::kExtraPbrRedirect);
+  const auto second = b.inject(scenario.built, FaultType::kExtraPbrRedirect);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->description, second->description);
+}
+
+}  // namespace
+}  // namespace acr::inject

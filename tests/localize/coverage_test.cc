@@ -1,0 +1,109 @@
+#include "localize/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+#include "localize/sbfl.hpp"
+
+namespace acr::sbfl {
+namespace {
+
+struct Harness {
+  acr::Scenario scenario;
+  route::SimResult sim;
+  std::vector<verify::TestResult> results;
+
+  explicit Harness(acr::Scenario s) : scenario(std::move(s)) {
+    route::SimOptions options;
+    options.record_provenance = true;
+    sim = route::Simulator(scenario.network()).run(options);
+    const verify::Verifier verifier(scenario.intents, options);
+    results = verifier.runTests(scenario.network(), sim,
+                                verify::generateTests(scenario.intents, 1));
+  }
+};
+
+TEST(Coverage, PassingTestCoversItsPath) {
+  const Harness h(acr::figure2Scenario(false));
+  for (const auto& result : h.results) {
+    ASSERT_TRUE(result.passed) << result.reason;
+    const auto lines = coverageOf(h.scenario.network(), h.sim, result);
+    if (h.scenario.intents[result.test.intent_index].kind ==
+        verify::IntentKind::kReachability) {
+      EXPECT_GE(lines.size(), 2u);
+    }
+  }
+}
+
+TEST(Coverage, FlappingTestCoversOverrideMachinery) {
+  const Harness h(acr::figure2Scenario(true));
+  const cfg::DeviceConfig* a = h.scenario.network().config("A");
+  const cfg::DeviceConfig* c = h.scenario.network().config("C");
+  const int a_entry = a->findPrefixList("default_all")->entries[0].line;
+  const int c_entry = c->findPrefixList("default_all")->entries[0].line;
+  bool saw_failing = false;
+  for (const auto& result : h.results) {
+    if (result.passed) continue;
+    saw_failing = true;
+    const auto lines = coverageOf(h.scenario.network(), h.sim, result);
+    EXPECT_EQ(lines.count(cfg::LineId{"A", a_entry}), 1u);
+    EXPECT_EQ(lines.count(cfg::LineId{"C", c_entry}), 1u);
+  }
+  EXPECT_TRUE(saw_failing);
+}
+
+TEST(Coverage, BlackholeCoversDestinationOrigination) {
+  // Remove the VIP origination; the failing test's coverage must include the
+  // owner's redistribution machinery so SBFL can localize there.
+  acr::Scenario scenario = acr::dcnScenario(2, 2);
+  topo::Network broken = scenario.network();
+  cfg::DeviceConfig* owner = broken.config("tor1_1");
+  owner->bgp->redistributes.pop_back();  // drop `redistribute static`
+  ASSERT_FALSE(owner->bgp->redistributes_source(cfg::RedistSource::kStatic));
+  broken.renumberAll();
+
+  route::SimOptions options;
+  options.record_provenance = true;
+  const route::SimResult sim = route::Simulator(broken).run(options);
+  const verify::Verifier verifier(scenario.intents, options);
+  const auto results = verifier.runTests(
+      broken, sim, verify::generateTests(scenario.intents, 1));
+
+  bool saw_vip_failure = false;
+  for (const auto& result : results) {
+    if (result.passed) continue;
+    if (!net::Prefix::parse("20.1.1.0/24")->contains(result.test.packet.dst))
+      continue;
+    saw_vip_failure = true;
+    const auto lines = coverageOf(broken, sim, result);
+    // The static-route line on the owner is covered (origination context).
+    const int static_line = broken.config("tor1_1")->static_routes[0].line;
+    EXPECT_EQ(lines.count(cfg::LineId{"tor1_1", static_line}), 1u);
+  }
+  EXPECT_TRUE(saw_vip_failure);
+}
+
+TEST(Coverage, SpectrumSeparatesFaultyFromInnocentDevices) {
+  const Harness h(acr::figure2Scenario(true));
+  Spectrum spectrum;
+  std::vector<std::set<cfg::LineId>> coverage;
+  for (const auto& result : h.results) {
+    coverage.push_back(coverageOf(h.scenario.network(), h.sim, result));
+    spectrum.addTest(coverage.back(), result.passed);
+  }
+  // The catch-all entry on C must rank strictly above S's (unbound, never
+  // faulty) policy lines.
+  const cfg::DeviceConfig* c = h.scenario.network().config("C");
+  const int c_entry = c->findPrefixList("default_all")->entries[0].line;
+  const double c_score =
+      spectrum.score(cfg::LineId{"C", c_entry}, Metric::kTarantula);
+  const cfg::DeviceConfig* s = h.scenario.network().config("S");
+  const int s_policy = s->policies[0].nodes[0].line;
+  const double s_score =
+      spectrum.score(cfg::LineId{"S", s_policy}, Metric::kTarantula);
+  EXPECT_GT(c_score, 0.5);
+  EXPECT_EQ(s_score, 0.0);
+}
+
+}  // namespace
+}  // namespace acr::sbfl

@@ -1,0 +1,173 @@
+#include "localize/sbfl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace acr::sbfl {
+namespace {
+
+cfg::LineId L(const char* device, int line) { return cfg::LineId{device, line}; }
+
+/// The paper's §5 worked example: line 9 is covered by 1 failed and 1 passed
+/// test out of 1 failed / 2 passed total, giving Tarantula 0.67.
+Spectrum paperSpectrum() {
+  Spectrum spectrum;
+  // Test PoP (passes): covers lines 5, 9, 13.
+  spectrum.addTest({L("A", 5), L("A", 9), L("A", 13)}, /*passed=*/true);
+  // Test DCN (passes): covers lines 5, 7.
+  spectrum.addTest({L("A", 5), L("A", 7)}, /*passed=*/true);
+  // Test 10.0 (fails): covers lines 9, 11, 13.
+  spectrum.addTest({L("A", 9), L("A", 11), L("A", 13)}, /*passed=*/false);
+  return spectrum;
+}
+
+TEST(Tarantula, MatchesPaperWorkedExample) {
+  const Spectrum spectrum = paperSpectrum();
+  EXPECT_EQ(spectrum.totalPassed(), 2);
+  EXPECT_EQ(spectrum.totalFailed(), 1);
+  // Line 9: failed(s)=1, passed(s)=1 => (1/1) / (1/2 + 1/1) = 0.67.
+  EXPECT_NEAR(spectrum.score(L("A", 9), Metric::kTarantula), 2.0 / 3.0, 1e-9);
+  // Line 11: failed-only => 1.0.
+  EXPECT_NEAR(spectrum.score(L("A", 11), Metric::kTarantula), 1.0, 1e-9);
+  // Line 5: passed-only => 0.
+  EXPECT_NEAR(spectrum.score(L("A", 5), Metric::kTarantula), 0.0, 1e-9);
+  // Uncovered line => 0.
+  EXPECT_NEAR(spectrum.score(L("A", 99), Metric::kTarantula), 0.0, 1e-9);
+}
+
+TEST(Ochiai, Formula) {
+  const Spectrum spectrum = paperSpectrum();
+  // Line 9: f=1, F=1, p=1 => 1 / sqrt(1 * 2).
+  EXPECT_NEAR(spectrum.score(L("A", 9), Metric::kOchiai), 1.0 / std::sqrt(2.0),
+              1e-9);
+  EXPECT_NEAR(spectrum.score(L("A", 11), Metric::kOchiai), 1.0, 1e-9);
+  EXPECT_NEAR(spectrum.score(L("A", 5), Metric::kOchiai), 0.0, 1e-9);
+}
+
+TEST(Jaccard, Formula) {
+  const Spectrum spectrum = paperSpectrum();
+  // Line 9: f / (F + p) = 1 / 2.
+  EXPECT_NEAR(spectrum.score(L("A", 9), Metric::kJaccard), 0.5, 1e-9);
+  EXPECT_NEAR(spectrum.score(L("A", 11), Metric::kJaccard), 1.0, 1e-9);
+}
+
+TEST(Dstar2, Formula) {
+  const Spectrum spectrum = paperSpectrum();
+  // Line 9: f^2 / (p + F - f) = 1 / 1 = 1.
+  EXPECT_NEAR(spectrum.score(L("A", 9), Metric::kDstar2), 1.0, 1e-9);
+  // Line 11: denominator 0 with f>0 => capped large value.
+  EXPECT_GT(spectrum.score(L("A", 11), Metric::kDstar2), 1e6);
+  // Line 5: f=0 and p>0: 0 / (1+1) = 0.
+  EXPECT_NEAR(spectrum.score(L("A", 5), Metric::kDstar2), 0.0, 1e-9);
+}
+
+TEST(Op2, Formula) {
+  const Spectrum spectrum = paperSpectrum();
+  // Line 9: f - p/(P+1) = 1 - 1/3.
+  EXPECT_NEAR(spectrum.score(L("A", 9), Metric::kOp2), 1.0 - 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(spectrum.score(L("A", 11), Metric::kOp2), 1.0, 1e-9);
+  // Passed-only lines go negative — ranked last, as intended.
+  EXPECT_LT(spectrum.score(L("A", 5), Metric::kOp2), 0.0);
+}
+
+TEST(Kulczynski2, Formula) {
+  const Spectrum spectrum = paperSpectrum();
+  // Line 9: 0.5 * (1/1 + 1/2) = 0.75.
+  EXPECT_NEAR(spectrum.score(L("A", 9), Metric::kKulczynski2), 0.75, 1e-9);
+  EXPECT_NEAR(spectrum.score(L("A", 11), Metric::kKulczynski2), 1.0, 1e-9);
+  // Line 5 is passed-only (f = 0): both terms vanish.
+  EXPECT_NEAR(spectrum.score(L("A", 5), Metric::kKulczynski2), 0.0, 1e-9);
+}
+
+TEST(Spectrum, NoFailuresMeansNoSuspicion) {
+  Spectrum spectrum;
+  spectrum.addTest({L("A", 1)}, true);
+  spectrum.addTest({L("A", 2)}, true);
+  for (const Metric metric : allMetrics()) {
+    // Op2 ranks passed-only lines strictly negative; every other metric
+    // floors at 0. Either way: not suspicious.
+    EXPECT_LE(spectrum.score(L("A", 1), metric), 0.0) << metricName(metric);
+  }
+}
+
+TEST(Spectrum, RankIsDescendingAndDeterministic) {
+  const Spectrum spectrum = paperSpectrum();
+  const auto ranked = spectrum.rank(Metric::kTarantula);
+  ASSERT_EQ(ranked.size(), spectrum.coveredLineCount());
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].suspiciousness, ranked[i].suspiciousness);
+  }
+  EXPECT_EQ(ranked.front().line, L("A", 11));
+  // Equal scores break ties by line id.
+  const auto again = spectrum.rank(Metric::kTarantula);
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_EQ(ranked[i].line, again[i].line);
+  }
+}
+
+TEST(Spectrum, MostSuspiciousReturnsTies) {
+  Spectrum spectrum;
+  spectrum.addTest({L("A", 1), L("A", 2)}, false);
+  spectrum.addTest({L("A", 3)}, true);
+  const auto top = spectrum.mostSuspicious(Metric::kTarantula);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].line, L("A", 1));
+  EXPECT_EQ(top[1].line, L("A", 2));
+}
+
+TEST(Spectrum, CountsAccumulateAcrossTests) {
+  Spectrum spectrum;
+  spectrum.addTest({L("A", 1)}, false);
+  spectrum.addTest({L("A", 1)}, false);
+  spectrum.addTest({L("A", 1)}, true);
+  const auto ranked = spectrum.rank(Metric::kTarantula);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].failed_cover, 2);
+  EXPECT_EQ(ranked[0].passed_cover, 1);
+}
+
+TEST(RandomMetric, DeterministicPerSeed) {
+  const Spectrum spectrum = paperSpectrum();
+  const double a = spectrum.score(L("A", 9), Metric::kRandom, 1);
+  const double b = spectrum.score(L("A", 9), Metric::kRandom, 1);
+  const double c = spectrum.score(L("A", 9), Metric::kRandom, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_GE(a, 0.0);
+  EXPECT_LT(a, 1.0);
+}
+
+TEST(MetricName, AllNamed) {
+  EXPECT_EQ(metricName(Metric::kTarantula), "tarantula");
+  EXPECT_EQ(metricName(Metric::kOchiai), "ochiai");
+  EXPECT_EQ(metricName(Metric::kJaccard), "jaccard");
+  EXPECT_EQ(metricName(Metric::kDstar2), "dstar2");
+  EXPECT_EQ(metricName(Metric::kOp2), "op2");
+  EXPECT_EQ(metricName(Metric::kKulczynski2), "kulczynski2");
+  EXPECT_EQ(metricName(Metric::kRandom), "random");
+  EXPECT_EQ(allMetrics().size(), 6u);
+}
+
+// Monotonicity property: across metrics, a line covered by strictly more
+// failing tests (same passing coverage) is never less suspicious.
+class MetricMonotonicity : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(MetricMonotonicity, MoreFailuresMoreSuspicion) {
+  Spectrum spectrum;
+  // line 1: 2 fails, 1 pass; line 2: 1 fail, 1 pass.
+  spectrum.addTest({L("A", 1), L("A", 2)}, false);
+  spectrum.addTest({L("A", 1)}, false);
+  spectrum.addTest({L("A", 1), L("A", 2)}, true);
+  EXPECT_GE(spectrum.score(L("A", 1), GetParam()),
+            spectrum.score(L("A", 2), GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricMonotonicity,
+                         ::testing::Values(Metric::kTarantula, Metric::kOchiai,
+                                           Metric::kJaccard, Metric::kDstar2,
+                                           Metric::kOp2,
+                                           Metric::kKulczynski2));
+
+}  // namespace
+}  // namespace acr::sbfl

@@ -1,0 +1,83 @@
+#include "localize/testgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+#include "localize/coverage.hpp"
+#include "repair/engine.hpp"
+
+namespace acr::sbfl {
+namespace {
+
+TEST(TestGen, KeepsEveryIntentRepresented) {
+  const acr::Scenario scenario = acr::figure2Scenario(false);
+  const TestGenResult result =
+      generateCoverageGuidedTests(scenario.network(), scenario.intents);
+  // At least the base suite.
+  ASSERT_GE(result.tests.size(), scenario.intents.size());
+  std::set<int> intents_seen;
+  for (const auto& test : result.tests) {
+    intents_seen.insert(test.intent_index);
+    EXPECT_TRUE(scenario.intents[test.intent_index].space.matches(test.packet));
+  }
+  EXPECT_EQ(intents_seen.size(), scenario.intents.size());
+}
+
+TEST(TestGen, CoverageNeverBelowBaseSuite) {
+  const acr::Scenario scenario = acr::dcnScenario(2, 2);
+  const TestGenResult augmented =
+      generateCoverageGuidedTests(scenario.network(), scenario.intents);
+
+  // Coverage of the base suite, measured the same way.
+  route::SimOptions options;
+  options.record_provenance = true;
+  const route::SimResult sim =
+      route::Simulator(scenario.network()).run(options);
+  const verify::Verifier verifier(scenario.intents, options);
+  std::set<cfg::LineId> base_lines;
+  for (const auto& result :
+       verifier.runTests(scenario.network(), sim,
+                         verify::generateTests(scenario.intents, 1))) {
+    const auto lines = coverageOf(scenario.network(), sim, result);
+    base_lines.insert(lines.begin(), lines.end());
+  }
+  EXPECT_GE(augmented.covered_lines, base_lines.size());
+}
+
+TEST(TestGen, StopsOnPlateau) {
+  const acr::Scenario scenario = acr::figure2Scenario(false);
+  TestGenOptions options;
+  options.max_samples_per_intent = 50;
+  options.plateau_rounds = 2;
+  const TestGenResult result = generateCoverageGuidedTests(
+      scenario.network(), scenario.intents, options);
+  // Far fewer rounds than the cap: the tiny network saturates quickly.
+  EXPECT_LT(result.rounds, 50);
+  EXPECT_GT(result.rejected, 0);
+}
+
+TEST(TestGen, DeterministicOutput) {
+  const acr::Scenario scenario = acr::figure2Scenario(true);
+  const TestGenResult a =
+      generateCoverageGuidedTests(scenario.network(), scenario.intents);
+  const TestGenResult b =
+      generateCoverageGuidedTests(scenario.network(), scenario.intents);
+  ASSERT_EQ(a.tests.size(), b.tests.size());
+  for (std::size_t i = 0; i < a.tests.size(); ++i) {
+    EXPECT_EQ(a.tests[i].packet, b.tests[i].packet);
+  }
+}
+
+TEST(TestGen, EngineRepairsWithCoverageGuidedSuite) {
+  const acr::Scenario scenario = acr::figure2Scenario(true);
+  repair::RepairOptions options;
+  options.coverage_guided_tests = true;
+  const repair::RepairResult result =
+      repair::AcrEngine(scenario.intents, options).repair(scenario.network());
+  ASSERT_TRUE(result.success) << result.summary();
+  const verify::Verifier verifier(scenario.intents);
+  EXPECT_TRUE(verifier.verify(result.repaired).ok());
+}
+
+}  // namespace
+}  // namespace acr::sbfl

@@ -1,0 +1,89 @@
+#include "netcore/five_tuple.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acr::net {
+namespace {
+
+Prefix P(const char* text) { return *Prefix::parse(text); }
+
+TEST(HeaderSpace, SampleLandsInsideSpace) {
+  HeaderSpace space;
+  space.src_space = P("10.70.0.0/16");
+  space.dst_space = P("10.0.0.0/16");
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const FiveTuple packet = space.sample(seed);
+    EXPECT_TRUE(space.matches(packet)) << packet.str();
+    EXPECT_TRUE(space.src_space.contains(packet.src));
+    EXPECT_TRUE(space.dst_space.contains(packet.dst));
+  }
+}
+
+TEST(HeaderSpace, SampleIsDeterministic) {
+  HeaderSpace space;
+  space.src_space = P("10.0.0.0/8");
+  space.dst_space = P("20.0.0.0/8");
+  EXPECT_EQ(space.sample(3), space.sample(3));
+  EXPECT_NE(space.sample(3), space.sample(4));  // seeds spread
+}
+
+TEST(HeaderSpace, SampleRespectsProtocolAndPort) {
+  HeaderSpace space;
+  space.src_space = P("10.0.0.0/8");
+  space.dst_space = P("10.0.0.0/8");
+  space.protocol = Protocol::kUdp;
+  space.dst_port = 53;
+  const FiveTuple packet = space.sample(1);
+  EXPECT_EQ(packet.protocol, Protocol::kUdp);
+  EXPECT_EQ(packet.dst_port, 53);
+}
+
+TEST(HeaderSpace, MatchesChecksEveryDimension) {
+  HeaderSpace space;
+  space.src_space = P("10.0.0.0/16");
+  space.dst_space = P("20.0.0.0/16");
+  space.protocol = Protocol::kTcp;
+  space.dst_port = 80;
+  FiveTuple packet = space.sample(0);
+  EXPECT_TRUE(space.matches(packet));
+  FiveTuple wrong_src = packet;
+  wrong_src.src = *Ipv4Address::parse("11.0.0.1");
+  EXPECT_FALSE(space.matches(wrong_src));
+  FiveTuple wrong_proto = packet;
+  wrong_proto.protocol = Protocol::kUdp;
+  EXPECT_FALSE(space.matches(wrong_proto));
+  FiveTuple wrong_port = packet;
+  wrong_port.dst_port = 443;
+  EXPECT_FALSE(space.matches(wrong_port));
+}
+
+TEST(HeaderSpace, HostPrefixSamplesTheHost) {
+  HeaderSpace space;
+  space.src_space = P("10.0.0.1/32");
+  space.dst_space = P("10.0.0.2/32");
+  const FiveTuple packet = space.sample(9);
+  EXPECT_EQ(packet.src.str(), "10.0.0.1");
+  EXPECT_EQ(packet.dst.str(), "10.0.0.2");
+}
+
+TEST(FiveTuple, StrIsReadable) {
+  HeaderSpace space;
+  space.src_space = P("10.0.0.1/32");
+  space.dst_space = P("10.0.0.2/32");
+  space.protocol = Protocol::kTcp;
+  space.dst_port = 80;
+  const std::string text = space.sample(0).str();
+  EXPECT_NE(text.find("tcp"), std::string::npos);
+  EXPECT_NE(text.find("10.0.0.1"), std::string::npos);
+  EXPECT_NE(text.find("10.0.0.2:80"), std::string::npos);
+}
+
+TEST(Protocol, Names) {
+  EXPECT_EQ(protocolName(Protocol::kAny), "any");
+  EXPECT_EQ(protocolName(Protocol::kTcp), "tcp");
+  EXPECT_EQ(protocolName(Protocol::kUdp), "udp");
+  EXPECT_EQ(protocolName(Protocol::kIcmp), "icmp");
+}
+
+}  // namespace
+}  // namespace acr::net

@@ -1,0 +1,64 @@
+#include "netcore/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acr::net {
+namespace {
+
+TEST(Ipv4Address, ParsesDottedQuad) {
+  const auto address = Ipv4Address::parse("10.1.2.3");
+  ASSERT_TRUE(address.has_value());
+  EXPECT_EQ(address->value(), 0x0A010203u);
+  EXPECT_EQ(address->str(), "10.1.2.3");
+}
+
+TEST(Ipv4Address, ParsesBoundaryValues) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Address, ParsesAbbreviatedForms) {
+  // The paper writes "10.0/16" and "10.70/16": missing octets are zero.
+  EXPECT_EQ(Ipv4Address::parse("10")->str(), "10.0.0.0");
+  EXPECT_EQ(Ipv4Address::parse("10.70")->str(), "10.70.0.0");
+  EXPECT_EQ(Ipv4Address::parse("10.70.3")->str(), "10.70.3.0");
+}
+
+TEST(Ipv4Address, RejectsMalformedInput) {
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("-1.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 ").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1234.1.1.1").has_value());
+}
+
+TEST(Ipv4Address, OrdersNumerically) {
+  EXPECT_LT(*Ipv4Address::parse("1.1.1.1"), *Ipv4Address::parse("1.1.1.2"));
+  EXPECT_LT(*Ipv4Address::parse("9.255.255.255"), *Ipv4Address::parse("10.0.0.0"));
+}
+
+TEST(Ipv4Address, FromOctetsMatchesParse) {
+  EXPECT_EQ(Ipv4Address::fromOctets(172, 16, 0, 1),
+            *Ipv4Address::parse("172.16.0.1"));
+}
+
+class Ipv4RoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(Ipv4RoundTrip, StrParseIdentity) {
+  const Ipv4Address address(GetParam());
+  const auto reparsed = Ipv4Address::parse(address.str());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(*reparsed, address);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, Ipv4RoundTrip,
+                         ::testing::Values(0u, 1u, 0x0A000001u, 0x7F000001u,
+                                           0xC0A80101u, 0xFFFFFFFFu,
+                                           0xAC100001u, 0x08080808u));
+
+}  // namespace
+}  // namespace acr::net

@@ -1,0 +1,135 @@
+#include "netcore/prefix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+namespace acr::net {
+namespace {
+
+Prefix P(const char* text) { return *Prefix::parse(text); }
+Ipv4Address A(const char* text) { return *Ipv4Address::parse(text); }
+
+TEST(PrefixTrie, EmptyTrieMatchesNothing) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.longestMatch(A("10.0.0.1")), nullptr);
+  EXPECT_EQ(trie.exactMatch(P("10.0.0.0/16")), nullptr);
+}
+
+TEST(PrefixTrie, InsertAndExactMatch) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(P("10.0.0.0/16"), 1));
+  EXPECT_FALSE(trie.insert(P("10.0.0.0/16"), 2));  // replace, not fresh
+  ASSERT_NE(trie.exactMatch(P("10.0.0.0/16")), nullptr);
+  EXPECT_EQ(*trie.exactMatch(P("10.0.0.0/16")), 2);
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrie, LongestPrefixMatchPrefersMostSpecific) {
+  PrefixTrie<int> trie;
+  trie.insert(P("0.0.0.0/0"), 0);
+  trie.insert(P("10.0.0.0/8"), 8);
+  trie.insert(P("10.1.0.0/16"), 16);
+  trie.insert(P("10.1.2.0/24"), 24);
+  EXPECT_EQ(*trie.longestMatch(A("10.1.2.3")), 24);
+  EXPECT_EQ(*trie.longestMatch(A("10.1.9.9")), 16);
+  EXPECT_EQ(*trie.longestMatch(A("10.9.9.9")), 8);
+  EXPECT_EQ(*trie.longestMatch(A("192.168.1.1")), 0);
+}
+
+TEST(PrefixTrie, LongestMatchEntryReturnsPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.1.0.0/16"), 16);
+  trie.insert(P("0.0.0.0/0"), 0);
+  const auto entry = trie.longestMatchEntry(A("10.1.2.3"));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->first, P("10.1.0.0/16"));
+  EXPECT_EQ(entry->second, 16);
+  const auto fallback = trie.longestMatchEntry(A("1.2.3.4"));
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_EQ(fallback->first, P("0.0.0.0/0"));
+}
+
+TEST(PrefixTrie, EraseRemovesOnlyExact) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 8);
+  trie.insert(P("10.0.0.0/16"), 16);
+  EXPECT_TRUE(trie.erase(P("10.0.0.0/16")));
+  EXPECT_FALSE(trie.erase(P("10.0.0.0/16")));
+  EXPECT_EQ(*trie.longestMatch(A("10.0.0.1")), 8);
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrie, HostRouteAndDefaultRoute) {
+  PrefixTrie<std::string> trie;
+  trie.insert(P("0.0.0.0/0"), "default");
+  trie.insert(P("10.0.0.1/32"), "host");
+  EXPECT_EQ(*trie.longestMatch(A("10.0.0.1")), "host");
+  EXPECT_EQ(*trie.longestMatch(A("10.0.0.2")), "default");
+}
+
+TEST(PrefixTrie, VisitInAddressOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(P("192.168.0.0/16"), 3);
+  trie.insert(P("10.0.0.0/8"), 1);
+  trie.insert(P("172.16.0.0/12"), 2);
+  std::vector<Prefix> seen;
+  trie.visit([&](const Prefix& prefix, const int&) { seen.push_back(prefix); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], P("10.0.0.0/8"));
+  EXPECT_EQ(seen[1], P("172.16.0.0/12"));
+  EXPECT_EQ(seen[2], P("192.168.0.0/16"));
+}
+
+TEST(PrefixTrie, CopyIsDeep) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 1);
+  PrefixTrie<int> copy = trie;
+  copy.insert(P("10.0.0.0/8"), 2);
+  EXPECT_EQ(*trie.longestMatch(A("10.1.1.1")), 1);
+  EXPECT_EQ(*copy.longestMatch(A("10.1.1.1")), 2);
+}
+
+TEST(PrefixTrie, ClearResets) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 1);
+  trie.clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.longestMatch(A("10.0.0.1")), nullptr);
+}
+
+TEST(PrefixTrie, RandomizedAgainstLinearScan) {
+  std::mt19937 rng(7);
+  PrefixTrie<int> trie;
+  std::map<Prefix, int> reference;
+  for (int i = 0; i < 300; ++i) {
+    const std::uint32_t address = rng();
+    const auto length = static_cast<std::uint8_t>(rng() % 33);
+    const Prefix prefix(Ipv4Address(address), length);
+    trie.insert(prefix, i);
+    reference[prefix] = i;
+  }
+  EXPECT_EQ(trie.size(), reference.size());
+  for (int i = 0; i < 500; ++i) {
+    const Ipv4Address probe(rng());
+    const int* got = trie.longestMatch(probe);
+    const std::pair<const Prefix, int>* want = nullptr;
+    for (const auto& entry : reference) {
+      if (entry.first.contains(probe) &&
+          (want == nullptr || entry.first.length() > want->first.length())) {
+        want = &entry;
+      }
+    }
+    if (want == nullptr) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr) << probe.str();
+      EXPECT_EQ(*got, want->second) << probe.str();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acr::net

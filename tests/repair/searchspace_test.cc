@@ -1,0 +1,59 @@
+#include "repair/searchspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+#include "faultinject/faults.hpp"
+
+namespace acr::repair {
+namespace {
+
+TEST(SearchSpace, Figure2IncidentShapes) {
+  const acr::Scenario scenario = acr::figure2Scenario(true);
+  const SearchSpaceReport report =
+      measureSearchSpaces(scenario.network(), scenario.intents);
+  EXPECT_EQ(report.devices, 4);
+  EXPECT_EQ(report.total_lines, scenario.network().totalLines());
+  // Figure 3a: MetaProv's space = provenance leaves of the failed event.
+  EXPECT_GT(report.metaprov_leaves, 0u);
+  EXPECT_LT(report.metaprov_leaves,
+            static_cast<std::uint64_t>(report.total_lines));
+  // Figure 3b: AED = 2^lines; even the 4-router snippet exceeds 2^12 (the
+  // paper's "at least 2^12 for router A").
+  EXPECT_GT(report.aed_log2, 12.0);
+  // Figure 3c: ACR's forest is nonempty and far below AED's space.
+  EXPECT_GT(report.acr_leaves, 0u);
+  EXPECT_LT(static_cast<double>(report.acr_leaves), report.aed_log2 * 16);
+}
+
+TEST(SearchSpace, HealthyNetworkHasNoFailedEvent) {
+  const acr::Scenario scenario = acr::figure2Scenario(false);
+  const SearchSpaceReport report =
+      measureSearchSpaces(scenario.network(), scenario.intents);
+  EXPECT_EQ(report.metaprov_leaves, 0u);
+  EXPECT_EQ(report.acr_leaves, 0u);
+  EXPECT_GT(report.aed_log2, 0.0);  // AED's space exists regardless
+}
+
+TEST(SearchSpace, GrowsWithNetworkSize) {
+  inject::FaultInjector injector(3);
+  acr::Scenario small = acr::backboneScenario(6);
+  acr::Scenario large = acr::backboneScenario(12);
+  const auto small_incident =
+      injector.inject(small.built, inject::FaultType::kMissingPrefixListItemsS);
+  const auto large_incident =
+      injector.inject(large.built, inject::FaultType::kMissingPrefixListItemsS);
+  ASSERT_TRUE(small_incident.has_value());
+  ASSERT_TRUE(large_incident.has_value());
+  const SearchSpaceReport a =
+      measureSearchSpaces(small_incident->network, small.intents);
+  const SearchSpaceReport b =
+      measureSearchSpaces(large_incident->network, large.intents);
+  // AED grows linearly in log-space (exponentially in absolute terms)...
+  EXPECT_GT(b.aed_log2, a.aed_log2 * 1.5);
+  // ...while ACR's forest stays within the same order of magnitude.
+  EXPECT_LT(b.acr_leaves, a.acr_leaves * 20 + 50);
+}
+
+}  // namespace
+}  // namespace acr::repair

@@ -1,0 +1,188 @@
+// BGP decision-process tests on a crafted diamond topology:
+//
+//        src ---- left ---- dst      dst originates 50.0.0.0/16;
+//          \                /        src hears it via `left` and `right`
+//           +---- right ---+         and must pick per the decision process.
+//
+// Each test configures policies on src's imports and asserts which neighbor
+// wins: local-pref beats path length, path length beats MED, MED beats
+// router-id, prepend demotes a path, and the router-id tiebreak is last.
+#include <gtest/gtest.h>
+
+#include "routing/simulator.hpp"
+#include "topo/network.hpp"
+
+namespace acr::route {
+namespace {
+
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+net::Ipv4Address A(const char* text) { return *net::Ipv4Address::parse(text); }
+
+/// Builds the diamond with the given router-ids for left/right.
+struct Diamond {
+  topo::Network network;
+
+  Diamond(const char* left_id = "9.9.9.1", const char* right_id = "9.9.9.2") {
+    auto& topology = network.topology;
+    topology.addRouter({"src", 65001, A("9.9.9.9"), "edge"});
+    topology.addRouter({"left", 65002, A(left_id), "transit"});
+    topology.addRouter({"right", 65003, A(right_id), "transit"});
+    topology.addRouter({"dst", 65004, A("9.9.9.4"), "edge"});
+    topology.addLink({"src", "left", P("172.16.0.0/30")});
+    topology.addLink({"src", "right", P("172.16.0.4/30")});
+    topology.addLink({"left", "dst", P("172.16.0.8/30")});
+    topology.addLink({"right", "dst", P("172.16.0.12/30")});
+    topology.addSubnet({"dst", P("50.0.0.0/16"), "target"});
+
+    for (const auto& router : topology.routers()) {
+      cfg::DeviceConfig device;
+      device.hostname = router.name;
+      cfg::BgpConfig bgp;
+      bgp.asn = router.asn;
+      bgp.router_id = router.router_id;
+      bgp.redistributes.push_back({cfg::RedistSource::kConnected, 0});
+      device.bgp = bgp;
+      int interface_index = 0;
+      for (const auto* link : topology.linksOf(router.name)) {
+        cfg::InterfaceConfig itf;
+        itf.name = "eth" + std::to_string(interface_index++);
+        itf.address = link->addressOf(router.name);
+        itf.prefix_length = 30;
+        device.interfaces.push_back(itf);
+        cfg::PeerConfig peer;
+        const std::string other = link->otherEnd(router.name);
+        peer.address = link->addressOf(other);
+        peer.remote_as = topology.findRouter(other)->asn;
+        device.bgp->peers.push_back(peer);
+      }
+      network.configs[router.name] = std::move(device);
+    }
+    // dst's target subnet.
+    cfg::InterfaceConfig itf;
+    itf.name = "eth2";
+    itf.address = A("50.0.0.1");
+    itf.prefix_length = 16;
+    network.configs["dst"].interfaces.push_back(itf);
+    network.renumberAll();
+  }
+
+  /// Attaches (or extends) an import policy on src's session towards
+  /// `neighbor`; repeated calls append actions to the same policy node, so
+  /// tests can stack e.g. a prepend and a local-pref on one session.
+  void importPolicy(const std::string& neighbor, cfg::PolicyActionKind kind,
+                    std::uint32_t value) {
+    cfg::DeviceConfig& src = network.configs["src"];
+    const std::string policy_name = "P_" + neighbor;
+    cfg::RoutePolicy* policy = src.findPolicy(policy_name);
+    if (policy == nullptr) {
+      cfg::RoutePolicy fresh;
+      fresh.name = policy_name;
+      cfg::PolicyNode node;
+      node.index = 10;
+      node.action = cfg::Action::kPermit;
+      fresh.nodes.push_back(node);
+      src.policies.push_back(fresh);
+      policy = src.findPolicy(policy_name);
+    }
+    policy->nodes[0].actions.push_back({kind, value, 0});
+    const auto address = network.topology.peeringAddress(neighbor, "src");
+    ASSERT_TRUE(address.has_value());
+    src.bgp->findPeer(*address)->import_policy = policy_name;
+    network.renumberAll();
+  }
+
+  [[nodiscard]] std::string bestNeighbor() const {
+    const SimResult sim = Simulator(network).run();
+    EXPECT_TRUE(sim.converged);
+    const Route* route = sim.lookup("src", A("50.0.0.5"));
+    EXPECT_NE(route, nullptr);
+    return route == nullptr ? "" : route->learned_from;
+  }
+};
+
+TEST(Decision, RouterIdBreaksPerfectTies) {
+  // Everything equal: lowest advertising router-id wins.
+  Diamond low_left("9.9.9.1", "9.9.9.2");
+  EXPECT_EQ(low_left.bestNeighbor(), "left");
+  Diamond low_right("9.9.9.2", "9.9.9.1");
+  EXPECT_EQ(low_right.bestNeighbor(), "right");
+}
+
+TEST(Decision, LocalPrefDominates) {
+  Diamond diamond;  // left would win the tiebreak...
+  diamond.importPolicy("right", cfg::PolicyActionKind::kSetLocalPref, 200);
+  EXPECT_EQ(diamond.bestNeighbor(), "right");
+}
+
+TEST(Decision, LowerLocalPrefDemotes) {
+  Diamond diamond;
+  diamond.importPolicy("left", cfg::PolicyActionKind::kSetLocalPref, 50);
+  EXPECT_EQ(diamond.bestNeighbor(), "right");
+}
+
+TEST(Decision, PrependDemotesAPath) {
+  Diamond diamond;  // left wins the tiebreak by default...
+  diamond.importPolicy("left", cfg::PolicyActionKind::kAsPathPrepend, 2);
+  EXPECT_EQ(diamond.bestNeighbor(), "right");
+}
+
+TEST(Decision, MedBreaksPathLengthTies) {
+  Diamond diamond;
+  diamond.importPolicy("left", cfg::PolicyActionKind::kSetMed, 50);
+  diamond.importPolicy("right", cfg::PolicyActionKind::kSetMed, 10);
+  EXPECT_EQ(diamond.bestNeighbor(), "right");
+}
+
+TEST(Decision, LocalPrefBeatsPathLength) {
+  // right is demoted by prepend but promoted by local-pref: local-pref is
+  // evaluated first, so right still wins.
+  Diamond diamond;
+  diamond.importPolicy("right", cfg::PolicyActionKind::kAsPathPrepend, 3);
+  diamond.importPolicy("right", cfg::PolicyActionKind::kSetLocalPref, 300);
+  EXPECT_EQ(diamond.bestNeighbor(), "right");
+}
+
+TEST(Decision, PathLengthBeatsMed) {
+  // left has a better MED but a longer path: length is evaluated first.
+  Diamond diamond;
+  diamond.importPolicy("left", cfg::PolicyActionKind::kSetMed, 1);
+  diamond.importPolicy("left", cfg::PolicyActionKind::kAsPathPrepend, 1);
+  diamond.importPolicy("right", cfg::PolicyActionKind::kSetMed, 99);
+  EXPECT_EQ(diamond.bestNeighbor(), "right");
+}
+
+TEST(Decision, OverwriteShortensAndWins) {
+  // The Figure-2 mechanism in miniature: overwriting the AS_PATH on one
+  // import makes it the shortest path and it wins — despite carrying no
+  // better real properties.
+  Diamond diamond;
+  diamond.importPolicy("left", cfg::PolicyActionKind::kAsPathPrepend, 1);
+  diamond.importPolicy("right", cfg::PolicyActionKind::kAsPathPrepend, 1);
+  // Now both are length 3; overwrite right down to length 1.
+  cfg::DeviceConfig& src = diamond.network.configs["src"];
+  cfg::RoutePolicy overwrite;
+  overwrite.name = "OW";
+  cfg::PolicyNode node;
+  node.index = 10;
+  node.action = cfg::Action::kPermit;
+  node.actions.push_back({cfg::PolicyActionKind::kAsPathOverwrite, 0, 0});
+  overwrite.nodes.push_back(node);
+  src.policies.push_back(overwrite);
+  const auto address =
+      diamond.network.topology.peeringAddress("right", "src").value();
+  src.bgp->findPeer(address)->import_policy = "OW";
+  diamond.network.renumberAll();
+  EXPECT_EQ(diamond.bestNeighbor(), "right");
+}
+
+TEST(Decision, StackedActionsApplyInOrder) {
+  // Two local-preference sets on the same node: the later action overwrites
+  // the earlier one, so the final value (50) demotes the path.
+  Diamond diamond;
+  diamond.importPolicy("right", cfg::PolicyActionKind::kSetLocalPref, 500);
+  diamond.importPolicy("right", cfg::PolicyActionKind::kSetLocalPref, 50);
+  EXPECT_EQ(diamond.bestNeighbor(), "left");
+}
+
+}  // namespace
+}  // namespace acr::route

@@ -1,0 +1,175 @@
+#include "routing/policy_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "config/parser.hpp"
+
+namespace acr::route {
+namespace {
+
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+
+cfg::DeviceConfig overrideDevice() {
+  return cfg::parseDevice(
+      "hostname A\n"
+      "bgp 65001\n"
+      " peer 10.1.1.2 as-number 65004\n"
+      " peer 10.1.1.2 route-policy Override_All import\n"
+      "ip prefix-list default_all index 10 permit 10.70.0.0 16 greater-equal "
+      "16 less-equal 32\n"
+      "ip prefix-list default_all index 20 permit 20.0.0.0 16 greater-equal "
+      "16 less-equal 32\n"
+      "route-policy Override_All permit node 10\n"
+      " if-match ip-prefix default_all\n"
+      " apply as-path overwrite\n"
+      "route-policy Override_All permit node 20\n");
+}
+
+Route routeFor(const char* prefix) {
+  Route route;
+  route.prefix = P(prefix);
+  route.as_path = {65004, 65002};
+  return route;
+}
+
+TEST(PolicyEval, OverwriteRewritesMatchingRoutes) {
+  const cfg::DeviceConfig device = overrideDevice();
+  const PolicyVerdict verdict =
+      applyRoutePolicy(device, "Override_All", routeFor("10.70.0.0/16"), 65001);
+  EXPECT_TRUE(verdict.permitted);
+  ASSERT_EQ(verdict.route.as_path.size(), 1u);
+  EXPECT_EQ(verdict.route.as_path[0], 65001u);
+}
+
+TEST(PolicyEval, NonMatchingRouteFallsThroughUnchanged) {
+  const cfg::DeviceConfig device = overrideDevice();
+  const PolicyVerdict verdict =
+      applyRoutePolicy(device, "Override_All", routeFor("10.0.0.0/16"), 65001);
+  EXPECT_TRUE(verdict.permitted);  // terminal permit node 20
+  EXPECT_EQ(verdict.route.as_path.size(), 2u);
+}
+
+TEST(PolicyEval, OverwriteWithExplicitAsn) {
+  cfg::DeviceConfig device = cfg::parseDevice(
+      "hostname A\n"
+      "route-policy P permit node 10\n"
+      " apply as-path overwrite 64999\n");
+  const PolicyVerdict verdict =
+      applyRoutePolicy(device, "P", routeFor("10.0.0.0/16"), 65001);
+  ASSERT_EQ(verdict.route.as_path.size(), 1u);
+  EXPECT_EQ(verdict.route.as_path[0], 64999u);
+}
+
+TEST(PolicyEval, MissingPolicyDenies) {
+  const cfg::DeviceConfig device = overrideDevice();
+  const PolicyVerdict verdict =
+      applyRoutePolicy(device, "DoesNotExist", routeFor("10.0.0.0/16"), 65001);
+  EXPECT_FALSE(verdict.permitted);
+}
+
+TEST(PolicyEval, NoMatchingNodeDenies) {
+  cfg::DeviceConfig device = cfg::parseDevice(
+      "hostname A\n"
+      "ip prefix-list L index 10 permit 10.0.0.0 16\n"
+      "route-policy P permit node 10\n"
+      " if-match ip-prefix L\n");
+  const PolicyVerdict verdict =
+      applyRoutePolicy(device, "P", routeFor("99.0.0.0/16"), 65001);
+  EXPECT_FALSE(verdict.permitted);  // implicit deny
+}
+
+TEST(PolicyEval, DenyNodeShortCircuits) {
+  cfg::DeviceConfig device = cfg::parseDevice(
+      "hostname A\n"
+      "ip prefix-list QUAR index 10 permit 30.0.0.0 16 greater-equal 16 "
+      "less-equal 32\n"
+      "route-policy P deny node 5\n"
+      " if-match ip-prefix QUAR\n"
+      "route-policy P permit node 10\n");
+  EXPECT_FALSE(
+      applyRoutePolicy(device, "P", routeFor("30.0.1.0/24"), 1).permitted);
+  EXPECT_TRUE(
+      applyRoutePolicy(device, "P", routeFor("10.0.0.0/16"), 1).permitted);
+}
+
+TEST(PolicyEval, MatchAgainstMissingPrefixListNeverMatches) {
+  cfg::DeviceConfig device = cfg::parseDevice(
+      "hostname A\n"
+      "route-policy P permit node 10\n"
+      " if-match ip-prefix GHOST\n"
+      "route-policy P permit node 20\n");
+  const PolicyVerdict verdict =
+      applyRoutePolicy(device, "P", routeFor("10.0.0.0/16"), 1);
+  EXPECT_TRUE(verdict.permitted);  // falls through to node 20
+}
+
+TEST(PolicyEval, LocalPrefMedAndPrepend) {
+  cfg::DeviceConfig device = cfg::parseDevice(
+      "hostname A\n"
+      "route-policy P permit node 10\n"
+      " apply local-preference 250\n"
+      " apply med 77\n"
+      " apply as-path prepend 2\n");
+  const PolicyVerdict verdict =
+      applyRoutePolicy(device, "P", routeFor("10.0.0.0/16"), 65001);
+  EXPECT_EQ(verdict.route.local_pref, 250u);
+  EXPECT_EQ(verdict.route.med, 77u);
+  ASSERT_EQ(verdict.route.as_path.size(), 4u);
+  EXPECT_EQ(verdict.route.as_path[0], 65001u);
+  EXPECT_EQ(verdict.route.as_path[1], 65001u);
+}
+
+TEST(PolicyEval, NodesEvaluatedInIndexOrderNotDeclarationOrder) {
+  cfg::DeviceConfig device = cfg::parseDevice(
+      "hostname A\n"
+      "route-policy P permit node 20\n"
+      "route-policy P deny node 10\n");
+  // Node 10 (deny, no match condition) runs first despite being declared
+  // second.
+  EXPECT_FALSE(
+      applyRoutePolicy(device, "P", routeFor("10.0.0.0/16"), 1).permitted);
+}
+
+TEST(PolicyEval, RecordsEvaluatedLines) {
+  const cfg::DeviceConfig device = overrideDevice();
+  const PolicyVerdict verdict =
+      applyRoutePolicy(device, "Override_All", routeFor("20.0.0.0/16"), 65001);
+  EXPECT_TRUE(verdict.permitted);
+  // Evaluated: node 10, if-match, both prefix-list entries, apply line.
+  EXPECT_GE(verdict.lines.size(), 5u);
+  for (const auto& line : verdict.lines) {
+    EXPECT_EQ(line.device, "A");
+    EXPECT_GT(line.line, 0);
+  }
+}
+
+TEST(PolicyBinding, PeerLevelWinsOverGroup) {
+  cfg::DeviceConfig device = cfg::parseDevice(
+      "hostname A\n"
+      "bgp 65001\n"
+      " group G\n"
+      " peer-group G route-policy FromGroup import\n"
+      " peer 10.1.1.2 as-number 65002\n"
+      " peer 10.1.1.2 group G\n"
+      " peer 10.1.1.2 route-policy FromPeer import\n"
+      " peer 10.1.1.6 as-number 65003\n"
+      " peer 10.1.1.6 group G\n"
+      " peer 10.1.1.10 as-number 65004\n");
+  const auto& peers = device.bgp->peers;
+  const PolicyBinding direct =
+      resolvePolicyBinding(device, peers[0], Direction::kImport);
+  EXPECT_TRUE(direct.bound);
+  EXPECT_EQ(direct.policy, "FromPeer");
+  const PolicyBinding inherited =
+      resolvePolicyBinding(device, peers[1], Direction::kImport);
+  EXPECT_TRUE(inherited.bound);
+  EXPECT_EQ(inherited.policy, "FromGroup");
+  const PolicyBinding none =
+      resolvePolicyBinding(device, peers[2], Direction::kImport);
+  EXPECT_FALSE(none.bound);
+  // Export direction has no bindings here.
+  EXPECT_FALSE(resolvePolicyBinding(device, peers[1], Direction::kExport).bound);
+}
+
+}  // namespace
+}  // namespace acr::route

@@ -1,0 +1,218 @@
+#include "routing/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/generators.hpp"
+
+namespace acr::route {
+namespace {
+
+net::Ipv4Address A(const char* text) { return *net::Ipv4Address::parse(text); }
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+
+TEST(Simulator, CorrectFigure2Converges) {
+  const topo::BuiltNetwork built = topo::buildFigure2();
+  const SimResult sim = Simulator(built.network).run();
+  EXPECT_TRUE(sim.converged);
+  EXPECT_TRUE(sim.flapping.empty());
+  // Every router learns every edge subnet.
+  for (const char* router : {"A", "B", "C", "S"}) {
+    for (const char* subnet : {"10.0.0.1", "10.70.0.1", "20.0.0.1"}) {
+      EXPECT_NE(sim.lookup(router, A(subnet)), nullptr)
+          << router << " missing route to " << subnet;
+    }
+  }
+}
+
+TEST(Simulator, FaultyFigure2FlapsFor10_0) {
+  // The headline reproduction: the catch-all override erases AS_PATH
+  // history, so 10.0/16 (PoP_B) oscillates, exactly as in §2.2.
+  const topo::BuiltNetwork built = topo::buildFigure2Faulty();
+  const SimResult sim = Simulator(built.network).run();
+  EXPECT_FALSE(sim.converged);
+  EXPECT_TRUE(sim.flapping.count(P("10.0.0.0/16")) == 1)
+      << "flapping set size=" << sim.flapping.size();
+  EXPECT_TRUE(sim.isFlapping(A("10.0.1.2")));
+  EXPECT_FALSE(sim.isFlapping(A("10.70.0.1")));
+}
+
+TEST(Simulator, SessionsRequireMatchingAsNumbers) {
+  topo::BuiltNetwork built = topo::buildFigure2();
+  // Corrupt A's peer statement towards B.
+  const auto b_address =
+      built.network.topology.peeringAddress("B", "A").value();
+  built.network.config("A")->bgp->findPeer(b_address)->remote_as = 64999;
+  const Simulator simulator(built.network);
+  const auto sessions = simulator.computeSessions();
+  int down = 0;
+  for (const auto& session : sessions) {
+    if (!session.up) {
+      ++down;
+      EXPECT_NE(session.down_reason.find("as-number mismatch"),
+                std::string::npos);
+    }
+  }
+  EXPECT_EQ(down, 1);
+}
+
+TEST(Simulator, MissingPeerStatementKeepsSessionDown) {
+  topo::BuiltNetwork built = topo::buildFigure2();
+  auto& peers = built.network.config("A")->bgp->peers;
+  peers.erase(peers.begin());  // drop A's first peer
+  built.network.renumberAll();
+  const auto sessions = Simulator(built.network).computeSessions();
+  int down = 0;
+  for (const auto& session : sessions) {
+    if (!session.up) ++down;
+  }
+  EXPECT_EQ(down, 1);
+}
+
+TEST(Simulator, StaticRouteRedistribution) {
+  const topo::BuiltNetwork built = topo::buildDcn(2, 2);
+  const SimResult sim = Simulator(built.network).run();
+  EXPECT_TRUE(sim.converged);
+  // The pod-1 VIP (20.1.1.0/24, static on tor1_1) must be BGP-visible on a
+  // core.
+  const Route* route = sim.lookup("core1", A("20.1.1.5"));
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->source, RouteSource::kBgp);
+  // On the owner, the static route itself wins (lower admin distance).
+  const Route* local = sim.lookup("tor1_1", A("20.1.1.5"));
+  ASSERT_NE(local, nullptr);
+  EXPECT_EQ(local->source, RouteSource::kStatic);
+}
+
+TEST(Simulator, UnresolvableStaticRouteIsInactive) {
+  topo::BuiltNetwork built = topo::buildFigure2();
+  built.network.config("A")->static_routes.push_back(
+      cfg::StaticRouteConfig{P("99.0.0.0/16"), A("123.45.6.7"), 0});
+  built.network.renumberAll();
+  const SimResult sim = Simulator(built.network).run();
+  EXPECT_EQ(sim.lookup("A", A("99.0.0.1")), nullptr);
+}
+
+TEST(Simulator, TransferSubnetsAreNotRedistributed) {
+  const topo::BuiltNetwork built = topo::buildFigure2();
+  const SimResult sim = Simulator(built.network).run();
+  // A's link subnet towards B is 172.16.0.0/30; C must not learn it.
+  const Route* route = sim.lookup("C", A("172.16.0.1"));
+  if (route != nullptr) {
+    // C may know its own link subnets (connected), never A's via BGP.
+    EXPECT_EQ(route->source, RouteSource::kConnected);
+  }
+}
+
+TEST(Simulator, QuarantineFilteredAtAggs) {
+  const topo::BuiltNetwork built = topo::buildDcn(2, 2);
+  const SimResult sim = Simulator(built.network).run();
+  EXPECT_TRUE(sim.converged);
+  // The quarantine subnet (30.0/16) lives on tor1_2; the aggs deny it, so
+  // cores and other pods never learn it.
+  EXPECT_NE(sim.lookup("tor1_2", A("30.0.0.1")), nullptr);
+  EXPECT_EQ(sim.lookup("core1", A("30.0.0.1")), nullptr);
+  EXPECT_EQ(sim.lookup("tor2_1", A("30.0.0.1")), nullptr);
+}
+
+TEST(Simulator, ReceiverSideLoopPrevention) {
+  const topo::BuiltNetwork built = topo::buildFigure2();
+  const SimResult sim = Simulator(built.network).run();
+  // No router's path may contain its own AS.
+  for (const auto& [router, routes] : sim.rib) {
+    const std::uint32_t own =
+        built.network.topology.findRouter(router)->asn;
+    for (const auto& [prefix, route] : routes) {
+      if (route.source != RouteSource::kBgp) continue;
+      // Receiver-side loop prevention rejects any received path containing
+      // the local AS. The only way the local AS can appear in a *stored*
+      // path is as the single element an `as-path overwrite` import action
+      // wrote — which is exactly the loophole the paper's incident exploits.
+      if (route.as_path.size() == 1) continue;
+      for (const std::uint32_t asn : route.as_path) {
+        EXPECT_NE(asn, own) << router << " " << prefix.str();
+      }
+    }
+  }
+}
+
+TEST(Simulator, DecisionPrefersShorterPath) {
+  const topo::BuiltNetwork built = topo::buildFigure2();
+  const SimResult sim = Simulator(built.network).run();
+  // A reaches PoP_B (on B, adjacent): the direct one-hop path must win over
+  // the three-hop path via S-C.
+  const Route* route = sim.lookup("A", A("10.0.0.1"));
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->learned_from, "B");
+  EXPECT_EQ(route->as_path.size(), 1u);
+}
+
+TEST(Simulator, ProvenanceRecordedForBgpRoutes) {
+  const topo::BuiltNetwork built = topo::buildFigure2();
+  SimOptions options;
+  options.record_provenance = true;
+  const SimResult sim = Simulator(built.network).run(options);
+  EXPECT_GT(sim.provenance.size(), 0u);
+  const Route* route = sim.lookup("C", A("10.70.0.1"));  // PoP_A from C
+  ASSERT_NE(route, nullptr);
+  ASSERT_NE(route->derivation, prov::kNoDerivation);
+  std::set<cfg::LineId> lines;
+  sim.provenance.collectLines(route->derivation, lines);
+  EXPECT_GE(lines.size(), 3u);
+  // The chain crosses at least two devices.
+  std::set<std::string> devices;
+  for (const auto& line : lines) devices.insert(line.device);
+  EXPECT_GE(devices.size(), 2u);
+}
+
+TEST(Simulator, ProvenanceOffLeavesGraphEmpty) {
+  const topo::BuiltNetwork built = topo::buildFigure2();
+  SimOptions options;
+  options.record_provenance = false;
+  const SimResult sim = Simulator(built.network).run(options);
+  EXPECT_EQ(sim.provenance.size(), 0u);
+  EXPECT_TRUE(sim.converged);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const topo::BuiltNetwork built = topo::buildDcn(2, 2);
+  const SimResult a = Simulator(built.network).run();
+  const SimResult b = Simulator(built.network).run();
+  ASSERT_EQ(a.rib.size(), b.rib.size());
+  for (const auto& [router, routes] : a.rib) {
+    const auto& other = b.rib.at(router);
+    ASSERT_EQ(routes.size(), other.size()) << router;
+    for (const auto& [prefix, route] : routes) {
+      EXPECT_EQ(route.key(), other.at(prefix).key()) << router;
+    }
+  }
+}
+
+class BackboneConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackboneConvergence, CorrectBackboneConverges) {
+  const topo::BuiltNetwork built = topo::buildBackbone(GetParam());
+  const SimResult sim = Simulator(built.network).run();
+  EXPECT_TRUE(sim.converged) << "n=" << GetParam();
+  EXPECT_TRUE(sim.flapping.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BackboneConvergence,
+                         ::testing::Values(4, 6, 8, 12, 16));
+
+class DcnConvergence
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(DcnConvergence, CorrectDcnConverges) {
+  const auto [pods, tors] = GetParam();
+  const topo::BuiltNetwork built = topo::buildDcn(pods, tors);
+  const SimResult sim = Simulator(built.network).run();
+  EXPECT_TRUE(sim.converged);
+  EXPECT_TRUE(sim.flapping.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DcnConvergence,
+                         ::testing::Values(std::pair{2, 2}, std::pair{3, 2},
+                                           std::pair{4, 3}, std::pair{5, 4}));
+
+}  // namespace
+}  // namespace acr::route

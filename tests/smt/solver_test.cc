@@ -1,0 +1,216 @@
+#include "smt/solver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acr::smt {
+namespace {
+
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+
+bool coverContains(const std::vector<net::Prefix>& cover,
+                   const net::Prefix& prefix) {
+  for (const auto& piece : cover) {
+    if (piece.contains(prefix)) return true;
+  }
+  return false;
+}
+
+bool coverOverlaps(const std::vector<net::Prefix>& cover,
+                   const net::Prefix& prefix) {
+  for (const auto& piece : cover) {
+    if (piece.overlaps(prefix)) return true;
+  }
+  return false;
+}
+
+TEST(Solver, PaperWorkedExample) {
+  // §5: P = {10.70/16 ∈ var, 20.0/16 ∈ var}, F = {10.0/16 ∈ var};
+  // one possible var is exactly {10.70/16, 20.0/16}.
+  Solver solver;
+  solver.requireMember("var", P("10.70.0.0/16"));
+  solver.requireMember("var", P("20.0.0.0/16"));
+  solver.requireNotMember("var", P("10.0.0.0/16"));
+  const SolveResult result = solver.solve();
+  ASSERT_TRUE(result.sat) << result.conflict;
+  const auto& cover = result.model.prefix_sets.at("var");
+  ASSERT_EQ(cover.size(), 2u);
+  EXPECT_TRUE(coverContains(cover, P("10.70.0.0/16")));
+  EXPECT_TRUE(coverContains(cover, P("20.0.0.0/16")));
+  EXPECT_FALSE(coverOverlaps(cover, P("10.0.0.0/16")));
+}
+
+TEST(Solver, SplitsRequiredSuperPrefixAroundForbiddenSub) {
+  Solver solver;
+  solver.requireMember("var", P("10.0.0.0/8"));
+  solver.requireNotMember("var", P("10.128.0.0/16"));
+  const SolveResult result = solver.solve();
+  ASSERT_TRUE(result.sat);
+  const auto& cover = result.model.prefix_sets.at("var");
+  EXPECT_FALSE(coverOverlaps(cover, P("10.128.0.0/16")));
+  EXPECT_TRUE(coverContains(cover, P("10.0.0.0/16")));
+  EXPECT_TRUE(coverContains(cover, P("10.200.0.0/16")));
+}
+
+TEST(Solver, UnsatWhenForbiddenContainsRequired) {
+  Solver solver;
+  solver.requireMember("var", P("10.5.0.0/16"));
+  solver.requireNotMember("var", P("10.0.0.0/8"));
+  const SolveResult result = solver.solve();
+  EXPECT_FALSE(result.sat);
+  EXPECT_FALSE(result.conflict.empty());
+}
+
+TEST(Solver, UnsatWhenRequiredEqualsForbidden) {
+  Solver solver;
+  solver.requireMember("var", P("10.0.0.0/16"));
+  solver.requireNotMember("var", P("10.0.0.0/16"));
+  EXPECT_FALSE(solver.solve().sat);
+}
+
+TEST(Solver, EmptyPrefixSetVariableGetsEmptyModel) {
+  Solver solver;
+  solver.declare("var", VarKind::kPrefixSet);
+  const SolveResult result = solver.solve();
+  ASSERT_TRUE(result.sat);
+  EXPECT_TRUE(result.model.prefix_sets.at("var").empty());
+}
+
+TEST(Solver, ModelIsMinimized) {
+  Solver solver;
+  solver.requireMember("var", P("10.0.0.0/16"));
+  solver.requireMember("var", P("10.1.0.0/16"));
+  solver.requireMember("var", P("10.0.5.0/24"));  // contained in the first
+  const SolveResult result = solver.solve();
+  ASSERT_TRUE(result.sat);
+  // 10.0/16 and 10.1/16 merge into 10.0.0.0/15; the /24 is swallowed.
+  ASSERT_EQ(result.model.prefix_sets.at("var").size(), 1u);
+  EXPECT_EQ(result.model.prefix_sets.at("var")[0], P("10.0.0.0/15"));
+}
+
+TEST(Solver, IntEquality) {
+  Solver solver;
+  solver.requireIntEq("asn", 65004);
+  const SolveResult result = solver.solve();
+  ASSERT_TRUE(result.sat);
+  EXPECT_EQ(result.model.ints.at("asn"), 65004u);
+}
+
+TEST(Solver, IntConflictingEqualitiesUnsat) {
+  Solver solver;
+  solver.requireIntEq("asn", 1);
+  solver.requireIntEq("asn", 2);
+  EXPECT_FALSE(solver.solve().sat);
+}
+
+TEST(Solver, IntEqExcludedUnsat) {
+  Solver solver;
+  solver.requireIntEq("asn", 7);
+  solver.requireIntNeq("asn", 7);
+  EXPECT_FALSE(solver.solve().sat);
+}
+
+TEST(Solver, IntDomainRespectsExclusions) {
+  Solver solver;
+  solver.requireIntOneOf("x", {1, 2, 3});
+  solver.requireIntNeq("x", 1);
+  solver.requireIntNeq("x", 2);
+  const SolveResult result = solver.solve();
+  ASSERT_TRUE(result.sat);
+  EXPECT_EQ(result.model.ints.at("x"), 3u);
+}
+
+TEST(Solver, IntDomainIntersection) {
+  Solver solver;
+  solver.requireIntOneOf("x", {1, 2, 3});
+  solver.requireIntOneOf("x", {3, 4});
+  const SolveResult result = solver.solve();
+  ASSERT_TRUE(result.sat);
+  EXPECT_EQ(result.model.ints.at("x"), 3u);
+}
+
+TEST(Solver, IntDomainExhaustedUnsat) {
+  Solver solver;
+  solver.requireIntOneOf("x", {1});
+  solver.requireIntNeq("x", 1);
+  EXPECT_FALSE(solver.solve().sat);
+}
+
+TEST(Solver, UnconstrainedIntPicksSmallestAllowed) {
+  Solver solver;
+  solver.requireIntNeq("x", 0);
+  solver.requireIntNeq("x", 1);
+  const SolveResult result = solver.solve();
+  ASSERT_TRUE(result.sat);
+  EXPECT_EQ(result.model.ints.at("x"), 2u);
+}
+
+TEST(Solver, MultipleVariablesSolvedIndependently) {
+  Solver solver;
+  solver.requireMember("lists", P("10.70.0.0/16"));
+  solver.requireIntEq("asn", 65001);
+  const SolveResult result = solver.solve();
+  ASSERT_TRUE(result.sat);
+  EXPECT_EQ(result.model.prefix_sets.size(), 1u);
+  EXPECT_EQ(result.model.ints.size(), 1u);
+}
+
+TEST(Constraint, StrRendering) {
+  Solver solver;
+  solver.requireMember("var", P("10.0.0.0/16"));
+  solver.requireIntOneOf("x", {1, 2});
+  EXPECT_EQ(solver.constraints()[0].str(), "10.0.0.0/16 in var");
+  EXPECT_EQ(solver.constraints()[1].str(), "x in {1, 2}");
+  EXPECT_EQ(solver.variableCount(), 2u);
+}
+
+// Property sweep: solve then re-check the model against every constraint.
+struct SolverCase {
+  std::vector<const char*> required;
+  std::vector<const char*> forbidden;
+  bool expect_sat;
+};
+
+class SolverProperty : public ::testing::TestWithParam<SolverCase> {};
+
+TEST_P(SolverProperty, ModelSatisfiesConstraints) {
+  Solver solver;
+  for (const char* text : GetParam().required) {
+    solver.requireMember("var", P(text));
+  }
+  for (const char* text : GetParam().forbidden) {
+    solver.requireNotMember("var", P(text));
+  }
+  const SolveResult result = solver.solve();
+  ASSERT_EQ(result.sat, GetParam().expect_sat) << result.conflict;
+  if (!result.sat) return;
+  const auto& cover = result.model.prefix_sets.at("var");
+  std::vector<net::Prefix> forbidden;
+  for (const char* text : GetParam().forbidden) forbidden.push_back(P(text));
+  for (const char* text : GetParam().required) {
+    // The model must cover everything of the required prefix that is not
+    // itself forbidden (a forbidden sub-range is carved out by subtraction).
+    for (const auto& piece :
+         net::subtract(P(text), std::span<const net::Prefix>(forbidden))) {
+      EXPECT_TRUE(coverContains(cover, piece)) << text << " piece "
+                                               << piece.str();
+    }
+  }
+  for (const char* text : GetParam().forbidden) {
+    EXPECT_FALSE(coverOverlaps(cover, P(text))) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SolverProperty,
+    ::testing::Values(
+        SolverCase{{"10.70.0.0/16", "20.0.0.0/16"}, {"10.0.0.0/16"}, true},
+        SolverCase{{"0.0.0.0/1"}, {"10.0.0.0/8"}, true},
+        SolverCase{{"10.0.0.0/8", "20.0.0.0/8"},
+                   {"10.1.0.0/16", "20.31.0.0/16", "10.255.0.0/16"},
+                   true},
+        SolverCase{{"10.0.0.0/16"}, {"0.0.0.0/0"}, false},
+        SolverCase{{}, {"10.0.0.0/8"}, true},
+        SolverCase{{"10.0.0.0/24"}, {"10.0.0.128/25"}, true}));
+
+}  // namespace
+}  // namespace acr::smt

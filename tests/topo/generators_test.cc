@@ -1,0 +1,220 @@
+#include "topo/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace acr::topo {
+namespace {
+
+TEST(Figure2, MatchesThePaperTopology) {
+  const BuiltNetwork built = buildFigure2();
+  EXPECT_EQ(built.network.topology.routers().size(), 4u);
+  EXPECT_EQ(built.network.topology.links().size(), 4u);
+  // Two PoPs and one DCN, as in Figure 2a.
+  ASSERT_EQ(built.subnets.size(), 3u);
+  EXPECT_NE(built.findSubnet("PoP_A"), nullptr);
+  EXPECT_NE(built.findSubnet("PoP_B"), nullptr);
+  EXPECT_NE(built.findSubnet("DCN_S"), nullptr);
+  EXPECT_EQ(built.findSubnet("PoP_B")->prefix.str(), "10.0.0.0/16");
+  EXPECT_EQ(built.findSubnet("PoP_A")->prefix.str(), "10.70.0.0/16");
+  EXPECT_EQ(built.findSubnet("DCN_S")->prefix.str(), "20.0.0.0/16");
+}
+
+TEST(Figure2, OverridePoliciesOnAandC) {
+  const BuiltNetwork built = buildFigure2();
+  for (const char* router : {"A", "C"}) {
+    const cfg::DeviceConfig* device = built.network.config(router);
+    ASSERT_NE(device, nullptr);
+    const cfg::RoutePolicy* policy = device->findPolicy("Override_All");
+    ASSERT_NE(policy, nullptr) << router;
+    // Bound on the S-facing import, per the incident narrative.
+    bool bound = false;
+    for (const auto& peer : device->bgp->peers) {
+      if (peer.import_policy == "Override_All") bound = true;
+    }
+    EXPECT_TRUE(bound) << router;
+  }
+  // B and S carry the definitions but no binding (CE sessions not modeled).
+  for (const char* router : {"B", "S"}) {
+    const cfg::DeviceConfig* device = built.network.config(router);
+    EXPECT_NE(device->findPolicy("Override_All"), nullptr) << router;
+    for (const auto& peer : device->bgp->peers) {
+      EXPECT_TRUE(peer.import_policy.empty()) << router;
+    }
+  }
+}
+
+TEST(Figure2, FaultyVariantHasCatchAllOnly) {
+  const BuiltNetwork faulty = buildFigure2Faulty();
+  for (const char* router : {"A", "C"}) {
+    const cfg::PrefixList* list =
+        faulty.network.config(router)->findPrefixList("default_all");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->entries.size(), 1u);
+    EXPECT_EQ(list->entries[0].prefix.length(), 0) << router;
+  }
+  // The correct variant is narrow.
+  const BuiltNetwork correct = buildFigure2();
+  const cfg::PrefixList* list =
+      correct.network.config("A")->findPrefixList("default_all");
+  ASSERT_EQ(list->entries.size(), 2u);
+  EXPECT_EQ(list->entries[0].prefix.str(), "10.70.0.0/16");
+  EXPECT_EQ(list->entries[1].prefix.str(), "20.0.0.0/16");
+}
+
+TEST(Dcn, StructureAndRoles) {
+  const int pods = 3;
+  const int tors = 2;
+  const BuiltNetwork built = buildDcn(pods, tors);
+  // 2 cores + 2+2+1 aggs (last pod legacy) + 6 tors.
+  EXPECT_EQ(built.network.topology.routers().size(), 2u + 5u + 6u);
+  int legacy_aggs = 0;
+  for (const auto& router : built.network.topology.routers()) {
+    if (router.role == "agg-legacy") ++legacy_aggs;
+  }
+  EXPECT_EQ(legacy_aggs, 1);
+  // Every ToR has a server subnet; each pod one VIP; one quarantine subnet.
+  int servers = 0, vips = 0, quarantined = 0;
+  for (const auto& subnet : built.subnets) {
+    if (subnet.quarantined) ++quarantined;
+    else if (subnet.via_static) ++vips;
+    else ++servers;
+  }
+  EXPECT_EQ(servers, pods * tors);
+  EXPECT_EQ(vips, pods);
+  EXPECT_EQ(quarantined, 1);
+}
+
+TEST(Dcn, UniqueAsnsAndRouterIds) {
+  const BuiltNetwork built = buildDcn(4, 3);
+  std::set<std::uint32_t> asns;
+  std::set<std::uint32_t> ids;
+  for (const auto& router : built.network.topology.routers()) {
+    EXPECT_TRUE(asns.insert(router.asn).second) << router.name;
+    EXPECT_TRUE(ids.insert(router.router_id.value()).second) << router.name;
+  }
+}
+
+TEST(Dcn, AggsCarryTorInFilterViaPeerGroup) {
+  const BuiltNetwork built = buildDcn(3, 2);
+  const cfg::DeviceConfig* agg = built.network.config("agg1a");
+  ASSERT_NE(agg, nullptr);
+  const cfg::PeerGroupConfig* group = agg->bgp->findGroup("TORS");
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->import_policy, "TOR_IN");
+  EXPECT_NE(agg->findPolicy("TOR_IN"), nullptr);
+  EXPECT_NE(agg->findPrefixList("QUAR"), nullptr);
+  EXPECT_NE(agg->findPrefixList("POD_LOCAL"), nullptr);
+  // All ToR peers are enrolled in the group.
+  int enrolled = 0;
+  for (const auto& peer : agg->bgp->peers) {
+    if (peer.group == "TORS") ++enrolled;
+  }
+  EXPECT_EQ(enrolled, 2);
+}
+
+TEST(Dcn, TorsCarryEdgePbrAndMaint) {
+  const BuiltNetwork built = buildDcn(2, 2);
+  const cfg::DeviceConfig* tor = built.network.config("tor1_1");
+  ASSERT_NE(tor, nullptr);
+  const cfg::PbrPolicy* edge = tor->findPbr("EDGE");
+  ASSERT_NE(edge, nullptr);
+  ASSERT_EQ(edge->rules.size(), 4u);
+  EXPECT_EQ(edge->rules.back().action, cfg::PbrAction::kDeny);
+  EXPECT_NE(tor->findPolicy("MAINT"), nullptr);
+}
+
+TEST(Dcn, LegacyPodIsSingleHomed) {
+  const BuiltNetwork built = buildDcn(3, 2);
+  // Last pod's ToRs have exactly one uplink.
+  EXPECT_EQ(built.network.topology.linksOf("tor3_1").size(), 1u);
+  EXPECT_EQ(built.network.topology.linksOf("tor1_1").size(), 2u);
+}
+
+TEST(Backbone, RingChordsAndOverrides) {
+  const int n = 8;
+  const BuiltNetwork built = buildBackbone(n);
+  EXPECT_EQ(built.network.topology.routers().size(), std::size_t(n));
+  // Ring: n links; chords: (1,3),(3,5),(5,7) = 3 more.
+  EXPECT_EQ(built.network.topology.links().size(), std::size_t(n + 3));
+  // Chord endpoints carry the regional override.
+  const cfg::DeviceConfig* r1 = built.network.config("R1");
+  ASSERT_NE(r1->findPolicy("Override_Region"), nullptr);
+  ASSERT_NE(r1->findPrefixList("REGION"), nullptr);
+  bool bound = false;
+  for (const auto& peer : r1->bgp->peers) {
+    if (peer.import_policy == "Override_Region") bound = true;
+  }
+  EXPECT_TRUE(bound);
+}
+
+TEST(Backbone, PrivateRangeGuardedEverywhereDefinedOnAll) {
+  const int n = 6;
+  const BuiltNetwork built = buildBackbone(n);
+  for (int i = 1; i <= n; ++i) {
+    const cfg::DeviceConfig* device =
+        built.network.config("R" + std::to_string(i));
+    EXPECT_NE(device->findPolicy("EXPORT_GUARD"), nullptr) << i;
+  }
+  const cfg::DeviceConfig* last = built.network.config("R6");
+  for (const auto& peer : last->bgp->peers) {
+    EXPECT_EQ(peer.export_policy, "EXPORT_GUARD");
+  }
+  // Exactly one quarantined subnet.
+  int quarantined = 0;
+  for (const auto& subnet : built.subnets) {
+    if (subnet.quarantined) ++quarantined;
+  }
+  EXPECT_EQ(quarantined, 1);
+}
+
+class GeneratorConsistency : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GeneratorConsistency, ConfigsMatchTopology) {
+  BuiltNetwork built;
+  const std::string family = GetParam();
+  if (family == "figure2") built = buildFigure2();
+  else if (family == "dcn") built = buildDcn(3, 2);
+  else built = buildBackbone(9);
+
+  // Every router has a config; every link has interfaces and peer statements
+  // on both sides with correct remote AS.
+  for (const auto& router : built.network.topology.routers()) {
+    EXPECT_NE(built.network.config(router.name), nullptr) << router.name;
+  }
+  for (const auto& link : built.network.topology.links()) {
+    for (const auto& [self, other] :
+         {std::pair{link.a, link.b}, std::pair{link.b, link.a}}) {
+      const cfg::DeviceConfig* device = built.network.config(self);
+      const net::Ipv4Address my_address = link.addressOf(self);
+      const net::Ipv4Address other_address = link.addressOf(other);
+      EXPECT_NE(device->interfaceFor(other_address), nullptr)
+          << self << " missing interface on " << link.subnet.str();
+      const cfg::PeerConfig* peer = device->bgp->findPeer(other_address);
+      ASSERT_NE(peer, nullptr) << self;
+      EXPECT_EQ(peer->remote_as,
+                built.network.topology.findRouter(other)->asn)
+          << self;
+      EXPECT_TRUE(device->interfaceFor(my_address) != nullptr);
+    }
+  }
+  // Every declared subnet is either connected or static on its owner.
+  for (const auto& subnet : built.subnets) {
+    const cfg::DeviceConfig* owner = built.network.config(subnet.router);
+    bool originated = false;
+    for (const auto& itf : owner->interfaces) {
+      if (itf.connectedPrefix() == subnet.prefix) originated = true;
+    }
+    for (const auto& sr : owner->static_routes) {
+      if (sr.prefix == subnet.prefix) originated = true;
+    }
+    EXPECT_TRUE(originated) << subnet.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, GeneratorConsistency,
+                         ::testing::Values("figure2", "dcn", "backbone"));
+
+}  // namespace
+}  // namespace acr::topo

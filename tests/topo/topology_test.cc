@@ -1,0 +1,79 @@
+#include "topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acr::topo {
+namespace {
+
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+net::Ipv4Address A(const char* text) { return *net::Ipv4Address::parse(text); }
+
+Topology sampleTopology() {
+  Topology topology;
+  topology.addRouter(RouterDecl{"A", 65001, A("1.1.1.1"), "backbone"});
+  topology.addRouter(RouterDecl{"B", 65002, A("1.1.1.2"), "backbone"});
+  topology.addRouter(RouterDecl{"C", 65003, A("1.1.1.3"), "edge"});
+  topology.addLink(LinkDecl{"A", "B", P("172.16.0.0/30")});
+  topology.addLink(LinkDecl{"B", "C", P("172.16.0.4/30")});
+  topology.addSubnet(SubnetDecl{"A", P("10.70.0.0/16"), "PoP_A"});
+  topology.addSubnet(SubnetDecl{"C", P("20.0.0.0/16"), "DCN_C"});
+  return topology;
+}
+
+TEST(LinkDecl, EndpointAddresses) {
+  const LinkDecl link{"A", "B", P("172.16.0.0/30")};
+  EXPECT_EQ(link.addressOf("A").str(), "172.16.0.1");
+  EXPECT_EQ(link.addressOf("B").str(), "172.16.0.2");
+  EXPECT_EQ(link.addressOf("X").value(), 0u);
+  EXPECT_EQ(link.otherEnd("A"), "B");
+  EXPECT_EQ(link.otherEnd("B"), "A");
+  EXPECT_TRUE(link.otherEnd("X").empty());
+  EXPECT_TRUE(link.touches("A"));
+  EXPECT_FALSE(link.touches("X"));
+}
+
+TEST(Topology, FindRouter) {
+  const Topology topology = sampleTopology();
+  ASSERT_NE(topology.findRouter("B"), nullptr);
+  EXPECT_EQ(topology.findRouter("B")->asn, 65002u);
+  EXPECT_EQ(topology.findRouter("Z"), nullptr);
+}
+
+TEST(Topology, NeighborsAndLinks) {
+  const Topology topology = sampleTopology();
+  const auto neighbors = topology.neighborsOf("B");
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[0], "A");
+  EXPECT_EQ(neighbors[1], "C");
+  EXPECT_EQ(topology.linksOf("A").size(), 1u);
+  EXPECT_TRUE(topology.linksOf("Z").empty());
+}
+
+TEST(Topology, SubnetQueries) {
+  const Topology topology = sampleTopology();
+  ASSERT_EQ(topology.subnetsOf("A").size(), 1u);
+  EXPECT_EQ(topology.subnetsOf("A")[0]->name, "PoP_A");
+  ASSERT_NE(topology.findSubnet("DCN_C"), nullptr);
+  EXPECT_EQ(topology.findSubnet("nope"), nullptr);
+  EXPECT_EQ(topology.subnetOwner(A("10.70.1.2")).value(), "A");
+  EXPECT_EQ(topology.subnetOwner(A("20.0.0.9")).value(), "C");
+  EXPECT_FALSE(topology.subnetOwner(A("99.0.0.1")).has_value());
+}
+
+TEST(Topology, RouterAtPeeringAddress) {
+  const Topology topology = sampleTopology();
+  EXPECT_EQ(topology.routerAt(A("172.16.0.1")).value(), "A");
+  EXPECT_EQ(topology.routerAt(A("172.16.0.2")).value(), "B");
+  EXPECT_EQ(topology.routerAt(A("172.16.0.6")).value(), "C");
+  EXPECT_FALSE(topology.routerAt(A("172.16.0.3")).has_value());
+}
+
+TEST(Topology, PeeringAddress) {
+  const Topology topology = sampleTopology();
+  EXPECT_EQ(topology.peeringAddress("A", "B")->str(), "172.16.0.1");
+  EXPECT_EQ(topology.peeringAddress("B", "A")->str(), "172.16.0.2");
+  EXPECT_FALSE(topology.peeringAddress("A", "C").has_value());
+}
+
+}  // namespace
+}  // namespace acr::topo

@@ -1,0 +1,150 @@
+#include "verify/failures.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+#include "repair/engine.hpp"
+
+namespace acr::verify {
+namespace {
+
+TEST(WithoutLinks, RemovesExactlyTheRequestedLinks) {
+  const acr::Scenario scenario = acr::figure2Scenario(false);
+  const std::size_t before = scenario.network().topology.links().size();
+  const topo::Network degraded = withoutLinks(scenario.network(), {0, 2});
+  EXPECT_EQ(degraded.topology.links().size(), before - 2);
+  EXPECT_EQ(degraded.topology.routers().size(),
+            scenario.network().topology.routers().size());
+  EXPECT_EQ(degraded.configs.size(), scenario.network().configs.size());
+}
+
+TEST(FailureTolerance, Figure2RingSurvivesAnySingleLinkFailure) {
+  // A 4-ring has two disjoint paths between any pair: 1-failure tolerant.
+  const acr::Scenario scenario = acr::figure2Scenario(false);
+  const FailureToleranceReport report =
+      verifyUnderFailures(scenario.network(), scenario.intents);
+  EXPECT_EQ(report.scenarios_checked, 4);
+  EXPECT_TRUE(report.ok()) << report.violations.size() << " violations, e.g. "
+                           << (report.violations.empty()
+                                   ? ""
+                                   : report.violations[0].str());
+}
+
+TEST(FailureTolerance, LegacyPodLinksAreSinglePointsOfFailure) {
+  // dcn(2,2): pod 1 is dual-homed, pod 2 is the legacy single-agg pod —
+  // every legacy ToR uplink (and the lone agg's core links are redundant,
+  // but the tor-agg links are not) must show up as a SPOF.
+  const acr::Scenario scenario = acr::dcnScenario(2, 2);
+  const FailureToleranceReport report =
+      verifyUnderFailures(scenario.network(), scenario.intents);
+  EXPECT_FALSE(report.ok());
+  const auto spofs = report.singlePointsOfFailure();
+  bool legacy_uplink = false;
+  for (const auto& link : spofs) {
+    EXPECT_TRUE(link.find("tor2_") != std::string::npos ||
+                link.find("agg2a") != std::string::npos)
+        << "unexpected SPOF: " << link;
+    if (link.find("tor2_") != std::string::npos) legacy_uplink = true;
+  }
+  EXPECT_TRUE(legacy_uplink);
+}
+
+TEST(FailureTolerance, DualHomedPodSurvivesItsLinkFailures) {
+  const acr::Scenario scenario = acr::dcnScenario(2, 2);
+  const FailureToleranceReport report =
+      verifyUnderFailures(scenario.network(), scenario.intents);
+  // No pod-1 (dual-homed) link may appear as a SPOF.
+  for (const auto& link : report.singlePointsOfFailure()) {
+    EXPECT_EQ(link.find("tor1_"), std::string::npos) << link;
+  }
+}
+
+TEST(FailureTolerance, HiddenRedundancyLossIsCaught) {
+  // The motivating case: a wrong peer as-number takes down ONE of a ToR's
+  // two uplinks. Plain verification still passes (the other uplink
+  // carries), but the fabric silently lost its 1-failure tolerance.
+  acr::Scenario scenario = acr::dcnScenario(2, 2);
+  topo::Network broken = scenario.network();
+  const auto address =
+      broken.topology.peeringAddress("tor1_1", "agg1a").value();
+  broken.config("agg1a")->bgp->findPeer(address)->remote_as += 1000;
+  broken.renumberAll();
+
+  const Verifier plain(scenario.intents);
+  EXPECT_TRUE(plain.verify(broken).ok())
+      << "plain verification is fooled by the surviving uplink";
+
+  const FailureToleranceReport report =
+      verifyUnderFailures(broken, scenario.intents);
+  EXPECT_FALSE(report.ok());
+  bool other_uplink_is_now_critical = false;
+  for (const auto& link : report.singlePointsOfFailure()) {
+    if (link == "tor1_1-agg1b" || link == "agg1b-tor1_1") {
+      other_uplink_is_now_critical = true;
+    }
+  }
+  EXPECT_TRUE(other_uplink_is_now_critical);
+}
+
+TEST(FailureTolerance, PlainRepairCanLeaveALatentFault) {
+  // The engine's minimal Figure-2 repair (disable C's override) satisfies
+  // every intent — but router A's catch-all override is still there, and
+  // failing the A-B link re-routes 10.0/16 through it: the flap returns.
+  const acr::Scenario scenario = acr::figure2Scenario(true);
+  const repair::RepairResult plain =
+      repair::AcrEngine(scenario.intents).repair(scenario.network());
+  ASSERT_TRUE(plain.success);
+  const FailureToleranceReport latent =
+      verifyUnderFailures(plain.repaired, scenario.intents);
+  EXPECT_FALSE(latent.ok())
+      << "expected the minimal repair to leave a latent catch-all";
+}
+
+TEST(FailureTolerance, ToleranceAwareRepairRemovesTheLatentFault) {
+  const acr::Scenario scenario = acr::figure2Scenario(true);
+  repair::RepairOptions options;
+  options.tolerance_k = 1;
+  options.seed = 2;
+  const repair::RepairResult result =
+      repair::AcrEngine(scenario.intents, options).repair(scenario.network());
+  ASSERT_TRUE(result.success) << result.summary();
+  // Both the plain suite and every single-failure scenario are clean.
+  const Verifier verifier(scenario.intents);
+  EXPECT_TRUE(verifier.verify(result.repaired).ok());
+  const FailureToleranceReport report =
+      verifyUnderFailures(result.repaired, scenario.intents);
+  EXPECT_TRUE(report.ok()) << (report.violations.empty()
+                                   ? ""
+                                   : report.violations[0].str());
+  // It necessarily took more than one change (both override sites).
+  EXPECT_GE(result.changes.size(), 2u);
+}
+
+TEST(FailureTolerance, ScenarioCapIsHonoured) {
+  const acr::Scenario scenario = acr::dcnScenario(2, 2);
+  FailureToleranceOptions options;
+  options.max_link_failures = 2;
+  options.max_scenarios = 10;
+  const FailureToleranceReport report =
+      verifyUnderFailures(scenario.network(), scenario.intents, options);
+  EXPECT_EQ(report.scenarios_checked, 10);
+  EXPECT_TRUE(report.truncated);
+}
+
+TEST(FailureTolerance, TwoFailuresBreakTheFigure2Ring) {
+  const acr::Scenario scenario = acr::figure2Scenario(false);
+  FailureToleranceOptions options;
+  options.max_link_failures = 2;
+  const FailureToleranceReport report =
+      verifyUnderFailures(scenario.network(), scenario.intents, options);
+  // 4 singles + 6 pairs.
+  EXPECT_EQ(report.scenarios_checked, 10);
+  EXPECT_FALSE(report.ok());  // any two ring cuts partition someone
+  for (const auto& scenario_result : report.violations) {
+    EXPECT_EQ(scenario_result.failed_links.size(), 2u);
+    EXPECT_FALSE(scenario_result.str().empty());
+  }
+}
+
+}  // namespace
+}  // namespace acr::verify

@@ -1,0 +1,137 @@
+#include "verify/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+#include "topo/generators.hpp"
+
+namespace acr::verify {
+namespace {
+
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+
+Intent intentOf(IntentKind kind, const char* src, const char* dst) {
+  Intent intent;
+  intent.kind = kind;
+  intent.name = std::string(src) + "->" + dst;
+  intent.space.src_space = P(src);
+  intent.space.dst_space = P(dst);
+  return intent;
+}
+
+TEST(GenerateTests, OnePacketPerIntentPerSample) {
+  const std::vector<Intent> intents = {
+      intentOf(IntentKind::kReachability, "10.0.0.0/16", "20.0.0.0/16"),
+      intentOf(IntentKind::kIsolation, "10.0.0.0/16", "30.0.0.0/16"),
+  };
+  const auto tests = generateTests(intents, 3);
+  ASSERT_EQ(tests.size(), 6u);
+  EXPECT_EQ(tests[0].intent_index, 0);
+  EXPECT_EQ(tests[5].intent_index, 1);
+  for (const auto& test : tests) {
+    EXPECT_TRUE(intents[test.intent_index].space.matches(test.packet));
+  }
+}
+
+TEST(Verifier, CorrectFigure2PassesAllIntents) {
+  const acr::Scenario scenario = acr::figure2Scenario(false);
+  const Verifier verifier(scenario.intents);
+  const VerifyResult result = verifier.verify(scenario.network());
+  EXPECT_TRUE(result.ok()) << result.tests_failed << " failures";
+  EXPECT_EQ(result.tests_run, static_cast<int>(scenario.intents.size()));
+}
+
+TEST(Verifier, FaultyFigure2ReportsFlapViolations) {
+  const acr::Scenario scenario = acr::figure2Scenario(true);
+  const Verifier verifier(scenario.intents);
+  const VerifyResult result = verifier.verify(scenario.network());
+  EXPECT_FALSE(result.ok());
+  bool flap_reported = false;
+  for (const auto* failure : result.failures()) {
+    if (failure->reason.find("flapping") != std::string::npos) {
+      flap_reported = true;
+    }
+    // All failures concern PoP_B (10.0/16), the flapping prefix.
+    EXPECT_TRUE(P("10.0.0.0/16").contains(failure->test.packet.dst));
+  }
+  EXPECT_TRUE(flap_reported);
+}
+
+TEST(Verifier, CorrectDcnAndBackbonePass) {
+  for (const char* family : {"dcn", "backbone"}) {
+    const acr::Scenario scenario = acr::scenarioByFamily(family);
+    const Verifier verifier(scenario.intents);
+    const VerifyResult result = verifier.verify(scenario.network());
+    EXPECT_TRUE(result.ok())
+        << family << ": " << result.tests_failed << " failures";
+  }
+}
+
+TEST(JudgeTest, ReachabilitySemantics) {
+  const Intent intent =
+      intentOf(IntentKind::kReachability, "10.0.0.0/16", "20.0.0.0/16");
+  dp::TraceResult delivered;
+  delivered.outcome = dp::TraceOutcome::kDelivered;
+  std::string reason;
+  EXPECT_TRUE(judgeTest(intent, delivered, &reason));
+
+  dp::TraceResult flapping = delivered;
+  flapping.destination_flapping = true;
+  EXPECT_FALSE(judgeTest(intent, flapping, &reason));
+  EXPECT_NE(reason.find("flapping"), std::string::npos);
+
+  dp::TraceResult blackhole;
+  blackhole.outcome = dp::TraceOutcome::kBlackhole;
+  EXPECT_FALSE(judgeTest(intent, blackhole, &reason));
+}
+
+TEST(JudgeTest, IsolationSemantics) {
+  const Intent intent =
+      intentOf(IntentKind::kIsolation, "10.0.0.0/16", "30.0.0.0/16");
+  dp::TraceResult delivered;
+  delivered.outcome = dp::TraceOutcome::kDelivered;
+  std::string reason;
+  EXPECT_FALSE(judgeTest(intent, delivered, &reason));
+  dp::TraceResult dropped;
+  dropped.outcome = dp::TraceOutcome::kDroppedByPbr;
+  EXPECT_TRUE(judgeTest(intent, dropped, &reason));
+  dp::TraceResult blackhole;
+  blackhole.outcome = dp::TraceOutcome::kBlackhole;
+  EXPECT_TRUE(judgeTest(intent, blackhole, &reason));
+}
+
+TEST(JudgeTest, LoopAndBlackholeSemantics) {
+  const Intent loopfree =
+      intentOf(IntentKind::kLoopFree, "10.0.0.0/16", "20.0.0.0/16");
+  dp::TraceResult loop;
+  loop.outcome = dp::TraceOutcome::kLoop;
+  std::string reason;
+  EXPECT_FALSE(judgeTest(loopfree, loop, &reason));
+  dp::TraceResult pbr_drop;
+  pbr_drop.outcome = dp::TraceOutcome::kDroppedByPbr;
+  EXPECT_TRUE(judgeTest(loopfree, pbr_drop, &reason));  // a drop is no loop
+
+  const Intent bh_free =
+      intentOf(IntentKind::kBlackholeFree, "10.0.0.0/16", "20.0.0.0/16");
+  dp::TraceResult blackhole;
+  blackhole.outcome = dp::TraceOutcome::kBlackhole;
+  EXPECT_FALSE(judgeTest(bh_free, blackhole, &reason));
+  EXPECT_TRUE(judgeTest(bh_free, pbr_drop, &reason));  // PBR drop ≠ blackhole
+}
+
+TEST(Verifier, FailuresViewMatchesCount) {
+  const acr::Scenario scenario = acr::figure2Scenario(true);
+  const Verifier verifier(scenario.intents);
+  const VerifyResult result = verifier.verify(scenario.network());
+  EXPECT_EQ(static_cast<int>(result.failures().size()), result.tests_failed);
+}
+
+TEST(IntentKindName, Names) {
+  EXPECT_EQ(intentKindName(IntentKind::kReachability), "reachability");
+  EXPECT_EQ(intentKindName(IntentKind::kIsolation), "isolation");
+  EXPECT_EQ(intentKindName(IntentKind::kLoopFree), "loop-free");
+  EXPECT_EQ(intentKindName(IntentKind::kBlackholeFree), "blackhole-free");
+}
+
+}  // namespace
+}  // namespace acr::verify

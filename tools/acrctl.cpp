@@ -1,0 +1,336 @@
+// acrctl — command-line front end for the ACR library.
+//
+//   acrctl export  --scenario <name> --out DIR [--dialect huawei|cisco]
+//   acrctl inject  DIR --fault <index|random> [--seed S] --out DIR2
+//   acrctl verify  DIR
+//   acrctl triage  DIR [--metric tarantula|ochiai|jaccard|dstar2]
+//   acrctl repair  DIR [--out DIR2] [--metric M] [--brute-force]
+//                      [--crossover] [--coverage-guided] [--seed S]
+//   acrctl campaign [--incidents N] [--seed S]
+//   acrctl list-faults
+//
+// Scenario names: figure2, figure2-faulty, dcn[-PxT], backbone[-N].
+// A scenario directory is the serialization format of core/serialization.hpp
+// (topology.acr + intents.acr + one .cfg per device, either dialect).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/acr.hpp"
+#include "core/serialization.hpp"
+#include "repair/report.hpp"
+#include "verify/failures.hpp"
+#include "localize/coverage.hpp"
+
+namespace {
+
+using namespace acr;
+
+[[noreturn]] void usage(const char* why = nullptr) {
+  if (why != nullptr) std::fprintf(stderr, "error: %s\n\n", why);
+  std::fputs(
+      "usage:\n"
+      "  acrctl export  --scenario <name> --out DIR [--dialect huawei|cisco]\n"
+      "  acrctl inject  DIR --fault <index|random> [--seed S] --out DIR2\n"
+      "  acrctl verify  DIR\n"
+      "  acrctl triage  DIR [--metric tarantula|ochiai|jaccard|dstar2]\n"
+      "  acrctl repair  DIR [--out DIR2] [--metric M] [--brute-force]\n"
+      "                 [--crossover] [--coverage-guided] [--multipath]\n"
+      "                 [--report] [--seed S]\n"
+      "  acrctl tolerance DIR [--k N]\n"
+      "  acrctl campaign [--incidents N] [--seed S]\n"
+      "  acrctl list-faults\n"
+      "\n"
+      "scenarios: figure2 | figure2-faulty | dcn-<pods>x<tors> | backbone-<n>\n",
+      stderr);
+  std::exit(2);
+}
+
+/// Tiny flag map: --key value and boolean --key.
+struct Args {
+  std::string positional;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return flags.count(key) != 0;
+  }
+};
+
+Args parseArgs(int argc, char** argv, int start) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      const bool boolean = key == "brute-force" || key == "crossover" ||
+                           key == "coverage-guided" || key == "report" ||
+                           key == "multipath";
+      if (!boolean && i + 1 < argc) {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "1";
+      }
+    } else if (args.positional.empty()) {
+      args.positional = token;
+    } else {
+      usage(("unexpected argument '" + token + "'").c_str());
+    }
+  }
+  return args;
+}
+
+Scenario scenarioByName(const std::string& name) {
+  if (name == "figure2") return figure2Scenario(false);
+  if (name == "figure2-faulty") return figure2Scenario(true);
+  int a = 0, b = 0;
+  if (std::sscanf(name.c_str(), "dcn-%dx%d", &a, &b) == 2) {
+    return dcnScenario(a, b);
+  }
+  if (name == "dcn") return dcnScenario(3, 2);
+  if (std::sscanf(name.c_str(), "backbone-%d", &a) == 1) {
+    return backboneScenario(a);
+  }
+  if (name == "backbone") return backboneScenario(8);
+  usage(("unknown scenario '" + name + "'").c_str());
+}
+
+sbfl::Metric metricByName(const std::string& name) {
+  if (name == "tarantula") return sbfl::Metric::kTarantula;
+  if (name == "ochiai") return sbfl::Metric::kOchiai;
+  if (name == "jaccard") return sbfl::Metric::kJaccard;
+  if (name == "dstar2") return sbfl::Metric::kDstar2;
+  if (name == "op2") return sbfl::Metric::kOp2;
+  if (name == "kulczynski2") return sbfl::Metric::kKulczynski2;
+  if (name == "random") return sbfl::Metric::kRandom;
+  usage(("unknown metric '" + name + "'").c_str());
+}
+
+int cmdExport(const Args& args) {
+  const std::string out = args.get("out");
+  if (out.empty()) usage("export requires --out DIR");
+  const Scenario scenario = scenarioByName(args.get("scenario", "figure2"));
+  SaveOptions options;
+  if (args.get("dialect", "huawei") == "cisco") {
+    options.dialect = cfg::Dialect::kCisco;
+  }
+  saveScenario(scenario, out, options);
+  std::printf("exported %s (%zu devices, %zu intents) to %s\n",
+              scenario.name.c_str(), scenario.network().configs.size(),
+              scenario.intents.size(), out.c_str());
+  return 0;
+}
+
+int cmdListFaults() {
+  std::puts("idx  lines  ratio   category  type");
+  int index = 0;
+  for (const auto& spec : inject::faultCatalog()) {
+    std::printf("%3d  %-5s  %4.1f%%   %-8s  %s\n", index++,
+                spec.multi_line ? "M" : "S", spec.ratio * 100, spec.category,
+                spec.label);
+  }
+  return 0;
+}
+
+int cmdInject(const Args& args) {
+  if (args.positional.empty()) usage("inject requires a scenario directory");
+  const std::string out = args.get("out");
+  if (out.empty()) usage("inject requires --out DIR");
+  Scenario scenario = loadScenario(args.positional);
+  const std::uint64_t seed = std::stoull(args.get("seed", "1"));
+  inject::FaultInjector injector(seed);
+  const std::string fault = args.get("fault", "random");
+  std::optional<inject::Incident> incident;
+  if (fault == "random") {
+    for (int attempt = 0; attempt < 16 && !incident; ++attempt) {
+      incident = injector.inject(scenario.built, injector.sampleType());
+    }
+  } else {
+    const std::size_t index = std::stoul(fault);
+    if (index >= inject::faultCatalog().size()) usage("fault index out of range");
+    incident =
+        injector.inject(scenario.built, inject::faultCatalog()[index].type);
+  }
+  if (!incident) {
+    std::fprintf(stderr, "fault not applicable to this scenario\n");
+    return 1;
+  }
+  Scenario broken = scenario;
+  broken.built.network = incident->network;
+  saveScenario(broken, out);
+  std::printf("injected: %s (%s, %d line(s))\nground-truth diff:\n%s",
+              incident->description.c_str(),
+              inject::faultTypeName(incident->type).c_str(),
+              incident->changed_lines,
+              [&] {
+                std::string text;
+                for (const auto& diff : incident->injected_diff) {
+                  text += diff.str();
+                }
+                return text;
+              }()
+                  .c_str());
+  return 0;
+}
+
+int cmdVerify(const Args& args) {
+  if (args.positional.empty()) usage("verify requires a scenario directory");
+  const Scenario scenario = loadScenario(args.positional);
+  route::SimOptions sim_options;
+  const route::SimResult sim = route::Simulator(scenario.network()).run();
+  std::printf("control plane: %s (%d rounds)\n",
+              sim.converged ? "converged" : "NOT CONVERGED", sim.rounds);
+  for (const auto& prefix : sim.flapping) {
+    std::printf("  route flapping: %s\n", prefix.str().c_str());
+  }
+  for (const auto& session : sim.sessions) {
+    if (!session.up) {
+      std::printf("  session DOWN %s-%s: %s\n", session.a.c_str(),
+                  session.b.c_str(), session.down_reason.c_str());
+    }
+  }
+  const verify::Verifier verifier(scenario.intents, sim_options);
+  const verify::VerifyResult result = verifier.verify(scenario.network());
+  std::printf("%d/%d tests failing\n", result.tests_failed, result.tests_run);
+  for (const auto* failure : result.failures()) {
+    std::printf("  FAIL %s -- %s\n",
+                scenario.intents[failure->test.intent_index].str().c_str(),
+                failure->reason.c_str());
+  }
+  return result.ok() ? 0 : 1;
+}
+
+int cmdTriage(const Args& args) {
+  if (args.positional.empty()) usage("triage requires a scenario directory");
+  const Scenario scenario = loadScenario(args.positional);
+  const sbfl::Metric metric = metricByName(args.get("metric", "tarantula"));
+  route::SimOptions options;
+  options.record_provenance = true;
+  const route::SimResult sim =
+      route::Simulator(scenario.network()).run(options);
+  const verify::Verifier verifier(scenario.intents, options);
+  const auto results = verifier.runTests(
+      scenario.network(), sim, verify::generateTests(scenario.intents, 1));
+  sbfl::Spectrum spectrum;
+  for (const auto& result : results) {
+    spectrum.addTest(sbfl::coverageOf(scenario.network(), sim, result),
+                     result.passed);
+  }
+  if (spectrum.totalFailed() == 0) {
+    std::puts("no failing tests; nothing to triage");
+    return 0;
+  }
+  std::printf("%d failing / %d passing tests; top suspicious lines (%s):\n",
+              spectrum.totalFailed(), spectrum.totalPassed(),
+              sbfl::metricName(metric).c_str());
+  int shown = 0;
+  for (const auto& score : spectrum.rank(metric)) {
+    if (score.failed_cover == 0 || shown++ >= 10) break;
+    const auto index =
+        scenario.network().config(score.line.device)->buildLineIndex();
+    std::printf("  %.3f  %s:%-3d  %s\n", score.suspiciousness,
+                score.line.device.c_str(), score.line.line,
+                index.at(score.line.line).text.c_str());
+  }
+  return 1;
+}
+
+int cmdRepair(const Args& args) {
+  if (args.positional.empty()) usage("repair requires a scenario directory");
+  Scenario scenario = loadScenario(args.positional);
+  repair::RepairOptions options;
+  options.metric = metricByName(args.get("metric", "tarantula"));
+  options.brute_force = args.has("brute-force");
+  options.use_crossover = args.has("crossover");
+  options.coverage_guided_tests = args.has("coverage-guided");
+  options.multipath = args.has("multipath");
+  options.seed = std::stoull(args.get("seed", "1"));
+  const repair::RepairResult result =
+      repairNetwork(scenario.network(), scenario.intents, options);
+  if (args.has("report")) {
+    std::fputs(repair::renderReport(result).c_str(), stdout);
+  } else {
+    std::printf("%s\n", result.summary().c_str());
+    for (const auto& diff : result.diff) std::printf("%s", diff.str().c_str());
+  }
+  const std::string out = args.get("out");
+  if (!out.empty() && result.success) {
+    Scenario repaired = scenario;
+    repaired.built.network = result.repaired;
+    saveScenario(repaired, out);
+    std::printf("repaired configs written to %s\n", out.c_str());
+  }
+  return result.success ? 0 : 1;
+}
+
+int cmdTolerance(const Args& args) {
+  if (args.positional.empty()) usage("tolerance requires a scenario directory");
+  const Scenario scenario = loadScenario(args.positional);
+  verify::FailureToleranceOptions options;
+  options.max_link_failures = std::stoi(args.get("k", "1"));
+  const verify::FailureToleranceReport report =
+      verify::verifyUnderFailures(scenario.network(), scenario.intents, options);
+  std::printf("%d failure scenario(s) checked%s, %zu violating\n",
+              report.scenarios_checked, report.truncated ? " (truncated)" : "",
+              report.violations.size());
+  for (const auto& violation : report.violations) {
+    std::printf("  %s\n", violation.str().c_str());
+    for (const auto& test : violation.failures) {
+      std::printf("    %s -- %s\n",
+                  scenario.intents[test.test.intent_index].str().c_str(),
+                  test.reason.c_str());
+    }
+  }
+  const auto spofs = report.singlePointsOfFailure();
+  if (!spofs.empty()) {
+    std::printf("single points of failure:\n");
+    for (const auto& link : spofs) std::printf("  %s\n", link.c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
+int cmdCampaign(const Args& args) {
+  CampaignOptions options;
+  options.incidents = std::stoi(args.get("incidents", "50"));
+  options.seed = std::stoull(args.get("seed", "42"));
+  const CampaignResult campaign = runCampaign(options);
+  std::printf("%zu incidents, %d repaired\n", campaign.records.size(),
+              campaign.repairedCount());
+  for (const auto& record : campaign.records) {
+    std::printf("  [%s] %-14s %-52s -> %s (%d iters, %.1f ms)\n",
+                record.repair.success ? "ok" : "!!",
+                record.scenario.c_str(), record.description.c_str(),
+                repair::terminationName(record.repair.termination).c_str(),
+                record.repair.iterations, record.repair.elapsed_ms);
+  }
+  return campaign.repairedCount() == static_cast<int>(campaign.records.size())
+             ? 0
+             : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const Args args = parseArgs(argc, argv, 2);
+  try {
+    if (command == "export") return cmdExport(args);
+    if (command == "inject") return cmdInject(args);
+    if (command == "verify") return cmdVerify(args);
+    if (command == "triage") return cmdTriage(args);
+    if (command == "repair") return cmdRepair(args);
+    if (command == "tolerance") return cmdTolerance(args);
+    if (command == "campaign") return cmdCampaign(args);
+    if (command == "list-faults") return cmdListFaults();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  usage(("unknown command '" + command + "'").c_str());
+}
