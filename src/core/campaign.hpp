@@ -26,7 +26,15 @@ struct CampaignOptions {
   int max_attempts_per_incident = 8;
   /// Share one fix::RepairHistory across all incidents (§3.2 obs. 1): later
   /// repairs are guided by the templates that resolved earlier ones.
+  /// Inherently order-dependent, so it forces sequential execution (`jobs`
+  /// is ignored).
   bool share_history = false;
+  /// Worker threads for the incident fan-out; 0 = hardware concurrency.
+  /// Every incident owns its scenario, verifier state and RNG streams
+  /// (split deterministically from `seed`), so the resulting records are
+  /// identical — not just statistically equivalent — at any `jobs` value;
+  /// only wall-clock changes.
+  int jobs = 0;
 };
 
 struct IncidentRecord {

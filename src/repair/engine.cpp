@@ -8,6 +8,8 @@
 #include "fixgen/change.hpp"
 #include "localize/coverage.hpp"
 #include "localize/testgen.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
 #include "verify/failures.hpp"
 
 namespace acr::repair {
@@ -59,6 +61,12 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
   RepairResult result;
   result.repaired = faulty;
 
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  util::Histogram& localize_ms = metrics.histogram("repair.localize_ms");
+  util::Histogram& fix_ms = metrics.histogram("repair.fix_ms");
+  util::Histogram& validate_ms = metrics.histogram("repair.validate_ms");
+  metrics.counter("repair.runs").add(1);
+
   route::SimOptions validate_options = options_.sim_options;
   validate_options.record_provenance = false;  // validation never needs it
   route::SimOptions localize_options = options_.sim_options;
@@ -108,6 +116,14 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - started)
             .count();
+    if (success && termination == Termination::kRepaired) {
+      metrics.counter("repair.repaired").add(1);
+    }
+    metrics.counter("repair.iterations")
+        .add(static_cast<std::uint64_t>(result.iterations));
+    metrics.counter("repair.validations").add(result.validations);
+    metrics.counter("verify.tests_reverified").add(result.tests_reverified);
+    metrics.counter("verify.tests_skipped").add(result.tests_skipped);
     return result;
   };
 
@@ -120,25 +136,45 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
   const verify::Verifier localize_verifier(intents_, localize_options,
                                            options_.multipath);
 
-  // Fitness of one candidate network (= number of failing tests), through
-  // the configured validation path.
-  const auto fitnessOf = [&](const topo::Network& updated) -> int {
-    ++result.validations;
+  // Fitness (= number of failing tests) plus the verifier work it cost.
+  // `verifier` is the incremental verifier to probe — the main one on the
+  // sequential path, a worker's own clone under the VALIDATE fan-out.
+  // probe() never touches the verifier's cache, so every evaluation is an
+  // independent pure function of the anchor state.
+  struct Score {
+    int fitness = 0;
+    std::uint64_t tests_reverified = 0;
+    std::uint64_t tests_skipped = 0;
+  };
+  const auto evaluate = [&](const topo::Network& updated,
+                            verify::IncrementalVerifier& verifier) -> Score {
+    Score score;
     if (options_.use_incremental) {
-      const auto before = main_verifier.stats();
-      const verify::VerifyResult verdict = main_verifier.probe(updated);
-      const auto after = main_verifier.stats();
-      result.tests_reverified +=
+      const auto before = verifier.stats();
+      const verify::VerifyResult verdict = verifier.probe(updated);
+      const auto after = verifier.stats();
+      score.tests_reverified =
           after.tests_reverified - before.tests_reverified;
-      result.tests_skipped += after.tests_skipped - before.tests_skipped;
-      return verdict.tests_failed + toleranceFailures(updated);
+      score.tests_skipped = after.tests_skipped - before.tests_skipped;
+      score.fitness = verdict.tests_failed + toleranceFailures(updated);
+      return score;
     }
     const verify::Verifier full(intents_, validate_options, options_.multipath);
     const verify::VerifyResult verdict =
         full.verify(updated, options_.samples_per_intent);
-    result.tests_reverified += static_cast<std::uint64_t>(verdict.tests_run);
-    return verdict.tests_failed + toleranceFailures(updated);
+    score.tests_reverified = static_cast<std::uint64_t>(verdict.tests_run);
+    score.fitness = verdict.tests_failed + toleranceFailures(updated);
+    return score;
   };
+  // Accounting wrapper for the sequential call sites (lazy scan, crossover).
+  const auto fitnessOf = [&](const topo::Network& updated) -> int {
+    ++result.validations;
+    const Score score = evaluate(updated, main_verifier);
+    result.tests_reverified += score.tests_reverified;
+    result.tests_skipped += score.tests_skipped;
+    return score.fitness;
+  };
+  const int validate_jobs = util::resolveJobs(options_.validate_jobs);
 
   for (int iteration = 1; iteration <= options_.max_iterations; ++iteration) {
     if (options_.time_budget_ms > 0.0) {
@@ -156,6 +192,7 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
     std::vector<Candidate> next_population;
     for (const Candidate& candidate : population) {
       // ---- LOCALIZE -------------------------------------------------------
+      const auto localize_started = std::chrono::steady_clock::now();
       route::SimResult sim =
           route::Simulator(candidate.network).run(localize_options);
       std::vector<verify::TestResult> test_results =
@@ -190,6 +227,10 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
       }
       const std::vector<sbfl::LineScore> ranked = spectrum.rank(
           options_.metric, options_.seed + static_cast<std::uint64_t>(iteration));
+      localize_ms.observe(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() -
+                              localize_started)
+                              .count());
 
       // Resolve line info lazily, per device.
       std::map<std::string, std::map<int, cfg::LineInfo>> line_index;
@@ -216,6 +257,7 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
       // be generated", not "this round was unlucky").
       std::set<std::string> seen_proposals;
       const auto generate = [&](bool exhaustive) {
+        const util::ScopedTimer fix_timer(fix_ms);
         std::vector<fix::ProposedChange> proposals;
         int productive_lines = 0;
         for (const auto& score : ranked) {
@@ -277,20 +319,67 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
       bool repaired = false;
       const auto validate =
           [&](const std::vector<fix::ProposedChange>& proposals) {
+            const util::ScopedTimer validate_timer(validate_ms);
+            // Materialize every applying proposal first (cheap value edits,
+            // calling thread), preserving proposal order.
+            std::vector<const fix::ProposedChange*> applied;
+            std::vector<topo::Network> updated;
+            applied.reserve(proposals.size());
+            updated.reserve(proposals.size());
             for (const auto& proposal : proposals) {
-              topo::Network updated = candidate.network;
-              if (!proposal.apply(updated)) continue;
+              topo::Network network = candidate.network;
+              if (!proposal.apply(network)) continue;
+              applied.push_back(&proposal);
+              updated.push_back(std::move(network));
+            }
+            const int n = static_cast<int>(applied.size());
+
+            // Fan-out: speculatively score all applied proposals on
+            // `validate_jobs` workers, each chunk probing its own clone of
+            // the anchor verifier. The scan below consumes scores in
+            // proposal order exactly like the sequential path, so
+            // evaluations past the round's winner are discarded wall-clock,
+            // never a behavior change — results (including every counter)
+            // are byte-identical at any `validate_jobs`.
+            std::vector<Score> scores;
+            const bool fan_out = validate_jobs > 1 && n > 1;
+            if (fan_out) {
+              scores.resize(static_cast<std::size_t>(n));
+              const int chunks = std::min(validate_jobs, n);
+              util::parallelFor(validate_jobs, chunks, [&](int chunk) {
+                verify::IncrementalVerifier local = main_verifier;
+                for (int i = chunk; i < n; i += chunks) {
+                  scores[static_cast<std::size_t>(i)] =
+                      evaluate(updated[static_cast<std::size_t>(i)], local);
+                }
+              });
+            }
+
+            for (int i = 0; i < n && !repaired; ++i) {
+              const fix::ProposedChange& proposal = *applied[i];
               ++stats.candidates_generated;
               if (options_.history != nullptr) {
                 options_.history->recordAttempt(proposal.template_name);
               }
-              const int fitness = fitnessOf(updated);
+              int fitness = 0;
+              if (fan_out) {
+                const Score& score = scores[static_cast<std::size_t>(i)];
+                ++result.validations;
+                result.tests_reverified += score.tests_reverified;
+                result.tests_skipped += score.tests_skipped;
+                fitness = score.fitness;
+              } else {
+                fitness = fitnessOf(updated[static_cast<std::size_t>(i)]);
+              }
               // The paper's fitness rule: discard updates whose fitness
               // exceeds the previous iteration's.
-              if (fitness > previous_fitness) continue;
+              if (fitness > previous_fitness) {
+                metrics.counter("repair.candidates_discarded").add(1);
+                continue;
+              }
 
               Candidate next;
-              next.network = std::move(updated);
+              next.network = std::move(updated[static_cast<std::size_t>(i)]);
               next.changes = candidate.changes;
               next.changes.push_back('[' + proposal.template_name + "] " +
                                      proposal.description);
@@ -309,7 +398,6 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
                 }
               }
               next_population.push_back(std::move(next));
-              if (repaired) return;
             }
           };
 

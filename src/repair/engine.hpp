@@ -64,6 +64,13 @@ struct RepairOptions {
   /// next iteration boundary with kTimeBudget (the best candidate so far is
   /// still returned in `repaired`).
   double time_budget_ms = 0.0;
+  /// VALIDATE fan-out: candidate updates of one round are scored on this
+  /// many workers (each chunk owns its own verifier clone). 0 = hardware
+  /// concurrency. The result is byte-identical at any setting: scores are
+  /// consumed in proposal order, and evaluations past the round's winner
+  /// are speculative work that is simply discarded. Defaults to 1 because
+  /// the campaign runner already parallelizes at incident granularity.
+  int validate_jobs = 1;
   route::SimOptions sim_options;
 };
 

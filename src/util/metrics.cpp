@@ -1,0 +1,141 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace acr::util {
+
+namespace {
+
+int bucketOf(double ms) {
+  double upper = Histogram::kFirstUpperMs;
+  for (int b = 0; b < Histogram::kBuckets - 1; ++b) {
+    if (ms <= upper) return b;
+    upper *= 2.0;
+  }
+  return Histogram::kBuckets - 1;
+}
+
+std::string fmt(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.3f", value);
+  return buffer;
+}
+
+}  // namespace
+
+void Histogram::observe(double ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (data_.count == 0 || ms < data_.min_ms) data_.min_ms = ms;
+  if (ms > data_.max_ms) data_.max_ms = ms;
+  ++data_.count;
+  data_.sum_ms += ms;
+  ++data_.buckets[static_cast<std::size_t>(bucketOf(ms))];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_ = {};
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+std::string MetricsRegistry::renderTable() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  std::size_t width = 8;
+  for (const auto& [name, counter] : counters_) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    width = std::max(width, name.size());
+  }
+  if (!counters_.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, counter] : counters_) {
+      out += "  " + name + std::string(width - name.size() + 2, ' ') +
+             std::to_string(counter->value()) + "\n";
+    }
+  }
+  if (!histograms_.empty()) {
+    out += "histograms (ms):\n";
+    out += "  " + std::string(width, ' ') +
+           "  count      mean       min       max       total\n";
+    for (const auto& [name, histogram] : histograms_) {
+      const Histogram::Snapshot snap = histogram->snapshot();
+      char row[256];
+      std::snprintf(row, sizeof row, "  %-*s  %-9llu  %-9.3f %-9.3f %-9.3f %.3f\n",
+                    static_cast<int>(width), name.c_str(),
+                    static_cast<unsigned long long>(snap.count), snap.meanMs(),
+                    snap.min_ms, snap.max_ms, snap.sum_ms);
+      out += row;
+    }
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+std::string MetricsRegistry::renderJson() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + std::to_string(counter->value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->snapshot();
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": {\"count\": " + std::to_string(snap.count) +
+           ", \"sum_ms\": " + fmt(snap.sum_ms) +
+           ", \"min_ms\": " + fmt(snap.min_ms) +
+           ", \"max_ms\": " + fmt(snap.max_ms) +
+           ", \"mean_ms\": " + fmt(snap.meanMs()) + "}";
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+ScopedTimer::ScopedTimer(Histogram& histogram)
+    : histogram_(histogram), started_(std::chrono::steady_clock::now()) {}
+
+ScopedTimer::~ScopedTimer() {
+  histogram_.observe(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - started_)
+                         .count());
+}
+
+}  // namespace acr::util

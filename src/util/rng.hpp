@@ -1,0 +1,33 @@
+// Deterministic RNG stream splitting.
+//
+// The parallel campaign runner gives every incident its own RNG stream
+// derived from the campaign seed, so the work done for incident i is a pure
+// function of (seed, i) — never of scheduling order or worker count. That
+// is the whole determinism contract: `jobs` changes wall-clock, not results.
+#pragma once
+
+#include <cstdint>
+
+namespace acr::util {
+
+/// SplitMix64 (Steele et al.): a single mixing step with full 64-bit
+/// avalanche. Used as the stream-splitting hash, not as the generator —
+/// the derived value seeds an independent std::mt19937_64.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Seed for sub-stream `stream` of the generator family rooted at `seed`.
+/// Streams with different indices are decorrelated even for adjacent seeds
+/// (plain `seed + i` would alias stream i of seed s with stream i-1 of
+/// seed s+1).
+[[nodiscard]] constexpr std::uint64_t streamSeed(std::uint64_t seed,
+                                                 std::uint64_t stream) {
+  return splitmix64(seed ^ splitmix64(stream));
+}
+
+}  // namespace acr::util

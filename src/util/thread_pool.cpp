@@ -1,0 +1,77 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace acr::util {
+
+ThreadPool::ThreadPool(int threads) {
+  const int count = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task: exceptions land in the future
+  }
+}
+
+int ThreadPool::hardwareJobs() {
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1 : static_cast<int>(reported);
+}
+
+int resolveJobs(int jobs) {
+  return jobs <= 0 ? ThreadPool::hardwareJobs() : jobs;
+}
+
+void parallelFor(int jobs, int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (jobs <= 1 || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(jobs, n));
+  parallelFor(pool, n, fn);
+}
+
+void parallelFor(ThreadPool& pool, int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([&fn, i] { fn(i); }));
+  }
+  // Wait for everything first, then rethrow the lowest-index exception so
+  // the propagated error does not depend on scheduling.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace acr::util

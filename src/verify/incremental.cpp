@@ -26,6 +26,13 @@ IncrementalVerifier::IncrementalVerifier(std::vector<Intent> intents,
   if (multipath_) sim_options_.enable_ecmp = true;
 }
 
+void IncrementalVerifier::exportStats(util::MetricsRegistry& registry) const {
+  registry.counter("verify.simulations").add(stats_.simulations);
+  registry.counter("verify.tests_total").add(stats_.tests_total);
+  registry.counter("verify.tests_reverified").add(stats_.tests_reverified);
+  registry.counter("verify.tests_skipped").add(stats_.tests_skipped);
+}
+
 VerifyResult IncrementalVerifier::toVerifyResult() const {
   VerifyResult out;
   out.results = cached_results_;

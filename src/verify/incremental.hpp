@@ -20,6 +20,7 @@
 
 #include "routing/simulator.hpp"
 #include "topo/network.hpp"
+#include "util/metrics.hpp"
 #include "verify/verifier.hpp"
 
 namespace acr::verify {
@@ -58,6 +59,11 @@ class IncrementalVerifier {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void resetStats() { stats_ = {}; }
+
+  /// Adds this verifier's counters into a metrics registry (the names are
+  /// documented in docs/architecture.md §Metrics): verify.simulations,
+  /// verify.tests_total, verify.tests_reverified, verify.tests_skipped.
+  void exportStats(util::MetricsRegistry& registry) const;
 
   [[nodiscard]] const route::SimResult* cachedSim() const {
     return cached_sim_ ? &*cached_sim_ : nullptr;

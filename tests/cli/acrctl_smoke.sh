@@ -42,4 +42,20 @@ grep -q "outcome: \*\*repaired\*\*" "$WORK/repair.out" || fail "not repaired"
 grep -q "single points of failure" "$WORK/tol.out" \
   || fail "the legacy pod should expose SPOFs"
 
+"$ACRCTL" campaign --incidents 4 --seed 7 --jobs 2 --metrics \
+  > "$WORK/campaign.out" || fail "campaign --jobs"
+grep -q "worker(s)" "$WORK/campaign.out" || fail "campaign worker banner"
+grep -q "campaign.incidents" "$WORK/campaign.out" \
+  || fail "--metrics should dump campaign counters"
+grep -q "repair.validate_ms" "$WORK/campaign.out" \
+  || fail "--metrics should dump stage histograms"
+
+"$ACRCTL" campaign --incidents 2 --seed 7 --metrics-json \
+  > "$WORK/campaign.json.out" || fail "campaign --metrics-json"
+grep -q '"counters"' "$WORK/campaign.json.out" || fail "JSON metrics dump"
+
+"$ACRCTL" repair "$WORK/broken" --jobs 2 > "$WORK/repair2.out" \
+  || fail "repair --jobs"
+grep -q "repaired" "$WORK/repair2.out" || fail "parallel repair outcome"
+
 echo "acrctl smoke: OK"

@@ -1,0 +1,73 @@
+// The VALIDATE fan-out contract: scoring a round's candidate updates on N
+// workers yields a byte-identical RepairResult to the sequential path —
+// including every counter — because scores are consumed in proposal order
+// and speculative evaluations past the winner are discarded.
+#include "repair/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+#include "faultinject/faults.hpp"
+
+namespace acr::repair {
+namespace {
+
+void expectIdentical(const RepairResult& a, const RepairResult& b) {
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.termination, b.termination);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.initial_failed, b.initial_failed);
+  EXPECT_EQ(a.final_failed, b.final_failed);
+  EXPECT_EQ(a.changes, b.changes);
+  EXPECT_EQ(a.validations, b.validations);
+  EXPECT_EQ(a.tests_reverified, b.tests_reverified);
+  EXPECT_EQ(a.tests_skipped, b.tests_skipped);
+  EXPECT_EQ(a.search_space, b.search_space);
+  ASSERT_EQ(a.diff.size(), b.diff.size());
+  for (std::size_t i = 0; i < a.diff.size(); ++i) {
+    EXPECT_EQ(a.diff[i].str(), b.diff[i].str());
+  }
+}
+
+RepairResult repairFigure2(int validate_jobs, bool use_incremental = true) {
+  const acr::Scenario scenario = acr::figure2Scenario(true);
+  RepairOptions options;
+  options.seed = 23;
+  options.validate_jobs = validate_jobs;
+  options.use_incremental = use_incremental;
+  return AcrEngine(scenario.intents, options).repair(scenario.network());
+}
+
+TEST(EngineParallel, ValidateFanOutMatchesSequential) {
+  const RepairResult sequential = repairFigure2(1);
+  const RepairResult parallel = repairFigure2(4);
+  ASSERT_TRUE(sequential.success);
+  expectIdentical(sequential, parallel);
+}
+
+TEST(EngineParallel, FanOutMatchesWithFullValidationToo) {
+  const RepairResult sequential = repairFigure2(1, /*use_incremental=*/false);
+  const RepairResult parallel = repairFigure2(4, /*use_incremental=*/false);
+  ASSERT_TRUE(sequential.success);
+  expectIdentical(sequential, parallel);
+}
+
+TEST(EngineParallel, FanOutOnInjectedDcnIncident) {
+  acr::Scenario scenario = acr::dcnScenario(2, 2);
+  inject::FaultInjector injector(13);
+  const auto incident =
+      injector.inject(scenario.built, inject::FaultType::kMissingPbrPermit);
+  ASSERT_TRUE(incident.has_value());
+  RepairOptions options;
+  options.seed = 3;
+  options.validate_jobs = 1;
+  const RepairResult sequential =
+      AcrEngine(scenario.intents, options).repair(incident->network);
+  options.validate_jobs = 8;
+  const RepairResult parallel =
+      AcrEngine(scenario.intents, options).repair(incident->network);
+  expectIdentical(sequential, parallel);
+}
+
+}  // namespace
+}  // namespace acr::repair

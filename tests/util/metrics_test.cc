@@ -1,0 +1,105 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.hpp"
+
+namespace acr::util {
+namespace {
+
+TEST(Metrics, CounterSumsConcurrentIncrements) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("test.hits");
+  parallelFor(8, 8, [&](int) {
+    for (int i = 0; i < 10000; ++i) counter.add(1);
+  });
+  EXPECT_EQ(counter.value(), 80000u);
+}
+
+TEST(Metrics, LookupIsIdempotentAndStable) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("same.name");
+  a.add(5);
+  Counter& b = registry.counter("same.name");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 5u);
+}
+
+TEST(Metrics, HistogramAggregates) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("test.ms");
+  histogram.observe(1.0);
+  histogram.observe(3.0);
+  histogram.observe(0.5);
+  const Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum_ms, 4.5);
+  EXPECT_DOUBLE_EQ(snap.min_ms, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max_ms, 3.0);
+  EXPECT_DOUBLE_EQ(snap.meanMs(), 1.5);
+  std::uint64_t bucketed = 0;
+  for (const auto count : snap.buckets) bucketed += count;
+  EXPECT_EQ(bucketed, 3u);
+}
+
+TEST(Metrics, HistogramConcurrentObserves) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("test.concurrent_ms");
+  parallelFor(8, 8, [&](int) {
+    for (int i = 0; i < 1000; ++i) histogram.observe(0.25);
+  });
+  const Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 8000u);
+  EXPECT_DOUBLE_EQ(snap.sum_ms, 2000.0);
+}
+
+TEST(Metrics, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("test.hits");
+  counter.add(7);
+  registry.histogram("test.ms").observe(2.0);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);                     // same object, zeroed
+  EXPECT_EQ(&registry.counter("test.hits"), &counter);
+  EXPECT_EQ(registry.histogram("test.ms").snapshot().count, 0u);
+}
+
+TEST(Metrics, RenderTableListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("alpha.count").add(3);
+  registry.histogram("beta.ms").observe(1.5);
+  const std::string table = registry.renderTable();
+  EXPECT_NE(table.find("alpha.count"), std::string::npos);
+  EXPECT_NE(table.find("3"), std::string::npos);
+  EXPECT_NE(table.find("beta.ms"), std::string::npos);
+}
+
+TEST(Metrics, RenderJsonIsWellFormedEnough) {
+  MetricsRegistry registry;
+  registry.counter("alpha.count").add(3);
+  registry.histogram("beta.ms").observe(1.5);
+  const std::string json = registry.renderJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha.count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"beta.ms\""), std::string::npos);
+  // Empty registries render valid skeletons too.
+  EXPECT_NE(MetricsRegistry().renderJson().find("\"counters\": {}"),
+            std::string::npos);
+}
+
+TEST(Metrics, ScopedTimerObservesOnScopeExit) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("test.scope_ms");
+  {
+    const ScopedTimer timer(histogram);
+  }
+  EXPECT_EQ(histogram.snapshot().count, 1u);
+}
+
+TEST(Metrics, GlobalRegistryIsAProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace acr::util

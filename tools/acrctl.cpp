@@ -6,7 +6,9 @@
 //   acrctl triage  DIR [--metric tarantula|ochiai|jaccard|dstar2]
 //   acrctl repair  DIR [--out DIR2] [--metric M] [--brute-force]
 //                      [--crossover] [--coverage-guided] [--seed S]
-//   acrctl campaign [--incidents N] [--seed S]
+//                      [--jobs N] [--metrics|--metrics-json]
+//   acrctl campaign [--incidents N] [--seed S] [--jobs N]
+//                   [--metrics|--metrics-json]
 //   acrctl list-faults
 //
 // Scenario names: figure2, figure2-faulty, dcn[-PxT], backbone[-N].
@@ -20,6 +22,8 @@
 #include "core/acr.hpp"
 #include "core/serialization.hpp"
 #include "repair/report.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
 #include "verify/failures.hpp"
 #include "localize/coverage.hpp"
 
@@ -37,12 +41,19 @@ using namespace acr;
       "  acrctl triage  DIR [--metric tarantula|ochiai|jaccard|dstar2]\n"
       "  acrctl repair  DIR [--out DIR2] [--metric M] [--brute-force]\n"
       "                 [--crossover] [--coverage-guided] [--multipath]\n"
-      "                 [--report] [--seed S]\n"
+      "                 [--report] [--seed S] [--jobs N]\n"
+      "                 [--metrics|--metrics-json]\n"
       "  acrctl tolerance DIR [--k N]\n"
-      "  acrctl campaign [--incidents N] [--seed S]\n"
+      "  acrctl campaign [--incidents N] [--seed S] [--jobs N]\n"
+      "                  [--metrics|--metrics-json]\n"
       "  acrctl list-faults\n"
       "\n"
-      "scenarios: figure2 | figure2-faulty | dcn-<pods>x<tors> | backbone-<n>\n",
+      "scenarios: figure2 | figure2-faulty | dcn-<pods>x<tors> | backbone-<n>\n"
+      "--jobs 0 = one worker per hardware thread; results are identical at\n"
+      "any --jobs value (parallelism changes wall-clock only).\n"
+      "--metrics / --metrics-json dump the per-stage pipeline metrics\n"
+      "(localize/fix/validate timings, verifier work, campaign counters)\n"
+      "as a text table or JSON after the command runs.\n",
       stderr);
   std::exit(2);
 }
@@ -70,7 +81,8 @@ Args parseArgs(int argc, char** argv, int start) {
       const std::string key = token.substr(2);
       const bool boolean = key == "brute-force" || key == "crossover" ||
                            key == "coverage-guided" || key == "report" ||
-                           key == "multipath";
+                           key == "multipath" || key == "metrics" ||
+                           key == "metrics-json";
       if (!boolean && i + 1 < argc) {
         args.flags[key] = argv[++i];
       } else {
@@ -83,6 +95,16 @@ Args parseArgs(int argc, char** argv, int start) {
     }
   }
   return args;
+}
+
+/// Dumps the global metrics registry when --metrics/--metrics-json was
+/// given. Call after the command's work, before returning.
+void maybeDumpMetrics(const Args& args) {
+  if (args.has("metrics-json")) {
+    std::fputs(util::MetricsRegistry::global().renderJson().c_str(), stdout);
+  } else if (args.has("metrics")) {
+    std::fputs(util::MetricsRegistry::global().renderTable().c_str(), stdout);
+  }
 }
 
 Scenario scenarioByName(const std::string& name) {
@@ -250,6 +272,9 @@ int cmdRepair(const Args& args) {
   options.coverage_guided_tests = args.has("coverage-guided");
   options.multipath = args.has("multipath");
   options.seed = std::stoull(args.get("seed", "1"));
+  // A single repair parallelizes at candidate granularity (VALIDATE
+  // fan-out); the campaign command instead parallelizes across incidents.
+  options.validate_jobs = std::stoi(args.get("jobs", "1"));
   const repair::RepairResult result =
       repairNetwork(scenario.network(), scenario.intents, options);
   if (args.has("report")) {
@@ -265,6 +290,7 @@ int cmdRepair(const Args& args) {
     saveScenario(repaired, out);
     std::printf("repaired configs written to %s\n", out.c_str());
   }
+  maybeDumpMetrics(args);
   return result.success ? 0 : 1;
 }
 
@@ -298,9 +324,11 @@ int cmdCampaign(const Args& args) {
   CampaignOptions options;
   options.incidents = std::stoi(args.get("incidents", "50"));
   options.seed = std::stoull(args.get("seed", "42"));
+  options.jobs = std::stoi(args.get("jobs", "0"));  // 0 = hardware threads
   const CampaignResult campaign = runCampaign(options);
-  std::printf("%zu incidents, %d repaired\n", campaign.records.size(),
-              campaign.repairedCount());
+  std::printf("%zu incidents, %d repaired (%d worker(s))\n",
+              campaign.records.size(), campaign.repairedCount(),
+              util::resolveJobs(options.jobs));
   for (const auto& record : campaign.records) {
     std::printf("  [%s] %-14s %-52s -> %s (%d iters, %.1f ms)\n",
                 record.repair.success ? "ok" : "!!",
@@ -308,6 +336,7 @@ int cmdCampaign(const Args& args) {
                 repair::terminationName(record.repair.termination).c_str(),
                 record.repair.iterations, record.repair.elapsed_ms);
   }
+  maybeDumpMetrics(args);
   return campaign.repairedCount() == static_cast<int>(campaign.records.size())
              ? 0
              : 1;
