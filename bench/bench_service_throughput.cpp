@@ -1,0 +1,183 @@
+// Throughput/latency of the repair service under concurrent load.
+//
+// Drives an in-process RepairService through its TCP front end with 1, 4
+// and 16 blocking clients, with and without the snapshot cache, measuring
+// requests/s and per-request p50/p99. Each request is a `submit` with
+// "wait":true of the figure2-faulty verify (the cache's best case: a hit
+// skips parse + simulate + verify entirely) — so the with/without-cache
+// delta is exactly the snapshot cache's value.
+//
+//   bench_service_throughput [--requests N] [--json]
+//
+// --json appends a machine-readable dump after the tables (one object per
+// configuration) for plotting / regression tracking.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/util.hpp"
+#include "core/acr.hpp"
+#include "core/serialization.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+using namespace acr;
+
+struct RunResult {
+  int clients = 0;
+  bool cache = false;
+  int requests = 0;
+  double elapsed_s = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double hit_rate = 0;
+
+  [[nodiscard]] double throughput() const {
+    return elapsed_s > 0 ? requests / elapsed_s : 0;
+  }
+};
+
+double percentile(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[rank];
+}
+
+RunResult runOnce(const std::string& scenario_dir, int clients, bool cache,
+                  int requests) {
+  util::MetricsRegistry metrics;
+  service::ServiceOptions options;
+  options.scheduler.queue_limit = 4 * requests;  // measure latency, not rejects
+  options.cache_enabled = cache;
+  options.metrics = &metrics;
+  service::RepairService repair_service(options);
+  service::TcpServer server(repair_service, {});
+  std::thread serve_thread([&] { server.serve(); });
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::atomic<int> remaining{requests};
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        service::Client client("127.0.0.1", server.port());
+        service::Json request;
+        request.set("op", "submit");
+        request.set("dir", scenario_dir);
+        request.set("command", "verify");
+        request.set("wait", true);
+        while (remaining.fetch_sub(1) > 0) {
+          const auto before = std::chrono::steady_clock::now();
+          const service::Json response = client.call(request);
+          const auto after = std::chrono::steady_clock::now();
+          const service::Json* ok = response.find("ok");
+          if (ok == nullptr || !ok->asBool()) {
+            std::fprintf(stderr, "request failed: %s\n",
+                         response.str().c_str());
+            std::exit(1);
+          }
+          latencies[static_cast<std::size_t>(c)].push_back(
+              std::chrono::duration<double, std::milli>(after - before)
+                  .count());
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  server.stop();
+  serve_thread.join();
+  repair_service.drain();
+
+  RunResult result;
+  result.clients = clients;
+  result.cache = cache;
+  result.elapsed_s = std::chrono::duration<double>(end - start).count();
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  result.requests = static_cast<int>(all.size());
+  std::sort(all.begin(), all.end());
+  result.p50_ms = percentile(all, 0.50);
+  result.p99_ms = percentile(all, 0.99);
+  result.hit_rate = repair_service.cache().stats().hitRate();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int requests = 200;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_service_throughput [--requests N] [--json]\n");
+      return 2;
+    }
+  }
+
+  const std::filesystem::path scratch =
+      std::filesystem::temp_directory_path() /
+      ("acr_bench_service_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(scratch);
+  saveScenario(figure2Scenario(true), scratch.string());
+
+  bench::section("service throughput: remote verify of figure2-faulty, " +
+                 std::to_string(requests) + " requests per configuration");
+  bench::Table table({"clients", "cache", "req/s", "p50 ms", "p99 ms",
+                      "cache hit rate"});
+  table.printHeader();
+  std::vector<RunResult> results;
+  for (const bool cache : {false, true}) {
+    for (const int clients : {1, 4, 16}) {
+      const RunResult result =
+          runOnce(scratch.string(), clients, cache, requests);
+      results.push_back(result);
+      table.printRow({std::to_string(result.clients),
+                      result.cache ? "on" : "off",
+                      bench::fmt(result.throughput(), 0),
+                      bench::fmt(result.p50_ms, 3),
+                      bench::fmt(result.p99_ms, 3),
+                      result.cache ? bench::pct(result.hit_rate) : "-"});
+    }
+  }
+  table.printRule();
+
+  if (json) {
+    std::puts("");
+    std::puts("[");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const RunResult& r = results[i];
+      std::printf("  {\"clients\": %d, \"cache\": %s, \"requests\": %d, "
+                  "\"throughput_rps\": %.1f, \"p50_ms\": %.3f, "
+                  "\"p99_ms\": %.3f, \"cache_hit_rate\": %.3f}%s\n",
+                  r.clients, r.cache ? "true" : "false", r.requests,
+                  r.throughput(), r.p50_ms, r.p99_ms, r.hit_rate,
+                  i + 1 < results.size() ? "," : "");
+    }
+    std::puts("]");
+  }
+
+  std::filesystem::remove_all(scratch);
+  return 0;
+}

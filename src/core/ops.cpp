@@ -1,0 +1,85 @@
+#include "core/ops.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "core/campaign.hpp"
+#include "repair/report.hpp"
+
+namespace acr::ops {
+
+namespace {
+
+void appendf(std::string& out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* format, ...) {
+  char buffer[1024];
+  va_list args;
+  va_start(args, format);
+  const int written = std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (written > 0) out.append(buffer, std::min<std::size_t>(
+                                  static_cast<std::size_t>(written),
+                                  sizeof(buffer) - 1));
+}
+
+}  // namespace
+
+bool verifyOk(const route::SimResult& sim,
+              const verify::VerifyResult& result) {
+  return result.ok() && sim.converged;
+}
+
+std::string renderVerifyText(const Scenario& scenario,
+                             const route::SimResult& sim,
+                             const verify::VerifyResult& result) {
+  std::string out;
+  appendf(out, "control plane: %s (%d rounds)\n",
+          sim.converged ? "converged" : "NOT CONVERGED", sim.rounds);
+  for (const auto& prefix : sim.flapping) {
+    appendf(out, "  route flapping: %s\n", prefix.str().c_str());
+  }
+  for (const auto& session : sim.sessions) {
+    if (!session.up) {
+      appendf(out, "  session DOWN %s-%s: %s\n", session.a.c_str(),
+              session.b.c_str(), session.down_reason.c_str());
+    }
+  }
+  appendf(out, "%d/%d tests failing\n", result.tests_failed,
+          result.tests_run);
+  for (const auto* failure : result.failures()) {
+    appendf(out, "  FAIL %s -- %s\n",
+            scenario.intents[failure->test.intent_index].str().c_str(),
+            failure->reason.c_str());
+  }
+  return out;
+}
+
+VerifyOutcome verifyScenario(const Scenario& scenario) {
+  VerifyOutcome outcome;
+  outcome.sim = route::Simulator(scenario.network()).run();
+  const verify::Verifier verifier(scenario.intents, route::SimOptions{});
+  outcome.result = verifier.verify(scenario.network());
+  outcome.text = renderVerifyText(scenario, outcome.sim, outcome.result);
+  outcome.ok = verifyOk(outcome.sim, outcome.result);
+  return outcome;
+}
+
+RepairOutcome repairScenario(const Scenario& scenario,
+                             const repair::RepairOptions& options,
+                             bool report) {
+  RepairOutcome outcome;
+  outcome.result =
+      repairNetwork(scenario.network(), scenario.intents, options);
+  if (report) {
+    outcome.text = repair::renderReport(outcome.result);
+  } else {
+    outcome.text = outcome.result.summary() + '\n';
+    for (const auto& diff : outcome.result.diff) outcome.text += diff.str();
+  }
+  return outcome;
+}
+
+}  // namespace acr::ops

@@ -1,7 +1,10 @@
 #include "core/serialization.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -175,19 +178,101 @@ void saveScenario(const Scenario& scenario, const std::string& directory,
   }
 }
 
-Scenario loadScenario(const std::string& directory) {
+namespace {
+
+/// FNV-1a 64-bit, folding in the filename so that swapping two routers'
+/// configs changes the fingerprint even when the byte multiset does not.
+void hashChunk(std::uint64_t& hash, const std::string& label,
+               const std::string& bytes) {
+  const auto mix = [&hash](const char* data, std::size_t size) {
+    for (std::size_t i = 0; i < size; ++i) {
+      hash ^= static_cast<unsigned char>(data[i]);
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  mix(label.data(), label.size());
+  mix("\0", 1);
+  mix(bytes.data(), bytes.size());
+  mix("\0", 1);
+}
+
+/// Reads every scenario file (regular *.acr / *.cfg) in sorted filename
+/// order, handing (filename, bytes) to `consume`. The shared walk behind
+/// fingerprintScenarioDir and LoadScenario — one definition of "scenario
+/// content" so the fingerprint can never drift from what gets parsed.
+void forEachScenarioFile(
+    const std::string& directory,
+    const std::function<void(const std::string&, const std::string&)>&
+        consume) {
   const std::filesystem::path dir(directory);
-  Scenario scenario;
-  scenario.name = dir.filename().string();
-  parseTopologyText(readFile(dir / "topology.acr"),
+  if (!std::filesystem::is_directory(dir)) {
+    throw std::runtime_error("not a scenario directory: " + directory);
+  }
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string extension = entry.path().extension().string();
+    if (extension == ".acr" || extension == ".cfg") {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  for (const auto& name : names) {
+    consume(name, readFile(dir / name));
+  }
+}
+
+constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
+}  // namespace
+
+ScenarioFingerprint fingerprintScenarioDir(const std::string& directory) {
+  ScenarioFingerprint fingerprint;
+  fingerprint.hash = kFnvOffsetBasis;
+  forEachScenarioFile(directory, [&fingerprint](const std::string& name,
+                                                const std::string& bytes) {
+    hashChunk(fingerprint.hash, name, bytes);
+    fingerprint.bytes += bytes.size();
+  });
+  return fingerprint;
+}
+
+LoadedScenario LoadScenario(const std::string& directory) {
+  LoadedScenario loaded;
+  loaded.content_hash = kFnvOffsetBasis;
+  Scenario& scenario = loaded.scenario;
+  scenario.name = std::filesystem::path(directory).filename().string();
+
+  std::map<std::string, std::string> files;
+  forEachScenarioFile(directory, [&](const std::string& name,
+                                     const std::string& bytes) {
+    hashChunk(loaded.content_hash, name, bytes);
+    loaded.content_bytes += bytes.size();
+    files.emplace(name, bytes);
+  });
+
+  const auto required = [&files, &directory](
+                            const std::string& name) -> const std::string& {
+    const auto it = files.find(name);
+    if (it == files.end()) {
+      throw std::runtime_error("cannot read " + directory + "/" + name);
+    }
+    return it->second;
+  };
+
+  parseTopologyText(required("topology.acr"),
                     scenario.built.network.topology, scenario.built.subnets);
-  scenario.intents = parseIntentsText(readFile(dir / "intents.acr"));
+  scenario.intents = parseIntentsText(required("intents.acr"));
   for (const auto& router : scenario.built.network.topology.routers()) {
-    const std::string text = readFile(dir / (router.name + ".cfg"));
+    const std::string& text = required(router.name + ".cfg");
     scenario.built.network.configs[router.name] =
         cfg::parseAs(text, cfg::detectDialect(text));
   }
-  return scenario;
+  return loaded;
+}
+
+Scenario loadScenario(const std::string& directory) {
+  return LoadScenario(directory).scenario;
 }
 
 }  // namespace acr

@@ -17,6 +17,7 @@
 //   reachability|isolation|loop-free|blackhole-free <name> <src/len> <dst/len>
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,35 @@ void saveScenario(const Scenario& scenario, const std::string& directory,
 /// file. Throws std::runtime_error (I/O, malformed topology/intents) or
 /// cfg::ParseError (malformed configs).
 [[nodiscard]] Scenario loadScenario(const std::string& directory);
+
+/// Content fingerprint of a scenario directory: FNV-1a over the (filename,
+/// bytes) of every regular `*.acr` / `*.cfg` file, in sorted filename
+/// order. A pure function of the scenario bytes — two directories with
+/// identical contents hash identically regardless of path or mtime, and a
+/// one-byte config edit changes the hash. This is the key of the service's
+/// snapshot cache; computing it needs no parsing, so a cache probe costs
+/// one directory read.
+struct ScenarioFingerprint {
+  std::uint64_t hash = 0;
+  std::uint64_t bytes = 0;  // total bytes hashed
+};
+
+[[nodiscard]] ScenarioFingerprint fingerprintScenarioDir(
+    const std::string& directory);
+
+/// A loaded scenario together with its content fingerprint.
+struct LoadedScenario {
+  Scenario scenario;
+  std::uint64_t content_hash = 0;
+  std::uint64_t content_bytes = 0;  // total bytes hashed
+};
+
+/// The one scenario-directory load path, shared by every `acrctl`
+/// subcommand and the repair service: loads each file exactly once,
+/// fingerprinting the bytes as they stream through the parsers. Same
+/// failure modes as loadScenario(), plus a clearer error when `directory`
+/// is missing or not a directory.
+[[nodiscard]] LoadedScenario LoadScenario(const std::string& directory);
 
 /// Serialization helpers (used by the loaders and tested directly).
 [[nodiscard]] std::string topologyToText(const topo::Topology& topology,

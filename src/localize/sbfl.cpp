@@ -26,6 +26,16 @@ std::string metricName(Metric metric) {
   return "?";
 }
 
+std::optional<Metric> metricByName(const std::string& name) {
+  for (const Metric metric :
+       {Metric::kTarantula, Metric::kOchiai, Metric::kJaccard,
+        Metric::kDstar2, Metric::kOp2, Metric::kKulczynski2,
+        Metric::kRandom}) {
+    if (metricName(metric) == name) return metric;
+  }
+  return std::nullopt;
+}
+
 const std::vector<Metric>& allMetrics() {
   static const std::vector<Metric> kMetrics = {
       Metric::kTarantula, Metric::kOchiai,       Metric::kJaccard,

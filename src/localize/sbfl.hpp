@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -27,6 +28,10 @@ enum class Metric : std::uint8_t {
 };
 
 [[nodiscard]] std::string metricName(Metric metric);
+
+/// Inverse of metricName (includes "random"); nullopt for unknown names.
+/// The one metric-flag parser, shared by `acrctl` and the repair service.
+[[nodiscard]] std::optional<Metric> metricByName(const std::string& name);
 
 /// All metrics (excluding kRandom) in declaration order, for sweeps.
 [[nodiscard]] const std::vector<Metric>& allMetrics();

@@ -26,6 +26,8 @@ std::string terminationName(Termination termination) {
       return "iteration-limit";
     case Termination::kTimeBudget:
       return "time-budget-exceeded";
+    case Termination::kCancelled:
+      return "cancelled";
   }
   return "?";
 }
@@ -177,6 +179,10 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
   const int validate_jobs = util::resolveJobs(options_.validate_jobs);
 
   for (int iteration = 1; iteration <= options_.max_iterations; ++iteration) {
+    if (options_.cancel != nullptr &&
+        options_.cancel->load(std::memory_order_relaxed)) {
+      return finish(Termination::kCancelled, false);
+    }
     if (options_.time_budget_ms > 0.0) {
       const double elapsed = std::chrono::duration<double, std::milli>(
                                  std::chrono::steady_clock::now() - started)

@@ -15,6 +15,7 @@
 // be generated (S = ∅); or the iteration limit (500) is reached.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -64,6 +65,12 @@ struct RepairOptions {
   /// next iteration boundary with kTimeBudget (the best candidate so far is
   /// still returned in `repaired`).
   double time_budget_ms = 0.0;
+  /// Cooperative cancellation: when non-null and the pointee becomes true,
+  /// the loop stops at the next iteration boundary with kCancelled (the
+  /// best candidate so far is still returned in `repaired`). The service's
+  /// job scheduler points this at the job's cancel flag so a remote
+  /// `cancel` reaches into a running repair.
+  const std::atomic<bool>* cancel = nullptr;
   /// VALIDATE fan-out: candidate updates of one round are scored on this
   /// many workers (each chunk owns its own verifier clone). 0 = hardware
   /// concurrency. The result is byte-identical at any setting: scores are
@@ -80,6 +87,7 @@ enum class Termination : std::uint8_t {
   kExhausted,       // S = ∅: no candidate updates survived
   kIterationLimit,  // more than max_iterations iterations
   kTimeBudget,      // RepairOptions::time_budget_ms exceeded
+  kCancelled,       // RepairOptions::cancel was raised mid-run
 };
 
 [[nodiscard]] std::string terminationName(Termination termination);

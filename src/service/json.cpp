@@ -1,0 +1,340 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace acr::service {
+
+namespace {
+
+const std::string kEmptyString;
+const Json::Object kEmptyObject;
+const Json::Array kEmptyArray;
+
+void appendUtf8(std::string& out, std::uint32_t codepoint) {
+  if (codepoint < 0x80) {
+    out += static_cast<char>(codepoint);
+  } else if (codepoint < 0x800) {
+    out += static_cast<char>(0xC0 | (codepoint >> 6));
+    out += static_cast<char>(0x80 | (codepoint & 0x3F));
+  } else if (codepoint < 0x10000) {
+    out += static_cast<char>(0xE0 | (codepoint >> 12));
+    out += static_cast<char>(0x80 | ((codepoint >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (codepoint & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (codepoint >> 18));
+    out += static_cast<char>(0x80 | ((codepoint >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((codepoint >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (codepoint & 0x3F));
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<Json> parseDocument() {
+    std::optional<Json> value = parseValue();
+    if (!value) return std::nullopt;
+    skipSpace();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    skipSpace();
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t size = std::strlen(word);
+    if (text_.compare(pos_, size, word) != 0) return false;
+    pos_ += size;
+    return true;
+  }
+
+  std::optional<Json> parseValue() {
+    skipSpace();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char head = text_[pos_];
+    if (head == '{') return parseObject();
+    if (head == '[') return parseArray();
+    if (head == '"') {
+      std::optional<std::string> string = parseString();
+      if (!string) return std::nullopt;
+      return Json(std::move(*string));
+    }
+    if (head == 't') return literal("true") ? std::optional<Json>(Json(true))
+                                            : std::nullopt;
+    if (head == 'f') return literal("false") ? std::optional<Json>(Json(false))
+                                             : std::nullopt;
+    if (head == 'n') return literal("null") ? std::optional<Json>(Json())
+                                            : std::nullopt;
+    return parseNumber();
+  }
+
+  std::optional<Json> parseObject() {
+    ++pos_;  // '{'
+    Json::Object object;
+    skipSpace();
+    if (consume('}')) return Json(std::move(object));
+    for (;;) {
+      skipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
+      std::optional<std::string> key = parseString();
+      if (!key) return std::nullopt;
+      if (!consume(':')) return std::nullopt;
+      std::optional<Json> value = parseValue();
+      if (!value) return std::nullopt;
+      object[std::move(*key)] = std::move(*value);
+      if (consume(',')) continue;
+      if (consume('}')) return Json(std::move(object));
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parseArray() {
+    ++pos_;  // '['
+    Json::Array array;
+    skipSpace();
+    if (consume(']')) return Json(std::move(array));
+    for (;;) {
+      std::optional<Json> value = parseValue();
+      if (!value) return std::nullopt;
+      array.push_back(std::move(*value));
+      if (consume(',')) continue;
+      if (consume(']')) return Json(std::move(array));
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> parseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::optional<std::uint32_t> unit = parseHex4();
+          if (!unit) return std::nullopt;
+          std::uint32_t codepoint = *unit;
+          if (codepoint >= 0xD800 && codepoint <= 0xDBFF) {
+            // Surrogate pair: expect \uDC00-\uDFFF next.
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              const std::optional<std::uint32_t> low = parseHex4();
+              if (!low || *low < 0xDC00 || *low > 0xDFFF) return std::nullopt;
+              codepoint = 0x10000 + ((codepoint - 0xD800) << 10) +
+                          (*low - 0xDC00);
+            } else {
+              return std::nullopt;
+            }
+          }
+          appendUtf8(out, codepoint);
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<std::uint32_t> parseHex4() {
+    if (pos_ + 4 > text_.size()) return std::nullopt;
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return std::nullopt;
+      }
+    }
+    return value;
+  }
+
+  std::optional<Json> parseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      return Json::numberFromToken(std::stod(token), token);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json::Json(double value) : kind_(Kind::kNumber), number_(value) {
+  char buffer[64];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  }
+  number_text_ = buffer;
+}
+
+std::int64_t Json::asInt(std::int64_t fallback) const {
+  if (kind_ != Kind::kNumber) return fallback;
+  try {
+    return std::stoll(number_text_);
+  } catch (const std::exception&) {
+    return static_cast<std::int64_t>(number_);
+  }
+}
+
+std::uint64_t Json::asUint(std::uint64_t fallback) const {
+  if (kind_ != Kind::kNumber) return fallback;
+  try {
+    return std::stoull(number_text_);
+  } catch (const std::exception&) {
+    return number_ > 0 ? static_cast<std::uint64_t>(number_) : fallback;
+  }
+}
+
+const std::string& Json::asString() const {
+  return kind_ == Kind::kString ? string_ : kEmptyString;
+}
+
+const Json::Object& Json::asObject() const {
+  return kind_ == Kind::kObject ? object_ : kEmptyObject;
+}
+
+const Json::Array& Json::asArray() const {
+  return kind_ == Kind::kArray ? array_ : kEmptyArray;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+void Json::set(const std::string& key, Json value) {
+  if (kind_ != Kind::kObject) {
+    kind_ = Kind::kObject;
+    object_.clear();
+  }
+  object_[key] = std::move(value);
+}
+
+std::string Json::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Json::str() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kNumber:
+      return number_text_;
+    case Kind::kString:
+      return '"' + escape(string_) + '"';
+    case Kind::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += ',';
+        first = false;
+        out += '"' + escape(key) + "\":" + value.str();
+      }
+      return out + '}';
+    }
+    case Kind::kArray: {
+      std::string out = "[";
+      bool first = true;
+      for (const auto& value : array_) {
+        if (!first) out += ',';
+        first = false;
+        out += value.str();
+      }
+      return out + ']';
+    }
+  }
+  return "null";
+}
+
+std::optional<Json> Json::parse(const std::string& text) {
+  return Parser(text).parseDocument();
+}
+
+Json Json::numberFromToken(double value, std::string spelling) {
+  Json number(value);
+  number.number_text_ = std::move(spelling);
+  return number;
+}
+
+}  // namespace acr::service

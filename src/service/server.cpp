@@ -1,0 +1,348 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/ops.hpp"
+#include "localize/sbfl.hpp"
+
+namespace acr::service {
+
+namespace {
+
+Json errorResponse(const std::string& message) {
+  Json response;
+  response.set("ok", false);
+  response.set("error", message);
+  return response;
+}
+
+SchedulerOptions withMetrics(SchedulerOptions options,
+                             util::MetricsRegistry* metrics) {
+  if (options.metrics == nullptr) options.metrics = metrics;
+  return options;
+}
+
+SnapshotCache::Options withMetrics(SnapshotCache::Options options,
+                                   util::MetricsRegistry* metrics) {
+  if (options.metrics == nullptr) options.metrics = metrics;
+  return options;
+}
+
+}  // namespace
+
+RepairService::RepairService(const ServiceOptions& options)
+    : options_(options),
+      metrics_(options.metrics != nullptr ? *options.metrics
+                                          : util::MetricsRegistry::global()),
+      cache_(withMetrics(options.cache, &metrics_)),
+      scheduler_(withMetrics(options.scheduler, &metrics_)) {}
+
+Json RepairService::handle(const Json& request) {
+  metrics_.counter("service.requests").add(1);
+  const util::ScopedTimer timer(metrics_.histogram("service.request_ms"));
+  if (!request.isObject()) return errorResponse("request must be an object");
+  const Json* op = request.find("op");
+  if (op == nullptr) return errorResponse("missing \"op\"");
+  const std::string& verb = op->asString();
+  try {
+    if (verb == "submit") return handleSubmit(request);
+    if (verb == "status") return handleStatus(request);
+    if (verb == "result") return handleResult(request);
+    if (verb == "cancel") return handleCancel(request);
+    if (verb == "stats") return handleStats();
+    if (verb == "shutdown") {
+      shutdown_.store(true, std::memory_order_relaxed);
+      Json response;
+      response.set("ok", true);
+      response.set("draining", true);
+      return response;
+    }
+  } catch (const std::exception& error) {
+    return errorResponse(error.what());
+  }
+  return errorResponse("unknown op \"" + verb + "\"");
+}
+
+std::string RepairService::handleLine(const std::string& line) {
+  const std::optional<Json> request = Json::parse(line);
+  if (!request) return errorResponse("malformed JSON").str();
+  return handle(*request).str();
+}
+
+Json RepairService::handleSubmit(const Json& request) {
+  const Json* dir_field = request.find("dir");
+  if (dir_field == nullptr || dir_field->asString().empty()) {
+    return errorResponse("submit requires \"dir\"");
+  }
+  const std::string dir = dir_field->asString();
+
+  std::string command = "repair";
+  if (const Json* field = request.find("command")) command = field->asString();
+  if (command != "repair" && command != "verify") {
+    return errorResponse("unknown command \"" + command +
+                         "\" (repair | verify)");
+  }
+
+  repair::RepairOptions repair_options;  // CLI defaults: seed 1, tarantula
+  if (const Json* field = request.find("seed")) {
+    repair_options.seed = field->asUint(1);
+  }
+  if (const Json* field = request.find("jobs")) {
+    repair_options.validate_jobs = static_cast<int>(field->asInt(1));
+  }
+  if (const Json* field = request.find("metric")) {
+    const std::optional<sbfl::Metric> metric =
+        sbfl::metricByName(field->asString());
+    if (!metric) {
+      return errorResponse("unknown metric \"" + field->asString() + "\"");
+    }
+    repair_options.metric = *metric;
+  }
+  const bool report = request.find("report") != nullptr &&
+                      request.find("report")->asBool();
+  int priority = 0;
+  if (const Json* field = request.find("priority")) {
+    priority = static_cast<int>(field->asInt(0));
+  }
+
+  const bool cache_enabled = options_.cache_enabled;
+  SnapshotCache* cache = &cache_;
+  const JobScheduler::Submitted submitted = scheduler_.submit(
+      priority,
+      [dir, command, repair_options, report, cache_enabled,
+       cache](const std::atomic<bool>& cancelled) -> JobResult {
+        try {
+          if (command == "verify") {
+            const std::shared_ptr<const Snapshot> snapshot =
+                cache_enabled ? cache->fetch(dir) : makeSnapshot(dir);
+            return JobResult{snapshot->verify_ok ? 0 : 1,
+                             snapshot->verify_text};
+          }
+          repair::RepairOptions options = repair_options;
+          options.cancel = &cancelled;
+          // Cache hit: reuse the parsed scenario (the engine re-anchors its
+          // own incremental verifier from it — same inputs, same bytes as
+          // the offline run). Cache off: plain load, no priming.
+          ops::RepairOutcome outcome =
+              cache_enabled
+                  ? ops::repairScenario(cache->fetch(dir)->loaded.scenario,
+                                        options, report)
+                  : ops::repairScenario(LoadScenario(dir).scenario, options,
+                                        report);
+          return JobResult{outcome.result.success ? 0 : 1,
+                           std::move(outcome.text)};
+        } catch (const std::exception& error) {
+          return JobResult{1, std::string("error: ") + error.what() + '\n'};
+        }
+      });
+
+  if (!submitted.accepted) {
+    Json response = errorResponse(submitted.reject_reason);
+    response.set("retry_after_ms", submitted.retry_after_ms);
+    return response;
+  }
+
+  if (request.find("wait") != nullptr && request.find("wait")->asBool()) {
+    Json waited = request;
+    waited.set("id", submitted.id);
+    waited.set("wait", true);
+    return handleResult(waited);
+  }
+
+  Json response;
+  response.set("ok", true);
+  response.set("id", submitted.id);
+  response.set("status", jobStatusName(JobStatus::kQueued));
+  return response;
+}
+
+Json RepairService::handleStatus(const Json& request) {
+  const Json* id_field = request.find("id");
+  if (id_field == nullptr) return errorResponse("status requires \"id\"");
+  const std::uint64_t id = id_field->asUint();
+  const std::optional<JobStatus> status = scheduler_.status(id);
+  if (!status) return errorResponse("unknown job id");
+  Json response;
+  response.set("ok", true);
+  response.set("id", id);
+  response.set("status", jobStatusName(*status));
+  return response;
+}
+
+Json RepairService::handleResult(const Json& request) {
+  const Json* id_field = request.find("id");
+  if (id_field == nullptr) return errorResponse("result requires \"id\"");
+  const std::uint64_t id = id_field->asUint();
+  const bool wait =
+      request.find("wait") != nullptr && request.find("wait")->asBool();
+  if (!scheduler_.status(id)) return errorResponse("unknown job id");
+  const std::optional<JobResult> result = scheduler_.result(id, wait);
+  if (!result) {
+    Json response = errorResponse("not finished");
+    response.set("id", id);
+    response.set("status", jobStatusName(*scheduler_.status(id)));
+    return response;
+  }
+  Json response;
+  response.set("ok", true);
+  response.set("id", id);
+  response.set("status", jobStatusName(*scheduler_.status(id)));
+  response.set("exit", result->exit_code);
+  response.set("output", result->output);
+  return response;
+}
+
+Json RepairService::handleCancel(const Json& request) {
+  const Json* id_field = request.find("id");
+  if (id_field == nullptr) return errorResponse("cancel requires \"id\"");
+  const std::uint64_t id = id_field->asUint();
+  if (!scheduler_.status(id)) return errorResponse("unknown job id");
+  if (!scheduler_.cancel(id)) return errorResponse("already finished");
+  Json response;
+  response.set("ok", true);
+  response.set("id", id);
+  return response;
+}
+
+Json RepairService::handleStats() {
+  Json response;
+  response.set("ok", true);
+  response.set("queue_depth", scheduler_.queueDepth());
+  response.set("running", scheduler_.runningCount());
+  response.set("workers", scheduler_.workerCount());
+  const SnapshotCache::Stats cache = cache_.stats();
+  Json cache_json;
+  cache_json.set("enabled", options_.cache_enabled);
+  cache_json.set("entries", cache.entries);
+  cache_json.set("bytes", cache.bytes);
+  cache_json.set("hits", cache.hits);
+  cache_json.set("misses", cache.misses);
+  cache_json.set("evictions", cache.evictions);
+  cache_json.set("hit_rate", cache.hitRate());
+  response.set("cache", std::move(cache_json));
+  // The registry renders its own JSON; re-parse so the dump nests as a
+  // value instead of a quoted string.
+  if (std::optional<Json> metrics = Json::parse(metrics_.renderJson())) {
+    response.set("metrics", std::move(*metrics));
+  }
+  return response;
+}
+
+void RepairService::drain() { scheduler_.drain(); }
+
+// ---------------------------------------------------------------------------
+// TCP front end
+// ---------------------------------------------------------------------------
+
+TcpServer::TcpServer(RepairService& service, const TcpServerOptions& options)
+    : service_(service), options_(options) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.host.c_str(), &address.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("bad listen address " + options.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("cannot listen on " + options.host + ":" +
+                             std::to_string(options.port) + ": " + reason);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_size);
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+}
+
+TcpServer::~TcpServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  const std::lock_guard<std::mutex> lock(threads_mutex_);
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void TcpServer::stop() { stopping_.store(true, std::memory_order_relaxed); }
+
+void TcpServer::serve() {
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         !service_.shutdownRequested() &&
+         (options_.stop == nullptr ||
+          !options_.stop->load(std::memory_order_relaxed))) {
+    pollfd poller{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&poller, 1, /*timeout_ms=*/200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // a signal: re-check the stop flags
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads_.emplace_back([this, fd] { handleConnection(fd); });
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(threads_mutex_);
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+}
+
+void TcpServer::handleConnection(int fd) {
+  // Receive timeout so the thread notices stop() even on an idle
+  // connection; in-flight requests always get their response first.
+  timeval timeout{0, 200 * 1000};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t received = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (received == 0) break;  // client closed
+    if (received < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        if (stopping_.load(std::memory_order_relaxed)) break;
+        continue;
+      }
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(received));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.empty()) continue;
+      const std::string response = service_.handleLine(line) + '\n';
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t wrote =
+            ::send(fd, response.data() + sent, response.size() - sent,
+                   MSG_NOSIGNAL);
+        if (wrote <= 0) break;
+        sent += static_cast<std::size_t>(wrote);
+      }
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace acr::service

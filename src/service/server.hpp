@@ -1,0 +1,115 @@
+// The repair service: request dispatch (embeddable) and the acrd TCP
+// front end.
+//
+// RepairService is the daemon's brain with no I/O of its own — it maps one
+// decoded wire-protocol request (docs/service.md) to one response, backed
+// by the JobScheduler and the SnapshotCache. Embedders (tests, benches,
+// other binaries) drive it directly; acrd wraps it in a TcpServer.
+//
+// TcpServer speaks the newline-delimited JSON protocol over a local TCP
+// socket: one request line in, one response line out, any number of
+// exchanges per connection, one thread per connection (a `submit` with
+// "wait":true parks its connection thread in the scheduler, which is
+// exactly what a blocking client wants).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/json.hpp"
+#include "service/scheduler.hpp"
+#include "service/snapshot_cache.hpp"
+
+namespace acr::service {
+
+struct ServiceOptions {
+  SchedulerOptions scheduler;
+  SnapshotCache::Options cache;
+  bool cache_enabled = true;
+  /// Registry for service.requests / service.request_ms; nullptr = global.
+  util::MetricsRegistry* metrics = nullptr;
+};
+
+class RepairService {
+ public:
+  explicit RepairService(const ServiceOptions& options = {});
+
+  /// Dispatches one request ("op": submit | status | result | cancel |
+  /// stats | shutdown) to one response. Never throws: malformed requests
+  /// and handler errors come back as {"ok":false,"error":...}.
+  [[nodiscard]] Json handle(const Json& request);
+
+  /// Line-oriented entry: parse, dispatch, render (the TCP framing).
+  [[nodiscard]] std::string handleLine(const std::string& line);
+
+  /// Stops admitting jobs and waits for queued + running jobs to finish.
+  void drain();
+
+  /// True once a `shutdown` request was handled; the serve loop polls it.
+  [[nodiscard]] bool shutdownRequested() const {
+    return shutdown_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] JobScheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] SnapshotCache& cache() { return cache_; }
+
+ private:
+  Json handleSubmit(const Json& request);
+  Json handleStatus(const Json& request);
+  Json handleResult(const Json& request);
+  Json handleCancel(const Json& request);
+  Json handleStats();
+
+  const ServiceOptions options_;
+  util::MetricsRegistry& metrics_;
+  SnapshotCache cache_;
+  JobScheduler scheduler_;  // declared after the cache: jobs use it
+  std::atomic<bool> shutdown_{false};
+};
+
+struct TcpServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral; read the bound port back via port()
+  /// Optional external stop flag (e.g. a signal handler's); polled by
+  /// serve() alongside the service's own shutdown flag.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+class TcpServer {
+ public:
+  /// Binds + listens immediately (throws std::runtime_error on failure).
+  TcpServer(RepairService& service, const TcpServerOptions& options = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Accept loop. Returns when stop() is called, the external stop flag
+  /// rises, or the service handles a `shutdown` request. Joins every
+  /// connection thread before returning (connections still mid-request
+  /// finish their current line).
+  void serve();
+
+  /// Makes serve() return; callable from any thread.
+  void stop();
+
+ private:
+  void handleConnection(int fd);
+
+  RepairService& service_;
+  const TcpServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::mutex threads_mutex_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace acr::service

@@ -1,0 +1,91 @@
+#include "service/snapshot_cache.hpp"
+
+namespace acr::service {
+
+std::shared_ptr<const Snapshot> makeSnapshot(const std::string& directory) {
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->loaded = LoadScenario(directory);
+  ops::VerifyOutcome outcome = ops::verifyScenario(snapshot->loaded.scenario);
+  snapshot->baseline_sim = std::move(outcome.sim);
+  snapshot->baseline_verify = std::move(outcome.result);
+  snapshot->verify_ok = outcome.ok;
+  snapshot->verify_text = std::move(outcome.text);
+  return snapshot;
+}
+
+SnapshotCache::SnapshotCache(const Options& options)
+    : options_(options),
+      metrics_(options.metrics != nullptr ? *options.metrics
+                                          : util::MetricsRegistry::global()) {}
+
+std::shared_ptr<const Snapshot> SnapshotCache::fetch(
+    const std::string& directory) {
+  const ScenarioFingerprint fingerprint = fingerprintScenarioDir(directory);
+  if (std::shared_ptr<const Snapshot> hit = lookup(fingerprint.hash)) {
+    return hit;
+  }
+  // Load outside the lock: parsing + priming is the expensive part and must
+  // not serialize unrelated requests. Two racing misses on the same content
+  // both load; the insert is idempotent (same key, equivalent value).
+  std::shared_ptr<const Snapshot> snapshot = makeSnapshot(directory);
+  insert(snapshot);
+  return snapshot;
+}
+
+std::shared_ptr<const Snapshot> SnapshotCache::lookup(std::uint64_t hash) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(hash);
+  if (it == entries_.end()) {
+    ++misses_;
+    metrics_.counter("service.cache_misses").add(1);
+    return nullptr;
+  }
+  ++hits_;
+  metrics_.counter("service.cache_hits").add(1);
+  order_.erase(it->second.position);
+  order_.push_front(hash);
+  it->second.position = order_.begin();
+  return it->second.snapshot;
+}
+
+void SnapshotCache::insert(std::shared_ptr<const Snapshot> snapshot) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t hash = snapshot->loaded.content_hash;
+  const auto it = entries_.find(hash);
+  if (it != entries_.end()) {  // racing miss: keep the existing entry fresh
+    order_.erase(it->second.position);
+    order_.push_front(hash);
+    it->second.position = order_.begin();
+    return;
+  }
+  order_.push_front(hash);
+  entries_.emplace(hash,
+                   Entry{std::move(snapshot), order_.begin()});
+  bytes_ += entries_.at(hash).snapshot->loaded.content_bytes;
+  evictLockedPastBudget();
+}
+
+void SnapshotCache::evictLockedPastBudget() {
+  while (bytes_ > options_.byte_budget && order_.size() > 1) {
+    const std::uint64_t victim = order_.back();
+    order_.pop_back();
+    const auto it = entries_.find(victim);
+    bytes_ -= it->second.snapshot->loaded.content_bytes;
+    entries_.erase(it);
+    ++evictions_;
+    metrics_.counter("service.cache_evictions").add(1);
+  }
+}
+
+SnapshotCache::Stats SnapshotCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = entries_.size();
+  stats.bytes = bytes_;
+  return stats;
+}
+
+}  // namespace acr::service

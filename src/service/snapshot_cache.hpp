@@ -1,0 +1,113 @@
+// Content-addressed snapshot cache.
+//
+// The key is the scenario directory's content fingerprint
+// (core::LoadScenario's FNV-1a over topology.acr, intents.acr and the
+// per-router configs), NOT its path: two directories with identical bytes
+// share one entry, and editing a single config byte is simply a different
+// key — there is no invalidation protocol to get wrong. A hit skips the
+// expensive cold start a one-shot `acrctl` run pays every time: parsing
+// every config, converging the control-plane simulation, and running the
+// full intent suite to prime the incremental verifier's anchor state.
+//
+// Entries are immutable and shared (shared_ptr<const Snapshot>), so any
+// number of concurrent jobs read one snapshot while the cache evicts
+// others. Eviction is LRU under a configured byte budget, accounted in
+// serialized scenario bytes (the fingerprinted size — stable across runs
+// and cheap to know before parsing).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/ops.hpp"
+#include "core/serialization.hpp"
+#include "routing/simulator.hpp"
+#include "util/metrics.hpp"
+#include "verify/verifier.hpp"
+
+namespace acr::service {
+
+/// Everything reusable about one scenario content: the parsed scenario,
+/// the converged baseline simulation, and the baseline intent verdicts
+/// (the incremental verifier's anchor state, reused across requests).
+struct Snapshot {
+  LoadedScenario loaded;
+  route::SimResult baseline_sim;
+  verify::VerifyResult baseline_verify;
+  bool verify_ok = false;
+  std::string verify_text;  // exactly what `acrctl verify` prints
+};
+
+struct SnapshotCacheOptions {
+  std::uint64_t byte_budget = 256ull << 20;  // serialized scenario bytes
+  /// Registry for service.cache_* counters; nullptr = process-global.
+  util::MetricsRegistry* metrics = nullptr;
+};
+
+class SnapshotCache {
+ public:
+  using Options = SnapshotCacheOptions;
+
+  explicit SnapshotCache(const Options& options = {});
+
+  /// The cached snapshot for the directory's *current* content, loading
+  /// and priming one on a miss. Fingerprints the directory on every call —
+  /// reading bytes is cheap next to parse + simulate + verify — so a stale
+  /// path simply hashes to a different (new) entry. Throws what
+  /// core::LoadScenario throws on unreadable/malformed directories.
+  [[nodiscard]] std::shared_ptr<const Snapshot> fetch(
+      const std::string& directory);
+
+  /// Cache lookup by fingerprint only (no filesystem access); nullptr on
+  /// miss. Counts a hit, refreshes LRU.
+  [[nodiscard]] std::shared_ptr<const Snapshot> lookup(std::uint64_t hash);
+
+  /// Inserts (or replaces) a snapshot, then evicts least-recently-used
+  /// entries until the byte budget holds (the newest entry always stays).
+  void insert(std::shared_ptr<const Snapshot> snapshot);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+    [[nodiscard]] double hitRate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  void evictLockedPastBudget();
+
+  const Options options_;
+  util::MetricsRegistry& metrics_;
+
+  mutable std::mutex mutex_;
+  /// LRU order, most recent at the front.
+  std::list<std::uint64_t> order_;
+  struct Entry {
+    std::shared_ptr<const Snapshot> snapshot;
+    std::list<std::uint64_t>::iterator position;
+  };
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+/// Loads + primes a snapshot without a cache (the cache's miss path and
+/// the `--no-cache` service mode share this).
+[[nodiscard]] std::shared_ptr<const Snapshot> makeSnapshot(
+    const std::string& directory);
+
+}  // namespace acr::service

@@ -58,4 +58,29 @@ grep -q '"counters"' "$WORK/campaign.json.out" || fail "JSON metrics dump"
   || fail "repair --jobs"
 grep -q "repaired" "$WORK/repair2.out" || fail "parallel repair outcome"
 
+# --- exit-code contract: 0 ok, 1 failed, 2 usage -------------------------
+
+expect_exit() {
+  local want="$1"; shift
+  local what="$1"; shift
+  "$@" > /dev/null 2>&1
+  local got="$?"
+  [ "$got" = "$want" ] || fail "$what: expected exit $want, got $got"
+}
+
+expect_exit 0 "verify clean"        "$ACRCTL" verify "$WORK/clean"
+expect_exit 1 "verify broken"       "$ACRCTL" verify "$WORK/broken"
+expect_exit 1 "triage broken"       "$ACRCTL" triage "$WORK/broken"
+expect_exit 2 "unknown command"     "$ACRCTL" frobnicate
+expect_exit 2 "unknown flag"        "$ACRCTL" verify "$WORK/clean" --frobnicate
+expect_exit 2 "flag wrong command"  "$ACRCTL" verify "$WORK/clean" --metric ochiai
+expect_exit 2 "unknown metric"      "$ACRCTL" triage "$WORK/broken" --metric bogus
+expect_exit 2 "flag missing value"  "$ACRCTL" repair "$WORK/broken" --seed
+expect_exit 2 "missing args"        "$ACRCTL"
+expect_exit 2 "export without out"  "$ACRCTL" export --scenario figure2
+expect_exit 1 "bad scenario dir"    "$ACRCTL" verify "$WORK/does-not-exist"
+expect_exit 2 "remote without port" "$ACRCTL" remote stats
+expect_exit 2 "bad remote verb"     "$ACRCTL" remote frobnicate
+expect_exit 1 "remote no daemon"    "$ACRCTL" remote stats --port 1
+
 echo "acrctl smoke: OK"

@@ -1,0 +1,165 @@
+#include "service/snapshot_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "core/acr.hpp"
+#include "core/serialization.hpp"
+#include "util/metrics.hpp"
+
+namespace acr::service {
+namespace {
+
+/// Unique scratch directory per test, removed on destruction.
+struct TempDir {
+  std::filesystem::path path;
+
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("acr_cache_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+
+  static int& counter() {
+    static int value = 0;
+    return value;
+  }
+
+  [[nodiscard]] std::string dir(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+void appendByte(const std::string& file) {
+  std::ofstream out(file, std::ios::app);
+  out << '\n';  // keeps the config parseable, changes the content hash
+}
+
+TEST(ScenarioFingerprint, IdenticalContentSameHashOneByteEditDiffers) {
+  TempDir scratch;
+  const Scenario scenario = figure2Scenario(true);
+  saveScenario(scenario, scratch.dir("a"));
+  saveScenario(scenario, scratch.dir("b"));
+  const ScenarioFingerprint a = fingerprintScenarioDir(scratch.dir("a"));
+  const ScenarioFingerprint b = fingerprintScenarioDir(scratch.dir("b"));
+  EXPECT_EQ(a.hash, b.hash);  // keyed on content, not path
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_GT(a.bytes, 0u);
+
+  appendByte(scratch.dir("b") + "/A.cfg");
+  const ScenarioFingerprint edited = fingerprintScenarioDir(scratch.dir("b"));
+  EXPECT_NE(a.hash, edited.hash);
+  EXPECT_EQ(edited.bytes, a.bytes + 1);
+}
+
+TEST(SnapshotCache, IdenticalDirectoriesShareOneEntry) {
+  TempDir scratch;
+  const Scenario scenario = figure2Scenario(true);
+  saveScenario(scenario, scratch.dir("a"));
+  saveScenario(scenario, scratch.dir("b"));
+
+  util::MetricsRegistry metrics;
+  SnapshotCache::Options options;
+  options.metrics = &metrics;
+  SnapshotCache cache(options);
+
+  const auto first = cache.fetch(scratch.dir("a"));
+  ASSERT_NE(first, nullptr);
+  const auto second = cache.fetch(scratch.dir("b"));
+  EXPECT_EQ(first, second);  // the same shared snapshot, not a copy
+
+  const SnapshotCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hitRate(), 0.5);
+  EXPECT_EQ(metrics.counter("service.cache_hits").value(), 1u);
+  EXPECT_EQ(metrics.counter("service.cache_misses").value(), 1u);
+}
+
+TEST(SnapshotCache, OneByteEditMisses) {
+  TempDir scratch;
+  saveScenario(figure2Scenario(true), scratch.dir("a"));
+  SnapshotCache cache;
+
+  const auto before = cache.fetch(scratch.dir("a"));
+  appendByte(scratch.dir("a") + "/A.cfg");
+  const auto after = cache.fetch(scratch.dir("a"));
+  EXPECT_NE(before, after);
+  EXPECT_NE(before->loaded.content_hash, after->loaded.content_hash);
+
+  const SnapshotCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 2u);  // both contents stay cached
+}
+
+TEST(SnapshotCache, PrimedSnapshotMatchesOfflineVerify) {
+  TempDir scratch;
+  const Scenario scenario = figure2Scenario(true);
+  saveScenario(scenario, scratch.dir("a"));
+  SnapshotCache cache;
+  const auto snapshot = cache.fetch(scratch.dir("a"));
+  const ops::VerifyOutcome offline = ops::verifyScenario(snapshot->loaded.scenario);
+  EXPECT_EQ(snapshot->verify_text, offline.text);
+  EXPECT_EQ(snapshot->verify_ok, offline.ok);
+  EXPECT_FALSE(snapshot->verify_ok);  // the faulty figure2 fails intents
+}
+
+TEST(SnapshotCache, EvictsLeastRecentlyUsedPastByteBudget) {
+  TempDir scratch;
+  saveScenario(figure2Scenario(true), scratch.dir("a"));
+  saveScenario(figure2Scenario(false), scratch.dir("b"));
+  saveScenario(dcnScenario(2, 2), scratch.dir("c"));
+  const std::uint64_t bytes_a = fingerprintScenarioDir(scratch.dir("a")).bytes;
+  const std::uint64_t bytes_b = fingerprintScenarioDir(scratch.dir("b")).bytes;
+
+  util::MetricsRegistry metrics;
+  SnapshotCache::Options options;
+  options.byte_budget = bytes_a + bytes_b;  // room for two small entries
+  options.metrics = &metrics;
+  SnapshotCache cache(options);
+
+  const auto a = cache.fetch(scratch.dir("a"));
+  const auto b = cache.fetch(scratch.dir("b"));
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  // Touch `a` so `b` becomes the LRU victim when `c` overflows the budget.
+  EXPECT_NE(cache.lookup(a->loaded.content_hash), nullptr);
+  const auto c = cache.fetch(scratch.dir("c"));
+  ASSERT_NE(c, nullptr);
+
+  const SnapshotCache::Stats stats = cache.stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, options.byte_budget + c->loaded.content_bytes);
+  EXPECT_EQ(cache.lookup(b->loaded.content_hash), nullptr);  // evicted
+  EXPECT_NE(cache.lookup(c->loaded.content_hash), nullptr);  // newest stays
+  EXPECT_EQ(metrics.counter("service.cache_evictions").value(),
+            stats.evictions);
+}
+
+TEST(SnapshotCache, NewestEntryStaysEvenWhenOverBudget) {
+  TempDir scratch;
+  saveScenario(figure2Scenario(true), scratch.dir("a"));
+  SnapshotCache::Options options;
+  options.byte_budget = 1;  // smaller than any scenario
+  SnapshotCache cache(options);
+  const auto snapshot = cache.fetch(scratch.dir("a"));
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_NE(cache.lookup(snapshot->loaded.content_hash), nullptr);
+}
+
+TEST(SnapshotCache, FetchRejectsNonScenarioDirectory) {
+  TempDir scratch;
+  SnapshotCache cache;
+  EXPECT_THROW((void)cache.fetch(scratch.dir("missing")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace acr::service

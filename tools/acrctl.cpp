@@ -17,15 +17,20 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <optional>
+#include <set>
 #include <string>
 
 #include "core/acr.hpp"
+#include "core/ops.hpp"
 #include "core/serialization.hpp"
+#include "localize/coverage.hpp"
+#include "localize/sbfl.hpp"
 #include "repair/report.hpp"
+#include "service/client.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "verify/failures.hpp"
-#include "localize/coverage.hpp"
 
 namespace {
 
@@ -47,13 +52,24 @@ using namespace acr;
       "  acrctl campaign [--incidents N] [--seed S] [--jobs N]\n"
       "                  [--metrics|--metrics-json]\n"
       "  acrctl list-faults\n"
+      "  acrctl remote submit DIR [--command repair|verify] [--seed S]\n"
+      "                [--metric M] [--priority N] [--report] [--wait]\n"
+      "                [--jobs N]\n"
+      "  acrctl remote status|result|cancel ID [--wait]\n"
+      "  acrctl remote stats | shutdown\n"
+      "         (all remote verbs: [--host H] --port P)\n"
       "\n"
       "scenarios: figure2 | figure2-faulty | dcn-<pods>x<tors> | backbone-<n>\n"
       "--jobs 0 = one worker per hardware thread; results are identical at\n"
       "any --jobs value (parallelism changes wall-clock only).\n"
       "--metrics / --metrics-json dump the per-stage pipeline metrics\n"
       "(localize/fix/validate timings, verifier work, campaign counters)\n"
-      "as a text table or JSON after the command runs.\n",
+      "as a text table or JSON after the command runs.\n"
+      "\n"
+      "exit codes: 0 ok; 1 failed (intents violated, repair not converged,\n"
+      "runtime error); 2 usage (unknown command/flag/argument).\n"
+      "`remote` talks to an acrd daemon (see docs/service.md); `remote\n"
+      "submit --wait` exits with the job's own exit code.\n",
       stderr);
   std::exit(2);
 }
@@ -73,20 +89,29 @@ struct Args {
   }
 };
 
-Args parseArgs(int argc, char** argv, int start) {
+/// What one subcommand accepts. Unknown flags are a usage error (exit 2)
+/// instead of being silently swallowed — a typoed `--metrik` must not
+/// quietly run with the default.
+struct FlagSpec {
+  std::set<std::string> value_flags;  // --key VALUE
+  std::set<std::string> bool_flags;   // --key
+};
+
+Args parseArgs(int argc, char** argv, int start, const FlagSpec& spec) {
   Args args;
   for (int i = start; i < argc; ++i) {
     const std::string token = argv[i];
     if (token.rfind("--", 0) == 0) {
       const std::string key = token.substr(2);
-      const bool boolean = key == "brute-force" || key == "crossover" ||
-                           key == "coverage-guided" || key == "report" ||
-                           key == "multipath" || key == "metrics" ||
-                           key == "metrics-json";
-      if (!boolean && i + 1 < argc) {
+      if (spec.bool_flags.count(key) != 0) {
+        args.flags[key] = "1";
+      } else if (spec.value_flags.count(key) != 0) {
+        if (i + 1 >= argc) {
+          usage(("flag '--" + key + "' needs a value").c_str());
+        }
         args.flags[key] = argv[++i];
       } else {
-        args.flags[key] = "1";
+        usage(("unknown flag '--" + key + "' for this command").c_str());
       }
     } else if (args.positional.empty()) {
       args.positional = token;
@@ -95,6 +120,24 @@ Args parseArgs(int argc, char** argv, int start) {
     }
   }
   return args;
+}
+
+/// Flag vocabulary per subcommand (the `remote` verbs parse separately).
+FlagSpec specFor(const std::string& command) {
+  if (command == "export") return {{"scenario", "out", "dialect"}, {}};
+  if (command == "inject") return {{"fault", "seed", "out"}, {}};
+  if (command == "verify") return {{}, {}};
+  if (command == "triage") return {{"metric"}, {}};
+  if (command == "repair") {
+    return {{"out", "metric", "seed", "jobs"},
+            {"brute-force", "crossover", "coverage-guided", "multipath",
+             "report", "metrics", "metrics-json"}};
+  }
+  if (command == "tolerance") return {{"k"}, {}};
+  if (command == "campaign") {
+    return {{"incidents", "seed", "jobs"}, {"metrics", "metrics-json"}};
+  }
+  return {{}, {}};  // list-faults and anything unknown take no flags
 }
 
 /// Dumps the global metrics registry when --metrics/--metrics-json was
@@ -123,14 +166,11 @@ Scenario scenarioByName(const std::string& name) {
 }
 
 sbfl::Metric metricByName(const std::string& name) {
-  if (name == "tarantula") return sbfl::Metric::kTarantula;
-  if (name == "ochiai") return sbfl::Metric::kOchiai;
-  if (name == "jaccard") return sbfl::Metric::kJaccard;
-  if (name == "dstar2") return sbfl::Metric::kDstar2;
-  if (name == "op2") return sbfl::Metric::kOp2;
-  if (name == "kulczynski2") return sbfl::Metric::kKulczynski2;
-  if (name == "random") return sbfl::Metric::kRandom;
-  usage(("unknown metric '" + name + "'").c_str());
+  // sbfl::metricByName is the one metric parser, shared with the repair
+  // service so CLI and wire protocol accept the same spellings.
+  const std::optional<sbfl::Metric> metric = sbfl::metricByName(name);
+  if (!metric) usage(("unknown metric '" + name + "'").c_str());
+  return *metric;
 }
 
 int cmdExport(const Args& args) {
@@ -202,29 +242,12 @@ int cmdInject(const Args& args) {
 
 int cmdVerify(const Args& args) {
   if (args.positional.empty()) usage("verify requires a scenario directory");
-  const Scenario scenario = loadScenario(args.positional);
-  route::SimOptions sim_options;
-  const route::SimResult sim = route::Simulator(scenario.network()).run();
-  std::printf("control plane: %s (%d rounds)\n",
-              sim.converged ? "converged" : "NOT CONVERGED", sim.rounds);
-  for (const auto& prefix : sim.flapping) {
-    std::printf("  route flapping: %s\n", prefix.str().c_str());
-  }
-  for (const auto& session : sim.sessions) {
-    if (!session.up) {
-      std::printf("  session DOWN %s-%s: %s\n", session.a.c_str(),
-                  session.b.c_str(), session.down_reason.c_str());
-    }
-  }
-  const verify::Verifier verifier(scenario.intents, sim_options);
-  const verify::VerifyResult result = verifier.verify(scenario.network());
-  std::printf("%d/%d tests failing\n", result.tests_failed, result.tests_run);
-  for (const auto* failure : result.failures()) {
-    std::printf("  FAIL %s -- %s\n",
-                scenario.intents[failure->test.intent_index].str().c_str(),
-                failure->reason.c_str());
-  }
-  return result.ok() ? 0 : 1;
+  const LoadedScenario loaded = LoadScenario(args.positional);
+  // ops::verifyScenario renders the exact same text the repair service
+  // returns for a remote `verify` job — byte-identical by construction.
+  const ops::VerifyOutcome outcome = ops::verifyScenario(loaded.scenario);
+  std::fputs(outcome.text.c_str(), stdout);
+  return outcome.ok ? 0 : 1;
 }
 
 int cmdTriage(const Args& args) {
@@ -264,7 +287,7 @@ int cmdTriage(const Args& args) {
 
 int cmdRepair(const Args& args) {
   if (args.positional.empty()) usage("repair requires a scenario directory");
-  Scenario scenario = loadScenario(args.positional);
+  const LoadedScenario loaded = LoadScenario(args.positional);
   repair::RepairOptions options;
   options.metric = metricByName(args.get("metric", "tarantula"));
   options.brute_force = args.has("brute-force");
@@ -275,23 +298,20 @@ int cmdRepair(const Args& args) {
   // A single repair parallelizes at candidate granularity (VALIDATE
   // fan-out); the campaign command instead parallelizes across incidents.
   options.validate_jobs = std::stoi(args.get("jobs", "1"));
-  const repair::RepairResult result =
-      repairNetwork(scenario.network(), scenario.intents, options);
-  if (args.has("report")) {
-    std::fputs(repair::renderReport(result).c_str(), stdout);
-  } else {
-    std::printf("%s\n", result.summary().c_str());
-    for (const auto& diff : result.diff) std::printf("%s", diff.str().c_str());
-  }
+  // Same renderer the repair service uses, so offline and remote repair
+  // output are byte-identical.
+  const ops::RepairOutcome outcome =
+      ops::repairScenario(loaded.scenario, options, args.has("report"));
+  std::fputs(outcome.text.c_str(), stdout);
   const std::string out = args.get("out");
-  if (!out.empty() && result.success) {
-    Scenario repaired = scenario;
-    repaired.built.network = result.repaired;
+  if (!out.empty() && outcome.result.success) {
+    Scenario repaired = loaded.scenario;
+    repaired.built.network = outcome.result.repaired;
     saveScenario(repaired, out);
     std::printf("repaired configs written to %s\n", out.c_str());
   }
   maybeDumpMetrics(args);
-  return result.success ? 0 : 1;
+  return outcome.result.success ? 0 : 1;
 }
 
 int cmdTolerance(const Args& args) {
@@ -342,13 +362,131 @@ int cmdCampaign(const Args& args) {
              : 1;
 }
 
+// ---------------------------------------------------------------------------
+// remote — client for an acrd daemon (docs/service.md wire protocol)
+// ---------------------------------------------------------------------------
+
+/// Prints the failure of a non-ok response and returns exit code 1.
+int remoteFailure(const service::Json& response) {
+  const service::Json* error = response.find("error");
+  std::fprintf(stderr, "error: %s\n",
+               error != nullptr ? error->asString().c_str()
+                                : "request failed");
+  if (const service::Json* retry = response.find("retry_after_ms")) {
+    std::fprintf(stderr, "retry after %lld ms\n",
+                 static_cast<long long>(retry->asInt()));
+  }
+  return 1;
+}
+
+/// Prints a finished job's output verbatim and exits with the job's own
+/// exit code, so `remote submit --wait` scripts exactly like offline runs.
+int printJobResult(const service::Json& response) {
+  if (const service::Json* output = response.find("output")) {
+    std::fputs(output->asString().c_str(), stdout);
+  }
+  const service::Json* exit_code = response.find("exit");
+  return exit_code != nullptr ? static_cast<int>(exit_code->asInt(1)) : 1;
+}
+
+int cmdRemote(int argc, char** argv) {
+  if (argc < 3) {
+    usage("remote requires a verb (submit|status|result|cancel|stats|shutdown)");
+  }
+  const std::string verb = argv[2];
+  FlagSpec spec{{"host", "port"}, {}};
+  if (verb == "submit") {
+    spec.value_flags.insert({"command", "seed", "metric", "priority", "jobs"});
+    spec.bool_flags.insert({"report", "wait"});
+  } else if (verb == "result") {
+    spec.bool_flags.insert("wait");
+  } else if (verb != "status" && verb != "cancel" && verb != "stats" &&
+             verb != "shutdown") {
+    usage(("unknown remote verb '" + verb + "'").c_str());
+  }
+  const Args args = parseArgs(argc, argv, 3, spec);
+  const std::string port_text = args.get("port");
+  if (port_text.empty()) usage("remote requires --port P");
+  service::Client client(args.get("host", "127.0.0.1"), std::stoi(port_text));
+
+  service::Json request;
+  request.set("op", verb);
+  if (verb == "submit") {
+    if (args.positional.empty()) {
+      usage("remote submit requires a scenario directory");
+    }
+    request.set("dir", args.positional);
+    request.set("command", args.get("command", "repair"));
+    if (args.has("metric")) {
+      metricByName(args.get("metric"));  // typos fail locally with exit 2
+      request.set("metric", args.get("metric"));
+    }
+    if (args.has("seed")) {
+      request.set("seed",
+                  static_cast<std::uint64_t>(std::stoull(args.get("seed"))));
+    }
+    if (args.has("jobs")) {
+      request.set("jobs", std::stoi(args.get("jobs")));
+    }
+    if (args.has("priority")) {
+      request.set("priority", std::stoi(args.get("priority")));
+    }
+    if (args.has("report")) request.set("report", true);
+    if (args.has("wait")) request.set("wait", true);
+  } else if (verb == "status" || verb == "result" || verb == "cancel") {
+    if (args.positional.empty()) {
+      usage(("remote " + verb + " requires a job id").c_str());
+    }
+    request.set("id",
+                static_cast<std::uint64_t>(std::stoull(args.positional)));
+    if (args.has("wait")) request.set("wait", true);
+  }
+
+  const service::Json response = client.call(request);
+  const service::Json* ok = response.find("ok");
+  if (ok == nullptr || !ok->asBool()) return remoteFailure(response);
+
+  if (verb == "submit" && !args.has("wait")) {
+    const service::Json* id = response.find("id");
+    std::printf("job %llu queued\n",
+                static_cast<unsigned long long>(
+                    id != nullptr ? id->asUint() : 0));
+    return 0;
+  }
+  if (verb == "submit" || verb == "result") return printJobResult(response);
+  if (verb == "status") {
+    const service::Json* status = response.find("status");
+    std::printf("%s\n",
+                status != nullptr ? status->asString().c_str() : "unknown");
+    return 0;
+  }
+  if (verb == "cancel") {
+    std::puts("cancelled");
+    return 0;
+  }
+  if (verb == "shutdown") {
+    std::puts("acrd draining");
+    return 0;
+  }
+  // stats: dump the response JSON verbatim for scripts to parse.
+  std::printf("%s\n", response.str().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
-  const Args args = parseArgs(argc, argv, 2);
   try {
+    if (command == "remote") return cmdRemote(argc, argv);
+    const std::set<std::string> known = {"export",    "inject",   "verify",
+                                         "triage",    "repair",   "tolerance",
+                                         "campaign",  "list-faults"};
+    if (known.count(command) == 0) {
+      usage(("unknown command '" + command + "'").c_str());
+    }
+    const Args args = parseArgs(argc, argv, 2, specFor(command));
     if (command == "export") return cmdExport(args);
     if (command == "inject") return cmdInject(args);
     if (command == "verify") return cmdVerify(args);
@@ -356,10 +494,9 @@ int main(int argc, char** argv) {
     if (command == "repair") return cmdRepair(args);
     if (command == "tolerance") return cmdTolerance(args);
     if (command == "campaign") return cmdCampaign(args);
-    if (command == "list-faults") return cmdListFaults();
+    return cmdListFaults();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
   }
-  usage(("unknown command '" + command + "'").c_str());
 }
