@@ -104,7 +104,15 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
 
   verify::IncrementalVerifier main_verifier(intents_, tests, validate_options,
                                             options_.multipath);
-  const verify::VerifyResult baseline = main_verifier.baseline(faulty);
+  // A caller-provided pre-converged simulation (the acrd snapshot cache's
+  // primed baseline) replaces the one full anchor simulation. Only without
+  // ECMP semantics: the seed is recorded without equal-cost sets.
+  const route::SimResult* baseline_seed =
+      (!options_.multipath && !validate_options.enable_ecmp)
+          ? options_.baseline_sim
+          : nullptr;
+  const verify::VerifyResult baseline =
+      main_verifier.baseline(faulty, baseline_seed);
   const int baseline_fitness =
       baseline.tests_failed + toleranceFailures(faulty);
   result.initial_failed = baseline_fitness;

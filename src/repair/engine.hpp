@@ -79,6 +79,12 @@ struct RepairOptions {
   /// the campaign runner already parallelizes at incident granularity.
   int validate_jobs = 1;
   route::SimOptions sim_options;
+  /// Optional pre-converged simulation of the faulty network (e.g. the acrd
+  /// snapshot cache's primed baseline): adopted as the incremental
+  /// verifier's anchor, skipping the one full baseline simulation. Non-
+  /// owning; must outlive repair(). Ignored under multipath/ECMP (the seed
+  /// is recorded without equal-cost sets).
+  const route::SimResult* baseline_sim = nullptr;
 };
 
 enum class Termination : std::uint8_t {

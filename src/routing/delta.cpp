@@ -1,0 +1,330 @@
+#include "routing/delta.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "routing/sim_internal.hpp"
+#include "util/metrics.hpp"
+
+namespace acr::route {
+
+namespace {
+
+/// Structural topology equality as the simulator sees it: same routers
+/// (name, ASN, router-id — in order, since the dense router table interns
+/// by position) and same links. Roles and edge subnets don't feed the
+/// control plane.
+bool sameTopologyShape(const topo::Topology& a, const topo::Topology& b) {
+  const auto& ra = a.routers();
+  const auto& rb = b.routers();
+  if (ra.size() != rb.size()) return false;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i].name != rb[i].name || ra[i].asn != rb[i].asn ||
+        ra[i].router_id != rb[i].router_id) {
+      return false;
+    }
+  }
+  const auto& la = a.links();
+  const auto& lb = b.links();
+  if (la.size() != lb.size()) return false;
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    if (la[i].a != lb[i].a || la[i].b != lb[i].b ||
+        la[i].subnet != lb[i].subnet) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool sameSessions(const std::vector<Session>& a,
+                  const std::vector<Session>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].a != b[i].a || a[i].b != b[i].b ||
+        a[i].a_address != b[i].a_address || a[i].b_address != b[i].b_address ||
+        a[i].up != b[i].up || a[i].down_reason != b[i].down_reason) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool sameDeviceSet(const topo::Network& a, const topo::Network& b) {
+  if (a.configs.size() != b.configs.size()) return false;
+  auto ia = a.configs.begin();
+  auto ib = b.configs.begin();
+  for (; ia != a.configs.end(); ++ia, ++ib) {
+    if (ia->first != ib->first) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SimResult DeltaSimulator::run(const topo::Network& updated,
+                              const std::vector<std::string>& changed_devices,
+                              const SimOptions& options,
+                              DeltaStats* stats_out) const {
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  DeltaStats stats;
+  const auto fallback = [&](std::string reason) {
+    stats.used_delta = false;
+    stats.fallback_reason = std::move(reason);
+    metrics.counter("sim.delta.runs").add(1);
+    metrics.counter("sim.delta.fallbacks").add(1);
+    if (stats_out != nullptr) *stats_out = stats;
+    return Simulator(updated).run(options);
+  };
+
+  // Fallback rules (docs/architecture.md §12). Provenance derivations
+  // encode the full per-round announcement history from round 0, which a
+  // run that skips those rounds cannot reproduce.
+  if (options.record_provenance) return fallback("provenance-requested");
+  // The baseline state is only a valid starting point if it is a fixpoint.
+  if (!baseline_.converged) return fallback("baseline-not-converged");
+  if (!sameTopologyShape(baseline_network_.topology, updated.topology)) {
+    return fallback("topology-shape-changed");
+  }
+  if (!sameDeviceSet(baseline_network_, updated)) {
+    return fallback("device-set-changed");
+  }
+  std::vector<Session> sessions = Simulator(updated).computeSessions();
+  if (!sameSessions(baseline_.sessions, sessions)) {
+    return fallback("session-state-changed");
+  }
+
+  // Seed state: the baseline fixpoint. Derivation ids point into the
+  // baseline's provenance graph, which this result does not carry — scrub
+  // them to match a provenance-off full run byte for byte. Same for ECMP
+  // sets when this run doesn't record them; the reverse mismatch (ECMP
+  // requested but absent from the baseline) cannot be patched locally.
+  Rib bests = baseline_.rib;
+  for (auto& [router, routes] : bests) {
+    for (auto& [prefix, route] : routes) {
+      route.derivation = prov::kNoDerivation;
+      if (!options.enable_ecmp) {
+        route.ecmp.clear();
+      } else if (route.source == RouteSource::kBgp && route.ecmp.empty()) {
+        return fallback("ecmp-recording-mismatch");
+      }
+    }
+  }
+
+  const detail::RouterTable table(updated.topology);
+  const std::vector<detail::Flow> flows =
+      detail::buildFlows(updated, sessions, table);
+  std::map<std::string, std::vector<const detail::Flow*>> in_flows;
+  std::map<std::string, std::vector<const detail::Flow*>> out_flows;
+  for (const detail::Flow& flow : flows) {
+    in_flows[flow.to].push_back(&flow);
+    out_flows[flow.from].push_back(&flow);
+  }
+  static const std::vector<const detail::Flow*> kNoFlows;
+  const auto flowsOf =
+      [](const std::map<std::string, std::vector<const detail::Flow*>>& index,
+         const std::string& router) -> const std::vector<const detail::Flow*>& {
+    const auto it = index.find(router);
+    return it == index.end() ? kNoFlows : it->second;
+  };
+  const detail::RouteBetter better{&table};
+
+  SimResult result;
+  result.sessions = std::move(sessions);
+
+  // Local routes of the updated configs, computed on demand: only routers
+  // that actually recompute pay for them.
+  std::map<std::string, std::vector<Route>> locals;
+  const auto localsOf =
+      [&](const std::string& router) -> const std::vector<Route>& {
+    auto it = locals.find(router);
+    if (it == locals.end()) {
+      const cfg::DeviceConfig* device = updated.config(router);
+      it = locals
+               .emplace(router, device == nullptr
+                                    ? std::vector<Route>{}
+                                    : detail::localRoutesFor(router, *device,
+                                                             nullptr))
+               .first;
+    }
+    return it->second;
+  };
+
+  // Seed: changed devices and their session neighbors recompute wholesale —
+  // their locals, redistribution and policy bindings may have changed in
+  // ways the baseline routing state cannot witness. Everything else enters
+  // the dirty set only when a neighbor's best route actually changes.
+  std::set<std::string> seeds;
+  for (const std::string& device : changed_devices) {
+    seeds.insert(device);
+    for (const detail::Flow* flow : flowsOf(out_flows, device)) {
+      seeds.insert(flow->to);
+    }
+  }
+
+  struct DirtyScope {
+    bool whole = false;  // whole-router recompute (seed round only)
+    std::set<net::Prefix> prefixes;
+  };
+  std::map<std::string, DirtyScope> dirty;
+  for (const std::string& seed : seeds) dirty[seed].whole = true;
+
+  // Jacobi commit: each round computes every dirty work item against the
+  // previous round's state, then applies all updates at once — exactly the
+  // synchronous-round semantics of the full engine.
+  struct Update {
+    std::string router;
+    net::Prefix prefix;
+    std::optional<Route> route;  // nullopt = withdraw
+    bool state_change = false;   // key() changed (vs. a derived-state refresh)
+  };
+
+  std::set<net::Prefix> dirty_prefix_set;
+
+  // Candidates of one (router, prefix): locals plus the imports the
+  // neighbors' current bests would announce this round.
+  const auto recomputePrefix =
+      [&](const std::string& router,
+          const net::Prefix& prefix) -> std::optional<Route> {
+    std::map<std::string, Route> candidates;
+    for (const Route& local : localsOf(router)) {
+      if (local.prefix == prefix) {
+        candidates[detail::kLocalOrigin + routeSourceName(local.source)] =
+            local;
+      }
+    }
+    for (const detail::Flow* flow : flowsOf(in_flows, router)) {
+      const auto neighbor = bests.find(flow->from);
+      if (neighbor == bests.end()) continue;
+      const auto route = neighbor->second.find(prefix);
+      if (route == neighbor->second.end()) continue;
+      auto imported = detail::announceOnFlow(*flow, prefix, route->second,
+                                             nullptr, &result.announcements);
+      if (imported) candidates[flow->from] = std::move(*imported);
+    }
+    return detail::selectBestForPrefix(candidates, better, options.enable_ecmp);
+  };
+
+  const auto recomputeRouter = [&](const std::string& router,
+                                   std::vector<Update>& updates) {
+    detail::Candidates candidates;
+    for (const Route& local : localsOf(router)) {
+      candidates[local.prefix]
+                [detail::kLocalOrigin + routeSourceName(local.source)] = local;
+    }
+    for (const detail::Flow* flow : flowsOf(in_flows, router)) {
+      const auto neighbor = bests.find(flow->from);
+      if (neighbor == bests.end()) continue;
+      for (const auto& [prefix, route] : neighbor->second) {
+        auto imported = detail::announceOnFlow(*flow, prefix, route, nullptr,
+                                               &result.announcements);
+        if (imported) candidates[prefix][flow->from] = std::move(*imported);
+      }
+    }
+    std::map<net::Prefix, Route> fresh;
+    detail::selectBests(candidates, fresh, better, options.enable_ecmp);
+    const auto& old_routes = bests[router];
+    for (auto& [prefix, route] : fresh) {
+      ++stats.work_items;
+      dirty_prefix_set.insert(prefix);
+      const auto old_it = old_routes.find(prefix);
+      const bool changed =
+          old_it == old_routes.end() || old_it->second.key() != route.key();
+      updates.push_back(Update{router, prefix, std::move(route), changed});
+    }
+    for (const auto& [prefix, route] : old_routes) {
+      if (fresh.find(prefix) == fresh.end()) {
+        ++stats.work_items;
+        dirty_prefix_set.insert(prefix);
+        updates.push_back(Update{router, prefix, std::nullopt, true});
+      }
+    }
+  };
+
+  std::uint64_t state_hash = detail::ribHash(bests);
+  std::unordered_map<std::uint64_t, int> round_of_hash{{state_hash, 0}};
+  int round = 0;
+  bool converged = false;
+
+  while (round < options.max_rounds) {
+    ++round;
+    std::vector<Update> updates;
+    for (const auto& [router, scope] : dirty) {
+      if (scope.whole) {
+        recomputeRouter(router, updates);
+        continue;
+      }
+      for (const net::Prefix& prefix : scope.prefixes) {
+        ++stats.work_items;
+        dirty_prefix_set.insert(prefix);
+        std::optional<Route> fresh = recomputePrefix(router, prefix);
+        const auto& routes = bests[router];
+        const auto old_it = routes.find(prefix);
+        if (!fresh && old_it == routes.end()) continue;
+        const bool changed = !fresh || old_it == routes.end() ||
+                             old_it->second.key() != fresh->key();
+        // Even a key-equal recompute commits: its ECMP set (derived state,
+        // outside the key) may be fresher. It just doesn't propagate.
+        updates.push_back(Update{router, prefix, std::move(fresh), changed});
+      }
+    }
+
+    dirty.clear();
+    bool any_state_change = false;
+    for (Update& update : updates) {
+      auto& routes = bests[update.router];
+      if (update.state_change) {
+        any_state_change = true;
+        const auto old_it = routes.find(update.prefix);
+        if (old_it != routes.end()) {
+          state_hash ^= detail::ribEntryHash(update.router, old_it->second);
+        }
+        if (update.route) {
+          state_hash ^= detail::ribEntryHash(update.router, *update.route);
+        }
+        for (const detail::Flow* flow : flowsOf(out_flows, update.router)) {
+          dirty[flow->to].prefixes.insert(update.prefix);
+        }
+      }
+      if (update.route) {
+        routes.insert_or_assign(update.prefix, std::move(*update.route));
+      } else {
+        routes.erase(update.prefix);
+      }
+    }
+
+    if (!any_state_change) {
+      converged = true;
+      break;
+    }
+    // A repeated non-fixpoint state means the updated network oscillates.
+    // The full engine's representative rib and flapping window depend on
+    // its orbit from round 0, which a fixpoint-seeded orbit cannot replay —
+    // byte-identity demands the real thing.
+    const auto [seen, inserted] = round_of_hash.emplace(state_hash, round);
+    if (!inserted) return fallback("oscillation-detected");
+  }
+  if (!converged) return fallback("delta-round-cap");
+
+  stats.used_delta = true;
+  stats.rounds = round;
+  stats.dirty_prefixes = dirty_prefix_set.size();
+  stats.rounds_saved = std::max(0, baseline_.rounds - round);
+  metrics.counter("sim.delta.runs").add(1);
+  metrics.counter("sim.delta.dirty_prefixes").add(stats.dirty_prefixes);
+  metrics.counter("sim.delta.work_items").add(stats.work_items);
+  metrics.counter("sim.delta.rounds").add(static_cast<std::uint64_t>(round));
+  metrics.counter("sim.delta.rounds_saved")
+      .add(static_cast<std::uint64_t>(stats.rounds_saved));
+  if (stats_out != nullptr) *stats_out = stats;
+
+  result.converged = true;
+  result.rounds = round;
+  result.rib = std::move(bests);
+  return result;
+}
+
+}  // namespace acr::route

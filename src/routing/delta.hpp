@@ -1,0 +1,74 @@
+// Incremental ("delta") control-plane simulation.
+//
+// A repair-engine candidate edit touches one or two devices; re-converging
+// the whole network from locals-only round 0 to score it repeats work the
+// cached baseline already paid for. DeltaSimulator instead restarts the
+// synchronous orbit *at* the baseline fixpoint: the routers whose configs
+// changed (plus their session neighbors, whose imports may now differ) are
+// recomputed wholesale, and from there only dirty (router, prefix) work
+// items propagate along session flows until no best route changes — work
+// proportional to the edit's blast radius, not the network.
+//
+// Byte-identity contract: the returned SimResult (rib, flapping set,
+// convergence verdict, sessions) is identical to `Simulator(updated).run()`
+// with the same options. This holds because both engines share one transfer
+// function (routing/sim_internal.hpp) and because a converged baseline is a
+// fixpoint of it: un-dirty entries are already at their post-change value.
+// Whenever the premise is not airtight the DeltaSimulator silently runs the
+// full engine instead — the fallback rules (see docs/architecture.md §12):
+//   * provenance requested (derivations encode full per-round history),
+//   * baseline not converged,
+//   * topology shape changed (routers / links),
+//   * device set changed,
+//   * BGP session state changed,
+//   * ECMP recording mismatch between baseline and requested options,
+//   * round cap hit without a detected cycle.
+// The equivalence is enforced empirically by a sweep across the fault
+// campaign's error catalog (tests/routing/delta_test.cc).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "routing/simulator.hpp"
+#include "topo/network.hpp"
+
+namespace acr::route {
+
+/// Observability of one DeltaSimulator::run — also mirrored into the
+/// process-global `sim.delta.*` metrics.
+struct DeltaStats {
+  bool used_delta = false;
+  std::string fallback_reason;  // empty when used_delta
+  int rounds = 0;               // delta rounds run to the new fixpoint
+  /// Distinct prefixes that entered the dirty set (recomputed at least once).
+  std::size_t dirty_prefixes = 0;
+  /// (router, prefix) recomputations performed across all rounds.
+  std::size_t work_items = 0;
+  /// Rounds the baseline seed avoided vs. a from-scratch run (>= 0).
+  int rounds_saved = 0;
+};
+
+class DeltaSimulator {
+ public:
+  /// Both referents must outlive the DeltaSimulator; `baseline` is the
+  /// converged simulation of `baseline_network`.
+  DeltaSimulator(const topo::Network& baseline_network,
+                 const SimResult& baseline)
+      : baseline_network_(baseline_network), baseline_(baseline) {}
+
+  /// Simulates `updated` — which differs from the baseline network exactly
+  /// on `changed_devices` — incrementally from the baseline fixpoint, or
+  /// via the full engine when a fallback rule fires.
+  [[nodiscard]] SimResult run(const topo::Network& updated,
+                              const std::vector<std::string>& changed_devices,
+                              const SimOptions& options = {},
+                              DeltaStats* stats = nullptr) const;
+
+ private:
+  const topo::Network& baseline_network_;
+  const SimResult& baseline_;
+};
+
+}  // namespace acr::route

@@ -29,6 +29,11 @@ struct Route {
   std::uint32_t med = 0;
   /// Advertising neighbor's router name; empty for locally originated routes.
   std::string learned_from;
+  /// Dense id of `learned_from` in the simulating topology's router table
+  /// (0 = locally originated). Lets the decision process read the
+  /// advertising neighbor's router-id from a flat array instead of a map.
+  /// Derived state like `ecmp`: excluded from key().
+  std::int32_t learned_from_id = 0;
   /// BGP: the neighbor's peering address. Static: the configured next hop.
   /// Connected: 0.
   net::Ipv4Address next_hop;

@@ -1,0 +1,158 @@
+// Shared internals of the full (`Simulator`) and incremental
+// (`DeltaSimulator`) control-plane engines.
+//
+// Both engines must agree *byte for byte* on the per-round transfer
+// function — session flows, local-route origination, the announcement
+// transform (redistribution gates, export/import policies, AS-path
+// handling, loop prevention) and best-route selection — because the
+// DeltaSimulator's contract is producing the exact `SimResult` a
+// from-scratch run would. Keeping the transfer function in one place is
+// what makes that contract enforceable rather than aspirational.
+//
+// Not part of the public API: include only from acr_routing sources and
+// white-box tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/policy_eval.hpp"
+#include "routing/route.hpp"
+#include "routing/simulator.hpp"
+#include "topo/network.hpp"
+
+namespace acr::route::detail {
+
+/// Origin-key prefix for locally originated candidates ("" + source name).
+inline constexpr const char* kLocalOrigin = "";
+
+/// Dense router table: names interned to ids >= 1 (0 is reserved for
+/// "locally originated / unknown"), with the per-id router-id and ASN in
+/// flat arrays. Replaces the per-comparison `std::map` lookups the
+/// decision process used to pay inside `better()`.
+struct RouterTable {
+  std::unordered_map<std::string, int> index;
+  std::vector<net::Ipv4Address> router_ids;  // [0] = 0.0.0.0
+  std::vector<std::uint32_t> asns;           // [0] = 0
+
+  explicit RouterTable(const topo::Topology& topology);
+
+  [[nodiscard]] int idOf(const std::string& name) const {
+    const auto it = index.find(name);
+    return it == index.end() ? 0 : it->second;
+  }
+  [[nodiscard]] net::Ipv4Address routerIdOf(int id) const {
+    const auto index_ = static_cast<std::size_t>(id);
+    return index_ < router_ids.size() ? router_ids[index_] : net::Ipv4Address();
+  }
+};
+
+/// Candidate routes of one router: prefix -> origin key -> route. Origin
+/// keys are "neighbor name" for BGP candidates and reserved tags for
+/// local routes.
+using Candidates = std::map<net::Prefix, std::map<std::string, Route>>;
+
+/// One established session direction with everything the round loop needs
+/// resolved up front: device configs, peer statements and the effective
+/// export/import policy bindings (hoisted out of the round loop — they
+/// depend only on configuration, never on routing state).
+struct Flow {
+  std::string from;
+  std::string to;
+  int from_id = 0;
+  int to_id = 0;
+  std::uint32_t from_asn = 0;
+  std::uint32_t to_asn = 0;
+  net::Ipv4Address from_address;  // next hop the receiver will use
+  const cfg::DeviceConfig* exporter = nullptr;
+  const cfg::DeviceConfig* importer = nullptr;
+  const cfg::PeerConfig* exporter_peer = nullptr;  // on `from`, towards `to`
+  const cfg::PeerConfig* importer_peer = nullptr;  // on `to`, towards `from`
+  std::vector<cfg::LineId> session_lines;          // peer as-number lines
+  PolicyBinding export_binding;
+  PolicyBinding import_binding;
+};
+
+/// Directed flows for the established sessions, in session order (a->b
+/// then b->a per link) — candidate-map overwrite semantics depend on this
+/// order, so both engines must build flows identically.
+[[nodiscard]] std::vector<Flow> buildFlows(const topo::Network& network,
+                                           const std::vector<Session>& sessions,
+                                           const RouterTable& table);
+
+/// Local routes (connected + resolvable static) of one device, with
+/// derivations recorded into `provenance` when non-null.
+[[nodiscard]] std::vector<Route> localRoutesFor(
+    const std::string& name, const cfg::DeviceConfig& device,
+    prov::ProvenanceGraph* provenance);
+
+/// Local routes of every device, in config-map order (provenance ids
+/// depend on this order).
+[[nodiscard]] std::map<std::string, std::vector<Route>> computeLocalRoutes(
+    const topo::Network& network, prov::ProvenanceGraph* provenance);
+
+/// The decision process ("is `a` preferred over `b`"): admin distance,
+/// highest local-pref, shortest AS_PATH, lowest MED, lowest advertising
+/// router-id (via the dense table), neighbor name.
+struct RouteBetter {
+  const RouterTable* table = nullptr;
+
+  bool operator()(const Route& a, const Route& b) const {
+    if (a.source != b.source) return a.source < b.source;
+    if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
+    if (a.as_path.size() != b.as_path.size()) {
+      return a.as_path.size() < b.as_path.size();
+    }
+    if (a.med != b.med) return a.med < b.med;
+    const net::Ipv4Address id_a = table->routerIdOf(a.learned_from_id);
+    const net::Ipv4Address id_b = table->routerIdOf(b.learned_from_id);
+    if (id_a != id_b) return id_a < id_b;
+    return a.learned_from < b.learned_from;
+  }
+};
+
+/// Best route (and, when `enable_ecmp`, its equal-cost set) among one
+/// prefix's candidates; nullopt when there are none.
+[[nodiscard]] std::optional<Route> selectBestForPrefix(
+    const std::map<std::string, Route>& options_for_prefix,
+    const RouteBetter& better, bool enable_ecmp);
+
+/// Best routes for every prefix of `candidates` into `bests`.
+void selectBests(const Candidates& candidates,
+                 std::map<net::Prefix, Route>& bests, const RouteBetter& better,
+                 bool enable_ecmp);
+
+/// The announcement transform of one (flow, exporter-best) pair:
+/// redistribution gates, export policy, AS-path prepend, receiver-side
+/// loop prevention, import policy. Returns the imported candidate or
+/// nullopt when the announcement is filtered anywhere along the way.
+/// `announcements` (when non-null) counts attempts that pass the
+/// redistribution gate, exactly like `SimResult::announcements`;
+/// `provenance` (when non-null) records the derivation and assigns it to
+/// the returned route.
+[[nodiscard]] std::optional<Route> announceOnFlow(
+    const Flow& flow, const net::Prefix& prefix, const Route& route,
+    prov::ProvenanceGraph* provenance, std::uint64_t* announcements);
+
+/// 64-bit FNV-1a over `router` + '\n' + `route.key()` — the unit of the
+/// whole-RIB hash. Entries are unique per (router, prefix) because the
+/// key embeds the prefix.
+[[nodiscard]] std::uint64_t ribEntryHash(const std::string& router,
+                                         const Route& route);
+
+/// XOR-combined entry hashes: order-independent, so the DeltaSimulator
+/// can maintain it incrementally (H ^= old ^ new) while the full engine
+/// recomputes it per round. Used for oscillation detection only — the
+/// convergence check compares states exactly.
+[[nodiscard]] std::uint64_t ribHash(const Rib& rib);
+
+/// Exact state equality under the convergence semantics: same routers,
+/// same prefixes, same `Route::key()` per entry (ECMP sets are derived
+/// state and excluded, matching the historical snapshot comparison).
+[[nodiscard]] bool ribEqualByKey(const Rib& a, const Rib& b);
+
+}  // namespace acr::route::detail

@@ -1,70 +1,81 @@
 #include "routing/simulator.hpp"
 
-#include <algorithm>
-#include <functional>
+#include <mutex>
 #include <unordered_map>
+#include <utility>
 
-#include "routing/policy_eval.hpp"
+#include "netcore/prefix_trie.hpp"
+#include "routing/sim_internal.hpp"
+#include "util/metrics.hpp"
 
 namespace acr::route {
 
-namespace {
-
-struct RouterInfo {
-  std::uint32_t asn = 0;
-  net::Ipv4Address router_id;
+struct SimResult::LookupCache {
+  std::mutex mutex;
+  /// Per-router FIB tries over the owner's `rib` entries, built on first
+  /// lookup for that router. Values point into the rib map's node storage,
+  /// which is stable as long as the rib is not mutated.
+  std::map<std::string, net::PrefixTrie<const Route*>> fib;
+  bool flapping_built = false;
+  net::PrefixTrie<bool> flapping;
 };
 
-/// Candidate routes of one router: origin key -> route. Origin keys are
-/// "neighbor name" for BGP candidates and reserved tags for local routes.
-using Candidates = std::map<net::Prefix, std::map<std::string, Route>>;
+SimResult::SimResult() : cache_(std::make_shared<LookupCache>()) {}
+SimResult::~SimResult() = default;
 
-constexpr const char* kLocalOrigin = "";
+SimResult::SimResult(const SimResult& other)
+    : converged(other.converged),
+      rounds(other.rounds),
+      flapping(other.flapping),
+      rib(other.rib),
+      provenance(other.provenance),
+      sessions(other.sessions),
+      announcements(other.announcements),
+      cache_(std::make_shared<LookupCache>()) {}
 
-/// One established session direction, with the resolved policy bindings.
-struct Flow {
-  std::string from;
-  std::string to;
-  net::Ipv4Address from_address;  // next hop the receiver will use
-  const cfg::PeerConfig* exporter_peer = nullptr;  // on `from`, towards `to`
-  const cfg::PeerConfig* importer_peer = nullptr;  // on `to`, towards `from`
-  std::vector<cfg::LineId> session_lines;          // peer as-number lines
-};
-
-std::string snapshotOf(const Rib& rib) {
-  std::string out;
-  for (const auto& [router, routes] : rib) {
-    out += router;
-    out += '\n';
-    for (const auto& [prefix, route] : routes) {
-      out += route.key();
-      out += '\n';
-    }
-  }
-  return out;
+SimResult& SimResult::operator=(const SimResult& other) {
+  if (this == &other) return *this;
+  converged = other.converged;
+  rounds = other.rounds;
+  flapping = other.flapping;
+  rib = other.rib;
+  provenance = other.provenance;
+  sessions = other.sessions;
+  announcements = other.announcements;
+  cache_ = std::make_shared<LookupCache>();
+  return *this;
 }
 
-}  // namespace
+SimResult::SimResult(SimResult&& other) noexcept = default;
+SimResult& SimResult::operator=(SimResult&& other) noexcept = default;
 
 const Route* SimResult::lookup(const std::string& router,
                                net::Ipv4Address destination) const {
   const auto it = rib.find(router);
   if (it == rib.end()) return nullptr;
-  const Route* best = nullptr;
-  for (const auto& [prefix, route] : it->second) {
-    if (!prefix.contains(destination)) continue;
-    if (best == nullptr || prefix.length() > best->prefix.length()) {
-      best = &route;
+  if (!cache_) cache_ = std::make_shared<LookupCache>();  // moved-from revival
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  auto [entry, inserted] = cache_->fib.try_emplace(router);
+  if (inserted) {
+    for (const auto& [prefix, route] : it->second) {
+      entry->second.insert(prefix, &route);
     }
   }
-  return best;
+  const Route* const* found = entry->second.longestMatch(destination);
+  return found != nullptr ? *found : nullptr;
 }
 
 bool SimResult::isFlapping(net::Ipv4Address destination) const {
-  return std::any_of(flapping.begin(), flapping.end(),
-                     [&](const net::Prefix& prefix) {
-                       return prefix.contains(destination);
-                     });
+  if (flapping.empty()) return false;
+  if (!cache_) cache_ = std::make_shared<LookupCache>();  // moved-from revival
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  if (!cache_->flapping_built) {
+    for (const net::Prefix& prefix : flapping) {
+      cache_->flapping.insert(prefix, true);
+    }
+    cache_->flapping_built = true;
+  }
+  return cache_->flapping.longestMatch(destination) != nullptr;
 }
 
 std::vector<Session> Simulator::computeSessions() const {
@@ -108,288 +119,139 @@ std::vector<Session> Simulator::computeSessions() const {
   return sessions;
 }
 
+namespace {
+
+/// The cycle-window diff: prefixes present-and-different or present-on-one-
+/// side-only between the representative state and another window state.
+void diffCycleStates(std::set<net::Prefix>& flapping, const Rib& representative,
+                     const Rib& other_state) {
+  for (const auto& [router, routes] : representative) {
+    const auto other_it = other_state.find(router);
+    static const std::map<net::Prefix, Route> kEmpty;
+    const auto& other = other_it == other_state.end() ? kEmpty : other_it->second;
+    for (const auto& [prefix, route] : routes) {
+      const auto it = other.find(prefix);
+      if (it == other.end() || it->second.key() != route.key()) {
+        flapping.insert(prefix);
+      }
+    }
+    for (const auto& [prefix, route] : other) {
+      if (routes.find(prefix) == routes.end()) {
+        flapping.insert(prefix);
+      }
+    }
+  }
+}
+
+}  // namespace
+
 SimResult Simulator::run(const SimOptions& options) const {
   SimResult result;
-  const topo::Topology& topology = network_.topology;
-
-  std::map<std::string, RouterInfo> info;
-  for (const auto& router : topology.routers()) {
-    info[router.name] = RouterInfo{router.asn, router.router_id};
-  }
-
+  const detail::RouterTable table(network_.topology);
   result.sessions = computeSessions();
-
-  // Build directed flows for the established sessions.
-  std::vector<Flow> flows;
-  for (const auto& session : result.sessions) {
-    if (!session.up) continue;
-    for (const auto& [from, to, from_addr, to_addr] :
-         {std::tuple{session.a, session.b, session.a_address,
-                     session.b_address},
-          std::tuple{session.b, session.a, session.b_address,
-                     session.a_address}}) {
-      Flow flow;
-      flow.from = from;
-      flow.to = to;
-      flow.from_address = from_addr;
-      const cfg::DeviceConfig* exporter = network_.config(from);
-      const cfg::DeviceConfig* importer = network_.config(to);
-      flow.exporter_peer = exporter->bgp->findPeer(to_addr);
-      flow.importer_peer = importer->bgp->findPeer(from_addr);
-      flow.session_lines = {
-          cfg::LineId{from, flow.exporter_peer->as_line},
-          cfg::LineId{to, flow.importer_peer->as_line},
-      };
-      flows.push_back(flow);
-    }
-  }
+  const std::vector<detail::Flow> flows =
+      detail::buildFlows(network_, result.sessions, table);
 
   // Local routes (connected + resolvable static), with their derivations.
-  std::map<std::string, std::vector<Route>> local_routes;
-  for (const auto& [name, device] : network_.configs) {
-    std::vector<Route>& routes = local_routes[name];
-    for (const auto& itf : device.interfaces) {
-      Route route;
-      route.prefix = itf.connectedPrefix();
-      route.source = RouteSource::kConnected;
-      if (options.record_provenance) {
-        route.derivation = result.provenance.add(prov::Derivation{
-            name, route.prefix, prov::kNoDerivation,
-            {cfg::LineId{name, itf.ip_line}}});
-      }
-      routes.push_back(route);
-    }
-    for (const auto& sr : device.static_routes) {
-      const bool resolvable =
-          std::any_of(device.interfaces.begin(), device.interfaces.end(),
-                      [&](const cfg::InterfaceConfig& itf) {
-                        return itf.connectedPrefix().contains(sr.next_hop);
-                      });
-      if (!resolvable) continue;  // inactive static route
-      Route route;
-      route.prefix = sr.prefix;
-      route.source = RouteSource::kStatic;
-      route.next_hop = sr.next_hop;
-      if (options.record_provenance) {
-        route.derivation = result.provenance.add(prov::Derivation{
-            name, route.prefix, prov::kNoDerivation,
-            {cfg::LineId{name, sr.line}}});
-      }
-      routes.push_back(route);
-    }
-  }
+  const std::map<std::string, std::vector<Route>> local_routes =
+      detail::computeLocalRoutes(
+          network_, options.record_provenance ? &result.provenance : nullptr);
 
-  // Decision process.
-  const auto better = [&](const Route& a, const Route& b) {
-    // Returns true when `a` is preferred over `b`.
-    if (a.source != b.source) return a.source < b.source;
-    if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
-    if (a.as_path.size() != b.as_path.size()) {
-      return a.as_path.size() < b.as_path.size();
-    }
-    if (a.med != b.med) return a.med < b.med;
-    const net::Ipv4Address id_a = info[a.learned_from].router_id;
-    const net::Ipv4Address id_b = info[b.learned_from].router_id;
-    if (id_a != id_b) return id_a < id_b;
-    return a.learned_from < b.learned_from;
-  };
-
-  // Routes tie for ECMP when everything ahead of the router-id tiebreak is
-  // equal.
-  const auto equalCost = [](const Route& a, const Route& b) {
-    return a.source == b.source && a.local_pref == b.local_pref &&
-           a.as_path.size() == b.as_path.size() && a.med == b.med;
-  };
-
-  const auto selectBests = [&](const Candidates& candidates,
-                               std::map<net::Prefix, Route>& bests) {
-    bests.clear();
-    for (const auto& [prefix, options_for_prefix] : candidates) {
-      const Route* best = nullptr;
-      for (const auto& [origin, route] : options_for_prefix) {
-        if (best == nullptr || better(route, *best)) best = &route;
-      }
-      if (best == nullptr) continue;
-      Route selected = *best;
-      selected.ecmp.clear();
-      if (options.enable_ecmp && selected.source == RouteSource::kBgp) {
-        for (const auto& [origin, route] : options_for_prefix) {
-          if (route.source == RouteSource::kBgp && equalCost(route, *best)) {
-            selected.ecmp.emplace_back(route.learned_from, route.next_hop);
-          }
-        }
-        std::sort(selected.ecmp.begin(), selected.ecmp.end());
-      }
-      bests.emplace(prefix, std::move(selected));
-    }
-  };
+  const detail::RouteBetter better{&table};
 
   // Round 0: local routes only.
-  std::map<std::string, Candidates> candidates;
-  for (const auto& [name, routes] : local_routes) {
-    for (const auto& route : routes) {
-      candidates[name][route.prefix][kLocalOrigin + routeSourceName(
-                                         route.source)] = route;
-    }
-  }
   Rib bests;
   for (const auto& [name, device] : network_.configs) {
-    selectBests(candidates[name], bests[name]);
+    detail::Candidates candidates;
+    for (const auto& route : local_routes.at(name)) {
+      candidates[route.prefix]
+                [detail::kLocalOrigin + routeSourceName(route.source)] = route;
+    }
+    detail::selectBests(candidates, bests[name], better, options.enable_ecmp);
   }
 
-  std::vector<std::string> snapshots{snapshotOf(bests)};
-  std::vector<Rib> states{bests};
+  // One synchronous round: candidates are locals plus the announcements
+  // computed from `current` (the previous round's bests). `record` is false
+  // only while re-walking an already-simulated cycle window, where the
+  // announcement count and provenance must not grow.
+  const auto computeRound = [&](const Rib& current, bool record) {
+    std::map<std::string, detail::Candidates> next;
+    for (const auto& [name, routes] : local_routes) {
+      for (const auto& route : routes) {
+        next[name][route.prefix]
+            [detail::kLocalOrigin + routeSourceName(route.source)] = route;
+      }
+    }
+    prov::ProvenanceGraph* provenance =
+        record && options.record_provenance ? &result.provenance : nullptr;
+    std::uint64_t* announcements = record ? &result.announcements : nullptr;
+    for (const detail::Flow& flow : flows) {
+      const auto from_it = current.find(flow.from);
+      if (from_it == current.end()) continue;
+      for (const auto& [prefix, route] : from_it->second) {
+        auto imported = detail::announceOnFlow(flow, prefix, route, provenance,
+                                               announcements);
+        if (imported) next[flow.to][prefix][flow.from] = std::move(*imported);
+      }
+    }
+    Rib new_bests;
+    for (const auto& [name, device] : network_.configs) {
+      detail::selectBests(next[name], new_bests[name], better,
+                          options.enable_ecmp);
+    }
+    return new_bests;
+  };
+
+  // History is hashes, not states: convergence is an exact compare against
+  // the immediately preceding round, oscillation detection a 64-bit RIB
+  // hash seen before. Only two states are ever held (`bests` and
+  // `previous`, for the round-cap diff); the cycle window is re-derived on
+  // the rare oscillation path instead of retained every round.
+  std::unordered_map<std::uint64_t, int> round_of_hash;
+  round_of_hash.emplace(detail::ribHash(bests), 0);
+  Rib previous;
 
   for (int round = 1; round <= options.max_rounds; ++round) {
     result.rounds = round;
-    // Rebuild candidates: locals plus this round's announcements, computed
-    // from the previous round's bests (synchronous model).
-    std::map<std::string, Candidates> next;
-    for (const auto& [name, routes] : local_routes) {
-      for (const auto& route : routes) {
-        next[name][route.prefix][kLocalOrigin + routeSourceName(
-                                     route.source)] = route;
-      }
-    }
+    Rib new_bests = computeRound(bests, /*record=*/true);
 
-    for (const Flow& flow : flows) {
-      const cfg::DeviceConfig& exporter = *network_.config(flow.from);
-      const cfg::DeviceConfig& importer = *network_.config(flow.to);
-      const std::uint32_t from_asn = info[flow.from].asn;
-      const std::uint32_t to_asn = info[flow.to].asn;
-      const PolicyBinding export_binding = resolvePolicyBinding(
-          exporter, *flow.exporter_peer, Direction::kExport);
-      const PolicyBinding import_binding = resolvePolicyBinding(
-          importer, *flow.importer_peer, Direction::kImport);
-
-      for (const auto& [prefix, route] : bests[flow.from]) {
-        // Redistribution gate for locally originated routes.
-        if (route.source == RouteSource::kConnected) {
-          if (!exporter.bgp->redistributes_source(cfg::RedistSource::kConnected))
-            continue;
-          if (prefix.length() >= 30) continue;  // never leak transfer subnets
-        } else if (route.source == RouteSource::kStatic) {
-          if (!exporter.bgp->redistributes_source(cfg::RedistSource::kStatic))
-            continue;
-        }
-        ++result.announcements;
-
-        Route announced = route;
-        announced.source = RouteSource::kBgp;
-        announced.ecmp.clear();  // derived state, never advertised
-        std::vector<cfg::LineId> lines = flow.session_lines;
-        if (options.record_provenance) {
-          lines.insert(lines.end(), export_binding.lines.begin(),
-                       export_binding.lines.end());
-          if (route.source != RouteSource::kBgp &&
-              exporter.bgp) {  // attribute the redistribute line
-            for (const auto& redist : exporter.bgp->redistributes) {
-              if ((route.source == RouteSource::kConnected &&
-                   redist.source == cfg::RedistSource::kConnected) ||
-                  (route.source == RouteSource::kStatic &&
-                   redist.source == cfg::RedistSource::kStatic)) {
-                lines.push_back(cfg::LineId{flow.from, redist.line});
-              }
-            }
-          }
-        }
-        if (export_binding.bound) {
-          PolicyVerdict verdict = applyRoutePolicy(
-              exporter, export_binding.policy, announced, from_asn);
-          if (options.record_provenance) {
-            for (auto& line : verdict.lines) line.device = flow.from;
-            lines.insert(lines.end(), verdict.lines.begin(),
-                         verdict.lines.end());
-          }
-          if (!verdict.permitted) continue;
-          announced = verdict.route;
-        }
-        // Prepend own AS unless the overwrite already installed it in front.
-        if (announced.as_path.empty() || announced.as_path.front() != from_asn) {
-          announced.as_path.insert(announced.as_path.begin(), from_asn);
-        }
-
-        // Receiver-side loop prevention on the advertised path.
-        if (std::find(announced.as_path.begin(), announced.as_path.end(),
-                      to_asn) != announced.as_path.end()) {
-          continue;
-        }
-
-        Route imported = announced;
-        imported.local_pref = 100;  // local-pref is not transitive over eBGP
-        imported.learned_from = flow.from;
-        imported.next_hop = flow.from_address;
-        if (import_binding.bound) {
-          lines.insert(lines.end(), import_binding.lines.begin(),
-                       import_binding.lines.end());
-          PolicyVerdict verdict = applyRoutePolicy(
-              importer, import_binding.policy, imported, to_asn);
-          if (options.record_provenance) {
-            lines.insert(lines.end(), verdict.lines.begin(),
-                         verdict.lines.end());
-          }
-          if (!verdict.permitted) continue;
-          imported = verdict.route;
-        }
-        if (options.record_provenance) {
-          imported.derivation = result.provenance.add(prov::Derivation{
-              flow.to, prefix, route.derivation, std::move(lines)});
-        }
-        next[flow.to][prefix][flow.from] = imported;
-      }
-    }
-
-    candidates = std::move(next);
-    Rib new_bests;
-    for (const auto& [name, device] : network_.configs) {
-      selectBests(candidates[name], new_bests[name]);
-    }
-    std::string snapshot = snapshotOf(new_bests);
-
-    if (snapshot == snapshots.back()) {
+    if (detail::ribEqualByKey(new_bests, bests)) {
       result.converged = true;
       result.rib = std::move(new_bests);
       return result;
     }
 
-    // Oscillation: the state repeats without being a fixpoint.
-    for (std::size_t i = 0; i < snapshots.size(); ++i) {
-      if (snapshots[i] != snapshot) continue;
-      // Cycle window: rounds i .. current. Flapping prefixes are those whose
-      // best differs anywhere inside the window.
-      for (std::size_t j = i; j < states.size(); ++j) {
-        for (const auto& [router, routes] : new_bests) {
-          const auto& other = states[j].at(router);
-          for (const auto& [prefix, route] : routes) {
-            const auto it = other.find(prefix);
-            if (it == other.end() || it->second.key() != route.key()) {
-              result.flapping.insert(prefix);
-            }
-          }
-          for (const auto& [prefix, route] : other) {
-            if (routes.find(prefix) == routes.end()) {
-              result.flapping.insert(prefix);
-            }
-          }
-        }
+    const std::uint64_t hash = detail::ribHash(new_bests);
+    const auto [seen, inserted] = round_of_hash.emplace(hash, round);
+    if (!inserted) {
+      // Oscillation: this state was first reached at round `seen->second`,
+      // so the orbit is periodic with this cycle length. Re-walk the cycle
+      // once (recording off) to recover the window states and flag every
+      // prefix whose best differs anywhere inside it.
+      const int cycle_length = round - seen->second;
+      util::MetricsRegistry::global().counter("sim.full.history_ribs").add(1);
+      Rib representative = std::move(new_bests);
+      Rib walker = representative;  // the one retained history copy
+      for (int step = 0; step + 1 < cycle_length; ++step) {
+        walker = computeRound(walker, /*record=*/false);
+        diffCycleStates(result.flapping, representative, walker);
       }
       result.converged = false;
-      result.rib = std::move(new_bests);
+      result.rib = std::move(representative);
       return result;
     }
 
-    snapshots.push_back(std::move(snapshot));
-    states.push_back(new_bests);
+    previous = std::move(bests);
     bests = std::move(new_bests);
   }
 
   // Round cap hit without a detected cycle: report the prefixes still in
   // motion between the last two rounds as flapping.
   result.converged = false;
-  const Rib& last = states.back();
-  const Rib& previous = states[states.size() - 2];
-  for (const auto& [router, routes] : last) {
-    const auto& other = previous.at(router);
+  for (const auto& [router, routes] : bests) {
+    const auto other_it = previous.find(router);
+    static const std::map<net::Prefix, Route> kEmpty;
+    const auto& other = other_it == previous.end() ? kEmpty : other_it->second;
     for (const auto& [prefix, route] : routes) {
       const auto it = other.find(prefix);
       if (it == other.end() || it->second.key() != route.key()) {
@@ -397,7 +259,7 @@ SimResult Simulator::run(const SimOptions& options) const {
       }
     }
   }
-  result.rib = last;
+  result.rib = std::move(bests);
   return result;
 }
 

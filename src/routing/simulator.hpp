@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -64,9 +65,30 @@ struct SimResult {
   std::vector<Session> sessions;
   std::uint64_t announcements = 0;
 
+  SimResult();
+  ~SimResult();
+  /// Copies re-derive their own longest-prefix-match cache lazily: the
+  /// cache indexes the owner's `rib` storage, so sharing it across copies
+  /// would dangle.
+  SimResult(const SimResult& other);
+  SimResult& operator=(const SimResult& other);
+  SimResult(SimResult&& other) noexcept;
+  SimResult& operator=(SimResult&& other) noexcept;
+
+  /// Longest-prefix match over `router`'s RIB, backed by a lazily built
+  /// per-router PrefixTrie. Safe to call concurrently; build the RIB fully
+  /// before the first lookup (later `rib` mutations are not re-indexed).
   [[nodiscard]] const Route* lookup(const std::string& router,
                                     net::Ipv4Address destination) const;
+  /// True when any flapping prefix covers `destination` (trie-backed, same
+  /// caveats as lookup()).
   [[nodiscard]] bool isFlapping(net::Ipv4Address destination) const;
+
+ private:
+  struct LookupCache;
+  /// Lazily built LPM index over `rib` and `flapping`, guarded by its own
+  /// mutex (lookups are logically const, hence mutable).
+  mutable std::shared_ptr<LookupCache> cache_;
 };
 
 class Simulator {

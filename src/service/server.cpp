@@ -128,15 +128,21 @@ Json RepairService::handleSubmit(const Json& request) {
           }
           repair::RepairOptions options = repair_options;
           options.cancel = &cancelled;
-          // Cache hit: reuse the parsed scenario (the engine re-anchors its
-          // own incremental verifier from it — same inputs, same bytes as
-          // the offline run). Cache off: plain load, no priming.
-          ops::RepairOutcome outcome =
-              cache_enabled
-                  ? ops::repairScenario(cache->fetch(dir)->loaded.scenario,
-                                        options, report)
-                  : ops::repairScenario(LoadScenario(dir).scenario, options,
-                                        report);
+          // Cache hit: reuse the parsed scenario AND its primed baseline
+          // simulation — the engine adopts the latter as its incremental
+          // verifier's anchor instead of re-converging (same converged
+          // state, same bytes as the offline run). Cache off: plain load,
+          // no priming.
+          ops::RepairOutcome outcome;
+          if (cache_enabled) {
+            const std::shared_ptr<const Snapshot> snapshot = cache->fetch(dir);
+            options.baseline_sim = &snapshot->baseline_sim;
+            outcome =
+                ops::repairScenario(snapshot->loaded.scenario, options, report);
+          } else {
+            outcome =
+                ops::repairScenario(LoadScenario(dir).scenario, options, report);
+          }
           return JobResult{outcome.result.success ? 0 : 1,
                            std::move(outcome.text)};
         } catch (const std::exception& error) {

@@ -2,6 +2,9 @@
 
 #include <set>
 
+#include "netcore/prefix_trie.hpp"
+#include "routing/delta.hpp"
+
 namespace acr::verify {
 
 IncrementalVerifier::IncrementalVerifier(std::vector<Intent> intents,
@@ -31,6 +34,8 @@ void IncrementalVerifier::exportStats(util::MetricsRegistry& registry) const {
   registry.counter("verify.tests_total").add(stats_.tests_total);
   registry.counter("verify.tests_reverified").add(stats_.tests_reverified);
   registry.counter("verify.tests_skipped").add(stats_.tests_skipped);
+  registry.counter("verify.delta_sims").add(stats_.delta_sims);
+  registry.counter("verify.delta_fallbacks").add(stats_.delta_fallbacks);
 }
 
 VerifyResult IncrementalVerifier::toVerifyResult() const {
@@ -43,10 +48,21 @@ VerifyResult IncrementalVerifier::toVerifyResult() const {
   return out;
 }
 
-VerifyResult IncrementalVerifier::baseline(const topo::Network& network) {
+VerifyResult IncrementalVerifier::baseline(const topo::Network& network,
+                                           const route::SimResult* seed_sim) {
   const Verifier verifier(intents_, sim_options_, multipath_);
-  route::SimResult sim = route::Simulator(network).run(sim_options_);
-  ++stats_.simulations;
+  route::SimResult sim;
+  // A seed is only adopted when it plausibly belongs to this network (one
+  // RIB per configured device); anything else re-simulates. Derivation ids
+  // inside an adopted seed may reference the seed's own provenance graph —
+  // verdicts, traces and FIBs never depend on them.
+  if (seed_sim != nullptr &&
+      seed_sim->rib.size() == network.configs.size()) {
+    sim = *seed_sim;
+  } else {
+    sim = route::Simulator(network).run(sim_options_);
+    ++stats_.simulations;
+  }
   cached_results_ = verifier.runTests(network, sim, tests_);
   stats_.tests_total += tests_.size();
   stats_.tests_reverified += tests_.size();
@@ -55,12 +71,34 @@ VerifyResult IncrementalVerifier::baseline(const topo::Network& network) {
   return toVerifyResult();
 }
 
+route::SimResult IncrementalVerifier::simulate(
+    const topo::Network& network, const std::vector<cfg::ConfigDiff>& diffs) {
+  ++stats_.simulations;
+  if (use_delta_) {
+    std::vector<std::string> changed;
+    changed.reserve(diffs.size());
+    for (const auto& diff : diffs) changed.push_back(diff.device);
+    route::DeltaStats delta_stats;
+    const route::DeltaSimulator delta(*cached_network_, *cached_sim_);
+    route::SimResult sim =
+        delta.run(network, changed, sim_options_, &delta_stats);
+    if (delta_stats.used_delta) {
+      ++stats_.delta_sims;
+    } else {
+      ++stats_.delta_fallbacks;
+    }
+    return sim;
+  }
+  return route::Simulator(network).run(sim_options_);
+}
+
 VerifyResult IncrementalVerifier::probe(const topo::Network& network) {
   if (!cached_sim_ || !cached_network_) return baseline(network);
-  route::SimResult sim = route::Simulator(network).run(sim_options_);
-  ++stats_.simulations;
+  const std::vector<cfg::ConfigDiff> diffs =
+      diffNetworks(*cached_network_, network);
+  const route::SimResult sim = simulate(network, diffs);
   std::vector<TestResult> results = cached_results_;
-  rejudge(network, sim, results);
+  rejudge(network, sim, diffs, results);
   VerifyResult out;
   out.tests_run = static_cast<int>(results.size());
   for (const auto& result : results) {
@@ -73,9 +111,10 @@ VerifyResult IncrementalVerifier::probe(const topo::Network& network) {
 VerifyResult IncrementalVerifier::update(const topo::Network& network) {
   if (!cached_sim_ || !cached_network_) return baseline(network);
 
-  route::SimResult sim = route::Simulator(network).run(sim_options_);
-  ++stats_.simulations;
-  rejudge(network, sim, cached_results_);
+  const std::vector<cfg::ConfigDiff> diffs =
+      diffNetworks(*cached_network_, network);
+  route::SimResult sim = simulate(network, diffs);
+  rejudge(network, sim, diffs, cached_results_);
   cached_sim_ = std::move(sim);
   cached_network_ = network;
   return toVerifyResult();
@@ -83,11 +122,12 @@ VerifyResult IncrementalVerifier::update(const topo::Network& network) {
 
 void IncrementalVerifier::rejudge(const topo::Network& network,
                                   const route::SimResult& sim,
+                                  const std::vector<cfg::ConfigDiff>& diffs,
                                   std::vector<TestResult>& results) {
 
   // Changed devices (catches data-plane-only edits such as PBR rules).
   std::set<std::string> changed_devices;
-  for (const auto& diff : diffNetworks(*cached_network_, network)) {
+  for (const auto& diff : diffs) {
     changed_devices.insert(diff.device);
   }
 
@@ -113,11 +153,12 @@ void IncrementalVerifier::rejudge(const topo::Network& network,
                           cached_sim_->flapping.end());
   changed_prefixes.insert(sim.flapping.begin(), sim.flapping.end());
 
+  // Longest-prefix-match beats the linear scan once a few prefixes churn:
+  // every test queries this twice (src and dst).
+  net::PrefixTrie<bool> changed_trie;
+  for (const auto& prefix : changed_prefixes) changed_trie.insert(prefix, true);
   const auto address_affected = [&](net::Ipv4Address address) {
-    for (const auto& prefix : changed_prefixes) {
-      if (prefix.contains(address)) return true;
-    }
-    return false;
+    return changed_trie.longestMatch(address) != nullptr;
   };
 
   const Verifier verifier(intents_, sim_options_, multipath_);

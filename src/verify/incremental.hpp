@@ -38,8 +38,12 @@ class IncrementalVerifier {
                       std::vector<TestCase> tests,
                       route::SimOptions sim_options, bool multipath = false);
 
-  /// Full verification; primes the cache.
-  VerifyResult baseline(const topo::Network& network);
+  /// Full verification; primes the cache. When `seed_sim` is a compatible
+  /// pre-converged simulation of `network` (e.g. the acrd snapshot cache's
+  /// primed baseline), it is adopted instead of re-simulating — its rib,
+  /// flapping set and sessions are what the simulation would produce.
+  VerifyResult baseline(const topo::Network& network,
+                        const route::SimResult* seed_sim = nullptr);
 
   /// Differential verification against the cached state; updates the cache.
   /// Falls back to baseline() when no cache exists.
@@ -56,6 +60,10 @@ class IncrementalVerifier {
     std::uint64_t tests_total = 0;
     std::uint64_t tests_reverified = 0;
     std::uint64_t tests_skipped = 0;
+    /// Simulations served by the DeltaSimulator's incremental path vs.
+    /// those that fell back to a full run (both also count `simulations`).
+    std::uint64_t delta_sims = 0;
+    std::uint64_t delta_fallbacks = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void resetStats() { stats_ = {}; }
@@ -64,6 +72,12 @@ class IncrementalVerifier {
   /// documented in docs/architecture.md §Metrics): verify.simulations,
   /// verify.tests_total, verify.tests_reverified, verify.tests_skipped.
   void exportStats(util::MetricsRegistry& registry) const;
+
+  /// Escape hatch: route probe()/update() simulations through a full
+  /// `Simulator::run` even when the delta path would apply (default on —
+  /// the DeltaSimulator falls back on its own whenever byte-identity is
+  /// not guaranteed).
+  void setUseDeltaSim(bool use) { use_delta_ = use; }
 
   [[nodiscard]] const route::SimResult* cachedSim() const {
     return cached_sim_ ? &*cached_sim_ : nullptr;
@@ -74,15 +88,25 @@ class IncrementalVerifier {
  private:
   VerifyResult toVerifyResult() const;
 
+  /// The cached-anchor simulation of `network`: incremental
+  /// (DeltaSimulator seeded with the cached sim + `diffs`) when enabled,
+  /// full otherwise. Requires a primed cache.
+  [[nodiscard]] route::SimResult simulate(
+      const topo::Network& network, const std::vector<cfg::ConfigDiff>& diffs);
+
   /// Differential core shared by update() and probe(): recomputes the
   /// affected entries of `results` against `sim`, leaving the cache alone.
+  /// `diffs` is diffNetworks(cached network, network), computed once by the
+  /// caller and shared with the delta simulation.
   void rejudge(const topo::Network& network, const route::SimResult& sim,
+               const std::vector<cfg::ConfigDiff>& diffs,
                std::vector<TestResult>& results);
 
   std::vector<Intent> intents_;
   std::vector<TestCase> tests_;
   route::SimOptions sim_options_;
   bool multipath_ = false;
+  bool use_delta_ = true;
   Stats stats_;
 
   std::optional<route::SimResult> cached_sim_;

@@ -1,0 +1,382 @@
+// DeltaSimulator byte-identity contract.
+//
+// The incremental engine must be indistinguishable from a from-scratch run:
+// same convergence verdict, same flapping set, same RIB down to every route
+// field. The sweep below enforces this across the fault campaign's error
+// catalog in both directions — injecting each fault into a healthy baseline
+// and repairing each fault from a faulty baseline — plus the explicit
+// fallback triggers and the oscillation case.
+#include "routing/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "core/scenarios.hpp"
+#include "faultinject/faults.hpp"
+#include "routing/simulator.hpp"
+#include "util/metrics.hpp"
+
+namespace acr::route {
+namespace {
+
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+
+SimOptions deltaOptions() {
+  SimOptions options;
+  options.record_provenance = false;
+  return options;
+}
+
+std::vector<std::string> devicesOf(const std::vector<cfg::ConfigDiff>& diffs) {
+  std::vector<std::string> devices;
+  for (const auto& diff : diffs) devices.push_back(diff.device);
+  return devices;
+}
+
+/// Field-level equality of two simulation results — stricter than
+/// Route::key(): it also checks the derived state (ECMP sets, derivation
+/// ids) and the session table.
+void expectSimEqual(const SimResult& actual, const SimResult& expected) {
+  EXPECT_EQ(actual.converged, expected.converged);
+  EXPECT_EQ(actual.flapping, expected.flapping);
+
+  ASSERT_EQ(actual.sessions.size(), expected.sessions.size());
+  for (std::size_t i = 0; i < expected.sessions.size(); ++i) {
+    EXPECT_EQ(actual.sessions[i].a, expected.sessions[i].a);
+    EXPECT_EQ(actual.sessions[i].b, expected.sessions[i].b);
+    EXPECT_EQ(actual.sessions[i].up, expected.sessions[i].up);
+    EXPECT_EQ(actual.sessions[i].down_reason, expected.sessions[i].down_reason);
+  }
+
+  ASSERT_EQ(actual.rib.size(), expected.rib.size());
+  auto actual_it = actual.rib.begin();
+  for (const auto& [router, routes] : expected.rib) {
+    ASSERT_EQ(actual_it->first, router);
+    const auto& actual_routes = actual_it->second;
+    ASSERT_EQ(actual_routes.size(), routes.size()) << "router " << router;
+    auto entry_it = actual_routes.begin();
+    for (const auto& [prefix, route] : routes) {
+      ASSERT_EQ(entry_it->first, prefix) << "router " << router;
+      const Route& actual_route = entry_it->second;
+      EXPECT_EQ(actual_route.key(), route.key())
+          << "router " << router << " prefix " << prefix.str();
+      EXPECT_EQ(actual_route.ecmp, route.ecmp)
+          << "router " << router << " prefix " << prefix.str();
+      EXPECT_EQ(actual_route.derivation, route.derivation)
+          << "router " << router << " prefix " << prefix.str();
+      EXPECT_EQ(actual_route.learned_from_id, route.learned_from_id)
+          << "router " << router << " prefix " << prefix.str();
+      ++entry_it;
+    }
+    ++actual_it;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The campaign sweep: every Table-1 error type, both directions.
+// ---------------------------------------------------------------------------
+
+class DeltaEquivalence : public ::testing::TestWithParam<inject::FaultType> {};
+
+TEST_P(DeltaEquivalence, InjectedFaultMatchesFullRun) {
+  const inject::FaultSpec& spec = inject::specOf(GetParam());
+  acr::Scenario scenario = acr::scenarioByFamily(spec.scenario);
+  inject::FaultInjector injector(11);
+  const auto incident = injector.inject(scenario.built, GetParam());
+  ASSERT_TRUE(incident.has_value()) << spec.label;
+  const SimOptions options = deltaOptions();
+
+  const SimResult baseline = Simulator(scenario.network()).run(options);
+  const SimResult full = Simulator(incident->network).run(options);
+  DeltaStats stats;
+  const DeltaSimulator delta(scenario.network(), baseline);
+  const SimResult incremental =
+      delta.run(incident->network, devicesOf(incident->injected_diff), options,
+                &stats);
+  expectSimEqual(incremental, full);
+}
+
+TEST_P(DeltaEquivalence, RepairedFaultMatchesFullRun) {
+  // The repair engine's real workload: the anchor is the *faulty* network
+  // and the candidate update restores the correct configs.
+  const inject::FaultSpec& spec = inject::specOf(GetParam());
+  acr::Scenario scenario = acr::scenarioByFamily(spec.scenario);
+  inject::FaultInjector injector(11);
+  const auto incident = injector.inject(scenario.built, GetParam());
+  ASSERT_TRUE(incident.has_value()) << spec.label;
+  const SimOptions options = deltaOptions();
+
+  const SimResult baseline = Simulator(incident->network).run(options);
+  const SimResult full = Simulator(scenario.network()).run(options);
+  DeltaStats stats;
+  const DeltaSimulator delta(incident->network, baseline);
+  const SimResult incremental =
+      delta.run(scenario.network(), devicesOf(incident->injected_diff), options,
+                &stats);
+  expectSimEqual(incremental, full);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaultTypes, DeltaEquivalence,
+    ::testing::Values(inject::FaultType::kMissingRedistribution,
+                      inject::FaultType::kMissingPbrPermit,
+                      inject::FaultType::kExtraPbrRedirect,
+                      inject::FaultType::kMissingPeerGroup,
+                      inject::FaultType::kExtraGroupItems,
+                      inject::FaultType::kMissingRoutePolicy,
+                      inject::FaultType::kLeftoverRouteMap,
+                      inject::FaultType::kWrongPeerAs,
+                      inject::FaultType::kMissingPrefixListItemsS,
+                      inject::FaultType::kMissingPrefixListItemsM),
+    [](const ::testing::TestParamInfo<inject::FaultType>& info) {
+      std::string name = inject::faultTypeName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Delta-path engagement and locality.
+// ---------------------------------------------------------------------------
+
+TEST(Delta, EngagesOnConfigOnlyEdit) {
+  acr::Scenario scenario = acr::dcnScenario(2, 2);
+  const SimOptions options = deltaOptions();
+  const SimResult baseline = Simulator(scenario.network()).run(options);
+  ASSERT_TRUE(baseline.converged);
+
+  topo::Network edited = scenario.network();
+  edited.config("tor1_1")->bgp->redistributes.clear();
+  edited.renumberAll();
+
+  DeltaStats stats;
+  const DeltaSimulator delta(scenario.network(), baseline);
+  const SimResult incremental =
+      delta.run(edited, {"tor1_1"}, options, &stats);
+  EXPECT_TRUE(stats.used_delta) << stats.fallback_reason;
+  EXPECT_GT(stats.work_items, 0u);
+  expectSimEqual(incremental, Simulator(edited).run(options));
+
+  // Locality: a single-ToR edit must not dirty anywhere near the whole
+  // (router, prefix) work space of the network.
+  std::size_t total_entries = 0;
+  for (const auto& [router, routes] : baseline.rib) {
+    total_entries += routes.size();
+  }
+  EXPECT_LT(stats.dirty_prefixes, total_entries / 2);
+}
+
+TEST(Delta, NoChangeConvergesInOneRound) {
+  acr::Scenario scenario = acr::dcnScenario(2, 2);
+  const SimOptions options = deltaOptions();
+  const SimResult baseline = Simulator(scenario.network()).run(options);
+  ASSERT_TRUE(baseline.converged);
+
+  DeltaStats stats;
+  const DeltaSimulator delta(scenario.network(), baseline);
+  const SimResult incremental =
+      delta.run(scenario.network(), {}, options, &stats);
+  EXPECT_TRUE(stats.used_delta);
+  EXPECT_EQ(stats.rounds, 1);
+  EXPECT_EQ(stats.work_items, 0u);
+  expectSimEqual(incremental, baseline);
+}
+
+TEST(Delta, EquivalentUnderEcmp) {
+  acr::Scenario scenario = acr::dcnScenario(2, 2);
+  SimOptions options = deltaOptions();
+  options.enable_ecmp = true;
+  const SimResult baseline = Simulator(scenario.network()).run(options);
+  ASSERT_TRUE(baseline.converged);
+
+  topo::Network edited = scenario.network();
+  edited.config("core1")->bgp->redistributes.clear();
+  edited.renumberAll();
+
+  DeltaStats stats;
+  const DeltaSimulator delta(scenario.network(), baseline);
+  const SimResult incremental = delta.run(edited, {"core1"}, options, &stats);
+  EXPECT_TRUE(stats.used_delta) << stats.fallback_reason;
+  expectSimEqual(incremental, Simulator(edited).run(options));
+}
+
+// ---------------------------------------------------------------------------
+// Fallback rules.
+// ---------------------------------------------------------------------------
+
+TEST(DeltaFallback, ProvenanceRequestFallsBack) {
+  acr::Scenario scenario = acr::dcnScenario(2, 2);
+  const SimResult baseline =
+      Simulator(scenario.network()).run(deltaOptions());
+
+  SimOptions provenance_options;  // record_provenance defaults to true
+  DeltaStats stats;
+  const DeltaSimulator delta(scenario.network(), baseline);
+  const SimResult incremental =
+      delta.run(scenario.network(), {}, provenance_options, &stats);
+  EXPECT_FALSE(stats.used_delta);
+  EXPECT_EQ(stats.fallback_reason, "provenance-requested");
+  expectSimEqual(incremental, Simulator(scenario.network()).run(provenance_options));
+}
+
+TEST(DeltaFallback, TopologyShapeChangeFallsBack) {
+  acr::Scenario scenario = acr::dcnScenario(2, 2);
+  const SimOptions options = deltaOptions();
+  const SimResult baseline = Simulator(scenario.network()).run(options);
+
+  // Same devices and configs, one router-id nudged: the dense router table
+  // (and with it the decision process) is no longer comparable.
+  topo::Network shifted = scenario.network();
+  topo::Topology rebuilt;
+  bool first = true;
+  for (const auto& router : shifted.topology.routers()) {
+    topo::RouterDecl copy = router;
+    if (first) {
+      copy.router_id = net::Ipv4Address::fromOctets(9, 9, 9, 9);
+      first = false;
+    }
+    rebuilt.addRouter(copy);
+  }
+  for (const auto& link : shifted.topology.links()) rebuilt.addLink(link);
+  for (const auto& subnet : shifted.topology.subnets()) rebuilt.addSubnet(subnet);
+  shifted.topology = rebuilt;
+
+  DeltaStats stats;
+  const DeltaSimulator delta(scenario.network(), baseline);
+  const SimResult incremental = delta.run(shifted, {}, options, &stats);
+  EXPECT_FALSE(stats.used_delta);
+  EXPECT_EQ(stats.fallback_reason, "topology-shape-changed");
+  expectSimEqual(incremental, Simulator(shifted).run(options));
+}
+
+TEST(DeltaFallback, SessionStateChangeFallsBack) {
+  // kWrongPeerAs knocks a BGP session down — the flow graph itself changed,
+  // so the seed state is structurally stale.
+  const inject::FaultSpec& spec = inject::specOf(inject::FaultType::kWrongPeerAs);
+  acr::Scenario scenario = acr::scenarioByFamily(spec.scenario);
+  inject::FaultInjector injector(11);
+  const auto incident =
+      injector.inject(scenario.built, inject::FaultType::kWrongPeerAs);
+  ASSERT_TRUE(incident.has_value());
+  const SimOptions options = deltaOptions();
+
+  const SimResult baseline = Simulator(scenario.network()).run(options);
+  DeltaStats stats;
+  const DeltaSimulator delta(scenario.network(), baseline);
+  const SimResult incremental =
+      delta.run(incident->network, devicesOf(incident->injected_diff), options,
+                &stats);
+  EXPECT_FALSE(stats.used_delta);
+  EXPECT_EQ(stats.fallback_reason, "session-state-changed");
+  expectSimEqual(incremental, Simulator(incident->network).run(options));
+}
+
+TEST(DeltaFallback, NonConvergedBaselineFallsBack) {
+  const acr::Scenario faulty = acr::figure2Scenario(true);
+  const SimOptions options = deltaOptions();
+  const SimResult baseline = Simulator(faulty.network()).run(options);
+  ASSERT_FALSE(baseline.converged);
+
+  DeltaStats stats;
+  const DeltaSimulator delta(faulty.network(), baseline);
+  const SimResult incremental = delta.run(faulty.network(), {}, options, &stats);
+  EXPECT_FALSE(stats.used_delta);
+  EXPECT_EQ(stats.fallback_reason, "baseline-not-converged");
+  expectSimEqual(incremental, baseline);
+}
+
+TEST(DeltaFallback, EcmpRecordingMismatchFallsBack) {
+  acr::Scenario scenario = acr::dcnScenario(2, 2);
+  const SimResult baseline =
+      Simulator(scenario.network()).run(deltaOptions());  // no ECMP recorded
+
+  SimOptions ecmp_options = deltaOptions();
+  ecmp_options.enable_ecmp = true;
+  DeltaStats stats;
+  const DeltaSimulator delta(scenario.network(), baseline);
+  const SimResult incremental =
+      delta.run(scenario.network(), {}, ecmp_options, &stats);
+  EXPECT_FALSE(stats.used_delta);
+  EXPECT_EQ(stats.fallback_reason, "ecmp-recording-mismatch");
+  expectSimEqual(incremental, Simulator(scenario.network()).run(ecmp_options));
+}
+
+TEST(DeltaFallback, OscillationFallsBackAndMatches) {
+  // Figure-2's as-path overwrite: sessions survive, but the updated network
+  // never converges. The delta orbit detects the repeated state and defers
+  // to the full engine, reproducing the exact flapping set.
+  const acr::Scenario correct = acr::figure2Scenario(false);
+  const acr::Scenario faulty = acr::figure2Scenario(true);
+  const SimOptions options = deltaOptions();
+  const SimResult baseline = Simulator(correct.network()).run(options);
+  ASSERT_TRUE(baseline.converged);
+
+  const std::vector<cfg::ConfigDiff> diffs =
+      topo::diffNetworks(correct.network(), faulty.network());
+  ASSERT_FALSE(diffs.empty());
+  DeltaStats stats;
+  const DeltaSimulator delta(correct.network(), baseline);
+  const SimResult incremental =
+      delta.run(faulty.network(), devicesOf(diffs), options, &stats);
+  EXPECT_FALSE(stats.used_delta);
+  EXPECT_EQ(stats.fallback_reason, "oscillation-detected");
+  const SimResult full = Simulator(faulty.network()).run(options);
+  expectSimEqual(incremental, full);
+  EXPECT_FALSE(incremental.converged);
+  EXPECT_EQ(incremental.flapping.count(P("10.0.0.0/16")), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Memory regression: converging runs hold no per-round RIB history.
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorMemory, ConvergingRunRetainsNoRibHistory) {
+  // A long-converging backbone ring: before the rewrite the simulator kept
+  // one deep Rib copy (plus one string snapshot) per round; now the cycle
+  // re-derivation counter must stay untouched on every converging run.
+  acr::Scenario scenario = acr::backboneScenario(16);
+  util::Counter& history =
+      util::MetricsRegistry::global().counter("sim.full.history_ribs");
+  const std::uint64_t before = history.value();
+  const SimResult sim = Simulator(scenario.network()).run();
+  EXPECT_TRUE(sim.converged);
+  EXPECT_GT(sim.rounds, 4);  // genuinely many rounds, not a trivial network
+  EXPECT_EQ(history.value(), before);
+}
+
+TEST(SimulatorMemory, OscillationPathRederivesExactlyOnce) {
+  const acr::Scenario faulty = acr::figure2Scenario(true);
+  util::Counter& history =
+      util::MetricsRegistry::global().counter("sim.full.history_ribs");
+  const std::uint64_t before = history.value();
+  const SimResult sim = Simulator(faulty.network()).run();
+  EXPECT_FALSE(sim.converged);
+  EXPECT_EQ(sim.flapping.count(P("10.0.0.0/16")), 1u);
+  EXPECT_EQ(history.value(), before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// SimResult lookup-cache copy semantics.
+// ---------------------------------------------------------------------------
+
+TEST(SimResultCache, CopiesGetIndependentLookupState) {
+  acr::Scenario scenario = acr::dcnScenario(2, 2);
+  const SimResult sim = Simulator(scenario.network()).run(deltaOptions());
+  const auto rib_it = sim.rib.find("tor1_1");
+  ASSERT_NE(rib_it, sim.rib.end());
+  ASSERT_FALSE(rib_it->second.empty());
+  const net::Ipv4Address probe = rib_it->second.begin()->first.address();
+  ASSERT_NE(sim.lookup("tor1_1", probe), nullptr);  // cache built on original
+
+  SimResult copy = sim;
+  copy.rib["tor1_1"].clear();  // mutate the copy before its first lookup
+  EXPECT_EQ(copy.lookup("tor1_1", probe), nullptr);
+  EXPECT_NE(sim.lookup("tor1_1", probe), nullptr);
+}
+
+}  // namespace
+}  // namespace acr::route
