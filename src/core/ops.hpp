@@ -12,6 +12,7 @@
 #include "core/scenarios.hpp"
 #include "repair/engine.hpp"
 #include "routing/simulator.hpp"
+#include "util/json.hpp"
 #include "verify/verifier.hpp"
 
 namespace acr::ops {
@@ -48,5 +49,21 @@ struct RepairOutcome {
 [[nodiscard]] RepairOutcome repairScenario(const Scenario& scenario,
                                            const repair::RepairOptions& options,
                                            bool report = false);
+
+/// The byte-affecting repair knobs as JSON — what a flight recording's
+/// `begin` event embeds so `acrctl explain --replay` can reconstruct the
+/// exact run. Round-trips with repairOptionsFromJson: FromJson(Json(o))
+/// renders back to the same bytes. Deliberately excludes the knobs a replay
+/// must not inherit: time_budget_ms and validate_jobs (wall-clock knobs —
+/// leaving the latter out is what keeps recordings byte-identical at any
+/// --jobs value), cancel/recorder/baseline_sim/history (pointers), and
+/// sim_options (not reachable from the CLI; a recording made with
+/// non-default sim options is not replayable).
+[[nodiscard]] util::Json repairOptionsJson(const repair::RepairOptions& options);
+
+/// Inverse of repairOptionsJson; fields absent from `json` keep their
+/// RepairOptions defaults.
+[[nodiscard]] repair::RepairOptions repairOptionsFromJson(
+    const util::Json& json);
 
 }  // namespace acr::ops

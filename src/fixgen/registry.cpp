@@ -1,5 +1,7 @@
 #include "fixgen/change.hpp"
 
+#include "obs/trace.hpp"
+
 namespace acr::fix {
 
 const std::vector<std::shared_ptr<const ChangeTemplate>>& defaultTemplates() {
@@ -15,6 +17,7 @@ const std::vector<std::shared_ptr<const ChangeTemplate>>& defaultTemplates() {
 
 std::vector<std::shared_ptr<const ChangeTemplate>> templatesFor(
     cfg::LineKind kind) {
+  obs::Span span("fixgen.templates_for");
   std::vector<std::shared_ptr<const ChangeTemplate>> out;
   for (const auto& tmpl : defaultTemplates()) {
     if (tmpl->appliesTo(kind)) out.push_back(tmpl);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <functional>
 
+#include "obs/trace.hpp"
+
 namespace acr::sbfl {
 
 std::string metricName(Metric metric) {
@@ -113,6 +115,8 @@ double Spectrum::score(const cfg::LineId& line, Metric metric,
 }
 
 std::vector<LineScore> Spectrum::rank(Metric metric, std::uint64_t seed) const {
+  obs::Span span("sbfl.rank");
+  span.attr("lines", static_cast<std::int64_t>(counts_.size()));
   std::vector<LineScore> scores;
   scores.reserve(counts_.size());
   for (const auto& [line, counts] : counts_) {

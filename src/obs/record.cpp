@@ -1,0 +1,282 @@
+#include "obs/record.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace acr::obs {
+
+namespace {
+
+FlightRecorder*& threadRecorder() {
+  thread_local FlightRecorder* recorder = nullptr;
+  return recorder;
+}
+
+// Scores and fitness values are recorded as fixed-precision strings, not
+// JSON doubles, so the rendering can never drift between platforms.
+std::string fixed6(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+util::Json event(const char* name) {
+  return util::Json{util::Json::Object{{"event", util::Json(name)}}};
+}
+
+}  // namespace
+
+void FlightRecorder::beginRepair(const std::string& scenario_name,
+                                 std::uint64_t scenario_hash,
+                                 std::uint64_t scenario_bytes,
+                                 util::Json options) {
+  util::Json e = event("begin");
+  e.set("scenario", util::Json(scenario_name));
+  e.set("scenario_hash", util::Json(scenario_hash));
+  e.set("scenario_bytes", util::Json(scenario_bytes));
+  e.set("options", std::move(options));
+  record(std::move(e));
+}
+
+void FlightRecorder::baseline(int failed_tests, int total_tests) {
+  util::Json e = event("baseline");
+  e.set("failed", util::Json(failed_tests));
+  e.set("total", util::Json(total_tests));
+  record(std::move(e));
+}
+
+void FlightRecorder::localize(int iteration,
+                              const std::vector<Suspect>& ranked) {
+  util::Json e = event("localize");
+  e.set("iteration", util::Json(iteration));
+  util::Json::Array suspects;
+  for (const Suspect& s : ranked) {
+    suspects.push_back(util::Json{util::Json::Object{
+        {"device", util::Json(s.device)},
+        {"line", util::Json(s.line)},
+        {"score", util::Json(fixed6(s.score))},
+    }});
+  }
+  e.set("suspects", util::Json(std::move(suspects)));
+  record(std::move(e));
+}
+
+void FlightRecorder::templateFired(const std::string& tmpl,
+                                   const std::string& device, int line,
+                                   int proposals) {
+  util::Json e = event("template");
+  e.set("template", util::Json(tmpl));
+  e.set("device", util::Json(device));
+  e.set("line", util::Json(line));
+  e.set("proposals", util::Json(proposals));
+  record(std::move(e));
+}
+
+void FlightRecorder::smtQuery(
+    int variables, const std::vector<std::string>& constraints, bool sat,
+    const std::vector<std::pair<std::string, std::string>>& model,
+    const std::string& conflict) {
+  util::Json e = event("smt");
+  e.set("variables", util::Json(variables));
+  util::Json::Array cs;
+  // Cap the constraint dump: queries can carry hundreds of range clauses and
+  // the recording only needs enough to identify the query.
+  constexpr std::size_t kMaxConstraints = 16;
+  for (std::size_t i = 0; i < constraints.size() && i < kMaxConstraints; ++i) {
+    cs.push_back(util::Json(constraints[i]));
+  }
+  e.set("constraints", util::Json(std::move(cs)));
+  e.set("constraints_total",
+        util::Json(static_cast<std::int64_t>(constraints.size())));
+  e.set("sat", util::Json(sat));
+  util::Json::Object m;
+  for (const auto& [var, value] : model) m[var] = util::Json(value);
+  e.set("model", util::Json(std::move(m)));
+  if (!conflict.empty()) e.set("conflict", util::Json(conflict));
+  record(std::move(e));
+}
+
+void FlightRecorder::verdict(int iteration, int candidate,
+                             const std::string& tmpl,
+                             const std::string& description, double fitness,
+                             bool accepted, const std::string& sim,
+                             int tests_reverified, int tests_skipped) {
+  util::Json e = event("verdict");
+  e.set("iteration", util::Json(iteration));
+  e.set("candidate", util::Json(candidate));
+  e.set("template", util::Json(tmpl));
+  e.set("description", util::Json(description));
+  e.set("fitness", util::Json(fixed6(fitness)));
+  e.set("accepted", util::Json(accepted));
+  e.set("sim", util::Json(sim));
+  e.set("tests_reverified", util::Json(tests_reverified));
+  e.set("tests_skipped", util::Json(tests_skipped));
+  record(std::move(e));
+}
+
+void FlightRecorder::crossover(int pairs, int produced) {
+  util::Json e = event("crossover");
+  e.set("pairs", util::Json(pairs));
+  e.set("produced", util::Json(produced));
+  record(std::move(e));
+}
+
+void FlightRecorder::end(const std::string& termination, int iterations,
+                         int validations, int final_failed,
+                         const std::vector<std::string>& changes) {
+  util::Json e = event("end");
+  e.set("termination", util::Json(termination));
+  e.set("iterations", util::Json(iterations));
+  e.set("validations", util::Json(validations));
+  e.set("final_failed", util::Json(final_failed));
+  util::Json::Array cs;
+  for (const std::string& c : changes) cs.push_back(util::Json(c));
+  e.set("changes", util::Json(std::move(cs)));
+  record(std::move(e));
+}
+
+void FlightRecorder::record(util::Json e) {
+  e.set("seq", util::Json(seq_++));
+  lines_.push_back(e.str());
+}
+
+std::string FlightRecorder::text() const {
+  std::string out;
+  for (const std::string& line : lines_) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+bool FlightRecorder::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << text();
+  return static_cast<bool>(out);
+}
+
+FlightRecorder* currentRecorder() { return threadRecorder(); }
+
+RecorderScope::RecorderScope(FlightRecorder* recorder) {
+  saved_ = threadRecorder();
+  threadRecorder() = recorder;
+}
+
+RecorderScope::~RecorderScope() { threadRecorder() = saved_; }
+
+bool parseRecording(const std::string& text, std::vector<util::Json>* events) {
+  events->clear();
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    auto parsed = util::Json::parse(line);
+    if (!parsed || !parsed->isObject()) return false;
+    events->push_back(std::move(*parsed));
+  }
+  return true;
+}
+
+namespace {
+
+std::string fieldStr(const util::Json& e, const char* key) {
+  const util::Json* v = e.find(key);
+  return v && v->kind() == util::Json::Kind::kString ? v->asString()
+                                                     : std::string();
+}
+
+std::int64_t fieldInt(const util::Json& e, const char* key) {
+  const util::Json* v = e.find(key);
+  return v ? v->asInt() : 0;
+}
+
+}  // namespace
+
+std::string renderExplainTree(const std::vector<util::Json>& events) {
+  std::string out;
+  auto line = [&out](int depth, const std::string& text) {
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    out += text;
+    out += "\n";
+  };
+  for (const util::Json& e : events) {
+    const std::string kind = fieldStr(e, "event");
+    char buf[256];
+    if (kind == "begin") {
+      std::snprintf(buf, sizeof(buf), "repair %s  scenario_hash=%llu",
+                    fieldStr(e, "scenario").c_str(),
+                    static_cast<unsigned long long>(
+                        e.find("scenario_hash") ? e.find("scenario_hash")->asUint()
+                                                : 0));
+      line(0, buf);
+    } else if (kind == "baseline") {
+      std::snprintf(buf, sizeof(buf), "baseline: %lld/%lld tests failing",
+                    static_cast<long long>(fieldInt(e, "failed")),
+                    static_cast<long long>(fieldInt(e, "total")));
+      line(1, buf);
+    } else if (kind == "localize") {
+      std::snprintf(buf, sizeof(buf), "localize (iteration %lld)",
+                    static_cast<long long>(fieldInt(e, "iteration")));
+      line(1, buf);
+      if (const util::Json* suspects = e.find("suspects")) {
+        for (const util::Json& s : suspects->asArray()) {
+          std::snprintf(buf, sizeof(buf), "suspect %s:%lld  score=%s",
+                        fieldStr(s, "device").c_str(),
+                        static_cast<long long>(fieldInt(s, "line")),
+                        fieldStr(s, "score").c_str());
+          line(2, buf);
+        }
+      }
+    } else if (kind == "template") {
+      std::snprintf(buf, sizeof(buf), "template %s at %s:%lld  proposals=%lld",
+                    fieldStr(e, "template").c_str(),
+                    fieldStr(e, "device").c_str(),
+                    static_cast<long long>(fieldInt(e, "line")),
+                    static_cast<long long>(fieldInt(e, "proposals")));
+      line(2, buf);
+    } else if (kind == "smt") {
+      std::snprintf(buf, sizeof(buf), "smt %s  variables=%lld",
+                    e.find("sat") && e.find("sat")->asBool() ? "sat" : "unsat",
+                    static_cast<long long>(fieldInt(e, "variables")));
+      line(3, buf);
+    } else if (kind == "verdict") {
+      std::snprintf(buf, sizeof(buf),
+                    "%s candidate %lld [%s] fitness=%s sim=%s  %s",
+                    e.find("accepted") && e.find("accepted")->asBool()
+                        ? "ACCEPT"
+                        : "reject",
+                    static_cast<long long>(fieldInt(e, "candidate")),
+                    fieldStr(e, "template").c_str(),
+                    fieldStr(e, "fitness").c_str(), fieldStr(e, "sim").c_str(),
+                    fieldStr(e, "description").c_str());
+      line(2, buf);
+    } else if (kind == "crossover") {
+      std::snprintf(buf, sizeof(buf), "crossover pairs=%lld produced=%lld",
+                    static_cast<long long>(fieldInt(e, "pairs")),
+                    static_cast<long long>(fieldInt(e, "produced")));
+      line(2, buf);
+    } else if (kind == "end") {
+      std::string changes;
+      if (const util::Json* cs = e.find("changes")) {
+        for (const util::Json& c : cs->asArray()) {
+          changes += "\n    ";
+          changes += c.asString();
+        }
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "end: %s  iterations=%lld validations=%lld final_failed=%lld",
+                    fieldStr(e, "termination").c_str(),
+                    static_cast<long long>(fieldInt(e, "iterations")),
+                    static_cast<long long>(fieldInt(e, "validations")),
+                    static_cast<long long>(fieldInt(e, "final_failed")));
+      line(1, buf + changes);
+    }
+  }
+  return out;
+}
+
+}  // namespace acr::obs

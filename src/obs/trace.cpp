@@ -1,0 +1,235 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "util/json.hpp"
+
+namespace acr::obs {
+
+namespace {
+
+// Per-thread tracer state. The buffer shared_ptr keeps recorded spans alive
+// after the thread exits; the tracer registry holds the other reference.
+struct ThreadState {
+  std::shared_ptr<Tracer::ThreadBuffer> buffer;
+  std::uint32_t thread_index = 0;
+  std::uint64_t next_local_id = 0;
+  std::uint64_t current_span = 0;
+  std::uint64_t current_trace = 0;
+};
+
+ThreadState& threadState() {
+  thread_local ThreadState state;
+  return state;
+}
+
+std::string formatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::nowUs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::shared_ptr<Tracer::ThreadBuffer> Tracer::registerThread(
+    std::uint32_t* index_out) {
+  auto buffer = std::make_shared<ThreadBuffer>();
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  *index_out = static_cast<std::uint32_t>(buffers_.size());
+  buffers_.push_back(buffer);
+  return buffer;
+}
+
+std::vector<SpanRecord> Tracer::collect() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    out.insert(out.end(), buf->spans.begin(), buf->spans.end());
+  }
+  std::sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    if (a.start_us != b.start_us) return a.start_us < b.start_us;
+    return a.span_id < b.span_id;
+  });
+  return out;
+}
+
+void Tracer::clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->spans.clear();
+  }
+}
+
+std::string Tracer::renderChromeJson() const {
+  using util::Json;
+  Json::Array events;
+  for (const SpanRecord& rec : collect()) {
+    Json args{Json::Object{
+        {"span", Json(rec.span_id)},
+        {"parent", Json(rec.parent_id)},
+        {"trace", Json(rec.trace_id)},
+    }};
+    for (const auto& [key, value] : rec.attrs) {
+      args.set(key, Json(value));
+    }
+    events.push_back(Json{Json::Object{
+        {"name", Json(rec.name)},
+        {"ph", Json("X")},
+        {"cat", Json("acr")},
+        {"pid", Json(1)},
+        {"tid", Json(static_cast<std::int64_t>(rec.thread_index))},
+        {"ts", Json(rec.start_us)},
+        {"dur", Json(rec.dur_us)},
+        {"args", std::move(args)},
+    }});
+  }
+  Json doc{Json::Object{{"traceEvents", Json(std::move(events))}}};
+  return doc.str();
+}
+
+std::string Tracer::renderTree() const {
+  std::vector<SpanRecord> spans = collect();
+  // Index children by parent id; collect() already ordered by start time.
+  std::unordered_map<std::uint64_t, std::vector<const SpanRecord*>> children;
+  std::vector<const SpanRecord*> roots;
+  std::unordered_map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& rec : spans) by_id[rec.span_id] = &rec;
+  for (const SpanRecord& rec : spans) {
+    if (rec.parent_id != 0 && by_id.count(rec.parent_id)) {
+      children[rec.parent_id].push_back(&rec);
+    } else {
+      roots.push_back(&rec);
+    }
+  }
+  std::string out;
+  struct Frame {
+    const SpanRecord* rec;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.push_back({*it, 0});
+  }
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    out.append(static_cast<std::size_t>(frame.depth) * 2, ' ');
+    out += frame.rec->name;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  %llu us",
+                  static_cast<unsigned long long>(frame.rec->dur_us));
+    out += buf;
+    for (const auto& [key, value] : frame.rec->attrs) {
+      out += "  ";
+      out += key;
+      out += "=";
+      out += value;
+    }
+    out += "\n";
+    auto kids = children.find(frame.rec->span_id);
+    if (kids != children.end()) {
+      for (auto it = kids->second.rbegin(); it != kids->second.rend(); ++it) {
+        stack.push_back({*it, frame.depth + 1});
+      }
+    }
+  }
+  return out;
+}
+
+TraceContext currentContext() {
+  ThreadState& state = threadState();
+  return TraceContext{state.current_trace, state.current_span};
+}
+
+ContextScope::ContextScope(TraceContext ctx) {
+  ThreadState& state = threadState();
+  saved_trace_ = state.current_trace;
+  saved_span_ = state.current_span;
+  state.current_trace = ctx.trace_id;
+  state.current_span = ctx.span_id;
+}
+
+ContextScope::~ContextScope() {
+  ThreadState& state = threadState();
+  state.current_trace = saved_trace_;
+  state.current_span = saved_span_;
+}
+
+Span::Span(const char* name) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;  // the whole disabled-path cost
+  active_ = true;
+  ThreadState& state = threadState();
+  if (!state.buffer) {
+    state.buffer = tracer.registerThread(&state.thread_index);
+  }
+  rec_.name = name;
+  rec_.span_id = (static_cast<std::uint64_t>(state.thread_index + 1) << 32) |
+                 ++state.next_local_id;
+  rec_.parent_id = state.current_span;
+  rec_.thread_index = state.thread_index;
+  saved_span_ = state.current_span;
+  saved_trace_ = state.current_trace;
+  if (state.current_trace == 0) state.current_trace = rec_.span_id;
+  rec_.trace_id = state.current_trace;
+  state.current_span = rec_.span_id;
+  rec_.start_us = tracer.nowUs();
+  tracer.open_spans_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Span::~Span() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::global();
+  rec_.dur_us = tracer.nowUs() - rec_.start_us;
+  ThreadState& state = threadState();
+  state.current_span = saved_span_;
+  state.current_trace = saved_trace_;
+  {
+    std::lock_guard<std::mutex> lock(state.buffer->mu);
+    state.buffer->spans.push_back(std::move(rec_));
+  }
+  tracer.open_spans_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+Span& Span::attr(const char* key, const std::string& value) {
+  if (active_) rec_.attrs.emplace_back(key, value);
+  return *this;
+}
+
+Span& Span::attr(const char* key, std::int64_t value) {
+  if (active_) rec_.attrs.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+Span& Span::attr(const char* key, double value) {
+  if (active_) rec_.attrs.emplace_back(key, formatDouble(value));
+  return *this;
+}
+
+}  // namespace acr::obs

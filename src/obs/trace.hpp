@@ -1,0 +1,152 @@
+// Structured span tracer for the repair pipeline.
+//
+// Design goals, in priority order:
+//   1. Disabled tracing costs one branch on a relaxed atomic load per span —
+//      no allocation, no lock, no clock read. The hot repair loop opens
+//      thousands of spans per incident; the tracer must vanish when off.
+//   2. Thread-safe without a global lock on the hot path: every thread owns a
+//      buffer registered once with the tracer. Span records append under a
+//      per-thread mutex that is uncontended except during export.
+//   3. Explicit context propagation: spans form a tree across thread-pool
+//      workers and across the acrd wire protocol. The current (trace id,
+//      span id) pair travels as a TraceContext value; ContextScope installs
+//      it on the worker thread so child spans nest under the submitting span.
+//
+// Span identity: ids are (thread_index + 1) << 32 | per-thread counter, so
+// they are unique process-wide without any shared counter. Timestamps are
+// microseconds since the tracer epoch (steady clock), matching the Chrome
+// trace-event "ts"/"dur" convention.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace acr::obs {
+
+// A finished span as stored in a thread buffer. Attributes are flattened
+// key/value strings; numeric attrs are formatted by the caller so export is
+// a pure serialization pass.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;   // 0 = root of its trace
+  std::uint64_t trace_id = 0;
+  std::uint64_t start_us = 0;    // since tracer epoch
+  std::uint64_t dur_us = 0;
+  std::uint32_t thread_index = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+// The (trace id, span id) pair that crosses thread and process boundaries.
+// Default-constructed means "no active trace": a span opened under it starts
+// a fresh trace rooted at itself.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Number of spans currently open (constructed, not yet destroyed) across
+  // all threads. Non-zero at exit means a Span guard leaked.
+  std::int64_t openSpans() const {
+    return open_spans_.load(std::memory_order_relaxed);
+  }
+
+  // Drains nothing: snapshots all finished spans from every registered
+  // thread buffer, ordered by start time. Buffers owned by dead threads are
+  // included (the registry holds shared_ptrs).
+  std::vector<SpanRecord> collect() const;
+
+  // Discards all recorded spans. Intended for tests and between benchmark
+  // rounds; concurrent span recording during clear() is safe but spans may
+  // land on either side of the cut.
+  void clear();
+
+  // Chrome/Perfetto trace-event JSON: {"traceEvents":[{"ph":"X",...},...]}.
+  // args carry span/parent/trace ids plus user attrs so nesting can be
+  // reconstructed even across thread lanes.
+  std::string renderChromeJson() const;
+
+  // Human-readable indented tree, children nested under parents regardless
+  // of which thread ran them. Deterministic: siblings sort by start time,
+  // then span id.
+  std::string renderTree() const;
+
+  // Per-thread span storage; public so the thread-local state in trace.cpp
+  // can hold one, but not part of the supported API.
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<SpanRecord> spans;
+  };
+
+ private:
+  friend class Span;
+
+  Tracer();
+  std::shared_ptr<ThreadBuffer> registerThread(std::uint32_t* index_out);
+  std::uint64_t nowUs() const;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::int64_t> open_spans_{0};
+  mutable std::mutex registry_mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// Current thread's propagation context. Zero-valued when no span is open and
+// no ContextScope is installed.
+TraceContext currentContext();
+
+// RAII: installs a TraceContext on this thread for the guard's lifetime.
+// Used by the thread pool when running a submitted task, by the scheduler
+// when running a job, and by acrd when handling a traced submit.
+class ContextScope {
+ public:
+  explicit ContextScope(TraceContext ctx);
+  ~ContextScope();
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  std::uint64_t saved_trace_;
+  std::uint64_t saved_span_;
+};
+
+// RAII timed span. When tracing is disabled construction is a single relaxed
+// atomic load and the guard is inert. When enabled, the span becomes the
+// current context until destroyed; its parent is whatever was current.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return active_; }
+
+  // Attach a key/value attribute. No-ops when inactive so call sites need no
+  // enabled() checks. Numeric overloads format deterministically.
+  Span& attr(const char* key, const std::string& value);
+  Span& attr(const char* key, std::int64_t value);
+  Span& attr(const char* key, double value);
+
+ private:
+  bool active_ = false;
+  SpanRecord rec_;
+  std::uint64_t saved_span_ = 0;
+  std::uint64_t saved_trace_ = 0;
+};
+
+}  // namespace acr::obs

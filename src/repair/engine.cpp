@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <random>
 
 #include "fixgen/change.hpp"
 #include "localize/coverage.hpp"
 #include "localize/testgen.hpp"
+#include "obs/record.hpp"
+#include "obs/trace.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "verify/failures.hpp"
@@ -63,6 +66,15 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
   RepairResult result;
   result.repaired = faulty;
 
+  obs::FlightRecorder* const recorder = options_.recorder;
+  // Deep call sites (smt::Solver) record through this thread-local binding.
+  // VALIDATE fan-out workers never inherit it — verdicts are emitted only
+  // from the ordered scan below, which is what keeps recordings
+  // byte-identical at any validate_jobs value.
+  const obs::RecorderScope recorder_scope(recorder);
+  obs::Span repair_span("repair");
+  repair_span.attr("seed", static_cast<std::int64_t>(options_.seed));
+
   util::MetricsRegistry& metrics = util::MetricsRegistry::global();
   util::Histogram& localize_ms = metrics.histogram("repair.localize_ms");
   util::Histogram& fix_ms = metrics.histogram("repair.fix_ms");
@@ -117,10 +129,20 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
       baseline.tests_failed + toleranceFailures(faulty);
   result.initial_failed = baseline_fitness;
   result.final_failed = baseline_fitness;
+  if (recorder != nullptr) {
+    recorder->baseline(baseline_fitness, baseline.tests_run);
+  }
 
   const auto finish = [&](Termination termination, bool success) {
     result.termination = termination;
     result.success = success;
+    // The terminal event closes every recording — including a cancelled
+    // one, whose last line is `"termination":"cancelled"`.
+    if (recorder != nullptr) {
+      recorder->end(terminationName(termination), result.iterations,
+                    static_cast<int>(result.validations), result.final_failed,
+                    result.changes);
+    }
     result.diff = diffNetworks(faulty, result.repaired);
     result.elapsed_ms =
         std::chrono::duration<double, std::milli>(
@@ -155,6 +177,10 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
     int fitness = 0;
     std::uint64_t tests_reverified = 0;
     std::uint64_t tests_skipped = 0;
+    /// How the probe simulated: "delta", a fallback-rule reason, or
+    /// "full-verify". A pure function of the anchor state, so identical
+    /// whether computed sequentially or by a fan-out worker.
+    std::string sim;
   };
   const auto evaluate = [&](const topo::Network& updated,
                             verify::IncrementalVerifier& verifier) -> Score {
@@ -167,6 +193,7 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
           after.tests_reverified - before.tests_reverified;
       score.tests_skipped = after.tests_skipped - before.tests_skipped;
       score.fitness = verdict.tests_failed + toleranceFailures(updated);
+      score.sim = verifier.lastSim();
       return score;
     }
     const verify::Verifier full(intents_, validate_options, options_.multipath);
@@ -174,17 +201,22 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
         full.verify(updated, options_.samples_per_intent);
     score.tests_reverified = static_cast<std::uint64_t>(verdict.tests_run);
     score.fitness = verdict.tests_failed + toleranceFailures(updated);
+    score.sim = "full-verify";
     return score;
   };
   // Accounting wrapper for the sequential call sites (lazy scan, crossover).
-  const auto fitnessOf = [&](const topo::Network& updated) -> int {
+  const auto scoreOf = [&](const topo::Network& updated) -> Score {
     ++result.validations;
     const Score score = evaluate(updated, main_verifier);
     result.tests_reverified += score.tests_reverified;
     result.tests_skipped += score.tests_skipped;
-    return score.fitness;
+    return score;
   };
   const int validate_jobs = util::resolveJobs(options_.validate_jobs);
+  // Raised by the validation scan / crossover loop when the cancel flag
+  // trips between candidates — a running VALIDATE round stops at the next
+  // candidate boundary instead of finishing the iteration.
+  bool cancelled = false;
 
   for (int iteration = 1; iteration <= options_.max_iterations; ++iteration) {
     if (options_.cancel != nullptr &&
@@ -207,6 +239,9 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
     for (const Candidate& candidate : population) {
       // ---- LOCALIZE -------------------------------------------------------
       const auto localize_started = std::chrono::steady_clock::now();
+      std::optional<obs::Span> localize_span;
+      localize_span.emplace("localize");
+      localize_span->attr("iteration", static_cast<std::int64_t>(iteration));
       route::SimResult sim =
           route::Simulator(candidate.network).run(localize_options);
       std::vector<verify::TestResult> test_results =
@@ -241,6 +276,19 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
       }
       const std::vector<sbfl::LineScore> ranked = spectrum.rank(
           options_.metric, options_.seed + static_cast<std::uint64_t>(iteration));
+      localize_span->attr("suspects",
+                          static_cast<std::int64_t>(ranked.size()));
+      localize_span.reset();
+      if (recorder != nullptr) {
+        std::vector<obs::FlightRecorder::Suspect> suspects;
+        constexpr std::size_t kMaxSuspects = 8;
+        for (const auto& score : ranked) {
+          if (suspects.size() >= kMaxSuspects || score.failed_cover == 0) break;
+          suspects.push_back({score.line.device, score.line.line,
+                              score.suspiciousness});
+        }
+        recorder->localize(iteration, suspects);
+      }
       localize_ms.observe(std::chrono::duration<double, std::milli>(
                               std::chrono::steady_clock::now() -
                               localize_started)
@@ -272,6 +320,8 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
       std::set<std::string> seen_proposals;
       const auto generate = [&](bool exhaustive) {
         const util::ScopedTimer fix_timer(fix_ms);
+        obs::Span fix_span("fixgen");
+        fix_span.attr("exhaustive", std::int64_t{exhaustive ? 1 : 0});
         std::vector<fix::ProposedChange> proposals;
         int productive_lines = 0;
         for (const auto& score : ranked) {
@@ -305,12 +355,21 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
           }
           int from_line = 0;
           for (const auto& tmpl : applicable) {
-            std::vector<fix::ProposedChange> from_template =
-                tmpl->propose(context, score.line, *info);
+            std::vector<fix::ProposedChange> from_template;
+            {
+              obs::Span propose_span("fixgen.propose");
+              propose_span.attr("template", tmpl->name());
+              from_template = tmpl->propose(context, score.line, *info);
+            }
             if (static_cast<int>(from_template.size()) >
                 options_.max_proposals_per_line) {
               from_template.resize(
                   static_cast<std::size_t>(options_.max_proposals_per_line));
+            }
+            if (recorder != nullptr && !from_template.empty()) {
+              recorder->templateFired(tmpl->name(), score.line.device,
+                                      score.line.line,
+                                      static_cast<int>(from_template.size()));
             }
             from_line += static_cast<int>(from_template.size());
             for (auto& proposal : from_template) {
@@ -334,6 +393,11 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
       const auto validate =
           [&](const std::vector<fix::ProposedChange>& proposals) {
             const util::ScopedTimer validate_timer(validate_ms);
+            obs::Span validate_span("validate.round");
+            validate_span.attr("iteration",
+                               static_cast<std::int64_t>(iteration));
+            validate_span.attr(
+                "proposals", static_cast<std::int64_t>(proposals.size()));
             // Materialize every applying proposal first (cheap value edits,
             // calling thread), preserving proposal order.
             std::vector<const fix::ProposedChange*> applied;
@@ -361,6 +425,10 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
               scores.resize(static_cast<std::size_t>(n));
               const int chunks = std::min(validate_jobs, n);
               util::parallelFor(validate_jobs, chunks, [&](int chunk) {
+                // Nested under validate.round via the context the pool
+                // captured at submit — even though this runs on a worker.
+                obs::Span worker_span("validate.worker");
+                worker_span.attr("chunk", static_cast<std::int64_t>(chunk));
                 verify::IncrementalVerifier local = main_verifier;
                 for (int i = chunk; i < n; i += chunks) {
                   scores[static_cast<std::size_t>(i)] =
@@ -370,24 +438,41 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
             }
 
             for (int i = 0; i < n && !repaired; ++i) {
+              // Cooperative cancellation between candidates: a remote
+              // cancel lands mid-round instead of waiting out the
+              // iteration. Scores already computed by the fan-out are
+              // simply dropped — nothing observable depends on them.
+              if (options_.cancel != nullptr &&
+                  options_.cancel->load(std::memory_order_relaxed)) {
+                cancelled = true;
+                return;
+              }
               const fix::ProposedChange& proposal = *applied[i];
               ++stats.candidates_generated;
               if (options_.history != nullptr) {
                 options_.history->recordAttempt(proposal.template_name);
               }
-              int fitness = 0;
+              Score score;
               if (fan_out) {
-                const Score& score = scores[static_cast<std::size_t>(i)];
+                score = scores[static_cast<std::size_t>(i)];
                 ++result.validations;
                 result.tests_reverified += score.tests_reverified;
                 result.tests_skipped += score.tests_skipped;
-                fitness = score.fitness;
               } else {
-                fitness = fitnessOf(updated[static_cast<std::size_t>(i)]);
+                score = scoreOf(updated[static_cast<std::size_t>(i)]);
               }
+              const int fitness = score.fitness;
               // The paper's fitness rule: discard updates whose fitness
               // exceeds the previous iteration's.
-              if (fitness > previous_fitness) {
+              const bool discarded = fitness > previous_fitness;
+              if (recorder != nullptr) {
+                recorder->verdict(
+                    iteration, i, proposal.template_name, proposal.description,
+                    fitness, !discarded, score.sim,
+                    static_cast<int>(score.tests_reverified),
+                    static_cast<int>(score.tests_skipped));
+              }
+              if (discarded) {
                 metrics.counter("repair.candidates_discarded").add(1);
                 continue;
               }
@@ -416,10 +501,12 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
           };
 
       validate(proposals);
+      if (cancelled) return finish(Termination::kCancelled, false);
       if (!repaired && next_population.empty() && !options_.brute_force) {
         // Every random draw was discarded: continue sampling without
         // replacement before concluding S = ∅.
         validate(generate(/*exhaustive=*/true));
+        if (cancelled) return finish(Termination::kCancelled, false);
       }
       if (repaired) {
         stats.candidates_kept = 1;
@@ -435,10 +522,19 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
     // whose apply() no longer holds (e.g. the other parent already made it)
     // is skipped — the idempotence guards make replay safe.
     if (options_.use_crossover && next_population.size() >= 2) {
+      obs::Span crossover_span("crossover");
+      int crossover_produced = 0;
       std::vector<Candidate> children;
       std::uniform_int_distribution<std::size_t> pick(
           0, next_population.size() - 1);
       for (int pair = 0; pair < options_.crossover_pairs; ++pair) {
+        if (options_.cancel != nullptr &&
+            options_.cancel->load(std::memory_order_relaxed)) {
+          if (recorder != nullptr) {
+            recorder->crossover(options_.crossover_pairs, crossover_produced);
+          }
+          return finish(Termination::kCancelled, false);
+        }
         const std::size_t ia = pick(rng);
         const std::size_t ib = pick(rng);
         if (ia == ib) continue;
@@ -469,7 +565,18 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
           continue;
         }
         ++stats.candidates_generated;
-        child.fitness = fitnessOf(child.network);
+        ++crossover_produced;
+        const Score child_score = scoreOf(child.network);
+        child.fitness = child_score.fitness;
+        if (recorder != nullptr) {
+          recorder->verdict(iteration, -1 - pair, "crossover",
+                            child.changes.empty() ? "" : child.changes.back(),
+                            child.fitness,
+                            child.fitness <= previous_fitness,
+                            child_score.sim,
+                            static_cast<int>(child_score.tests_reverified),
+                            static_cast<int>(child_score.tests_skipped));
+        }
         if (child.fitness > previous_fitness) continue;
         if (child.fitness == 0) {
           result.repaired = child.network;
@@ -486,6 +593,9 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
           return finish(Termination::kRepaired, true);
         }
         children.push_back(std::move(child));
+      }
+      if (recorder != nullptr) {
+        recorder->crossover(options_.crossover_pairs, crossover_produced);
       }
       for (auto& child : children) {
         next_population.push_back(std::move(child));

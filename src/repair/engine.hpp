@@ -28,6 +28,10 @@
 #include "topo/network.hpp"
 #include "verify/incremental.hpp"
 
+namespace acr::obs {
+class FlightRecorder;
+}
+
 namespace acr::repair {
 
 struct RepairOptions {
@@ -85,6 +89,12 @@ struct RepairOptions {
   /// owning; must outlive repair(). Ignored under multipath/ECMP (the seed
   /// is recorded without equal-cost sets).
   const route::SimResult* baseline_sim = nullptr;
+  /// Optional flight recorder (docs/observability.md): the engine logs its
+  /// full decision tree — suspect rankings, template instantiations, SMT
+  /// queries, every verdict — as deterministic JSONL. Non-owning; must
+  /// outlive repair(). The recording is byte-identical at any validate_jobs
+  /// value (verdicts are emitted only from the ordered scan).
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 enum class Termination : std::uint8_t {

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "routing/sim_internal.hpp"
 #include "util/metrics.hpp"
 
@@ -70,12 +71,16 @@ SimResult DeltaSimulator::run(const topo::Network& updated,
                               const SimOptions& options,
                               DeltaStats* stats_out) const {
   util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  obs::Span span("sim.delta");
   DeltaStats stats;
   const auto fallback = [&](std::string reason) {
+    span.attr("fallback", reason);
     stats.used_delta = false;
+    // One counter per fallback rule (docs/architecture.md §12): a campaign's
+    // metrics dump shows *why* delta runs degraded, not just how often.
+    metrics.counter("sim.delta.fallback." + reason).add(1);
     stats.fallback_reason = std::move(reason);
     metrics.counter("sim.delta.runs").add(1);
-    metrics.counter("sim.delta.fallbacks").add(1);
     if (stats_out != nullptr) *stats_out = stats;
     return Simulator(updated).run(options);
   };

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "netcore/prefix_trie.hpp"
+#include "obs/trace.hpp"
 #include "routing/sim_internal.hpp"
 #include "util/metrics.hpp"
 
@@ -146,6 +147,7 @@ void diffCycleStates(std::set<net::Prefix>& flapping, const Rib& representative,
 }  // namespace
 
 SimResult Simulator::run(const SimOptions& options) const {
+  obs::Span span("sim.full");
   SimResult result;
   const detail::RouterTable table(network_.topology);
   result.sessions = computeSessions();

@@ -40,6 +40,7 @@ JobScheduler::Submitted JobScheduler::submit(int priority, Work work) {
     job->id = next_id_++;
     job->work = std::move(work);
     job->enqueued = std::chrono::steady_clock::now();
+    job->trace = obs::currentContext();
     pending_.emplace(std::make_pair(-static_cast<std::int64_t>(priority),
                                     job->id),
                      job);
@@ -66,12 +67,19 @@ void JobScheduler::runOne() {
     job->status = JobStatus::kRunning;
     ++running_;
   }
-  metrics_.histogram("service.queue_wait_ms")
-      .observe(std::chrono::duration<double, std::milli>(
-                   std::chrono::steady_clock::now() - job->enqueued)
-                   .count());
+  const double queue_wait_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - job->enqueued)
+          .count();
+  metrics_.histogram("service.queue_wait_ms").observe(queue_wait_ms);
   JobResult result;
   {
+    // The job's lifecycle span: nested under whatever span submitted it
+    // (e.g. acrd's wire handler, which carries the client's trace id).
+    const obs::ContextScope ctx(job->trace);
+    obs::Span span("service.job");
+    span.attr("id", static_cast<std::int64_t>(job->id));
+    span.attr("queue_wait_ms", queue_wait_ms);
     const util::ScopedTimer timer(metrics_.histogram("service.job_ms"));
     try {
       result = job->work(job->cancelled);
@@ -79,6 +87,9 @@ void JobScheduler::runOne() {
       result.exit_code = 1;
       result.output = std::string("error: ") + error.what() + '\n';
     }
+    span.attr("status", job->cancelled.load(std::memory_order_relaxed)
+                            ? "cancelled"
+                            : "done");
   }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -101,6 +112,13 @@ std::optional<JobStatus> JobScheduler::status(std::uint64_t id) const {
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return std::nullopt;
   return it->second->status;
+}
+
+std::optional<obs::TraceContext> JobScheduler::trace(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second->trace;
 }
 
 std::optional<JobResult> JobScheduler::result(std::uint64_t id, bool wait) {
@@ -163,6 +181,15 @@ void JobScheduler::drain() {
 int JobScheduler::queueDepth() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return static_cast<int>(pending_.size());
+}
+
+std::map<int, int> JobScheduler::queueDepthByPriority() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<int, int> depths;
+  for (const auto& [key, job] : pending_) {
+    ++depths[static_cast<int>(-key.first)];
+  }
+  return depths;
 }
 
 int JobScheduler::runningCount() const {

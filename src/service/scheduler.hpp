@@ -29,6 +29,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
@@ -79,6 +80,10 @@ class JobScheduler {
 
   [[nodiscard]] std::optional<JobStatus> status(std::uint64_t id) const;
 
+  /// The trace context captured at submit (zero-valued when the submitter
+  /// had none). Lets the wire protocol echo the trace id in `result`.
+  [[nodiscard]] std::optional<obs::TraceContext> trace(std::uint64_t id) const;
+
   /// Result of a finished job. `wait` blocks until the job finishes.
   /// nullopt: unknown id, or the job is not finished yet (wait == false).
   [[nodiscard]] std::optional<JobResult> result(std::uint64_t id, bool wait);
@@ -93,6 +98,10 @@ class JobScheduler {
   void drain();
 
   [[nodiscard]] int queueDepth() const;
+  /// Queued jobs per priority level (only levels with at least one queued
+  /// job appear). The `stats` wire response exposes this as
+  /// `queue_by_priority`.
+  [[nodiscard]] std::map<int, int> queueDepthByPriority() const;
   [[nodiscard]] int runningCount() const;
   [[nodiscard]] int workerCount() const { return pool_.size(); }
 
@@ -104,6 +113,11 @@ class JobScheduler {
     JobResult result;
     std::atomic<bool> cancelled{false};
     std::chrono::steady_clock::time_point enqueued;
+    /// The submitter's trace context, reinstalled around the job body so
+    /// its spans nest under the submit (the pool task that runs a job is
+    /// not necessarily the task its submit enqueued — the context must
+    /// travel with the job, not the task).
+    obs::TraceContext trace;
   };
 
   void runOne();

@@ -12,6 +12,7 @@
 
 #include "core/ops.hpp"
 #include "localize/sbfl.hpp"
+#include "obs/trace.hpp"
 
 namespace acr::service {
 
@@ -52,6 +53,8 @@ Json RepairService::handle(const Json& request) {
   const Json* op = request.find("op");
   if (op == nullptr) return errorResponse("missing \"op\"");
   const std::string& verb = op->asString();
+  obs::Span span("service.request");
+  span.attr("op", verb);
   try {
     if (verb == "submit") return handleSubmit(request);
     if (verb == "status") return handleStatus(request);
@@ -113,6 +116,19 @@ Json RepairService::handleSubmit(const Json& request) {
     priority = static_cast<int>(field->asInt(0));
   }
 
+  // Wire-protocol trace propagation: a client that carries a trace sends
+  // its trace id (and the submitting span as "parent"); the job's spans
+  // then join the client's trace instead of starting a fresh one.
+  obs::TraceContext wire_trace = obs::currentContext();
+  if (const Json* field = request.find("trace")) {
+    wire_trace.trace_id = field->asUint();
+    wire_trace.span_id = wire_trace.trace_id;
+    if (const Json* parent = request.find("parent")) {
+      wire_trace.span_id = parent->asUint();
+    }
+  }
+  const obs::ContextScope trace_scope(wire_trace);
+
   const bool cache_enabled = options_.cache_enabled;
   SnapshotCache* cache = &cache_;
   const JobScheduler::Submitted submitted = scheduler_.submit(
@@ -167,6 +183,7 @@ Json RepairService::handleSubmit(const Json& request) {
   response.set("ok", true);
   response.set("id", submitted.id);
   response.set("status", jobStatusName(JobStatus::kQueued));
+  if (wire_trace.trace_id != 0) response.set("trace", wire_trace.trace_id);
   return response;
 }
 
@@ -203,6 +220,9 @@ Json RepairService::handleResult(const Json& request) {
   response.set("status", jobStatusName(*scheduler_.status(id)));
   response.set("exit", result->exit_code);
   response.set("output", result->output);
+  if (const std::optional<obs::TraceContext> trace = scheduler_.trace(id)) {
+    if (trace->trace_id != 0) response.set("trace", trace->trace_id);
+  }
   return response;
 }
 
@@ -221,7 +241,17 @@ Json RepairService::handleCancel(const Json& request) {
 Json RepairService::handleStats() {
   Json response;
   response.set("ok", true);
+  response.set("uptime_ms",
+               static_cast<std::int64_t>(
+                   std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - started_)
+                       .count()));
   response.set("queue_depth", scheduler_.queueDepth());
+  Json by_priority{Json::Object{}};
+  for (const auto& [priority, depth] : scheduler_.queueDepthByPriority()) {
+    by_priority.set(std::to_string(priority), depth);
+  }
+  response.set("queue_by_priority", std::move(by_priority));
   response.set("running", scheduler_.runningCount());
   response.set("workers", scheduler_.workerCount());
   const SnapshotCache::Stats cache = cache_.stats();

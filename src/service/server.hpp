@@ -14,6 +14,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -70,6 +71,8 @@ class RepairService {
   SnapshotCache cache_;
   JobScheduler scheduler_;  // declared after the cache: jobs use it
   std::atomic<bool> shutdown_{false};
+  const std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();  // `stats` reports uptime_ms
 };
 
 struct TcpServerOptions {

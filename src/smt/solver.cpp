@@ -2,7 +2,41 @@
 
 #include <algorithm>
 
+#include "obs/record.hpp"
+#include "obs/trace.hpp"
+
 namespace acr::smt {
+
+namespace {
+
+// Queries fire only on the engine thread (FIX is sequential), so recording
+// them here — via the thread-local recorder the engine installed — keeps
+// the event order deterministic.
+void recordQuery(const Solver& solver, const SolveResult& result) {
+  obs::FlightRecorder* recorder = obs::currentRecorder();
+  if (recorder == nullptr) return;
+  std::vector<std::string> constraints;
+  constraints.reserve(solver.constraints().size());
+  for (const auto& constraint : solver.constraints()) {
+    constraints.push_back(constraint.str());
+  }
+  std::vector<std::pair<std::string, std::string>> model;
+  for (const auto& [name, cover] : result.model.prefix_sets) {
+    std::string rendered;
+    for (const auto& prefix : cover) {
+      if (!rendered.empty()) rendered += ",";
+      rendered += prefix.str();
+    }
+    model.emplace_back(name, rendered.empty() ? "(empty)" : rendered);
+  }
+  for (const auto& [name, value] : result.model.ints) {
+    model.emplace_back(name, std::to_string(value));
+  }
+  recorder->smtQuery(static_cast<int>(solver.variableCount()), constraints,
+                     result.sat, model, result.conflict);
+}
+
+}  // namespace
 
 std::string Constraint::str() const {
   switch (kind) {
@@ -191,6 +225,9 @@ bool solveInt(const std::string& name,
 }  // namespace
 
 SolveResult Solver::solve() const {
+  obs::Span span("smt.solve");
+  span.attr("variables", static_cast<std::int64_t>(variables_.size()))
+      .attr("constraints", static_cast<std::int64_t>(constraints_.size()));
   SolveResult result;
   std::map<std::string, std::vector<const Constraint*>> grouped;
   for (const auto& constraint : constraints_) {
@@ -204,6 +241,8 @@ SolveResult Solver::solve() const {
       std::vector<net::Prefix> cover;
       if (!solvePrefixSet(name, constraints, cover, result.conflict)) {
         result.sat = false;
+        span.attr("sat", std::int64_t{0});
+        recordQuery(*this, result);
         return result;
       }
       result.model.prefix_sets[name] = std::move(cover);
@@ -211,12 +250,16 @@ SolveResult Solver::solve() const {
       std::uint64_t value = 0;
       if (!solveInt(name, constraints, value, result.conflict)) {
         result.sat = false;
+        span.attr("sat", std::int64_t{0});
+        recordQuery(*this, result);
         return result;
       }
       result.model.ints[name] = value;
     }
   }
   result.sat = true;
+  span.attr("sat", std::int64_t{1});
+  recordQuery(*this, result);
   return result;
 }
 

@@ -1,11 +1,11 @@
-#include "service/json.hpp"
+#include "util/json.hpp"
 
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 
-namespace acr::service {
+namespace acr::util {
 
 namespace {
 
@@ -337,4 +337,4 @@ Json Json::numberFromToken(double value, std::string spelling) {
   return number;
 }
 
-}  // namespace acr::service
+}  // namespace acr::util

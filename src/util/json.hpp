@@ -1,0 +1,94 @@
+// Minimal JSON value shared by the acrd wire protocol (docs/service.md)
+// and the observability subsystem (docs/observability.md).
+//
+// Requests, responses, trace-event entries and flight-recorder events are
+// all single-line JSON documents; this is a small recursive-descent parser
+// plus a compact renderer — no external dependency, no streaming, no
+// comments. Numbers keep their source text so 64-bit ids and seeds
+// round-trip exactly (a double would lose precision past 2^53). Rendering
+// is deterministic (sorted object keys), which is what lets flight
+// recordings be compared byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace acr::util {
+
+class Json {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kObject,
+    kArray,
+  };
+  using Object = std::map<std::string, Json>;
+  using Array = std::vector<Json>;
+
+  Json() = default;
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Json(int value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(std::int64_t value)
+      : kind_(Kind::kNumber), number_(static_cast<double>(value)),
+        number_text_(std::to_string(value)) {}
+  Json(std::uint64_t value)
+      : kind_(Kind::kNumber), number_(static_cast<double>(value)),
+        number_text_(std::to_string(value)) {}
+  Json(double value);
+  Json(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}
+  Json(Object value) : kind_(Kind::kObject), object_(std::move(value)) {}
+  Json(Array value) : kind_(Kind::kArray), array_(std::move(value)) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool isObject() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool asBool(bool fallback = false) const {
+    return kind_ == Kind::kBool ? bool_ : fallback;
+  }
+  [[nodiscard]] double asNumber(double fallback = 0.0) const {
+    return kind_ == Kind::kNumber ? number_ : fallback;
+  }
+  [[nodiscard]] std::int64_t asInt(std::int64_t fallback = 0) const;
+  [[nodiscard]] std::uint64_t asUint(std::uint64_t fallback = 0) const;
+  [[nodiscard]] const std::string& asString() const;
+  [[nodiscard]] const Object& asObject() const;
+  [[nodiscard]] const Array& asArray() const;
+
+  /// Object member lookup; nullptr when not an object or the key is absent.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Sets an object member (converts a null value to an empty object first).
+  void set(const std::string& key, Json value);
+
+  /// Compact single-line rendering (sorted keys — Object is a std::map).
+  [[nodiscard]] std::string str() const;
+
+  /// Strict parse of a complete JSON document; nullopt on any error
+  /// (including trailing garbage).
+  static std::optional<Json> parse(const std::string& text);
+
+  /// Number carrying an exact source spelling — how the parser keeps
+  /// 64-bit integers intact where Json(double) would reformat them.
+  [[nodiscard]] static Json numberFromToken(double value,
+                                            std::string spelling);
+
+  /// JSON string-escapes `raw` (no surrounding quotes).
+  static std::string escape(const std::string& raw);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string number_text_;  // exact source/constructed spelling
+  std::string string_;
+  Object object_;
+  Array array_;
+};
+
+}  // namespace acr::util

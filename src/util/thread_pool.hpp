@@ -21,6 +21,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace acr::util {
 
 class ThreadPool {
@@ -35,12 +37,18 @@ class ThreadPool {
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues `fn` and returns its future. The future carries the return
-  /// value or the exception the task threw.
+  /// value or the exception the task threw. The submitter's trace context is
+  /// captured here and reinstalled around the task, so spans opened inside
+  /// pool tasks nest under the span that was open at the submit call.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
-    auto task =
-        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [ctx = obs::currentContext(),
+         fn = std::forward<F>(fn)]() mutable -> R {
+          const obs::ContextScope scope(ctx);
+          return fn();
+        });
     std::future<R> future = task->get_future();
     {
       const std::lock_guard<std::mutex> lock(mutex_);

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "netcore/prefix_trie.hpp"
+#include "obs/trace.hpp"
 #include "routing/delta.hpp"
 
 namespace acr::verify {
@@ -50,6 +51,7 @@ VerifyResult IncrementalVerifier::toVerifyResult() const {
 
 VerifyResult IncrementalVerifier::baseline(const topo::Network& network,
                                            const route::SimResult* seed_sim) {
+  obs::Span span("verify.baseline");
   const Verifier verifier(intents_, sim_options_, multipath_);
   route::SimResult sim;
   // A seed is only adopted when it plausibly belongs to this network (one
@@ -84,15 +86,19 @@ route::SimResult IncrementalVerifier::simulate(
         delta.run(network, changed, sim_options_, &delta_stats);
     if (delta_stats.used_delta) {
       ++stats_.delta_sims;
+      last_sim_ = "delta";
     } else {
       ++stats_.delta_fallbacks;
+      last_sim_ = delta_stats.fallback_reason;
     }
     return sim;
   }
+  last_sim_ = "full";
   return route::Simulator(network).run(sim_options_);
 }
 
 VerifyResult IncrementalVerifier::probe(const topo::Network& network) {
+  obs::Span span("verify.probe");
   if (!cached_sim_ || !cached_network_) return baseline(network);
   const std::vector<cfg::ConfigDiff> diffs =
       diffNetworks(*cached_network_, network);
@@ -109,6 +115,7 @@ VerifyResult IncrementalVerifier::probe(const topo::Network& network) {
 }
 
 VerifyResult IncrementalVerifier::update(const topo::Network& network) {
+  obs::Span span("verify.update");
   if (!cached_sim_ || !cached_network_) return baseline(network);
 
   const std::vector<cfg::ConfigDiff> diffs =

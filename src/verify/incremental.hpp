@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "routing/simulator.hpp"
@@ -68,6 +69,12 @@ class IncrementalVerifier {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void resetStats() { stats_ = {}; }
 
+  /// How the most recent probe()/update() obtained its simulation: "delta"
+  /// (incremental path), one of the DeltaSimulator's fallback-rule reasons
+  /// (docs/architecture.md §12), or "full" (delta disabled). The flight
+  /// recorder stamps this on each verdict event.
+  [[nodiscard]] const std::string& lastSim() const { return last_sim_; }
+
   /// Adds this verifier's counters into a metrics registry (the names are
   /// documented in docs/architecture.md §Metrics): verify.simulations,
   /// verify.tests_total, verify.tests_reverified, verify.tests_skipped.
@@ -108,6 +115,7 @@ class IncrementalVerifier {
   bool multipath_ = false;
   bool use_delta_ = true;
   Stats stats_;
+  std::string last_sim_;
 
   std::optional<route::SimResult> cached_sim_;
   std::optional<topo::Network> cached_network_;

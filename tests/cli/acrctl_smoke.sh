@@ -50,9 +50,18 @@ grep -q "campaign.incidents" "$WORK/campaign.out" \
 grep -q "repair.validate_ms" "$WORK/campaign.out" \
   || fail "--metrics should dump stage histograms"
 
+# --metrics-json goes to the obs channel (stderr, or --obs-out), never to
+# stdout: the report channel stays parseable on its own.
 "$ACRCTL" campaign --incidents 2 --seed 7 --metrics-json \
-  > "$WORK/campaign.json.out" || fail "campaign --metrics-json"
-grep -q '"counters"' "$WORK/campaign.json.out" || fail "JSON metrics dump"
+  > "$WORK/campaign.json.out" 2> "$WORK/campaign.json.err" \
+  || fail "campaign --metrics-json"
+grep -q '"counters"' "$WORK/campaign.json.err" || fail "JSON metrics dump"
+grep -q '"counters"' "$WORK/campaign.json.out" \
+  && fail "JSON metrics must not pollute stdout"
+"$ACRCTL" campaign --incidents 2 --seed 7 --metrics-json \
+  --obs-out "$WORK/campaign.obs.json" > /dev/null 2>&1 \
+  || fail "campaign --obs-out"
+grep -q '"counters"' "$WORK/campaign.obs.json" || fail "--obs-out file dump"
 
 "$ACRCTL" repair "$WORK/broken" --jobs 2 > "$WORK/repair2.out" \
   || fail "repair --jobs"

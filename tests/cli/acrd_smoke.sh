@@ -68,6 +68,10 @@ grep -q '"hits":[1-9]' "$WORK/stats.out" \
   || fail "repeated submits should produce cache hits"
 grep -q '"service.jobs_completed"' "$WORK/stats.out" \
   || fail "stats should embed the metrics registry"
+grep -q '"uptime_ms":[0-9]' "$WORK/stats.out" \
+  || fail "stats should report the daemon uptime"
+grep -q '"queue_by_priority"' "$WORK/stats.out" \
+  || fail "stats should report per-priority queue depths"
 
 # The shutdown verb drains gracefully: the daemon exits 0 by itself.
 "$ACRCTL" remote shutdown --port "$PORT" || fail "shutdown verb"

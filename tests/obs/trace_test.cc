@@ -1,0 +1,151 @@
+// Tracer contract: spans nest (also across util::ThreadPool workers), the
+// disabled tracer records nothing, open spans are balanced, and both
+// exporters render from one collected snapshot.
+//
+// The tracer is process-global, so every test runs against a clean slate
+// via the fixture (enable + clear in SetUp, clear + disable in TearDown).
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace acr::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().clear();
+    Tracer::global().setEnabled(true);
+  }
+  void TearDown() override {
+    Tracer::global().setEnabled(false);
+    Tracer::global().clear();
+  }
+
+  static const SpanRecord* findSpan(const std::vector<SpanRecord>& spans,
+                                    const std::string& name) {
+    const auto it =
+        std::find_if(spans.begin(), spans.end(),
+                     [&name](const SpanRecord& rec) { return rec.name == name; });
+    return it == spans.end() ? nullptr : &*it;
+  }
+};
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer::global().setEnabled(false);
+  {
+    Span span("ignored");
+    span.attr("key", "value");
+  }
+  EXPECT_TRUE(Tracer::global().collect().empty());
+  EXPECT_EQ(Tracer::global().openSpans(), 0);
+}
+
+TEST_F(TraceTest, SpansNestAndCarryAttrs) {
+  {
+    Span outer("outer");
+    outer.attr("answer", std::int64_t{42});
+    Span inner("inner");
+  }
+  const auto spans = Tracer::global().collect();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord* outer = findSpan(spans, "outer");
+  const SpanRecord* inner = findSpan(spans, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(inner->parent_id, outer->span_id);
+  EXPECT_EQ(inner->trace_id, outer->trace_id);
+  ASSERT_EQ(outer->attrs.size(), 1u);
+  EXPECT_EQ(outer->attrs[0].first, "answer");
+  EXPECT_EQ(outer->attrs[0].second, "42");
+  EXPECT_EQ(Tracer::global().openSpans(), 0);
+}
+
+TEST_F(TraceTest, SiblingsShareParentNotEachOther) {
+  {
+    Span parent("parent");
+    { Span a("a"); }
+    { Span b("b"); }
+  }
+  const auto spans = Tracer::global().collect();
+  const SpanRecord* parent = findSpan(spans, "parent");
+  const SpanRecord* a = findSpan(spans, "a");
+  const SpanRecord* b = findSpan(spans, "b");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->parent_id, parent->span_id);
+  EXPECT_EQ(b->parent_id, parent->span_id);
+  EXPECT_NE(a->span_id, b->span_id);
+}
+
+TEST_F(TraceTest, ContextPropagatesAcrossThreadPool) {
+  std::uint64_t outer_id = 0;
+  std::uint64_t outer_trace = 0;
+  {
+    Span outer("submit");
+    outer_id = currentContext().span_id;
+    outer_trace = currentContext().trace_id;
+    util::ThreadPool pool(2);
+    auto done = pool.submit([] { Span worker("worker"); });
+    done.get();
+  }
+  ASSERT_NE(outer_id, 0u);
+  const auto spans = Tracer::global().collect();
+  const SpanRecord* worker = findSpan(spans, "worker");
+  ASSERT_NE(worker, nullptr);
+  // The worker span was opened on a pool thread, yet nests under the
+  // submitting span and belongs to the same trace.
+  EXPECT_EQ(worker->parent_id, outer_id);
+  EXPECT_EQ(worker->trace_id, outer_trace);
+  EXPECT_NE(worker->thread_index, findSpan(spans, "submit")->thread_index);
+}
+
+TEST_F(TraceTest, ChromeJsonIsValidJsonWithOneEventPerSpan) {
+  {
+    Span outer("outer");
+    Span inner("inner");
+  }
+  const auto parsed = util::Json::parse(Tracer::global().renderChromeJson());
+  ASSERT_TRUE(parsed.has_value());
+  const util::Json* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->asArray().size(), 2u);
+  for (const util::Json& event : events->asArray()) {
+    EXPECT_EQ(event.find("ph")->asString(), "X");
+    EXPECT_NE(event.find("args")->find("span"), nullptr);
+    EXPECT_NE(event.find("args")->find("parent"), nullptr);
+    EXPECT_NE(event.find("args")->find("trace"), nullptr);
+  }
+}
+
+TEST_F(TraceTest, TreeRendersNestedIndentation) {
+  {
+    Span outer("outer");
+    Span inner("inner");
+  }
+  const std::string tree = Tracer::global().renderTree();
+  EXPECT_NE(tree.find("outer"), std::string::npos);
+  EXPECT_NE(tree.find("\n  inner"), std::string::npos);
+}
+
+TEST_F(TraceTest, ContextScopeRestoresPreviousContext) {
+  Span outer("outer");
+  const TraceContext saved = currentContext();
+  {
+    const ContextScope scope(TraceContext{977u, 978u});
+    EXPECT_EQ(currentContext().trace_id, 977u);
+    EXPECT_EQ(currentContext().span_id, 978u);
+  }
+  EXPECT_EQ(currentContext().trace_id, saved.trace_id);
+  EXPECT_EQ(currentContext().span_id, saved.span_id);
+}
+
+}  // namespace
+}  // namespace acr::obs

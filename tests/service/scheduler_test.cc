@@ -207,5 +207,31 @@ TEST(JobScheduler, ThrowingJobBecomesErrorResult) {
   EXPECT_EQ(result->output, "error: boom\n");
 }
 
+TEST(JobScheduler, QueueDepthByPriorityCountsQueuedJobsPerLevel) {
+  util::MetricsRegistry metrics;
+  JobScheduler scheduler(singleWorker(metrics));
+  Blocker blocker;
+  const auto pin = scheduler.submit(0, blocker.work());
+  ASSERT_TRUE(pin.accepted);
+  blocker.waitUntilRunning();
+
+  const auto idle = [](const std::atomic<bool>&) { return JobResult{}; };
+  ASSERT_TRUE(scheduler.submit(5, idle).accepted);
+  ASSERT_TRUE(scheduler.submit(5, idle).accepted);
+  ASSERT_TRUE(scheduler.submit(-1, idle).accepted);
+  ASSERT_TRUE(scheduler.submit(0, idle).accepted);
+
+  const auto depths = scheduler.queueDepthByPriority();
+  ASSERT_EQ(depths.size(), 3u);  // running job is not queued
+  EXPECT_EQ(depths.at(5), 2);
+  EXPECT_EQ(depths.at(0), 1);
+  EXPECT_EQ(depths.at(-1), 1);
+  EXPECT_EQ(scheduler.queueDepth(), 4);
+
+  blocker.release.set_value();
+  scheduler.drain();
+  EXPECT_TRUE(scheduler.queueDepthByPriority().empty());
+}
+
 }  // namespace
 }  // namespace acr::service

@@ -7,8 +7,12 @@
 //   acrctl repair  DIR [--out DIR2] [--metric M] [--brute-force]
 //                      [--crossover] [--coverage-guided] [--seed S]
 //                      [--jobs N] [--metrics|--metrics-json]
+//                      [--trace|--trace-json] [--record PATH]
+//                      [--obs-out PATH]
+//   acrctl explain RECORDING [--replay DIR]
 //   acrctl campaign [--incidents N] [--seed S] [--jobs N]
-//                   [--metrics|--metrics-json]
+//                   [--metrics|--metrics-json] [--trace|--trace-json]
+//                   [--obs-out PATH]
 //   acrctl list-faults
 //
 // Scenario names: figure2, figure2-faulty, dcn[-PxT], backbone[-N].
@@ -16,6 +20,8 @@
 // (topology.acr + intents.acr + one .cfg per device, either dialect).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <map>
 #include <optional>
 #include <set>
@@ -26,6 +32,8 @@
 #include "core/serialization.hpp"
 #include "localize/coverage.hpp"
 #include "localize/sbfl.hpp"
+#include "obs/record.hpp"
+#include "obs/trace.hpp"
 #include "repair/report.hpp"
 #include "service/client.hpp"
 #include "util/metrics.hpp"
@@ -46,11 +54,14 @@ using namespace acr;
       "  acrctl triage  DIR [--metric tarantula|ochiai|jaccard|dstar2]\n"
       "  acrctl repair  DIR [--out DIR2] [--metric M] [--brute-force]\n"
       "                 [--crossover] [--coverage-guided] [--multipath]\n"
-      "                 [--report] [--seed S] [--jobs N]\n"
-      "                 [--metrics|--metrics-json]\n"
+      "                 [--report] [--seed S] [--jobs N] [--top-k N]\n"
+      "                 [--metrics|--metrics-json] [--trace|--trace-json]\n"
+      "                 [--record PATH] [--obs-out PATH]\n"
+      "  acrctl explain RECORDING [--replay DIR]\n"
       "  acrctl tolerance DIR [--k N]\n"
       "  acrctl campaign [--incidents N] [--seed S] [--jobs N]\n"
-      "                  [--metrics|--metrics-json]\n"
+      "                  [--metrics|--metrics-json] [--trace|--trace-json]\n"
+      "                  [--obs-out PATH]\n"
       "  acrctl list-faults\n"
       "  acrctl remote submit DIR [--command repair|verify] [--seed S]\n"
       "                [--metric M] [--priority N] [--report] [--wait]\n"
@@ -65,6 +76,14 @@ using namespace acr;
       "--metrics / --metrics-json dump the per-stage pipeline metrics\n"
       "(localize/fix/validate timings, verifier work, campaign counters)\n"
       "as a text table or JSON after the command runs.\n"
+      "\n"
+      "observability (docs/observability.md): --trace renders the span\n"
+      "tree, --trace-json emits Chrome/Perfetto trace JSON; --record PATH\n"
+      "writes the repair's flight recording (deterministic JSONL) and\n"
+      "`explain` renders it (--replay DIR re-runs the repair and verifies\n"
+      "the recording reproduces byte-identically). --metrics-json and the\n"
+      "trace output go to --obs-out PATH when given, else stderr — never\n"
+      "stdout, which carries only the repair report.\n"
       "\n"
       "exit codes: 0 ok; 1 failed (intents violated, repair not converged,\n"
       "runtime error); 2 usage (unknown command/flag/argument).\n"
@@ -129,24 +148,67 @@ FlagSpec specFor(const std::string& command) {
   if (command == "verify") return {{}, {}};
   if (command == "triage") return {{"metric"}, {}};
   if (command == "repair") {
-    return {{"out", "metric", "seed", "jobs"},
+    return {{"out", "metric", "seed", "jobs", "top-k", "record", "obs-out"},
             {"brute-force", "crossover", "coverage-guided", "multipath",
-             "report", "metrics", "metrics-json"}};
+             "report", "metrics", "metrics-json", "trace", "trace-json"}};
   }
+  if (command == "explain") return {{"replay"}, {}};
   if (command == "tolerance") return {{"k"}, {}};
   if (command == "campaign") {
-    return {{"incidents", "seed", "jobs"}, {"metrics", "metrics-json"}};
+    return {{"incidents", "seed", "jobs", "obs-out"},
+            {"metrics", "metrics-json", "trace", "trace-json"}};
   }
   return {{}, {}};  // list-faults and anything unknown take no flags
 }
 
-/// Dumps the global metrics registry when --metrics/--metrics-json was
-/// given. Call after the command's work, before returning.
+/// The observability channel: machine-readable side output (--metrics-json,
+/// --trace, --trace-json) goes to the --obs-out file when given, else to
+/// stderr — never to stdout, which carries only the repair report (scripts
+/// and the service compare those bytes). The file is opened once per process
+/// and truncated, so repeated writes in one run append in order.
+void writeObs(const Args& args, const std::string& text) {
+  static std::FILE* file = nullptr;
+  const std::string path = args.get("obs-out");
+  if (!path.empty() && file == nullptr) {
+    file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "warning: cannot open --obs-out %s; using stderr\n",
+                   path.c_str());
+    }
+  }
+  std::FILE* out = file != nullptr ? file : stderr;
+  std::fputs(text.c_str(), out);
+  std::fflush(out);
+}
+
+/// Enables span collection up front when any trace output was requested.
+/// Call before the command's work.
+void maybeEnableTracing(const Args& args) {
+  if (args.has("trace") || args.has("trace-json")) {
+    obs::Tracer::global().setEnabled(true);
+  }
+}
+
+/// Dumps metrics and trace output per the --metrics*/--trace* flags. The
+/// human-readable --metrics table stays on stdout (it is a report for eyes,
+/// not a parse target); everything machine-readable uses the obs channel.
+/// Call after the command's work, before returning.
 void maybeDumpMetrics(const Args& args) {
   if (args.has("metrics-json")) {
-    std::fputs(util::MetricsRegistry::global().renderJson().c_str(), stdout);
+    writeObs(args, util::MetricsRegistry::global().renderJson());
   } else if (args.has("metrics")) {
     std::fputs(util::MetricsRegistry::global().renderTable().c_str(), stdout);
+  }
+  if (args.has("trace-json")) {
+    writeObs(args, obs::Tracer::global().renderChromeJson() + "\n");
+  } else if (args.has("trace")) {
+    writeObs(args, obs::Tracer::global().renderTree());
+  }
+  if (args.has("trace") || args.has("trace-json")) {
+    if (const auto open = obs::Tracer::global().openSpans(); open != 0) {
+      std::fprintf(stderr, "acrctl: warning: %lld span(s) still open at exit\n",
+                   static_cast<long long>(open));
+    }
   }
 }
 
@@ -287,6 +349,7 @@ int cmdTriage(const Args& args) {
 
 int cmdRepair(const Args& args) {
   if (args.positional.empty()) usage("repair requires a scenario directory");
+  maybeEnableTracing(args);
   const LoadedScenario loaded = LoadScenario(args.positional);
   repair::RepairOptions options;
   options.metric = metricByName(args.get("metric", "tarantula"));
@@ -295,9 +358,24 @@ int cmdRepair(const Args& args) {
   options.coverage_guided_tests = args.has("coverage-guided");
   options.multipath = args.has("multipath");
   options.seed = std::stoull(args.get("seed", "1"));
+  // --top-k widens the FIX stage beyond the default 3 suspicious lines —
+  // e.g. to reach value-solving templates on lines that tie below the
+  // cutoff (the Figure-2 narrow-override-list fix needs the full ranking).
+  options.top_k_lines =
+      std::stoi(args.get("top-k", std::to_string(options.top_k_lines)));
   // A single repair parallelizes at candidate granularity (VALIDATE
   // fan-out); the campaign command instead parallelizes across incidents.
   options.validate_jobs = std::stoi(args.get("jobs", "1"));
+  // --record: flight-record the run. The `begin` event carries the scenario
+  // fingerprint and every byte-affecting option so `explain --replay` can
+  // reproduce the recording exactly.
+  obs::FlightRecorder recorder;
+  const std::string record_path = args.get("record");
+  if (!record_path.empty()) {
+    recorder.beginRepair(loaded.scenario.name, loaded.content_hash,
+                         loaded.content_bytes, ops::repairOptionsJson(options));
+    options.recorder = &recorder;
+  }
   // Same renderer the repair service uses, so offline and remote repair
   // output are byte-identical.
   const ops::RepairOutcome outcome =
@@ -310,8 +388,90 @@ int cmdRepair(const Args& args) {
     saveScenario(repaired, out);
     std::printf("repaired configs written to %s\n", out.c_str());
   }
+  if (!record_path.empty()) {
+    if (!recorder.save(record_path)) {
+      std::fprintf(stderr, "error: cannot write recording to %s\n",
+                   record_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "acrctl: recording written to %s (%zu event(s))\n",
+                 record_path.c_str(), recorder.lines().size());
+  }
   maybeDumpMetrics(args);
   return outcome.result.success ? 0 : 1;
+}
+
+/// explain — renders a flight recording's decision tree; with --replay DIR
+/// re-runs the recorded repair against DIR and demands a byte-identical
+/// recording (the determinism guard of docs/observability.md).
+int cmdExplain(const Args& args) {
+  if (args.positional.empty()) usage("explain requires a recording file");
+  std::ifstream in(args.positional);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read recording %s\n",
+                 args.positional.c_str());
+    return 1;
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  std::vector<util::Json> events;
+  if (!obs::parseRecording(text, &events)) {
+    std::fprintf(stderr, "error: malformed recording %s (bad line %zu)\n",
+                 args.positional.c_str(), events.size() + 1);
+    return 1;
+  }
+  std::fputs(obs::renderExplainTree(events).c_str(), stdout);
+
+  const std::string replay_dir = args.get("replay");
+  if (replay_dir.empty()) return 0;
+  const util::Json* begin = nullptr;
+  for (const util::Json& event : events) {
+    const util::Json* kind = event.find("event");
+    if (kind != nullptr && kind->kind() == util::Json::Kind::kString &&
+        kind->asString() == "begin") {
+      begin = &event;
+      break;
+    }
+  }
+  if (begin == nullptr) {
+    std::fprintf(stderr, "replay: recording has no begin event\n");
+    return 1;
+  }
+  const LoadedScenario loaded = LoadScenario(replay_dir);
+  const util::Json* hash = begin->find("scenario_hash");
+  if (hash == nullptr || hash->asUint() != loaded.content_hash) {
+    std::fprintf(stderr,
+                 "replay: scenario fingerprint mismatch (recorded %llu, %s "
+                 "has %llu) — wrong or modified scenario directory\n",
+                 static_cast<unsigned long long>(
+                     hash != nullptr ? hash->asUint() : 0),
+                 replay_dir.c_str(),
+                 static_cast<unsigned long long>(loaded.content_hash));
+    return 1;
+  }
+  const util::Json* options_json = begin->find("options");
+  repair::RepairOptions options = ops::repairOptionsFromJson(
+      options_json != nullptr ? *options_json : util::Json{});
+  obs::FlightRecorder replay;
+  replay.beginRepair(loaded.scenario.name, loaded.content_hash,
+                     loaded.content_bytes, ops::repairOptionsJson(options));
+  options.recorder = &replay;
+  (void)ops::repairScenario(loaded.scenario, options, false);
+  if (replay.text() == text) {
+    std::printf("replay: OK — %zu event(s) reproduced byte-identically\n",
+                replay.lines().size());
+    return 0;
+  }
+  // Point at the first diverging line so a mismatch is debuggable.
+  std::size_t line = 0;
+  for (; line < events.size() && line < replay.lines().size(); ++line) {
+    if (events[line].str() != replay.lines()[line]) break;
+  }
+  std::fprintf(stderr,
+               "replay: MISMATCH at event %zu (recorded %zu, replay produced "
+               "%zu event(s)) — recording does not reproduce\n",
+               line, events.size(), replay.lines().size());
+  return 1;
 }
 
 int cmdTolerance(const Args& args) {
@@ -341,6 +501,7 @@ int cmdTolerance(const Args& args) {
 }
 
 int cmdCampaign(const Args& args) {
+  maybeEnableTracing(args);
   CampaignOptions options;
   options.incidents = std::stoi(args.get("incidents", "50"));
   options.seed = std::stoull(args.get("seed", "42"));
@@ -480,9 +641,9 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     if (command == "remote") return cmdRemote(argc, argv);
-    const std::set<std::string> known = {"export",    "inject",   "verify",
-                                         "triage",    "repair",   "tolerance",
-                                         "campaign",  "list-faults"};
+    const std::set<std::string> known = {
+        "export",   "inject",    "verify",   "triage",     "repair",
+        "explain",  "tolerance", "campaign", "list-faults"};
     if (known.count(command) == 0) {
       usage(("unknown command '" + command + "'").c_str());
     }
@@ -492,6 +653,7 @@ int main(int argc, char** argv) {
     if (command == "verify") return cmdVerify(args);
     if (command == "triage") return cmdTriage(args);
     if (command == "repair") return cmdRepair(args);
+    if (command == "explain") return cmdExplain(args);
     if (command == "tolerance") return cmdTolerance(args);
     if (command == "campaign") return cmdCampaign(args);
     return cmdListFaults();

@@ -2,6 +2,7 @@
 //
 //   acrd [--host H] [--port P] [--workers N] [--queue-limit N]
 //        [--cache-bytes N] [--no-cache] [--port-file PATH]
+//        [--trace] [--trace-file PATH]
 //
 // Serves the newline-delimited JSON wire protocol of docs/service.md on a
 // local TCP socket: submit / status / result / cancel / stats / shutdown.
@@ -21,6 +22,7 @@
 #include <fstream>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "service/server.hpp"
 
 namespace {
@@ -35,11 +37,14 @@ void onSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
       "usage:\n"
       "  acrd [--host H] [--port P] [--workers N] [--queue-limit N]\n"
       "       [--cache-bytes N] [--no-cache] [--port-file PATH]\n"
+      "       [--trace] [--trace-file PATH]\n"
       "\n"
       "--port 0 (default) picks an ephemeral port (printed, and written\n"
       "to --port-file when given). --workers 0 = one per hardware thread.\n"
       "--cache-bytes bounds the snapshot cache (serialized scenario\n"
-      "bytes); --no-cache disables it. SIGINT/SIGTERM or the `shutdown`\n"
+      "bytes); --no-cache disables it. --trace records spans for every\n"
+      "request and job; --trace-file writes them as Chrome/Perfetto JSON\n"
+      "at exit (implies --trace). SIGINT/SIGTERM or the `shutdown`\n"
       "verb drain gracefully: accepted jobs always finish.\n",
       stderr);
   std::exit(2);
@@ -51,6 +56,8 @@ int main(int argc, char** argv) {
   acr::service::ServiceOptions options;
   acr::service::TcpServerOptions tcp;
   std::string port_file;
+  std::string trace_file;
+  bool trace = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -72,12 +79,19 @@ int main(int argc, char** argv) {
       options.cache_enabled = false;
     } else if (flag == "--port-file") {
       port_file = value();
+    } else if (flag == "--trace") {
+      trace = true;
+    } else if (flag == "--trace-file") {
+      trace_file = value();
+      trace = true;
     } else if (flag == "--help" || flag == "-h") {
       usage();
     } else {
       usage(("unknown flag '" + flag + "'").c_str());
     }
   }
+
+  if (trace) acr::obs::Tracer::global().setEnabled(true);
 
   tcp.stop = &g_stop;
   std::signal(SIGINT, onSignal);
@@ -107,6 +121,15 @@ int main(int argc, char** argv) {
                 service.scheduler().runningCount());
     std::fflush(stdout);
     service.drain();
+    if (!trace_file.empty()) {
+      std::ofstream out(trace_file);
+      out << acr::obs::Tracer::global().renderChromeJson() << '\n';
+      std::printf("acrd: trace written to %s\n", trace_file.c_str());
+    }
+    if (const auto open = acr::obs::Tracer::global().openSpans(); open != 0) {
+      std::fprintf(stderr, "acrd: warning: %lld span(s) still open at exit\n",
+                   static_cast<long long>(open));
+    }
     std::puts("acrd: drained, bye");
     return 0;
   } catch (const std::exception& error) {
