@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Keep the documentation wired to the repo it describes.
+
+Usage: check_docs.py [REPO_ROOT]
+
+Checks:
+  * every intra-repo markdown link (in *.md at the repo root and under
+    docs/) resolves to an existing file — links rot silently otherwise;
+  * every benchmark binary declared in bench/CMakeLists.txt has a row in
+    docs/benchmarks.md — a bench without documentation is invisible.
+
+External links (http/https/mailto) and pure in-page anchors are skipped.
+Exits 0 when everything resolves, 1 otherwise. Stdlib only: CI containers
+have no extra packages.
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — excludes images' leading ! context on purpose (the
+# target check is identical either way) and stops at the first ')'.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BENCH_DECL = re.compile(r"^\s*(?:acr_add_bench|add_executable)\((bench_\w+)")
+
+
+def markdown_files(root):
+    files = [entry for entry in sorted(os.listdir(root))
+             if entry.endswith(".md")]
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        files.extend(os.path.join("docs", entry)
+                     for entry in sorted(os.listdir(docs))
+                     if entry.endswith(".md"))
+    return files
+
+
+def check_links(root):
+    errors = []
+    for relpath in markdown_files(root):
+        path = os.path.join(root, relpath)
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        for lineno, line in enumerate(text.split("\n"), start=1):
+            for match in LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(root, os.path.dirname(relpath), target))
+                if not os.path.exists(resolved):
+                    errors.append("%s:%d: broken link %r"
+                                  % (relpath, lineno, match.group(1)))
+    return errors
+
+
+def check_bench_coverage(root):
+    errors = []
+    cmake = os.path.join(root, "bench", "CMakeLists.txt")
+    benchmarks_md = os.path.join(root, "docs", "benchmarks.md")
+    with open(cmake, "r", encoding="utf-8") as handle:
+        declared = [m.group(1) for m in
+                    (BENCH_DECL.match(line) for line in handle)
+                    if m is not None]
+    with open(benchmarks_md, "r", encoding="utf-8") as handle:
+        documented = handle.read()
+    for name in declared:
+        if name not in documented:
+            errors.append("bench/CMakeLists.txt: %s has no row in "
+                          "docs/benchmarks.md" % name)
+    return errors
+
+
+def main(argv):
+    root = os.path.abspath(argv[1]) if len(argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    errors = check_links(root) + check_bench_coverage(root)
+    for error in errors:
+        sys.stderr.write("check_docs: %s\n" % error)
+    if not errors:
+        print("check_docs: OK (%d markdown files, links + bench coverage)"
+              % len(markdown_files(root)))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

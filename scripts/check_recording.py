@@ -10,7 +10,9 @@ Checks, per recording:
   * `seq` equals the line index (0-based, no gaps, no reordering);
   * when a `begin` event is present it is the first line;
   * the last event is terminal (`end`) — a recording that stops anywhere
-    else means the producer crashed or truncated the file.
+    else means the producer crashed or truncated the file;
+  * a verdict's optional `node` (its delta-tree position under batch
+    validation) is a non-empty path rooted at "anchor".
 
 Exits 0 when every recording is valid, 1 otherwise. Stdlib only: CI
 containers have no jsonschema package.
@@ -89,6 +91,11 @@ def check_recording(path, schema):
         if event.get("seq") != index:
             errors.append("%s: seq %r, expected %d (line order is the event "
                           "order)" % (where, event.get("seq"), index))
+        if event.get("event") == "verdict" and "node" in event:
+            node = event["node"]
+            if not isinstance(node, str) or not node.startswith("anchor"):
+                errors.append("%s: verdict node %r is not a tree path rooted "
+                              "at 'anchor'" % (where, node))
     for where, event in events[1:]:
         if event.get("event") == "begin":
             errors.append("%s: begin event must be the first line" % where)

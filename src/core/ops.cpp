@@ -78,6 +78,7 @@ util::Json repairOptionsJson(const repair::RepairOptions& options) {
   json.set("samples_per_intent", util::Json(options.samples_per_intent));
   json.set("seed", util::Json(static_cast<std::uint64_t>(options.seed)));
   json.set("use_incremental", util::Json(options.use_incremental));
+  json.set("batch_validate", util::Json(options.batch_validate));
   json.set("brute_force", util::Json(options.brute_force));
   json.set("use_crossover", util::Json(options.use_crossover));
   json.set("crossover_pairs", util::Json(options.crossover_pairs));
@@ -121,6 +122,7 @@ repair::RepairOptions repairOptionsFromJson(const util::Json& json) {
   }
   options.use_incremental =
       boolField("use_incremental", options.use_incremental);
+  options.batch_validate = boolField("batch_validate", options.batch_validate);
   options.brute_force = boolField("brute_force", options.brute_force);
   options.use_crossover = boolField("use_crossover", options.use_crossover);
   options.crossover_pairs =

@@ -100,7 +100,8 @@ void FlightRecorder::verdict(int iteration, int candidate,
                              const std::string& tmpl,
                              const std::string& description, double fitness,
                              bool accepted, const std::string& sim,
-                             int tests_reverified, int tests_skipped) {
+                             int tests_reverified, int tests_skipped,
+                             const std::string& node) {
   util::Json e = event("verdict");
   e.set("iteration", util::Json(iteration));
   e.set("candidate", util::Json(candidate));
@@ -111,6 +112,7 @@ void FlightRecorder::verdict(int iteration, int candidate,
   e.set("sim", util::Json(sim));
   e.set("tests_reverified", util::Json(tests_reverified));
   e.set("tests_skipped", util::Json(tests_skipped));
+  if (!node.empty()) e.set("node", util::Json(node));
   record(std::move(e));
 }
 

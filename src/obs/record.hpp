@@ -46,9 +46,13 @@ class FlightRecorder {
                 bool sat,
                 const std::vector<std::pair<std::string, std::string>>& model,
                 const std::string& conflict);
+  /// `node` is the candidate's delta-tree node path under batch validation
+  /// ("anchor[/base devices]/leaf devices"); empty (omitted from the event)
+  /// when the probe ran outside a tree (crossover, batch_validate off).
   void verdict(int iteration, int candidate, const std::string& tmpl,
                const std::string& description, double fitness, bool accepted,
-               const std::string& sim, int tests_reverified, int tests_skipped);
+               const std::string& sim, int tests_reverified, int tests_skipped,
+               const std::string& node = {});
   void crossover(int pairs, int produced);
   void end(const std::string& termination, int iterations, int validations,
            int final_failed, const std::vector<std::string>& changes);

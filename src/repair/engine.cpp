@@ -177,10 +177,13 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
     int fitness = 0;
     std::uint64_t tests_reverified = 0;
     std::uint64_t tests_skipped = 0;
-    /// How the probe simulated: "delta", a fallback-rule reason, or
-    /// "full-verify". A pure function of the anchor state, so identical
-    /// whether computed sequentially or by a fan-out worker.
+    /// How the probe simulated: "delta" ("delta-tree" under batch
+    /// validation), a fallback-rule reason, or "full-verify". A pure
+    /// function of the anchor state, so identical whether computed
+    /// sequentially or by a fan-out worker.
     std::string sim;
+    /// Delta-tree node path under batch validation, empty otherwise.
+    std::string node;
   };
   const auto evaluate = [&](const topo::Network& updated,
                             verify::IncrementalVerifier& verifier) -> Score {
@@ -204,6 +207,20 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
     score.sim = "full-verify";
     return score;
   };
+  // Batch evaluation: one probe against a shared delta tree instead of an
+  // independent verifier probe. Same score, cheaper simulation.
+  const auto evaluateBatch = [&](const topo::Network& updated,
+                                 verify::CandidateBatch& batch) -> Score {
+    Score score;
+    const verify::CandidateBatch::Probe probe = batch.probe(updated);
+    score.tests_reverified =
+        static_cast<std::uint64_t>(probe.tests_reverified);
+    score.tests_skipped = static_cast<std::uint64_t>(probe.tests_skipped);
+    score.fitness = probe.verdict.tests_failed + toleranceFailures(updated);
+    score.sim = probe.sim;
+    score.node = probe.node;
+    return score;
+  };
   // Accounting wrapper for the sequential call sites (lazy scan, crossover).
   const auto scoreOf = [&](const topo::Network& updated) -> Score {
     ++result.validations;
@@ -212,6 +229,8 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
     result.tests_skipped += score.tests_skipped;
     return score;
   };
+  const bool batch_validate =
+      options_.batch_validate && options_.use_incremental;
   const int validate_jobs = util::resolveJobs(options_.validate_jobs);
   // Raised by the validation scan / crossover loop when the cancel flag
   // trips between candidates — a running VALIDATE round stops at the next
@@ -430,12 +449,27 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
                 obs::Span worker_span("validate.worker");
                 worker_span.attr("chunk", static_cast<std::int64_t>(chunk));
                 verify::IncrementalVerifier local = main_verifier;
-                for (int i = chunk; i < n; i += chunks) {
-                  scores[static_cast<std::size_t>(i)] =
-                      evaluate(updated[static_cast<std::size_t>(i)], local);
+                if (batch_validate) {
+                  // Each chunk grows its own delta tree over the shared
+                  // base (this candidate's network): probes stay pure
+                  // functions of (anchor, base, proposal), so chunking
+                  // never changes a score.
+                  verify::CandidateBatch batch(local, candidate.network);
+                  for (int i = chunk; i < n; i += chunks) {
+                    scores[static_cast<std::size_t>(i)] = evaluateBatch(
+                        updated[static_cast<std::size_t>(i)], batch);
+                  }
+                } else {
+                  for (int i = chunk; i < n; i += chunks) {
+                    scores[static_cast<std::size_t>(i)] =
+                        evaluate(updated[static_cast<std::size_t>(i)], local);
+                  }
                 }
               });
             }
+            // Sequential batch: built lazily so the scan's early exits
+            // (repair found, cancellation) skip the base propagation too.
+            std::optional<verify::CandidateBatch> seq_batch;
 
             for (int i = 0; i < n && !repaired; ++i) {
               // Cooperative cancellation between candidates: a remote
@@ -458,6 +492,15 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
                 ++result.validations;
                 result.tests_reverified += score.tests_reverified;
                 result.tests_skipped += score.tests_skipped;
+              } else if (batch_validate) {
+                if (!seq_batch) {
+                  seq_batch.emplace(main_verifier, candidate.network);
+                }
+                score = evaluateBatch(updated[static_cast<std::size_t>(i)],
+                                      *seq_batch);
+                ++result.validations;
+                result.tests_reverified += score.tests_reverified;
+                result.tests_skipped += score.tests_skipped;
               } else {
                 score = scoreOf(updated[static_cast<std::size_t>(i)]);
               }
@@ -470,7 +513,7 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
                     iteration, i, proposal.template_name, proposal.description,
                     fitness, !discarded, score.sim,
                     static_cast<int>(score.tests_reverified),
-                    static_cast<int>(score.tests_skipped));
+                    static_cast<int>(score.tests_skipped), score.node);
               }
               if (discarded) {
                 metrics.counter("repair.candidates_discarded").add(1);

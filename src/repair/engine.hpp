@@ -82,6 +82,16 @@ struct RepairOptions {
   /// are speculative work that is simply discarded. Defaults to 1 because
   /// the campaign runner already parallelizes at incident granularity.
   int validate_jobs = 1;
+  /// Cross-candidate batch evaluation (docs/architecture.md §14): VALIDATE
+  /// evaluates each round's candidates as leaves of a shared delta tree
+  /// (verify::CandidateBatch) — the candidates' common edit prefix is
+  /// propagated once and each candidate forks off it via copy-on-write RIB
+  /// undo logs, instead of re-propagating from the anchor per candidate.
+  /// Semantics-preserving: verdicts, fitness and every counter are
+  /// identical with the flag off; only the recorded `sim` label
+  /// ("delta-tree" vs "delta") and per-verdict `node` path differ. Only
+  /// effective with use_incremental.
+  bool batch_validate = true;
   route::SimOptions sim_options;
   /// Optional pre-converged simulation of the faulty network (e.g. the acrd
   /// snapshot cache's primed baseline): adopted as the incremental

@@ -13,59 +13,6 @@
 
 namespace acr::route {
 
-namespace {
-
-/// Structural topology equality as the simulator sees it: same routers
-/// (name, ASN, router-id — in order, since the dense router table interns
-/// by position) and same links. Roles and edge subnets don't feed the
-/// control plane.
-bool sameTopologyShape(const topo::Topology& a, const topo::Topology& b) {
-  const auto& ra = a.routers();
-  const auto& rb = b.routers();
-  if (ra.size() != rb.size()) return false;
-  for (std::size_t i = 0; i < ra.size(); ++i) {
-    if (ra[i].name != rb[i].name || ra[i].asn != rb[i].asn ||
-        ra[i].router_id != rb[i].router_id) {
-      return false;
-    }
-  }
-  const auto& la = a.links();
-  const auto& lb = b.links();
-  if (la.size() != lb.size()) return false;
-  for (std::size_t i = 0; i < la.size(); ++i) {
-    if (la[i].a != lb[i].a || la[i].b != lb[i].b ||
-        la[i].subnet != lb[i].subnet) {
-      return false;
-    }
-  }
-  return true;
-}
-
-bool sameSessions(const std::vector<Session>& a,
-                  const std::vector<Session>& b) {
-  if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i].a != b[i].a || a[i].b != b[i].b ||
-        a[i].a_address != b[i].a_address || a[i].b_address != b[i].b_address ||
-        a[i].up != b[i].up || a[i].down_reason != b[i].down_reason) {
-      return false;
-    }
-  }
-  return true;
-}
-
-bool sameDeviceSet(const topo::Network& a, const topo::Network& b) {
-  if (a.configs.size() != b.configs.size()) return false;
-  auto ia = a.configs.begin();
-  auto ib = b.configs.begin();
-  for (; ia != a.configs.end(); ++ia, ++ib) {
-    if (ia->first != ib->first) return false;
-  }
-  return true;
-}
-
-}  // namespace
-
 SimResult DeltaSimulator::run(const topo::Network& updated,
                               const std::vector<std::string>& changed_devices,
                               const SimOptions& options,
@@ -91,14 +38,14 @@ SimResult DeltaSimulator::run(const topo::Network& updated,
   if (options.record_provenance) return fallback("provenance-requested");
   // The baseline state is only a valid starting point if it is a fixpoint.
   if (!baseline_.converged) return fallback("baseline-not-converged");
-  if (!sameTopologyShape(baseline_network_.topology, updated.topology)) {
+  if (!detail::sameTopologyShape(baseline_network_.topology, updated.topology)) {
     return fallback("topology-shape-changed");
   }
-  if (!sameDeviceSet(baseline_network_, updated)) {
+  if (!detail::sameDeviceSet(baseline_network_, updated)) {
     return fallback("device-set-changed");
   }
   std::vector<Session> sessions = Simulator(updated).computeSessions();
-  if (!sameSessions(baseline_.sessions, sessions)) {
+  if (!detail::sameSessions(baseline_.sessions, sessions)) {
     return fallback("session-state-changed");
   }
 
@@ -237,7 +184,8 @@ SimResult DeltaSimulator::run(const topo::Network& updated,
       dirty_prefix_set.insert(prefix);
       const auto old_it = old_routes.find(prefix);
       const bool changed =
-          old_it == old_routes.end() || old_it->second.key() != route.key();
+          old_it == old_routes.end() ||
+          !detail::sameRouteState(old_it->second, route);
       updates.push_back(Update{router, prefix, std::move(route), changed});
     }
     for (const auto& [prefix, route] : old_routes) {
@@ -270,7 +218,7 @@ SimResult DeltaSimulator::run(const topo::Network& updated,
         const auto old_it = routes.find(prefix);
         if (!fresh && old_it == routes.end()) continue;
         const bool changed = !fresh || old_it == routes.end() ||
-                             old_it->second.key() != fresh->key();
+                             !detail::sameRouteState(old_it->second, *fresh);
         // Even a key-equal recompute commits: its ECMP set (derived state,
         // outside the key) may be fresher. It just doesn't propagate.
         updates.push_back(Update{router, prefix, std::move(fresh), changed});

@@ -1,0 +1,541 @@
+#include "routing/delta_tree.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "obs/trace.hpp"
+#include "routing/sim_internal.hpp"
+#include "util/metrics.hpp"
+
+namespace acr::route {
+
+namespace {
+
+/// Field-wise equality of one session (sameSessions() is the vector form).
+bool sameSession(const Session& a, const Session& b) {
+  return a.a == b.a && a.b == b.b && a.a_address == b.a_address &&
+         a.b_address == b.b_address && a.up == b.up &&
+         a.down_reason == b.down_reason;
+}
+
+}  // namespace
+
+struct DeltaTree::Impl {
+  /// Pre-image key of one touched RIB entry: (dense router id, prefix).
+  using EntryKey = std::pair<int, net::Prefix>;
+  /// First-touch undo log of one tree level: the entry's value at the
+  /// level's parent fixpoint (nullopt = absent).
+  using UndoLog = std::map<EntryKey, std::optional<Route>>;
+
+  const topo::Network& anchor_network;
+  const SimResult& anchor;
+  SimOptions options;
+  std::string disabled_reason;
+
+  detail::RouterTable table;
+  /// Anchor-resolved session flows, in buildFlows order. Never reallocated
+  /// after construction — `effective` holds pointers into it.
+  std::vector<detail::Flow> flows;
+  /// The flow actually used per slot: anchor flows, overridden per slot by
+  /// base- or leaf-resolved patches. Slot layout is fixed because the
+  /// session table is identical across the whole tree (precondition).
+  std::vector<const detail::Flow*> effective;
+  /// First flow slot of session i (-1 for a down session; an up session
+  /// owns exactly two consecutive slots, a->b then b->a).
+  std::vector<std::ptrdiff_t> session_flow_start;
+  std::map<std::string, std::vector<std::size_t>> in_ids;
+  std::map<std::string, std::vector<std::size_t>> out_ids;
+  /// Base-resolved flow patches (deque: stable addresses under growth).
+  std::deque<detail::Flow> node_patch_storage;
+
+  /// The one working state, forked by undo logs. Scrubbed like the
+  /// DeltaSimulator's seed (no derivations; ECMP per options).
+  SimResult view;
+  std::uint64_t hash = 0;       // incremental ribHash of view.rib
+  std::uint64_t node_hash = 0;  // checkpoint at the base fixpoint
+  bool base_set = false;
+  UndoLog node_undo;
+  UndoLog leaf_undo;
+
+  Impl(const topo::Network& anchor_network_in, const SimResult& anchor_in,
+       const SimOptions& options_in)
+      : anchor_network(anchor_network_in),
+        anchor(anchor_in),
+        options(options_in),
+        table(anchor_network_in.topology) {}
+
+  [[nodiscard]] const std::vector<std::size_t>& idsOf(
+      const std::map<std::string, std::vector<std::size_t>>& index,
+      const std::string& router) const {
+    static const std::vector<std::size_t> kNoIds;
+    const auto it = index.find(router);
+    return it == index.end() ? kNoIds : it->second;
+  }
+
+  /// Leaf/base-level precondition checks against the anchor. On success,
+  /// `up_touched` holds the indices of the up sessions whose flows must be
+  /// re-resolved against `network`.
+  [[nodiscard]] std::string checkAgainstAnchor(
+      const topo::Network& network, const std::set<std::string>& changed,
+      std::vector<std::size_t>& up_touched) const {
+    if (!detail::sameTopologyShape(anchor_network.topology,
+                                   network.topology)) {
+      return "topology-shape-changed";
+    }
+    if (!detail::sameDeviceSet(anchor_network, network)) {
+      return "device-set-changed";
+    }
+    // Sessions depend only on their endpoint configs (given an identical
+    // topology), so only links touching a changed device can disagree.
+    const auto& links = anchor_network.topology.links();
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (changed.count(links[i].a) == 0 && changed.count(links[i].b) == 0) {
+        continue;
+      }
+      const Session fresh = detail::sessionForLink(network, links[i]);
+      if (!sameSession(fresh, anchor.sessions[i])) {
+        return "session-state-changed";
+      }
+      if (anchor.sessions[i].up) up_touched.push_back(i);
+    }
+    return {};
+  }
+
+  /// Re-resolves the flows of `up_touched` sessions against `network` into
+  /// `storage`, overriding their `effective` slots. When `saved` is
+  /// non-null the previous slot values are recorded for restoration.
+  void patchFlows(
+      const topo::Network& network, const std::vector<std::size_t>& up_touched,
+      std::deque<detail::Flow>& storage,
+      std::vector<std::pair<std::size_t, const detail::Flow*>>* saved) {
+    std::vector<detail::Flow> fresh;
+    for (const std::size_t i : up_touched) {
+      const auto start = static_cast<std::size_t>(session_flow_start[i]);
+      fresh.clear();
+      detail::appendFlowsForSession(network, anchor.sessions[i], table, fresh);
+      for (std::size_t k = 0; k < fresh.size(); ++k) {
+        if (saved != nullptr) saved->emplace_back(start + k, effective[start + k]);
+        storage.push_back(std::move(fresh[k]));
+        effective[start + k] = &storage.back();
+      }
+    }
+  }
+
+  /// Routers named by an undo log's keys — the set whose cached FIB pages
+  /// must be re-derived after the log's entries were applied or undone.
+  [[nodiscard]] std::set<std::string> touchedRouters(
+      const UndoLog& undo) const {
+    std::set<std::string> routers;
+    for (const auto& [key, value] : undo) {
+      routers.insert(table.names[static_cast<std::size_t>(key.first)]);
+    }
+    return routers;
+  }
+
+  /// Restores every entry of `undo` to its recorded pre-image and resets
+  /// the incremental hash to `checkpoint`.
+  void rollback(UndoLog& undo, std::uint64_t checkpoint) {
+    for (auto& [key, value] : undo) {
+      auto& routes = view.rib[table.names[static_cast<std::size_t>(key.first)]];
+      if (value) {
+        routes.insert_or_assign(key.second, std::move(*value));
+      } else {
+        routes.erase(key.second);
+      }
+    }
+    view.dropLookupPages(touchedRouters(undo));
+    undo.clear();
+    hash = checkpoint;
+  }
+
+  /// One propagation segment from the current fixpoint: recomputes
+  /// `changed` devices (and their session neighbors) wholesale, then
+  /// propagates dirty (router, prefix) work items to a new fixpoint —
+  /// exactly the DeltaSimulator round loop, but committing into the shared
+  /// working state with first-touch undo recording. Returns the fallback
+  /// reason on failure (the caller rolls back), empty on success.
+  [[nodiscard]] std::string propagate(
+      const topo::Network& network, const std::vector<std::string>& changed,
+      UndoLog& undo, int& rounds_out, std::size_t& work_items_out) {
+    Rib& bests = view.rib;
+    const detail::RouteBetter better{&table};
+
+    std::map<std::string, std::vector<Route>> locals;
+    const auto localsOf =
+        [&](const std::string& router) -> const std::vector<Route>& {
+      auto it = locals.find(router);
+      if (it == locals.end()) {
+        const cfg::DeviceConfig* device = network.config(router);
+        it = locals
+                 .emplace(router,
+                          device == nullptr
+                              ? std::vector<Route>{}
+                              : detail::localRoutesFor(router, *device, nullptr))
+                 .first;
+      }
+      return it->second;
+    };
+
+    std::set<std::string> seeds;
+    for (const std::string& device : changed) {
+      seeds.insert(device);
+      for (const std::size_t idx : idsOf(out_ids, device)) {
+        seeds.insert(effective[idx]->to);
+      }
+    }
+
+    struct DirtyScope {
+      bool whole = false;
+      std::set<net::Prefix> prefixes;
+    };
+    std::map<std::string, DirtyScope> dirty;
+    for (const std::string& seed : seeds) dirty[seed].whole = true;
+
+    struct Update {
+      std::string router;
+      net::Prefix prefix;
+      std::optional<Route> route;  // nullopt = withdraw
+      bool state_change = false;
+    };
+
+    const auto recomputePrefix =
+        [&](const std::string& router,
+            const net::Prefix& prefix) -> std::optional<Route> {
+      std::map<std::string, Route> candidates;
+      for (const Route& local : localsOf(router)) {
+        if (local.prefix == prefix) {
+          candidates[detail::kLocalOrigin + routeSourceName(local.source)] =
+              local;
+        }
+      }
+      for (const std::size_t idx : idsOf(in_ids, router)) {
+        const detail::Flow* flow = effective[idx];
+        const auto neighbor = bests.find(flow->from);
+        if (neighbor == bests.end()) continue;
+        const auto route = neighbor->second.find(prefix);
+        if (route == neighbor->second.end()) continue;
+        auto imported =
+            detail::announceOnFlow(*flow, prefix, route->second, nullptr,
+                                   nullptr);
+        if (imported) candidates[flow->from] = std::move(*imported);
+      }
+      return detail::selectBestForPrefix(candidates, better,
+                                         options.enable_ecmp);
+    };
+
+    const auto recomputeRouter = [&](const std::string& router,
+                                     std::vector<Update>& updates) {
+      detail::Candidates candidates;
+      for (const Route& local : localsOf(router)) {
+        candidates[local.prefix]
+                  [detail::kLocalOrigin + routeSourceName(local.source)] =
+                      local;
+      }
+      for (const std::size_t idx : idsOf(in_ids, router)) {
+        const detail::Flow* flow = effective[idx];
+        const auto neighbor = bests.find(flow->from);
+        if (neighbor == bests.end()) continue;
+        for (const auto& [prefix, route] : neighbor->second) {
+          auto imported =
+              detail::announceOnFlow(*flow, prefix, route, nullptr, nullptr);
+          if (imported) candidates[prefix][flow->from] = std::move(*imported);
+        }
+      }
+      std::map<net::Prefix, Route> fresh;
+      detail::selectBests(candidates, fresh, better, options.enable_ecmp);
+      const auto& old_routes = bests[router];
+      for (auto& [prefix, route] : fresh) {
+        ++work_items_out;
+        const auto old_it = old_routes.find(prefix);
+        const bool state_change =
+            old_it == old_routes.end() ||
+            !detail::sameRouteState(old_it->second, route);
+        updates.push_back(Update{router, prefix, std::move(route), state_change});
+      }
+      for (const auto& [prefix, route] : old_routes) {
+        if (fresh.find(prefix) == fresh.end()) {
+          ++work_items_out;
+          updates.push_back(Update{router, prefix, std::nullopt, true});
+        }
+      }
+    };
+
+    std::unordered_map<std::uint64_t, int> round_of_hash{{hash, 0}};
+    int round = 0;
+    bool converged = false;
+
+    while (round < options.max_rounds) {
+      ++round;
+      std::vector<Update> updates;
+      for (const auto& [router, scope] : dirty) {
+        if (scope.whole) {
+          recomputeRouter(router, updates);
+          continue;
+        }
+        for (const net::Prefix& prefix : scope.prefixes) {
+          ++work_items_out;
+          std::optional<Route> fresh = recomputePrefix(router, prefix);
+          const auto& routes = bests[router];
+          const auto old_it = routes.find(prefix);
+          if (!fresh && old_it == routes.end()) continue;
+          const bool state_change =
+              !fresh || old_it == routes.end() ||
+              !detail::sameRouteState(old_it->second, *fresh);
+          // Key-equal recomputes still reach the commit loop (their ECMP
+          // set may be fresher); they just don't propagate. The commit loop
+          // drops the ones that turn out fully identical.
+          updates.push_back(
+              Update{router, prefix, std::move(fresh), state_change});
+        }
+      }
+
+      dirty.clear();
+      bool any_state_change = false;
+      for (Update& update : updates) {
+        auto& routes = bests[update.router];
+        const auto old_it = routes.find(update.prefix);
+        // A recompute that reproduced the stored entry byte-for-byte (same
+        // key state, ECMP set and derived ids) is a pure no-op: committing
+        // it would only grow the undo log with an entry that restores an
+        // identical value. Skipping keeps leaf undo logs at the size of the
+        // *actual* diff — wholesale-seeded neighbors that settle on the
+        // routes they already had cost nothing to roll back.
+        if (!update.state_change && update.route && old_it != routes.end() &&
+            old_it->second.ecmp == update.route->ecmp &&
+            old_it->second.learned_from_id == update.route->learned_from_id &&
+            old_it->second.derivation == update.route->derivation) {
+          continue;
+        }
+        // First touch at this tree level: record the pre-image before
+        // overwriting, so the level can be rolled back exactly.
+        undo.try_emplace(EntryKey{table.idOf(update.router), update.prefix},
+                         old_it != routes.end()
+                             ? std::optional<Route>(old_it->second)
+                             : std::nullopt);
+        if (update.state_change) {
+          any_state_change = true;
+          if (old_it != routes.end()) {
+            hash ^= detail::ribEntryHash(update.router, old_it->second);
+          }
+          if (update.route) {
+            hash ^= detail::ribEntryHash(update.router, *update.route);
+          }
+          for (const std::size_t idx : idsOf(out_ids, update.router)) {
+            dirty[effective[idx]->to].prefixes.insert(update.prefix);
+          }
+        }
+        if (update.route) {
+          routes.insert_or_assign(update.prefix, std::move(*update.route));
+        } else {
+          routes.erase(update.prefix);
+        }
+      }
+
+      if (!any_state_change) {
+        converged = true;
+        break;
+      }
+      const auto [seen, inserted] = round_of_hash.emplace(hash, round);
+      if (!inserted) return "oscillation-detected";
+    }
+    if (!converged) return "delta-round-cap";
+    rounds_out = round;
+    return {};
+  }
+};
+
+DeltaTree::DeltaTree(const topo::Network& anchor_network,
+                     const SimResult& anchor, const SimOptions& options)
+    : impl_(std::make_unique<Impl>(anchor_network, anchor, options)) {
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  metrics.counter("sim.tree.batches").add(1);
+  const auto disable = [&](std::string reason) {
+    impl_->disabled_reason = std::move(reason);
+  };
+
+  // Anchor-level preconditions — the DeltaSimulator's first three fallback
+  // rules, checked once per tree instead of once per candidate.
+  if (options.record_provenance) {
+    disable("provenance-requested");
+    return;
+  }
+  if (!anchor.converged) {
+    disable("baseline-not-converged");
+    return;
+  }
+
+  // Working state: the anchor fixpoint, scrubbed exactly like the
+  // DeltaSimulator's seed (derivations point into the anchor's provenance
+  // graph; ECMP sets must match the requested recording mode).
+  impl_->view.rib = anchor.rib;
+  for (auto& [router, routes] : impl_->view.rib) {
+    for (auto& [prefix, route] : routes) {
+      route.derivation = prov::kNoDerivation;
+      if (!options.enable_ecmp) {
+        route.ecmp.clear();
+      } else if (route.source == RouteSource::kBgp && route.ecmp.empty()) {
+        disable("ecmp-recording-mismatch");
+        return;
+      }
+    }
+  }
+  impl_->view.converged = true;
+  impl_->view.sessions = anchor.sessions;
+  impl_->hash = detail::ribHash(impl_->view.rib);
+  impl_->node_hash = impl_->hash;
+
+  // Anchor flows, with the per-session slot layout every fork patches into.
+  for (const Session& session : anchor.sessions) {
+    impl_->session_flow_start.push_back(
+        session.up ? static_cast<std::ptrdiff_t>(impl_->flows.size()) : -1);
+    detail::appendFlowsForSession(anchor_network, session, impl_->table,
+                                  impl_->flows);
+  }
+  impl_->effective.reserve(impl_->flows.size());
+  for (std::size_t i = 0; i < impl_->flows.size(); ++i) {
+    impl_->effective.push_back(&impl_->flows[i]);
+    impl_->in_ids[impl_->flows[i].to].push_back(i);
+    impl_->out_ids[impl_->flows[i].from].push_back(i);
+  }
+}
+
+DeltaTree::~DeltaTree() = default;
+
+bool DeltaTree::usable() const { return impl_->disabled_reason.empty(); }
+
+const std::string& DeltaTree::disabledReason() const {
+  return impl_->disabled_reason;
+}
+
+void DeltaTree::setBase(const topo::Network& base,
+                        const std::vector<std::string>& changed_vs_anchor) {
+  if (!usable()) return;
+  if (impl_->base_set) {
+    impl_->disabled_reason = "base-already-set";
+    return;
+  }
+  impl_->base_set = true;
+  if (changed_vs_anchor.empty()) return;  // base == anchor
+
+  obs::Span span("sim.tree.node");
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  const std::set<std::string> changed(changed_vs_anchor.begin(),
+                                      changed_vs_anchor.end());
+  std::vector<std::size_t> up_touched;
+  std::string reason =
+      impl_->checkAgainstAnchor(base, changed, up_touched);
+  if (reason.empty()) {
+    impl_->patchFlows(base, up_touched, impl_->node_patch_storage, nullptr);
+    int rounds = 0;
+    std::size_t work_items = 0;
+    reason = impl_->propagate(base, changed_vs_anchor, impl_->node_undo,
+                              rounds, work_items);
+    metrics.counter("sim.tree.node_work_items").add(work_items);
+    if (reason.empty()) {
+      impl_->view.dropLookupPages(impl_->touchedRouters(impl_->node_undo));
+      impl_->node_hash = impl_->hash;
+      span.attr("rounds", std::to_string(rounds));
+      return;
+    }
+    impl_->rollback(impl_->node_undo, impl_->node_hash);
+  }
+  // A base-level violation poisons every leaf: unwind to the anchor and
+  // disable — leaves fall back to full runs with this reason.
+  impl_->node_patch_storage.clear();
+  for (std::size_t i = 0; i < impl_->flows.size(); ++i) {
+    impl_->effective[i] = &impl_->flows[i];
+  }
+  span.attr("fallback", reason);
+  impl_->disabled_reason = std::move(reason);
+}
+
+void DeltaTree::leaf(const topo::Network& network,
+                     const std::vector<std::string>& changed_vs_base,
+                     const LeafVisitor& visit) {
+  obs::Span span("sim.tree.leaf");
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  metrics.counter("sim.tree.leaves").add(1);
+
+  const auto fallback = [&](std::string reason) {
+    span.attr("fallback", reason);
+    metrics.counter("sim.tree.fallback." + reason).add(1);
+    TreeLeafStats stats;
+    stats.used_delta = false;
+    stats.fallback_reason = std::move(reason);
+    const SimResult full = Simulator(network).run(impl_->options);
+    visit(full, stats);
+  };
+
+  if (!usable()) return fallback(impl_->disabled_reason);
+
+  // Leaf-level preconditions: a violation degrades this leaf only.
+  const std::set<std::string> changed(changed_vs_base.begin(),
+                                      changed_vs_base.end());
+  std::vector<std::size_t> up_touched;
+  std::string reason = impl_->checkAgainstAnchor(network, changed, up_touched);
+  if (!reason.empty()) return fallback(reason);
+
+  std::deque<detail::Flow> leaf_patch_storage;
+  std::vector<std::pair<std::size_t, const detail::Flow*>> saved_slots;
+  impl_->patchFlows(network, up_touched, leaf_patch_storage, &saved_slots);
+  const auto restoreSlots = [&] {
+    for (const auto& [slot, flow] : saved_slots) impl_->effective[slot] = flow;
+  };
+
+  TreeLeafStats stats;
+  reason = impl_->propagate(network, changed_vs_base, impl_->leaf_undo,
+                            stats.rounds, stats.work_items);
+  if (!reason.empty()) {
+    impl_->rollback(impl_->leaf_undo, impl_->node_hash);
+    restoreSlots();
+    return fallback(reason);
+  }
+
+  stats.used_delta = true;
+  stats.undo_entries = impl_->leaf_undo.size();
+
+  // Exact leaf-vs-anchor RIB diff from the undo logs: a key's anchor value
+  // is its pre-image in the node log when present (the base touched it
+  // first), else in the leaf log. Every touched key appears in one of the
+  // two, so no RIB sweep is needed.
+  std::set<Impl::EntryKey> touched;
+  for (const auto& [key, value] : impl_->node_undo) touched.insert(key);
+  for (const auto& [key, value] : impl_->leaf_undo) touched.insert(key);
+  for (const Impl::EntryKey& key : touched) {
+    const auto node_it = impl_->node_undo.find(key);
+    const std::optional<Route>& anchor_value =
+        node_it != impl_->node_undo.end() ? node_it->second
+                                          : impl_->leaf_undo.at(key);
+    const std::string& router =
+        impl_->table.names[static_cast<std::size_t>(key.first)];
+    const auto& routes = impl_->view.rib[router];
+    const auto current = routes.find(key.second);
+    const bool same =
+        current == routes.end()
+            ? !anchor_value.has_value()
+            : anchor_value.has_value() &&
+                  detail::sameRouteState(*anchor_value, current->second);
+    if (!same) stats.changed_vs_anchor.emplace_back(router, key.second);
+  }
+
+  impl_->view.dropLookupPages(impl_->touchedRouters(impl_->leaf_undo));
+  impl_->view.rounds = stats.rounds;
+
+  metrics.counter("sim.tree.delta_leaves").add(1);
+  metrics.counter("sim.tree.leaf_work_items").add(stats.work_items);
+  metrics.counter("sim.tree.rounds")
+      .add(static_cast<std::uint64_t>(stats.rounds));
+  metrics.counter("sim.tree.undo_entries").add(stats.undo_entries);
+  span.attr("rounds", std::to_string(stats.rounds));
+
+  visit(impl_->view, stats);
+
+  impl_->rollback(impl_->leaf_undo, impl_->node_hash);
+  restoreSlots();
+}
+
+}  // namespace acr::route

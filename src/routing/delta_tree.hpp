@@ -1,0 +1,118 @@
+// Cross-candidate batch simulation as a shared delta tree.
+//
+// A VALIDATE batch evaluates many candidate networks that share most of
+// their state: every candidate derives from the same converged *anchor*,
+// and candidates frequently share a common edit prefix (the *base* — e.g.
+// the population's current best patch, with each candidate adding one more
+// edit on top). Running a DeltaSimulator per candidate re-propagates the
+// shared prefix once per candidate; the DeltaTree propagates it once:
+//
+//     anchor fixpoint ── setBase(shared edits, propagated once)
+//                            ├── leaf(candidate 1)
+//                            ├── leaf(candidate 2)
+//                            └── ...
+//
+// Forking is copy-on-write over the anchor's RIB "pages": one working RIB
+// is mutated in place, with a first-touch undo log per tree level
+// recording the pre-image of every (router, prefix) entry a propagation
+// touches. Rolling a leaf back restores exactly the touched entries (and
+// the incremental RIB hash from its checkpoint), so evaluating a leaf
+// costs its own blast radius twice (apply + undo) — never a full RIB copy
+// or a re-propagation of the base segment. The SimResult's lazily built
+// longest-prefix-match pages are dropped only for touched routers
+// (SimResult::dropLookupPages), so untouched routers keep amortizing their
+// tries across every leaf of the batch.
+//
+// Byte-identity contract: for each leaf the visitor observes `rib`,
+// `converged`, `flapping` and `sessions` identical to a from-scratch
+// `Simulator(leaf_network).run(options)` — the same contract as
+// DeltaSimulator, enforced by the same shared transfer function and the
+// same precondition checks (docs/architecture.md §12, §14). The checks
+// fork with the tree: anchor-level violations (provenance requested,
+// anchor not converged, ECMP recording mismatch) disable the whole tree;
+// base-level violations (topology shape / device set / session state
+// changed, oscillation, round cap) disable the tree from setBase() on; a
+// leaf-level violation falls back to a full simulation for that leaf only,
+// without poisoning its siblings. `rounds` reflects only the leaf's own
+// propagation segment and `announcements`/`provenance` are not reproduced
+// — none of these participate in the identity contract.
+//
+// Lifetimes: the anchor network/result must outlive the tree; the base
+// network must outlive every subsequent leaf() call (patched session flows
+// reference its configs); a leaf network only needs to outlive its own
+// leaf() call.
+//
+// Not thread-safe: one DeltaTree per evaluation thread (mirrors how the
+// repair engine clones one IncrementalVerifier per VALIDATE chunk).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netcore/prefix.hpp"
+#include "routing/simulator.hpp"
+#include "topo/network.hpp"
+
+namespace acr::route {
+
+/// Observability of one DeltaTree::leaf — also mirrored into the
+/// process-global `sim.tree.*` metrics.
+struct TreeLeafStats {
+  bool used_delta = false;
+  std::string fallback_reason;  // empty when used_delta
+  int rounds = 0;               // leaf-segment propagation rounds
+  /// (router, prefix) recomputations performed across the leaf's rounds.
+  std::size_t work_items = 0;
+  /// RIB entries the leaf touched (size of its undo log).
+  std::size_t undo_entries = 0;
+  /// Exact RIB diff of the leaf fixpoint vs. the anchor: every
+  /// (router, prefix) whose entry differs (changed, added or withdrawn).
+  /// Derived from the undo logs, so it costs the blast radius, not a full
+  /// RIB sweep. Only populated when `used_delta`.
+  std::vector<std::pair<std::string, net::Prefix>> changed_vs_anchor;
+};
+
+class DeltaTree {
+ public:
+  /// `anchor` is the simulation of `anchor_network` under `options`; both
+  /// must outlive the tree. A violated anchor-level precondition leaves
+  /// the tree constructed but unusable (leaves fall back to full runs).
+  DeltaTree(const topo::Network& anchor_network, const SimResult& anchor,
+            const SimOptions& options = {});
+  ~DeltaTree();
+  DeltaTree(const DeltaTree&) = delete;
+  DeltaTree& operator=(const DeltaTree&) = delete;
+
+  /// False once a tree- or base-level precondition fired; every leaf then
+  /// runs the full engine with disabledReason() as its fallback reason.
+  [[nodiscard]] bool usable() const;
+  [[nodiscard]] const std::string& disabledReason() const;
+
+  /// Installs the edit prefix shared by every candidate and propagates it
+  /// once. `changed_vs_anchor` lists the devices on which `base` differs
+  /// from the anchor network. Call at most once, before the first leaf();
+  /// without a call (or with no changed devices) leaves fork directly off
+  /// the anchor. May disable the tree (see usable()).
+  void setBase(const topo::Network& base,
+               const std::vector<std::string>& changed_vs_anchor);
+
+  /// Runs `visit` against the candidate's fixpoint state, then rolls the
+  /// working state back to the base node. `changed_vs_base` lists the
+  /// devices on which `network` differs from the base (the anchor when no
+  /// base is set). The SimResult reference is only valid inside `visit`.
+  using LeafVisitor =
+      std::function<void(const SimResult&, const TreeLeafStats&)>;
+  void leaf(const topo::Network& network,
+            const std::vector<std::string>& changed_vs_base,
+            const LeafVisitor& visit);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace acr::route

@@ -9,10 +9,45 @@ namespace acr::route::detail {
 RouterTable::RouterTable(const topo::Topology& topology) {
   router_ids.emplace_back();  // id 0: locally originated / unknown
   asns.push_back(0);
+  names.emplace_back();
   for (const auto& router : topology.routers()) {
     index.emplace(router.name, static_cast<int>(router_ids.size()));
     router_ids.push_back(router.router_id);
     asns.push_back(router.asn);
+    names.push_back(router.name);
+  }
+}
+
+void appendFlowsForSession(const topo::Network& network,
+                           const Session& session, const RouterTable& table,
+                           std::vector<Flow>& flows) {
+  if (!session.up) return;
+  for (const auto& [from, to, from_addr, to_addr] :
+       {std::tuple{session.a, session.b, session.a_address,
+                   session.b_address},
+        std::tuple{session.b, session.a, session.b_address,
+                   session.a_address}}) {
+    Flow flow;
+    flow.from = from;
+    flow.to = to;
+    flow.from_id = table.idOf(from);
+    flow.to_id = table.idOf(to);
+    flow.from_asn = table.asns[static_cast<std::size_t>(flow.from_id)];
+    flow.to_asn = table.asns[static_cast<std::size_t>(flow.to_id)];
+    flow.from_address = from_addr;
+    flow.exporter = network.config(from);
+    flow.importer = network.config(to);
+    flow.exporter_peer = flow.exporter->bgp->findPeer(to_addr);
+    flow.importer_peer = flow.importer->bgp->findPeer(from_addr);
+    flow.session_lines = {
+        cfg::LineId{from, flow.exporter_peer->as_line},
+        cfg::LineId{to, flow.importer_peer->as_line},
+    };
+    flow.export_binding = resolvePolicyBinding(
+        *flow.exporter, *flow.exporter_peer, Direction::kExport);
+    flow.import_binding = resolvePolicyBinding(
+        *flow.importer, *flow.importer_peer, Direction::kImport);
+    flows.push_back(std::move(flow));
   }
 }
 
@@ -21,36 +56,47 @@ std::vector<Flow> buildFlows(const topo::Network& network,
                              const RouterTable& table) {
   std::vector<Flow> flows;
   for (const auto& session : sessions) {
-    if (!session.up) continue;
-    for (const auto& [from, to, from_addr, to_addr] :
-         {std::tuple{session.a, session.b, session.a_address,
-                     session.b_address},
-          std::tuple{session.b, session.a, session.b_address,
-                     session.a_address}}) {
-      Flow flow;
-      flow.from = from;
-      flow.to = to;
-      flow.from_id = table.idOf(from);
-      flow.to_id = table.idOf(to);
-      flow.from_asn = table.asns[static_cast<std::size_t>(flow.from_id)];
-      flow.to_asn = table.asns[static_cast<std::size_t>(flow.to_id)];
-      flow.from_address = from_addr;
-      flow.exporter = network.config(from);
-      flow.importer = network.config(to);
-      flow.exporter_peer = flow.exporter->bgp->findPeer(to_addr);
-      flow.importer_peer = flow.importer->bgp->findPeer(from_addr);
-      flow.session_lines = {
-          cfg::LineId{from, flow.exporter_peer->as_line},
-          cfg::LineId{to, flow.importer_peer->as_line},
-      };
-      flow.export_binding = resolvePolicyBinding(
-          *flow.exporter, *flow.exporter_peer, Direction::kExport);
-      flow.import_binding = resolvePolicyBinding(
-          *flow.importer, *flow.importer_peer, Direction::kImport);
-      flows.push_back(std::move(flow));
-    }
+    appendFlowsForSession(network, session, table, flows);
   }
   return flows;
+}
+
+Session sessionForLink(const topo::Network& network,
+                       const topo::LinkDecl& link) {
+  const topo::Topology& topology = network.topology;
+  Session session;
+  session.a = link.a;
+  session.b = link.b;
+  session.a_address = link.addressOf(link.a);
+  session.b_address = link.addressOf(link.b);
+  const cfg::DeviceConfig* ca = network.config(link.a);
+  const cfg::DeviceConfig* cb = network.config(link.b);
+  const topo::RouterDecl* ra = topology.findRouter(link.a);
+  const topo::RouterDecl* rb = topology.findRouter(link.b);
+  const auto check = [&](const cfg::DeviceConfig* self,
+                         net::Ipv4Address peer_address,
+                         const topo::RouterDecl* peer_router,
+                         const std::string& self_name) -> std::string {
+    if (self == nullptr || !self->bgp) {
+      return "no bgp configuration on " + self_name;
+    }
+    const cfg::PeerConfig* peer = self->bgp->findPeer(peer_address);
+    if (peer == nullptr) {
+      return "no peer statement for " + peer_address.str() + " on " +
+             self_name;
+    }
+    if (peer->remote_as != peer_router->asn) {
+      return "as-number mismatch on " + self_name + ": configured " +
+             std::to_string(peer->remote_as) + ", remote is " +
+             std::to_string(peer_router->asn);
+    }
+    return {};
+  };
+  std::string reason = check(ca, session.b_address, rb, link.a);
+  if (reason.empty()) reason = check(cb, session.a_address, ra, link.b);
+  session.up = reason.empty();
+  session.down_reason = reason;
+  return session;
 }
 
 std::vector<Route> localRoutesFor(const std::string& name,
@@ -268,8 +314,53 @@ bool ribEqualByKey(const Rib& a, const Rib& b) {
     auto jb = rb.begin();
     for (; ja != ra.end(); ++ja, ++jb) {
       if (ja->first != jb->first) return false;
-      if (ja->second.key() != jb->second.key()) return false;
+      if (!sameRouteState(ja->second, jb->second)) return false;
     }
+  }
+  return true;
+}
+
+bool sameTopologyShape(const topo::Topology& a, const topo::Topology& b) {
+  const auto& ra = a.routers();
+  const auto& rb = b.routers();
+  if (ra.size() != rb.size()) return false;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i].name != rb[i].name || ra[i].asn != rb[i].asn ||
+        ra[i].router_id != rb[i].router_id) {
+      return false;
+    }
+  }
+  const auto& la = a.links();
+  const auto& lb = b.links();
+  if (la.size() != lb.size()) return false;
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    if (la[i].a != lb[i].a || la[i].b != lb[i].b ||
+        la[i].subnet != lb[i].subnet) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool sameSessions(const std::vector<Session>& a,
+                  const std::vector<Session>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].a != b[i].a || a[i].b != b[i].b ||
+        a[i].a_address != b[i].a_address || a[i].b_address != b[i].b_address ||
+        a[i].up != b[i].up || a[i].down_reason != b[i].down_reason) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool sameDeviceSet(const topo::Network& a, const topo::Network& b) {
+  if (a.configs.size() != b.configs.size()) return false;
+  auto ia = a.configs.begin();
+  auto ib = b.configs.begin();
+  for (; ia != a.configs.end(); ++ia, ++ib) {
+    if (ia->first != ib->first) return false;
   }
   return true;
 }

@@ -31,13 +31,15 @@ namespace acr::route::detail {
 inline constexpr const char* kLocalOrigin = "";
 
 /// Dense router table: names interned to ids >= 1 (0 is reserved for
-/// "locally originated / unknown"), with the per-id router-id and ASN in
-/// flat arrays. Replaces the per-comparison `std::map` lookups the
-/// decision process used to pay inside `better()`.
+/// "locally originated / unknown"), with the per-id router-id, ASN and name
+/// in flat arrays. Replaces the per-comparison `std::map` lookups the
+/// decision process used to pay inside `better()`, and lets incremental
+/// engines key per-entry bookkeeping by (id, prefix) instead of strings.
 struct RouterTable {
   std::unordered_map<std::string, int> index;
   std::vector<net::Ipv4Address> router_ids;  // [0] = 0.0.0.0
   std::vector<std::uint32_t> asns;           // [0] = 0
+  std::vector<std::string> names;            // [0] = ""
 
   explicit RouterTable(const topo::Topology& topology);
 
@@ -77,12 +79,27 @@ struct Flow {
   PolicyBinding import_binding;
 };
 
+/// Appends the directed flows of one established session (a->b then b->a)
+/// resolved against `network`. The per-session unit of buildFlows(), exposed
+/// so incremental engines can re-resolve only the sessions whose endpoint
+/// configs changed and reuse every other flow object untouched.
+void appendFlowsForSession(const topo::Network& network,
+                           const Session& session, const RouterTable& table,
+                           std::vector<Flow>& flows);
+
 /// Directed flows for the established sessions, in session order (a->b
 /// then b->a per link) — candidate-map overwrite semantics depend on this
 /// order, so both engines must build flows identically.
 [[nodiscard]] std::vector<Flow> buildFlows(const topo::Network& network,
                                            const std::vector<Session>& sessions,
                                            const RouterTable& table);
+
+/// Session establishment for a single topology link (configs on both ends,
+/// peer statements, AS numbers). The per-link unit of
+/// Simulator::computeSessions(), exposed so incremental engines can
+/// recompute only the sessions adjacent to an edited device.
+[[nodiscard]] Session sessionForLink(const topo::Network& network,
+                                     const topo::LinkDecl& link);
 
 /// Local routes (connected + resolvable static) of one device, with
 /// derivations recorded into `provenance` when non-null.
@@ -98,22 +115,46 @@ struct Flow {
 /// The decision process ("is `a` preferred over `b`"): admin distance,
 /// highest local-pref, shortest AS_PATH, lowest MED, lowest advertising
 /// router-id (via the dense table), neighbor name.
+///
+/// Branch-light: the first four tiebreaks collapse into two 64-bit
+/// comparison words, so the common all-equal-up-front case costs two
+/// integer compares instead of four data-dependent branches. local-pref is
+/// bit-flipped because higher wins while everything else prefers lower.
 struct RouteBetter {
   const RouterTable* table = nullptr;
 
+  [[nodiscard]] static std::uint64_t adminWord(const Route& r) {
+    return (static_cast<std::uint64_t>(r.source) << 32) |
+           static_cast<std::uint32_t>(~r.local_pref);
+  }
+  [[nodiscard]] static std::uint64_t pathWord(const Route& r) {
+    return (static_cast<std::uint64_t>(r.as_path.size()) << 32) | r.med;
+  }
+
   bool operator()(const Route& a, const Route& b) const {
-    if (a.source != b.source) return a.source < b.source;
-    if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
-    if (a.as_path.size() != b.as_path.size()) {
-      return a.as_path.size() < b.as_path.size();
-    }
-    if (a.med != b.med) return a.med < b.med;
+    const std::uint64_t admin_a = adminWord(a);
+    const std::uint64_t admin_b = adminWord(b);
+    if (admin_a != admin_b) return admin_a < admin_b;
+    const std::uint64_t path_a = pathWord(a);
+    const std::uint64_t path_b = pathWord(b);
+    if (path_a != path_b) return path_a < path_b;
     const net::Ipv4Address id_a = table->routerIdOf(a.learned_from_id);
     const net::Ipv4Address id_b = table->routerIdOf(b.learned_from_id);
     if (id_a != id_b) return id_a < id_b;
     return a.learned_from < b.learned_from;
   }
 };
+
+/// Identity under the convergence semantics: exactly the fields Route::key()
+/// embeds (prefix, source, learned-from, next hop, AS path, local-pref,
+/// MED), compared directly instead of via the two string builds a
+/// `key() == key()` costs. Derived state (ecmp, learned_from_id,
+/// derivation) is excluded, as in key().
+[[nodiscard]] inline bool sameRouteState(const Route& a, const Route& b) {
+  return a.source == b.source && a.local_pref == b.local_pref &&
+         a.med == b.med && a.next_hop == b.next_hop && a.prefix == b.prefix &&
+         a.learned_from == b.learned_from && a.as_path == b.as_path;
+}
 
 /// Best route (and, when `enable_ecmp`, its equal-cost set) among one
 /// prefix's candidates; nullopt when there are none.
@@ -154,5 +195,25 @@ void selectBests(const Candidates& candidates,
 /// same prefixes, same `Route::key()` per entry (ECMP sets are derived
 /// state and excluded, matching the historical snapshot comparison).
 [[nodiscard]] bool ribEqualByKey(const Rib& a, const Rib& b);
+
+// --- incremental-engine precondition checks (docs/architecture.md §12) ----
+// Shared by the DeltaSimulator's fallback rules and the DeltaTree's
+// tree/base/leaf checks, so both engines degrade on exactly the same
+// conditions.
+
+/// Structural topology equality as the simulator sees it: same routers
+/// (name, ASN, router-id — in order, since the dense router table interns
+/// by position) and same links. Roles and edge subnets don't feed the
+/// control plane.
+[[nodiscard]] bool sameTopologyShape(const topo::Topology& a,
+                                     const topo::Topology& b);
+
+/// Same session table: endpoints, addresses, up/down state and reason.
+[[nodiscard]] bool sameSessions(const std::vector<Session>& a,
+                                const std::vector<Session>& b);
+
+/// Same set of configured devices (map keys, in order).
+[[nodiscard]] bool sameDeviceSet(const topo::Network& a,
+                                 const topo::Network& b);
 
 }  // namespace acr::route::detail

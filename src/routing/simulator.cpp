@@ -66,6 +66,14 @@ const Route* SimResult::lookup(const std::string& router,
   return found != nullptr ? *found : nullptr;
 }
 
+void SimResult::dropLookupPages(const std::set<std::string>& routers) const {
+  if (!cache_) return;
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  for (const std::string& router : routers) {
+    cache_->fib.erase(router);
+  }
+}
+
 bool SimResult::isFlapping(net::Ipv4Address destination) const {
   if (flapping.empty()) return false;
   if (!cache_) cache_ = std::make_shared<LookupCache>();  // moved-from revival
@@ -81,41 +89,8 @@ bool SimResult::isFlapping(net::Ipv4Address destination) const {
 
 std::vector<Session> Simulator::computeSessions() const {
   std::vector<Session> sessions;
-  const topo::Topology& topology = network_.topology;
-  for (const auto& link : topology.links()) {
-    Session session;
-    session.a = link.a;
-    session.b = link.b;
-    session.a_address = link.addressOf(link.a);
-    session.b_address = link.addressOf(link.b);
-    const cfg::DeviceConfig* ca = network_.config(link.a);
-    const cfg::DeviceConfig* cb = network_.config(link.b);
-    const topo::RouterDecl* ra = topology.findRouter(link.a);
-    const topo::RouterDecl* rb = topology.findRouter(link.b);
-    const auto check = [&](const cfg::DeviceConfig* self,
-                           net::Ipv4Address peer_address,
-                           const topo::RouterDecl* peer_router,
-                           const std::string& self_name) -> std::string {
-      if (self == nullptr || !self->bgp) {
-        return "no bgp configuration on " + self_name;
-      }
-      const cfg::PeerConfig* peer = self->bgp->findPeer(peer_address);
-      if (peer == nullptr) {
-        return "no peer statement for " + peer_address.str() + " on " +
-               self_name;
-      }
-      if (peer->remote_as != peer_router->asn) {
-        return "as-number mismatch on " + self_name + ": configured " +
-               std::to_string(peer->remote_as) + ", remote is " +
-               std::to_string(peer_router->asn);
-      }
-      return {};
-    };
-    std::string reason = check(ca, session.b_address, rb, link.a);
-    if (reason.empty()) reason = check(cb, session.a_address, ra, link.b);
-    session.up = reason.empty();
-    session.down_reason = reason;
-    sessions.push_back(session);
+  for (const auto& link : network_.topology.links()) {
+    sessions.push_back(detail::sessionForLink(network_, link));
   }
   return sessions;
 }
@@ -132,7 +107,7 @@ void diffCycleStates(std::set<net::Prefix>& flapping, const Rib& representative,
     const auto& other = other_it == other_state.end() ? kEmpty : other_it->second;
     for (const auto& [prefix, route] : routes) {
       const auto it = other.find(prefix);
-      if (it == other.end() || it->second.key() != route.key()) {
+      if (it == other.end() || !detail::sameRouteState(it->second, route)) {
         flapping.insert(prefix);
       }
     }
@@ -256,7 +231,7 @@ SimResult Simulator::run(const SimOptions& options) const {
     const auto& other = other_it == previous.end() ? kEmpty : other_it->second;
     for (const auto& [prefix, route] : routes) {
       const auto it = other.find(prefix);
-      if (it == other.end() || it->second.key() != route.key()) {
+      if (it == other.end() || !detail::sameRouteState(it->second, route)) {
         result.flapping.insert(prefix);
       }
     }

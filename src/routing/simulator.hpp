@@ -84,6 +84,15 @@ struct SimResult {
   /// caveats as lookup()).
   [[nodiscard]] bool isFlapping(net::Ipv4Address destination) const;
 
+  /// Drops the cached per-router FIB pages of exactly `routers`, keeping
+  /// every other router's page intact. The copy-on-write escape hatch for
+  /// incremental engines (routing/delta_tree.hpp) that mutate a subset of
+  /// `rib` in place between lookups: call it after mutating those routers'
+  /// entries (and again after rolling them back) so their pages re-derive
+  /// while untouched routers keep amortizing their tries. Thread-safe like
+  /// lookup().
+  void dropLookupPages(const std::set<std::string>& routers) const;
+
  private:
   struct LookupCache;
   /// Lazily built LPM index over `rib` and `flapping`, guarded by its own

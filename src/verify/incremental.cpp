@@ -131,13 +131,17 @@ void IncrementalVerifier::rejudge(const topo::Network& network,
                                   const route::SimResult& sim,
                                   const std::vector<cfg::ConfigDiff>& diffs,
                                   std::vector<TestResult>& results) {
-
   // Changed devices (catches data-plane-only edits such as PBR rules).
   std::set<std::string> changed_devices;
   for (const auto& diff : diffs) {
     changed_devices.insert(diff.device);
   }
+  rejudgeWith(network, sim, changed_devices, changedPrefixes(sim), results,
+              stats_);
+}
 
+std::set<net::Prefix> IncrementalVerifier::changedPrefixes(
+    const route::SimResult& sim) const {
   // Prefixes whose best route changed on any router, plus flapping-set churn.
   std::set<net::Prefix> changed_prefixes;
   for (const auto& [router, routes] : sim.rib) {
@@ -159,7 +163,14 @@ void IncrementalVerifier::rejudge(const topo::Network& network,
   changed_prefixes.insert(cached_sim_->flapping.begin(),
                           cached_sim_->flapping.end());
   changed_prefixes.insert(sim.flapping.begin(), sim.flapping.end());
+  return changed_prefixes;
+}
 
+void IncrementalVerifier::rejudgeWith(
+    const topo::Network& network, const route::SimResult& sim,
+    const std::set<std::string>& changed_devices,
+    const std::set<net::Prefix>& changed_prefixes,
+    std::vector<TestResult>& results, Stats& stats) const {
   // Longest-prefix-match beats the linear scan once a few prefixes churn:
   // every test queries this twice (src and dst).
   net::PrefixTrie<bool> changed_trie;
@@ -172,7 +183,7 @@ void IncrementalVerifier::rejudge(const topo::Network& network,
   const dp::DataPlane dataplane(network, sim);
 
   for (std::size_t i = 0; i < tests_.size(); ++i) {
-    ++stats_.tests_total;
+    ++stats.tests_total;
     TestResult& cached = results[i];
     bool must_recheck = !cached.passed;
     if (!must_recheck) {
@@ -195,10 +206,10 @@ void IncrementalVerifier::rejudge(const topo::Network& network,
       }
     }
     if (!must_recheck) {
-      ++stats_.tests_skipped;
+      ++stats.tests_skipped;
       continue;
     }
-    ++stats_.tests_reverified;
+    ++stats.tests_reverified;
     TestResult fresh;
     fresh.test = tests_[i];
     fresh.trace = multipath_
@@ -209,6 +220,113 @@ void IncrementalVerifier::rejudge(const topo::Network& network,
         &fresh.reason);
     cached = std::move(fresh);
   }
+}
+
+namespace {
+
+std::vector<std::string> devicesOf(const std::vector<cfg::ConfigDiff>& diffs) {
+  std::vector<std::string> devices;
+  devices.reserve(diffs.size());
+  for (const auto& diff : diffs) devices.push_back(diff.device);
+  return devices;
+}
+
+std::string joinDevices(const std::vector<std::string>& devices) {
+  std::string joined;
+  for (const std::string& device : devices) {
+    if (!joined.empty()) joined += '+';
+    joined += device;
+  }
+  return joined;
+}
+
+}  // namespace
+
+CandidateBatch::CandidateBatch(const IncrementalVerifier& verifier,
+                               const topo::Network& base)
+    : verifier_(verifier), base_(base), base_path_("anchor") {
+  if (!verifier_.cached_sim_ || !verifier_.cached_network_) return;
+  base_changed_ = devicesOf(diffNetworks(*verifier_.cached_network_, base_));
+  if (!base_changed_.empty()) {
+    base_path_ += '/' + joinDevices(base_changed_);
+  }
+  if (!verifier_.use_delta_) return;
+  tree_.emplace(*verifier_.cached_network_, *verifier_.cached_sim_,
+                verifier_.sim_options_);
+  tree_->setBase(base_, base_changed_);
+}
+
+CandidateBatch::Probe CandidateBatch::probe(const topo::Network& candidate) {
+  obs::Span span("verify.batch_probe");
+  Probe out;
+  IncrementalVerifier::Stats stats;
+
+  // Unprimed verifier: no cached verdicts to fork — full verification,
+  // exactly like IncrementalVerifier::probe()'s baseline() fallback (minus
+  // the cache priming, which a const batch must not do).
+  if (!verifier_.cached_sim_ || !verifier_.cached_network_) {
+    const Verifier verifier(verifier_.intents_, verifier_.sim_options_,
+                            verifier_.multipath_);
+    const route::SimResult sim =
+        route::Simulator(candidate).run(verifier_.sim_options_);
+    out.verdict.results = verifier.runTests(candidate, sim, verifier_.tests_);
+    out.sim = "full";
+    out.tests_reverified = static_cast<int>(verifier_.tests_.size());
+  } else {
+    const std::vector<cfg::ConfigDiff> anchor_diffs =
+        diffNetworks(*verifier_.cached_network_, candidate);
+    std::set<std::string> changed_devices;
+    for (const auto& diff : anchor_diffs) changed_devices.insert(diff.device);
+    // vs. the base: when the base IS the anchor the anchor diff is the base
+    // diff; otherwise diff against the base network directly.
+    const std::vector<std::string> changed_vs_base =
+        base_changed_.empty() ? devicesOf(anchor_diffs)
+                              : devicesOf(diffNetworks(base_, candidate));
+
+    std::vector<TestResult> results = verifier_.cached_results_;
+    if (tree_) {
+      out.node = base_path_ + '/' +
+                 (changed_vs_base.empty() ? std::string("=")
+                                          : joinDevices(changed_vs_base));
+      tree_->leaf(candidate, changed_vs_base,
+                  [&](const route::SimResult& sim,
+                      const route::TreeLeafStats& leaf_stats) {
+                    std::set<net::Prefix> changed_prefixes;
+                    if (leaf_stats.used_delta) {
+                      // The tree's exact changed-entry list replaces the
+                      // full RIB sweep. Flapping churn is impossible here:
+                      // both the anchor and the leaf converged.
+                      for (const auto& [router, prefix] :
+                           leaf_stats.changed_vs_anchor) {
+                        changed_prefixes.insert(prefix);
+                      }
+                      out.sim = "delta-tree";
+                    } else {
+                      changed_prefixes = verifier_.changedPrefixes(sim);
+                      out.sim = leaf_stats.fallback_reason;
+                    }
+                    verifier_.rejudgeWith(candidate, sim, changed_devices,
+                                          changed_prefixes, results, stats);
+                  });
+    } else {
+      // Delta disabled on the verifier: full simulation per candidate, the
+      // same escape hatch IncrementalVerifier::simulate() honors.
+      const route::SimResult sim =
+          route::Simulator(candidate).run(verifier_.sim_options_);
+      out.sim = "full";
+      verifier_.rejudgeWith(candidate, sim, changed_devices,
+                            verifier_.changedPrefixes(sim), results, stats);
+    }
+    out.verdict.results = std::move(results);
+    out.tests_reverified = static_cast<int>(stats.tests_reverified);
+    out.tests_skipped = static_cast<int>(stats.tests_skipped);
+  }
+
+  out.verdict.tests_run = static_cast<int>(out.verdict.results.size());
+  for (const auto& result : out.verdict.results) {
+    if (!result.passed) ++out.verdict.tests_failed;
+  }
+  return out;
 }
 
 }  // namespace acr::verify

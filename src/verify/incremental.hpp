@@ -16,9 +16,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "routing/delta_tree.hpp"
 #include "routing/simulator.hpp"
 #include "topo/network.hpp"
 #include "util/metrics.hpp"
@@ -93,6 +95,8 @@ class IncrementalVerifier {
   [[nodiscard]] const std::vector<TestCase>& tests() const { return tests_; }
 
  private:
+  friend class CandidateBatch;
+
   VerifyResult toVerifyResult() const;
 
   /// The cached-anchor simulation of `network`: incremental
@@ -109,6 +113,22 @@ class IncrementalVerifier {
                const std::vector<cfg::ConfigDiff>& diffs,
                std::vector<TestResult>& results);
 
+  /// Prefixes whose best route differs between `sim` and the cached
+  /// anchor simulation anywhere (full RIB sweep), plus both flapping sets.
+  /// The invalidation set rejudging keys off when no cheaper exact diff
+  /// (e.g. a delta tree's changed-entry list) is available.
+  [[nodiscard]] std::set<net::Prefix> changedPrefixes(
+      const route::SimResult& sim) const;
+
+  /// The invalidation/re-run loop of rejudge(), parameterized over the
+  /// changed sets and accounting target so CandidateBatch can drive it
+  /// with tree-derived sets and per-probe stats without touching the
+  /// verifier's own state.
+  void rejudgeWith(const topo::Network& network, const route::SimResult& sim,
+                   const std::set<std::string>& changed_devices,
+                   const std::set<net::Prefix>& changed_prefixes,
+                   std::vector<TestResult>& results, Stats& stats) const;
+
   std::vector<Intent> intents_;
   std::vector<TestCase> tests_;
   route::SimOptions sim_options_;
@@ -120,6 +140,52 @@ class IncrementalVerifier {
   std::optional<route::SimResult> cached_sim_;
   std::optional<topo::Network> cached_network_;
   std::vector<TestResult> cached_results_;
+};
+
+/// Cross-candidate batch probing over a shared delta tree.
+///
+/// One VALIDATE pass probes many candidates against the same anchor; each
+/// IncrementalVerifier::probe() re-propagates the candidates' shared edit
+/// prefix from the anchor fixpoint. A CandidateBatch propagates it once
+/// (route::DeltaTree) and evaluates each candidate as a cheap leaf fork,
+/// reusing the tree's exact changed-entry list as the test-invalidation
+/// set instead of sweeping the whole RIB per candidate.
+///
+/// Equivalence contract: probe(candidate) returns exactly the verdicts and
+/// reverified/skipped counts IncrementalVerifier::probe(candidate) would —
+/// only the `sim` label ("delta-tree" on the tree path) and the verifier's
+/// internal stats accounting differ (a batch keeps its accounting in the
+/// returned Probe; the verifier's counters are untouched).
+///
+/// Lifetimes: `verifier` must be primed (a baseline() ran) and must not be
+/// re-anchored (update()) while the batch lives; `base` must outlive the
+/// batch. One batch per thread, like the verifier clones it rides on.
+class CandidateBatch {
+ public:
+  struct Probe {
+    VerifyResult verdict;
+    int tests_reverified = 0;
+    int tests_skipped = 0;
+    /// "delta-tree" (tree leaf), a fallback-rule reason, or "full".
+    std::string sim;
+    /// Tree node path ("anchor[/base devices]/leaf devices"), empty when
+    /// no tree was involved (delta disabled or unprimed verifier).
+    std::string node;
+  };
+
+  /// `base` is the edit prefix shared by every candidate of the batch —
+  /// pass the anchor network itself when the candidates share nothing.
+  CandidateBatch(const IncrementalVerifier& verifier,
+                 const topo::Network& base);
+
+  [[nodiscard]] Probe probe(const topo::Network& candidate);
+
+ private:
+  const IncrementalVerifier& verifier_;
+  const topo::Network& base_;
+  std::vector<std::string> base_changed_;
+  std::string base_path_;  // "anchor" or "anchor/<base devices>"
+  std::optional<route::DeltaTree> tree_;
 };
 
 }  // namespace acr::verify

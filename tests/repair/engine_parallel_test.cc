@@ -29,12 +29,14 @@ void expectIdentical(const RepairResult& a, const RepairResult& b) {
   }
 }
 
-RepairResult repairFigure2(int validate_jobs, bool use_incremental = true) {
+RepairResult repairFigure2(int validate_jobs, bool use_incremental = true,
+                           bool batch_validate = true) {
   const acr::Scenario scenario = acr::figure2Scenario(true);
   RepairOptions options;
   options.seed = 23;
   options.validate_jobs = validate_jobs;
   options.use_incremental = use_incremental;
+  options.batch_validate = batch_validate;
   return AcrEngine(scenario.intents, options).repair(scenario.network());
 }
 
@@ -50,6 +52,42 @@ TEST(EngineParallel, FanOutMatchesWithFullValidationToo) {
   const RepairResult parallel = repairFigure2(4, /*use_incremental=*/false);
   ASSERT_TRUE(sequential.success);
   expectIdentical(sequential, parallel);
+}
+
+// Delta-tree batch evaluation is semantics-preserving: toggling
+// batch_validate may change only the *recorded* sim label and node path,
+// never a verdict, a counter or the repair itself.
+TEST(EngineParallel, BatchValidateMatchesPerCandidate) {
+  const RepairResult batched = repairFigure2(1, true, /*batch_validate=*/true);
+  const RepairResult unbatched =
+      repairFigure2(1, true, /*batch_validate=*/false);
+  ASSERT_TRUE(batched.success);
+  expectIdentical(batched, unbatched);
+}
+
+TEST(EngineParallel, BatchValidateMatchesUnderFanOut) {
+  const RepairResult batched_parallel =
+      repairFigure2(4, true, /*batch_validate=*/true);
+  const RepairResult unbatched_sequential =
+      repairFigure2(1, true, /*batch_validate=*/false);
+  expectIdentical(batched_parallel, unbatched_sequential);
+}
+
+TEST(EngineParallel, BatchValidateMatchesOnInjectedDcnIncident) {
+  acr::Scenario scenario = acr::dcnScenario(2, 2);
+  inject::FaultInjector injector(13);
+  const auto incident =
+      injector.inject(scenario.built, inject::FaultType::kMissingPbrPermit);
+  ASSERT_TRUE(incident.has_value());
+  RepairOptions options;
+  options.seed = 3;
+  options.batch_validate = true;
+  const RepairResult batched =
+      AcrEngine(scenario.intents, options).repair(incident->network);
+  options.batch_validate = false;
+  const RepairResult unbatched =
+      AcrEngine(scenario.intents, options).repair(incident->network);
+  expectIdentical(batched, unbatched);
 }
 
 TEST(EngineParallel, FanOutOnInjectedDcnIncident) {

@@ -54,6 +54,7 @@ using namespace acr;
       "  acrctl triage  DIR [--metric tarantula|ochiai|jaccard|dstar2]\n"
       "  acrctl repair  DIR [--out DIR2] [--metric M] [--brute-force]\n"
       "                 [--crossover] [--coverage-guided] [--multipath]\n"
+      "                 [--no-batch-validate]\n"
       "                 [--report] [--seed S] [--jobs N] [--top-k N]\n"
       "                 [--metrics|--metrics-json] [--trace|--trace-json]\n"
       "                 [--record PATH] [--obs-out PATH]\n"
@@ -150,7 +151,8 @@ FlagSpec specFor(const std::string& command) {
   if (command == "repair") {
     return {{"out", "metric", "seed", "jobs", "top-k", "record", "obs-out"},
             {"brute-force", "crossover", "coverage-guided", "multipath",
-             "report", "metrics", "metrics-json", "trace", "trace-json"}};
+             "no-batch-validate", "report", "metrics", "metrics-json",
+             "trace", "trace-json"}};
   }
   if (command == "explain") return {{"replay"}, {}};
   if (command == "tolerance") return {{"k"}, {}};
@@ -357,6 +359,7 @@ int cmdRepair(const Args& args) {
   options.use_crossover = args.has("crossover");
   options.coverage_guided_tests = args.has("coverage-guided");
   options.multipath = args.has("multipath");
+  options.batch_validate = !args.has("no-batch-validate");
   options.seed = std::stoull(args.get("seed", "1"));
   // --top-k widens the FIX stage beyond the default 3 suspicious lines —
   // e.g. to reach value-solving templates on lines that tie below the
