@@ -1,25 +1,22 @@
-// Cross-candidate batch evaluation: per-candidate delta runs vs one shared
-// delta tree (docs/architecture.md §14).
+// Data-layout regression gate: one full VALIDATE round on the interned
+// SoA RIB engines vs. the committed PR-6 (map-of-maps) baseline.
 //
-// The workload mirrors a VALIDATE round: every candidate shares a wide base
-// edit (the population's current patch — an agg prefix-list change whose
-// blast radius spans the fabric) and adds one narrow edit of its own (a
-// ToR-local static route). The per-candidate path re-propagates the shared
-// base once per candidate (DeltaSimulator from the anchor); the batch path
-// propagates it once and forks each candidate off the base node via
-// copy-on-write undo logs (route::DeltaTree).
+// The workload is bench_candidate_batch's VALIDATE round verbatim — anchor
+// fixpoint, one wide shared base edit (agg1a prefix-list), 24 narrow
+// candidates (ToR-local static routes), all evaluated through one
+// route::DeltaTree — so the timed number is directly comparable to the
+// tree_ms column of BENCH_candidate_batch.json as committed by PR 6, the
+// last revision before the layout overhaul. Before timing anything the
+// harness verifies every tree leaf route-by-route against both a
+// from-scratch simulation and the per-candidate DeltaSimulator run: the
+// gate can only pass with byte-identical verdicts.
 //
-// Both paths must produce byte-identical results — before timing anything,
-// the harness verifies every tree leaf route-by-route against both a
-// from-scratch simulation and the per-candidate delta run, and requires
-// that no path fell back. A speedup can never come from a wrong answer.
-//
-//   bench_candidate_batch [--reps N] [--smoke] [--json]
+//   bench_rib_layout [--reps N] [--smoke] [--json]
 //
 // --smoke runs the smallest fabric once (CI wiring check); --json replaces
 // the table with a machine-readable array (committed as
-// BENCH_candidate_batch.json for regression tracking). Full runs self-gate:
-// the harness exits non-zero if the dcn-8x8 batch speedup drops below 5x.
+// BENCH_rib_layout.json). Full runs self-gate: the harness exits non-zero
+// unless the dcn-8x8 round beats the PR-6 baseline by >= 2x.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -38,17 +35,25 @@ namespace {
 
 using namespace acr;
 
+/// tree_ms per fabric from BENCH_candidate_batch.json at the PR-6 revision
+/// (commit 5a63f24, string-keyed map-of-maps RIBs) — the denominator of
+/// the layout speedup.
+double baselineTreeMs(const std::string& scenario) {
+  if (scenario == "dcn-2x2") return 0.181;
+  if (scenario == "dcn-4x4") return 1.775;
+  if (scenario == "dcn-8x8") return 17.233;
+  return 0;
+}
+
 struct Case {
   std::string scenario;
   int routers = 0;
   int leaves = 0;
-  double per_candidate_ms = 0;  // DeltaSimulator from anchor, per candidate
-  double tree_ms = 0;           // DeltaTree ctor + setBase + all leaves
-  int leaf_rounds = 0;          // median leaf-segment rounds
-  std::uint64_t undo_entries = 0;  // median leaf undo-log size
+  double tree_ms = 0;      // DeltaTree ctor + setBase + all leaves
+  double baseline_ms = 0;  // PR-6 tree_ms on the same workload
 
   [[nodiscard]] double speedup() const {
-    return tree_ms > 0 ? per_candidate_ms / tree_ms : 0;
+    return tree_ms > 0 ? baseline_ms / tree_ms : 0;
   }
 };
 
@@ -58,17 +63,12 @@ double medianMs(std::vector<double>& samples) {
 }
 
 bool sameResult(const route::SimResult& a, const route::SimResult& b) {
-  // Rib::identicalTo compares effective per-entry state (source, learned-from,
-  // next hop, AS path, local-pref, MED) plus the ECMP sets — the same fields
-  // the old route-by-route key() walk covered, now with an O(1) shared-page
-  // fast path.
   return a.converged == b.converged && a.flapping == b.flapping &&
          a.rib.identicalTo(b.rib);
 }
 
-/// The shared base edit: drop the VIP half of agg1a's pod-local import
-/// filter — every VIP route through this agg is re-decided fabric-wide
-/// (the "wide" edit of bench_sim_incremental).
+/// The shared base edit of bench_candidate_batch: drop the VIP half of
+/// agg1a's pod-local import filter (fabric-wide blast radius).
 void applyBaseEdit(topo::Network& network) {
   auto& lists = network.config("agg1a")->prefix_lists;
   for (auto& list : lists) {
@@ -79,14 +79,10 @@ void applyBaseEdit(topo::Network& network) {
 }
 
 struct Candidate {
-  std::string device;    // the ToR the candidate edits
-  topo::Network network; // base + this candidate's own edit
+  std::string device;
+  topo::Network network;
 };
 
-/// Candidate edits fork one narrow edit each off the shared base: a static
-/// route to a fresh prefix on a distinct ToR. Only the first ToR of a pod
-/// redistributes static routes, so on t >= 2 the new route stays in that
-/// ToR's own RIB — the smallest honest blast radius a config edit can have.
 std::vector<Candidate> makeCandidates(const topo::Network& base, int pods,
                                       int tors, int max_candidates) {
   std::vector<Candidate> candidates;
@@ -101,8 +97,6 @@ std::vector<Candidate> makeCandidates(const topo::Network& base, int pods,
       candidate.device = tor;
       candidate.network = base;
       const int index = static_cast<int>(candidates.size());
-      // Next hop inside the ToR's connected servers subnet (10.p.t.0/24,
-      // interface address .1) so the static route resolves.
       candidate.network.config(tor)->static_routes.push_back(
           cfg::StaticRouteConfig{
               net::Prefix(net::Ipv4Address::fromOctets(
@@ -143,8 +137,6 @@ Case runCase(const Scenario& scenario, int pods, int tors, int reps) {
 
   // --- identity check: tree leaf == per-candidate delta == full run -------
   const route::DeltaSimulator delta(anchor_network, anchor);
-  std::vector<int> leaf_rounds;
-  std::vector<std::uint64_t> undo_entries;
   {
     route::DeltaTree tree(anchor_network, anchor, options);
     tree.setBase(base, {"agg1a"});
@@ -154,54 +146,31 @@ Case runCase(const Scenario& scenario, int pods, int tors, int reps) {
       route::DeltaStats stats;
       const route::SimResult per_candidate = delta.run(
           candidate.network, {"agg1a", candidate.device}, options, &stats);
-      if (!stats.used_delta) {
-        std::fprintf(stderr, "%s / %s: per-candidate delta fell back (%s)\n",
+      if (!stats.used_delta || !sameResult(per_candidate, full)) {
+        std::fprintf(stderr, "%s / %s: per-candidate delta diverged (%s)\n",
                      scenario.name.c_str(), candidate.device.c_str(),
                      stats.fallback_reason.c_str());
-        std::exit(1);
-      }
-      if (!sameResult(per_candidate, full)) {
-        std::fprintf(stderr, "%s / %s: per-candidate delta differs from "
-                     "full run\n",
-                     scenario.name.c_str(), candidate.device.c_str());
         std::exit(1);
       }
       bool leaf_ok = false;
       tree.leaf(candidate.network, {candidate.device},
                 [&](const route::SimResult& view,
                     const route::TreeLeafStats& stats_leaf) {
-                  if (!stats_leaf.used_delta) {
-                    std::fprintf(stderr, "%s / %s: tree leaf fell back (%s)\n",
-                                 scenario.name.c_str(),
-                                 candidate.device.c_str(),
-                                 stats_leaf.fallback_reason.c_str());
-                    std::exit(1);
-                  }
-                  leaf_ok = sameResult(view, full);
-                  leaf_rounds.push_back(stats_leaf.rounds);
-                  undo_entries.push_back(stats_leaf.undo_entries);
+                  leaf_ok = stats_leaf.used_delta && sameResult(view, full);
                 });
       if (!leaf_ok) {
-        std::fprintf(stderr, "%s / %s: tree leaf differs from full run\n",
+        std::fprintf(stderr, "%s / %s: tree leaf diverged from full run\n",
                      scenario.name.c_str(), candidate.device.c_str());
         std::exit(1);
       }
     }
   }
 
-  // --- timing --------------------------------------------------------------
-  std::vector<double> per_candidate_samples;
+  // --- timing: the PR-6 tree_ms section verbatim ---------------------------
   std::vector<double> tree_samples;
   std::size_t expect_rib = 0;
   for (int rep = 0; rep < reps; ++rep) {
     auto start = std::chrono::steady_clock::now();
-    std::size_t per_candidate_rib = 0;
-    for (const Candidate& candidate : candidates) {
-      per_candidate_rib +=
-          delta.run(candidate.network, {"agg1a", candidate.device}, options)
-              .rib.size();
-    }
-    auto mid = std::chrono::steady_clock::now();
     std::size_t tree_rib = 0;
     {
       route::DeltaTree tree(anchor_network, anchor, options);
@@ -215,30 +184,22 @@ Case runCase(const Scenario& scenario, int pods, int tors, int reps) {
       }
     }
     auto end = std::chrono::steady_clock::now();
-    per_candidate_samples.push_back(
-        std::chrono::duration<double, std::milli>(mid - start).count());
     tree_samples.push_back(
-        std::chrono::duration<double, std::milli>(end - mid).count());
+        std::chrono::duration<double, std::milli>(end - start).count());
     if (rep == 0) {
-      expect_rib = per_candidate_rib;
-    }
-    if (per_candidate_rib != expect_rib || tree_rib != expect_rib) {
+      expect_rib = tree_rib;
+    } else if (tree_rib != expect_rib) {
       std::fprintf(stderr, "non-deterministic rerun\n");
       std::exit(1);
     }
   }
 
-  std::sort(leaf_rounds.begin(), leaf_rounds.end());
-  std::sort(undo_entries.begin(), undo_entries.end());
-
   Case result;
   result.scenario = scenario.name;
   result.routers = static_cast<int>(anchor_network.configs.size());
   result.leaves = static_cast<int>(candidates.size());
-  result.per_candidate_ms = medianMs(per_candidate_samples);
   result.tree_ms = medianMs(tree_samples);
-  result.leaf_rounds = leaf_rounds[leaf_rounds.size() / 2];
-  result.undo_entries = undo_entries[undo_entries.size() / 2];
+  result.baseline_ms = baselineTreeMs(scenario.name);
   return result;
 }
 
@@ -257,8 +218,7 @@ int main(int argc, char** argv) {
       json = true;
     } else {
       std::fprintf(stderr,
-                   "usage: bench_candidate_batch [--reps N] [--smoke] "
-                   "[--json]\n");
+                   "usage: bench_rib_layout [--reps N] [--smoke] [--json]\n");
       return 2;
     }
   }
@@ -280,43 +240,38 @@ int main(int argc, char** argv) {
       const Case& c = cases[i];
       std::printf(
           "  {\"scenario\": \"%s\", \"routers\": %d, \"leaves\": %d, "
-          "\"per_candidate_ms\": %.3f, \"tree_ms\": %.3f, "
-          "\"speedup\": %.1f, \"leaf_rounds\": %d, "
-          "\"undo_entries\": %llu}%s\n",
-          c.scenario.c_str(), c.routers, c.leaves, c.per_candidate_ms,
-          c.tree_ms, c.speedup(), c.leaf_rounds,
-          static_cast<unsigned long long>(c.undo_entries),
-          i + 1 < cases.size() ? "," : "");
+          "\"tree_ms\": %.3f, \"pr6_tree_ms\": %.3f, "
+          "\"speedup_vs_pr6\": %.1f}%s\n",
+          c.scenario.c_str(), c.routers, c.leaves, c.tree_ms, c.baseline_ms,
+          c.speedup(), i + 1 < cases.size() ? "," : "");
     }
     std::puts("]");
   } else {
     bench::section(
-        "per-candidate delta vs shared delta tree, one VALIDATE round "
+        "interned SoA layout vs PR-6 map-of-maps, one VALIDATE round "
         "(median of " +
         std::to_string(reps) + " reps, results verified identical)");
-    bench::Table table({"scenario", "routers", "leaves", "per-cand ms",
-                        "tree ms", "speedup", "leaf rounds", "undo entries"});
+    bench::Table table({"scenario", "routers", "leaves", "tree ms",
+                        "pr6 tree ms", "speedup"});
     table.printHeader();
     for (const Case& c : cases) {
       table.printRow({c.scenario, std::to_string(c.routers),
-                      std::to_string(c.leaves),
-                      bench::fmt(c.per_candidate_ms, 3),
-                      bench::fmt(c.tree_ms, 3), bench::fmt(c.speedup(), 1) + "x",
-                      std::to_string(c.leaf_rounds),
-                      std::to_string(c.undo_entries)});
+                      std::to_string(c.leaves), bench::fmt(c.tree_ms, 3),
+                      bench::fmt(c.baseline_ms, 3),
+                      bench::fmt(c.speedup(), 1) + "x"});
     }
     table.printRule();
   }
 
-  // Regression gate: the committed claim is a >= 5x batch win on the
-  // largest fabric. Smoke runs only check wiring on the smallest one.
+  // Regression gate: the layout overhaul's committed claim is >= 2x on the
+  // full dcn-8x8 VALIDATE round. Smoke runs only check wiring.
   if (!smoke) {
     for (const Case& c : cases) {
-      if (c.scenario == "dcn-8x8" && c.speedup() < 5.0) {
+      if (c.scenario == "dcn-8x8" && c.speedup() < 2.0) {
         std::fprintf(stderr,
-                     "bench_candidate_batch: dcn-8x8 speedup %.1fx below the "
-                     "5x gate\n",
-                     c.speedup());
+                     "bench_rib_layout: dcn-8x8 speedup %.1fx below the 2x "
+                     "gate (tree %.3f ms vs PR-6 %.3f ms)\n",
+                     c.speedup(), c.tree_ms, c.baseline_ms);
         return 1;
       }
     }

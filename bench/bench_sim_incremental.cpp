@@ -57,27 +57,12 @@ double medianMs(std::vector<double>& samples) {
 }
 
 bool sameResult(const route::SimResult& a, const route::SimResult& b) {
-  if (a.converged != b.converged || a.flapping != b.flapping ||
-      a.rib.size() != b.rib.size()) {
-    return false;
-  }
-  auto b_it = b.rib.begin();
-  for (const auto& [router, routes] : a.rib) {
-    if (router != b_it->first || routes.size() != b_it->second.size()) {
-      return false;
-    }
-    auto entry_it = b_it->second.begin();
-    for (const auto& [prefix, route_entry] : routes) {
-      if (prefix != entry_it->first ||
-          route_entry.key() != entry_it->second.key() ||
-          route_entry.ecmp != entry_it->second.ecmp) {
-        return false;
-      }
-      ++entry_it;
-    }
-    ++b_it;
-  }
-  return true;
+  // Rib::identicalTo compares effective per-entry state (source, learned-from,
+  // next hop, AS path, local-pref, MED) plus the ECMP sets — the same fields
+  // the old route-by-route key() walk covered, now with an O(1) shared-page
+  // fast path.
+  return a.converged == b.converged && a.flapping == b.flapping &&
+         a.rib.identicalTo(b.rib);
 }
 
 Case runCase(const Scenario& scenario, const Edit& edit, int reps) {

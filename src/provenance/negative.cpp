@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 
 #include "routing/policy_eval.hpp"
 
@@ -179,15 +180,9 @@ AbsenceExplanation explainAbsence(const topo::Network& network,
           }
 
           const cfg::DeviceConfig* supplier = network.config(neighbor);
-          const auto rib_it = sim.rib.find(neighbor);
-          const route::Route* their_route = nullptr;
-          if (rib_it != sim.rib.end()) {
-            const auto route_it = rib_it->second.find(prefix);
-            if (route_it != rib_it->second.end()) {
-              their_route = &route_it->second;
-            }
-          }
-          if (their_route == nullptr) {
+          const std::optional<route::Route> their_route =
+              sim.rib.routeOf(neighbor, prefix);
+          if (!their_route) {
             explain(neighbor);  // the obstacle is further upstream
             continue;
           }

@@ -1,13 +1,15 @@
 #include "routing/delta.hpp"
 
 #include <algorithm>
-#include <map>
-#include <optional>
+#include <cstdint>
+#include <memory>
 #include <set>
-#include <unordered_map>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "obs/trace.hpp"
+#include "routing/sim_engine.hpp"
 #include "routing/sim_internal.hpp"
 #include "util/metrics.hpp"
 
@@ -48,206 +50,280 @@ SimResult DeltaSimulator::run(const topo::Network& updated,
   if (!detail::sameSessions(baseline_.sessions, sessions)) {
     return fallback("session-state-changed");
   }
+  // Seeding forks the baseline's pages in place, so it needs the baseline's
+  // interned id space. A Rib without tables (default-constructed, never run)
+  // has no pages to fork.
+  if (baseline_.rib.tables() == nullptr) return fallback("baseline-unpaged");
 
-  // Seed state: the baseline fixpoint. Derivation ids point into the
-  // baseline's provenance graph, which this result does not carry — scrub
-  // them to match a provenance-off full run byte for byte. Same for ECMP
-  // sets when this run doesn't record them; the reverse mismatch (ECMP
-  // requested but absent from the baseline) cannot be patched locally.
-  Rib bests = baseline_.rib;
-  for (auto& [router, routes] : bests) {
-    for (auto& [prefix, route] : routes) {
-      route.derivation = prov::kNoDerivation;
-      if (!options.enable_ecmp) {
-        route.ecmp.clear();
-      } else if (route.source == RouteSource::kBgp && route.ecmp.empty()) {
-        return fallback("ecmp-recording-mismatch");
+  // An ECMP run seeded from a baseline that did not record equal-cost sets
+  // cannot patch them in locally. With recording on, every present BGP best
+  // carries a non-empty set (it contains at least the winner), so one
+  // effective-empty BGP entry means the baseline recorded less than this
+  // run must show.
+  const std::size_t baseline_routers =
+      baseline_.rib.tables()->routers.names.size();
+  if (options.enable_ecmp) {
+    const bool shows = baseline_.rib.showsEcmp();
+    for (std::size_t rid = 0; rid < baseline_routers; ++rid) {
+      const RibPage* page = baseline_.rib.page(static_cast<int>(rid));
+      if (page == nullptr) continue;
+      for (const RouteEntry& entry : page->entries) {
+        if (entry.present != 0 && entry.source == RouteSource::kBgp &&
+            !(shows && entry.has_ecmp != 0)) {
+          return fallback("ecmp-recording-mismatch");
+        }
       }
     }
   }
 
-  const detail::RouterTable table(updated.topology);
+  // Seed state: the baseline fixpoint, forked copy-on-write — O(routers)
+  // page-pointer copies, with pages cloned lazily at first write. The
+  // cloned tables pin the baseline's ids (append-only growth for any new
+  // prefixes the edit introduces), so baseline pages are valid verbatim.
+  // Derivation ids point into the baseline's provenance graph, which this
+  // result does not carry, and ECMP sets may be absent from this run's
+  // options — both are derived state, masked instead of scrubbed.
+  auto tables = std::make_shared<SimTables>(*baseline_.rib.tables());
+  Rib bests = baseline_.rib;
+  bests.setTables(tables);
+  bests.scrubFor(false, options.enable_ecmp);
+
+  const std::size_t router_count = tables->routers.names.size();
   const std::vector<detail::Flow> flows =
-      detail::buildFlows(updated, sessions, table);
-  std::map<std::string, std::vector<const detail::Flow*>> in_flows;
-  std::map<std::string, std::vector<const detail::Flow*>> out_flows;
-  for (const detail::Flow& flow : flows) {
-    in_flows[flow.to].push_back(&flow);
-    out_flows[flow.from].push_back(&flow);
-  }
-  static const std::vector<const detail::Flow*> kNoFlows;
-  const auto flowsOf =
-      [](const std::map<std::string, std::vector<const detail::Flow*>>& index,
-         const std::string& router) -> const std::vector<const detail::Flow*>& {
-    const auto it = index.find(router);
-    return it == index.end() ? kNoFlows : it->second;
-  };
-  const detail::RouteBetter better{&table};
+      detail::buildFlows(updated, sessions, tables->routers);
+  std::vector<const detail::Flow*> flow_ptrs;
+  flow_ptrs.reserve(flows.size());
+  for (const detail::Flow& flow : flows) flow_ptrs.push_back(&flow);
+  detail::EnginePlan plan;
+  plan.build(router_count, flow_ptrs);
+  detail::CandidateBoard board;
+  board.configure(plan, tables->prefixes.size());
+  const detail::EntryBetter better{&tables->routers};
 
   SimResult result;
   result.sessions = std::move(sessions);
 
-  // Local routes of the updated configs, computed on demand: only routers
-  // that actually recompute pay for them.
-  std::map<std::string, std::vector<Route>> locals;
+  // Local routes of the updated configs, packed on demand: only routers
+  // that actually recompute pay for them. Interning a new local prefix
+  // grows the universe; callers re-sync the board after each localsOf.
+  std::vector<std::vector<detail::PackedLocal>> locals(router_count);
+  std::vector<std::uint8_t> locals_ready(router_count, 0);
   const auto localsOf =
-      [&](const std::string& router) -> const std::vector<Route>& {
-    auto it = locals.find(router);
-    if (it == locals.end()) {
-      const cfg::DeviceConfig* device = updated.config(router);
-      it = locals
-               .emplace(router, device == nullptr
-                                    ? std::vector<Route>{}
-                                    : detail::localRoutesFor(router, *device,
-                                                             nullptr))
-               .first;
+      [&](int rid) -> const std::vector<detail::PackedLocal>& {
+    const auto idx = static_cast<std::size_t>(rid);
+    if (locals_ready[idx] == 0) {
+      locals_ready[idx] = 1;
+      const std::string& name = tables->routers.nameOf(rid);
+      const cfg::DeviceConfig* device = updated.config(name);
+      if (device != nullptr) {
+        detail::packedLocalsFor(name, *device, *tables, nullptr, locals[idx]);
+      }
     }
-    return it->second;
+    return locals[idx];
   };
 
   // Seed: changed devices and their session neighbors recompute wholesale —
   // their locals, redistribution and policy bindings may have changed in
   // ways the baseline routing state cannot witness. Everything else enters
   // the dirty set only when a neighbor's best route actually changes.
-  std::set<std::string> seeds;
+  std::set<int> seeds;
   for (const std::string& device : changed_devices) {
-    seeds.insert(device);
-    for (const detail::Flow* flow : flowsOf(out_flows, device)) {
-      seeds.insert(flow->to);
+    const int rid = tables->routers.idOf(device);
+    if (rid == 0) continue;
+    seeds.insert(rid);
+    for (const std::uint32_t flow_idx :
+         plan.out_flows[static_cast<std::size_t>(rid)]) {
+      seeds.insert(flow_ptrs[flow_idx]->to_id);
     }
   }
 
-  struct DirtyScope {
-    bool whole = false;  // whole-router recompute (seed round only)
-    std::set<net::Prefix> prefixes;
+  // Dirty (router, prefix) work lists for the next round, deduplicated by
+  // an epoch stamp per cell — flat vectors where the old engine kept a
+  // map<string, set<Prefix>> per round.
+  std::vector<std::vector<PrefixId>> dirty_pids(router_count);
+  std::vector<std::vector<PrefixId>> next_pids(router_count);
+  std::vector<int> dirty_rids;
+  std::vector<int> next_rids;
+  std::vector<std::uint8_t> next_listed(router_count, 0);
+  std::vector<std::vector<std::uint32_t>> pid_stamp(router_count);
+  std::uint32_t stamp = 0;
+  const auto addDirty = [&](int rid, PrefixId pid) {
+    auto& marks = pid_stamp[static_cast<std::size_t>(rid)];
+    if (marks.size() < tables->prefixes.size()) {
+      marks.resize(tables->prefixes.size(), 0);
+    }
+    if (marks[pid] == stamp) return;
+    marks[pid] = stamp;
+    if (next_listed[static_cast<std::size_t>(rid)] == 0) {
+      next_listed[static_cast<std::size_t>(rid)] = 1;
+      next_rids.push_back(rid);
+      next_pids[static_cast<std::size_t>(rid)].clear();
+    }
+    next_pids[static_cast<std::size_t>(rid)].push_back(pid);
   };
-  std::map<std::string, DirtyScope> dirty;
-  for (const std::string& seed : seeds) dirty[seed].whole = true;
+
+  // Distinct-prefix stat, tracked by a grow-on-demand bitmap.
+  std::vector<std::uint8_t> prefix_seen;
+  const auto markDirtyPrefix = [&](PrefixId pid) {
+    if (prefix_seen.size() < tables->prefixes.size()) {
+      prefix_seen.resize(tables->prefixes.size(), 0);
+    }
+    if (prefix_seen[pid] == 0) {
+      prefix_seen[pid] = 1;
+      ++stats.dirty_prefixes;
+    }
+  };
 
   // Jacobi commit: each round computes every dirty work item against the
   // previous round's state, then applies all updates at once — exactly the
   // synchronous-round semantics of the full engine.
   struct Update {
-    std::string router;
-    net::Prefix prefix;
-    std::optional<Route> route;  // nullopt = withdraw
-    bool state_change = false;   // key() changed (vs. a derived-state refresh)
+    int rid = 0;
+    PrefixId pid = 0;
+    RouteEntry entry;
+    bool present = false;      // false = withdraw
+    bool state_change = false; // key state changed (vs. a derived refresh)
   };
-
-  std::set<net::Prefix> dirty_prefix_set;
+  std::vector<Update> updates;
+  std::vector<EcmpSet> update_ecmp;
+  EcmpSet ecmp_scratch;
 
   // Candidates of one (router, prefix): locals plus the imports the
   // neighbors' current bests would announce this round.
-  const auto recomputePrefix =
-      [&](const std::string& router,
-          const net::Prefix& prefix) -> std::optional<Route> {
-    std::map<std::string, Route> candidates;
-    for (const Route& local : localsOf(router)) {
-      if (local.prefix == prefix) {
-        candidates[detail::kLocalOrigin + routeSourceName(local.source)] =
-            local;
+  const auto recomputePrefix = [&](int rid, PrefixId pid) {
+    ++stats.work_items;
+    markDirtyPrefix(pid);
+    const auto& local_list = localsOf(rid);
+    board.growUniverse(tables->prefixes.size());
+    for (const detail::PackedLocal& local : local_list) {
+      if (local.pid == pid) board.stageLocal(rid, local);
+    }
+    for (const std::uint32_t flow_idx :
+         plan.in_flows[static_cast<std::size_t>(rid)]) {
+      const detail::Flow& flow = *flow_ptrs[flow_idx];
+      const RouteEntry* entry = bests.entryAt(flow.from_id, pid);
+      if (entry == nullptr) continue;
+      RouteEntry imported;
+      if (detail::announceEntryOnFlow(flow, pid, *entry, *tables, nullptr,
+                                      &result.announcements, imported)) {
+        board.stage(rid, plan.flow_slot[flow_idx], pid, imported);
       }
     }
-    for (const detail::Flow* flow : flowsOf(in_flows, router)) {
-      const auto neighbor = bests.find(flow->from);
-      if (neighbor == bests.end()) continue;
-      const auto route = neighbor->second.find(prefix);
-      if (route == neighbor->second.end()) continue;
-      auto imported = detail::announceOnFlow(*flow, prefix, route->second,
-                                             nullptr, &result.announcements);
-      if (imported) candidates[flow->from] = std::move(*imported);
-    }
-    return detail::selectBestForPrefix(candidates, better, options.enable_ecmp);
+    RouteEntry selected;
+    const bool present = board.select(rid, pid, better, options.enable_ecmp,
+                                      selected, ecmp_scratch);
+    const RouteEntry* old_entry = bests.entryAt(rid, pid);
+    if (!present && old_entry == nullptr) return;
+    const bool changed = !present || old_entry == nullptr ||
+                         !sameEntryState(*old_entry, selected);
+    // Even a key-equal recompute commits: its ECMP set (derived state,
+    // outside the key) may be fresher. It just doesn't propagate.
+    updates.push_back(Update{rid, pid, selected, present, changed});
+    update_ecmp.push_back(ecmp_scratch);
   };
 
-  const auto recomputeRouter = [&](const std::string& router,
-                                   std::vector<Update>& updates) {
-    detail::Candidates candidates;
-    for (const Route& local : localsOf(router)) {
-      candidates[local.prefix]
-                [detail::kLocalOrigin + routeSourceName(local.source)] = local;
+  const auto recomputeRouter = [&](int rid) {
+    const auto& local_list = localsOf(rid);
+    board.growUniverse(tables->prefixes.size());
+    for (const detail::PackedLocal& local : local_list) {
+      board.stageLocal(rid, local);
     }
-    for (const detail::Flow* flow : flowsOf(in_flows, router)) {
-      const auto neighbor = bests.find(flow->from);
-      if (neighbor == bests.end()) continue;
-      for (const auto& [prefix, route] : neighbor->second) {
-        auto imported = detail::announceOnFlow(*flow, prefix, route, nullptr,
-                                               &result.announcements);
-        if (imported) candidates[prefix][flow->from] = std::move(*imported);
+    for (const std::uint32_t flow_idx :
+         plan.in_flows[static_cast<std::size_t>(rid)]) {
+      const detail::Flow& flow = *flow_ptrs[flow_idx];
+      const RibPage* neighbor = bests.page(flow.from_id);
+      if (neighbor == nullptr) continue;
+      const std::uint16_t slot = plan.flow_slot[flow_idx];
+      for (PrefixId pid = 0; pid < neighbor->entries.size(); ++pid) {
+        const RouteEntry& entry = neighbor->entries[pid];
+        if (entry.present == 0) continue;
+        RouteEntry imported;
+        if (detail::announceEntryOnFlow(flow, pid, entry, *tables, nullptr,
+                                        &result.announcements, imported)) {
+          board.stage(rid, slot, pid, imported);
+        }
       }
     }
-    std::map<net::Prefix, Route> fresh;
-    detail::selectBests(candidates, fresh, better, options.enable_ecmp);
-    const auto& old_routes = bests[router];
-    for (auto& [prefix, route] : fresh) {
+    for (const PrefixId pid : board.touched(rid)) {
       ++stats.work_items;
-      dirty_prefix_set.insert(prefix);
-      const auto old_it = old_routes.find(prefix);
-      const bool changed =
-          old_it == old_routes.end() ||
-          !detail::sameRouteState(old_it->second, route);
-      updates.push_back(Update{router, prefix, std::move(route), changed});
+      markDirtyPrefix(pid);
+      RouteEntry selected;
+      const bool present = board.select(rid, pid, better, options.enable_ecmp,
+                                        selected, ecmp_scratch);
+      const RouteEntry* old_entry = bests.entryAt(rid, pid);
+      const bool changed = !present || old_entry == nullptr ||
+                           !sameEntryState(*old_entry, selected);
+      updates.push_back(Update{rid, pid, selected, present, changed});
+      update_ecmp.push_back(ecmp_scratch);
     }
-    for (const auto& [prefix, route] : old_routes) {
-      if (fresh.find(prefix) == fresh.end()) {
-        ++stats.work_items;
-        dirty_prefix_set.insert(prefix);
-        updates.push_back(Update{router, prefix, std::nullopt, true});
-      }
+    // Withdrawals: present entries that attracted no candidate this round.
+    const RibPage* own = bests.page(rid);
+    if (own == nullptr) return;
+    for (PrefixId pid = 0; pid < own->entries.size(); ++pid) {
+      if (own->entries[pid].present == 0) continue;
+      if (board.touchedThisRound(rid, pid)) continue;
+      ++stats.work_items;
+      markDirtyPrefix(pid);
+      updates.push_back(Update{rid, pid, RouteEntry{}, false, true});
+      update_ecmp.emplace_back();
     }
   };
 
-  std::uint64_t state_hash = detail::ribHash(bests);
-  std::unordered_map<std::uint64_t, int> round_of_hash{{state_hash, 0}};
+  std::uint64_t state_hash = bests.stateHash();
+  std::vector<std::pair<std::uint64_t, int>> hash_history{{state_hash, 0}};
   int round = 0;
   bool converged = false;
 
   while (round < options.max_rounds) {
     ++round;
-    std::vector<Update> updates;
-    for (const auto& [router, scope] : dirty) {
-      if (scope.whole) {
-        recomputeRouter(router, updates);
-        continue;
-      }
-      for (const net::Prefix& prefix : scope.prefixes) {
-        ++stats.work_items;
-        dirty_prefix_set.insert(prefix);
-        std::optional<Route> fresh = recomputePrefix(router, prefix);
-        const auto& routes = bests[router];
-        const auto old_it = routes.find(prefix);
-        if (!fresh && old_it == routes.end()) continue;
-        const bool changed = !fresh || old_it == routes.end() ||
-                             !detail::sameRouteState(old_it->second, *fresh);
-        // Even a key-equal recompute commits: its ECMP set (derived state,
-        // outside the key) may be fresher. It just doesn't propagate.
-        updates.push_back(Update{router, prefix, std::move(fresh), changed});
+    updates.clear();
+    update_ecmp.clear();
+    board.beginRound();
+    if (round == 1) {
+      for (const int rid : seeds) recomputeRouter(rid);
+    } else {
+      for (const int rid : dirty_rids) {
+        for (const PrefixId pid : dirty_pids[static_cast<std::size_t>(rid)]) {
+          recomputePrefix(rid, pid);
+        }
       }
     }
 
-    dirty.clear();
+    ++stamp;
     bool any_state_change = false;
-    for (Update& update : updates) {
-      auto& routes = bests[update.router];
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      const Update& update = updates[i];
       if (update.state_change) {
         any_state_change = true;
-        const auto old_it = routes.find(update.prefix);
-        if (old_it != routes.end()) {
-          state_hash ^= detail::ribEntryHash(update.router, old_it->second);
+        const RouteEntry* old_entry = bests.entryAt(update.rid, update.pid);
+        if (old_entry != nullptr) {
+          state_hash ^= entryStateHash(update.rid, update.pid, *old_entry);
         }
-        if (update.route) {
-          state_hash ^= detail::ribEntryHash(update.router, *update.route);
+        if (update.present) {
+          state_hash ^= entryStateHash(update.rid, update.pid, update.entry);
         }
-        for (const detail::Flow* flow : flowsOf(out_flows, update.router)) {
-          dirty[flow->to].prefixes.insert(update.prefix);
+        for (const std::uint32_t flow_idx :
+             plan.out_flows[static_cast<std::size_t>(update.rid)]) {
+          addDirty(flow_ptrs[flow_idx]->to_id, update.pid);
         }
       }
-      if (update.route) {
-        routes.insert_or_assign(update.prefix, std::move(*update.route));
+      if (update.present) {
+        // A pure derived-state refresh with ECMP off is byte-identical to
+        // the stored entry — skipping it keeps shared baseline pages
+        // shared instead of cloning them for a no-op write.
+        if (!update.state_change && !options.enable_ecmp) continue;
+        bests.set(update.rid, update.pid, update.entry, &update_ecmp[i]);
       } else {
-        routes.erase(update.prefix);
+        bests.erase(update.rid, update.pid);
       }
     }
+
+    std::swap(dirty_rids, next_rids);
+    dirty_pids.swap(next_pids);
+    for (const int rid : dirty_rids) {
+      next_listed[static_cast<std::size_t>(rid)] = 0;
+    }
+    next_rids.clear();
 
     if (!any_state_change) {
       converged = true;
@@ -257,14 +333,20 @@ SimResult DeltaSimulator::run(const topo::Network& updated,
     // The full engine's representative rib and flapping window depend on
     // its orbit from round 0, which a fixpoint-seeded orbit cannot replay —
     // byte-identity demands the real thing.
-    const auto [seen, inserted] = round_of_hash.emplace(state_hash, round);
-    if (!inserted) return fallback("oscillation-detected");
+    bool repeated = false;
+    for (const auto& [hash, seen_round] : hash_history) {
+      if (hash == state_hash) {
+        repeated = true;
+        break;
+      }
+    }
+    if (repeated) return fallback("oscillation-detected");
+    hash_history.emplace_back(state_hash, round);
   }
   if (!converged) return fallback("delta-round-cap");
 
   stats.used_delta = true;
   stats.rounds = round;
-  stats.dirty_prefixes = dirty_prefix_set.size();
   stats.rounds_saved = std::max(0, baseline_.rounds - round);
   metrics.counter("sim.delta.runs").add(1);
   metrics.counter("sim.delta.dirty_prefixes").add(stats.dirty_prefixes);
@@ -272,6 +354,10 @@ SimResult DeltaSimulator::run(const topo::Network& updated,
   metrics.counter("sim.delta.rounds").add(static_cast<std::uint64_t>(round));
   metrics.counter("sim.delta.rounds_saved")
       .add(static_cast<std::uint64_t>(stats.rounds_saved));
+  // COW page reuse: baseline pages the run never had to clone.
+  const std::size_t reused = bests.sharedPageCount(baseline_.rib);
+  metrics.counter("sim.layout.pages_reused").add(reused);
+  metrics.counter("sim.layout.pages_cloned").add(bests.size() - reused);
   if (stats_out != nullptr) *stats_out = stats;
 
   result.converged = true;

@@ -1,13 +1,15 @@
 #include "routing/delta_tree.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
-#include <map>
-#include <optional>
+#include <memory>
 #include <set>
-#include <unordered_map>
+#include <tuple>
+#include <utility>
 
 #include "obs/trace.hpp"
+#include "routing/sim_engine.hpp"
 #include "routing/sim_internal.hpp"
 #include "util/metrics.hpp"
 
@@ -25,18 +27,16 @@ bool sameSession(const Session& a, const Session& b) {
 }  // namespace
 
 struct DeltaTree::Impl {
-  /// Pre-image key of one touched RIB entry: (dense router id, prefix).
-  using EntryKey = std::pair<int, net::Prefix>;
-  /// First-touch undo log of one tree level: the entry's value at the
-  /// level's parent fixpoint (nullopt = absent).
-  using UndoLog = std::map<EntryKey, std::optional<Route>>;
-
   const topo::Network& anchor_network;
   const SimResult& anchor;
   SimOptions options;
   std::string disabled_reason;
 
-  detail::RouterTable table;
+  /// Clone of the anchor's interned tables: same ids for everything the
+  /// anchor rib references, append-only growth for prefixes/paths the
+  /// candidates introduce. Pinning the ids is what lets forks share the
+  /// anchor's pages verbatim.
+  SimTablesPtr tables;
   /// Anchor-resolved session flows, in buildFlows order. Never reallocated
   /// after construction — `effective` holds pointers into it.
   std::vector<detail::Flow> flows;
@@ -47,33 +47,93 @@ struct DeltaTree::Impl {
   /// First flow slot of session i (-1 for a down session; an up session
   /// owns exactly two consecutive slots, a->b then b->a).
   std::vector<std::ptrdiff_t> session_flow_start;
-  std::map<std::string, std::vector<std::size_t>> in_ids;
-  std::map<std::string, std::vector<std::size_t>> out_ids;
+  /// Per-router flow/candidate-slot plan over `effective`'s slot indices —
+  /// stable across flow patches (endpoints never change).
+  detail::EnginePlan plan;
+  detail::CandidateBoard board;
+  detail::EntryBetter better;
   /// Base-resolved flow patches (deque: stable addresses under growth).
   std::deque<detail::Flow> node_patch_storage;
 
-  /// The one working state, forked by undo logs. Scrubbed like the
+  /// The one working state, forked copy-on-write. Masked like the
   /// DeltaSimulator's seed (no derivations; ECMP per options).
   SimResult view;
-  std::uint64_t hash = 0;       // incremental ribHash of view.rib
+  std::uint64_t hash = 0;       // incremental state hash of view.rib
   std::uint64_t node_hash = 0;  // checkpoint at the base fixpoint
   bool base_set = false;
-  UndoLog node_undo;
-  UndoLog leaf_undo;
+
+  /// Undo state of one tree level. Rolling back restores the saved page
+  /// pointers — the pre-images survive inside the anchor/base pages because
+  /// holding them here keeps every touched page shared, which forces the
+  /// next write through clone-on-first-write instead of mutating in place.
+  struct Level {
+    std::vector<std::pair<int, RibPagePtr>> saved_pages;  // first-touch order
+    std::vector<std::uint8_t> page_saved;                 // by rid
+    /// First-touch (router, prefix) cells, deduplicated by `touch_grid` —
+    /// the keys of the old per-entry undo maps, without the pre-image
+    /// values (the saved pages carry those wholesale).
+    std::vector<std::pair<int, PrefixId>> touched;
+    std::vector<std::vector<std::uint8_t>> touch_grid;  // by rid, by pid
+  };
+  Level node_level;
+  Level leaf_level;
 
   Impl(const topo::Network& anchor_network_in, const SimResult& anchor_in,
        const SimOptions& options_in)
       : anchor_network(anchor_network_in),
         anchor(anchor_in),
-        options(options_in),
-        table(anchor_network_in.topology) {}
+        options(options_in) {}
 
-  [[nodiscard]] const std::vector<std::size_t>& idsOf(
-      const std::map<std::string, std::vector<std::size_t>>& index,
-      const std::string& router) const {
-    static const std::vector<std::size_t> kNoIds;
-    const auto it = index.find(router);
-    return it == index.end() ? kNoIds : it->second;
+  [[nodiscard]] std::size_t routerCount() const {
+    return tables->routers.names.size();
+  }
+
+  void initLevel(Level& level) {
+    level.page_saved.assign(routerCount(), 0);
+    level.touch_grid.resize(routerCount());
+  }
+
+  void recordTouch(Level& level, int rid, PrefixId pid) {
+    const auto idx = static_cast<std::size_t>(rid);
+    if (level.page_saved[idx] == 0) {
+      level.page_saved[idx] = 1;
+      level.saved_pages.emplace_back(rid, view.rib.pageRef(rid));
+    }
+    auto& grid = level.touch_grid[idx];
+    if (grid.size() < tables->prefixes.size()) {
+      grid.resize(tables->prefixes.size(), 0);
+    }
+    if (grid[pid] == 0) {
+      grid[pid] = 1;
+      level.touched.emplace_back(rid, pid);
+    }
+  }
+
+  /// Routers whose pages a level touched — the set whose cached FIB pages
+  /// must be re-derived after the level was applied or undone.
+  [[nodiscard]] std::set<std::string> touchedRouters(const Level& level) const {
+    std::set<std::string> routers;
+    for (const auto& [rid, saved] : level.saved_pages) {
+      routers.insert(tables->routers.nameOf(rid));
+    }
+    return routers;
+  }
+
+  /// Restores every page the level touched to its saved pre-image pointer
+  /// and resets the incremental hash to `checkpoint`.
+  void rollback(Level& level, std::uint64_t checkpoint) {
+    std::set<std::string> routers = touchedRouters(level);
+    for (auto& [rid, saved] : level.saved_pages) {
+      view.rib.restorePage(rid, std::move(saved));
+      level.page_saved[static_cast<std::size_t>(rid)] = 0;
+    }
+    for (const auto& [rid, pid] : level.touched) {
+      level.touch_grid[static_cast<std::size_t>(rid)][pid] = 0;
+    }
+    level.saved_pages.clear();
+    level.touched.clear();
+    view.dropLookupPages(routers);
+    hash = checkpoint;
   }
 
   /// Leaf/base-level precondition checks against the anchor. On success,
@@ -116,231 +176,256 @@ struct DeltaTree::Impl {
     for (const std::size_t i : up_touched) {
       const auto start = static_cast<std::size_t>(session_flow_start[i]);
       fresh.clear();
-      detail::appendFlowsForSession(network, anchor.sessions[i], table, fresh);
+      detail::appendFlowsForSession(network, anchor.sessions[i],
+                                    tables->routers, fresh);
       for (std::size_t k = 0; k < fresh.size(); ++k) {
-        if (saved != nullptr) saved->emplace_back(start + k, effective[start + k]);
+        if (saved != nullptr) {
+          saved->emplace_back(start + k, effective[start + k]);
+        }
         storage.push_back(std::move(fresh[k]));
         effective[start + k] = &storage.back();
       }
     }
   }
 
-  /// Routers named by an undo log's keys — the set whose cached FIB pages
-  /// must be re-derived after the log's entries were applied or undone.
-  [[nodiscard]] std::set<std::string> touchedRouters(
-      const UndoLog& undo) const {
-    std::set<std::string> routers;
-    for (const auto& [key, value] : undo) {
-      routers.insert(table.names[static_cast<std::size_t>(key.first)]);
-    }
-    return routers;
-  }
-
-  /// Restores every entry of `undo` to its recorded pre-image and resets
-  /// the incremental hash to `checkpoint`.
-  void rollback(UndoLog& undo, std::uint64_t checkpoint) {
-    for (auto& [key, value] : undo) {
-      auto& routes = view.rib[table.names[static_cast<std::size_t>(key.first)]];
-      if (value) {
-        routes.insert_or_assign(key.second, std::move(*value));
-      } else {
-        routes.erase(key.second);
-      }
-    }
-    view.dropLookupPages(touchedRouters(undo));
-    undo.clear();
-    hash = checkpoint;
-  }
-
   /// One propagation segment from the current fixpoint: recomputes
   /// `changed` devices (and their session neighbors) wholesale, then
   /// propagates dirty (router, prefix) work items to a new fixpoint —
   /// exactly the DeltaSimulator round loop, but committing into the shared
-  /// working state with first-touch undo recording. Returns the fallback
-  /// reason on failure (the caller rolls back), empty on success.
-  [[nodiscard]] std::string propagate(
-      const topo::Network& network, const std::vector<std::string>& changed,
-      UndoLog& undo, int& rounds_out, std::size_t& work_items_out) {
+  /// working state with first-touch page/cell recording. Returns the
+  /// fallback reason on failure (the caller rolls back), empty on success.
+  [[nodiscard]] std::string propagate(const topo::Network& network,
+                                      const std::vector<std::string>& changed,
+                                      Level& level, int& rounds_out,
+                                      std::size_t& work_items_out) {
     Rib& bests = view.rib;
-    const detail::RouteBetter better{&table};
+    const std::size_t router_count = routerCount();
 
-    std::map<std::string, std::vector<Route>> locals;
+    std::vector<std::vector<detail::PackedLocal>> locals(router_count);
+    std::vector<std::uint8_t> locals_ready(router_count, 0);
     const auto localsOf =
-        [&](const std::string& router) -> const std::vector<Route>& {
-      auto it = locals.find(router);
-      if (it == locals.end()) {
-        const cfg::DeviceConfig* device = network.config(router);
-        it = locals
-                 .emplace(router,
-                          device == nullptr
-                              ? std::vector<Route>{}
-                              : detail::localRoutesFor(router, *device, nullptr))
-                 .first;
+        [&](int rid) -> const std::vector<detail::PackedLocal>& {
+      const auto idx = static_cast<std::size_t>(rid);
+      if (locals_ready[idx] == 0) {
+        locals_ready[idx] = 1;
+        const std::string& name = tables->routers.nameOf(rid);
+        const cfg::DeviceConfig* device = network.config(name);
+        if (device != nullptr) {
+          detail::packedLocalsFor(name, *device, *tables, nullptr,
+                                  locals[idx]);
+        }
       }
-      return it->second;
+      return locals[idx];
     };
 
-    std::set<std::string> seeds;
+    std::set<int> seeds;
     for (const std::string& device : changed) {
-      seeds.insert(device);
-      for (const std::size_t idx : idsOf(out_ids, device)) {
-        seeds.insert(effective[idx]->to);
+      const int rid = tables->routers.idOf(device);
+      if (rid == 0) continue;
+      seeds.insert(rid);
+      for (const std::uint32_t flow_idx :
+           plan.out_flows[static_cast<std::size_t>(rid)]) {
+        seeds.insert(effective[flow_idx]->to_id);
       }
     }
 
-    struct DirtyScope {
-      bool whole = false;
-      std::set<net::Prefix> prefixes;
+    std::vector<std::vector<PrefixId>> dirty_pids(router_count);
+    std::vector<std::vector<PrefixId>> next_pids(router_count);
+    std::vector<int> dirty_rids;
+    std::vector<int> next_rids;
+    std::vector<std::uint8_t> next_listed(router_count, 0);
+    std::vector<std::vector<std::uint32_t>> pid_stamp(router_count);
+    std::uint32_t stamp = 0;
+    const auto addDirty = [&](int rid, PrefixId pid) {
+      auto& marks = pid_stamp[static_cast<std::size_t>(rid)];
+      if (marks.size() < tables->prefixes.size()) {
+        marks.resize(tables->prefixes.size(), 0);
+      }
+      if (marks[pid] == stamp) return;
+      marks[pid] = stamp;
+      if (next_listed[static_cast<std::size_t>(rid)] == 0) {
+        next_listed[static_cast<std::size_t>(rid)] = 1;
+        next_rids.push_back(rid);
+        next_pids[static_cast<std::size_t>(rid)].clear();
+      }
+      next_pids[static_cast<std::size_t>(rid)].push_back(pid);
     };
-    std::map<std::string, DirtyScope> dirty;
-    for (const std::string& seed : seeds) dirty[seed].whole = true;
 
     struct Update {
-      std::string router;
-      net::Prefix prefix;
-      std::optional<Route> route;  // nullopt = withdraw
+      int rid = 0;
+      PrefixId pid = 0;
+      RouteEntry entry;
+      bool present = false;
       bool state_change = false;
     };
+    std::vector<Update> updates;
+    std::vector<EcmpSet> update_ecmp;
+    EcmpSet ecmp_scratch;
 
-    const auto recomputePrefix =
-        [&](const std::string& router,
-            const net::Prefix& prefix) -> std::optional<Route> {
-      std::map<std::string, Route> candidates;
-      for (const Route& local : localsOf(router)) {
-        if (local.prefix == prefix) {
-          candidates[detail::kLocalOrigin + routeSourceName(local.source)] =
-              local;
+    const auto recomputePrefix = [&](int rid, PrefixId pid) {
+      ++work_items_out;
+      const auto& local_list = localsOf(rid);
+      board.growUniverse(tables->prefixes.size());
+      for (const detail::PackedLocal& local : local_list) {
+        if (local.pid == pid) board.stageLocal(rid, local);
+      }
+      for (const std::uint32_t flow_idx :
+           plan.in_flows[static_cast<std::size_t>(rid)]) {
+        const detail::Flow& flow = *effective[flow_idx];
+        const RouteEntry* entry = bests.entryAt(flow.from_id, pid);
+        if (entry == nullptr) continue;
+        RouteEntry imported;
+        if (detail::announceEntryOnFlow(flow, pid, *entry, *tables, nullptr,
+                                        nullptr, imported)) {
+          board.stage(rid, plan.flow_slot[flow_idx], pid, imported);
         }
       }
-      for (const std::size_t idx : idsOf(in_ids, router)) {
-        const detail::Flow* flow = effective[idx];
-        const auto neighbor = bests.find(flow->from);
-        if (neighbor == bests.end()) continue;
-        const auto route = neighbor->second.find(prefix);
-        if (route == neighbor->second.end()) continue;
-        auto imported =
-            detail::announceOnFlow(*flow, prefix, route->second, nullptr,
-                                   nullptr);
-        if (imported) candidates[flow->from] = std::move(*imported);
-      }
-      return detail::selectBestForPrefix(candidates, better,
-                                         options.enable_ecmp);
+      RouteEntry selected;
+      const bool present = board.select(rid, pid, better, options.enable_ecmp,
+                                        selected, ecmp_scratch);
+      const RouteEntry* old_entry = bests.entryAt(rid, pid);
+      if (!present && old_entry == nullptr) return;
+      const bool changed = !present || old_entry == nullptr ||
+                           !sameEntryState(*old_entry, selected);
+      // Key-equal recomputes still reach the commit loop (their ECMP set
+      // may be fresher); they just don't propagate. The commit loop drops
+      // the ones that turn out fully identical.
+      updates.push_back(Update{rid, pid, selected, present, changed});
+      update_ecmp.push_back(ecmp_scratch);
     };
 
-    const auto recomputeRouter = [&](const std::string& router,
-                                     std::vector<Update>& updates) {
-      detail::Candidates candidates;
-      for (const Route& local : localsOf(router)) {
-        candidates[local.prefix]
-                  [detail::kLocalOrigin + routeSourceName(local.source)] =
-                      local;
+    const auto recomputeRouter = [&](int rid) {
+      const auto& local_list = localsOf(rid);
+      board.growUniverse(tables->prefixes.size());
+      for (const detail::PackedLocal& local : local_list) {
+        board.stageLocal(rid, local);
       }
-      for (const std::size_t idx : idsOf(in_ids, router)) {
-        const detail::Flow* flow = effective[idx];
-        const auto neighbor = bests.find(flow->from);
-        if (neighbor == bests.end()) continue;
-        for (const auto& [prefix, route] : neighbor->second) {
-          auto imported =
-              detail::announceOnFlow(*flow, prefix, route, nullptr, nullptr);
-          if (imported) candidates[prefix][flow->from] = std::move(*imported);
+      for (const std::uint32_t flow_idx :
+           plan.in_flows[static_cast<std::size_t>(rid)]) {
+        const detail::Flow& flow = *effective[flow_idx];
+        const RibPage* neighbor = bests.page(flow.from_id);
+        if (neighbor == nullptr) continue;
+        const std::uint16_t slot = plan.flow_slot[flow_idx];
+        for (PrefixId pid = 0; pid < neighbor->entries.size(); ++pid) {
+          const RouteEntry& entry = neighbor->entries[pid];
+          if (entry.present == 0) continue;
+          RouteEntry imported;
+          if (detail::announceEntryOnFlow(flow, pid, entry, *tables, nullptr,
+                                          nullptr, imported)) {
+            board.stage(rid, slot, pid, imported);
+          }
         }
       }
-      std::map<net::Prefix, Route> fresh;
-      detail::selectBests(candidates, fresh, better, options.enable_ecmp);
-      const auto& old_routes = bests[router];
-      for (auto& [prefix, route] : fresh) {
+      for (const PrefixId pid : board.touched(rid)) {
         ++work_items_out;
-        const auto old_it = old_routes.find(prefix);
-        const bool state_change =
-            old_it == old_routes.end() ||
-            !detail::sameRouteState(old_it->second, route);
-        updates.push_back(Update{router, prefix, std::move(route), state_change});
+        RouteEntry selected;
+        const bool present = board.select(
+            rid, pid, better, options.enable_ecmp, selected, ecmp_scratch);
+        const RouteEntry* old_entry = bests.entryAt(rid, pid);
+        const bool changed = !present || old_entry == nullptr ||
+                             !sameEntryState(*old_entry, selected);
+        updates.push_back(Update{rid, pid, selected, present, changed});
+        update_ecmp.push_back(ecmp_scratch);
       }
-      for (const auto& [prefix, route] : old_routes) {
-        if (fresh.find(prefix) == fresh.end()) {
-          ++work_items_out;
-          updates.push_back(Update{router, prefix, std::nullopt, true});
-        }
+      const RibPage* own = bests.page(rid);
+      if (own == nullptr) return;
+      for (PrefixId pid = 0; pid < own->entries.size(); ++pid) {
+        if (own->entries[pid].present == 0) continue;
+        if (board.touchedThisRound(rid, pid)) continue;
+        ++work_items_out;
+        updates.push_back(Update{rid, pid, RouteEntry{}, false, true});
+        update_ecmp.emplace_back();
       }
     };
 
-    std::unordered_map<std::uint64_t, int> round_of_hash{{hash, 0}};
+    std::vector<std::pair<std::uint64_t, int>> hash_history{{hash, 0}};
     int round = 0;
     bool converged = false;
+    static const EcmpSet kNoEcmp;
 
     while (round < options.max_rounds) {
       ++round;
-      std::vector<Update> updates;
-      for (const auto& [router, scope] : dirty) {
-        if (scope.whole) {
-          recomputeRouter(router, updates);
-          continue;
-        }
-        for (const net::Prefix& prefix : scope.prefixes) {
-          ++work_items_out;
-          std::optional<Route> fresh = recomputePrefix(router, prefix);
-          const auto& routes = bests[router];
-          const auto old_it = routes.find(prefix);
-          if (!fresh && old_it == routes.end()) continue;
-          const bool state_change =
-              !fresh || old_it == routes.end() ||
-              !detail::sameRouteState(old_it->second, *fresh);
-          // Key-equal recomputes still reach the commit loop (their ECMP
-          // set may be fresher); they just don't propagate. The commit loop
-          // drops the ones that turn out fully identical.
-          updates.push_back(
-              Update{router, prefix, std::move(fresh), state_change});
+      updates.clear();
+      update_ecmp.clear();
+      board.beginRound();
+      if (round == 1) {
+        for (const int rid : seeds) recomputeRouter(rid);
+      } else {
+        for (const int rid : dirty_rids) {
+          for (const PrefixId pid :
+               dirty_pids[static_cast<std::size_t>(rid)]) {
+            recomputePrefix(rid, pid);
+          }
         }
       }
 
-      dirty.clear();
+      ++stamp;
       bool any_state_change = false;
-      for (Update& update : updates) {
-        auto& routes = bests[update.router];
-        const auto old_it = routes.find(update.prefix);
-        // A recompute that reproduced the stored entry byte-for-byte (same
-        // key state, ECMP set and derived ids) is a pure no-op: committing
-        // it would only grow the undo log with an entry that restores an
+      for (std::size_t i = 0; i < updates.size(); ++i) {
+        const Update& update = updates[i];
+        const RouteEntry* old_entry = bests.entryAt(update.rid, update.pid);
+        // A recompute that reproduced the stored entry's *effective* value
+        // (same key state and, when recording, the same ECMP set — masked
+        // derived state never shows) is a pure no-op: committing it would
+        // only clone a shared page and grow the undo log to restore an
         // identical value. Skipping keeps leaf undo logs at the size of the
         // *actual* diff — wholesale-seeded neighbors that settle on the
         // routes they already had cost nothing to roll back.
-        if (!update.state_change && update.route && old_it != routes.end() &&
-            old_it->second.ecmp == update.route->ecmp &&
-            old_it->second.learned_from_id == update.route->learned_from_id &&
-            old_it->second.derivation == update.route->derivation) {
-          continue;
+        if (!update.state_change && update.present && old_entry != nullptr) {
+          bool same_derived = true;
+          if (options.enable_ecmp) {
+            const EcmpSet* stored =
+                bests.showsEcmp() && old_entry->has_ecmp != 0
+                    ? bests.ecmpAt(update.rid, update.pid)
+                    : nullptr;
+            same_derived =
+                (stored != nullptr ? *stored : kNoEcmp) == update_ecmp[i];
+          }
+          if (same_derived) continue;
         }
-        // First touch at this tree level: record the pre-image before
-        // overwriting, so the level can be rolled back exactly.
-        undo.try_emplace(EntryKey{table.idOf(update.router), update.prefix},
-                         old_it != routes.end()
-                             ? std::optional<Route>(old_it->second)
-                             : std::nullopt);
+        // First touch at this tree level: save the page pointer before the
+        // write, so the level can be rolled back exactly.
+        recordTouch(level, update.rid, update.pid);
         if (update.state_change) {
           any_state_change = true;
-          if (old_it != routes.end()) {
-            hash ^= detail::ribEntryHash(update.router, old_it->second);
+          if (old_entry != nullptr) {
+            hash ^= entryStateHash(update.rid, update.pid, *old_entry);
           }
-          if (update.route) {
-            hash ^= detail::ribEntryHash(update.router, *update.route);
+          if (update.present) {
+            hash ^= entryStateHash(update.rid, update.pid, update.entry);
           }
-          for (const std::size_t idx : idsOf(out_ids, update.router)) {
-            dirty[effective[idx]->to].prefixes.insert(update.prefix);
+          for (const std::uint32_t flow_idx :
+               plan.out_flows[static_cast<std::size_t>(update.rid)]) {
+            addDirty(effective[flow_idx]->to_id, update.pid);
           }
         }
-        if (update.route) {
-          routes.insert_or_assign(update.prefix, std::move(*update.route));
+        if (update.present) {
+          bests.set(update.rid, update.pid, update.entry, &update_ecmp[i]);
         } else {
-          routes.erase(update.prefix);
+          bests.erase(update.rid, update.pid);
         }
       }
+
+      std::swap(dirty_rids, next_rids);
+      dirty_pids.swap(next_pids);
+      for (const int rid : dirty_rids) {
+        next_listed[static_cast<std::size_t>(rid)] = 0;
+      }
+      next_rids.clear();
 
       if (!any_state_change) {
         converged = true;
         break;
       }
-      const auto [seen, inserted] = round_of_hash.emplace(hash, round);
-      if (!inserted) return "oscillation-detected";
+      bool repeated = false;
+      for (const auto& [seen_hash, seen_round] : hash_history) {
+        if (seen_hash == hash) {
+          repeated = true;
+          break;
+        }
+      }
+      if (repeated) return "oscillation-detected";
+      hash_history.emplace_back(hash, round);
     }
     if (!converged) return "delta-round-cap";
     rounds_out = round;
@@ -357,8 +442,8 @@ DeltaTree::DeltaTree(const topo::Network& anchor_network,
     impl_->disabled_reason = std::move(reason);
   };
 
-  // Anchor-level preconditions — the DeltaSimulator's first three fallback
-  // rules, checked once per tree instead of once per candidate.
+  // Anchor-level preconditions — the DeltaSimulator's first fallback rules,
+  // checked once per tree instead of once per candidate.
   if (options.record_provenance) {
     disable("provenance-requested");
     return;
@@ -367,40 +452,56 @@ DeltaTree::DeltaTree(const topo::Network& anchor_network,
     disable("baseline-not-converged");
     return;
   }
-
-  // Working state: the anchor fixpoint, scrubbed exactly like the
-  // DeltaSimulator's seed (derivations point into the anchor's provenance
-  // graph; ECMP sets must match the requested recording mode).
-  impl_->view.rib = anchor.rib;
-  for (auto& [router, routes] : impl_->view.rib) {
-    for (auto& [prefix, route] : routes) {
-      route.derivation = prov::kNoDerivation;
-      if (!options.enable_ecmp) {
-        route.ecmp.clear();
-      } else if (route.source == RouteSource::kBgp && route.ecmp.empty()) {
-        disable("ecmp-recording-mismatch");
-        return;
+  if (anchor.rib.tables() == nullptr) {
+    disable("baseline-unpaged");
+    return;
+  }
+  // With ECMP recording on, every present BGP best of a matching anchor
+  // carries a non-empty effective set (it contains at least the winner).
+  if (options.enable_ecmp) {
+    const bool shows = anchor.rib.showsEcmp();
+    const std::size_t router_count = anchor.rib.tables()->routers.names.size();
+    for (std::size_t rid = 0; rid < router_count; ++rid) {
+      const RibPage* page = anchor.rib.page(static_cast<int>(rid));
+      if (page == nullptr) continue;
+      for (const RouteEntry& entry : page->entries) {
+        if (entry.present != 0 && entry.source == RouteSource::kBgp &&
+            !(shows && entry.has_ecmp != 0)) {
+          disable("ecmp-recording-mismatch");
+          return;
+        }
       }
     }
   }
+
+  // Working state: the anchor fixpoint forked copy-on-write onto cloned
+  // tables, masked exactly like the DeltaSimulator's seed (derivations
+  // point into the anchor's provenance graph; ECMP sets show per options).
+  impl_->tables = std::make_shared<SimTables>(*anchor.rib.tables());
+  impl_->view.rib = anchor.rib;
+  impl_->view.rib.setTables(impl_->tables);
+  impl_->view.rib.scrubFor(false, options.enable_ecmp);
   impl_->view.converged = true;
   impl_->view.sessions = anchor.sessions;
-  impl_->hash = detail::ribHash(impl_->view.rib);
+  impl_->hash = impl_->view.rib.stateHash();
   impl_->node_hash = impl_->hash;
 
   // Anchor flows, with the per-session slot layout every fork patches into.
   for (const Session& session : anchor.sessions) {
     impl_->session_flow_start.push_back(
         session.up ? static_cast<std::ptrdiff_t>(impl_->flows.size()) : -1);
-    detail::appendFlowsForSession(anchor_network, session, impl_->table,
-                                  impl_->flows);
+    detail::appendFlowsForSession(anchor_network, session,
+                                  impl_->tables->routers, impl_->flows);
   }
   impl_->effective.reserve(impl_->flows.size());
   for (std::size_t i = 0; i < impl_->flows.size(); ++i) {
     impl_->effective.push_back(&impl_->flows[i]);
-    impl_->in_ids[impl_->flows[i].to].push_back(i);
-    impl_->out_ids[impl_->flows[i].from].push_back(i);
   }
+  impl_->plan.build(impl_->routerCount(), impl_->effective);
+  impl_->board.configure(impl_->plan, impl_->tables->prefixes.size());
+  impl_->better = detail::EntryBetter{&impl_->tables->routers};
+  impl_->initLevel(impl_->node_level);
+  impl_->initLevel(impl_->leaf_level);
 }
 
 DeltaTree::~DeltaTree() = default;
@@ -426,22 +527,21 @@ void DeltaTree::setBase(const topo::Network& base,
   const std::set<std::string> changed(changed_vs_anchor.begin(),
                                       changed_vs_anchor.end());
   std::vector<std::size_t> up_touched;
-  std::string reason =
-      impl_->checkAgainstAnchor(base, changed, up_touched);
+  std::string reason = impl_->checkAgainstAnchor(base, changed, up_touched);
   if (reason.empty()) {
     impl_->patchFlows(base, up_touched, impl_->node_patch_storage, nullptr);
     int rounds = 0;
     std::size_t work_items = 0;
-    reason = impl_->propagate(base, changed_vs_anchor, impl_->node_undo,
+    reason = impl_->propagate(base, changed_vs_anchor, impl_->node_level,
                               rounds, work_items);
     metrics.counter("sim.tree.node_work_items").add(work_items);
     if (reason.empty()) {
-      impl_->view.dropLookupPages(impl_->touchedRouters(impl_->node_undo));
+      impl_->view.dropLookupPages(impl_->touchedRouters(impl_->node_level));
       impl_->node_hash = impl_->hash;
       span.attr("rounds", std::to_string(rounds));
       return;
     }
-    impl_->rollback(impl_->node_undo, impl_->node_hash);
+    impl_->rollback(impl_->node_level, impl_->node_hash);
   }
   // A base-level violation poisons every leaf: unwind to the anchor and
   // disable — leaves fall back to full runs with this reason.
@@ -487,42 +587,54 @@ void DeltaTree::leaf(const topo::Network& network,
   };
 
   TreeLeafStats stats;
-  reason = impl_->propagate(network, changed_vs_base, impl_->leaf_undo,
+  reason = impl_->propagate(network, changed_vs_base, impl_->leaf_level,
                             stats.rounds, stats.work_items);
   if (!reason.empty()) {
-    impl_->rollback(impl_->leaf_undo, impl_->node_hash);
+    impl_->rollback(impl_->leaf_level, impl_->node_hash);
     restoreSlots();
     return fallback(reason);
   }
 
   stats.used_delta = true;
-  stats.undo_entries = impl_->leaf_undo.size();
+  stats.undo_entries = impl_->leaf_level.touched.size();
 
-  // Exact leaf-vs-anchor RIB diff from the undo logs: a key's anchor value
-  // is its pre-image in the node log when present (the base touched it
-  // first), else in the leaf log. Every touched key appears in one of the
-  // two, so no RIB sweep is needed.
-  std::set<Impl::EntryKey> touched;
-  for (const auto& [key, value] : impl_->node_undo) touched.insert(key);
-  for (const auto& [key, value] : impl_->leaf_undo) touched.insert(key);
-  for (const Impl::EntryKey& key : touched) {
-    const auto node_it = impl_->node_undo.find(key);
-    const std::optional<Route>& anchor_value =
-        node_it != impl_->node_undo.end() ? node_it->second
-                                          : impl_->leaf_undo.at(key);
-    const std::string& router =
-        impl_->table.names[static_cast<std::size_t>(key.first)];
-    const auto& routes = impl_->view.rib[router];
-    const auto current = routes.find(key.second);
+  // Exact leaf-vs-anchor RIB diff from the touch lists: every cell either
+  // tree level wrote, compared against the pristine anchor pages (saved
+  // page pointers keep them intact). No RIB sweep is needed.
+  std::vector<std::pair<int, PrefixId>> keys = impl_->node_level.touched;
+  for (const auto& [rid, pid] : impl_->leaf_level.touched) {
+    const auto& node_grid =
+        impl_->node_level.touch_grid[static_cast<std::size_t>(rid)];
+    if (pid < node_grid.size() && node_grid[pid] != 0) continue;
+    keys.emplace_back(rid, pid);
+  }
+  std::vector<std::tuple<int, net::Prefix, PrefixId>> changed_cells;
+  for (const auto& [rid, pid] : keys) {
+    const RouteEntry* anchor_entry = impl_->anchor.rib.entryAt(rid, pid);
+    const RouteEntry* current = impl_->view.rib.entryAt(rid, pid);
     const bool same =
-        current == routes.end()
-            ? !anchor_value.has_value()
-            : anchor_value.has_value() &&
-                  detail::sameRouteState(*anchor_value, current->second);
-    if (!same) stats.changed_vs_anchor.emplace_back(router, key.second);
+        current == nullptr
+            ? anchor_entry == nullptr
+            : anchor_entry != nullptr &&
+                  sameEntryState(*anchor_entry, *current);
+    if (!same) {
+      changed_cells.emplace_back(rid, impl_->tables->prefixes.prefixOf(pid),
+                                 pid);
+    }
+  }
+  std::sort(changed_cells.begin(), changed_cells.end(),
+            [](const auto& a, const auto& b) {
+              return std::get<0>(a) != std::get<0>(b)
+                         ? std::get<0>(a) < std::get<0>(b)
+                         : std::get<1>(a) < std::get<1>(b);
+            });
+  stats.changed_vs_anchor.reserve(changed_cells.size());
+  for (const auto& [rid, prefix, pid] : changed_cells) {
+    stats.changed_vs_anchor.emplace_back(impl_->tables->routers.nameOf(rid),
+                                         prefix);
   }
 
-  impl_->view.dropLookupPages(impl_->touchedRouters(impl_->leaf_undo));
+  impl_->view.dropLookupPages(impl_->touchedRouters(impl_->leaf_level));
   impl_->view.rounds = stats.rounds;
 
   metrics.counter("sim.tree.delta_leaves").add(1);
@@ -530,11 +642,16 @@ void DeltaTree::leaf(const topo::Network& network,
   metrics.counter("sim.tree.rounds")
       .add(static_cast<std::uint64_t>(stats.rounds));
   metrics.counter("sim.tree.undo_entries").add(stats.undo_entries);
+  // COW page reuse: only first-touched pages were cloned for this leaf.
+  const std::size_t cloned = impl_->leaf_level.saved_pages.size();
+  metrics.counter("sim.layout.pages_cloned").add(cloned);
+  metrics.counter("sim.layout.pages_reused").add(impl_->view.rib.size() -
+                                                 cloned);
   span.attr("rounds", std::to_string(stats.rounds));
 
   visit(impl_->view, stats);
 
-  impl_->rollback(impl_->leaf_undo, impl_->node_hash);
+  impl_->rollback(impl_->leaf_level, impl_->node_hash);
   restoreSlots();
 }
 

@@ -1,0 +1,186 @@
+#include "routing/intern.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+#include "topo/network.hpp"
+#include "util/metrics.hpp"
+
+namespace acr::route {
+
+namespace {
+
+/// 64-bit FNV-1a over a span of 32-bit words, word-at-a-time.
+std::uint64_t hashWords(std::span<const std::uint32_t> words) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const std::uint32_t w : words) {
+    hash ^= w;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+RouterTable::RouterTable(const topo::Topology& topology) {
+  router_ids.emplace_back();  // id 0: locally originated / unknown
+  asns.push_back(0);
+  names.emplace_back();
+  for (const auto& router : topology.routers()) {
+    index.emplace(router.name, static_cast<int>(router_ids.size()));
+    router_ids.push_back(router.router_id);
+    asns.push_back(router.asn);
+    names.push_back(router.name);
+  }
+  ids_by_name.resize(names.size() - 1);
+  for (std::size_t i = 0; i < ids_by_name.size(); ++i) {
+    ids_by_name[i] = static_cast<int>(i + 1);
+  }
+  std::sort(ids_by_name.begin(), ids_by_name.end(), [this](int a, int b) {
+    return names[static_cast<std::size_t>(a)] <
+           names[static_cast<std::size_t>(b)];
+  });
+}
+
+PrefixId PrefixTable::intern(const net::Prefix& prefix) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(prefix.address().value()) << 8) |
+      prefix.length();
+  const auto [it, inserted] =
+      index_.emplace(key, static_cast<PrefixId>(prefixes_.size()));
+  if (inserted) {
+    if (prefixes_.size() >= cap_) {
+      index_.erase(it);
+      throw std::length_error(
+          "route::PrefixTable: prefix-id space exhausted (more than 2^24 "
+          "distinct prefixes in one simulation)");
+    }
+    prefixes_.push_back(prefix);
+  }
+  return it->second;
+}
+
+PrefixId PrefixTable::tryIdOf(const net::Prefix& prefix) const {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(prefix.address().value()) << 8) |
+      prefix.length();
+  const auto it = index_.find(key);
+  return it == index_.end() ? kNoId : it->second;
+}
+
+std::size_t PrefixTable::bytes() const {
+  return prefixes_.capacity() * sizeof(net::Prefix) +
+         index_.size() * (sizeof(std::uint64_t) + sizeof(PrefixId));
+}
+
+AsPathTable::AsPathTable() {
+  offsets_.push_back(0);
+  offsets_.push_back(0);  // id 0: the empty path
+  index_[hashWords({})].push_back(0);
+}
+
+AsPathId AsPathTable::intern(std::span<const std::uint32_t> path) {
+  std::vector<AsPathId>& bucket = index_[hashWords(path)];
+  for (const AsPathId id : bucket) {
+    const std::span<const std::uint32_t> existing = pathOf(id);
+    if (existing.size() == path.size() &&
+        std::equal(existing.begin(), existing.end(), path.begin())) {
+      return id;
+    }
+  }
+  if (size() >= cap_) {
+    throw std::length_error(
+        "route::AsPathTable: AS-path-id space exhausted (more than 2^24 "
+        "distinct paths in one simulation)");
+  }
+  const auto id = static_cast<AsPathId>(size());
+  elems_.insert(elems_.end(), path.begin(), path.end());
+  offsets_.push_back(static_cast<std::uint32_t>(elems_.size()));
+  bucket.push_back(id);
+  return id;
+}
+
+AsPathId AsPathTable::prepended(AsPathId id, std::uint32_t asn) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(id) << 32) | asn;
+  const auto memo = prepend_memo_.find(key);
+  if (memo != prepend_memo_.end()) return memo->second;
+  std::vector<std::uint32_t> path;
+  const std::span<const std::uint32_t> tail = pathOf(id);
+  path.reserve(tail.size() + 1);
+  path.push_back(asn);
+  path.insert(path.end(), tail.begin(), tail.end());
+  const AsPathId fresh = intern(path);
+  prepend_memo_.emplace(key, fresh);
+  return fresh;
+}
+
+bool AsPathTable::contains(AsPathId id, std::uint32_t asn) const {
+  const std::span<const std::uint32_t> path = pathOf(id);
+  return std::find(path.begin(), path.end(), asn) != path.end();
+}
+
+std::size_t AsPathTable::bytes() const {
+  return elems_.capacity() * sizeof(std::uint32_t) +
+         offsets_.capacity() * sizeof(std::uint32_t) +
+         index_.size() * (sizeof(std::uint64_t) + sizeof(std::vector<AsPathId>)) +
+         prepend_memo_.size() * (sizeof(std::uint64_t) + sizeof(AsPathId));
+}
+
+SimTablesPtr seedTables(const topo::Network& network) {
+  obs::Span span("sim.layout.seed");
+  auto tables = std::make_shared<SimTables>(network.topology);
+
+  // Devices configured but absent from the topology still own a RIB page
+  // (the engines simulate every configured device); give them trailing ids
+  // in config-map order so the page set stays complete and deterministic.
+  bool extras = false;
+  for (const auto& [name, device] : network.configs) {
+    if (tables->routers.index.count(name) != 0) continue;
+    tables->routers.index.emplace(
+        name, static_cast<int>(tables->routers.names.size()));
+    tables->routers.router_ids.emplace_back();
+    tables->routers.asns.push_back(0);
+    tables->routers.names.push_back(name);
+    tables->routers.ids_by_name.push_back(
+        static_cast<int>(tables->routers.names.size()) - 1);
+    extras = true;
+  }
+  if (extras) {
+    auto& ids = tables->routers.ids_by_name;
+    std::sort(ids.begin(), ids.end(), [&](int a, int b) {
+      return tables->routers.names[static_cast<std::size_t>(a)] <
+             tables->routers.names[static_cast<std::size_t>(b)];
+    });
+  }
+
+  // The sorted prefix universe: every connected prefix and every static
+  // route's prefix (resolvable or not — resolvability depends on interface
+  // state a candidate edit can change, and id stability must not). Sorting
+  // before interning makes seeded prefix ids order-isomorphic to prefixes,
+  // so id-ascending page walks reproduce the old prefix-map iteration.
+  std::vector<net::Prefix> universe;
+  for (const auto& [name, device] : network.configs) {
+    for (const auto& itf : device.interfaces) {
+      universe.push_back(itf.connectedPrefix());
+    }
+    for (const auto& sr : device.static_routes) {
+      universe.push_back(sr.prefix);
+    }
+  }
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()),
+                 universe.end());
+  for (const net::Prefix& prefix : universe) {
+    (void)tables->prefixes.intern(prefix);
+  }
+
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  metrics.counter("sim.layout.seeds").add(1);
+  metrics.counter("sim.layout.seeded_prefixes").add(universe.size());
+  span.attr("routers", static_cast<std::int64_t>(tables->routers.size()));
+  span.attr("prefixes", static_cast<std::int64_t>(universe.size()));
+  return tables;
+}
+
+}  // namespace acr::route

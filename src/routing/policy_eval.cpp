@@ -4,23 +4,97 @@
 
 namespace acr::route {
 
-namespace {
-
-/// Evaluates one prefix-list against the route's prefix, appending every
-/// evaluated entry line (entries are checked in order; evaluation stops at
-/// the first match).
-const cfg::PrefixListEntry* evalPrefixList(const cfg::DeviceConfig& device,
-                                           const cfg::PrefixList& list,
-                                           const net::Prefix& prefix,
-                                           std::vector<cfg::LineId>& lines) {
-  for (const auto& entry : list.entries) {
-    lines.push_back(cfg::LineId{device.hostname, entry.line});
-    if (entry.matches(prefix)) return &entry;
+void preparePolicy(const cfg::DeviceConfig& device,
+                   const std::string& policy_name, PreparedPolicy& out) {
+  out.exists = false;
+  out.nodes.clear();
+  const cfg::RoutePolicy* policy = device.findPolicy(policy_name);
+  if (policy == nullptr) return;
+  out.exists = true;
+  out.nodes.reserve(policy->nodes.size());
+  for (const auto& node : policy->nodes) {
+    PreparedNode prepared;
+    prepared.node = &node;
+    prepared.lists.reserve(node.matches.size());
+    for (const auto& match : node.matches) {
+      prepared.lists.push_back(device.findPrefixList(match.prefix_list));
+    }
+    out.nodes.push_back(std::move(prepared));
   }
-  return nullptr;
+  // Nodes are evaluated in index order.
+  std::sort(out.nodes.begin(), out.nodes.end(),
+            [](const PreparedNode& a, const PreparedNode& b) {
+              return a.node->index < b.node->index;
+            });
 }
 
-}  // namespace
+bool applyPreparedPolicy(const PreparedPolicy& prepared,
+                         const std::string& device_name,
+                         const net::Prefix& prefix, std::uint32_t own_asn,
+                         AsPathTable& paths, RouteEntry& entry,
+                         std::vector<cfg::LineId>* lines) {
+  if (!prepared.exists) return false;
+
+  for (const PreparedNode& pn : prepared.nodes) {
+    const cfg::PolicyNode& node = *pn.node;
+    if (lines != nullptr) lines->push_back(cfg::LineId{device_name, node.line});
+    bool all_match = true;
+    for (std::size_t m = 0; m < node.matches.size(); ++m) {
+      if (lines != nullptr) {
+        lines->push_back(cfg::LineId{device_name, node.matches[m].line});
+      }
+      const cfg::PrefixList* list = pn.lists[m];
+      const cfg::PrefixListEntry* hit = nullptr;
+      if (list != nullptr) {
+        // Entries are checked in order; evaluation stops at the first match.
+        for (const auto& list_entry : list->entries) {
+          if (lines != nullptr) {
+            lines->push_back(cfg::LineId{device_name, list_entry.line});
+          }
+          if (list_entry.matches(prefix)) {
+            hit = &list_entry;
+            break;
+          }
+        }
+      }
+      if (hit == nullptr || hit->action != cfg::Action::kPermit) {
+        all_match = false;
+        break;
+      }
+    }
+    if (!all_match) continue;
+
+    if (node.action == cfg::Action::kDeny) return false;
+    for (const auto& action : node.actions) {
+      if (lines != nullptr) {
+        lines->push_back(cfg::LineId{device_name, action.line});
+      }
+      switch (action.kind) {
+        case cfg::PolicyActionKind::kAsPathOverwrite:
+          entry.as_path_id =
+              paths.singleton(action.value != 0 ? action.value : own_asn);
+          entry.as_path_len = 1;
+          break;
+        case cfg::PolicyActionKind::kSetLocalPref:
+          entry.local_pref = action.value;
+          break;
+        case cfg::PolicyActionKind::kSetMed:
+          entry.med = action.value;
+          break;
+        case cfg::PolicyActionKind::kAsPathPrepend:
+          for (std::uint32_t i = 0; i < action.value; ++i) {
+            entry.as_path_id = paths.prepended(entry.as_path_id, own_asn);
+          }
+          entry.as_path_len += action.value;
+          break;
+      }
+    }
+    return true;
+  }
+
+  // No node matched: implicit deny.
+  return false;
+}
 
 PolicyVerdict applyRoutePolicy(const cfg::DeviceConfig& device,
                                const std::string& policy_name,
@@ -28,68 +102,25 @@ PolicyVerdict applyRoutePolicy(const cfg::DeviceConfig& device,
   PolicyVerdict verdict;
   verdict.route = route;
 
-  const cfg::RoutePolicy* policy = device.findPolicy(policy_name);
-  if (policy == nullptr) {
-    // Binding references a policy that does not exist: deny (safe default).
-    verdict.permitted = false;
-    return verdict;
-  }
+  PreparedPolicy prepared;
+  preparePolicy(device, policy_name, prepared);
 
-  // Nodes are evaluated in index order.
-  std::vector<const cfg::PolicyNode*> nodes;
-  nodes.reserve(policy->nodes.size());
-  for (const auto& node : policy->nodes) nodes.push_back(&node);
-  std::sort(nodes.begin(), nodes.end(),
-            [](const cfg::PolicyNode* a, const cfg::PolicyNode* b) {
-              return a->index < b->index;
-            });
+  AsPathTable paths;
+  RouteEntry entry;
+  entry.local_pref = route.local_pref;
+  entry.med = route.med;
+  entry.as_path_id = paths.intern(route.as_path);
+  entry.as_path_len = static_cast<std::uint32_t>(route.as_path.size());
 
-  for (const cfg::PolicyNode* node : nodes) {
-    verdict.lines.push_back(cfg::LineId{device.hostname, node->line});
-    bool all_match = true;
-    for (const auto& match : node->matches) {
-      verdict.lines.push_back(cfg::LineId{device.hostname, match.line});
-      const cfg::PrefixList* list = device.findPrefixList(match.prefix_list);
-      const cfg::PrefixListEntry* entry =
-          list == nullptr ? nullptr
-                          : evalPrefixList(device, *list, route.prefix,
-                                           verdict.lines);
-      if (entry == nullptr || entry->action != cfg::Action::kPermit) {
-        all_match = false;
-        break;
-      }
-    }
-    if (!all_match) continue;
-
-    if (node->action == cfg::Action::kDeny) {
-      verdict.permitted = false;
-      return verdict;
-    }
-    for (const auto& action : node->actions) {
-      verdict.lines.push_back(cfg::LineId{device.hostname, action.line});
-      switch (action.kind) {
-        case cfg::PolicyActionKind::kAsPathOverwrite:
-          verdict.route.as_path = {action.value != 0 ? action.value : own_asn};
-          break;
-        case cfg::PolicyActionKind::kSetLocalPref:
-          verdict.route.local_pref = action.value;
-          break;
-        case cfg::PolicyActionKind::kSetMed:
-          verdict.route.med = action.value;
-          break;
-        case cfg::PolicyActionKind::kAsPathPrepend:
-          for (std::uint32_t i = 0; i < action.value; ++i) {
-            verdict.route.as_path.insert(verdict.route.as_path.begin(), own_asn);
-          }
-          break;
-      }
-    }
-    verdict.permitted = true;
-    return verdict;
-  }
-
-  // No node matched: implicit deny.
-  verdict.permitted = false;
+  verdict.permitted =
+      applyPreparedPolicy(prepared, device.hostname, route.prefix, own_asn,
+                          paths, entry, &verdict.lines);
+  // The core only rewrites attributes on a permitting node, so copying back
+  // unconditionally preserves the route untouched on deny.
+  const std::span<const std::uint32_t> path = paths.pathOf(entry.as_path_id);
+  verdict.route.as_path.assign(path.begin(), path.end());
+  verdict.route.local_pref = entry.local_pref;
+  verdict.route.med = entry.med;
   return verdict;
 }
 
@@ -104,6 +135,7 @@ PolicyBinding resolvePolicyBinding(const cfg::DeviceConfig& device,
     binding.bound = true;
     binding.lines.push_back(cfg::LineId{
         device.hostname, import ? peer.import_line : peer.export_line});
+    preparePolicy(device, binding.policy, binding.prepared);
     return binding;
   }
   if (!peer.group.empty() && device.bgp) {
@@ -117,6 +149,7 @@ PolicyBinding resolvePolicyBinding(const cfg::DeviceConfig& device,
         binding.lines.push_back(cfg::LineId{device.hostname, peer.group_line});
         binding.lines.push_back(cfg::LineId{
             device.hostname, import ? group->import_line : group->export_line});
+        preparePolicy(device, binding.policy, binding.prepared);
       }
     }
   }

@@ -7,6 +7,14 @@
 //   * a binding that references a *nonexistent* policy denies everything;
 //   * a route matching no policy node is denied;
 //   * `if-match ip-prefix` against a nonexistent prefix-list never matches.
+//
+// The evaluator has one core, `applyPreparedPolicy`, operating on the packed
+// `RouteEntry` representation against a `PreparedPolicy` (nodes pre-sorted
+// by index, prefix-lists pre-resolved — built once per binding instead of
+// once per evaluated route). The historical `applyRoutePolicy(Route)` entry
+// point is a thin wrapper that interns the route's path into a scratch
+// table, runs the same core and materializes the result, so both callers
+// share exactly one semantics.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +22,7 @@
 #include <vector>
 
 #include "config/ast.hpp"
+#include "routing/rib.hpp"
 #include "routing/route.hpp"
 
 namespace acr::route {
@@ -32,12 +41,45 @@ struct PolicyVerdict {
                                              const Route& route,
                                              std::uint32_t own_asn);
 
+/// One policy node with its prefix-list matches pre-resolved (parallel to
+/// `node->matches`; null = list does not exist on the device = never match).
+struct PreparedNode {
+  const cfg::PolicyNode* node = nullptr;
+  std::vector<const cfg::PrefixList*> lists;
+};
+
+/// A route-policy compiled for repeated packed evaluation: nodes sorted by
+/// index once, prefix-lists looked up once. `exists == false` reproduces the
+/// "binding references a nonexistent policy" deny.
+struct PreparedPolicy {
+  bool exists = false;
+  std::vector<PreparedNode> nodes;
+};
+
+/// Compiles `policy_name` of `device` into `out` (cleared first).
+void preparePolicy(const cfg::DeviceConfig& device,
+                   const std::string& policy_name, PreparedPolicy& out);
+
+/// The packed evaluation core: applies `prepared` to `entry` in place
+/// (local_pref/med/as-path actions; path edits go through `paths`, which
+/// memoizes them so steady-state rounds allocate nothing). Returns the
+/// permit verdict. When `lines` is non-null every evaluated config line is
+/// appended as `{device_name, line}` — exactly the old recording order.
+[[nodiscard]] bool applyPreparedPolicy(const PreparedPolicy& prepared,
+                                       const std::string& device_name,
+                                       const net::Prefix& prefix,
+                                       std::uint32_t own_asn,
+                                       AsPathTable& paths, RouteEntry& entry,
+                                       std::vector<cfg::LineId>* lines);
+
 /// A resolved policy binding for one peer/direction: the policy name (empty
-/// = no binding = permit all) and the binding lines evaluated.
+/// = no binding = permit all), the binding lines evaluated, and the policy
+/// compiled for packed evaluation.
 struct PolicyBinding {
   std::string policy;
   bool bound = false;
   std::vector<cfg::LineId> lines;
+  PreparedPolicy prepared;
 };
 
 enum class Direction : std::uint8_t { kImport, kExport };

@@ -43,10 +43,16 @@ struct Route {
   /// Deliberately excluded from key(): the ECMP set is derived state.
   std::vector<std::pair<std::string, net::Ipv4Address>> ecmp;
 
-  /// Stable identity used for convergence/oscillation detection. Excludes
-  /// the derivation id (which differs every round by construction).
+  /// Debug rendering of the route's identity fields (excludes the
+  /// derivation id, which differs every round by construction). The
+  /// engines' convergence/oscillation detection no longer builds these
+  /// strings — it compares and hashes packed `RouteEntry` fields
+  /// (routing/rib.hpp) — so key() survives only for the flight recorder
+  /// and human-facing dumps.
   [[nodiscard]] std::string key() const;
 
+  /// Debug rendering of the AS path ("[65001 65002]"); same caveat as
+  /// key() — not on any hot path.
   [[nodiscard]] std::string pathStr() const;
 };
 

@@ -1,22 +1,9 @@
 #include "routing/sim_internal.hpp"
 
-#include <algorithm>
 #include <tuple>
 #include <utility>
 
 namespace acr::route::detail {
-
-RouterTable::RouterTable(const topo::Topology& topology) {
-  router_ids.emplace_back();  // id 0: locally originated / unknown
-  asns.push_back(0);
-  names.emplace_back();
-  for (const auto& router : topology.routers()) {
-    index.emplace(router.name, static_cast<int>(router_ids.size()));
-    router_ids.push_back(router.router_id);
-    asns.push_back(router.asn);
-    names.push_back(router.name);
-  }
-}
 
 void appendFlowsForSession(const topo::Network& network,
                            const Session& session, const RouterTable& table,
@@ -97,227 +84,6 @@ Session sessionForLink(const topo::Network& network,
   session.up = reason.empty();
   session.down_reason = reason;
   return session;
-}
-
-std::vector<Route> localRoutesFor(const std::string& name,
-                                  const cfg::DeviceConfig& device,
-                                  prov::ProvenanceGraph* provenance) {
-  std::vector<Route> routes;
-  for (const auto& itf : device.interfaces) {
-    Route route;
-    route.prefix = itf.connectedPrefix();
-    route.source = RouteSource::kConnected;
-    if (provenance != nullptr) {
-      route.derivation = provenance->add(prov::Derivation{
-          name, route.prefix, prov::kNoDerivation,
-          {cfg::LineId{name, itf.ip_line}}});
-    }
-    routes.push_back(route);
-  }
-  for (const auto& sr : device.static_routes) {
-    const bool resolvable =
-        std::any_of(device.interfaces.begin(), device.interfaces.end(),
-                    [&](const cfg::InterfaceConfig& itf) {
-                      return itf.connectedPrefix().contains(sr.next_hop);
-                    });
-    if (!resolvable) continue;  // inactive static route
-    Route route;
-    route.prefix = sr.prefix;
-    route.source = RouteSource::kStatic;
-    route.next_hop = sr.next_hop;
-    if (provenance != nullptr) {
-      route.derivation = provenance->add(prov::Derivation{
-          name, route.prefix, prov::kNoDerivation,
-          {cfg::LineId{name, sr.line}}});
-    }
-    routes.push_back(route);
-  }
-  return routes;
-}
-
-std::map<std::string, std::vector<Route>> computeLocalRoutes(
-    const topo::Network& network, prov::ProvenanceGraph* provenance) {
-  std::map<std::string, std::vector<Route>> local_routes;
-  for (const auto& [name, device] : network.configs) {
-    local_routes[name] = localRoutesFor(name, device, provenance);
-  }
-  return local_routes;
-}
-
-namespace {
-
-/// Routes tie for ECMP when everything ahead of the router-id tiebreak is
-/// equal.
-bool equalCost(const Route& a, const Route& b) {
-  return a.source == b.source && a.local_pref == b.local_pref &&
-         a.as_path.size() == b.as_path.size() && a.med == b.med;
-}
-
-}  // namespace
-
-std::optional<Route> selectBestForPrefix(
-    const std::map<std::string, Route>& options_for_prefix,
-    const RouteBetter& better, bool enable_ecmp) {
-  const Route* best = nullptr;
-  for (const auto& [origin, route] : options_for_prefix) {
-    if (best == nullptr || better(route, *best)) best = &route;
-  }
-  if (best == nullptr) return std::nullopt;
-  Route selected = *best;
-  selected.ecmp.clear();
-  if (enable_ecmp && selected.source == RouteSource::kBgp) {
-    for (const auto& [origin, route] : options_for_prefix) {
-      if (route.source == RouteSource::kBgp && equalCost(route, *best)) {
-        selected.ecmp.emplace_back(route.learned_from, route.next_hop);
-      }
-    }
-    std::sort(selected.ecmp.begin(), selected.ecmp.end());
-  }
-  return selected;
-}
-
-void selectBests(const Candidates& candidates,
-                 std::map<net::Prefix, Route>& bests, const RouteBetter& better,
-                 bool enable_ecmp) {
-  bests.clear();
-  for (const auto& [prefix, options_for_prefix] : candidates) {
-    auto selected = selectBestForPrefix(options_for_prefix, better, enable_ecmp);
-    if (!selected) continue;
-    bests.emplace(prefix, std::move(*selected));
-  }
-}
-
-std::optional<Route> announceOnFlow(const Flow& flow, const net::Prefix& prefix,
-                                    const Route& route,
-                                    prov::ProvenanceGraph* provenance,
-                                    std::uint64_t* announcements) {
-  const cfg::DeviceConfig& exporter = *flow.exporter;
-  const cfg::DeviceConfig& importer = *flow.importer;
-
-  // Redistribution gate for locally originated routes.
-  if (route.source == RouteSource::kConnected) {
-    if (!exporter.bgp->redistributes_source(cfg::RedistSource::kConnected)) {
-      return std::nullopt;
-    }
-    if (prefix.length() >= 30) return std::nullopt;  // never leak transfer subnets
-  } else if (route.source == RouteSource::kStatic) {
-    if (!exporter.bgp->redistributes_source(cfg::RedistSource::kStatic)) {
-      return std::nullopt;
-    }
-  }
-  if (announcements != nullptr) ++*announcements;
-
-  const bool record = provenance != nullptr;
-  Route announced = route;
-  announced.source = RouteSource::kBgp;
-  announced.ecmp.clear();  // derived state, never advertised
-  std::vector<cfg::LineId> lines;
-  if (record) {
-    lines = flow.session_lines;
-    lines.insert(lines.end(), flow.export_binding.lines.begin(),
-                 flow.export_binding.lines.end());
-    if (route.source != RouteSource::kBgp &&
-        exporter.bgp) {  // attribute the redistribute line
-      for (const auto& redist : exporter.bgp->redistributes) {
-        if ((route.source == RouteSource::kConnected &&
-             redist.source == cfg::RedistSource::kConnected) ||
-            (route.source == RouteSource::kStatic &&
-             redist.source == cfg::RedistSource::kStatic)) {
-          lines.push_back(cfg::LineId{flow.from, redist.line});
-        }
-      }
-    }
-  }
-  if (flow.export_binding.bound) {
-    PolicyVerdict verdict = applyRoutePolicy(exporter, flow.export_binding.policy,
-                                             announced, flow.from_asn);
-    if (record) {
-      for (auto& line : verdict.lines) line.device = flow.from;
-      lines.insert(lines.end(), verdict.lines.begin(), verdict.lines.end());
-    }
-    if (!verdict.permitted) return std::nullopt;
-    announced = verdict.route;
-  }
-  // Prepend own AS unless the overwrite already installed it in front.
-  if (announced.as_path.empty() || announced.as_path.front() != flow.from_asn) {
-    announced.as_path.insert(announced.as_path.begin(), flow.from_asn);
-  }
-
-  // Receiver-side loop prevention on the advertised path.
-  if (std::find(announced.as_path.begin(), announced.as_path.end(),
-                flow.to_asn) != announced.as_path.end()) {
-    return std::nullopt;
-  }
-
-  Route imported = announced;
-  imported.local_pref = 100;  // local-pref is not transitive over eBGP
-  imported.learned_from = flow.from;
-  imported.learned_from_id = flow.from_id;
-  imported.next_hop = flow.from_address;
-  if (flow.import_binding.bound) {
-    if (record) {
-      lines.insert(lines.end(), flow.import_binding.lines.begin(),
-                   flow.import_binding.lines.end());
-    }
-    PolicyVerdict verdict = applyRoutePolicy(importer, flow.import_binding.policy,
-                                             imported, flow.to_asn);
-    if (record) {
-      lines.insert(lines.end(), verdict.lines.begin(), verdict.lines.end());
-    }
-    if (!verdict.permitted) return std::nullopt;
-    imported = verdict.route;
-  }
-  if (record) {
-    imported.derivation = provenance->add(
-        prov::Derivation{flow.to, prefix, route.derivation, std::move(lines)});
-  }
-  return imported;
-}
-
-std::uint64_t ribEntryHash(const std::string& router, const Route& route) {
-  constexpr std::uint64_t kOffset = 1469598103934665603ull;
-  constexpr std::uint64_t kPrime = 1099511628211ull;
-  std::uint64_t hash = kOffset;
-  const auto mix = [&](const char* data, std::size_t size) {
-    for (std::size_t i = 0; i < size; ++i) {
-      hash ^= static_cast<unsigned char>(data[i]);
-      hash *= kPrime;
-    }
-  };
-  mix(router.data(), router.size());
-  mix("\n", 1);
-  const std::string key = route.key();
-  mix(key.data(), key.size());
-  return hash;
-}
-
-std::uint64_t ribHash(const Rib& rib) {
-  std::uint64_t hash = 0;
-  for (const auto& [router, routes] : rib) {
-    for (const auto& [prefix, route] : routes) {
-      hash ^= ribEntryHash(router, route);
-    }
-  }
-  return hash;
-}
-
-bool ribEqualByKey(const Rib& a, const Rib& b) {
-  if (a.size() != b.size()) return false;
-  auto ita = a.begin();
-  auto itb = b.begin();
-  for (; ita != a.end(); ++ita, ++itb) {
-    if (ita->first != itb->first) return false;
-    const auto& ra = ita->second;
-    const auto& rb = itb->second;
-    if (ra.size() != rb.size()) return false;
-    auto ja = ra.begin();
-    auto jb = rb.begin();
-    for (; ja != ra.end(); ++ja, ++jb) {
-      if (ja->first != jb->first) return false;
-      if (!sameRouteState(ja->second, jb->second)) return false;
-    }
-  }
-  return true;
 }
 
 bool sameTopologyShape(const topo::Topology& a, const topo::Topology& b) {

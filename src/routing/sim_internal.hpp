@@ -1,23 +1,19 @@
 // Shared internals of the full (`Simulator`) and incremental
-// (`DeltaSimulator`) control-plane engines.
+// (`DeltaSimulator`, `DeltaTree`) control-plane engines: session
+// establishment, resolved session flows and the structural precondition
+// checks the incremental engines' fallback rules share.
 //
-// Both engines must agree *byte for byte* on the per-round transfer
-// function — session flows, local-route origination, the announcement
-// transform (redistribution gates, export/import policies, AS-path
-// handling, loop prevention) and best-route selection — because the
-// DeltaSimulator's contract is producing the exact `SimResult` a
-// from-scratch run would. Keeping the transfer function in one place is
-// what makes that contract enforceable rather than aspirational.
+// Both engine families must agree *byte for byte* on the per-round transfer
+// function; its packed implementation (candidate staging, the announcement
+// transform, best-route selection) lives in routing/sim_engine.hpp. This
+// header keeps the configuration-time machinery both build on.
 //
 // Not part of the public API: include only from acr_routing sources and
 // white-box tests.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "routing/policy_eval.hpp"
@@ -26,37 +22,6 @@
 #include "topo/network.hpp"
 
 namespace acr::route::detail {
-
-/// Origin-key prefix for locally originated candidates ("" + source name).
-inline constexpr const char* kLocalOrigin = "";
-
-/// Dense router table: names interned to ids >= 1 (0 is reserved for
-/// "locally originated / unknown"), with the per-id router-id, ASN and name
-/// in flat arrays. Replaces the per-comparison `std::map` lookups the
-/// decision process used to pay inside `better()`, and lets incremental
-/// engines key per-entry bookkeeping by (id, prefix) instead of strings.
-struct RouterTable {
-  std::unordered_map<std::string, int> index;
-  std::vector<net::Ipv4Address> router_ids;  // [0] = 0.0.0.0
-  std::vector<std::uint32_t> asns;           // [0] = 0
-  std::vector<std::string> names;            // [0] = ""
-
-  explicit RouterTable(const topo::Topology& topology);
-
-  [[nodiscard]] int idOf(const std::string& name) const {
-    const auto it = index.find(name);
-    return it == index.end() ? 0 : it->second;
-  }
-  [[nodiscard]] net::Ipv4Address routerIdOf(int id) const {
-    const auto index_ = static_cast<std::size_t>(id);
-    return index_ < router_ids.size() ? router_ids[index_] : net::Ipv4Address();
-  }
-};
-
-/// Candidate routes of one router: prefix -> origin key -> route. Origin
-/// keys are "neighbor name" for BGP candidates and reserved tags for
-/// local routes.
-using Candidates = std::map<net::Prefix, std::map<std::string, Route>>;
 
 /// One established session direction with everything the round loop needs
 /// resolved up front: device configs, peer statements and the effective
@@ -88,7 +53,7 @@ void appendFlowsForSession(const topo::Network& network,
                            std::vector<Flow>& flows);
 
 /// Directed flows for the established sessions, in session order (a->b
-/// then b->a per link) — candidate-map overwrite semantics depend on this
+/// then b->a per link) — candidate-slot overwrite semantics depend on this
 /// order, so both engines must build flows identically.
 [[nodiscard]] std::vector<Flow> buildFlows(const topo::Network& network,
                                            const std::vector<Session>& sessions,
@@ -100,101 +65,6 @@ void appendFlowsForSession(const topo::Network& network,
 /// recompute only the sessions adjacent to an edited device.
 [[nodiscard]] Session sessionForLink(const topo::Network& network,
                                      const topo::LinkDecl& link);
-
-/// Local routes (connected + resolvable static) of one device, with
-/// derivations recorded into `provenance` when non-null.
-[[nodiscard]] std::vector<Route> localRoutesFor(
-    const std::string& name, const cfg::DeviceConfig& device,
-    prov::ProvenanceGraph* provenance);
-
-/// Local routes of every device, in config-map order (provenance ids
-/// depend on this order).
-[[nodiscard]] std::map<std::string, std::vector<Route>> computeLocalRoutes(
-    const topo::Network& network, prov::ProvenanceGraph* provenance);
-
-/// The decision process ("is `a` preferred over `b`"): admin distance,
-/// highest local-pref, shortest AS_PATH, lowest MED, lowest advertising
-/// router-id (via the dense table), neighbor name.
-///
-/// Branch-light: the first four tiebreaks collapse into two 64-bit
-/// comparison words, so the common all-equal-up-front case costs two
-/// integer compares instead of four data-dependent branches. local-pref is
-/// bit-flipped because higher wins while everything else prefers lower.
-struct RouteBetter {
-  const RouterTable* table = nullptr;
-
-  [[nodiscard]] static std::uint64_t adminWord(const Route& r) {
-    return (static_cast<std::uint64_t>(r.source) << 32) |
-           static_cast<std::uint32_t>(~r.local_pref);
-  }
-  [[nodiscard]] static std::uint64_t pathWord(const Route& r) {
-    return (static_cast<std::uint64_t>(r.as_path.size()) << 32) | r.med;
-  }
-
-  bool operator()(const Route& a, const Route& b) const {
-    const std::uint64_t admin_a = adminWord(a);
-    const std::uint64_t admin_b = adminWord(b);
-    if (admin_a != admin_b) return admin_a < admin_b;
-    const std::uint64_t path_a = pathWord(a);
-    const std::uint64_t path_b = pathWord(b);
-    if (path_a != path_b) return path_a < path_b;
-    const net::Ipv4Address id_a = table->routerIdOf(a.learned_from_id);
-    const net::Ipv4Address id_b = table->routerIdOf(b.learned_from_id);
-    if (id_a != id_b) return id_a < id_b;
-    return a.learned_from < b.learned_from;
-  }
-};
-
-/// Identity under the convergence semantics: exactly the fields Route::key()
-/// embeds (prefix, source, learned-from, next hop, AS path, local-pref,
-/// MED), compared directly instead of via the two string builds a
-/// `key() == key()` costs. Derived state (ecmp, learned_from_id,
-/// derivation) is excluded, as in key().
-[[nodiscard]] inline bool sameRouteState(const Route& a, const Route& b) {
-  return a.source == b.source && a.local_pref == b.local_pref &&
-         a.med == b.med && a.next_hop == b.next_hop && a.prefix == b.prefix &&
-         a.learned_from == b.learned_from && a.as_path == b.as_path;
-}
-
-/// Best route (and, when `enable_ecmp`, its equal-cost set) among one
-/// prefix's candidates; nullopt when there are none.
-[[nodiscard]] std::optional<Route> selectBestForPrefix(
-    const std::map<std::string, Route>& options_for_prefix,
-    const RouteBetter& better, bool enable_ecmp);
-
-/// Best routes for every prefix of `candidates` into `bests`.
-void selectBests(const Candidates& candidates,
-                 std::map<net::Prefix, Route>& bests, const RouteBetter& better,
-                 bool enable_ecmp);
-
-/// The announcement transform of one (flow, exporter-best) pair:
-/// redistribution gates, export policy, AS-path prepend, receiver-side
-/// loop prevention, import policy. Returns the imported candidate or
-/// nullopt when the announcement is filtered anywhere along the way.
-/// `announcements` (when non-null) counts attempts that pass the
-/// redistribution gate, exactly like `SimResult::announcements`;
-/// `provenance` (when non-null) records the derivation and assigns it to
-/// the returned route.
-[[nodiscard]] std::optional<Route> announceOnFlow(
-    const Flow& flow, const net::Prefix& prefix, const Route& route,
-    prov::ProvenanceGraph* provenance, std::uint64_t* announcements);
-
-/// 64-bit FNV-1a over `router` + '\n' + `route.key()` — the unit of the
-/// whole-RIB hash. Entries are unique per (router, prefix) because the
-/// key embeds the prefix.
-[[nodiscard]] std::uint64_t ribEntryHash(const std::string& router,
-                                         const Route& route);
-
-/// XOR-combined entry hashes: order-independent, so the DeltaSimulator
-/// can maintain it incrementally (H ^= old ^ new) while the full engine
-/// recomputes it per round. Used for oscillation detection only — the
-/// convergence check compares states exactly.
-[[nodiscard]] std::uint64_t ribHash(const Rib& rib);
-
-/// Exact state equality under the convergence semantics: same routers,
-/// same prefixes, same `Route::key()` per entry (ECMP sets are derived
-/// state and excluded, matching the historical snapshot comparison).
-[[nodiscard]] bool ribEqualByKey(const Rib& a, const Rib& b);
 
 // --- incremental-engine precondition checks (docs/architecture.md §12) ----
 // Shared by the DeltaSimulator's fallback rules and the DeltaTree's

@@ -1,22 +1,24 @@
 #include "routing/simulator.hpp"
 
+#include <deque>
+#include <map>
 #include <mutex>
-#include <unordered_map>
 #include <utility>
 
 #include "netcore/prefix_trie.hpp"
 #include "obs/trace.hpp"
+#include "routing/sim_engine.hpp"
 #include "routing/sim_internal.hpp"
-#include "util/metrics.hpp"
 
 namespace acr::route {
 
 struct SimResult::LookupCache {
   std::mutex mutex;
-  /// Per-router FIB tries over the owner's `rib` entries, built on first
-  /// lookup for that router. Values point into the rib map's node storage,
-  /// which is stable as long as the rib is not mutated.
+  /// Per-router FIB tries, built on first lookup for that router. Values
+  /// point into `arena`, which only ever grows (deque: stable addresses),
+  /// so dropping a page never dangles another page's routes.
   std::map<std::string, net::PrefixTrie<const Route*>> fib;
+  std::deque<Route> arena;
   bool flapping_built = false;
   net::PrefixTrie<bool> flapping;
 };
@@ -52,14 +54,14 @@ SimResult& SimResult::operator=(SimResult&& other) noexcept = default;
 
 const Route* SimResult::lookup(const std::string& router,
                                net::Ipv4Address destination) const {
-  const auto it = rib.find(router);
-  if (it == rib.end()) return nullptr;
+  if (!rib.hasRouter(router)) return nullptr;
   if (!cache_) cache_ = std::make_shared<LookupCache>();  // moved-from revival
   std::lock_guard<std::mutex> lock(cache_->mutex);
   auto [entry, inserted] = cache_->fib.try_emplace(router);
   if (inserted) {
-    for (const auto& [prefix, route] : it->second) {
-      entry->second.insert(prefix, &route);
+    for (auto& [prefix, route] : rib.routesListOf(router)) {
+      cache_->arena.push_back(std::move(route));
+      entry->second.insert(prefix, &cache_->arena.back());
     }
   }
   const Route* const* found = entry->second.longestMatch(destination);
@@ -95,149 +97,10 @@ std::vector<Session> Simulator::computeSessions() const {
   return sessions;
 }
 
-namespace {
-
-/// The cycle-window diff: prefixes present-and-different or present-on-one-
-/// side-only between the representative state and another window state.
-void diffCycleStates(std::set<net::Prefix>& flapping, const Rib& representative,
-                     const Rib& other_state) {
-  for (const auto& [router, routes] : representative) {
-    const auto other_it = other_state.find(router);
-    static const std::map<net::Prefix, Route> kEmpty;
-    const auto& other = other_it == other_state.end() ? kEmpty : other_it->second;
-    for (const auto& [prefix, route] : routes) {
-      const auto it = other.find(prefix);
-      if (it == other.end() || !detail::sameRouteState(it->second, route)) {
-        flapping.insert(prefix);
-      }
-    }
-    for (const auto& [prefix, route] : other) {
-      if (routes.find(prefix) == routes.end()) {
-        flapping.insert(prefix);
-      }
-    }
-  }
-}
-
-}  // namespace
-
 SimResult Simulator::run(const SimOptions& options) const {
   obs::Span span("sim.full");
-  SimResult result;
-  const detail::RouterTable table(network_.topology);
-  result.sessions = computeSessions();
-  const std::vector<detail::Flow> flows =
-      detail::buildFlows(network_, result.sessions, table);
-
-  // Local routes (connected + resolvable static), with their derivations.
-  const std::map<std::string, std::vector<Route>> local_routes =
-      detail::computeLocalRoutes(
-          network_, options.record_provenance ? &result.provenance : nullptr);
-
-  const detail::RouteBetter better{&table};
-
-  // Round 0: local routes only.
-  Rib bests;
-  for (const auto& [name, device] : network_.configs) {
-    detail::Candidates candidates;
-    for (const auto& route : local_routes.at(name)) {
-      candidates[route.prefix]
-                [detail::kLocalOrigin + routeSourceName(route.source)] = route;
-    }
-    detail::selectBests(candidates, bests[name], better, options.enable_ecmp);
-  }
-
-  // One synchronous round: candidates are locals plus the announcements
-  // computed from `current` (the previous round's bests). `record` is false
-  // only while re-walking an already-simulated cycle window, where the
-  // announcement count and provenance must not grow.
-  const auto computeRound = [&](const Rib& current, bool record) {
-    std::map<std::string, detail::Candidates> next;
-    for (const auto& [name, routes] : local_routes) {
-      for (const auto& route : routes) {
-        next[name][route.prefix]
-            [detail::kLocalOrigin + routeSourceName(route.source)] = route;
-      }
-    }
-    prov::ProvenanceGraph* provenance =
-        record && options.record_provenance ? &result.provenance : nullptr;
-    std::uint64_t* announcements = record ? &result.announcements : nullptr;
-    for (const detail::Flow& flow : flows) {
-      const auto from_it = current.find(flow.from);
-      if (from_it == current.end()) continue;
-      for (const auto& [prefix, route] : from_it->second) {
-        auto imported = detail::announceOnFlow(flow, prefix, route, provenance,
-                                               announcements);
-        if (imported) next[flow.to][prefix][flow.from] = std::move(*imported);
-      }
-    }
-    Rib new_bests;
-    for (const auto& [name, device] : network_.configs) {
-      detail::selectBests(next[name], new_bests[name], better,
-                          options.enable_ecmp);
-    }
-    return new_bests;
-  };
-
-  // History is hashes, not states: convergence is an exact compare against
-  // the immediately preceding round, oscillation detection a 64-bit RIB
-  // hash seen before. Only two states are ever held (`bests` and
-  // `previous`, for the round-cap diff); the cycle window is re-derived on
-  // the rare oscillation path instead of retained every round.
-  std::unordered_map<std::uint64_t, int> round_of_hash;
-  round_of_hash.emplace(detail::ribHash(bests), 0);
-  Rib previous;
-
-  for (int round = 1; round <= options.max_rounds; ++round) {
-    result.rounds = round;
-    Rib new_bests = computeRound(bests, /*record=*/true);
-
-    if (detail::ribEqualByKey(new_bests, bests)) {
-      result.converged = true;
-      result.rib = std::move(new_bests);
-      return result;
-    }
-
-    const std::uint64_t hash = detail::ribHash(new_bests);
-    const auto [seen, inserted] = round_of_hash.emplace(hash, round);
-    if (!inserted) {
-      // Oscillation: this state was first reached at round `seen->second`,
-      // so the orbit is periodic with this cycle length. Re-walk the cycle
-      // once (recording off) to recover the window states and flag every
-      // prefix whose best differs anywhere inside it.
-      const int cycle_length = round - seen->second;
-      util::MetricsRegistry::global().counter("sim.full.history_ribs").add(1);
-      Rib representative = std::move(new_bests);
-      Rib walker = representative;  // the one retained history copy
-      for (int step = 0; step + 1 < cycle_length; ++step) {
-        walker = computeRound(walker, /*record=*/false);
-        diffCycleStates(result.flapping, representative, walker);
-      }
-      result.converged = false;
-      result.rib = std::move(representative);
-      return result;
-    }
-
-    previous = std::move(bests);
-    bests = std::move(new_bests);
-  }
-
-  // Round cap hit without a detected cycle: report the prefixes still in
-  // motion between the last two rounds as flapping.
-  result.converged = false;
-  for (const auto& [router, routes] : bests) {
-    const auto other_it = previous.find(router);
-    static const std::map<net::Prefix, Route> kEmpty;
-    const auto& other = other_it == previous.end() ? kEmpty : other_it->second;
-    for (const auto& [prefix, route] : routes) {
-      const auto it = other.find(prefix);
-      if (it == other.end() || !detail::sameRouteState(it->second, route)) {
-        result.flapping.insert(prefix);
-      }
-    }
-  }
-  result.rib = std::move(bests);
-  return result;
+  detail::FullEngine engine(network_, options);
+  return engine.run();
 }
 
 }  // namespace acr::route

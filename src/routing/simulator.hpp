@@ -18,16 +18,20 @@
 //     A repeated non-fixpoint state ⇒ persistent oscillation; the prefixes
 //     whose best route varies inside the cycle window are reported as
 //     *flapping*.
+//
+// Routing state lives in interned, packed storage (routing/rib.hpp): the
+// engines run over dense (router id, prefix id) pages and `SimResult::rib`
+// materializes names, prefixes and `Route` objects only at its read API.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "provenance/provenance.hpp"
+#include "routing/rib.hpp"
 #include "routing/route.hpp"
 #include "topo/network.hpp"
 
@@ -50,9 +54,6 @@ struct SimOptions {
   bool enable_ecmp = false;
 };
 
-/// Best routes per router: router -> prefix -> selected route.
-using Rib = std::map<std::string, std::map<net::Prefix, Route>>;
-
 struct SimResult {
   bool converged = false;
   int rounds = 0;
@@ -68,16 +69,17 @@ struct SimResult {
   SimResult();
   ~SimResult();
   /// Copies re-derive their own longest-prefix-match cache lazily: the
-  /// cache indexes the owner's `rib` storage, so sharing it across copies
-  /// would dangle.
+  /// cache materializes routes out of the owner's `rib`, so sharing it
+  /// across copies would alias unrelated mutation histories.
   SimResult(const SimResult& other);
   SimResult& operator=(const SimResult& other);
   SimResult(SimResult&& other) noexcept;
   SimResult& operator=(SimResult&& other) noexcept;
 
   /// Longest-prefix match over `router`'s RIB, backed by a lazily built
-  /// per-router PrefixTrie. Safe to call concurrently; build the RIB fully
-  /// before the first lookup (later `rib` mutations are not re-indexed).
+  /// per-router PrefixTrie over routes materialized into a stable arena.
+  /// Safe to call concurrently; build the RIB fully before the first lookup
+  /// (later `rib` mutations are not re-indexed).
   [[nodiscard]] const Route* lookup(const std::string& router,
                                     net::Ipv4Address destination) const;
   /// True when any flapping prefix covers `destination` (trie-backed, same

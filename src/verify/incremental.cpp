@@ -143,23 +143,10 @@ void IncrementalVerifier::rejudge(const topo::Network& network,
 std::set<net::Prefix> IncrementalVerifier::changedPrefixes(
     const route::SimResult& sim) const {
   // Prefixes whose best route changed on any router, plus flapping-set churn.
+  // The RIB diff walks packed pages (shared pages skip wholesale) instead of
+  // comparing key() strings per entry.
   std::set<net::Prefix> changed_prefixes;
-  for (const auto& [router, routes] : sim.rib) {
-    const auto old_it = cached_sim_->rib.find(router);
-    if (old_it == cached_sim_->rib.end()) {
-      for (const auto& [prefix, route] : routes) changed_prefixes.insert(prefix);
-      continue;
-    }
-    for (const auto& [prefix, route] : routes) {
-      const auto it = old_it->second.find(prefix);
-      if (it == old_it->second.end() || it->second.key() != route.key()) {
-        changed_prefixes.insert(prefix);
-      }
-    }
-    for (const auto& [prefix, route] : old_it->second) {
-      if (routes.find(prefix) == routes.end()) changed_prefixes.insert(prefix);
-    }
-  }
+  sim.rib.changedPrefixesInto(cached_sim_->rib, changed_prefixes);
   changed_prefixes.insert(cached_sim_->flapping.begin(),
                           cached_sim_->flapping.end());
   changed_prefixes.insert(sim.flapping.begin(), sim.flapping.end());

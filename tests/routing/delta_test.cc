@@ -52,10 +52,12 @@ void expectSimEqual(const SimResult& actual, const SimResult& expected) {
   }
 
   ASSERT_EQ(actual.rib.size(), expected.rib.size());
-  auto actual_it = actual.rib.begin();
-  for (const auto& [router, routes] : expected.rib) {
-    ASSERT_EQ(actual_it->first, router);
-    const auto& actual_routes = actual_it->second;
+  const std::vector<std::string> routers = expected.rib.routers();
+  ASSERT_EQ(actual.rib.routers(), routers);
+  for (const std::string& router : routers) {
+    const std::map<net::Prefix, Route> routes = expected.rib.routesOf(router);
+    const std::map<net::Prefix, Route> actual_routes =
+        actual.rib.routesOf(router);
     ASSERT_EQ(actual_routes.size(), routes.size()) << "router " << router;
     auto entry_it = actual_routes.begin();
     for (const auto& [prefix, route] : routes) {
@@ -71,7 +73,6 @@ void expectSimEqual(const SimResult& actual, const SimResult& expected) {
           << "router " << router << " prefix " << prefix.str();
       ++entry_it;
     }
-    ++actual_it;
   }
 }
 
@@ -163,10 +164,7 @@ TEST(Delta, EngagesOnConfigOnlyEdit) {
 
   // Locality: a single-ToR edit must not dirty anywhere near the whole
   // (router, prefix) work space of the network.
-  std::size_t total_entries = 0;
-  for (const auto& [router, routes] : baseline.rib) {
-    total_entries += routes.size();
-  }
+  const std::size_t total_entries = baseline.rib.totalRoutes();
   EXPECT_LT(stats.dirty_prefixes, total_entries / 2);
 }
 
@@ -366,14 +364,13 @@ TEST(SimulatorMemory, OscillationPathRederivesExactlyOnce) {
 TEST(SimResultCache, CopiesGetIndependentLookupState) {
   acr::Scenario scenario = acr::dcnScenario(2, 2);
   const SimResult sim = Simulator(scenario.network()).run(deltaOptions());
-  const auto rib_it = sim.rib.find("tor1_1");
-  ASSERT_NE(rib_it, sim.rib.end());
-  ASSERT_FALSE(rib_it->second.empty());
-  const net::Ipv4Address probe = rib_it->second.begin()->first.address();
+  const std::map<net::Prefix, Route> routes = sim.rib.routesOf("tor1_1");
+  ASSERT_FALSE(routes.empty());
+  const net::Ipv4Address probe = routes.begin()->first.address();
   ASSERT_NE(sim.lookup("tor1_1", probe), nullptr);  // cache built on original
 
   SimResult copy = sim;
-  copy.rib["tor1_1"].clear();  // mutate the copy before its first lookup
+  copy.rib.clearRouter("tor1_1");  // mutate the copy before its first lookup
   EXPECT_EQ(copy.lookup("tor1_1", probe), nullptr);
   EXPECT_NE(sim.lookup("tor1_1", probe), nullptr);
 }

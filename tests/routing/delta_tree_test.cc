@@ -55,10 +55,12 @@ void expectSimEqual(const SimResult& actual, const SimResult& expected) {
   }
 
   ASSERT_EQ(actual.rib.size(), expected.rib.size());
-  auto actual_it = actual.rib.begin();
-  for (const auto& [router, routes] : expected.rib) {
-    ASSERT_EQ(actual_it->first, router);
-    const auto& actual_routes = actual_it->second;
+  const std::vector<std::string> routers = expected.rib.routers();
+  ASSERT_EQ(actual.rib.routers(), routers);
+  for (const std::string& router : routers) {
+    const std::map<net::Prefix, Route> routes = expected.rib.routesOf(router);
+    const std::map<net::Prefix, Route> actual_routes =
+        actual.rib.routesOf(router);
     ASSERT_EQ(actual_routes.size(), routes.size()) << "router " << router;
     auto entry_it = actual_routes.begin();
     for (const auto& [prefix, route] : routes) {
@@ -69,7 +71,6 @@ void expectSimEqual(const SimResult& actual, const SimResult& expected) {
           << "router " << router << " prefix " << prefix.str();
       ++entry_it;
     }
-    ++actual_it;
   }
 }
 
@@ -264,16 +265,19 @@ TEST(DeltaTreeBatch, ChangedVsAnchorIsTheExactRibDiff) {
               ASSERT_TRUE(stats.used_delta) << stats.fallback_reason;
               // Brute-force diff of the leaf fixpoint against the anchor.
               std::vector<std::pair<std::string, net::Prefix>> expected;
-              for (const auto& [router, routes] : view.rib) {
-                const auto anchor_it = batch.anchor.rib.find(router);
+              for (const std::string& router : view.rib.routers()) {
+                const std::map<net::Prefix, Route> routes =
+                    view.rib.routesOf(router);
+                const std::map<net::Prefix, Route> anchor_routes =
+                    batch.anchor.rib.routesOf(router);
                 for (const auto& [prefix, route] : routes) {
-                  const auto old_it = anchor_it->second.find(prefix);
-                  if (old_it == anchor_it->second.end() ||
+                  const auto old_it = anchor_routes.find(prefix);
+                  if (old_it == anchor_routes.end() ||
                       old_it->second.key() != route.key()) {
                     expected.emplace_back(router, prefix);
                   }
                 }
-                for (const auto& [prefix, route] : anchor_it->second) {
+                for (const auto& [prefix, route] : anchor_routes) {
                   if (routes.find(prefix) == routes.end()) {
                     expected.emplace_back(router, prefix);
                   }

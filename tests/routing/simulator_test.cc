@@ -118,10 +118,10 @@ TEST(Simulator, ReceiverSideLoopPrevention) {
   const topo::BuiltNetwork built = topo::buildFigure2();
   const SimResult sim = Simulator(built.network).run();
   // No router's path may contain its own AS.
-  for (const auto& [router, routes] : sim.rib) {
+  for (const std::string& router : sim.rib.routers()) {
     const std::uint32_t own =
         built.network.topology.findRouter(router)->asn;
-    for (const auto& [prefix, route] : routes) {
+    for (const auto& [prefix, route] : sim.rib.routesOf(router)) {
       if (route.source != RouteSource::kBgp) continue;
       // Receiver-side loop prevention rejects any received path containing
       // the local AS. The only way the local AS can appear in a *stored*
@@ -178,8 +178,9 @@ TEST(Simulator, DeterministicAcrossRuns) {
   const SimResult a = Simulator(built.network).run();
   const SimResult b = Simulator(built.network).run();
   ASSERT_EQ(a.rib.size(), b.rib.size());
-  for (const auto& [router, routes] : a.rib) {
-    const auto& other = b.rib.at(router);
+  for (const std::string& router : a.rib.routers()) {
+    const std::map<net::Prefix, Route> routes = a.rib.routesOf(router);
+    const std::map<net::Prefix, Route> other = b.rib.routesOf(router);
     ASSERT_EQ(routes.size(), other.size()) << router;
     for (const auto& [prefix, route] : routes) {
       EXPECT_EQ(route.key(), other.at(prefix).key()) << router;
