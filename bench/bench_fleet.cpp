@@ -1,0 +1,488 @@
+// Fleet serving benchmark: idle-connection capacity of the epoll event
+// loop, and saturation throughput of 1/2/4-worker fleets on the
+// cached-snapshot workload.
+//
+// Part 1 (idle): opens thousands of TCP connections to one acrd worker
+// and holds them idle. The event loop must absorb them without spawning
+// threads (thread count stays flat) and keep answering requests promptly
+// on a fresh connection. The thread-per-connection design this replaced
+// would have needed one thread per connection.
+//
+// Part 2 (saturation): N distinct backbone scenarios are served by
+// 1/2/4 in-process workers behind FleetRouter's consistent-hash routing.
+// Each worker's SnapshotCache byte budget is deliberately set to ~60% of
+// the total working set: a single node cycles its LRU (every request
+// misses and pays parse + simulate + verify), while a 4-node fleet's
+// shards each fit comfortably in one node's budget, so after warmup every
+// request hits. The speedup is therefore aggregate *cache capacity* —
+// exactly the resource affinity routing multiplies — which is also why it
+// shows up even on a single-CPU host. Saturation req/s is measured
+// closed-loop with `--clients` concurrent client threads (each its own
+// FleetRouter), reporting fleet-wide p50/p99 and per-node p99.
+//
+//   bench_fleet [--requests N] [--idle N] [--clients N] [--smoke] [--json]
+//
+// --json replaces the tables with a machine-readable object (committed as
+// BENCH_fleet.json for regression tracking); --smoke shrinks everything
+// for CI wiring checks and skips the gates. Full runs self-gate: exit 1
+// if fewer than 5000 idle connections are held, if idling grows the
+// thread count, or if the 4-worker fleet saturates below 2.5x the single
+// node.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "bench/util.hpp"
+#include "core/acr.hpp"
+#include "core/serialization.hpp"
+#include "fleet/router.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+using namespace acr;
+
+/// One in-process acrd worker with its own metrics registry.
+struct Worker {
+  util::MetricsRegistry metrics;
+  service::RepairService repair_service;
+  service::TcpServer server;
+  std::thread serve_thread;
+
+  explicit Worker(service::ServiceOptions options)
+      : repair_service([&] {
+          options.metrics = &metrics;
+          return options;
+        }()),
+        server(repair_service, {}),
+        serve_thread([this] { server.serve(); }) {}
+
+  ~Worker() {
+    server.stop();
+    serve_thread.join();
+    repair_service.drain();
+  }
+
+  [[nodiscard]] fleet::FleetNodeConfig node() const {
+    return fleet::FleetNodeConfig{"127.0.0.1", server.port()};
+  }
+};
+
+int threadCount() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::atoi(line.c_str() + 8);
+    }
+  }
+  return -1;
+}
+
+double ms(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+double percentile(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[rank];
+}
+
+// ---------------------------------------------------------------- idle --
+
+struct IdleResult {
+  int target = 0;
+  int opened = 0;
+  std::int64_t gauge = 0;
+  int threads_before = 0;
+  int threads_after = 0;
+  double stats_ms = 0;  // responsiveness probe while fully loaded
+};
+
+IdleResult runIdle(int target) {
+  IdleResult result;
+  result.target = target;
+  service::ServiceOptions options;
+  Worker worker(options);
+  result.threads_before = threadCount();
+
+  std::vector<int> fds;
+  fds.reserve(static_cast<std::size_t>(target));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(worker.server.port()));
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  for (int i = 0; i < target; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) break;
+    int attempts = 0;
+    while (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                     sizeof(address)) != 0 &&
+           ++attempts < 50) {
+      // Transient refusals while the accept loop drains its backlog.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (attempts >= 50) {
+      ::close(fd);
+      break;
+    }
+    fds.push_back(fd);
+  }
+  result.opened = static_cast<int>(fds.size());
+
+  // Let the event loop finish accepting, then read its own census.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    result.gauge = worker.metrics.gauge("service.connections.open").value();
+    if (result.gauge >= result.opened) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  result.threads_after = threadCount();
+
+  // The loaded server must still answer a fresh connection promptly.
+  {
+    service::Client client("127.0.0.1", worker.server.port());
+    service::Json request;
+    request.set("op", "stats");
+    const auto before = std::chrono::steady_clock::now();
+    const service::Json response = client.call(request);
+    result.stats_ms = ms(std::chrono::steady_clock::now() - before);
+    if (const service::Json* ok = response.find("ok");
+        ok == nullptr || !ok->asBool()) {
+      std::fprintf(stderr, "stats under load failed: %s\n",
+                   response.str().c_str());
+      std::exit(1);
+    }
+  }
+
+  for (const int fd : fds) ::close(fd);
+  return result;
+}
+
+// ---------------------------------------------------------- saturation --
+
+std::uint64_t directoryBytes(const std::string& dir) {
+  std::uint64_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+struct SweepResult {
+  int nodes = 0;
+  int requests = 0;
+  double elapsed_s = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double hit_rate = 0;
+  /// node name -> (requests served, p99 ms) — the per-node tail.
+  std::map<std::string, std::pair<int, double>> per_node;
+
+  [[nodiscard]] double throughput() const {
+    return elapsed_s > 0 ? requests / elapsed_s : 0;
+  }
+};
+
+SweepResult runSweep(const std::vector<std::string>& dirs, int node_count,
+                     int clients, int requests,
+                     std::uint64_t per_node_budget) {
+  service::ServiceOptions options;
+  options.cache.byte_budget = per_node_budget;
+  options.scheduler.queue_limit = 4 * requests;
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<fleet::FleetNodeConfig> nodes;
+  for (int i = 0; i < node_count; ++i) {
+    workers.push_back(std::make_unique<Worker>(options));
+    nodes.push_back(workers.back()->node());
+  }
+
+  const auto makeRequest = [](const std::string& dir) {
+    service::Json request;
+    request.set("op", "submit");
+    request.set("dir", dir);
+    request.set("command", "verify");
+    request.set("wait", true);
+    return request;
+  };
+
+  // Warmup pass: learn each dir's shard owner and prime the caches (the
+  // single-node configuration thrashes regardless — that is the point).
+  std::vector<std::string> owner_of(dirs.size());
+  {
+    fleet::FleetRouter router(nodes);
+    for (std::size_t i = 0; i < dirs.size(); ++i) {
+      owner_of[i] = router.nodeFor(dirs[i]);
+      const service::Json response = router.submit(makeRequest(dirs[i]));
+      const service::Json* ok = response.find("ok");
+      if (ok == nullptr || !ok->asBool()) {
+        std::fprintf(stderr, "warmup submit failed: %s\n",
+                     response.str().c_str());
+        std::exit(1);
+      }
+    }
+  }
+
+  // Measured phase: each client thread drives its own router (routers
+  // share nothing; the ring maps every thread's requests identically),
+  // cycling the dirs from a staggered start so threads do not convoy.
+  std::vector<std::vector<std::pair<std::size_t, double>>> samples(
+      static_cast<std::size_t>(clients));
+  std::atomic<int> remaining{requests};
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        fleet::FleetRouter router(nodes);
+        std::size_t at = dirs.size() * static_cast<std::size_t>(c) /
+                         static_cast<std::size_t>(clients);
+        while (remaining.fetch_sub(1) > 0) {
+          const std::size_t dir_index = at++ % dirs.size();
+          const auto before = std::chrono::steady_clock::now();
+          const service::Json response =
+              router.submit(makeRequest(dirs[dir_index]));
+          const double latency_ms =
+              ms(std::chrono::steady_clock::now() - before);
+          const service::Json* ok = response.find("ok");
+          if (ok == nullptr || !ok->asBool()) {
+            std::fprintf(stderr, "submit failed: %s\n",
+                         response.str().c_str());
+            std::exit(1);
+          }
+          samples[static_cast<std::size_t>(c)].emplace_back(dir_index,
+                                                            latency_ms);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  SweepResult result;
+  result.nodes = node_count;
+  result.elapsed_s = std::chrono::duration<double>(end - start).count();
+  std::vector<double> all;
+  std::map<std::string, std::vector<double>> by_node;
+  for (const auto& per_client : samples) {
+    for (const auto& [dir_index, latency_ms] : per_client) {
+      all.push_back(latency_ms);
+      by_node[owner_of[dir_index]].push_back(latency_ms);
+    }
+  }
+  result.requests = static_cast<int>(all.size());
+  std::sort(all.begin(), all.end());
+  result.p50_ms = percentile(all, 0.50);
+  result.p99_ms = percentile(all, 0.99);
+  for (auto& [node, latencies] : by_node) {
+    std::sort(latencies.begin(), latencies.end());
+    result.per_node[node] = {static_cast<int>(latencies.size()),
+                             percentile(latencies, 0.99)};
+  }
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const auto& worker : workers) {
+    const service::SnapshotCache::Stats stats =
+        worker->repair_service.cache().stats();
+    hits += stats.hits;
+    misses += stats.misses;
+  }
+  result.hit_rate = hits + misses == 0
+                        ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(hits + misses);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int requests = 96;
+  int idle_target = 5000;
+  int clients = 4;
+  bool smoke = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--idle") == 0 && i + 1 < argc) {
+      idle_target = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fleet [--requests N] [--idle N] "
+                   "[--clients N] [--smoke] [--json]\n");
+      return 2;
+    }
+  }
+  if (smoke) {
+    idle_target = std::min(idle_target, 256);
+    requests = std::min(requests, 24);
+    clients = std::min(clients, 2);
+  }
+
+  // Distinct backbone scenarios: distinct fingerprints, hence distinct
+  // cache entries and distinct ring positions.
+  const int scenario_count = smoke ? 6 : 16;
+  const int backbone_base = smoke ? 6 : 8;
+  const std::filesystem::path scratch =
+      std::filesystem::temp_directory_path() /
+      ("acr_bench_fleet_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(scratch);
+  std::vector<std::string> dirs;
+  std::uint64_t total_bytes = 0;
+  for (int i = 0; i < scenario_count; ++i) {
+    const int n = backbone_base + i;
+    const std::string dir = (scratch / ("bb" + std::to_string(n))).string();
+    saveScenario(backboneScenario(n), dir);
+    dirs.push_back(dir);
+    total_bytes += directoryBytes(dir);
+  }
+  // The design point: one node's cache cannot hold the working set (LRU
+  // cycles, every request misses) but a 4-node fleet's shards fit.
+  const std::uint64_t per_node_budget =
+      total_bytes * 6 / 10;
+
+  if (!json) {
+    bench::section("idle connections: epoll event loop holding " +
+                   std::to_string(idle_target) + " idle clients");
+  }
+  const IdleResult idle = runIdle(idle_target);
+  if (!json) {
+    bench::Table table({"target", "held", "gauge", "threads before",
+                        "threads after", "stats p. load ms"});
+    table.printHeader();
+    table.printRow({std::to_string(idle.target), std::to_string(idle.opened),
+                    std::to_string(idle.gauge),
+                    std::to_string(idle.threads_before),
+                    std::to_string(idle.threads_after),
+                    bench::fmt(idle.stats_ms, 3)});
+    table.printRule();
+  }
+
+  if (!json) {
+    bench::section(
+        "fleet saturation: " + std::to_string(scenario_count) +
+        " backbone scenarios, per-node cache budget = 60% of working set (" +
+        std::to_string(per_node_budget / 1024) + " KiB), " +
+        std::to_string(clients) + " clients, " + std::to_string(requests) +
+        " requests per fleet size");
+  }
+  std::vector<SweepResult> sweeps;
+  for (const int node_count : {1, 2, 4}) {
+    sweeps.push_back(
+        runSweep(dirs, node_count, clients, requests, per_node_budget));
+  }
+  if (!json) {
+    bench::Table table({"nodes", "req/s", "p50 ms", "p99 ms",
+                        "cache hit rate", "per-node p99 ms"});
+    table.printHeader();
+    for (const SweepResult& sweep : sweeps) {
+      std::string per_node;
+      for (const auto& [node, stats] : sweep.per_node) {
+        if (!per_node.empty()) per_node += " ";
+        per_node += bench::fmt(stats.second, 1);
+      }
+      table.printRow({std::to_string(sweep.nodes),
+                      bench::fmt(sweep.throughput(), 1),
+                      bench::fmt(sweep.p50_ms, 3), bench::fmt(sweep.p99_ms, 3),
+                      bench::pct(sweep.hit_rate), per_node});
+    }
+    table.printRule();
+  }
+
+  const double speedup =
+      sweeps.front().throughput() > 0
+          ? sweeps.back().throughput() / sweeps.front().throughput()
+          : 0;
+  if (!json) {
+    std::printf("\n4-node speedup over single node: %.2fx\n", speedup);
+  }
+
+  if (json) {
+    std::puts("{");
+    std::printf("  \"idle\": {\"target\": %d, \"held\": %d, \"gauge\": %lld, "
+                "\"threads_before\": %d, \"threads_after\": %d, "
+                "\"stats_under_load_ms\": %.3f},\n",
+                idle.target, idle.opened,
+                static_cast<long long>(idle.gauge), idle.threads_before,
+                idle.threads_after, idle.stats_ms);
+    std::printf("  \"scenarios\": %d, \"working_set_bytes\": %llu, "
+                "\"per_node_cache_budget_bytes\": %llu, \"clients\": %d,\n",
+                scenario_count,
+                static_cast<unsigned long long>(total_bytes),
+                static_cast<unsigned long long>(per_node_budget), clients);
+    std::puts("  \"saturation\": [");
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+      const SweepResult& sweep = sweeps[i];
+      std::string per_node;
+      for (const auto& [node, stats] : sweep.per_node) {
+        if (!per_node.empty()) per_node += ", ";
+        char buffer[128];
+        std::snprintf(buffer, sizeof(buffer),
+                      "{\"requests\": %d, \"p99_ms\": %.3f}", stats.first,
+                      stats.second);
+        per_node += buffer;
+      }
+      std::printf("    {\"nodes\": %d, \"requests\": %d, "
+                  "\"throughput_rps\": %.1f, \"p50_ms\": %.3f, "
+                  "\"p99_ms\": %.3f, \"cache_hit_rate\": %.3f, "
+                  "\"per_node\": [%s]}%s\n",
+                  sweep.nodes, sweep.requests, sweep.throughput(),
+                  sweep.p50_ms, sweep.p99_ms, sweep.hit_rate,
+                  per_node.c_str(), i + 1 < sweeps.size() ? "," : "");
+    }
+    std::puts("  ],");
+    std::printf("  \"speedup_4x\": %.2f\n", speedup);
+    std::puts("}");
+  }
+
+  std::filesystem::remove_all(scratch);
+
+  if (!smoke) {
+    bool failed = false;
+    if (idle.opened < idle_target || idle.gauge < idle.opened) {
+      std::fprintf(stderr,
+                   "GATE: held %d/%d idle connections (gauge %lld)\n",
+                   idle.opened, idle_target,
+                   static_cast<long long>(idle.gauge));
+      failed = true;
+    }
+    if (idle.threads_after > idle.threads_before) {
+      std::fprintf(stderr, "GATE: idle connections grew threads %d -> %d\n",
+                   idle.threads_before, idle.threads_after);
+      failed = true;
+    }
+    if (speedup < 2.5) {
+      std::fprintf(stderr, "GATE: 4-node speedup %.2fx < 2.5x\n", speedup);
+      failed = true;
+    }
+    if (failed) return 1;
+  }
+  return 0;
+}

@@ -7,7 +7,10 @@ Checks:
   * every intra-repo markdown link (in *.md at the repo root and under
     docs/) resolves to an existing file — links rot silently otherwise;
   * every benchmark binary declared in bench/CMakeLists.txt has a row in
-    docs/benchmarks.md — a bench without documentation is invisible.
+    docs/benchmarks.md — a bench without documentation is invisible;
+  * every committed BENCH_*.json artifact at the repo root is referenced
+    in docs/performance.md — an artifact nobody can interpret is dead
+    weight, and the gates table is where its meaning lives.
 
 External links (http/https/mailto) and pure in-page anchors are skipped.
 Exits 0 when everything resolves, 1 otherwise. Stdlib only: CI containers
@@ -74,15 +77,29 @@ def check_bench_coverage(root):
     return errors
 
 
+def check_artifact_coverage(root):
+    errors = []
+    performance_md = os.path.join(root, "docs", "performance.md")
+    with open(performance_md, "r", encoding="utf-8") as handle:
+        documented = handle.read()
+    for entry in sorted(os.listdir(root)):
+        if entry.startswith("BENCH_") and entry.endswith(".json"):
+            if entry not in documented:
+                errors.append("%s is not referenced in docs/performance.md"
+                              % entry)
+    return errors
+
+
 def main(argv):
     root = os.path.abspath(argv[1]) if len(argv) > 1 else os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
-    errors = check_links(root) + check_bench_coverage(root)
+    errors = (check_links(root) + check_bench_coverage(root)
+              + check_artifact_coverage(root))
     for error in errors:
         sys.stderr.write("check_docs: %s\n" % error)
     if not errors:
-        print("check_docs: OK (%d markdown files, links + bench coverage)"
-              % len(markdown_files(root)))
+        print("check_docs: OK (%d markdown files, links + bench + "
+              "artifact coverage)" % len(markdown_files(root)))
     return 1 if errors else 0
 
 

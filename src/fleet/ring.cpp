@@ -1,0 +1,84 @@
+#include "fleet/ring.hpp"
+
+#include <stdexcept>
+
+namespace acr::fleet {
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char byte : bytes) {
+    hash ^= static_cast<unsigned char>(byte);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+namespace {
+
+/// splitmix64 finalizer. FNV-1a of short, similar strings ("node:0#17")
+/// leaves the high bits — the ones lower_bound on the ring keys compares
+/// first — poorly mixed, which skews vnode placement badly enough that a
+/// 4-node ring can starve a node. One avalanche round fixes the spread.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+HashRing::HashRing(int vnodes) : vnodes_(vnodes < 1 ? 1 : vnodes) {}
+
+void HashRing::add(const std::string& node) {
+  if (!nodes_.insert(node).second) return;
+  for (int i = 0; i < vnodes_; ++i) {
+    // Collisions just drop one vnode of one node — harmless at 2^64.
+    ring_.emplace(mix(fnv1a(node + "#" + std::to_string(i))), node);
+  }
+}
+
+void HashRing::remove(const std::string& node) {
+  if (nodes_.erase(node) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == node ? ring_.erase(it) : std::next(it);
+  }
+}
+
+std::vector<std::string> HashRing::nodes() const {
+  return {nodes_.begin(), nodes_.end()};
+}
+
+const std::string& HashRing::route(std::uint64_t key) const {
+  if (ring_.empty()) throw std::runtime_error("hash ring is empty");
+  const auto it = ring_.lower_bound(key);
+  return it != ring_.end() ? it->second : ring_.begin()->second;
+}
+
+std::vector<std::string> HashRing::routeN(std::uint64_t key,
+                                          std::size_t count) const {
+  std::vector<std::string> owners;
+  if (ring_.empty() || count == 0) return owners;
+  if (count > nodes_.size()) count = nodes_.size();
+  auto it = ring_.lower_bound(key);
+  // One full lap visits every vnode, hence every node.
+  for (std::size_t step = 0; step < ring_.size() && owners.size() < count;
+       ++step) {
+    if (it == ring_.end()) it = ring_.begin();
+    const std::string& node = it->second;
+    bool seen = false;
+    for (const std::string& owner : owners) {
+      if (owner == node) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) owners.push_back(node);
+    ++it;
+  }
+  return owners;
+}
+
+}  // namespace acr::fleet

@@ -1,0 +1,60 @@
+// Consistent-hash ring over acrd worker nodes.
+//
+// The fleet router shards repair scenarios across workers by their content
+// fingerprint (core::fingerprintScenarioDir — the same FNV-1a key the
+// SnapshotCache uses). Consistent hashing is what makes that sharding
+// worth having: each node ends up owning a stable subset of the
+// fingerprint space, so its snapshot cache only ever holds *its* shard's
+// scenarios — N nodes give ~N× the effective cache capacity, and
+// adding/removing a node reassigns only ~1/N of the keys instead of
+// reshuffling everything.
+//
+// Classic construction: every node is hashed onto the ring at `vnodes`
+// pseudo-random points (FNV-1a of "name#i"); a key is owned by the first
+// vnode clockwise from the key's hash. More vnodes = smoother load split;
+// 64 keeps the worst node within a few percent of fair for small fleets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace acr::fleet {
+
+/// FNV-1a, the repo's standard content hash (matches the fingerprint and
+/// string-interning hashes elsewhere).
+[[nodiscard]] std::uint64_t fnv1a(const std::string& bytes);
+
+class HashRing {
+ public:
+  explicit HashRing(int vnodes = 64);
+
+  void add(const std::string& node);
+  void remove(const std::string& node);
+
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] std::vector<std::string> nodes() const;
+  [[nodiscard]] bool contains(const std::string& node) const {
+    return nodes_.count(node) != 0;
+  }
+
+  /// Owner of `key`: the first vnode at or clockwise after it. Throws
+  /// std::runtime_error on an empty ring.
+  [[nodiscard]] const std::string& route(std::uint64_t key) const;
+
+  /// The first `count` *distinct* nodes clockwise from `key` — the owner
+  /// first, then its successors (the reject-spill order). Returns fewer
+  /// when the ring has fewer nodes.
+  [[nodiscard]] std::vector<std::string> routeN(std::uint64_t key,
+                                               std::size_t count) const;
+
+ private:
+  int vnodes_;
+  std::map<std::uint64_t, std::string> ring_;  // vnode position → owner
+  std::set<std::string> nodes_;
+};
+
+}  // namespace acr::fleet

@@ -1,0 +1,402 @@
+#include "fleet/router.hpp"
+
+#include <stdexcept>
+
+#include "core/serialization.hpp"
+
+namespace acr::fleet {
+
+namespace {
+
+Json errorResponse(const std::string& message) {
+  Json response;
+  response.set("ok", false);
+  response.set("error", message);
+  return response;
+}
+
+bool isOk(const Json& response) {
+  const Json* ok = response.find("ok");
+  return ok != nullptr && ok->asBool();
+}
+
+bool isRejection(const Json& response) {
+  // A scheduler rejection carries the backpressure hint; anything else
+  // ({"ok":false} without it) is a request error spilling cannot fix.
+  return !isOk(response) && response.find("retry_after_ms") != nullptr;
+}
+
+}  // namespace
+
+FleetRouter::FleetRouter(const std::vector<FleetNodeConfig>& nodes,
+                         const FleetRouterOptions& options)
+    : options_(options),
+      metrics_(options.metrics != nullptr ? *options.metrics
+                                          : util::MetricsRegistry::global()),
+      ring_(options.vnodes) {
+  if (nodes.empty()) throw std::runtime_error("fleet needs at least one node");
+  for (const FleetNodeConfig& config : nodes) {
+    const std::string name = config.host + ":" + std::to_string(config.port);
+    if (!nodes_.emplace(name, Node{config, nullptr, 0, 0}).second) {
+      throw std::runtime_error("duplicate fleet node " + name);
+    }
+    ring_.add(name);
+  }
+  metrics_.gauge("fleet.route.nodes")
+      .set(static_cast<std::int64_t>(nodes_.size()));
+}
+
+FleetRouter::~FleetRouter() = default;
+
+std::vector<std::string> FleetRouter::nodes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& [name, node] : nodes_) names.push_back(name);
+  return names;
+}
+
+std::string FleetRouter::nodeFor(const std::string& dir) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fingerprints_.find(dir);
+  if (it == fingerprints_.end()) {
+    it = fingerprints_
+             .emplace(dir, acr::fingerprintScenarioDir(dir).hash)
+             .first;
+  }
+  return ring_.route(it->second);
+}
+
+Json FleetRouter::callLocked(Node& node, const Json& request) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (node.client == nullptr) {
+      node.client = std::make_unique<service::Client>(
+          node.config.host, node.config.port, options_.client);
+    }
+    try {
+      return node.client->call(request);
+    } catch (const std::exception&) {
+      // A dead cached connection (worker restarted) deserves one fresh
+      // connect; a node that is actually down fails that too and throws.
+      node.client.reset();
+      if (attempt == 1) throw;
+    }
+  }
+  throw std::runtime_error("unreachable");
+}
+
+Json FleetRouter::call(const std::string& node, const Json& request) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    throw std::runtime_error("unknown fleet node " + node);
+  }
+  return callLocked(it->second, request);
+}
+
+Json FleetRouter::routedSubmit(const Json& request, const std::string& dir) {
+  auto fingerprint = fingerprints_.find(dir);
+  if (fingerprint == fingerprints_.end()) {
+    fingerprint =
+        fingerprints_.emplace(dir, acr::fingerprintScenarioDir(dir).hash)
+            .first;
+  }
+  const std::vector<std::string> candidates =
+      ring_.routeN(fingerprint->second, 1 + options_.spill_candidates);
+  const Json* wait = request.find("wait");
+  const bool waits = wait != nullptr && wait->asBool();
+  Json last_response = errorResponse("no fleet node reachable");
+  bool all_down = true;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    Node& node = nodes_.at(candidates[i]);
+    Json response;
+    try {
+      response = callLocked(node, request);
+    } catch (const std::exception& error) {
+      last_response = errorResponse(error.what());
+      continue;
+    }
+    all_down = false;
+    if (isOk(response)) {
+      metrics_.counter("fleet.route.assigned").add(1);
+      if (i > 0) metrics_.counter("fleet.route.spills").add(1);
+      const Json* id = response.find("id");
+      const Json* status = response.find("status");
+      if (!waits && id != nullptr && status != nullptr &&
+          status->asString() == "queued") {
+        tracked_.push_back(TrackedJob{candidates[i], id->asUint(), request});
+      }
+      return response;
+    }
+    last_response = std::move(response);
+    if (!isRejection(last_response)) break;  // not backpressure: don't spill
+    metrics_.counter("fleet.route.rejected").add(1);
+  }
+  if (all_down) metrics_.counter("fleet.route.unreachable").add(1);
+  return last_response;
+}
+
+Json FleetRouter::submit(const Json& request) {
+  const Json* dir = request.find("dir");
+  if (dir == nullptr || dir->kind() != Json::Kind::kString) {
+    return errorResponse("submit requires a \"dir\" string");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return routedSubmit(request, dir->asString());
+}
+
+Json FleetRouter::submitBatch(const Json& request) {
+  const Json* items = request.find("items");
+  if (items == nullptr || items->kind() != Json::Kind::kArray ||
+      items->asArray().empty()) {
+    return errorResponse("submit_batch requires a non-empty \"items\" array");
+  }
+  const Json* default_dir = request.find("dir");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Shard the items by their (item-level, else top-level) scenario dir;
+  // order within a shard follows the original array, so reassembling by
+  // recorded index restores exactly the order one worker would emit.
+  std::map<std::string, std::vector<std::size_t>> shards;
+  for (std::size_t i = 0; i < items->asArray().size(); ++i) {
+    const Json& item = items->asArray()[i];
+    const Json* dir = item.isObject() ? item.find("dir") : nullptr;
+    if (dir == nullptr) dir = default_dir;
+    std::string owner;
+    if (dir != nullptr && dir->kind() == Json::Kind::kString) {
+      auto fingerprint = fingerprints_.find(dir->asString());
+      if (fingerprint == fingerprints_.end()) {
+        std::uint64_t hash = 0;
+        try {
+          hash = acr::fingerprintScenarioDir(dir->asString()).hash;
+        } catch (const std::exception&) {
+          hash = fnv1a(dir->asString());  // unreadable dir: stable fallback
+        }
+        fingerprint = fingerprints_.emplace(dir->asString(), hash).first;
+      }
+      owner = ring_.route(fingerprint->second);
+    } else {
+      // No resolvable dir: the worker will answer the item with its usual
+      // error; any stable owner will do.
+      owner = ring_.route(0);
+    }
+    shards[owner].push_back(i);
+  }
+  std::vector<Json> entries(items->asArray().size());
+  for (auto& [owner, indexes] : shards) {
+    Json shard_request;
+    for (const auto& [key, value] : request.asObject()) {
+      if (key != "items") shard_request.set(key, value);
+    }
+    Json::Array shard_items;
+    shard_items.reserve(indexes.size());
+    for (const std::size_t i : indexes) {
+      shard_items.push_back(items->asArray()[i]);
+    }
+    shard_request.set("items", Json(std::move(shard_items)));
+    Json response;
+    try {
+      response = callLocked(nodes_.at(owner), shard_request);
+    } catch (const std::exception& error) {
+      response = errorResponse(error.what());
+    }
+    const Json* jobs = response.find("jobs");
+    if (isOk(response) && jobs != nullptr &&
+        jobs->kind() == Json::Kind::kArray &&
+        jobs->asArray().size() == indexes.size()) {
+      metrics_.counter("fleet.route.assigned")
+          .add(static_cast<std::int64_t>(indexes.size()));
+      for (std::size_t j = 0; j < indexes.size(); ++j) {
+        entries[indexes[j]] = jobs->asArray()[j];
+      }
+    } else {
+      // Whole-shard failure (node down, malformed answer): every item of
+      // this shard reports it; other shards are unaffected.
+      const Json* error = response.find("error");
+      Json entry = errorResponse(error != nullptr &&
+                                         error->kind() == Json::Kind::kString
+                                     ? error->asString()
+                                     : "fleet node " + owner + " failed");
+      for (const std::size_t i : indexes) entries[i] = entry;
+    }
+  }
+  Json response;
+  response.set("ok", true);
+  response.set("jobs", Json(Json::Array(entries.begin(), entries.end())));
+  return response;
+}
+
+Json FleetRouter::statsLocked() {
+  Json per_node;
+  std::int64_t queue_depth = 0;
+  std::int64_t running = 0;
+  std::int64_t connections_open = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t overloaded = 0;
+  std::int64_t down = 0;
+  Json stats_request;
+  stats_request.set("op", "stats");
+  for (auto& [name, node] : nodes_) {
+    Json response;
+    try {
+      response = callLocked(node, stats_request);
+    } catch (const std::exception& error) {
+      response = errorResponse(error.what());
+    }
+    if (isOk(response)) {
+      const Json* depth = response.find("queue_depth");
+      node.queue_depth = depth != nullptr ? depth->asInt() : 0;
+      queue_depth += node.queue_depth;
+      const Json* node_running = response.find("running");
+      if (node_running != nullptr) running += node_running->asInt();
+      if (const Json* connections = response.find("connections")) {
+        if (const Json* open = connections->find("open")) {
+          connections_open += open->asInt();
+        }
+      }
+      if (const Json* cache = response.find("cache")) {
+        if (const Json* hits = cache->find("hits")) {
+          cache_hits += hits->asInt();
+        }
+        if (const Json* misses = cache->find("misses")) {
+          cache_misses += misses->asInt();
+        }
+      }
+      node.overload_streak =
+          node.queue_depth >= options_.overload_queue_depth
+              ? node.overload_streak + 1
+              : 0;
+    } else {
+      ++down;
+      node.queue_depth = 0;
+      node.overload_streak = 0;  // unreachable ≠ overloaded
+    }
+    if (node.overload_streak >= options_.overload_polls) ++overloaded;
+    per_node.set(name, std::move(response));
+  }
+  metrics_.gauge("fleet.route.overloaded").set(overloaded);
+  Json fleet;
+  fleet.set("nodes", static_cast<std::int64_t>(nodes_.size()));
+  fleet.set("nodes_down", down);
+  fleet.set("queue_depth", queue_depth);
+  fleet.set("running", running);
+  fleet.set("connections_open", connections_open);
+  fleet.set("cache_hits", cache_hits);
+  fleet.set("cache_misses", cache_misses);
+  fleet.set("overloaded", overloaded);
+  Json router;
+  router.set("assigned", metrics_.counter("fleet.route.assigned").value());
+  router.set("spills", metrics_.counter("fleet.route.spills").value());
+  router.set("rejected", metrics_.counter("fleet.route.rejected").value());
+  router.set("migrations",
+             metrics_.counter("fleet.route.migrations").value());
+  router.set("tracked_jobs", static_cast<std::int64_t>(tracked_.size()));
+  Json response;
+  response.set("ok", true);
+  response.set("nodes", std::move(per_node));
+  response.set("fleet", std::move(fleet));
+  response.set("router", std::move(router));
+  return response;
+}
+
+Json FleetRouter::stats() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return statsLocked();
+}
+
+int FleetRouter::rebalance() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  (void)statsLocked();  // refresh depths + overload streaks
+  // Prune tracked jobs that left the queue on their own (running or
+  // finished): stealing applies only to still-queued work.
+  std::vector<TrackedJob> queued;
+  for (TrackedJob& job : tracked_) {
+    Json status_request;
+    status_request.set("op", "status");
+    status_request.set("id", job.id);
+    Json response;
+    try {
+      response = callLocked(nodes_.at(job.node), status_request);
+    } catch (const std::exception&) {
+      continue;  // node gone; its queue is gone with it
+    }
+    const Json* status = response.find("status");
+    if (isOk(response) && status != nullptr &&
+        status->asString() == "queued") {
+      queued.push_back(std::move(job));
+    }
+  }
+  tracked_ = std::move(queued);
+  int migrated = 0;
+  std::vector<TrackedJob> still_tracked;
+  for (TrackedJob& job : tracked_) {
+    Node& source = nodes_.at(job.node);
+    if (source.overload_streak < options_.overload_polls) {
+      still_tracked.push_back(std::move(job));
+      continue;
+    }
+    // Shallowest healthy target; bail if nobody is meaningfully better.
+    std::string target;
+    std::int64_t best_depth = 0;
+    for (const auto& [name, node] : nodes_) {
+      if (name == job.node) continue;
+      if (node.overload_streak >= options_.overload_polls) continue;
+      if (target.empty() || node.queue_depth < best_depth) {
+        target = name;
+        best_depth = node.queue_depth;
+      }
+    }
+    if (target.empty() || best_depth >= source.queue_depth) {
+      still_tracked.push_back(std::move(job));
+      continue;
+    }
+    Json cancel_request;
+    cancel_request.set("op", "cancel");
+    cancel_request.set("id", job.id);
+    cancel_request.set("if_queued", true);
+    Json cancelled;
+    try {
+      cancelled = callLocked(source, cancel_request);
+    } catch (const std::exception&) {
+      still_tracked.push_back(std::move(job));
+      continue;
+    }
+    if (!isOk(cancelled)) {
+      // Started or finished in the meantime — it is not queued work any
+      // more, so it simply leaves the tracking set.
+      continue;
+    }
+    Json resubmitted;
+    try {
+      resubmitted = callLocked(nodes_.at(target), job.request);
+    } catch (const std::exception&) {
+      resubmitted = errorResponse("resubmit failed");
+    }
+    const Json* id = resubmitted.find("id");
+    if (isOk(resubmitted) && id != nullptr) {
+      ++migrated;
+      --source.queue_depth;
+      ++nodes_.at(target).queue_depth;
+      metrics_.counter("fleet.route.migrations").add(1);
+      still_tracked.push_back(TrackedJob{target, id->asUint(), job.request});
+    } else {
+      // Cancelled at the source but refused at the target: put it back on
+      // its owner so the work is not lost (owner still queues, just deep).
+      Json requeued;
+      try {
+        requeued = callLocked(source, job.request);
+      } catch (const std::exception&) {
+        requeued = errorResponse("requeue failed");
+      }
+      const Json* requeued_id = requeued.find("id");
+      if (isOk(requeued) && requeued_id != nullptr) {
+        still_tracked.push_back(
+            TrackedJob{job.node, requeued_id->asUint(), job.request});
+      }
+    }
+  }
+  tracked_ = std::move(still_tracked);
+  return migrated;
+}
+
+}  // namespace acr::fleet

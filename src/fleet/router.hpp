@@ -1,0 +1,140 @@
+// FleetRouter: scenario-affinity routing, batched submit and queue
+// rebalancing across a fleet of acrd workers.
+//
+// Why affinity routing: a repair's dominant setup cost is loading and
+// priming the scenario snapshot, which is why acrd has a SnapshotCache.
+// One node's cache is bounded by its byte budget; a fleet multiplies that
+// budget only if the same scenario keeps landing on the same node. The
+// router therefore keys every submit by the scenario's content
+// fingerprint (core::fingerprintScenarioDir — the exact key the worker's
+// cache uses) and maps it through a consistent-hash ring (fleet/ring.hpp):
+// each worker serves a stable shard of the fingerprint space and its
+// cache stays hot for precisely that shard.
+//
+// Wire behaviour is passthrough by design: the router speaks the same
+// newline-JSON protocol to each worker that any client speaks, and it
+// returns worker responses verbatim — a submit routed through the fleet
+// is byte-identical to one sent to a single acrd (docs/service.md).
+//
+// Load handling, in escalation order:
+//   * reject spill — a worker answering {"ok":false,...,"retry_after_ms"}
+//     costs one round-trip; the router retries the submit on the next
+//     node(s) clockwise on the ring before surfacing the rejection.
+//   * work stealing — rebalance() polls `stats`; a node whose queue depth
+//     stays over the overload threshold for `overload_polls` consecutive
+//     polls gets its *queued* (never running) router-tracked jobs pulled
+//     back via `cancel` with "if_queued":true and resubmitted to the
+//     shallowest healthy node.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fleet/ring.hpp"
+#include "service/client.hpp"
+#include "service/json.hpp"
+#include "util/metrics.hpp"
+
+namespace acr::fleet {
+
+using service::Json;
+
+struct FleetNodeConfig {
+  std::string host;
+  int port = 0;
+};
+
+struct FleetRouterOptions {
+  int vnodes = 64;
+  /// Ring successors tried after the owner rejects (queue full/draining).
+  std::size_t spill_candidates = 2;
+  /// Per-node wire client settings; the defaults add a connect timeout so
+  /// one dead worker cannot hang the router.
+  service::ClientOptions client;
+  /// A stats poll counts a node as backpressured at this queue depth...
+  std::int64_t overload_queue_depth = 8;
+  /// ...and this many *consecutive* backpressured polls trigger stealing
+  /// (one hot poll is noise; sustained depth means the shard is unlucky).
+  int overload_polls = 2;
+  /// Registry for fleet.route.*; nullptr = the process-global registry.
+  util::MetricsRegistry* metrics = nullptr;
+};
+
+class FleetRouter {
+ public:
+  FleetRouter(const std::vector<FleetNodeConfig>& nodes,
+              const FleetRouterOptions& options = {});
+  ~FleetRouter();
+
+  FleetRouter(const FleetRouter&) = delete;
+  FleetRouter& operator=(const FleetRouter&) = delete;
+
+  [[nodiscard]] std::vector<std::string> nodes() const;
+
+  /// Ring owner for a scenario directory ("host:port"). Fingerprints are
+  /// cached per directory: routing stability is the point, and the first
+  /// submit pays the directory read.
+  [[nodiscard]] std::string nodeFor(const std::string& dir);
+
+  /// One wire request to one node by name, reconnecting if its cached
+  /// connection died. Throws std::runtime_error on unknown node or
+  /// connection failure.
+  [[nodiscard]] Json call(const std::string& node, const Json& request);
+
+  /// Routes a `submit` by its "dir" to the shard owner; on rejection
+  /// spills to up to spill_candidates ring successors. The returned
+  /// response is the worker's, verbatim. Accepted non-wait jobs are
+  /// tracked for rebalance().
+  [[nodiscard]] Json submit(const Json& request);
+
+  /// Routes a `submit_batch` by splitting its items across shard owners
+  /// (one submit_batch per involved node, top-level defaults copied) and
+  /// reassembling per-item entries in the original item order:
+  /// {"ok":true,"jobs":[...]} exactly as a single worker would answer.
+  [[nodiscard]] Json submitBatch(const Json& request);
+
+  /// Polls `stats` on every node. Returns {"ok":true,"nodes":{name:...},
+  /// "fleet":{queue_depth,running,...},"router":{...}} and feeds the
+  /// overload detector (one call = one poll).
+  [[nodiscard]] Json stats();
+
+  /// One round of work stealing: migrates router-tracked queued jobs off
+  /// nodes whose backpressure streak reached overload_polls. Polls stats
+  /// itself. Returns the number of jobs migrated.
+  int rebalance();
+
+ private:
+  struct Node {
+    FleetNodeConfig config;
+    std::unique_ptr<service::Client> client;
+    std::int64_t queue_depth = 0;  // from the last stats poll
+    int overload_streak = 0;
+  };
+  /// A non-wait submit the router accepted somewhere: enough state to
+  /// steal it while it is still queued (the original request re-submits
+  /// verbatim elsewhere).
+  struct TrackedJob {
+    std::string node;
+    std::uint64_t id = 0;
+    Json request;
+  };
+
+  Json callLocked(Node& node, const Json& request);
+  Json statsLocked();
+  Json routedSubmit(const Json& request, const std::string& dir);
+
+  const FleetRouterOptions options_;
+  util::MetricsRegistry& metrics_;
+  mutable std::mutex mutex_;
+  HashRing ring_;
+  std::map<std::string, Node> nodes_;
+  std::unordered_map<std::string, std::uint64_t> fingerprints_;
+  std::vector<TrackedJob> tracked_;
+};
+
+}  // namespace acr::fleet

@@ -1,7 +1,9 @@
 #include "service/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -11,7 +13,8 @@
 
 namespace acr::service {
 
-Client::Client(const std::string& host, int port) {
+Client::Client(const std::string& host, int port, const ClientOptions& options)
+    : options_(options) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
@@ -23,8 +26,32 @@ Client::Client(const std::string& host, int port) {
     ::close(fd_);
     throw std::runtime_error("bad address " + host);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
-                sizeof(address)) != 0) {
+  // Non-blocking connect so a dead or wedged node fails within
+  // connect_timeout_ms instead of the kernel's minutes-long default.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (options_.connect_timeout_ms > 0) {
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  }
+  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                     sizeof(address));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd waiter{fd_, POLLOUT, 0};
+    const int ready = ::poll(&waiter, 1, options_.connect_timeout_ms);
+    if (ready <= 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error(
+          "cannot connect to " + host + ":" + std::to_string(port) +
+          ": timed out after " + std::to_string(options_.connect_timeout_ms) +
+          "ms (is acrd running?)");
+    }
+    int error = 0;
+    socklen_t length = sizeof error;
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &error, &length);
+    rc = error == 0 ? 0 : -1;
+    errno = error;
+  }
+  if (rc != 0) {
     const std::string reason = std::strerror(errno);
     ::close(fd_);
     fd_ = -1;
@@ -32,6 +59,7 @@ Client::Client(const std::string& host, int port) {
                              std::to_string(port) + ": " + reason +
                              " (is acrd running?)");
   }
+  if (options_.connect_timeout_ms > 0) ::fcntl(fd_, F_SETFL, flags);
 }
 
 Client::~Client() {
@@ -55,6 +83,19 @@ Json Client::call(const Json& request) {
       std::optional<Json> parsed = Json::parse(response);
       if (!parsed) throw std::runtime_error("malformed response: " + response);
       return std::move(*parsed);
+    }
+    if (options_.io_timeout_ms > 0) {
+      pollfd waiter{fd_, POLLIN, 0};
+      const int ready = ::poll(&waiter, 1, options_.io_timeout_ms);
+      if (ready == 0) {
+        throw std::runtime_error("acrd response timed out after " +
+                                 std::to_string(options_.io_timeout_ms) +
+                                 "ms");
+      }
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("poll: ") + std::strerror(errno));
+      }
     }
     char chunk[4096];
     const ssize_t received = ::recv(fd_, chunk, sizeof(chunk), 0);

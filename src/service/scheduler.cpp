@@ -91,6 +91,7 @@ void JobScheduler::runOne() {
                             ? "cancelled"
                             : "done");
   }
+  std::vector<std::function<void()>> callbacks;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     job->result = std::move(result);
@@ -103,8 +104,28 @@ void JobScheduler::runOne() {
     } else {
       metrics_.counter("service.jobs_completed").add(1);
     }
+    callbacks = std::move(job->on_finished);
+    job->on_finished.clear();
   }
   finished_.notify_all();
+  for (const auto& callback : callbacks) callback();
+}
+
+bool JobScheduler::onFinished(std::uint64_t id,
+                              std::function<void()> callback) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    const std::shared_ptr<Job>& job = it->second;
+    if (job->status == JobStatus::kQueued ||
+        job->status == JobStatus::kRunning) {
+      job->on_finished.push_back(std::move(callback));
+      return true;
+    }
+  }
+  callback();  // already finished: fire in the caller's thread, no lock held
+  return true;
 }
 
 std::optional<JobStatus> JobScheduler::status(std::uint64_t id) const {
@@ -137,8 +158,9 @@ std::optional<JobResult> JobScheduler::result(std::uint64_t id, bool wait) {
   return job->result;
 }
 
-bool JobScheduler::cancel(std::uint64_t id) {
+bool JobScheduler::cancel(std::uint64_t id, bool only_if_queued) {
   std::shared_ptr<Job> job;
+  std::vector<std::function<void()>> callbacks;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = jobs_.find(id);
@@ -158,9 +180,12 @@ bool JobScheduler::cancel(std::uint64_t id) {
         job->status = JobStatus::kCancelled;
         job->result = JobResult{1, "cancelled before start\n"};
         metrics_.counter("service.jobs_cancelled").add(1);
+        callbacks = std::move(job->on_finished);
+        job->on_finished.clear();
         break;
       }
       case JobStatus::kRunning:
+        if (only_if_queued) return false;  // migration must not kill it
         job->cancelled.store(true, std::memory_order_relaxed);
         break;
       case JobStatus::kDone:
@@ -169,6 +194,7 @@ bool JobScheduler::cancel(std::uint64_t id) {
     }
   }
   finished_.notify_all();
+  for (const auto& callback : callbacks) callback();
   return true;
 }
 

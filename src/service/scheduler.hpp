@@ -28,6 +28,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "obs/trace.hpp"
 #include "util/metrics.hpp"
@@ -88,10 +89,21 @@ class JobScheduler {
   /// nullopt: unknown id, or the job is not finished yet (wait == false).
   [[nodiscard]] std::optional<JobResult> result(std::uint64_t id, bool wait);
 
+  /// Parks a one-shot completion callback: invoked exactly once when the
+  /// job reaches kDone/kCancelled — immediately (in the caller's thread)
+  /// when it already has, else from whichever thread finishes the job.
+  /// This is how the event-loop server waits without a blocked thread:
+  /// `submit wait:true` parks a callback here instead of a connection
+  /// thread in result(). False: unknown id (callback not invoked).
+  bool onFinished(std::uint64_t id, std::function<void()> callback);
+
   /// Queued job: removed from the queue, never runs, status kCancelled.
   /// Running job: raises its flag (the job decides when to stop; its status
   /// becomes kCancelled when it returns). False: unknown or already done.
-  bool cancel(std::uint64_t id);
+  /// `only_if_queued` refuses to touch a running job (returns false and
+  /// leaves it alone) — the fleet router's work-stealing path migrates
+  /// queued jobs to another node and must never kill one mid-run.
+  bool cancel(std::uint64_t id, bool only_if_queued = false);
 
   /// Stops admitting and blocks until every queued + running job finished.
   /// Idempotent; submit() rejects with "draining" afterwards.
@@ -118,6 +130,9 @@ class JobScheduler {
     /// not necessarily the task its submit enqueued — the context must
     /// travel with the job, not the task).
     obs::TraceContext trace;
+    /// Parked onFinished callbacks, fired (outside the lock) by whichever
+    /// thread moves the job to kDone/kCancelled.
+    std::vector<std::function<void()>> on_finished;
   };
 
   void runOne();

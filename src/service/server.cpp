@@ -1,18 +1,13 @@
 #include "service/server.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <utility>
 
 #include "core/ops.hpp"
 #include "localize/sbfl.hpp"
 #include "obs/trace.hpp"
+#include "service/event_loop.hpp"
 
 namespace acr::service {
 
@@ -46,17 +41,11 @@ RepairService::RepairService(const ServiceOptions& options)
       cache_(withMetrics(options.cache, &metrics_)),
       scheduler_(withMetrics(options.scheduler, &metrics_)) {}
 
-Json RepairService::handle(const Json& request) {
-  metrics_.counter("service.requests").add(1);
-  const util::ScopedTimer timer(metrics_.histogram("service.request_ms"));
-  if (!request.isObject()) return errorResponse("request must be an object");
-  const Json* op = request.find("op");
-  if (op == nullptr) return errorResponse("missing \"op\"");
-  const std::string& verb = op->asString();
-  obs::Span span("service.request");
-  span.attr("op", verb);
+Json RepairService::dispatch(const Json& request) {
+  const std::string& verb = request.find("op")->asString();
   try {
     if (verb == "submit") return handleSubmit(request);
+    if (verb == "submit_batch") return handleSubmitBatch(request);
     if (verb == "status") return handleStatus(request);
     if (verb == "result") return handleResult(request);
     if (verb == "cancel") return handleCancel(request);
@@ -74,24 +63,162 @@ Json RepairService::handle(const Json& request) {
   return errorResponse("unknown op \"" + verb + "\"");
 }
 
+Json RepairService::handle(const Json& request) {
+  metrics_.counter("service.requests").add(1);
+  const util::ScopedTimer timer(metrics_.histogram("service.request_ms"));
+  if (!request.isObject()) return errorResponse("request must be an object");
+  const Json* op = request.find("op");
+  if (op == nullptr) return errorResponse("missing \"op\"");
+  obs::Span span("service.request");
+  span.attr("op", op->asString());
+  return dispatch(request);
+}
+
 std::string RepairService::handleLine(const std::string& line) {
   const std::optional<Json> request = Json::parse(line);
   if (!request) return errorResponse("malformed JSON").str();
   return handle(*request).str();
 }
 
-Json RepairService::handleSubmit(const Json& request) {
+void RepairService::handleAsync(const Json& request,
+                                std::function<void(Json)> done) {
+  metrics_.counter("service.requests").add(1);
+  if (!request.isObject()) {
+    done(errorResponse("request must be an object"));
+    return;
+  }
+  const Json* op = request.find("op");
+  if (op == nullptr) {
+    done(errorResponse("missing \"op\""));
+    return;
+  }
+  const std::string& verb = op->asString();
+  const bool wait =
+      request.find("wait") != nullptr && request.find("wait")->asBool();
+  obs::Span span("service.request");
+  span.attr("op", verb);
+
+  // Only the waiting paths need special treatment: everything else
+  // answers before returning, through the very same handlers the
+  // synchronous surface uses.
+  try {
+    if (verb == "submit" && wait) {
+      const SubmitOutcome submitted = submitOne(request);
+      if (!submitted.accepted) {
+        done(submitted.response);
+        return;
+      }
+      const std::uint64_t id = submitted.id;
+      scheduler_.onFinished(
+          id, [this, id, done = std::move(done)] { done(resultResponse(id)); });
+      return;
+    }
+    if (verb == "submit_batch" && wait) {
+      const Json* items = request.find("items");
+      if (items == nullptr || items->kind() != Json::Kind::kArray ||
+          items->asArray().empty()) {
+        done(errorResponse("submit_batch requires a non-empty \"items\" array"));
+        return;
+      }
+      // Admit everything first (order fixed by the items array), then park
+      // one completion callback per accepted job; the last job to finish
+      // assembles and delivers the batch response.
+      struct BatchState {
+        std::vector<Json> entries;
+        std::atomic<std::size_t> remaining{0};
+        std::function<void(Json)> done;
+      };
+      auto state = std::make_shared<BatchState>();
+      state->entries.resize(items->asArray().size());
+      state->done = std::move(done);
+      std::vector<std::pair<std::size_t, std::uint64_t>> accepted;
+      for (std::size_t i = 0; i < items->asArray().size(); ++i) {
+        const std::optional<Json> merged =
+            mergeBatchItem(request, items->asArray()[i]);
+        if (!merged) {
+          state->entries[i] = errorResponse("batch item must be an object");
+          continue;
+        }
+        const SubmitOutcome submitted = submitOne(*merged);
+        if (!submitted.accepted) {
+          state->entries[i] = submitted.response;
+          continue;
+        }
+        accepted.emplace_back(i, submitted.id);
+      }
+      const auto assemble = [](BatchState& batch) {
+        Json response;
+        response.set("ok", true);
+        response.set("jobs", Json{Json::Array(batch.entries.begin(),
+                                              batch.entries.end())});
+        return response;
+      };
+      if (accepted.empty()) {
+        state->done(assemble(*state));
+        return;
+      }
+      state->remaining.store(accepted.size(), std::memory_order_relaxed);
+      for (const auto& [index, id] : accepted) {
+        scheduler_.onFinished(id, [this, state, assemble, index = index,
+                                   id = id] {
+          state->entries[index] = resultResponse(id);
+          if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            state->done(assemble(*state));
+          }
+        });
+      }
+      return;
+    }
+    if (verb == "result" && wait) {
+      const Json* id_field = request.find("id");
+      if (id_field == nullptr) {
+        done(errorResponse("result requires \"id\""));
+        return;
+      }
+      const std::uint64_t id = id_field->asUint();
+      if (!scheduler_.status(id)) {
+        done(errorResponse("unknown job id"));
+        return;
+      }
+      scheduler_.onFinished(
+          id, [this, id, done = std::move(done)] { done(resultResponse(id)); });
+      return;
+    }
+  } catch (const std::exception& error) {
+    done(errorResponse(error.what()));
+    return;
+  }
+
+  const util::ScopedTimer timer(metrics_.histogram("service.request_ms"));
+  done(dispatch(request));
+}
+
+void RepairService::handleLineAsync(const std::string& line,
+                                    std::function<void(std::string)> done) {
+  const std::optional<Json> request = Json::parse(line);
+  if (!request) {
+    done(errorResponse("malformed JSON").str());
+    return;
+  }
+  handleAsync(*request,
+              [done = std::move(done)](Json response) { done(response.str()); });
+}
+
+RepairService::SubmitOutcome RepairService::submitOne(const Json& request) {
+  SubmitOutcome outcome;
   const Json* dir_field = request.find("dir");
   if (dir_field == nullptr || dir_field->asString().empty()) {
-    return errorResponse("submit requires \"dir\"");
+    outcome.response = errorResponse("submit requires \"dir\"");
+    return outcome;
   }
   const std::string dir = dir_field->asString();
 
   std::string command = "repair";
   if (const Json* field = request.find("command")) command = field->asString();
   if (command != "repair" && command != "verify") {
-    return errorResponse("unknown command \"" + command +
-                         "\" (repair | verify)");
+    outcome.response = errorResponse("unknown command \"" + command +
+                                     "\" (repair | verify)");
+    return outcome;
   }
 
   repair::RepairOptions repair_options;  // CLI defaults: seed 1, tarantula
@@ -105,7 +232,9 @@ Json RepairService::handleSubmit(const Json& request) {
     const std::optional<sbfl::Metric> metric =
         sbfl::metricByName(field->asString());
     if (!metric) {
-      return errorResponse("unknown metric \"" + field->asString() + "\"");
+      outcome.response =
+          errorResponse("unknown metric \"" + field->asString() + "\"");
+      return outcome;
     }
     repair_options.metric = *metric;
   }
@@ -167,23 +296,103 @@ Json RepairService::handleSubmit(const Json& request) {
       });
 
   if (!submitted.accepted) {
-    Json response = errorResponse(submitted.reject_reason);
-    response.set("retry_after_ms", submitted.retry_after_ms);
-    return response;
+    outcome.response = errorResponse(submitted.reject_reason);
+    outcome.response.set("retry_after_ms", submitted.retry_after_ms);
+    return outcome;
   }
 
-  if (request.find("wait") != nullptr && request.find("wait")->asBool()) {
-    Json waited = request;
-    waited.set("id", submitted.id);
-    waited.set("wait", true);
-    return handleResult(waited);
+  outcome.accepted = true;
+  outcome.id = submitted.id;
+  outcome.response.set("ok", true);
+  outcome.response.set("id", submitted.id);
+  outcome.response.set("status", jobStatusName(JobStatus::kQueued));
+  if (wire_trace.trace_id != 0) {
+    outcome.response.set("trace", wire_trace.trace_id);
   }
+  return outcome;
+}
 
+Json RepairService::resultResponse(std::uint64_t id) {
   Json response;
   response.set("ok", true);
-  response.set("id", submitted.id);
-  response.set("status", jobStatusName(JobStatus::kQueued));
-  if (wire_trace.trace_id != 0) response.set("trace", wire_trace.trace_id);
+  response.set("id", id);
+  response.set("status", jobStatusName(*scheduler_.status(id)));
+  const std::optional<JobResult> result = scheduler_.result(id, /*wait=*/false);
+  response.set("exit", result->exit_code);
+  response.set("output", result->output);
+  if (const std::optional<obs::TraceContext> trace = scheduler_.trace(id)) {
+    if (trace->trace_id != 0) response.set("trace", trace->trace_id);
+  }
+  return response;
+}
+
+Json RepairService::handleSubmit(const Json& request) {
+  const SubmitOutcome submitted = submitOne(request);
+  if (!submitted.accepted) return submitted.response;
+  if (request.find("wait") != nullptr && request.find("wait")->asBool()) {
+    (void)scheduler_.result(submitted.id, /*wait=*/true);
+    return resultResponse(submitted.id);
+  }
+  return submitted.response;
+}
+
+std::optional<Json> RepairService::mergeBatchItem(const Json& request,
+                                                  const Json& item) {
+  if (!item.isObject()) return std::nullopt;
+  // Top-level fields are the batch's shared defaults; the item overrides
+  // field by field. `op`/`items`/`wait` never merge — an item is always a
+  // plain non-waiting submit.
+  Json merged;
+  merged.set("op", "submit");
+  for (const char* key :
+       {"dir", "command", "seed", "metric", "jobs", "priority", "report",
+        "trace", "parent"}) {
+    if (const Json* field = request.find(key)) merged.set(key, *field);
+  }
+  for (const auto& [key, value] : item.asObject()) {
+    if (key == "op" || key == "items" || key == "wait") continue;
+    merged.set(key, value);
+  }
+  return merged;
+}
+
+Json RepairService::handleSubmitBatch(const Json& request) {
+  const Json* items = request.find("items");
+  if (items == nullptr || items->kind() != Json::Kind::kArray ||
+      items->asArray().empty()) {
+    return errorResponse("submit_batch requires a non-empty \"items\" array");
+  }
+  const bool wait =
+      request.find("wait") != nullptr && request.find("wait")->asBool();
+  // Admit every item before waiting on any: one round-trip admits the
+  // whole batch, and rejected items surface their own backpressure entry
+  // while the accepted ones still run.
+  std::vector<Json> entries(items->asArray().size());
+  std::vector<std::pair<std::size_t, std::uint64_t>> accepted;
+  for (std::size_t i = 0; i < items->asArray().size(); ++i) {
+    const std::optional<Json> merged =
+        mergeBatchItem(request, items->asArray()[i]);
+    if (!merged) {
+      entries[i] = errorResponse("batch item must be an object");
+      continue;
+    }
+    const SubmitOutcome submitted = submitOne(*merged);
+    if (!submitted.accepted) {
+      entries[i] = submitted.response;
+      continue;
+    }
+    accepted.emplace_back(i, submitted.id);
+    entries[i] = submitted.response;
+  }
+  if (wait) {
+    for (const auto& [index, id] : accepted) {
+      (void)scheduler_.result(id, /*wait=*/true);
+      entries[index] = resultResponse(id);
+    }
+  }
+  Json response;
+  response.set("ok", true);
+  response.set("jobs", Json{Json::Array(entries.begin(), entries.end())});
   return response;
 }
 
@@ -214,24 +423,26 @@ Json RepairService::handleResult(const Json& request) {
     response.set("status", jobStatusName(*scheduler_.status(id)));
     return response;
   }
-  Json response;
-  response.set("ok", true);
-  response.set("id", id);
-  response.set("status", jobStatusName(*scheduler_.status(id)));
-  response.set("exit", result->exit_code);
-  response.set("output", result->output);
-  if (const std::optional<obs::TraceContext> trace = scheduler_.trace(id)) {
-    if (trace->trace_id != 0) response.set("trace", trace->trace_id);
-  }
-  return response;
+  return resultResponse(id);
 }
 
 Json RepairService::handleCancel(const Json& request) {
   const Json* id_field = request.find("id");
   if (id_field == nullptr) return errorResponse("cancel requires \"id\"");
   const std::uint64_t id = id_field->asUint();
-  if (!scheduler_.status(id)) return errorResponse("unknown job id");
-  if (!scheduler_.cancel(id)) return errorResponse("already finished");
+  const std::optional<JobStatus> status = scheduler_.status(id);
+  if (!status) return errorResponse("unknown job id");
+  // "if_queued": only dequeue a job that has not started — the fleet
+  // router's rebalance path migrates queued work and must never kill a
+  // running job. Plain cancel keeps its raise-the-flag semantics.
+  const bool if_queued = request.find("if_queued") != nullptr &&
+                         request.find("if_queued")->asBool();
+  if (!scheduler_.cancel(id, if_queued)) {
+    if (if_queued && scheduler_.status(id) == JobStatus::kRunning) {
+      return errorResponse("already running");
+    }
+    return errorResponse("already finished");
+  }
   Json response;
   response.set("ok", true);
   response.set("id", id);
@@ -254,6 +465,15 @@ Json RepairService::handleStats() {
   response.set("queue_by_priority", std::move(by_priority));
   response.set("running", scheduler_.runningCount());
   response.set("workers", scheduler_.workerCount());
+  // Connection-level gauges, written by the event-loop front end (zero
+  // for an embedded service with no TCP listener).
+  Json connections;
+  connections.set("open", metrics_.gauge("service.connections.open").value());
+  connections.set("accepted",
+                  metrics_.counter("service.connections.accepted").value());
+  connections.set("dropped",
+                  metrics_.counter("service.connections.dropped").value());
+  response.set("connections", std::move(connections));
   const SnapshotCache::Stats cache = cache_.stats();
   Json cache_json;
   cache_json.set("enabled", options_.cache_enabled);
@@ -275,110 +495,25 @@ Json RepairService::handleStats() {
 void RepairService::drain() { scheduler_.drain(); }
 
 // ---------------------------------------------------------------------------
-// TCP front end
+// TCP front end — a thin veneer over the epoll event loop
 // ---------------------------------------------------------------------------
 
-TcpServer::TcpServer(RepairService& service, const TcpServerOptions& options)
-    : service_(service), options_(options) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in address{};
-  address.sin_family = AF_INET;
-  address.sin_port = htons(static_cast<std::uint16_t>(options.port));
-  if (::inet_pton(AF_INET, options.host.c_str(), &address.sin_addr) != 1) {
-    ::close(listen_fd_);
-    throw std::runtime_error("bad listen address " + options.host);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
-             sizeof(address)) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
-    const std::string reason = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("cannot listen on " + options.host + ":" +
-                             std::to_string(options.port) + ": " + reason);
-  }
-  sockaddr_in bound{};
-  socklen_t bound_size = sizeof(bound);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_size);
-  port_ = static_cast<int>(ntohs(bound.sin_port));
+TcpServer::TcpServer(RepairService& service, const TcpServerOptions& options) {
+  EventLoopOptions loop_options;
+  loop_options.host = options.host;
+  loop_options.port = options.port;
+  loop_options.stop = options.stop;
+  loop_options.max_line_bytes = options.max_line_bytes;
+  loop_options.metrics = &service.metrics();
+  loop_ = std::make_unique<EventLoop>(service, loop_options);
 }
 
-TcpServer::~TcpServer() {
-  stop();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  const std::lock_guard<std::mutex> lock(threads_mutex_);
-  for (auto& thread : threads_) {
-    if (thread.joinable()) thread.join();
-  }
-}
+TcpServer::~TcpServer() = default;
 
-void TcpServer::stop() { stopping_.store(true, std::memory_order_relaxed); }
+int TcpServer::port() const { return loop_->port(); }
 
-void TcpServer::serve() {
-  while (!stopping_.load(std::memory_order_relaxed) &&
-         !service_.shutdownRequested() &&
-         (options_.stop == nullptr ||
-          !options_.stop->load(std::memory_order_relaxed))) {
-    pollfd poller{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&poller, 1, /*timeout_ms=*/200);
-    if (ready < 0) {
-      if (errno == EINTR) continue;  // a signal: re-check the stop flags
-      break;
-    }
-    if (ready == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    const std::lock_guard<std::mutex> lock(threads_mutex_);
-    threads_.emplace_back([this, fd] { handleConnection(fd); });
-  }
-  stopping_.store(true, std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(threads_mutex_);
-  for (auto& thread : threads_) {
-    if (thread.joinable()) thread.join();
-  }
-  threads_.clear();
-}
+void TcpServer::serve() { loop_->serve(); }
 
-void TcpServer::handleConnection(int fd) {
-  // Receive timeout so the thread notices stop() even on an idle
-  // connection; in-flight requests always get their response first.
-  timeval timeout{0, 200 * 1000};
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-  std::string buffer;
-  char chunk[4096];
-  for (;;) {
-    const ssize_t received = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (received == 0) break;  // client closed
-    if (received < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
-        if (stopping_.load(std::memory_order_relaxed)) break;
-        continue;
-      }
-      break;
-    }
-    buffer.append(chunk, static_cast<std::size_t>(received));
-    std::size_t newline;
-    while ((newline = buffer.find('\n')) != std::string::npos) {
-      const std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (line.empty()) continue;
-      const std::string response = service_.handleLine(line) + '\n';
-      std::size_t sent = 0;
-      while (sent < response.size()) {
-        const ssize_t wrote =
-            ::send(fd, response.data() + sent, response.size() - sent,
-                   MSG_NOSIGNAL);
-        if (wrote <= 0) break;
-        sent += static_cast<std::size_t>(wrote);
-      }
-    }
-  }
-  ::close(fd);
-}
+void TcpServer::stop() { loop_->stop(); }
 
 }  // namespace acr::service

@@ -50,6 +50,13 @@ Counter& MetricsRegistry::counter(const std::string& name) {
   return *slot;
 }
 
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
 Histogram& MetricsRegistry::histogram(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = histograms_[name];
@@ -60,6 +67,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 void MetricsRegistry::reset() {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
   for (auto& [name, histogram] : histograms_) histogram->reset();
 }
 
@@ -70,6 +78,9 @@ std::string MetricsRegistry::renderTable() const {
   for (const auto& [name, counter] : counters_) {
     width = std::max(width, name.size());
   }
+  for (const auto& [name, gauge] : gauges_) {
+    width = std::max(width, name.size());
+  }
   for (const auto& [name, histogram] : histograms_) {
     width = std::max(width, name.size());
   }
@@ -78,6 +89,13 @@ std::string MetricsRegistry::renderTable() const {
     for (const auto& [name, counter] : counters_) {
       out += "  " + name + std::string(width - name.size() + 2, ' ') +
              std::to_string(counter->value()) + "\n";
+    }
+  }
+  if (!gauges_.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, gauge] : gauges_) {
+      out += "  " + name + std::string(width - name.size() + 2, ' ') +
+             std::to_string(gauge->value()) + "\n";
     }
   }
   if (!histograms_.empty()) {
@@ -105,6 +123,14 @@ std::string MetricsRegistry::renderJson() const {
   for (const auto& [name, counter] : counters_) {
     out += first ? "\n" : ",\n";
     out += "    \"" + name + "\": " + std::to_string(counter->value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + std::to_string(gauge->value());
     first = false;
   }
   out += first ? "},\n" : "\n  },\n";

@@ -36,6 +36,29 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// A level, not a rate: signed, settable, and allowed to go down again
+/// (open connections, queue depths, overloaded-node counts). Counters
+/// only ever grow; a gauge is the "how many right now" companion.
+class Gauge {
+ public:
+  void set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t n = 1) {
+    value_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
 /// Histogram over milliseconds with log2 buckets: the first bucket is
 /// (-inf, 0.001ms], each next doubles, the last is open-ended (~9 minutes+).
 class Histogram {
@@ -72,6 +95,7 @@ class Histogram {
 class MetricsRegistry {
  public:
   [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
   [[nodiscard]] Histogram& histogram(const std::string& name);
 
   void reset();
@@ -88,6 +112,7 @@ class MetricsRegistry {
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

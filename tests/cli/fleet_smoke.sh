@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the fleet layer: two real acrd workers behind
+# `acrctl fleet`'s consistent-hash router. A batched submit across both
+# shards must print per-incident output byte-identical to sequential
+# offline acrctl runs, fleet stats must aggregate both nodes, and
+# rebalance must run cleanly on an idle fleet.
+set -u
+
+ACRCTL="$1"
+ACRD="$2"
+WORK="$(mktemp -d)"
+PIDS=""
+cleanup() {
+  for pid in $PIDS; do kill -9 "$pid" 2> /dev/null; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+wait_for_port_file() {
+  for _ in $(seq 1 100); do
+    [ -s "$1" ] && return 0
+    sleep 0.1
+  done
+  fail "acrd did not write its port file"
+}
+
+"$ACRCTL" export --scenario figure2-faulty --out "$WORK/faulty" \
+  || fail "export faulty"
+"$ACRCTL" export --scenario figure2 --out "$WORK/clean" \
+  || fail "export clean"
+
+"$ACRD" --port-file "$WORK/port1" > "$WORK/acrd1.log" 2>&1 &
+PIDS="$!"
+"$ACRD" --port-file "$WORK/port2" > "$WORK/acrd2.log" 2>&1 &
+PIDS="$PIDS $!"
+wait_for_port_file "$WORK/port1"
+wait_for_port_file "$WORK/port2"
+NODES="127.0.0.1:$(cat "$WORK/port1"),127.0.0.1:$(cat "$WORK/port2")"
+
+# Offline references. Verify of the faulty scenario exits 1 by contract.
+"$ACRCTL" verify "$WORK/faulty" > "$WORK/offline_faulty.out"
+"$ACRCTL" verify "$WORK/clean" > "$WORK/offline_clean.out" \
+  || fail "offline clean verify"
+
+# One batched submit across both shards: per-incident outputs must come
+# back in item order and byte-identical to the offline runs, and the exit
+# code must reflect the failing (faulty) items.
+"$ACRCTL" fleet submit "$WORK/faulty,$WORK/clean,$WORK/faulty" \
+  --command verify --wait --nodes "$NODES" > "$WORK/batch.out"
+[ "$?" = "1" ] || fail "batched verify with faulty items should exit 1"
+cat "$WORK/offline_faulty.out" "$WORK/offline_clean.out" \
+  "$WORK/offline_faulty.out" > "$WORK/batch.expected"
+diff "$WORK/batch.expected" "$WORK/batch.out" \
+  || fail "batched fleet outputs differ from offline runs"
+
+# A single-dir submit routes a plain `submit` and stays byte-identical.
+"$ACRCTL" fleet submit "$WORK/clean" --command verify --wait \
+  --nodes "$NODES" > "$WORK/single.out" || fail "single fleet submit"
+diff "$WORK/offline_clean.out" "$WORK/single.out" \
+  || fail "single fleet submit differs from offline run"
+
+# Repeats of the same directory land on the same shard owner: the fleet
+# must report cache hits somewhere after the resubmits above.
+"$ACRCTL" fleet stats --nodes "$NODES" > "$WORK/stats.out" || fail "stats"
+grep -q '"nodes":2' "$WORK/stats.out" || fail "stats should count 2 nodes"
+grep -q '"nodes_down":0' "$WORK/stats.out" || fail "no node should be down"
+grep -q '"cache_hits":[1-9]' "$WORK/stats.out" \
+  || fail "affinity resubmits should produce cache hits"
+
+# Rebalance on an idle fleet is a clean no-op.
+"$ACRCTL" fleet rebalance --nodes "$NODES" > "$WORK/rebalance.out" \
+  || fail "rebalance"
+grep -q "migrated 0 queued job(s)" "$WORK/rebalance.out" \
+  || fail "idle fleet should migrate nothing"
+
+# Both workers drain gracefully.
+for pid in $PIDS; do kill -TERM "$pid"; done
+for pid in $PIDS; do
+  for _ in $(seq 1 100); do
+    kill -0 "$pid" 2> /dev/null || break
+    sleep 0.1
+  done
+  kill -0 "$pid" 2> /dev/null && fail "acrd $pid did not exit on SIGTERM"
+  wait "$pid"
+  [ "$?" = "0" ] || fail "acrd $pid should exit 0 on SIGTERM"
+done
+PIDS=""
+
+echo "fleet smoke: OK"

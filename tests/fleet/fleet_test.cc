@@ -1,0 +1,272 @@
+// FleetRouter integration tests against real in-process acrd workers:
+// affinity routing, passthrough byte identity, batched submit across
+// shards, aggregated stats, and queued-work stealing off a backpressured
+// node.
+#include "fleet/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/acr.hpp"
+#include "core/ops.hpp"
+#include "core/serialization.hpp"
+#include "service/server.hpp"
+#include "util/metrics.hpp"
+
+namespace acr::fleet {
+namespace {
+
+struct TempDir {
+  std::filesystem::path path;
+
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("acr_fleet_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+
+  static int& counter() {
+    static int value = 0;
+    return value;
+  }
+
+  [[nodiscard]] std::string dir(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+/// One in-process acrd worker: service + event-loop server + serve thread.
+struct Worker {
+  util::MetricsRegistry metrics;
+  service::RepairService repair_service;
+  service::TcpServer server;
+  std::thread serve_thread;
+
+  explicit Worker(service::ServiceOptions options = {})
+      : repair_service([&] {
+          options.metrics = &metrics;
+          return options;
+        }()),
+        server(repair_service, {}),
+        serve_thread([this] { server.serve(); }) {}
+
+  ~Worker() {
+    server.stop();
+    serve_thread.join();
+    repair_service.drain();
+  }
+
+  [[nodiscard]] FleetNodeConfig node() const {
+    return FleetNodeConfig{"127.0.0.1", server.port()};
+  }
+};
+
+service::Json verifySubmit(const std::string& dir, bool wait) {
+  service::Json request;
+  request.set("op", "submit");
+  request.set("dir", dir);
+  request.set("command", "verify");
+  if (wait) request.set("wait", true);
+  return request;
+}
+
+TEST(FleetRouter, AffinityIsStableAndResultsMatchOffline) {
+  TempDir scratch;
+  const Scenario faulty = figure2Scenario(true);
+  const Scenario clean = figure2Scenario(false);
+  saveScenario(faulty, scratch.dir("faulty"));
+  saveScenario(clean, scratch.dir("clean"));
+  const ops::VerifyOutcome offline_faulty = ops::verifyScenario(faulty);
+  const ops::VerifyOutcome offline_clean = ops::verifyScenario(clean);
+
+  Worker a;
+  Worker b;
+  util::MetricsRegistry metrics;
+  FleetRouterOptions options;
+  options.metrics = &metrics;
+  FleetRouter router({a.node(), b.node()}, options);
+
+  // Same directory always routes to the same node.
+  const std::string owner = router.nodeFor(scratch.dir("faulty"));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(router.nodeFor(scratch.dir("faulty")), owner);
+  }
+
+  // Routed submits return the worker's bytes — identical to offline runs.
+  for (int round = 0; round < 3; ++round) {
+    const service::Json from_faulty =
+        router.submit(verifySubmit(scratch.dir("faulty"), true));
+    ASSERT_TRUE(from_faulty.find("ok")->asBool()) << from_faulty.str();
+    EXPECT_EQ(from_faulty.find("output")->asString(), offline_faulty.text);
+    const service::Json from_clean =
+        router.submit(verifySubmit(scratch.dir("clean"), true));
+    ASSERT_TRUE(from_clean.find("ok")->asBool()) << from_clean.str();
+    EXPECT_EQ(from_clean.find("output")->asString(), offline_clean.text);
+    EXPECT_EQ(from_clean.find("exit")->asInt(), 0);
+  }
+  EXPECT_GE(metrics.counter("fleet.route.assigned").value(), 6);
+}
+
+TEST(FleetRouter, SubmitBatchSplitsAcrossShardsAndKeepsOrder) {
+  TempDir scratch;
+  const Scenario faulty = figure2Scenario(true);
+  const Scenario clean = figure2Scenario(false);
+  saveScenario(faulty, scratch.dir("faulty"));
+  saveScenario(clean, scratch.dir("clean"));
+  const ops::VerifyOutcome offline_faulty = ops::verifyScenario(faulty);
+  const ops::VerifyOutcome offline_clean = ops::verifyScenario(clean);
+
+  Worker a;
+  Worker b;
+  FleetRouter router({a.node(), b.node()});
+
+  service::Json batch;
+  batch.set("op", "submit_batch");
+  batch.set("command", "verify");
+  batch.set("wait", true);
+  service::Json::Array items;
+  for (const std::string& dir :
+       {scratch.dir("faulty"), scratch.dir("clean"), scratch.dir("faulty"),
+        scratch.dir("clean")}) {
+    service::Json item;
+    item.set("dir", dir);
+    items.push_back(std::move(item));
+  }
+  batch.set("items", service::Json(std::move(items)));
+  const service::Json response = router.submitBatch(batch);
+  ASSERT_TRUE(response.find("ok")->asBool()) << response.str();
+  const service::Json* jobs = response.find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  ASSERT_EQ(jobs->asArray().size(), 4u);
+  const std::vector<const std::string*> want = {
+      &offline_faulty.text, &offline_clean.text, &offline_faulty.text,
+      &offline_clean.text};
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    const service::Json& entry = jobs->asArray()[i];
+    ASSERT_TRUE(entry.find("ok")->asBool()) << i << ": " << entry.str();
+    EXPECT_EQ(entry.find("output")->asString(), *want[i]) << "item " << i;
+  }
+}
+
+TEST(FleetRouter, StatsAggregatesAcrossNodes) {
+  Worker a;
+  Worker b;
+  util::MetricsRegistry metrics;
+  FleetRouterOptions options;
+  options.metrics = &metrics;
+  FleetRouter router({a.node(), b.node()}, options);
+
+  const service::Json stats = router.stats();
+  ASSERT_TRUE(stats.find("ok")->asBool());
+  const service::Json* fleet = stats.find("fleet");
+  ASSERT_NE(fleet, nullptr);
+  EXPECT_EQ(fleet->find("nodes")->asInt(), 2);
+  EXPECT_EQ(fleet->find("nodes_down")->asInt(), 0);
+  const service::Json* nodes = stats.find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  EXPECT_EQ(nodes->asObject().size(), 2u);
+  for (const auto& [name, node_stats] : nodes->asObject()) {
+    EXPECT_TRUE(node_stats.find("ok")->asBool()) << name;
+  }
+  EXPECT_NE(stats.find("router"), nullptr);
+  EXPECT_EQ(metrics.gauge("fleet.route.nodes").value(), 2);
+}
+
+TEST(FleetRouter, RebalanceStealsQueuedWorkOffOverloadedNode) {
+  TempDir scratch;
+  saveScenario(figure2Scenario(true), scratch.dir("faulty"));
+
+  // Worker A: single worker thread, so extra submits pile up queued.
+  service::ServiceOptions slow;
+  slow.scheduler.workers = 1;
+  Worker a(slow);
+  Worker b(slow);
+
+  util::MetricsRegistry metrics;
+  FleetRouterOptions options;
+  options.metrics = &metrics;
+  options.spill_candidates = 0;  // force everything onto the shard owner
+  options.overload_queue_depth = 2;
+  options.overload_polls = 1;
+  FleetRouter router({a.node(), b.node()}, options);
+
+  // Pile non-wait repairs onto the dir's shard owner until its queue is
+  // visibly deep. repair jobs on figure2-faulty take long enough that the
+  // queue cannot drain between submit and rebalance on one worker thread.
+  int accepted = 0;
+  for (int i = 0; i < 6; ++i) {
+    const service::Json response = router.submit([&] {
+      service::Json request;
+      request.set("op", "submit");
+      request.set("dir", scratch.dir("faulty"));
+      request.set("command", "repair");
+      return request;
+    }());
+    if (response.find("ok")->asBool()) ++accepted;
+  }
+  ASSERT_GE(accepted, 4);
+
+  const int migrated = router.rebalance();
+  EXPECT_GT(migrated, 0) << "no queued work was stolen";
+  EXPECT_EQ(metrics.counter("fleet.route.migrations").value(), migrated);
+
+  // Every migrated job still runs to completion somewhere in the fleet.
+  const service::Json stats = router.stats();
+  ASSERT_TRUE(stats.find("ok")->asBool());
+}
+
+TEST(FleetRouter, SpillsToSuccessorWhenOwnerRejects) {
+  TempDir scratch;
+  saveScenario(figure2Scenario(true), scratch.dir("faulty"));
+
+  // Tiny queue on both nodes; the owner fills up fast, the spill target
+  // absorbs the overflow instead of the client seeing a rejection.
+  service::ServiceOptions tiny;
+  tiny.scheduler.workers = 1;
+  tiny.scheduler.queue_limit = 1;
+  Worker a(tiny);
+  Worker b(tiny);
+
+  util::MetricsRegistry metrics;
+  FleetRouterOptions options;
+  options.metrics = &metrics;
+  options.spill_candidates = 1;
+  FleetRouter router({a.node(), b.node()}, options);
+
+  int accepted = 0;
+  int rejected = 0;
+  for (int i = 0; i < 8; ++i) {
+    const service::Json response = router.submit([&] {
+      service::Json request;
+      request.set("op", "submit");
+      request.set("dir", scratch.dir("faulty"));
+      request.set("command", "repair");
+      return request;
+    }());
+    if (response.find("ok")->asBool()) {
+      ++accepted;
+    } else {
+      ++rejected;
+      // Exhausted fleets surface the scheduler's own rejection verbatim,
+      // backpressure hint included.
+      EXPECT_NE(response.find("retry_after_ms"), nullptr);
+    }
+  }
+  EXPECT_GE(accepted, 2);  // more than one node's worth of queue slots
+  if (metrics.counter("fleet.route.spills").value() == 0) {
+    // With both queues bounded at 1, eight submits must overflow the
+    // owner; accepting more than its capacity proves spilling worked.
+    EXPECT_GE(accepted, 3);
+  }
+}
+
+}  // namespace
+}  // namespace acr::fleet

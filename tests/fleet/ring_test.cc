@@ -1,0 +1,96 @@
+#include "fleet/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace acr::fleet {
+namespace {
+
+TEST(Fnv1a, MatchesKnownVectors) {
+  // FNV-1a 64-bit test vectors: offset basis for "", and the classic "a".
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(HashRing, RoutesDeterministically) {
+  HashRing ring;
+  ring.add("alpha:1");
+  ring.add("beta:2");
+  ring.add("gamma:3");
+  for (std::uint64_t key : {0ULL, 42ULL, 0xdeadbeefULL, ~0ULL}) {
+    EXPECT_EQ(ring.route(key), ring.route(key));
+  }
+  HashRing twin;
+  twin.add("gamma:3");  // insertion order must not matter
+  twin.add("alpha:1");
+  twin.add("beta:2");
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_EQ(ring.route(key * 0x9e3779b97f4a7c15ULL),
+              twin.route(key * 0x9e3779b97f4a7c15ULL));
+  }
+}
+
+TEST(HashRing, SpreadsLoadRoughlyEvenly) {
+  HashRing ring;
+  for (int i = 0; i < 4; ++i) ring.add("node:" + std::to_string(i));
+  std::map<std::string, int> owned;
+  constexpr int kKeys = 10000;
+  for (int i = 0; i < kKeys; ++i) {
+    ++owned[ring.route(fnv1a("key-" + std::to_string(i)))];
+  }
+  ASSERT_EQ(owned.size(), 4u);  // nobody starves
+  for (const auto& [node, count] : owned) {
+    // 64 vnodes keep each node within a loose 2× band of fair share.
+    EXPECT_GT(count, kKeys / 8) << node;
+    EXPECT_LT(count, kKeys / 2) << node;
+  }
+}
+
+TEST(HashRing, RemovalOnlyRemapsTheRemovedNodesKeys) {
+  HashRing ring;
+  for (int i = 0; i < 4; ++i) ring.add("node:" + std::to_string(i));
+  std::map<std::uint64_t, std::string> before;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = fnv1a("key-" + std::to_string(i));
+    before[key] = ring.route(key);
+  }
+  ring.remove("node:2");
+  for (const auto& [key, owner] : before) {
+    if (owner == "node:2") {
+      EXPECT_NE(ring.route(key), "node:2");
+    } else {
+      // The consistent-hashing property: survivors keep their keys, so
+      // every survivor's snapshot cache stays hot across the change.
+      EXPECT_EQ(ring.route(key), owner) << key;
+    }
+  }
+}
+
+TEST(HashRing, RouteNReturnsDistinctSuccessors) {
+  HashRing ring;
+  ring.add("a:1");
+  ring.add("b:2");
+  ring.add("c:3");
+  const std::vector<std::string> owners = ring.routeN(12345, 3);
+  ASSERT_EQ(owners.size(), 3u);
+  const std::set<std::string> unique(owners.begin(), owners.end());
+  EXPECT_EQ(unique.size(), 3u);
+  EXPECT_EQ(owners.front(), ring.route(12345));  // owner first
+  // Asking for more than the fleet has returns the whole fleet.
+  EXPECT_EQ(ring.routeN(12345, 10).size(), 3u);
+}
+
+TEST(HashRing, EmptyRingThrows) {
+  HashRing ring;
+  EXPECT_THROW((void)ring.route(1), std::runtime_error);
+  ring.add("only:1");
+  ring.remove("only:1");
+  EXPECT_THROW((void)ring.route(1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace acr::fleet

@@ -97,6 +97,26 @@ TEST(Metrics, ScopedTimerObservesOnScopeExit) {
   EXPECT_EQ(histogram.snapshot().count, 1u);
 }
 
+TEST(Metrics, GaugeTracksSignedLevels) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("conn.open");
+  EXPECT_EQ(gauge.value(), 0);
+  gauge.add(3);
+  gauge.sub(1);
+  EXPECT_EQ(gauge.value(), 2);
+  gauge.sub(5);
+  EXPECT_EQ(gauge.value(), -3);  // signed on purpose: catches double-close
+  gauge.set(7);
+  EXPECT_EQ(gauge.value(), 7);
+  EXPECT_EQ(&registry.gauge("conn.open"), &gauge);  // stable identity
+  // Gauges render alongside counters and reset with the registry.
+  EXPECT_NE(registry.renderJson().find("\"gauges\""), std::string::npos);
+  EXPECT_NE(registry.renderJson().find("\"conn.open\": 7"),
+            std::string::npos);
+  registry.reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
 TEST(Metrics, GlobalRegistryIsAProcessSingleton) {
   EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
 }

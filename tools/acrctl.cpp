@@ -18,18 +18,23 @@
 // Scenario names: figure2, figure2-faulty, dcn[-PxT], backbone[-N].
 // A scenario directory is the serialization format of core/serialization.hpp
 // (topology.acr + intents.acr + one .cfg per device, either dialect).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iterator>
 #include <map>
 #include <optional>
+#include <random>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/acr.hpp"
 #include "core/ops.hpp"
 #include "core/serialization.hpp"
+#include "fleet/router.hpp"
 #include "localize/coverage.hpp"
 #include "localize/sbfl.hpp"
 #include "obs/record.hpp"
@@ -66,10 +71,14 @@ using namespace acr;
       "  acrctl list-faults\n"
       "  acrctl remote submit DIR [--command repair|verify] [--seed S]\n"
       "                [--metric M] [--priority N] [--report] [--wait]\n"
-      "                [--jobs N]\n"
+      "                [--jobs N] [--retries N] [--retry-budget-ms N]\n"
       "  acrctl remote status|result|cancel ID [--wait]\n"
       "  acrctl remote stats | shutdown\n"
       "         (all remote verbs: [--host H] --port P)\n"
+      "  acrctl fleet submit DIR[,DIR...] --nodes H:P[,H:P...]\n"
+      "                [--command repair|verify] [--seed S] [--metric M]\n"
+      "                [--priority N] [--report] [--wait] [--jobs N]\n"
+      "  acrctl fleet stats|rebalance --nodes H:P[,H:P...]\n"
       "\n"
       "scenarios: figure2 | figure2-faulty | dcn-<pods>x<tors> | backbone-<n>\n"
       "--jobs 0 = one worker per hardware thread; results are identical at\n"
@@ -89,7 +98,13 @@ using namespace acr;
       "exit codes: 0 ok; 1 failed (intents violated, repair not converged,\n"
       "runtime error); 2 usage (unknown command/flag/argument).\n"
       "`remote` talks to an acrd daemon (see docs/service.md); `remote\n"
-      "submit --wait` exits with the job's own exit code.\n",
+      "submit --wait` exits with the job's own exit code. A backpressured\n"
+      "submit (rejection carrying retry_after_ms) retries with bounded\n"
+      "exponential backoff + jitter (--retries, --retry-budget-ms) before\n"
+      "giving up with exit 1.\n"
+      "`fleet` drives several acrd workers through the consistent-hash\n"
+      "router (docs/architecture.md §16): multiple DIRs become one\n"
+      "submit_batch split across shard owners.\n",
       stderr);
   std::exit(2);
 }
@@ -560,7 +575,8 @@ int cmdRemote(int argc, char** argv) {
   const std::string verb = argv[2];
   FlagSpec spec{{"host", "port"}, {}};
   if (verb == "submit") {
-    spec.value_flags.insert({"command", "seed", "metric", "priority", "jobs"});
+    spec.value_flags.insert({"command", "seed", "metric", "priority", "jobs",
+                             "retries", "retry-budget-ms"});
     spec.bool_flags.insert({"report", "wait"});
   } else if (verb == "result") {
     spec.bool_flags.insert("wait");
@@ -606,7 +622,37 @@ int cmdRemote(int argc, char** argv) {
     if (args.has("wait")) request.set("wait", true);
   }
 
-  const service::Json response = client.call(request);
+  service::Json response = client.call(request);
+  if (verb == "submit") {
+    // Honor the daemon's backpressure hint: a rejection carrying
+    // retry_after_ms means "try again shortly", so retry with bounded
+    // exponential backoff (hint × 2^attempt, plus jitter so a herd of
+    // rejected clients does not re-arrive in lockstep) until the retry
+    // count or the wall-clock budget runs out.
+    const int max_retries = std::stoi(args.get("retries", "5"));
+    const long long budget_ms =
+        std::stoll(args.get("retry-budget-ms", "10000"));
+    long long slept_ms = 0;
+    std::mt19937_64 rng(std::random_device{}());
+    for (int attempt = 0; attempt < max_retries; ++attempt) {
+      const service::Json* ok = response.find("ok");
+      if (ok != nullptr && ok->asBool()) break;
+      const service::Json* retry = response.find("retry_after_ms");
+      if (retry == nullptr) break;  // a real error, not backpressure
+      const long long hint = retry->asInt(0) > 0 ? retry->asInt() : 1;
+      long long delay = hint << attempt;
+      delay += static_cast<long long>(
+          std::uniform_int_distribution<std::uint64_t>(0, hint / 2 + 1)(rng));
+      if (slept_ms + delay > budget_ms) break;
+      std::fprintf(stderr,
+                   "acrctl: queue full, retrying in %lld ms "
+                   "(attempt %d/%d)\n",
+                   delay, attempt + 1, max_retries);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      slept_ms += delay;
+      response = client.call(request);
+    }
+  }
   const service::Json* ok = response.find("ok");
   if (ok == nullptr || !ok->asBool()) return remoteFailure(response);
 
@@ -637,6 +683,138 @@ int cmdRemote(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// fleet — drive several acrd workers through the consistent-hash router
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> splitCommas(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) parts.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+std::vector<fleet::FleetNodeConfig> parseNodes(const Args& args) {
+  std::vector<fleet::FleetNodeConfig> nodes;
+  for (const std::string& spec : splitCommas(args.get("nodes"))) {
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos) {
+      usage(("--nodes entry '" + spec + "' is not HOST:PORT").c_str());
+    }
+    nodes.push_back(fleet::FleetNodeConfig{
+        spec.substr(0, colon), std::stoi(spec.substr(colon + 1))});
+  }
+  if (nodes.empty()) usage("fleet requires --nodes H:P[,H:P...]");
+  return nodes;
+}
+
+int cmdFleet(int argc, char** argv) {
+  if (argc < 3) usage("fleet requires a verb (submit|stats|rebalance)");
+  const std::string verb = argv[2];
+  FlagSpec spec{{"nodes"}, {}};
+  if (verb == "submit") {
+    spec.value_flags.insert({"command", "seed", "metric", "priority", "jobs"});
+    spec.bool_flags.insert({"report", "wait"});
+  } else if (verb != "stats" && verb != "rebalance") {
+    usage(("unknown fleet verb '" + verb + "'").c_str());
+  }
+  const Args args = parseArgs(argc, argv, 3, spec);
+  fleet::FleetRouter router(parseNodes(args));
+
+  if (verb == "stats") {
+    std::printf("%s\n", router.stats().str().c_str());
+    return 0;
+  }
+  if (verb == "rebalance") {
+    const int migrated = router.rebalance();
+    std::printf("migrated %d queued job(s)\n", migrated);
+    return 0;
+  }
+
+  if (args.positional.empty()) {
+    usage("fleet submit requires DIR[,DIR...]");
+  }
+  const std::vector<std::string> dirs = splitCommas(args.positional);
+  service::Json request;
+  request.set("command", args.get("command", "repair"));
+  if (args.has("metric")) {
+    metricByName(args.get("metric"));  // typos fail locally with exit 2
+    request.set("metric", args.get("metric"));
+  }
+  if (args.has("seed")) {
+    request.set("seed",
+                static_cast<std::uint64_t>(std::stoull(args.get("seed"))));
+  }
+  if (args.has("jobs")) request.set("jobs", std::stoi(args.get("jobs")));
+  if (args.has("priority")) {
+    request.set("priority", std::stoi(args.get("priority")));
+  }
+  if (args.has("report")) request.set("report", true);
+  if (args.has("wait")) request.set("wait", true);
+
+  if (dirs.size() == 1) {
+    request.set("op", "submit");
+    request.set("dir", dirs.front());
+    const service::Json response = router.submit(request);
+    const service::Json* ok = response.find("ok");
+    if (ok == nullptr || !ok->asBool()) return remoteFailure(response);
+    if (!args.has("wait")) {
+      const service::Json* id = response.find("id");
+      std::printf("job %llu queued on %s\n",
+                  static_cast<unsigned long long>(
+                      id != nullptr ? id->asUint() : 0),
+                  router.nodeFor(dirs.front()).c_str());
+      return 0;
+    }
+    return printJobResult(response);
+  }
+
+  // Many dirs: one submit_batch, split across shard owners by the router.
+  // With --wait every per-incident output prints in item order, exactly
+  // the bytes N sequential offline runs would print.
+  request.set("op", "submit_batch");
+  service::Json::Array items;
+  items.reserve(dirs.size());
+  for (const std::string& dir : dirs) {
+    service::Json item;
+    item.set("dir", dir);
+    items.push_back(std::move(item));
+  }
+  request.set("items", service::Json(std::move(items)));
+  const service::Json response = router.submitBatch(request);
+  const service::Json* ok = response.find("ok");
+  const service::Json* jobs = response.find("jobs");
+  if (ok == nullptr || !ok->asBool() || jobs == nullptr) {
+    return remoteFailure(response);
+  }
+  int exit_code = 0;
+  for (std::size_t i = 0; i < jobs->asArray().size(); ++i) {
+    const service::Json& entry = jobs->asArray()[i];
+    const service::Json* entry_ok = entry.find("ok");
+    if (entry_ok == nullptr || !entry_ok->asBool()) {
+      (void)remoteFailure(entry);
+      exit_code = 1;
+      continue;
+    }
+    if (args.has("wait")) {
+      if (printJobResult(entry) != 0) exit_code = 1;
+    } else {
+      const service::Json* id = entry.find("id");
+      std::printf("job %llu queued on %s\n",
+                  static_cast<unsigned long long>(
+                      id != nullptr ? id->asUint() : 0),
+                  router.nodeFor(dirs[i]).c_str());
+    }
+  }
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -644,6 +822,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     if (command == "remote") return cmdRemote(argc, argv);
+    if (command == "fleet") return cmdFleet(argc, argv);
     const std::set<std::string> known = {
         "export",   "inject",    "verify",   "triage",     "repair",
         "explain",  "tolerance", "campaign", "list-faults"};

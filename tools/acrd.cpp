@@ -1,8 +1,8 @@
 // acrd — the ACR repair daemon.
 //
 //   acrd [--host H] [--port P] [--workers N] [--queue-limit N]
-//        [--cache-bytes N] [--no-cache] [--port-file PATH]
-//        [--trace] [--trace-file PATH]
+//        [--cache-bytes N] [--no-cache] [--max-line-bytes N]
+//        [--port-file PATH] [--trace] [--trace-file PATH]
 //
 // Serves the newline-delimited JSON wire protocol of docs/service.md on a
 // local TCP socket: submit / status / result / cancel / stats / shutdown.
@@ -36,13 +36,15 @@ void onSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
   std::fputs(
       "usage:\n"
       "  acrd [--host H] [--port P] [--workers N] [--queue-limit N]\n"
-      "       [--cache-bytes N] [--no-cache] [--port-file PATH]\n"
-      "       [--trace] [--trace-file PATH]\n"
+      "       [--cache-bytes N] [--no-cache] [--max-line-bytes N]\n"
+      "       [--port-file PATH] [--trace] [--trace-file PATH]\n"
       "\n"
       "--port 0 (default) picks an ephemeral port (printed, and written\n"
       "to --port-file when given). --workers 0 = one per hardware thread.\n"
       "--cache-bytes bounds the snapshot cache (serialized scenario\n"
-      "bytes); --no-cache disables it. --trace records spans for every\n"
+      "bytes); --no-cache disables it. --max-line-bytes bounds one wire\n"
+      "request line (longer lines are answered with an error and the\n"
+      "connection dropped). --trace records spans for every\n"
       "request and job; --trace-file writes them as Chrome/Perfetto JSON\n"
       "at exit (implies --trace). SIGINT/SIGTERM or the `shutdown`\n"
       "verb drain gracefully: accepted jobs always finish.\n",
@@ -77,6 +79,8 @@ int main(int argc, char** argv) {
       options.cache.byte_budget = std::stoull(value());
     } else if (flag == "--no-cache") {
       options.cache_enabled = false;
+    } else if (flag == "--max-line-bytes") {
+      tcp.max_line_bytes = std::stoull(value());
     } else if (flag == "--port-file") {
       port_file = value();
     } else if (flag == "--trace") {
