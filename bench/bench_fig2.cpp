@@ -60,8 +60,11 @@ int main() {
   table.printRule();
 
   bench::section("Solved symbolic value (P and not F)");
+  const std::vector<sbfl::ResultRow> rows(results.begin(), results.end());
+  const std::vector<sbfl::CoverageRow> cov_rows(coverage.begin(),
+                                                coverage.end());
   const fix::RepairContext context{scenario.network(), sim, scenario.intents,
-                                   results, coverage};
+                                   rows, cov_rows};
   const fix::PrefixListConstraints constraints = fix::collectListConstraints(
       context, "A", *a->findPrefixList("default_all"));
   std::printf("P (must stay in var):");

@@ -1,0 +1,293 @@
+// Full vs incremental LOCALIZE across fat-tree sizes.
+//
+// For each DCN scenario the harness generates the intent-derived probe
+// suite, applies a single-device candidate edit, then times (a) the
+// from-scratch LOCALIZE pipeline — full simulation, full probe suite, full
+// coverage extraction, spectrum rebuilt test by test — and (b) the cached
+// pipeline seeded with the unedited anchor: delta simulation with forked
+// provenance, probe outcomes and coverage rows reused for tests whose read
+// sets avoid the blast radius, and spectrum rows swapped in place. Both
+// paths must produce identical verdicts, coverage and SBFL rankings under
+// every metric — the harness verifies all of it before reporting a single
+// number, so a speedup can never come from a wrong answer.
+//
+//   bench_localize_incremental [--reps N] [--smoke] [--json]
+//
+// --smoke runs the smallest fabric once (CI wiring check); --json replaces
+// the table with a machine-readable array (committed as
+// BENCH_localize_incremental.json for regression tracking). On the 8x8
+// fabric the harness gates itself: a cached LOCALIZE below 3x the full
+// pipeline is a regression and exits non-zero.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/util.hpp"
+#include "core/scenarios.hpp"
+#include "localize/coverage.hpp"
+#include "localize/incremental.hpp"
+#include "localize/sbfl.hpp"
+#include "routing/simulator.hpp"
+#include "verify/verifier.hpp"
+
+namespace {
+
+using namespace acr;
+
+struct Edit {
+  std::string label;
+  std::string device;
+  std::function<void(topo::Network&)> apply;
+};
+
+struct Case {
+  std::string scenario;
+  int routers = 0;
+  std::string edit;
+  std::size_t tests = 0;
+  double full_ms = 0;
+  double inc_ms = 0;
+  std::size_t probe_hits = 0;
+  std::size_t probe_misses = 0;
+  std::size_t derivations_reused = 0;
+
+  [[nodiscard]] double speedup() const {
+    return inc_ms > 0 ? full_ms / inc_ms : 0;
+  }
+};
+
+double medianMs(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct FullLocalize {
+  std::vector<verify::TestResult> results;
+  std::vector<std::set<cfg::LineId>> coverage;
+  sbfl::Spectrum spectrum;
+};
+
+FullLocalize fullLocalize(const topo::Network& network,
+                          const std::vector<verify::Intent>& intents,
+                          const std::vector<verify::TestCase>& tests,
+                          const route::SimOptions& options) {
+  FullLocalize out;
+  const route::SimResult sim = route::Simulator(network).run(options);
+  const verify::Verifier verifier(intents, options);
+  out.results = verifier.runTests(network, sim, tests);
+  for (const auto& result : out.results) {
+    out.coverage.push_back(sbfl::coverageOf(network, sim, result));
+    out.spectrum.addTest(out.coverage.back(), result.passed);
+  }
+  return out;
+}
+
+bool sameLocalization(const FullLocalize& full,
+                      const sbfl::LocalizeOutcome& incremental) {
+  if (incremental.results.size() != full.results.size()) return false;
+  for (std::size_t i = 0; i < full.results.size(); ++i) {
+    if (incremental.results[i]->passed != full.results[i].passed) return false;
+    if (incremental.results[i]->reason != full.results[i].reason) return false;
+    if (*incremental.coverage[i] != full.coverage[i]) return false;
+  }
+  for (const sbfl::Metric metric : sbfl::allMetrics()) {
+    const std::vector<sbfl::LineScore> expected = full.spectrum.rank(metric);
+    const std::vector<sbfl::LineScore> actual =
+        incremental.spectrum.rank(metric);
+    if (actual.size() != expected.size()) return false;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      if (actual[i].line != expected[i].line) return false;
+      if (actual[i].suspiciousness != expected[i].suspiciousness) return false;
+      if (actual[i].failed_cover != expected[i].failed_cover) return false;
+      if (actual[i].passed_cover != expected[i].passed_cover) return false;
+    }
+  }
+  return true;
+}
+
+Case runCase(const Scenario& scenario, const Edit& edit, int reps) {
+  route::SimOptions options;
+  options.record_provenance = true;
+
+  const std::vector<verify::TestCase> tests =
+      verify::generateTests(scenario.intents, 1);
+
+  topo::Network edited = scenario.network();
+  edit.apply(edited);
+  edited.renumberAll();
+
+  sbfl::LocalizeCache cache(scenario.network(), scenario.intents, tests,
+                            options, false);
+  (void)cache.localize(scenario.network(), {});  // prime the anchor
+  const sbfl::LocalizeOutcome incremental =
+      cache.localize(edited, {edit.device});
+  if (incremental.sim_kind != "delta") {
+    std::fprintf(stderr, "%s / %s: cache fell back (%s)\n",
+                 scenario.name.c_str(), edit.label.c_str(),
+                 incremental.sim_kind.c_str());
+    std::exit(1);
+  }
+  const FullLocalize full =
+      fullLocalize(edited, scenario.intents, tests, options);
+  if (!sameLocalization(full, incremental)) {
+    std::fprintf(stderr,
+                 "%s / %s: incremental localization differs from full run\n",
+                 scenario.name.c_str(), edit.label.c_str());
+    std::exit(1);
+  }
+
+  std::vector<double> full_samples;
+  std::vector<double> inc_samples;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    const FullLocalize timed_full =
+        fullLocalize(edited, scenario.intents, tests, options);
+    (void)timed_full.spectrum.rank(sbfl::Metric::kTarantula);
+    auto mid = std::chrono::steady_clock::now();
+    const sbfl::LocalizeOutcome timed_inc =
+        cache.localize(edited, {edit.device});
+    (void)timed_inc.spectrum.rank(sbfl::Metric::kTarantula);
+    auto end = std::chrono::steady_clock::now();
+    full_samples.push_back(
+        std::chrono::duration<double, std::milli>(mid - start).count());
+    inc_samples.push_back(
+        std::chrono::duration<double, std::milli>(end - mid).count());
+    if (timed_inc.results.size() != full.results.size()) {
+      std::fprintf(stderr, "non-deterministic rerun\n");
+      std::exit(1);
+    }
+  }
+
+  Case result;
+  result.scenario = scenario.name;
+  result.routers = static_cast<int>(scenario.network().configs.size());
+  result.edit = edit.label;
+  result.tests = tests.size();
+  result.full_ms = medianMs(full_samples);
+  result.inc_ms = medianMs(inc_samples);
+  result.probe_hits = incremental.probe_hits;
+  result.probe_misses = incremental.probe_misses;
+  result.derivations_reused = incremental.derivations_reused;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 9;
+  bool smoke = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_localize_incremental [--reps N] [--smoke] "
+                   "[--json]\n");
+      return 2;
+    }
+  }
+
+  std::vector<std::pair<int, int>> fabrics = {{2, 2}, {4, 4}, {8, 8}};
+  if (smoke) {
+    fabrics = {{2, 2}};
+    reps = 1;
+  }
+
+  // Per-fabric edit set. The "typical" edit touches the far corner tor —
+  // representative of an injected fault's repair candidates, which rarely
+  // sit on the intent hub. The hub edit is the adversarial worst case: the
+  // suite is a hub-star, so nearly every probe traverses the edited device
+  // and its shifted line numbers legitimately invalidate their coverage
+  // rows. It is reported but not gated.
+  const auto editsFor = [](int pods, int tors) {
+    const std::string far_tor =
+        "tor" + std::to_string(pods) + "_" + std::to_string(tors);
+    std::vector<Edit> edits;
+    edits.push_back({"tor redistribute (typical)", far_tor,
+                     [far_tor](topo::Network& network) {
+                       network.config(far_tor)->bgp->redistributes.clear();
+                     }});
+    edits.push_back({"hub tor redistribute (worst case)", "tor1_1",
+                     [](topo::Network& network) {
+                       network.config("tor1_1")->bgp->redistributes.clear();
+                     }});
+    edits.push_back({"agg prefix-list (wide)", "agg1a",
+                     [](topo::Network& network) {
+                       auto& lists = network.config("agg1a")->prefix_lists;
+                       for (auto& list : lists) {
+                         if (list.name == "POD_LOCAL" && list.entries.size() > 1) {
+                           list.entries.pop_back();
+                         }
+                       }
+                     }});
+    return edits;
+  };
+
+  std::vector<Case> cases;
+  for (const auto& [pods, tors] : fabrics) {
+    const Scenario scenario = dcnScenario(pods, tors);
+    for (const Edit& edit : editsFor(pods, tors)) {
+      cases.push_back(runCase(scenario, edit, reps));
+    }
+  }
+
+  // Self-gate on the flagship fabric: the narrow edit on dcn-8x8 must keep
+  // its >=3x advantage or the incremental pipeline has regressed. Checked
+  // after the report is emitted so a regression still shows its numbers.
+  const auto gate = [&]() -> int {
+    if (smoke) return 0;
+    for (const Case& c : cases) {
+      if (c.scenario == "dcn-8x8" && c.edit == "tor redistribute (typical)" &&
+          c.speedup() < 3.0) {
+        std::fprintf(stderr, "GATE: %s / %s speedup %.1fx < 3.0x\n",
+                     c.scenario.c_str(), c.edit.c_str(), c.speedup());
+        return 1;
+      }
+    }
+    return 0;
+  };
+
+  if (json) {
+    std::puts("[");
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const Case& c = cases[i];
+      std::printf(
+          "  {\"scenario\": \"%s\", \"routers\": %d, \"edit\": \"%s\", "
+          "\"tests\": %zu, \"full_ms\": %.3f, \"incremental_ms\": %.3f, "
+          "\"speedup\": %.1f, \"probe_hits\": %zu, \"probe_misses\": %zu, "
+          "\"derivations_reused\": %zu}%s\n",
+          c.scenario.c_str(), c.routers, c.edit.c_str(), c.tests, c.full_ms,
+          c.inc_ms, c.speedup(), c.probe_hits, c.probe_misses,
+          c.derivations_reused, i + 1 < cases.size() ? "," : "");
+    }
+    std::puts("]");
+    return gate();
+  }
+
+  bench::section(
+      "full vs incremental LOCALIZE, single-device edits (median of " +
+      std::to_string(reps) + " reps, results verified identical)");
+  bench::Table table({"scenario", "routers", "edit", "tests", "full ms",
+                      "inc ms", "speedup", "hits", "misses", "deriv reuse"});
+  table.printHeader();
+  for (const Case& c : cases) {
+    table.printRow({c.scenario, std::to_string(c.routers), c.edit,
+                    std::to_string(c.tests), bench::fmt(c.full_ms, 3),
+                    bench::fmt(c.inc_ms, 3), bench::fmt(c.speedup(), 1) + "x",
+                    std::to_string(c.probe_hits),
+                    std::to_string(c.probe_misses),
+                    std::to_string(c.derivations_reused)});
+  }
+  table.printRule();
+  return gate();
+}

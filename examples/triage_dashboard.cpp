@@ -87,8 +87,11 @@ route-policy Override_All permit node 20
   }
 
   std::puts("\n--- top suspicious lines and applicable templates ---");
+  const std::vector<sbfl::ResultRow> rows(results.begin(), results.end());
+  const std::vector<sbfl::CoverageRow> cov_rows(coverage.begin(),
+                                                coverage.end());
   const fix::RepairContext context{scenario.network(), sim, scenario.intents,
-                                   results, coverage};
+                                   rows, cov_rows};
   int shown = 0;
   for (const auto& score : spectrum.rank(sbfl::Metric::kTarantula)) {
     if (score.failed_cover == 0 || shown >= 6) break;

@@ -10,7 +10,10 @@ Checks:
     docs/benchmarks.md — a bench without documentation is invisible;
   * every committed BENCH_*.json artifact at the repo root is referenced
     in docs/performance.md — an artifact nobody can interpret is dead
-    weight, and the gates table is where its meaning lives.
+    weight, and the gates table is where its meaning lives;
+  * every committed BENCH_<name>.json pairs with a declared bench_<name>
+    binary in bench/CMakeLists.txt — an artifact whose generator is gone
+    can never be regenerated and silently goes stale.
 
 External links (http/https/mailto) and pure in-page anchors are skipped.
 Exits 0 when everything resolves, 1 otherwise. Stdlib only: CI containers
@@ -90,16 +93,33 @@ def check_artifact_coverage(root):
     return errors
 
 
+def check_artifact_pairing(root):
+    errors = []
+    cmake = os.path.join(root, "bench", "CMakeLists.txt")
+    with open(cmake, "r", encoding="utf-8") as handle:
+        declared = set(m.group(1) for m in
+                       (BENCH_DECL.match(line) for line in handle)
+                       if m is not None)
+    for entry in sorted(os.listdir(root)):
+        if entry.startswith("BENCH_") and entry.endswith(".json"):
+            generator = "bench_" + entry[len("BENCH_"):-len(".json")]
+            if generator not in declared:
+                errors.append("%s has no generating %s in "
+                              "bench/CMakeLists.txt" % (entry, generator))
+    return errors
+
+
 def main(argv):
     root = os.path.abspath(argv[1]) if len(argv) > 1 else os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
     errors = (check_links(root) + check_bench_coverage(root)
-              + check_artifact_coverage(root))
+              + check_artifact_coverage(root) + check_artifact_pairing(root))
     for error in errors:
         sys.stderr.write("check_docs: %s\n" % error)
     if not errors:
         print("check_docs: OK (%d markdown files, links + bench + "
-              "artifact coverage)" % len(markdown_files(root)))
+              "artifact coverage + artifact pairing)"
+              % len(markdown_files(root)))
     return 1 if errors else 0
 
 

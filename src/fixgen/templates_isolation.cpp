@@ -48,7 +48,7 @@ class DenyLeakedPrefix final : public ChangeTemplate {
       const cfg::LineInfo& /*info*/) const override {
     std::vector<ProposedChange> changes;
     std::set<std::string> proposed;
-    for (const auto& result : context.results) {
+    for (const verify::TestResult& result : context.results) {
       if (result.passed) continue;
       if (context.intentOf(result).kind != verify::IntentKind::kIsolation) {
         continue;

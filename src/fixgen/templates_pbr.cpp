@@ -14,7 +14,7 @@ namespace acr::fix {
 namespace {
 
 bool isolationForbids(const RepairContext& context, const net::Prefix& subject) {
-  for (const auto& result : context.results) {
+  for (const verify::TestResult& result : context.results) {
     if (result.passed &&
         context.intentOf(result).kind == verify::IntentKind::kIsolation &&
         subnetPrefixOf(context.network, result.test.packet.dst)
@@ -41,7 +41,7 @@ class AddPbrPermit final : public ChangeTemplate {
       const cfg::LineInfo& /*info*/) const override {
     std::vector<ProposedChange> changes;
     std::set<std::string> proposed;
-    for (const auto& result : context.results) {
+    for (const verify::TestResult& result : context.results) {
       if (result.passed) continue;
       if (result.trace.outcome != dp::TraceOutcome::kDroppedByPbr) continue;
       if (result.trace.hops.empty()) continue;
@@ -151,7 +151,7 @@ class RemovePbrRule final : public ChangeTemplate {
     }
 
     // Fix-place search: redirect rules matching failing packets.
-    for (const auto& result : context.results) {
+    for (const verify::TestResult& result : context.results) {
       if (result.passed) continue;
       for (const auto& hop : result.trace.hops) {
         const cfg::DeviceConfig* device = context.network.config(hop.router);

@@ -296,7 +296,7 @@ class RemovePolicyBinding final : public ChangeTemplate {
     };
 
     // Source 1: bindings that deny a failing destination's route.
-    for (const auto& result : context.results) {
+    for (const verify::TestResult& result : context.results) {
       if (result.passed) continue;
       const verify::IntentKind kind = context.intentOf(result).kind;
       if (kind == verify::IntentKind::kIsolation) continue;

@@ -198,7 +198,7 @@ class AddPrefixListEntry final : public ChangeTemplate {
     // Forbidden prefixes: destinations that passing isolation tests rely on
     // staying unreachable.
     std::vector<net::Prefix> forbidden;
-    for (const auto& result : context.results) {
+    for (const verify::TestResult& result : context.results) {
       if (result.passed &&
           context.intentOf(result).kind == verify::IntentKind::kIsolation) {
         forbidden.push_back(
@@ -206,7 +206,7 @@ class AddPrefixListEntry final : public ChangeTemplate {
       }
     }
     std::set<std::pair<std::string, std::string>> proposed;  // (device, list)
-    for (const auto& result : context.results) {
+    for (const verify::TestResult& result : context.results) {
       if (result.passed) continue;
       const verify::IntentKind kind = context.intentOf(result).kind;
       if (kind != verify::IntentKind::kReachability &&

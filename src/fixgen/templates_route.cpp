@@ -45,7 +45,7 @@ std::vector<FailingDestination> failingReachabilityDests(
     const RepairContext& context) {
   std::vector<FailingDestination> dests;
   std::set<std::string> seen;
-  for (const auto& result : context.results) {
+  for (const verify::TestResult& result : context.results) {
     if (result.passed) continue;
     const verify::IntentKind kind = context.intentOf(result).kind;
     if (kind != verify::IntentKind::kReachability &&

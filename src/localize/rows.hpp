@@ -1,0 +1,45 @@
+// Copy-on-write rows of the localization suite.
+//
+// The incremental localizer reuses an anchor's per-test outcome and
+// coverage row whenever a candidate's blast radius misses the probe's read
+// set. On a typical single-device edit that is the vast majority of the
+// suite, and deep-copying a few hundred TestResults (trace hops, reason
+// strings) and coverage sets (one tree node per covered line) per candidate
+// costs more than re-running the invalidated probes. SharedRow makes the
+// reuse literal: a row is an immutable shared allocation, a cache hit is a
+// reference-count bump, and only fresh rows (misses, full rebuilds) pay an
+// allocation. The implicit conversion keeps read sites written against the
+// underlying type (`const verify::TestResult& r = rows[i];`) compiling
+// unchanged.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "config/ast.hpp"
+#include "verify/verifier.hpp"
+
+namespace acr::sbfl {
+
+template <typename T>
+class SharedRow {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): rows wrap transparently.
+  SharedRow(T value) : ptr_(std::make_shared<const T>(std::move(value))) {}
+
+  // NOLINTNEXTLINE(google-explicit-constructor): rows read transparently.
+  operator const T&() const { return *ptr_; }
+  const T& operator*() const { return *ptr_; }
+  const T* operator->() const { return ptr_.get(); }
+
+ private:
+  std::shared_ptr<const T> ptr_;
+};
+
+/// One test's verdict (trace, pass/fail, reason).
+using ResultRow = SharedRow<verify::TestResult>;
+/// One test's covered configuration lines, parallel to its ResultRow.
+using CoverageRow = SharedRow<std::set<cfg::LineId>>;
+
+}  // namespace acr::sbfl

@@ -45,20 +45,37 @@ const std::vector<Metric>& allMetrics() {
   return kMetrics;
 }
 
-void Spectrum::addTest(const std::set<cfg::LineId>& covered, bool passed) {
+void Spectrum::addRow(const CoverageBits& row, bool passed) {
   if (passed) {
     ++total_passed_;
   } else {
     ++total_failed_;
   }
-  for (const auto& line : covered) {
-    Counts& counts = counts_[line];
-    if (passed) {
-      ++counts.passed;
-    } else {
-      ++counts.failed;
+  std::vector<int>& bumped = passed ? passed_ : failed_;
+  row.forEachSet([&](int id) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (idx >= bumped.size()) bumped.resize(idx + 1, 0);
+    if (++bumped[idx] == 1) {
+      const std::vector<int>& other = passed ? failed_ : passed_;
+      if (idx >= other.size() || other[idx] == 0) ++covered_;
     }
+  });
+}
+
+void Spectrum::removeRow(const CoverageBits& row, bool passed) {
+  if (passed) {
+    --total_passed_;
+  } else {
+    --total_failed_;
   }
+  std::vector<int>& dropped = passed ? passed_ : failed_;
+  row.forEachSet([&](int id) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (--dropped[idx] == 0) {
+      const std::vector<int>& other = passed ? failed_ : passed_;
+      if (idx >= other.size() || other[idx] == 0) --covered_;
+    }
+  });
 }
 
 double Spectrum::scoreCounts(const Counts& counts, Metric metric,
@@ -109,20 +126,25 @@ double Spectrum::scoreCounts(const Counts& counts, Metric metric,
 
 double Spectrum::score(const cfg::LineId& line, Metric metric,
                        std::uint64_t seed) const {
-  const auto it = counts_.find(line);
-  if (it == counts_.end()) return 0.0;
-  return scoreCounts(it->second, metric, line, seed);
+  const int id = lines_->idOf(line);
+  if (id < 0) return 0.0;
+  const Counts counts = countsOf(id);
+  if (counts.failed + counts.passed == 0) return 0.0;
+  return scoreCounts(counts, metric, line, seed);
 }
 
 std::vector<LineScore> Spectrum::rank(Metric metric, std::uint64_t seed) const {
   obs::Span span("sbfl.rank");
-  span.attr("lines", static_cast<std::int64_t>(counts_.size()));
+  span.attr("lines", static_cast<std::int64_t>(covered_));
   std::vector<LineScore> scores;
-  scores.reserve(counts_.size());
-  for (const auto& [line, counts] : counts_) {
+  scores.reserve(covered_);
+  const int ids = static_cast<int>(lines_->size());
+  for (int id = 0; id < ids; ++id) {
+    const Counts counts = countsOf(id);
+    if (counts.failed + counts.passed == 0) continue;
     LineScore score;
-    score.line = line;
-    score.suspiciousness = scoreCounts(counts, metric, line, seed);
+    score.line = lines_->lineOf(id);
+    score.suspiciousness = scoreCounts(counts, metric, score.line, seed);
     score.failed_cover = counts.failed;
     score.passed_cover = counts.passed;
     scores.push_back(score);

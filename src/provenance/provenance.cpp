@@ -1,6 +1,27 @@
 #include "provenance/provenance.hpp"
 
+#include <utility>
+
 namespace acr::prov {
+
+void ProvenanceGraph::freeze() {
+  if (tail_.empty()) return;
+  std::vector<Derivation> merged;
+  merged.reserve(size());
+  if (base_ != nullptr) {
+    merged.insert(merged.end(), base_->begin(), base_->end());
+  }
+  for (Derivation& node : tail_) merged.push_back(std::move(node));
+  tail_.clear();
+  base_ = std::make_shared<const std::vector<Derivation>>(std::move(merged));
+}
+
+ProvenanceGraph ProvenanceGraph::fork() const {
+  ProvenanceGraph forked;
+  forked.base_ = base_;
+  forked.tail_ = tail_;  // empty when frozen — the O(1) path
+  return forked;
+}
 
 void ProvenanceGraph::collectLines(DerivationId id,
                                    std::set<cfg::LineId>& out) const {
@@ -22,11 +43,15 @@ int ProvenanceGraph::chainLength(DerivationId id) const {
 
 void ProvenanceGraph::collectLinesForPrefix(const net::Prefix& prefix,
                                             std::set<cfg::LineId>& out) const {
-  for (const Derivation& node : nodes_) {
-    if (node.prefix == prefix) {
-      out.insert(node.lines.begin(), node.lines.end());
+  const auto scan = [&](const std::vector<Derivation>& nodes) {
+    for (const Derivation& node : nodes) {
+      if (node.prefix == prefix) {
+        out.insert(node.lines.begin(), node.lines.end());
+      }
     }
-  }
+  };
+  if (base_ != nullptr) scan(*base_);
+  scan(tail_);
 }
 
 int ProvenanceGraph::leafCount(DerivationId id) const {

@@ -11,9 +11,16 @@
 //     §4.1, mirroring Y!/NetCov);
 //   * the MetaProv baseline and Figure 3 — its search space is the set of
 //     leaf config lines of the provenance tree of the failed event.
+//
+// Storage is copy-on-write: nodes live in an immutable shared base segment
+// plus a per-graph append tail. `freeze()` folds the tail into the base;
+// `fork()` produces a graph sharing the frozen base, so a delta simulation
+// can append candidate-specific derivations without copying the anchor's
+// graph — unchanged entries keep their anchor DerivationIds byte-for-byte.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -36,17 +43,38 @@ struct Derivation {
 class ProvenanceGraph {
  public:
   DerivationId add(Derivation derivation) {
-    nodes_.push_back(std::move(derivation));
-    return static_cast<DerivationId>(nodes_.size()) - 1;
+    tail_.push_back(std::move(derivation));
+    return static_cast<DerivationId>(baseSize() + tail_.size()) - 1;
   }
 
   [[nodiscard]] const Derivation& at(DerivationId id) const {
-    return nodes_.at(static_cast<std::size_t>(id));
+    const auto idx = static_cast<std::size_t>(id);
+    const std::size_t base = baseSize();
+    if (idx < base) return (*base_)[idx];
+    return tail_.at(idx - base);
   }
 
-  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
-  [[nodiscard]] bool empty() const { return nodes_.empty(); }
-  void clear() { nodes_.clear(); }
+  [[nodiscard]] std::size_t size() const { return baseSize() + tail_.size(); }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  void clear() {
+    base_.reset();
+    tail_.clear();
+  }
+
+  /// Folds the append tail into the immutable shared base. Idempotent.
+  /// After freezing, `fork()` is O(1) and every existing DerivationId stays
+  /// valid in both the original and all forks.
+  void freeze();
+
+  /// A graph sharing this graph's frozen base segment. Ids recorded so far
+  /// resolve identically in the fork; appends to either graph are invisible
+  /// to the other. Cheap when this graph is frozen (the usual case: freeze
+  /// the anchor once, fork per candidate); otherwise the unfrozen tail is
+  /// deep-copied so the fork is still correct.
+  [[nodiscard]] ProvenanceGraph fork() const;
+
+  /// Number of nodes in the frozen base segment (0 when never frozen).
+  [[nodiscard]] std::size_t frozenSize() const { return baseSize(); }
 
   /// Union of config lines along the whole derivation chain of `id`.
   void collectLines(DerivationId id, std::set<cfg::LineId>& out) const;
@@ -66,7 +94,12 @@ class ProvenanceGraph {
                              std::set<cfg::LineId>& out) const;
 
  private:
-  std::vector<Derivation> nodes_;
+  [[nodiscard]] std::size_t baseSize() const {
+    return base_ == nullptr ? 0 : base_->size();
+  }
+
+  std::shared_ptr<const std::vector<Derivation>> base_;
+  std::vector<Derivation> tail_;
 };
 
 }  // namespace acr::prov

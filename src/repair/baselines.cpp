@@ -90,12 +90,13 @@ BaselineResult provenanceRepair(const topo::Network& faulty,
   const std::set<cfg::LineId> leaves = sbfl::coverageOf(faulty, sim, *failing);
   result.search_space = leaves.size();
 
-  std::vector<std::set<cfg::LineId>> coverage;
+  const std::vector<sbfl::ResultRow> rows(before.begin(), before.end());
+  std::vector<sbfl::CoverageRow> coverage;
   coverage.reserve(before.size());
   for (const auto& test_result : before) {
     coverage.push_back(sbfl::coverageOf(faulty, sim, test_result));
   }
-  const fix::RepairContext context{faulty, sim, intents, before, coverage};
+  const fix::RepairContext context{faulty, sim, intents, rows, coverage};
 
   // Modify the first traced source that admits a change — no validation.
   std::map<std::string, std::map<int, cfg::LineInfo>> cache;
@@ -162,12 +163,13 @@ BaselineResult synthesisRepair(const topo::Network& faulty,
     return finish();
   }
 
-  std::vector<std::set<cfg::LineId>> coverage;
+  const std::vector<sbfl::ResultRow> rows(before.begin(), before.end());
+  std::vector<sbfl::CoverageRow> coverage;
   coverage.reserve(before.size());
   for (const auto& test_result : before) {
     coverage.push_back(sbfl::coverageOf(faulty, sim, test_result));
   }
-  const fix::RepairContext context{faulty, sim, intents, before, coverage};
+  const fix::RepairContext context{faulty, sim, intents, rows, coverage};
 
   // Atomic actions: every template proposal over every configuration line.
   std::vector<fix::ProposedChange> actions;

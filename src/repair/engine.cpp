@@ -7,7 +7,7 @@
 #include <random>
 
 #include "fixgen/change.hpp"
-#include "localize/coverage.hpp"
+#include "localize/incremental.hpp"
 #include "localize/testgen.hpp"
 #include "obs/record.hpp"
 #include "obs/trace.hpp"
@@ -76,7 +76,13 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
   repair_span.attr("seed", static_cast<std::int64_t>(options_.seed));
 
   util::MetricsRegistry& metrics = util::MetricsRegistry::global();
-  util::Histogram& localize_ms = metrics.histogram("repair.localize_ms");
+  // The LOCALIZE stage reports per-segment: simulation (delta or full),
+  // suite evaluation (probes + coverage + spectrum), and ranking.
+  util::Histogram& localize_sim_ms = metrics.histogram("repair.localize.sim_ms");
+  util::Histogram& localize_suite_ms =
+      metrics.histogram("repair.localize.suite_ms");
+  util::Histogram& localize_rank_ms =
+      metrics.histogram("repair.localize.rank_ms");
   util::Histogram& fix_ms = metrics.histogram("repair.fix_ms");
   util::Histogram& validate_ms = metrics.histogram("repair.validate_ms");
   metrics.counter("repair.runs").add(1);
@@ -165,8 +171,11 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
   std::vector<Candidate> population{
       Candidate{faulty, {}, {}, baseline_fitness}};
   int previous_fitness = baseline_fitness;
-  const verify::Verifier localize_verifier(intents_, localize_options,
-                                           options_.multipath);
+  // Incremental LOCALIZE: one provenance-recording anchor simulation (plus
+  // one per degraded link set), every candidate delta-seeded off it with
+  // cached probe outcomes and coverage rows (localize/incremental.hpp).
+  sbfl::LocalizeCache localize_cache(faulty, intents_, tests,
+                                     localize_options, options_.multipath);
 
   // Fitness (= number of failing tests) plus the verifier work it cost.
   // `verifier` is the incremental verifier to probe — the main one on the
@@ -257,22 +266,29 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
     std::vector<Candidate> next_population;
     for (const Candidate& candidate : population) {
       // ---- LOCALIZE -------------------------------------------------------
-      const auto localize_started = std::chrono::steady_clock::now();
       std::optional<obs::Span> localize_span;
       localize_span.emplace("localize");
       localize_span->attr("iteration", static_cast<std::int64_t>(iteration));
-      route::SimResult sim =
-          route::Simulator(candidate.network).run(localize_options);
-      std::vector<verify::TestResult> test_results =
-          localize_verifier.runTests(candidate.network, sim, tests);
+      const auto observe_stage = [&](const sbfl::LocalizeOutcome& outcome) {
+        localize_sim_ms.observe(outcome.sim_ms);
+        localize_suite_ms.observe(outcome.suite_ms);
+      };
+      std::vector<std::string> changed_devices;
+      for (const auto& diff : diffNetworks(faulty, candidate.network)) {
+        changed_devices.push_back(diff.device);
+      }
+      sbfl::LocalizeOutcome localized =
+          localize_cache.localize(candidate.network, changed_devices);
+      observe_stage(localized);
       // When the plain suite is green but a k-failure scenario violates,
       // the fault is latent: localize on the degraded topology where the
       // violation manifests (configs are identical, so line coordinates
-      // transfer directly).
+      // transfer directly). The cache keeps one anchor per violating link
+      // set, so iterating candidates delta-seed here too.
       const topo::Network* context_network = &candidate.network;
       topo::Network degraded;
       const bool plain_failing =
-          std::any_of(test_results.begin(), test_results.end(),
+          std::any_of(localized.results.begin(), localized.results.end(),
                       [](const verify::TestResult& r) { return !r.passed; });
       if (!plain_failing && options_.tolerance_k > 0) {
         const verify::FailureToleranceReport report =
@@ -280,23 +296,33 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
         if (!report.violations.empty()) {
           degraded = verify::withoutLinks(
               candidate.network, report.violations.front().link_indices);
-          sim = route::Simulator(degraded).run(localize_options);
-          test_results = localize_verifier.runTests(degraded, sim, tests);
+          localized = localize_cache.localizeDegraded(
+              degraded, changed_devices,
+              report.violations.front().link_indices);
+          observe_stage(localized);
           context_network = &degraded;
         }
       }
-      std::vector<std::set<cfg::LineId>> coverage;
-      coverage.reserve(test_results.size());
-      sbfl::Spectrum spectrum;
-      for (const auto& test_result : test_results) {
-        coverage.push_back(
-            sbfl::coverageOf(*context_network, sim, test_result));
-        spectrum.addTest(coverage.back(), test_result.passed);
-      }
-      const std::vector<sbfl::LineScore> ranked = spectrum.rank(
+      const route::SimResult& sim = localized.sim;
+      const std::vector<sbfl::ResultRow>& test_results = localized.results;
+      const std::vector<sbfl::CoverageRow>& coverage = localized.coverage;
+      const auto rank_started = std::chrono::steady_clock::now();
+      const std::vector<sbfl::LineScore> ranked = localized.spectrum.rank(
           options_.metric, options_.seed + static_cast<std::uint64_t>(iteration));
+      localize_rank_ms.observe(std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() -
+                                   rank_started)
+                                   .count());
       localize_span->attr("suspects",
                           static_cast<std::int64_t>(ranked.size()));
+      localize_span->attr("sim", localized.sim_kind);
+      localize_span->attr("probe_hits",
+                          static_cast<std::int64_t>(localized.probe_hits));
+      localize_span->attr("probe_misses",
+                          static_cast<std::int64_t>(localized.probe_misses));
+      localize_span->attr(
+          "derivations_reused",
+          static_cast<std::int64_t>(localized.derivations_reused));
       localize_span.reset();
       if (recorder != nullptr) {
         std::vector<obs::FlightRecorder::Suspect> suspects;
@@ -308,10 +334,6 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
         }
         recorder->localize(iteration, suspects);
       }
-      localize_ms.observe(std::chrono::duration<double, std::milli>(
-                              std::chrono::steady_clock::now() -
-                              localize_started)
-                              .count());
 
       // Resolve line info lazily, per device.
       std::map<std::string, std::map<int, cfg::LineInfo>> line_index;

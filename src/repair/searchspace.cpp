@@ -23,7 +23,7 @@ SearchSpaceReport measureSearchSpaces(const topo::Network& faulty,
   const std::vector<verify::TestResult> results =
       verifier.runTests(faulty, sim, tests);
 
-  std::vector<std::set<cfg::LineId>> coverage;
+  std::vector<sbfl::CoverageRow> coverage;
   sbfl::Spectrum spectrum;
   const verify::TestResult* first_failing = nullptr;
   for (const auto& result : results) {
@@ -36,7 +36,8 @@ SearchSpaceReport measureSearchSpaces(const topo::Network& faulty,
         sbfl::coverageOf(faulty, sim, *first_failing).size();
   }
 
-  const fix::RepairContext context{faulty, sim, intents, results, coverage};
+  const std::vector<sbfl::ResultRow> rows(results.begin(), results.end());
+  const fix::RepairContext context{faulty, sim, intents, rows, coverage};
   std::map<std::string, std::map<int, cfg::LineInfo>> cache;
   int lines_used = 0;
   for (const auto& score : spectrum.rank(options.metric)) {

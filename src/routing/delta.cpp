@@ -34,10 +34,15 @@ SimResult DeltaSimulator::run(const topo::Network& updated,
     return Simulator(updated).run(options);
   };
 
-  // Fallback rules (docs/architecture.md §12). Provenance derivations
-  // encode the full per-round announcement history from round 0, which a
-  // run that skips those rounds cannot reproduce.
-  if (options.record_provenance) return fallback("provenance-requested");
+  // Fallback rules (docs/architecture.md §12). A converged anchor carries a
+  // canonical fixpoint provenance graph (sim_engine.hpp) that the delta run
+  // forks copy-on-write; an anchor recorded without provenance — or one
+  // whose rib masks its derivation ids — has nothing to fork.
+  const bool record = options.record_provenance;
+  if (record && (baseline_.provenance.empty() ||
+                 !baseline_.rib.showsDerivations())) {
+    return fallback("provenance-anchor-missing");
+  }
   // The baseline state is only a valid starting point if it is a fixpoint.
   if (!baseline_.converged) return fallback("baseline-not-converged");
   if (!detail::sameTopologyShape(baseline_network_.topology, updated.topology)) {
@@ -80,13 +85,14 @@ SimResult DeltaSimulator::run(const topo::Network& updated,
   // page-pointer copies, with pages cloned lazily at first write. The
   // cloned tables pin the baseline's ids (append-only growth for any new
   // prefixes the edit introduces), so baseline pages are valid verbatim.
-  // Derivation ids point into the baseline's provenance graph, which this
-  // result does not carry, and ECMP sets may be absent from this run's
-  // options — both are derived state, masked instead of scrubbed.
+  // With provenance on, derivation ids stay visible: they index the anchor
+  // graph this result forks, so untouched entries reuse anchor derivations
+  // byte-for-byte. ECMP sets may be absent from this run's options —
+  // derived state, masked instead of scrubbed.
   auto tables = std::make_shared<SimTables>(*baseline_.rib.tables());
   Rib bests = baseline_.rib;
   bests.setTables(tables);
-  bests.scrubFor(false, options.enable_ecmp);
+  bests.scrubFor(record, options.enable_ecmp);
 
   const std::size_t router_count = tables->routers.names.size();
   const std::vector<detail::Flow> flows =
@@ -171,6 +177,22 @@ SimResult DeltaSimulator::run(const topo::Network& updated,
     if (prefix_seen[pid] == 0) {
       prefix_seen[pid] = 1;
       ++stats.dirty_prefixes;
+    }
+  };
+
+  // With provenance on, every committed (router, prefix) cell is recorded
+  // (first-touch deduplicated) so the post-convergence canonicalization can
+  // compute the exact anchor diff without sweeping the RIB.
+  std::vector<std::vector<std::uint8_t>> touch_grid(record ? router_count : 0);
+  std::vector<std::pair<int, PrefixId>> touched_cells;
+  const auto recordCellTouch = [&](int rid, PrefixId pid) {
+    auto& grid = touch_grid[static_cast<std::size_t>(rid)];
+    if (grid.size() < tables->prefixes.size()) {
+      grid.resize(tables->prefixes.size(), 0);
+    }
+    if (grid[pid] == 0) {
+      grid[pid] = 1;
+      touched_cells.emplace_back(rid, pid);
     }
   };
 
@@ -312,8 +334,20 @@ SimResult DeltaSimulator::run(const topo::Network& updated,
         // the stored entry — skipping it keeps shared baseline pages
         // shared instead of cloning them for a no-op write.
         if (!update.state_change && !options.enable_ecmp) continue;
-        bests.set(update.rid, update.pid, update.entry, &update_ecmp[i]);
+        RouteEntry to_store = update.entry;
+        if (record) {
+          // A derived-state refresh keeps the stored derivation (the chain
+          // is unchanged); state-changing commits stay at kNoDerivation
+          // until the canonicalization pass rebuilds them.
+          if (!update.state_change) {
+            const RouteEntry* stored = bests.entryAt(update.rid, update.pid);
+            if (stored != nullptr) to_store.derivation = stored->derivation;
+          }
+          recordCellTouch(update.rid, update.pid);
+        }
+        bests.set(update.rid, update.pid, to_store, &update_ecmp[i]);
       } else {
+        if (record) recordCellTouch(update.rid, update.pid);
         bests.erase(update.rid, update.pid);
       }
     }
@@ -344,6 +378,130 @@ SimResult DeltaSimulator::run(const topo::Network& updated,
     hash_history.emplace_back(state_hash, round);
   }
   if (!converged) return fallback("delta-round-cap");
+
+  if (record) {
+    // Canonical provenance fix-up. The propagation above recorded nothing
+    // (zero per-round provenance cost); now that the new fixpoint is known,
+    // rebuild derivations only along *chain-dirty* cells — cells whose own
+    // state changed, whose device was edited, or whose derivation chain
+    // crosses such a cell. Everything else keeps its anchor DerivationId
+    // byte-for-byte inside the forked graph.
+    std::vector<std::uint8_t> device_changed(router_count, 0);
+    for (const std::string& device : changed_devices) {
+      const int rid = tables->routers.idOf(device);
+      if (rid != 0) device_changed[static_cast<std::size_t>(rid)] = 1;
+    }
+
+    // Exact anchor diff from the first-touch list (anchor pages survive
+    // inside the COW fork, so the comparison needs no saved pre-images).
+    std::vector<std::vector<std::uint8_t>> state_changed(router_count);
+    std::set<PrefixId> affected_pids;
+    std::vector<std::pair<int, PrefixId>> changed_cells;
+    for (const auto& [rid, pid] : touched_cells) {
+      const RouteEntry* now = bests.entryAt(rid, pid);
+      const RouteEntry* before = baseline_.rib.entryAt(rid, pid);
+      const bool same = now == nullptr
+                            ? before == nullptr
+                            : before != nullptr && sameEntryState(*before, *now);
+      if (same) continue;
+      changed_cells.emplace_back(rid, pid);
+      auto& row = state_changed[static_cast<std::size_t>(rid)];
+      if (row.size() < tables->prefixes.size()) {
+        row.resize(tables->prefixes.size(), 0);
+      }
+      row[pid] = 1;
+      affected_pids.insert(pid);
+    }
+    // Chain dirtiness can only originate from a base-dirty cell of the same
+    // prefix, so the affected universe is the changed cells' prefixes plus
+    // every prefix present on an edited device.
+    for (std::size_t rid = 0; rid < router_count; ++rid) {
+      if (device_changed[rid] == 0) continue;
+      const RibPage* page = bests.page(static_cast<int>(rid));
+      if (page == nullptr) continue;
+      for (PrefixId pid = 0; pid < page->entries.size(); ++pid) {
+        if (page->entries[pid].present != 0) affected_pids.insert(pid);
+      }
+    }
+
+    prov::ProvenanceGraph graph = baseline_.provenance.fork();
+    detail::ProvenanceRebuilder rebuilder(
+        updated, *tables, flow_ptrs, graph,
+        [&bests](int rid, PrefixId pid) { return bests.entryAt(rid, pid); },
+        [&](int rid, PrefixId pid) {
+          if (device_changed[static_cast<std::size_t>(rid)] != 0) return true;
+          const auto& row = state_changed[static_cast<std::size_t>(rid)];
+          return static_cast<std::size_t>(pid) < row.size() && row[pid] != 0;
+        });
+    for (const PrefixId pid : affected_pids) {
+      for (std::size_t rid = 0; rid < router_count; ++rid) {
+        if (bests.entryAt(static_cast<int>(rid), pid) == nullptr) continue;
+        prov::DerivationId id = prov::kNoDerivation;
+        if (!rebuilder.canonicalize(static_cast<int>(rid), pid, id)) {
+          // The fixpoint could not be reproduced from the configs (e.g. a
+          // policy masked the edit away) — identity over cleverness.
+          return fallback("provenance-divergence");
+        }
+      }
+    }
+    // Patch fresh ids only after every cell succeeded.
+    std::vector<std::uint8_t> chain_dirty(router_count, 0);
+    std::vector<std::pair<std::size_t, PrefixId>> chain_dirty_cells;
+    for (const PrefixId pid : affected_pids) {
+      for (std::size_t rid = 0; rid < router_count; ++rid) {
+        const RouteEntry* entry = bests.entryAt(static_cast<int>(rid), pid);
+        if (entry == nullptr) continue;
+        const prov::DerivationId id =
+            rebuilder.idOf(static_cast<int>(rid), pid);
+        if (id == entry->derivation) continue;
+        chain_dirty[rid] = 1;
+        chain_dirty_cells.emplace_back(rid, pid);
+        RouteEntry patched = *entry;
+        patched.derivation = id;
+        EcmpSet ecmp_copy;
+        const EcmpSet* ecmp = bests.showsEcmp() && entry->has_ecmp != 0
+                                  ? bests.ecmpAt(static_cast<int>(rid), pid)
+                                  : nullptr;
+        if (ecmp != nullptr) ecmp_copy = *ecmp;
+        bests.set(static_cast<int>(rid), pid, patched,
+                  ecmp != nullptr ? &ecmp_copy : nullptr);
+      }
+    }
+
+    std::sort(changed_cells.begin(), changed_cells.end());
+    stats.changed_cells.reserve(changed_cells.size());
+    for (const auto& [rid, pid] : changed_cells) {
+      stats.changed_cells.emplace_back(tables->routers.nameOf(rid),
+                                       tables->prefixes.prefixOf(pid));
+    }
+    for (std::size_t rid = 0; rid < router_count; ++rid) {
+      if (chain_dirty[rid] != 0) {
+        stats.dirty_chain_routers.push_back(
+            tables->routers.nameOf(static_cast<int>(rid)));
+      }
+    }
+    std::sort(chain_dirty_cells.begin(), chain_dirty_cells.end());
+    stats.dirty_chain_cells.reserve(chain_dirty_cells.size());
+    for (const auto& [rid, pid] : chain_dirty_cells) {
+      stats.dirty_chain_cells.emplace_back(
+          tables->routers.nameOf(static_cast<int>(rid)),
+          tables->prefixes.prefixOf(pid));
+    }
+    std::size_t total_routes = 0;
+    for (std::size_t rid = 0; rid < router_count; ++rid) {
+      const RibPage* page = bests.page(static_cast<int>(rid));
+      if (page != nullptr) total_routes += page->live;
+    }
+    stats.fresh_derivations = rebuilder.freshCount();
+    stats.reused_derivations =
+        total_routes - std::min(total_routes, stats.fresh_derivations);
+    metrics.counter("sim.delta.derivations_fresh")
+        .add(stats.fresh_derivations);
+    metrics.counter("sim.delta.derivations_reused")
+        .add(stats.reused_derivations);
+    span.attr("derivations_fresh", std::to_string(stats.fresh_derivations));
+    result.provenance = std::move(graph);
+  }
 
   stats.used_delta = true;
   stats.rounds = round;

@@ -16,21 +16,32 @@
 // fixpoint of it: un-dirty entries are already at their post-change value.
 // Whenever the premise is not airtight the DeltaSimulator silently runs the
 // full engine instead — the fallback rules (see docs/architecture.md §12):
-//   * provenance requested (derivations encode full per-round history),
+//   * provenance anchor missing (provenance requested but the anchor has no
+//     recorded graph, or its rib masks its derivation ids),
 //   * baseline not converged,
 //   * topology shape changed (routers / links),
 //   * device set changed,
 //   * BGP session state changed,
 //   * ECMP recording mismatch between baseline and requested options,
-//   * round cap hit without a detected cycle.
+//   * round cap hit without a detected cycle,
+//   * provenance divergence (the new fixpoint cannot be re-derived from the
+//     updated configs — canonicalization refuses to guess).
+//
+// With `record_provenance` on, propagation itself records nothing; after
+// convergence a canonicalization pass (sim_engine.hpp ProvenanceRebuilder)
+// forks the anchor's frozen graph copy-on-write and appends fresh
+// derivations only along chain-dirty cells, so unchanged entries reuse the
+// anchor's derivations byte-for-byte.
 // The equivalence is enforced empirically by a sweep across the fault
 // campaign's error catalog (tests/routing/delta_test.cc).
 #pragma once
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "netcore/prefix.hpp"
 #include "routing/simulator.hpp"
 #include "topo/network.hpp"
 
@@ -48,6 +59,27 @@ struct DeltaStats {
   std::size_t work_items = 0;
   /// Rounds the baseline seed avoided vs. a from-scratch run (>= 0).
   int rounds_saved = 0;
+  /// Exact (router, prefix) cells whose state differs from the anchor,
+  /// sorted by (router id, prefix id). Filled only when the provenance
+  /// path engaged (`record_provenance` and `used_delta`) — the suite cache
+  /// derives probe invalidation from this without a RIB sweep.
+  std::vector<std::pair<std::string, net::Prefix>> changed_cells;
+  /// Canonicalization outcome (provenance path only): derivations rebuilt
+  /// along dirty chains vs. anchor derivations reused byte-for-byte.
+  std::size_t fresh_derivations = 0;
+  std::size_t reused_derivations = 0;
+  /// Routers owning at least one freshly rebuilt derivation — the
+  /// chain-dirty blast radius, a superset of the changed_cells routers.
+  /// Cached probes whose coverage footprint stays clear of these (and of
+  /// the edited devices) can reuse their anchor chains byte-for-byte.
+  std::vector<std::string> dirty_chain_routers;
+  /// The same blast radius at entry granularity: every (router, prefix)
+  /// cell whose derivation was rebuilt (content differs from the anchor's,
+  /// or the cell is new). A cached probe is only invalidated by a dirty
+  /// cell a traversed hop could actually have read — one whose prefix
+  /// contains the probe's destination — so this is what makes the suite
+  /// cache effective on wide-blast edits.
+  std::vector<std::pair<std::string, net::Prefix>> dirty_chain_cells;
 };
 
 class DeltaSimulator {

@@ -54,6 +54,9 @@ struct DeltaTree::Impl {
   detail::EntryBetter better;
   /// Base-resolved flow patches (deque: stable addresses under growth).
   std::deque<detail::Flow> node_patch_storage;
+  /// Devices on which the base differs from the anchor — a leaf's dirty
+  /// devices vs. the anchor are these plus its own changed_vs_base.
+  std::vector<std::string> base_changed_devices;
 
   /// The one working state, forked copy-on-write. Masked like the
   /// DeltaSimulator's seed (no derivations; ECMP per options).
@@ -400,7 +403,15 @@ struct DeltaTree::Impl {
           }
         }
         if (update.present) {
-          bests.set(update.rid, update.pid, update.entry, &update_ecmp[i]);
+          RouteEntry to_store = update.entry;
+          // A derived-state refresh (ECMP set changed, key state not) keeps
+          // the stored derivation: the chain is unchanged, and the
+          // canonicalization pass only revisits state-changed cells.
+          if (options.record_provenance && !update.state_change &&
+              old_entry != nullptr) {
+            to_store.derivation = old_entry->derivation;
+          }
+          bests.set(update.rid, update.pid, to_store, &update_ecmp[i]);
         } else {
           bests.erase(update.rid, update.pid);
         }
@@ -431,6 +442,99 @@ struct DeltaTree::Impl {
     rounds_out = round;
     return {};
   }
+
+  /// Per-leaf canonical provenance (the DeltaSimulator pass, undo-logged):
+  /// forks the anchor's frozen graph, rebuilds derivations along
+  /// chain-dirty cells only, and patches them through the leaf undo log so
+  /// they roll back with the leaf. On success `view.provenance` carries the
+  /// leaf's forked graph (the caller clears it after the visit); returns
+  /// the fallback reason on failure, empty on success.
+  [[nodiscard]] std::string canonicalizeLeafProvenance(
+      const topo::Network& network,
+      const std::vector<std::string>& changed_vs_base,
+      const std::vector<std::tuple<int, net::Prefix, PrefixId>>& changed_cells,
+      TreeLeafStats& stats) {
+    const std::size_t router_count = routerCount();
+    std::vector<std::uint8_t> device_changed(router_count, 0);
+    const auto markDevice = [&](const std::string& device) {
+      const int rid = tables->routers.idOf(device);
+      if (rid != 0) device_changed[static_cast<std::size_t>(rid)] = 1;
+    };
+    for (const std::string& device : base_changed_devices) markDevice(device);
+    for (const std::string& device : changed_vs_base) markDevice(device);
+
+    std::vector<std::vector<std::uint8_t>> state_changed(router_count);
+    std::set<PrefixId> affected_pids;
+    for (const auto& [rid, prefix, pid] : changed_cells) {
+      auto& row = state_changed[static_cast<std::size_t>(rid)];
+      if (row.size() < tables->prefixes.size()) {
+        row.resize(tables->prefixes.size(), 0);
+      }
+      row[pid] = 1;
+      affected_pids.insert(pid);
+    }
+    // Chain dirtiness only originates from a base-dirty cell of the same
+    // prefix: the affected universe is the changed cells' prefixes plus
+    // every prefix present on an edited device.
+    for (std::size_t rid = 0; rid < router_count; ++rid) {
+      if (device_changed[rid] == 0) continue;
+      const RibPage* page = view.rib.page(static_cast<int>(rid));
+      if (page == nullptr) continue;
+      for (PrefixId pid = 0; pid < page->entries.size(); ++pid) {
+        if (page->entries[pid].present != 0) affected_pids.insert(pid);
+      }
+    }
+
+    prov::ProvenanceGraph graph = anchor.provenance.fork();
+    detail::ProvenanceRebuilder rebuilder(
+        network, *tables, effective, graph,
+        [this](int rid, PrefixId pid) { return view.rib.entryAt(rid, pid); },
+        [&](int rid, PrefixId pid) {
+          if (device_changed[static_cast<std::size_t>(rid)] != 0) return true;
+          const auto& row = state_changed[static_cast<std::size_t>(rid)];
+          return static_cast<std::size_t>(pid) < row.size() && row[pid] != 0;
+        });
+    for (const PrefixId pid : affected_pids) {
+      for (std::size_t rid = 0; rid < router_count; ++rid) {
+        if (view.rib.entryAt(static_cast<int>(rid), pid) == nullptr) continue;
+        prov::DerivationId id = prov::kNoDerivation;
+        if (!rebuilder.canonicalize(static_cast<int>(rid), pid, id)) {
+          return "provenance-divergence";
+        }
+      }
+    }
+    // Patch fresh ids only after every cell succeeded, each one through
+    // the leaf undo log so it rolls back with the leaf.
+    for (const PrefixId pid : affected_pids) {
+      for (std::size_t rid = 0; rid < router_count; ++rid) {
+        const RouteEntry* entry = view.rib.entryAt(static_cast<int>(rid), pid);
+        if (entry == nullptr) continue;
+        const prov::DerivationId id =
+            rebuilder.idOf(static_cast<int>(rid), pid);
+        if (id == entry->derivation) continue;
+        recordTouch(leaf_level, static_cast<int>(rid), pid);
+        RouteEntry patched = *entry;
+        patched.derivation = id;
+        EcmpSet ecmp_copy;
+        const EcmpSet* ecmp = view.rib.showsEcmp() && entry->has_ecmp != 0
+                                  ? view.rib.ecmpAt(static_cast<int>(rid), pid)
+                                  : nullptr;
+        if (ecmp != nullptr) ecmp_copy = *ecmp;
+        view.rib.set(static_cast<int>(rid), pid, patched,
+                     ecmp != nullptr ? &ecmp_copy : nullptr);
+      }
+    }
+    stats.fresh_derivations = rebuilder.freshCount();
+    std::size_t total_routes = 0;
+    for (std::size_t rid = 0; rid < router_count; ++rid) {
+      const RibPage* page = view.rib.page(static_cast<int>(rid));
+      if (page != nullptr) total_routes += page->live;
+    }
+    stats.reused_derivations =
+        total_routes - std::min(total_routes, stats.fresh_derivations);
+    view.provenance = std::move(graph);
+    return {};
+  }
 };
 
 DeltaTree::DeltaTree(const topo::Network& anchor_network,
@@ -444,8 +548,9 @@ DeltaTree::DeltaTree(const topo::Network& anchor_network,
 
   // Anchor-level preconditions — the DeltaSimulator's first fallback rules,
   // checked once per tree instead of once per candidate.
-  if (options.record_provenance) {
-    disable("provenance-requested");
+  if (options.record_provenance &&
+      (anchor.provenance.empty() || !anchor.rib.showsDerivations())) {
+    disable("provenance-anchor-missing");
     return;
   }
   if (!anchor.converged) {
@@ -480,7 +585,7 @@ DeltaTree::DeltaTree(const topo::Network& anchor_network,
   impl_->tables = std::make_shared<SimTables>(*anchor.rib.tables());
   impl_->view.rib = anchor.rib;
   impl_->view.rib.setTables(impl_->tables);
-  impl_->view.rib.scrubFor(false, options.enable_ecmp);
+  impl_->view.rib.scrubFor(options.record_provenance, options.enable_ecmp);
   impl_->view.converged = true;
   impl_->view.sessions = anchor.sessions;
   impl_->hash = impl_->view.rib.stateHash();
@@ -520,6 +625,7 @@ void DeltaTree::setBase(const topo::Network& base,
     return;
   }
   impl_->base_set = true;
+  impl_->base_changed_devices = changed_vs_anchor;
   if (changed_vs_anchor.empty()) return;  // base == anchor
 
   obs::Span span("sim.tree.node");
@@ -634,6 +740,21 @@ void DeltaTree::leaf(const topo::Network& network,
                                          prefix);
   }
 
+  if (impl_->options.record_provenance) {
+    const std::string prov_reason = impl_->canonicalizeLeafProvenance(
+        network, changed_vs_base, changed_cells, stats);
+    if (!prov_reason.empty()) {
+      impl_->view.provenance.clear();
+      impl_->rollback(impl_->leaf_level, impl_->node_hash);
+      restoreSlots();
+      return fallback(prov_reason);
+    }
+    metrics.counter("sim.tree.derivations_fresh")
+        .add(stats.fresh_derivations);
+    metrics.counter("sim.tree.derivations_reused")
+        .add(stats.reused_derivations);
+  }
+
   impl_->view.dropLookupPages(impl_->touchedRouters(impl_->leaf_level));
   impl_->view.rounds = stats.rounds;
 
@@ -651,6 +772,7 @@ void DeltaTree::leaf(const topo::Network& network,
 
   visit(impl_->view, stats);
 
+  impl_->view.provenance.clear();  // the leaf's fork dies with the leaf
   impl_->rollback(impl_->leaf_level, impl_->node_hash);
   restoreSlots();
 }

@@ -28,14 +28,22 @@
 // `Simulator(leaf_network).run(options)` — the same contract as
 // DeltaSimulator, enforced by the same shared transfer function and the
 // same precondition checks (docs/architecture.md §12, §14). The checks
-// fork with the tree: anchor-level violations (provenance requested,
+// fork with the tree: anchor-level violations (provenance anchor missing,
 // anchor not converged, ECMP recording mismatch) disable the whole tree;
 // base-level violations (topology shape / device set / session state
 // changed, oscillation, round cap) disable the tree from setBase() on; a
 // leaf-level violation falls back to a full simulation for that leaf only,
 // without poisoning its siblings. `rounds` reflects only the leaf's own
-// propagation segment and `announcements`/`provenance` are not reproduced
-// — none of these participate in the identity contract.
+// propagation segment and `announcements` are not reproduced — neither
+// participates in the identity contract.
+//
+// With `record_provenance` on, each leaf carries a per-leaf copy-on-write
+// fork of the anchor's canonical provenance graph: derivations are rebuilt
+// only along chain-dirty cells (sim_engine.hpp ProvenanceRebuilder, same
+// pass as the DeltaSimulator), patched through the leaf undo log so they
+// roll back with the leaf, and the visitor observes chains content-equal
+// to a full run's. A leaf whose fixpoint cannot be re-derived falls back
+// alone ("provenance-divergence").
 //
 // Lifetimes: the anchor network/result must outlive the tree; the base
 // network must outlive every subsequent leaf() call (patched session flows
@@ -74,6 +82,10 @@ struct TreeLeafStats {
   /// Derived from the undo logs, so it costs the blast radius, not a full
   /// RIB sweep. Only populated when `used_delta`.
   std::vector<std::pair<std::string, net::Prefix>> changed_vs_anchor;
+  /// Canonicalization outcome (provenance runs only): derivations rebuilt
+  /// along dirty chains vs. anchor derivations reused byte-for-byte.
+  std::size_t fresh_derivations = 0;
+  std::size_t reused_derivations = 0;
 };
 
 class DeltaTree {

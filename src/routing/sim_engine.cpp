@@ -7,6 +7,13 @@
 
 namespace acr::route::detail {
 
+namespace {
+// ProvenanceRebuilder memo sentinels, outside the valid id space (ids are
+// >= 0; kNoDerivation is -1 and a legal stored value).
+constexpr prov::DerivationId kCellUnvisited = -2;
+constexpr prov::DerivationId kCellInProgress = -3;
+}  // namespace
+
 void packedLocalsFor(const std::string& name, const cfg::DeviceConfig& device,
                      SimTables& tables, prov::ProvenanceGraph* provenance,
                      std::vector<PackedLocal>& out) {
@@ -212,6 +219,146 @@ bool announceEntryOnFlow(const Flow& flow, PrefixId pid,
   return true;
 }
 
+ProvenanceRebuilder::ProvenanceRebuilder(const topo::Network& network,
+                                         SimTables& tables,
+                                         const std::vector<const Flow*>& flows,
+                                         prov::ProvenanceGraph& graph,
+                                         EntryAt entry_at, BaseDirty base_dirty)
+    : network_(network),
+      tables_(tables),
+      graph_(graph),
+      entry_at_(std::move(entry_at)),
+      base_dirty_(std::move(base_dirty)) {
+  for (const Flow* flow : flows) {
+    flows_between_[{flow->from_id, flow->to_id}].push_back(flow);
+  }
+  memo_.resize(tables_.routers.names.size());
+}
+
+bool ProvenanceRebuilder::fail(const char* reason) {
+  if (failure_.empty()) failure_ = reason;
+  return false;
+}
+
+std::vector<prov::DerivationId>& ProvenanceRebuilder::rowOf(int rid) {
+  auto& row = memo_[static_cast<std::size_t>(rid)];
+  if (row.size() < tables_.prefixes.size()) {
+    row.resize(tables_.prefixes.size(), kCellUnvisited);
+  }
+  return row;
+}
+
+prov::DerivationId ProvenanceRebuilder::idOf(int rid, PrefixId pid) const {
+  const auto& row = memo_[static_cast<std::size_t>(rid)];
+  if (static_cast<std::size_t>(pid) >= row.size()) return prov::kNoDerivation;
+  const prov::DerivationId id = row[pid];
+  return id == kCellUnvisited || id == kCellInProgress ? prov::kNoDerivation
+                                                       : id;
+}
+
+bool ProvenanceRebuilder::canonicalize(int rid, PrefixId pid,
+                                       prov::DerivationId& out) {
+  if (failed()) return false;
+  {
+    auto& row = rowOf(rid);
+    const prov::DerivationId cached = row[pid];
+    // A cycle is impossible for real chains (receiver-side loop prevention
+    // makes learned_from a forest per prefix) — hitting one means state and
+    // configs disagree.
+    if (cached == kCellInProgress) return fail("provenance-divergence");
+    if (cached != kCellUnvisited) {
+      out = cached;
+      return true;
+    }
+    row[pid] = kCellInProgress;
+  }
+
+  const RouteEntry* entry = entry_at_(rid, pid);
+  if (entry == nullptr) return fail("provenance-divergence");
+  const std::string& name = tables_.routers.nameOf(rid);
+  const net::Prefix& prefix = tables_.prefixes.prefixOf(pid);
+  prov::DerivationId id = prov::kNoDerivation;
+  bool reuse = false;
+
+  if (entry->source == RouteSource::kBgp) {
+    prov::DerivationId parent_id = prov::kNoDerivation;
+    if (!canonicalize(entry->learned_from_id, pid, parent_id)) return false;
+    const RouteEntry* parent = entry_at_(entry->learned_from_id, pid);
+    if (parent == nullptr) return fail("provenance-divergence");
+    // Clean parent chains return the parent's stored id unchanged; fresh
+    // ids are appended past the anchor segment, so equality here means the
+    // whole ancestor chain is clean.
+    reuse = !base_dirty_(rid, pid) && parent_id == parent->derivation;
+    if (reuse) {
+      id = entry->derivation;
+    } else {
+      RouteEntry parent_input = *parent;
+      parent_input.derivation = parent_id;
+      // Reproduce the announcement: walk the parallel flows in order and
+      // keep the last whose output state-matches the stored best (same-slot
+      // staging overwrites, so the last writer is the recorded one).
+      const auto it = flows_between_.find({entry->learned_from_id, rid});
+      if (it == flows_between_.end()) return fail("provenance-divergence");
+      const Flow* chosen = nullptr;
+      RouteEntry probe;
+      for (const Flow* flow : it->second) {
+        if (announceEntryOnFlow(*flow, pid, parent_input, tables_, nullptr,
+                                nullptr, probe) &&
+            sameEntryState(probe, *entry)) {
+          chosen = flow;
+        }
+      }
+      if (chosen == nullptr) return fail("provenance-divergence");
+      RouteEntry rebuilt;
+      if (!announceEntryOnFlow(*chosen, pid, parent_input, tables_, &graph_,
+                               nullptr, rebuilt)) {
+        return fail("provenance-divergence");
+      }
+      id = rebuilt.derivation;
+    }
+  } else {
+    reuse = !base_dirty_(rid, pid);
+    if (reuse) {
+      id = entry->derivation;
+    } else {
+      // Reproduce the local origin the way packedLocalsFor records it:
+      // interfaces then resolvable statics, last match wins.
+      const cfg::DeviceConfig* device = network_.config(name);
+      if (device == nullptr) return fail("provenance-divergence");
+      int line = -1;
+      if (entry->source == RouteSource::kConnected) {
+        for (const auto& itf : device->interfaces) {
+          if (itf.connectedPrefix() == prefix) line = itf.ip_line;
+        }
+      } else if (entry->source == RouteSource::kStatic) {
+        for (const auto& sr : device->static_routes) {
+          const bool resolvable = std::any_of(
+              device->interfaces.begin(), device->interfaces.end(),
+              [&](const cfg::InterfaceConfig& itf) {
+                return itf.connectedPrefix().contains(sr.next_hop);
+              });
+          if (resolvable && sr.prefix == prefix &&
+              sr.next_hop.value() == entry->next_hop) {
+            line = sr.line;
+          }
+        }
+      }
+      if (line < 0) return fail("provenance-divergence");
+      id = graph_.add(prov::Derivation{
+          name, prefix, prov::kNoDerivation, {cfg::LineId{name, line}}});
+    }
+  }
+
+  if (reuse) {
+    ++reused_;
+  } else {
+    ++fresh_;
+  }
+  rowOf(rid)[pid] = id;
+  out = id;
+  return true;
+}
+
 void FullEngine::sizeState(State& state) const {
   state.pages.assign(tables_->routers.names.size(), {});
   state.ecmp.assign(tables_->routers.names.size(), {});
@@ -366,6 +513,50 @@ void FullEngine::adoptRib(State&& state) {
   metrics.counter("sim.layout.rib_page_bytes").add(result_.rib.pageBytes());
 }
 
+void FullEngine::canonicalizeProvenance(State& state) {
+  prov::ProvenanceGraph canonical;
+  ProvenanceRebuilder rebuilder(
+      network_, *tables_, flows_, canonical,
+      [&state](int rid, PrefixId pid) -> const RouteEntry* {
+        const auto& page = state.pages[static_cast<std::size_t>(rid)];
+        if (static_cast<std::size_t>(pid) >= page.size()) return nullptr;
+        const RouteEntry& entry = page[pid];
+        return entry.present != 0 ? &entry : nullptr;
+      },
+      [](int, PrefixId) { return true; });
+  for (const int rid : config_rids_) {
+    const auto& page = state.pages[static_cast<std::size_t>(rid)];
+    for (std::size_t pid = 0; pid < page.size(); ++pid) {
+      if (page[pid].present == 0) continue;
+      prov::DerivationId id = prov::kNoDerivation;
+      if (!rebuilder.canonicalize(rid, static_cast<PrefixId>(pid), id)) {
+        // Reproduction failed (a policy masked the input difference away,
+        // or configs and fixpoint disagree): keep the per-round graph —
+        // correct, just bigger and not delta-shareable.
+        util::MetricsRegistry::global()
+            .counter("sim.provenance.canonical_bail")
+            .add(1);
+        return;
+      }
+    }
+  }
+  // Patch ids only after every cell succeeded, so a bail leaves the state
+  // pointing wholly into the per-round graph.
+  for (const int rid : config_rids_) {
+    auto& page = state.pages[static_cast<std::size_t>(rid)];
+    for (std::size_t pid = 0; pid < page.size(); ++pid) {
+      if (page[pid].present == 0) continue;
+      page[pid].derivation = rebuilder.idOf(rid, static_cast<PrefixId>(pid));
+    }
+  }
+  util::MetricsRegistry::global()
+      .counter("sim.provenance.canonical_nodes")
+      .add(canonical.size());
+  // Born frozen: anchors fork in O(1) without caller cooperation.
+  canonical.freeze();
+  result_.provenance = std::move(canonical);
+}
+
 FullEngine::StepOutcome FullEngine::step() {
   computeRoundInto(cur_, nxt_, /*record=*/true);
   if (statesEqual(cur_, nxt_)) return StepOutcome::kConverged;
@@ -392,6 +583,7 @@ SimResult FullEngine::run() {
 
     if (outcome == StepOutcome::kConverged) {
       result_.converged = true;
+      if (options_.record_provenance) canonicalizeProvenance(nxt_);
       adoptRib(std::move(nxt_));
       return std::move(result_);
     }

@@ -31,7 +31,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "routing/intern.hpp"
@@ -186,6 +188,70 @@ bool announceEntryOnFlow(const Flow& flow, PrefixId pid,
                          prov::ProvenanceGraph* provenance,
                          std::uint64_t* announcements, RouteEntry& out);
 
+/// Canonical fixpoint provenance: re-derives the derivation chain of
+/// converged RIB cells from the fixpoint itself instead of the round-by-
+/// round announcement history. A cell's canonical node is a pure function
+/// of (flow, sender's fixpoint entry), so the chain content byte-matches
+/// the final-round chain the per-round recorder would have produced —
+/// while the graph shrinks from O(rounds x announcements) to O(routes),
+/// making it shareable across delta simulations.
+///
+/// The same recursion serves two callers:
+///   * the full engine rebuilds every cell (`base_dirty` always true);
+///   * the delta engine reuses the anchor's node for every cell whose
+///     whole chain is clean (`base_dirty` = state-changed or on an edited
+///     device), appending fresh nodes only along dirty chains.
+///
+/// A cell is *chain-dirty* when it is base-dirty itself or any ancestor on
+/// its derivation chain is — dirtiness flows downstream through state-
+/// unchanged cells, because an edit can change a chain's line set without
+/// changing any route state. Clean cells return their stored (anchor)
+/// DerivationId untouched; fresh ids are appended to `graph`, so with a
+/// forked anchor graph the two id spaces never collide.
+class ProvenanceRebuilder {
+ public:
+  using EntryAt = std::function<const RouteEntry*(int, PrefixId)>;
+  using BaseDirty = std::function<bool(int, PrefixId)>;
+
+  ProvenanceRebuilder(const topo::Network& network, SimTables& tables,
+                      const std::vector<const Flow*>& flows,
+                      prov::ProvenanceGraph& graph, EntryAt entry_at,
+                      BaseDirty base_dirty);
+
+  /// Canonical derivation id of cell (rid, pid): the stored id when the
+  /// chain is clean, a freshly appended node otherwise. Returns false when
+  /// the fixpoint can't be reproduced from the configs (a policy masked
+  /// the difference away, or configs and state disagree) — the caller must
+  /// then discard every id handed out so far.
+  bool canonicalize(int rid, PrefixId pid, prov::DerivationId& out);
+
+  [[nodiscard]] bool failed() const { return !failure_.empty(); }
+  [[nodiscard]] const std::string& failureReason() const { return failure_; }
+  [[nodiscard]] std::size_t freshCount() const { return fresh_; }
+  [[nodiscard]] std::size_t reusedCount() const { return reused_; }
+  /// Memoized result of a prior canonicalize() (kNoDerivation when the
+  /// cell was never visited).
+  [[nodiscard]] prov::DerivationId idOf(int rid, PrefixId pid) const;
+
+ private:
+  bool fail(const char* reason);
+  [[nodiscard]] std::vector<prov::DerivationId>& rowOf(int rid);
+
+  const topo::Network& network_;
+  SimTables& tables_;
+  prov::ProvenanceGraph& graph_;
+  EntryAt entry_at_;
+  BaseDirty base_dirty_;
+  /// Flows by (from_id, to_id), in global flow order — reproduction walks
+  /// them in order and keeps the last match, mirroring the candidate
+  /// board's same-slot overwrite semantics.
+  std::map<std::pair<int, int>, std::vector<const Flow*>> flows_between_;
+  std::vector<std::vector<prov::DerivationId>> memo_;  // by rid, by pid
+  std::string failure_;
+  std::size_t fresh_ = 0;
+  std::size_t reused_ = 0;
+};
+
 /// From-scratch synchronous-round engine over triple-buffered flat states.
 class FullEngine {
  public:
@@ -212,6 +278,10 @@ class FullEngine {
 
  private:
   void sizeState(State& state) const;
+  /// Swaps the per-round provenance graph for the canonical fixpoint
+  /// rebuild (see ProvenanceRebuilder), rewriting `state`'s derivation
+  /// ids. Keeps the per-round graph untouched when reproduction fails.
+  void canonicalizeProvenance(State& state);
   void computeRoundInto(const State& src, State& dst, bool record);
   void selectRoundInto(State& dst);
   [[nodiscard]] std::uint64_t hashOf(const State& state) const;

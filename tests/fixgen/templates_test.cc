@@ -16,8 +16,8 @@ struct Harness {
   acr::Scenario scenario;
   topo::Network network;
   route::SimResult sim;
-  std::vector<verify::TestResult> results;
-  std::vector<std::set<cfg::LineId>> coverage;
+  std::vector<sbfl::ResultRow> results;
+  std::vector<sbfl::CoverageRow> coverage;
 
   Harness(acr::Scenario s, topo::Network n)
       : scenario(std::move(s)), network(std::move(n)) {
@@ -25,10 +25,10 @@ struct Harness {
     options.record_provenance = true;
     sim = route::Simulator(network).run(options);
     const verify::Verifier verifier(scenario.intents, options);
-    results = verifier.runTests(network, sim,
-                                verify::generateTests(scenario.intents, 1));
-    for (const auto& result : results) {
+    for (auto& result : verifier.runTests(
+             network, sim, verify::generateTests(scenario.intents, 1))) {
       coverage.push_back(sbfl::coverageOf(network, sim, result));
+      results.push_back(std::move(result));
     }
   }
 

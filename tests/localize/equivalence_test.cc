@@ -1,0 +1,229 @@
+// Incremental LOCALIZE equivalence contract.
+//
+// The cached pipeline (delta-seeded simulation, reused probe outcomes and
+// coverage rows, swapped spectrum rows) must be indistinguishable from the
+// from-scratch pipeline: identical test verdicts, identical coverage sets,
+// byte-identical SBFL rankings under every metric, and content-identical
+// derivation chains on every RIB cell. Enforced across the fault campaign's
+// error catalog in both directions (healthy anchor → injected candidate and
+// faulty anchor → repaired candidate), plus whole-engine byte-identity at
+// different worker counts.
+#include "localize/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/scenarios.hpp"
+#include "faultinject/faults.hpp"
+#include "localize/coverage.hpp"
+#include "repair/engine.hpp"
+#include "routing/simulator.hpp"
+#include "verify/verifier.hpp"
+
+namespace acr::sbfl {
+namespace {
+
+std::vector<std::string> devicesOf(const std::vector<cfg::ConfigDiff>& diffs) {
+  std::vector<std::string> devices;
+  for (const auto& diff : diffs) devices.push_back(diff.device);
+  return devices;
+}
+
+route::SimOptions localizeOptions() {
+  route::SimOptions options;
+  options.record_provenance = true;
+  return options;
+}
+
+/// The old LOCALIZE pipeline, verbatim: full simulation, full suite, full
+/// coverage extraction, spectrum built test by test.
+struct FullLocalize {
+  route::SimResult sim;
+  std::vector<verify::TestResult> results;
+  std::vector<std::set<cfg::LineId>> coverage;
+  Spectrum spectrum;
+};
+
+FullLocalize fullLocalize(const topo::Network& network,
+                          const std::vector<verify::Intent>& intents,
+                          const std::vector<verify::TestCase>& tests) {
+  FullLocalize out;
+  out.sim = route::Simulator(network).run(localizeOptions());
+  const verify::Verifier verifier(intents, localizeOptions());
+  out.results = verifier.runTests(network, out.sim, tests);
+  for (const auto& result : out.results) {
+    out.coverage.push_back(coverageOf(network, out.sim, result));
+    out.spectrum.addTest(out.coverage.back(), result.passed);
+  }
+  return out;
+}
+
+std::string chainOf(const prov::ProvenanceGraph& graph,
+                    prov::DerivationId id) {
+  std::string out;
+  while (id != prov::kNoDerivation) {
+    const prov::Derivation& derivation = graph.at(id);
+    out += derivation.router + '|' + derivation.prefix.str() + '|';
+    for (const auto& line : derivation.lines) out += line.str() + ',';
+    out += ';';
+    id = derivation.parent;
+  }
+  return out;
+}
+
+void expectEquivalent(const FullLocalize& full,
+                      const LocalizeOutcome& incremental) {
+  // Verdicts and traces.
+  ASSERT_EQ(incremental.results.size(), full.results.size());
+  for (std::size_t i = 0; i < full.results.size(); ++i) {
+    EXPECT_EQ(incremental.results[i]->passed, full.results[i].passed) << i;
+    EXPECT_EQ(incremental.results[i]->reason, full.results[i].reason) << i;
+    EXPECT_EQ(incremental.results[i]->trace.outcome,
+              full.results[i].trace.outcome)
+        << i;
+  }
+  // Coverage rows.
+  ASSERT_EQ(incremental.coverage.size(), full.coverage.size());
+  for (std::size_t i = 0; i < full.coverage.size(); ++i) {
+    EXPECT_EQ(*incremental.coverage[i], full.coverage[i]) << "test " << i;
+  }
+  // Rankings under every metric (and the paper's Tarantula twice with a
+  // different tie-break seed to cover the Random ablation path too).
+  for (const Metric metric : allMetrics()) {
+    const std::vector<LineScore> expected = full.spectrum.rank(metric);
+    const std::vector<LineScore> actual = incremental.spectrum.rank(metric);
+    ASSERT_EQ(actual.size(), expected.size()) << metricName(metric);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].line, expected[i].line)
+          << metricName(metric) << " rank " << i;
+      EXPECT_EQ(actual[i].suspiciousness, expected[i].suspiciousness)
+          << metricName(metric) << " rank " << i;
+      EXPECT_EQ(actual[i].failed_cover, expected[i].failed_cover)
+          << metricName(metric) << " rank " << i;
+      EXPECT_EQ(actual[i].passed_cover, expected[i].passed_cover)
+          << metricName(metric) << " rank " << i;
+    }
+  }
+  // Derivation chains, content-compared per RIB cell (ids are storage
+  // artifacts and legitimately differ between a fork and a fresh graph).
+  for (const std::string& router : full.sim.rib.routers()) {
+    const std::map<net::Prefix, route::Route> expected =
+        full.sim.rib.routesOf(router);
+    const std::map<net::Prefix, route::Route> actual =
+        incremental.sim.rib.routesOf(router);
+    ASSERT_EQ(actual.size(), expected.size()) << router;
+    for (const auto& [prefix, route] : expected) {
+      const auto it = actual.find(prefix);
+      ASSERT_NE(it, actual.end()) << router << " " << prefix.str();
+      EXPECT_EQ(chainOf(incremental.sim.provenance, it->second.derivation),
+                chainOf(full.sim.provenance, route.derivation))
+          << router << " " << prefix.str();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Table-1 sweep, both directions.
+// ---------------------------------------------------------------------------
+
+class LocalizeEquivalence
+    : public ::testing::TestWithParam<inject::FaultType> {};
+
+TEST_P(LocalizeEquivalence, InjectedFaultMatchesFullPipeline) {
+  const inject::FaultSpec& spec = inject::specOf(GetParam());
+  acr::Scenario scenario = acr::scenarioByFamily(spec.scenario);
+  inject::FaultInjector injector(11);
+  const auto incident = injector.inject(scenario.built, GetParam());
+  ASSERT_TRUE(incident.has_value()) << spec.label;
+
+  const std::vector<verify::TestCase> tests =
+      verify::generateTests(scenario.intents, 1);
+  LocalizeCache cache(scenario.network(), scenario.intents, tests,
+                      localizeOptions(), false);
+  // Prime the anchor at the origin, then localize the injected candidate.
+  (void)cache.localize(scenario.network(), {});
+  const LocalizeOutcome incremental = cache.localize(
+      incident->network, devicesOf(incident->injected_diff));
+  expectEquivalent(
+      fullLocalize(incident->network, scenario.intents, tests), incremental);
+}
+
+TEST_P(LocalizeEquivalence, RepairedFaultMatchesFullPipeline) {
+  // The engine's real workload: the anchor is the faulty network and the
+  // candidate restores the correct configs.
+  const inject::FaultSpec& spec = inject::specOf(GetParam());
+  acr::Scenario scenario = acr::scenarioByFamily(spec.scenario);
+  inject::FaultInjector injector(11);
+  const auto incident = injector.inject(scenario.built, GetParam());
+  ASSERT_TRUE(incident.has_value()) << spec.label;
+
+  const std::vector<verify::TestCase> tests =
+      verify::generateTests(scenario.intents, 1);
+  LocalizeCache cache(incident->network, scenario.intents, tests,
+                      localizeOptions(), false);
+  (void)cache.localize(incident->network, {});
+  const LocalizeOutcome incremental = cache.localize(
+      scenario.network(), devicesOf(incident->injected_diff));
+  expectEquivalent(
+      fullLocalize(scenario.network(), scenario.intents, tests), incremental);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaultTypes, LocalizeEquivalence,
+    ::testing::Values(inject::FaultType::kMissingRedistribution,
+                      inject::FaultType::kMissingPbrPermit,
+                      inject::FaultType::kExtraPbrRedirect,
+                      inject::FaultType::kMissingPeerGroup,
+                      inject::FaultType::kExtraGroupItems,
+                      inject::FaultType::kMissingRoutePolicy,
+                      inject::FaultType::kLeftoverRouteMap,
+                      inject::FaultType::kWrongPeerAs,
+                      inject::FaultType::kMissingPrefixListItemsS,
+                      inject::FaultType::kMissingPrefixListItemsM),
+    [](const ::testing::TestParamInfo<inject::FaultType>& info) {
+      std::string name = inject::faultTypeName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Whole-engine byte-identity at any worker count.
+// ---------------------------------------------------------------------------
+
+repair::RepairResult repairDcnIncident(int validate_jobs) {
+  acr::Scenario scenario = acr::dcnScenario(2, 2);
+  inject::FaultInjector injector(13);
+  const auto incident =
+      injector.inject(scenario.built, inject::FaultType::kMissingPbrPermit);
+  EXPECT_TRUE(incident.has_value());
+  repair::RepairOptions options;
+  options.seed = 23;
+  options.validate_jobs = validate_jobs;
+  return repair::AcrEngine(scenario.intents, options)
+      .repair(incident->network);
+}
+
+TEST(LocalizeEquivalenceEngine, RepairOutputIdenticalAtAnyJobs) {
+  const repair::RepairResult sequential = repairDcnIncident(1);
+  const repair::RepairResult parallel = repairDcnIncident(4);
+  ASSERT_TRUE(sequential.success);
+  EXPECT_EQ(sequential.termination, parallel.termination);
+  EXPECT_EQ(sequential.iterations, parallel.iterations);
+  EXPECT_EQ(sequential.final_failed, parallel.final_failed);
+  EXPECT_EQ(sequential.changes, parallel.changes);
+  EXPECT_EQ(sequential.validations, parallel.validations);
+  ASSERT_EQ(sequential.diff.size(), parallel.diff.size());
+  for (std::size_t i = 0; i < sequential.diff.size(); ++i) {
+    EXPECT_EQ(sequential.diff[i].str(), parallel.diff[i].str());
+  }
+}
+
+}  // namespace
+}  // namespace acr::sbfl

@@ -17,8 +17,8 @@ net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
 struct Figure2Harness {
   acr::Scenario scenario = acr::figure2Scenario(true);
   route::SimResult sim;
-  std::vector<verify::TestResult> results;
-  std::vector<std::set<cfg::LineId>> coverage;
+  std::vector<sbfl::ResultRow> results;
+  std::vector<sbfl::CoverageRow> coverage;
   sbfl::Spectrum spectrum;
 
   Figure2Harness() {
@@ -26,11 +26,12 @@ struct Figure2Harness {
     options.record_provenance = true;
     sim = route::Simulator(scenario.network()).run(options);
     const verify::Verifier verifier(scenario.intents, options);
-    results = verifier.runTests(scenario.network(), sim,
-                                verify::generateTests(scenario.intents, 1));
-    for (const auto& result : results) {
+    for (auto& result : verifier.runTests(
+             scenario.network(), sim,
+             verify::generateTests(scenario.intents, 1))) {
       coverage.push_back(sbfl::coverageOf(scenario.network(), sim, result));
       spectrum.addTest(coverage.back(), result.passed);
+      results.push_back(std::move(result));
     }
   }
 };

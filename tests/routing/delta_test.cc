@@ -206,7 +206,9 @@ TEST(Delta, EquivalentUnderEcmp) {
 // Fallback rules.
 // ---------------------------------------------------------------------------
 
-TEST(DeltaFallback, ProvenanceRequestFallsBack) {
+TEST(DeltaFallback, ProvenanceAnchorMissingFallsBack) {
+  // Provenance requested but the anchor never recorded a graph: identity of
+  // the forked chains cannot be guaranteed, so the full engine runs.
   acr::Scenario scenario = acr::dcnScenario(2, 2);
   const SimResult baseline =
       Simulator(scenario.network()).run(deltaOptions());
@@ -217,8 +219,108 @@ TEST(DeltaFallback, ProvenanceRequestFallsBack) {
   const SimResult incremental =
       delta.run(scenario.network(), {}, provenance_options, &stats);
   EXPECT_FALSE(stats.used_delta);
-  EXPECT_EQ(stats.fallback_reason, "provenance-requested");
+  EXPECT_EQ(stats.fallback_reason, "provenance-anchor-missing");
   expectSimEqual(incremental, Simulator(scenario.network()).run(provenance_options));
+}
+
+// ---------------------------------------------------------------------------
+// Delta provenance: COW chain reuse on the incremental path.
+// ---------------------------------------------------------------------------
+
+/// The derivation chain of `id` flattened to content: routers, prefixes and
+/// config lines in chain order. Two graphs agree on a cell iff these match —
+/// DerivationIds themselves are storage-order artifacts and intentionally
+/// differ between a full run and a forked delta graph.
+std::string chainOf(const prov::ProvenanceGraph& graph,
+                    prov::DerivationId id) {
+  std::string out;
+  while (id != prov::kNoDerivation) {
+    const prov::Derivation& derivation = graph.at(id);
+    out += derivation.router + '|' + derivation.prefix.str() + '|';
+    for (const auto& line : derivation.lines) out += line.str() + ',';
+    out += ';';
+    id = derivation.parent;
+  }
+  return out;
+}
+
+TEST(DeltaProvenance, EngagesAndReusesAnchorChains) {
+  acr::Scenario scenario = acr::dcnScenario(2, 2);
+  SimOptions options;  // record_provenance defaults to true
+  const SimResult baseline = Simulator(scenario.network()).run(options);
+  ASSERT_TRUE(baseline.converged);
+  ASSERT_FALSE(baseline.provenance.empty());
+
+  topo::Network edited = scenario.network();
+  edited.config("tor1_1")->bgp->redistributes.clear();
+  edited.renumberAll();
+
+  DeltaStats stats;
+  const DeltaSimulator delta(scenario.network(), baseline);
+  const SimResult incremental = delta.run(edited, {"tor1_1"}, options, &stats);
+  EXPECT_TRUE(stats.used_delta) << stats.fallback_reason;
+  EXPECT_GT(stats.fresh_derivations, 0u);
+  EXPECT_GT(stats.reused_derivations, 0u);
+  EXPECT_FALSE(stats.changed_cells.empty());
+  EXPECT_FALSE(stats.dirty_chain_routers.empty());
+
+  // Chain content must match a from-scratch provenance run on every cell.
+  const SimResult full = Simulator(edited).run(options);
+  for (const std::string& router : full.rib.routers()) {
+    const std::map<net::Prefix, Route> expected = full.rib.routesOf(router);
+    const std::map<net::Prefix, Route> actual =
+        incremental.rib.routesOf(router);
+    ASSERT_EQ(actual.size(), expected.size()) << router;
+    for (const auto& [prefix, route] : expected) {
+      const auto it = actual.find(prefix);
+      ASSERT_NE(it, actual.end()) << router << " " << prefix.str();
+      EXPECT_EQ(chainOf(incremental.provenance, it->second.derivation),
+                chainOf(full.provenance, route.derivation))
+          << router << " " << prefix.str();
+    }
+  }
+}
+
+TEST(DeltaProvenance, UnchangedCellsKeepAnchorDerivationIds) {
+  // Byte-for-byte reuse, not just content equality: an untouched cell's
+  // DerivationId must be the anchor's id resolving in the shared frozen
+  // base segment of the forked graph.
+  acr::Scenario scenario = acr::dcnScenario(2, 2);
+  SimOptions options;
+  const SimResult baseline = Simulator(scenario.network()).run(options);
+  ASSERT_TRUE(baseline.converged);
+
+  topo::Network edited = scenario.network();
+  edited.config("tor1_1")->bgp->redistributes.clear();
+  edited.renumberAll();
+
+  DeltaStats stats;
+  const DeltaSimulator delta(scenario.network(), baseline);
+  const SimResult incremental = delta.run(edited, {"tor1_1"}, options, &stats);
+  ASSERT_TRUE(stats.used_delta) << stats.fallback_reason;
+
+  // Fresh derivations are appended past the anchor's frozen segment, so an
+  // id below the anchor graph's size is by construction a reused one — and
+  // it must be exactly the anchor's id for that same cell.
+  const auto frozen =
+      static_cast<prov::DerivationId>(baseline.provenance.size());
+  std::size_t clean_cells = 0;
+  for (const std::string& router : incremental.rib.routers()) {
+    const std::map<net::Prefix, Route> anchor_routes =
+        baseline.rib.routesOf(router);
+    for (const auto& [prefix, route] : incremental.rib.routesOf(router)) {
+      if (route.derivation == prov::kNoDerivation ||
+          route.derivation >= frozen) {
+        continue;  // fresh (chain-dirty) cell, rebuilt by canonicalization
+      }
+      const auto it = anchor_routes.find(prefix);
+      ASSERT_NE(it, anchor_routes.end()) << router << " " << prefix.str();
+      EXPECT_EQ(route.derivation, it->second.derivation)
+          << router << " " << prefix.str();
+      ++clean_cells;
+    }
+  }
+  EXPECT_GT(clean_cells, 0u);
 }
 
 TEST(DeltaFallback, TopologyShapeChangeFallsBack) {

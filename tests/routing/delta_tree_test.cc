@@ -344,15 +344,16 @@ TEST(DeltaTreeFallback, LeafFallbackDoesNotPoisonSiblings) {
             });
 }
 
-TEST(DeltaTreeFallback, ProvenanceRequestDisablesTheTree) {
+TEST(DeltaTreeFallback, ProvenanceAnchorMissingDisablesTheTree) {
   acr::Scenario scenario = acr::dcnScenario(2, 2);
   SimOptions provenance_options;  // record_provenance defaults to true
-  const SimResult anchor =
-      Simulator(scenario.network()).run(provenance_options);
+  // The anchor ran without provenance, so a provenance-recording tree has
+  // no derivations to fork from and must disable itself.
+  const SimResult anchor = Simulator(scenario.network()).run(treeOptions());
 
   DeltaTree tree(scenario.network(), anchor, provenance_options);
   EXPECT_FALSE(tree.usable());
-  EXPECT_EQ(tree.disabledReason(), "provenance-requested");
+  EXPECT_EQ(tree.disabledReason(), "provenance-anchor-missing");
 
   topo::Network leaf = scenario.network();
   leaf.config("tor1_1")->bgp->redistributes.clear();
@@ -360,9 +361,33 @@ TEST(DeltaTreeFallback, ProvenanceRequestDisablesTheTree) {
   tree.leaf(leaf, {"tor1_1"},
             [&](const SimResult& view, const TreeLeafStats& stats) {
               EXPECT_FALSE(stats.used_delta);
-              EXPECT_EQ(stats.fallback_reason, "provenance-requested");
+              EXPECT_EQ(stats.fallback_reason, "provenance-anchor-missing");
               expectSimEqual(view, Simulator(leaf).run(provenance_options));
             });
+}
+
+TEST(DeltaTreeFallback, ProvenanceAnchorEngagesTheTree) {
+  acr::Scenario scenario = acr::dcnScenario(2, 2);
+  SimOptions provenance_options;  // record_provenance defaults to true
+  const SimResult anchor =
+      Simulator(scenario.network()).run(provenance_options);
+
+  DeltaTree tree(scenario.network(), anchor, provenance_options);
+  ASSERT_TRUE(tree.usable()) << tree.disabledReason();
+
+  topo::Network leaf = scenario.network();
+  leaf.config("tor1_1")->bgp->redistributes.clear();
+  leaf.renumberAll();
+  bool checked = false;
+  tree.leaf(leaf, {"tor1_1"},
+            [&](const SimResult& view, const TreeLeafStats& stats) {
+              checked = true;
+              EXPECT_TRUE(stats.used_delta) << stats.fallback_reason;
+              EXPECT_GT(stats.reused_derivations, 0u);
+              EXPECT_FALSE(view.provenance.empty());
+              expectSimEqual(view, Simulator(leaf).run(provenance_options));
+            });
+  EXPECT_TRUE(checked);
 }
 
 TEST(DeltaTreeFallback, BaseViolationDisablesFromSetBaseOn) {
