@@ -12,7 +12,10 @@ Checks, per recording:
   * the last event is terminal (`end`) — a recording that stops anywhere
     else means the producer crashed or truncated the file;
   * a verdict's optional `node` (its delta-tree position under batch
-    validation) is a non-empty path rooted at "anchor".
+    validation) is a non-empty path rooted at "anchor";
+  * an annotated `smt` event (symbolic queries) is internally consistent:
+    every `model_delta` key names a variable in `vars`, and a
+    `model_delta` may only appear on a sat query alongside `vars`.
 
 Exits 0 when every recording is valid, 1 otherwise. Stdlib only: CI
 containers have no jsonschema package.
@@ -96,6 +99,19 @@ def check_recording(path, schema):
             if not isinstance(node, str) or not node.startswith("anchor"):
                 errors.append("%s: verdict node %r is not a tree path rooted "
                               "at 'anchor'" % (where, node))
+        if event.get("event") == "smt" and "model_delta" in event:
+            if "vars" not in event:
+                errors.append("%s: smt model_delta without a vars array"
+                              % where)
+            elif not event.get("sat"):
+                errors.append("%s: smt model_delta on an unsat query" % where)
+            else:
+                names = {var.get("name") for var in event["vars"]
+                         if isinstance(var, dict)}
+                for key in event["model_delta"]:
+                    if key not in names:
+                        errors.append("%s: model_delta key %r names no "
+                                      "variable in vars" % (where, key))
     for where, event in events[1:]:
         if event.get("event") == "begin":
             errors.append("%s: begin event must be the first line" % where)

@@ -88,6 +88,16 @@ util::Json repairOptionsJson(const repair::RepairOptions& options) {
   json.set("tolerance_k", util::Json(options.tolerance_k));
   json.set("tolerance_max_scenarios",
            util::Json(options.tolerance_max_scenarios));
+  json.set("symbolic", util::Json(options.symbolic));
+  // Fixed-precision string (like recorded scores) so the rendering can
+  // never drift between platforms.
+  char suspicion[32];
+  std::snprintf(suspicion, sizeof(suspicion), "%.6f",
+                options.symbolic_suspicion);
+  json.set("symbolic_suspicion", util::Json(std::string(suspicion)));
+  json.set("symbolic_max_variables",
+           util::Json(options.symbolic_max_variables));
+  json.set("symbolic_fork_budget", util::Json(options.symbolic_fork_budget));
   // validate_jobs is deliberately absent: it is a wall-clock knob with no
   // effect on results or recording events, and including it would break the
   // "recordings are byte-identical at any --jobs value" contract.
@@ -133,6 +143,20 @@ repair::RepairOptions repairOptionsFromJson(const util::Json& json) {
   options.tolerance_k = intField("tolerance_k", options.tolerance_k);
   options.tolerance_max_scenarios =
       intField("tolerance_max_scenarios", options.tolerance_max_scenarios);
+  options.symbolic = boolField("symbolic", options.symbolic);
+  if (const util::Json* suspicion = json.find("symbolic_suspicion")) {
+    if (suspicion->kind() == util::Json::Kind::kString) {
+      try {
+        options.symbolic_suspicion = std::stod(suspicion->asString());
+      } catch (...) {
+        // keep the default on malformed input
+      }
+    }
+  }
+  options.symbolic_max_variables =
+      intField("symbolic_max_variables", options.symbolic_max_variables);
+  options.symbolic_fork_budget =
+      intField("symbolic_fork_budget", options.symbolic_fork_budget);
   return options;
 }
 

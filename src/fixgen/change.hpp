@@ -101,6 +101,43 @@ struct PrefixListConstraints {
 [[nodiscard]] std::optional<std::vector<net::Prefix>> solveListModel(
     const PrefixListConstraints& constraints);
 
+/// Prefix-lists reachable from a suspicious line: the list itself, or the
+/// lists referenced by the policy node / policy / binding the line belongs
+/// to. Sorted and deduplicated.
+[[nodiscard]] std::vector<std::string> reachableLists(
+    const cfg::DeviceConfig& device, const cfg::LineInfo& info);
+
+// ---------------------------------------------------------------------------
+// Symbolic model changes (src/symbolic): one satisfying SMT model rendered
+// as a single multi-line, multi-device ConfigChange.
+// ---------------------------------------------------------------------------
+
+/// One prefix-list rewritten to permit exactly `cover` (entries rebuilt as
+/// `permit <piece> ge <len> le 32`, indices 10,20,...).
+struct SymbolicListEdit {
+  std::string device;
+  std::string list;
+  std::vector<net::Prefix> cover;
+};
+
+/// One policy action's value replaced (local-pref / MED repair).
+struct SymbolicActionEdit {
+  std::string device;
+  std::string policy;
+  int node_index = 0;
+  cfg::PolicyActionKind kind = cfg::PolicyActionKind::kSetLocalPref;
+  std::uint32_t value = 0;
+};
+
+/// Builds the "symbolic-model" proposal applying every edit atomically. The
+/// apply closure fails (returns false) when any targeted list/policy/action
+/// no longer exists — the same disappeared-statement contract as template
+/// proposals. Edits are applied in the given order; the description renders
+/// them deterministically.
+[[nodiscard]] ProposedChange buildSymbolicModelChange(
+    std::vector<SymbolicListEdit> list_edits,
+    std::vector<SymbolicActionEdit> action_edits);
+
 // Per-file template factories (grouped by the Table-1 category they repair).
 [[nodiscard]] std::shared_ptr<const ChangeTemplate> makeNarrowOverrideList();
 [[nodiscard]] std::shared_ptr<const ChangeTemplate> makeAddPrefixListEntry();

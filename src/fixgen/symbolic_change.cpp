@@ -1,0 +1,103 @@
+// Renders one satisfying SMT model as a single multi-line, multi-device
+// ConfigChange (the selective-symbolic layer's "template"). Unlike the
+// concrete templates, which each edit one statement on one device, a
+// symbolic model may rewrite several prefix-lists and policy actions across
+// devices at once; the proposal applies them atomically so the DeltaTree
+// batch validator scores the compound fix as one candidate.
+#include <algorithm>
+
+#include "fixgen/change.hpp"
+
+namespace acr::fix {
+
+namespace {
+
+std::string coverStr(const std::vector<net::Prefix>& cover) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < cover.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += cover[i].str();
+  }
+  return out + "}";
+}
+
+bool applyListEdit(topo::Network& network, const SymbolicListEdit& edit) {
+  cfg::DeviceConfig* device = network.config(edit.device);
+  if (device == nullptr) return false;
+  cfg::PrefixList* list = device->findPrefixList(edit.list);
+  if (list == nullptr) return false;
+  list->entries.clear();
+  int index = 10;
+  for (const net::Prefix& prefix : edit.cover) {
+    cfg::PrefixListEntry entry;
+    entry.index = index;
+    index += 10;
+    entry.action = cfg::Action::kPermit;
+    entry.prefix = prefix;
+    entry.greater_equal = prefix.length();
+    entry.less_equal = 32;
+    list->entries.push_back(entry);
+  }
+  return true;
+}
+
+bool applyActionEdit(topo::Network& network, const SymbolicActionEdit& edit) {
+  cfg::DeviceConfig* device = network.config(edit.device);
+  if (device == nullptr) return false;
+  cfg::RoutePolicy* policy = device->findPolicy(edit.policy);
+  if (policy == nullptr) return false;
+  const auto node =
+      std::find_if(policy->nodes.begin(), policy->nodes.end(),
+                   [&](const cfg::PolicyNode& n) {
+                     return n.index == edit.node_index;
+                   });
+  if (node == policy->nodes.end()) return false;
+  for (cfg::PolicyAction& action : node->actions) {
+    if (action.kind == edit.kind) {
+      action.value = edit.value;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ProposedChange buildSymbolicModelChange(
+    std::vector<SymbolicListEdit> list_edits,
+    std::vector<SymbolicActionEdit> action_edits) {
+  ProposedChange change;
+  change.template_name = "symbolic-model";
+  std::string description = "symbolic model:";
+  for (const SymbolicListEdit& edit : list_edits) {
+    description += " " + edit.device + "/" + edit.list + "=" +
+                   coverStr(edit.cover) + ";";
+  }
+  for (const SymbolicActionEdit& edit : action_edits) {
+    description += " " + edit.device + "/" + edit.policy + "[" +
+                   std::to_string(edit.node_index) + "]." +
+                   cfg::policyActionName(edit.kind) + "=" +
+                   std::to_string(edit.value) + ";";
+  }
+  change.description = std::move(description);
+  change.apply = [list_edits = std::move(list_edits),
+                  action_edits = std::move(action_edits)](
+                     topo::Network& network) {
+    std::set<std::string> touched;
+    for (const SymbolicListEdit& edit : list_edits) {
+      if (!applyListEdit(network, edit)) return false;
+      touched.insert(edit.device);
+    }
+    for (const SymbolicActionEdit& edit : action_edits) {
+      if (!applyActionEdit(network, edit)) return false;
+      touched.insert(edit.device);
+    }
+    for (const std::string& device : touched) {
+      network.config(device)->renumber();
+    }
+    return !touched.empty();
+  };
+  return change;
+}
+
+}  // namespace acr::fix

@@ -16,12 +16,12 @@
 
 namespace acr::fix {
 
-namespace {
-
 /// Prefix-lists reachable from a suspicious line: the list itself, or the
 /// lists referenced by the policy node / policy the line belongs to.
-std::vector<std::string> listsForLine(const cfg::DeviceConfig& device,
-                                      const cfg::LineInfo& info) {
+/// Shared with the selective-symbolic layer, which symbolizes exactly these
+/// lists on suspect devices.
+std::vector<std::string> reachableLists(const cfg::DeviceConfig& device,
+                                        const cfg::LineInfo& info) {
   std::vector<std::string> names;
   const auto addListsOfPolicy = [&](const cfg::RoutePolicy& policy) {
     for (const auto& node : policy.nodes) {
@@ -72,6 +72,8 @@ std::vector<std::string> listsForLine(const cfg::DeviceConfig& device,
   return names;
 }
 
+namespace {
+
 std::string coverStr(const std::vector<net::Prefix>& cover) {
   std::string out = "{";
   for (std::size_t i = 0; i < cover.size(); ++i) {
@@ -109,7 +111,7 @@ class NarrowOverrideList final : public ChangeTemplate {
     std::vector<ProposedChange> changes;
     const cfg::DeviceConfig* device = context.network.config(suspicious.device);
     if (device == nullptr) return changes;
-    for (const std::string& list_name : listsForLine(*device, info)) {
+    for (const std::string& list_name : reachableLists(*device, info)) {
       const cfg::PrefixList* list = device->findPrefixList(list_name);
       if (list == nullptr) continue;
       const bool has_catch_all =

@@ -172,4 +172,25 @@ std::vector<LineScore> Spectrum::mostSuspicious(Metric metric,
   return out;
 }
 
+std::vector<std::string> suspectDevices(const std::vector<LineScore>& ranked,
+                                        double threshold) {
+  std::vector<std::string> devices;
+  double top = 0.0;
+  for (const auto& score : ranked) {
+    if (score.failed_cover == 0) continue;
+    top = score.suspiciousness;
+    break;
+  }
+  if (top <= 0.0) return devices;
+  for (const auto& score : ranked) {
+    if (score.failed_cover == 0) continue;
+    if (score.suspiciousness < threshold * top) continue;
+    if (std::find(devices.begin(), devices.end(), score.line.device) ==
+        devices.end()) {
+      devices.push_back(score.line.device);
+    }
+  }
+  return devices;
+}
+
 }  // namespace acr::sbfl

@@ -188,4 +188,12 @@ class Spectrum {
   int total_failed_ = 0;
 };
 
+/// Devices hot enough to symbolize (the selective-symbolic layer's device
+/// gate): a device qualifies when its best failure-covered line scores at
+/// least `threshold` × the global best score. Returned in rank order (first
+/// qualifying line decides a device's position); empty when nothing in
+/// `ranked` covers a failure.
+[[nodiscard]] std::vector<std::string> suspectDevices(
+    const std::vector<LineScore>& ranked, double threshold);
+
 }  // namespace acr::sbfl

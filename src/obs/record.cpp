@@ -75,7 +75,7 @@ void FlightRecorder::templateFired(const std::string& tmpl,
 void FlightRecorder::smtQuery(
     int variables, const std::vector<std::string>& constraints, bool sat,
     const std::vector<std::pair<std::string, std::string>>& model,
-    const std::string& conflict) {
+    const std::string& conflict, const std::vector<SmtVar>& vars) {
   util::Json e = event("smt");
   e.set("variables", util::Json(variables));
   util::Json::Array cs;
@@ -93,6 +93,25 @@ void FlightRecorder::smtQuery(
   for (const auto& [var, value] : model) m[var] = util::Json(value);
   e.set("model", util::Json(std::move(m)));
   if (!conflict.empty()) e.set("conflict", util::Json(conflict));
+  if (!vars.empty()) {
+    util::Json::Array vs;
+    util::Json::Object delta;
+    for (const SmtVar& v : vars) {
+      util::Json::Object o{
+          {"name", util::Json(v.name)},
+          {"kind", util::Json(v.kind)},
+          {"constraints", util::Json(v.constraints)},
+      };
+      if (!v.device.empty()) o["device"] = util::Json(v.device);
+      if (v.line != 0) o["line"] = util::Json(v.line);
+      if (!v.original.empty()) o["original"] = util::Json(v.original);
+      if (sat) o["value"] = util::Json(v.value);
+      vs.push_back(util::Json(std::move(o)));
+      if (sat && v.changed) delta[v.name] = util::Json(v.value);
+    }
+    e.set("vars", util::Json(std::move(vs)));
+    if (sat) e.set("model_delta", util::Json(std::move(delta)));
+  }
   record(std::move(e));
 }
 
@@ -241,10 +260,40 @@ std::string renderExplainTree(const std::vector<util::Json>& events) {
                     static_cast<long long>(fieldInt(e, "proposals")));
       line(2, buf);
     } else if (kind == "smt") {
+      const bool sat = e.find("sat") && e.find("sat")->asBool();
       std::snprintf(buf, sizeof(buf), "smt %s  variables=%lld",
-                    e.find("sat") && e.find("sat")->asBool() ? "sat" : "unsat",
+                    sat ? "sat" : "unsat",
                     static_cast<long long>(fieldInt(e, "variables")));
       line(3, buf);
+      // Symbolic-layer queries carry per-variable detail: name, kind, the
+      // model assignment, the constraint count, and whether the assignment
+      // differs from the original concrete value ("changed").
+      if (const util::Json* vars = e.find("vars")) {
+        const util::Json* delta = e.find("model_delta");
+        for (const util::Json& v : vars->asArray()) {
+          const std::string name = fieldStr(v, "name");
+          std::string site = fieldStr(v, "device");
+          if (const std::int64_t l = fieldInt(v, "line"); l != 0) {
+            site += ":";
+            site += std::to_string(l);
+          }
+          std::string detail;
+          if (sat) {
+            detail = "= " + fieldStr(v, "value");
+            if (delta && delta->find(name.c_str()) != nullptr) {
+              const std::string original = fieldStr(v, "original");
+              detail += original.empty() ? " (changed)"
+                                         : " (changed from " + original + ")";
+            }
+          }
+          std::snprintf(buf, sizeof(buf),
+                        "var %s [%s]%s%s %s constraints=%lld", name.c_str(),
+                        fieldStr(v, "kind").c_str(), site.empty() ? "" : " at ",
+                        site.c_str(), detail.c_str(),
+                        static_cast<long long>(fieldInt(v, "constraints")));
+          line(4, buf);
+        }
+      }
     } else if (kind == "verdict") {
       std::snprintf(buf, sizeof(buf),
                     "%s candidate %lld [%s] fitness=%s sim=%s  %s",

@@ -42,10 +42,29 @@ class FlightRecorder {
   void localize(int iteration, const std::vector<Suspect>& ranked);
   void templateFired(const std::string& tmpl, const std::string& device,
                      int line, int proposals);
+  /// Per-variable detail of an annotated (symbolic-layer) query. `value` is
+  /// the model assignment rendering (empty when unsat); `changed` marks
+  /// assignments that differ from the variable's original concrete value —
+  /// exactly the lines a symbolic ConfigChange will touch.
+  struct SmtVar {
+    std::string name;
+    std::string kind;  // "prefix-set" | "int"
+    std::string device;
+    int line = 0;
+    std::string original;
+    int constraints = 0;
+    std::string value;
+    bool changed = false;
+  };
+
+  /// `vars` is empty for plain single-variable template queries; annotated
+  /// symbolic queries emit a `vars` array plus a `model_delta` object of the
+  /// changed assignments.
   void smtQuery(int variables, const std::vector<std::string>& constraints,
                 bool sat,
                 const std::vector<std::pair<std::string, std::string>>& model,
-                const std::string& conflict);
+                const std::string& conflict,
+                const std::vector<SmtVar>& vars = {});
   /// `node` is the candidate's delta-tree node path under batch validation
   /// ("anchor[/base devices]/leaf devices"); empty (omitted from the event)
   /// when the probe ran outside a tree (crossover, batch_validate off).

@@ -32,6 +32,18 @@ void ProvenanceGraph::collectLines(DerivationId id,
   }
 }
 
+bool ProvenanceGraph::chainTouches(DerivationId id,
+                                   const std::set<cfg::LineId>& lines) const {
+  while (id != kNoDerivation) {
+    const Derivation& node = at(id);
+    for (const cfg::LineId& line : node.lines) {
+      if (lines.count(line) != 0) return true;
+    }
+    id = node.parent;
+  }
+  return false;
+}
+
 int ProvenanceGraph::chainLength(DerivationId id) const {
   int length = 0;
   while (id != kNoDerivation) {

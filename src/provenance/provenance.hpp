@@ -82,6 +82,13 @@ class ProvenanceGraph {
   /// Number of derivation steps (routers traversed) in the chain.
   [[nodiscard]] int chainLength(DerivationId id) const;
 
+  /// Whether any line on the derivation chain of `id` is in `lines`. The
+  /// selective-symbolic layer uses this to tell if a route's selection
+  /// decision flowed through a symbolized config field (without
+  /// materializing the whole chain's line set).
+  [[nodiscard]] bool chainTouches(DerivationId id,
+                                  const std::set<cfg::LineId>& lines) const;
+
   /// Number of distinct config lines on the chain — the provenance-tree
   /// leaf count that defines MetaProv's search space (Figure 3a).
   [[nodiscard]] int leafCount(DerivationId id) const;

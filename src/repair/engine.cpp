@@ -11,6 +11,7 @@
 #include "localize/testgen.hpp"
 #include "obs/record.hpp"
 #include "obs/trace.hpp"
+#include "symbolic/symbolic.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "verify/failures.hpp"
@@ -426,8 +427,34 @@ RepairResult AcrEngine::repair(const topo::Network& faulty) const {
         return proposals;
       };
 
-      std::vector<fix::ProposedChange> proposals =
-          generate(options_.brute_force);
+      // Selective symbolic pass: solve suspect-device fields jointly and
+      // prepend each satisfying model as a multi-device candidate, so the
+      // round's batch VALIDATE scores compound fixes alongside (and before)
+      // the concrete template proposals. Runs on the engine thread —
+      // recordings stay byte-identical at any validate_jobs.
+      std::vector<fix::ProposedChange> proposals;
+      if (options_.symbolic) {
+        symb::SymbolicOptions sym_options;
+        sym_options.suspicion_threshold = options_.symbolic_suspicion;
+        sym_options.max_variables = options_.symbolic_max_variables;
+        sym_options.fork_budget = options_.symbolic_fork_budget;
+        symb::SymbolicOutcome outcome =
+            symb::proposeSymbolic(context, ranked, sym_options);
+        for (auto& proposal : outcome.proposals) {
+          if (seen_proposals.insert(proposal.description).second) {
+            proposals.push_back(std::move(proposal));
+          }
+        }
+        result.search_space += proposals.size();
+        if (recorder != nullptr && !proposals.empty()) {
+          recorder->templateFired("symbolic-model", outcome.anchor_device,
+                                  outcome.anchor_line,
+                                  static_cast<int>(proposals.size()));
+        }
+      }
+      for (auto& proposal : generate(options_.brute_force)) {
+        proposals.push_back(std::move(proposal));
+      }
 
       // ---- VALIDATE -------------------------------------------------------
       bool repaired = false;

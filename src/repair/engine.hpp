@@ -65,6 +65,21 @@ struct RepairOptions {
   /// engine localizes on the first violating degraded topology.
   int tolerance_k = 0;
   int tolerance_max_scenarios = 64;
+  /// Selective symbolic simulation (src/symbolic, docs/symbolic.md): before
+  /// the concrete template loop, symbolize prefix-lists and local-pref/MED
+  /// actions on suspect devices, solve all of them as one acr::smt
+  /// conjunction and prepend each satisfying model as a multi-device
+  /// candidate. Off by default; with the flag off the engine's behaviour is
+  /// byte-identical to the concrete loop (the knobs below are inert).
+  bool symbolic = false;
+  /// Device gate: symbolize devices whose best failure-covered line scores
+  /// at least this fraction of the top suspiciousness.
+  double symbolic_suspicion = 0.5;
+  /// Cap on simultaneous symbolic variables per round.
+  int symbolic_max_variables = 4;
+  /// Cap on path-condition forks (solver queries) per round; overflow
+  /// falls back to the concrete template loop.
+  int symbolic_fork_budget = 8;
   /// Wall-clock budget; 0 = unlimited. When exceeded the loop stops at the
   /// next iteration boundary with kTimeBudget (the best candidate so far is
   /// still returned in `repaired`).

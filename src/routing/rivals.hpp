@@ -1,0 +1,43 @@
+// Rival enumeration: the routes a router *would* select if its current best
+// route for a prefix lost the decision process.
+//
+// The selective-symbolic layer symbolizes local-pref/MED actions on suspect
+// devices; to constrain such a variable ("this route must lose" for a
+// failing test, "must keep winning" for a passing one) it needs the
+// concrete attributes of the competing candidates. collectRivals() replays
+// the simulator's announce path — redistribution gate, export policy, AS
+// prepend, receiver loop check, eBGP local-pref reset, import policy — for
+// every up session of the router, producing each neighbor's offer with
+// post-import attributes, without mutating the simulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/ast.hpp"
+#include "routing/simulator.hpp"
+#include "topo/network.hpp"
+
+namespace acr::route {
+
+struct Rival {
+  std::string neighbor;
+  /// The offered route as it would sit in `router`'s RIB (post-import:
+  /// local-pref reset to 100 then import policy applied).
+  Route route;
+  /// Config lines evaluated exporting + importing the offer (policy nodes,
+  /// matched prefix-list entries, binding lines) — lets the caller detect
+  /// offers whose attributes flow through a symbolized line.
+  std::vector<cfg::LineId> lines;
+};
+
+/// Every route `router` is offered for `prefix` by its up BGP sessions,
+/// including the one it currently selects. Deterministic order (session
+/// order of `sim.sessions`). Routers/prefixes unknown to the simulation
+/// yield an empty list.
+[[nodiscard]] std::vector<Rival> collectRivals(const topo::Network& network,
+                                               const SimResult& sim,
+                                               const std::string& router,
+                                               const net::Prefix& prefix);
+
+}  // namespace acr::route

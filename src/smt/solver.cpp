@@ -1,6 +1,8 @@
 #include "smt/solver.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <span>
 
 #include "obs/record.hpp"
 #include "obs/trace.hpp"
@@ -8,6 +10,15 @@
 namespace acr::smt {
 
 namespace {
+
+std::string renderCover(const std::vector<net::Prefix>& cover) {
+  std::string rendered;
+  for (const auto& prefix : cover) {
+    if (!rendered.empty()) rendered += ",";
+    rendered += prefix.str();
+  }
+  return rendered.empty() ? "(empty)" : rendered;
+}
 
 // Queries fire only on the engine thread (FIX is sequential), so recording
 // them here — via the thread-local recorder the engine installed — keeps
@@ -22,21 +33,50 @@ void recordQuery(const Solver& solver, const SolveResult& result) {
   }
   std::vector<std::pair<std::string, std::string>> model;
   for (const auto& [name, cover] : result.model.prefix_sets) {
-    std::string rendered;
-    for (const auto& prefix : cover) {
-      if (!rendered.empty()) rendered += ",";
-      rendered += prefix.str();
-    }
-    model.emplace_back(name, rendered.empty() ? "(empty)" : rendered);
+    model.emplace_back(name, renderCover(cover));
   }
   for (const auto& [name, value] : result.model.ints) {
     model.emplace_back(name, std::to_string(value));
   }
+  // Annotated queries (the symbolic layer) carry the full variable detail:
+  // site, original value, per-variable constraint count and model delta.
+  std::vector<obs::FlightRecorder::SmtVar> vars;
+  if (!solver.annotations().empty()) {
+    for (const auto& [name, kind] : solver.variables()) {
+      obs::FlightRecorder::SmtVar var;
+      var.name = name;
+      var.kind = varKindName(kind);
+      const auto meta = solver.annotations().find(name);
+      if (meta != solver.annotations().end()) {
+        var.device = meta->second.device;
+        var.line = meta->second.line;
+        var.original = meta->second.original;
+      }
+      for (const auto& constraint : solver.constraints()) {
+        if (constraint.variable == name || constraint.other == name) {
+          ++var.constraints;
+        }
+      }
+      if (result.sat) {
+        if (kind == VarKind::kPrefixSet) {
+          var.value = renderCover(result.model.prefix_sets.at(name));
+        } else {
+          var.value = std::to_string(result.model.ints.at(name));
+        }
+        var.changed = !var.original.empty() && var.value != var.original;
+      }
+      vars.push_back(std::move(var));
+    }
+  }
   recorder->smtQuery(static_cast<int>(solver.variableCount()), constraints,
-                     result.sat, model, result.conflict);
+                     result.sat, model, result.conflict, vars);
 }
 
 }  // namespace
+
+std::string varKindName(VarKind kind) {
+  return kind == VarKind::kPrefixSet ? "prefix-set" : "int";
+}
 
 std::string Constraint::str() const {
   switch (kind) {
@@ -56,12 +96,36 @@ std::string Constraint::str() const {
       }
       return out + '}';
     }
+    case Kind::kIntLt:
+      return variable + " < " + std::to_string(value);
+    case Kind::kIntGt:
+      return variable + " > " + std::to_string(value);
+    case Kind::kIntLtVar:
+      return variable + " < " + other;
+    case Kind::kIntGtVar:
+      return variable + " > " + other;
   }
   return "?";
 }
 
 void Solver::declare(const std::string& name, VarKind kind) {
   variables_.emplace(name, kind);
+}
+
+void Solver::annotate(const std::string& name, VarKind kind, VarMeta meta) {
+  declare(name, kind);
+  annotations_[name] = std::move(meta);
+}
+
+void Solver::preferInt(const std::string& name, std::uint64_t value) {
+  declare(name, VarKind::kInt);
+  preferred_ints_[name] = value;
+}
+
+void Solver::preferPrefixes(const std::string& name,
+                            std::vector<net::Prefix> prefixes) {
+  declare(name, VarKind::kPrefixSet);
+  preferred_prefixes_[name] = std::move(prefixes);
 }
 
 void Solver::require(Constraint constraint) {
@@ -116,14 +180,60 @@ void Solver::requireIntOneOf(const std::string& variable,
   require(std::move(c));
 }
 
+void Solver::requireIntLt(const std::string& variable, std::uint64_t value) {
+  declare(variable, VarKind::kInt);
+  Constraint c;
+  c.kind = Constraint::Kind::kIntLt;
+  c.variable = variable;
+  c.value = value;
+  require(std::move(c));
+}
+
+void Solver::requireIntGt(const std::string& variable, std::uint64_t value) {
+  declare(variable, VarKind::kInt);
+  Constraint c;
+  c.kind = Constraint::Kind::kIntGt;
+  c.variable = variable;
+  c.value = value;
+  require(std::move(c));
+}
+
+void Solver::requireIntLtVar(const std::string& variable,
+                             const std::string& other) {
+  declare(variable, VarKind::kInt);
+  declare(other, VarKind::kInt);
+  Constraint c;
+  c.kind = Constraint::Kind::kIntLtVar;
+  c.variable = variable;
+  c.other = other;
+  require(std::move(c));
+}
+
+void Solver::requireIntGtVar(const std::string& variable,
+                             const std::string& other) {
+  declare(variable, VarKind::kInt);
+  declare(other, VarKind::kInt);
+  Constraint c;
+  c.kind = Constraint::Kind::kIntGtVar;
+  c.variable = variable;
+  c.other = other;
+  require(std::move(c));
+}
+
 namespace {
 
-/// Solves one PrefixSet variable: include every Member prefix, then carve
-/// out every NotMember prefix by exact subtraction. Unsat iff a NotMember
-/// prefix *contains* (or equals) a Member prefix — excluding it would
-/// necessarily exclude the required one too.
+/// Solves one PrefixSet variable. Unsat iff a NotMember prefix *contains*
+/// (or equals) a Member prefix — excluding it would necessarily exclude the
+/// required one too; the conflict names both contradicting constraints.
+///
+/// Without a preference the model is the minimal cover of required minus
+/// forbidden (exact subtraction). With a preferred (original) cover, every
+/// original entry that overlaps no forbidden prefix is kept verbatim and
+/// only the required prefixes it misses add new pieces — the fewest-changed-
+/// lines model the symbolic layer asks for.
 bool solvePrefixSet(const std::string& name,
                     const std::vector<const Constraint*>& constraints,
+                    const std::vector<net::Prefix>* preferred,
                     std::vector<net::Prefix>& out, std::string& conflict) {
   std::vector<net::Prefix> required;
   std::vector<net::Prefix> forbidden;
@@ -131,94 +241,291 @@ bool solvePrefixSet(const std::string& name,
     if (c->kind == Constraint::Kind::kMember) required.push_back(c->prefix);
     if (c->kind == Constraint::Kind::kNotMember) forbidden.push_back(c->prefix);
   }
-  for (const auto& f : forbidden) {
-    for (const auto& r : required) {
-      if (f.contains(r)) {
-        conflict = name + ": required " + r.str() + " lies inside forbidden " +
-                   f.str();
+  for (const Constraint* f : constraints) {
+    if (f->kind != Constraint::Kind::kNotMember) continue;
+    for (const Constraint* r : constraints) {
+      if (r->kind != Constraint::Kind::kMember) continue;
+      if (f->prefix.contains(r->prefix)) {
+        conflict =
+            name + ": '" + r->str() + "' contradicts '" + f->str() + "'";
         return false;
       }
     }
   }
   std::vector<net::Prefix> cover;
+  if (preferred != nullptr) {
+    for (const auto& keep : *preferred) {
+      const bool violates =
+          std::any_of(forbidden.begin(), forbidden.end(),
+                      [&](const net::Prefix& f) { return f.overlaps(keep); });
+      if (!violates) cover.push_back(keep);
+    }
+  }
+  const std::vector<net::Prefix> kept = cover;
   for (const auto& r : required) {
     // A forbidden prefix strictly inside a required one: split the required
-    // prefix around it.
-    auto pieces = net::subtract(r, std::span<const net::Prefix>(forbidden));
-    cover.insert(cover.end(), pieces.begin(), pieces.end());
+    // prefix around it; pieces an original entry already covers add nothing.
+    for (const auto& piece :
+         net::subtract(r, std::span<const net::Prefix>(forbidden))) {
+      auto missing = net::subtract(piece, std::span<const net::Prefix>(kept));
+      cover.insert(cover.end(), missing.begin(), missing.end());
+    }
   }
   out = net::minimizeCover(std::move(cover));
   return true;
 }
 
-bool solveInt(const std::string& name,
-              const std::vector<const Constraint*>& constraints,
-              std::uint64_t& out, std::string& conflict) {
-  std::optional<std::uint64_t> fixed;
+/// Joint solver state for one Int variable: interval bounds tightened by
+/// propagation, explicit exclusions and an optional OneOf domain.
+struct IntState {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = std::numeric_limits<std::uint64_t>::max();
   std::vector<std::uint64_t> excluded;
-  std::optional<std::vector<std::uint64_t>> domain;
+  std::optional<std::vector<std::uint64_t>> domain;  // sorted, deduped
+
+  [[nodiscard]] bool allows(std::uint64_t v) const {
+    if (v < lo || v > hi) return false;
+    if (std::find(excluded.begin(), excluded.end(), v) != excluded.end()) {
+      return false;
+    }
+    if (domain &&
+        !std::binary_search(domain->begin(), domain->end(), v)) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Smallest feasible value, or nullopt. Exclusion lists are tiny (one per
+  /// Neq constraint), so the skip-forward scan is bounded.
+  [[nodiscard]] std::optional<std::uint64_t> lowest() const {
+    if (domain) {
+      for (const std::uint64_t v : *domain) {
+        if (allows(v)) return v;
+      }
+      return std::nullopt;
+    }
+    std::uint64_t v = lo;
+    while (v <= hi) {
+      if (allows(v)) return v;
+      if (v == std::numeric_limits<std::uint64_t>::max()) break;
+      ++v;
+    }
+    return std::nullopt;
+  }
+};
+
+/// One propagation pass over every Int constraint; returns false on a
+/// contradiction (conflict set). `changed` reports whether any bound moved.
+bool propagateOnce(const std::vector<const Constraint*>& constraints,
+                   std::map<std::string, IntState>& states, bool& changed,
+                   std::string& conflict) {
+  changed = false;
+  const auto tightenLo = [&](IntState& s, std::uint64_t lo) {
+    if (lo > s.lo) {
+      s.lo = lo;
+      changed = true;
+    }
+  };
+  const auto tightenHi = [&](IntState& s, std::uint64_t hi) {
+    if (hi < s.hi) {
+      s.hi = hi;
+      changed = true;
+    }
+  };
   for (const Constraint* c : constraints) {
+    IntState& s = states.at(c->variable);
     switch (c->kind) {
       case Constraint::Kind::kIntEq:
-        if (fixed && *fixed != c->value) {
-          conflict = name + ": conflicting equalities " +
-                     std::to_string(*fixed) + " vs " + std::to_string(c->value);
+        tightenLo(s, c->value);
+        tightenHi(s, c->value);
+        break;
+      case Constraint::Kind::kIntLt:
+        if (c->value == 0) {
+          conflict = c->variable + ": unsatisfiable '" + c->str() + "'";
           return false;
         }
-        fixed = c->value;
+        tightenHi(s, c->value - 1);
         break;
+      case Constraint::Kind::kIntGt:
+        if (c->value == std::numeric_limits<std::uint64_t>::max()) {
+          conflict = c->variable + ": unsatisfiable '" + c->str() + "'";
+          return false;
+        }
+        tightenLo(s, c->value + 1);
+        break;
+      case Constraint::Kind::kIntLtVar: {
+        IntState& o = states.at(c->other);
+        if (o.hi == 0) {
+          conflict = c->variable + ": unsatisfiable '" + c->str() + "'";
+          return false;
+        }
+        tightenHi(s, o.hi - 1);
+        tightenLo(o, s.lo == std::numeric_limits<std::uint64_t>::max()
+                         ? s.lo
+                         : s.lo + 1);
+        break;
+      }
+      case Constraint::Kind::kIntGtVar: {
+        IntState& o = states.at(c->other);
+        if (o.lo == std::numeric_limits<std::uint64_t>::max()) {
+          conflict = c->variable + ": unsatisfiable '" + c->str() + "'";
+          return false;
+        }
+        tightenLo(s, o.lo + 1);
+        if (s.hi > 0) tightenHi(o, s.hi - 1);
+        break;
+      }
+      default:
+        break;
+    }
+    if (s.lo > s.hi) {
+      conflict = c->variable + ": interval empty after '" + c->str() + "'";
+      return false;
+    }
+  }
+  for (const auto& [name, s] : states) {
+    if (s.lo > s.hi) {
+      conflict = name + ": cross-variable propagation emptied the interval";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool propagateToFixpoint(const std::vector<const Constraint*>& constraints,
+                         std::map<std::string, IntState>& states,
+                         std::string& conflict) {
+  // Each productive pass tightens at least one bound; the pass count is
+  // bounded by the constraint count (difference-logic fixpoint), with a
+  // hard cap as a defensive backstop.
+  const std::size_t max_passes = 2 * constraints.size() + 2;
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    bool changed = false;
+    if (!propagateOnce(constraints, states, changed, conflict)) return false;
+    if (!changed) return true;
+  }
+  return true;
+}
+
+/// Solves every Int variable jointly: seed intervals/domains from the unary
+/// constraints, propagate cross-variable orderings to a fixpoint, then
+/// assign greedily in name order — the preferred (original) value when
+/// feasible, else the smallest feasible value — re-propagating after every
+/// assignment. For the difference-constraint conjunctions the symbolic layer
+/// emits, lower-bound assignment after a fixpoint is always consistent, so
+/// the greedy pass is exact; a preferred value that breaks a later variable
+/// is retried without the preference before reporting unsat.
+bool solveInts(const std::map<std::string, VarKind>& variables,
+               const std::vector<const Constraint*>& constraints,
+               const std::map<std::string, std::uint64_t>& preferred,
+               std::map<std::string, std::uint64_t>& out,
+               std::string& conflict) {
+  std::map<std::string, IntState> states;
+  for (const auto& [name, kind] : variables) {
+    if (kind == VarKind::kInt) states.emplace(name, IntState{});
+  }
+  if (states.empty()) return true;
+  // Unary seeding: equalities/exclusions/domains (the satellite edge case —
+  // an *empty* OneOf list is an explicit contradiction, reported as such
+  // instead of sliding through as an exhausted scan).
+  for (const Constraint* c : constraints) {
+    IntState& s = states.at(c->variable);
+    switch (c->kind) {
       case Constraint::Kind::kIntNeq:
-        excluded.push_back(c->value);
+        s.excluded.push_back(c->value);
         break;
-      case Constraint::Kind::kIntOneOf:
-        if (!domain) {
-          domain = c->values;
+      case Constraint::Kind::kIntOneOf: {
+        if (c->values.empty()) {
+          conflict = c->variable + ": unsatisfiable '" + c->str() +
+                     "' (empty one-of domain)";
+          return false;
+        }
+        std::vector<std::uint64_t> sorted = c->values;
+        std::sort(sorted.begin(), sorted.end());
+        sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+        if (!s.domain) {
+          s.domain = std::move(sorted);
         } else {
           std::vector<std::uint64_t> merged;
-          for (const auto v : *domain) {
-            if (std::find(c->values.begin(), c->values.end(), v) !=
-                c->values.end()) {
-              merged.push_back(v);
-            }
-          }
-          domain = std::move(merged);
+          std::set_intersection(s.domain->begin(), s.domain->end(),
+                                sorted.begin(), sorted.end(),
+                                std::back_inserter(merged));
+          s.domain = std::move(merged);
+        }
+        if (s.domain->empty()) {
+          conflict = c->variable + ": one-of domains have no common value";
+          return false;
         }
         break;
+      }
       default:
         break;
     }
   }
-  const auto allowed = [&](std::uint64_t v) {
-    return std::find(excluded.begin(), excluded.end(), v) == excluded.end();
-  };
-  if (fixed) {
-    if (!allowed(*fixed)) {
-      conflict = name + ": value " + std::to_string(*fixed) + " is excluded";
-      return false;
-    }
-    if (domain && std::find(domain->begin(), domain->end(), *fixed) ==
-                      domain->end()) {
-      conflict = name + ": value " + std::to_string(*fixed) +
-                 " is outside its domain";
-      return false;
-    }
-    out = *fixed;
-    return true;
-  }
-  if (domain) {
-    for (const auto v : *domain) {
-      if (allowed(v)) {
-        out = v;
-        return true;
+  // Conflicting equalities get the historical direct message.
+  {
+    std::map<std::string, std::uint64_t> fixed;
+    for (const Constraint* c : constraints) {
+      if (c->kind != Constraint::Kind::kIntEq) continue;
+      const auto [it, inserted] = fixed.emplace(c->variable, c->value);
+      if (!inserted && it->second != c->value) {
+        conflict = c->variable + ": conflicting equalities " +
+                   std::to_string(it->second) + " vs " +
+                   std::to_string(c->value);
+        return false;
       }
     }
-    conflict = name + ": domain exhausted";
-    return false;
   }
-  // Unconstrained but for exclusions: pick the smallest non-excluded value.
-  std::uint64_t v = 0;
-  while (!allowed(v)) ++v;
-  out = v;
+  if (!propagateToFixpoint(constraints, states, conflict)) return false;
+
+  // Greedy assignment with retry-without-preference.
+  const auto assign = [&](const std::string& name, std::uint64_t value,
+                          std::map<std::string, IntState>& scratch,
+                          std::string& local_conflict) {
+    IntState& s = scratch.at(name);
+    s.lo = value;
+    s.hi = value;
+    return propagateToFixpoint(constraints, scratch, local_conflict);
+  };
+  std::vector<std::string> names;
+  names.reserve(states.size());
+  for (const auto& [name, s] : states) names.push_back(name);
+  for (const std::string& name : names) {
+    // Re-fetch per iteration: successful assignments replace `states`.
+    IntState& s = states.at(name);
+    std::vector<std::uint64_t> candidates;
+    const auto pref = preferred.find(name);
+    if (pref != preferred.end() && s.allows(pref->second)) {
+      candidates.push_back(pref->second);
+    }
+    const auto lowest = s.lowest();
+    if (lowest && (candidates.empty() || candidates.front() != *lowest)) {
+      candidates.push_back(*lowest);
+    }
+    if (candidates.empty()) {
+      conflict = name + ": no feasible value in [" + std::to_string(s.lo) +
+                 ", " + std::to_string(s.hi) + "]";
+      if (s.domain) conflict += " within its one-of domain";
+      return false;
+    }
+    bool assigned = false;
+    std::string last_conflict;
+    for (const std::uint64_t value : candidates) {
+      std::map<std::string, IntState> scratch = states;
+      if (assign(name, value, scratch, last_conflict)) {
+        states = std::move(scratch);
+        out[name] = value;
+        assigned = true;
+        break;
+      }
+    }
+    if (!assigned) {
+      conflict = last_conflict.empty()
+                     ? name + ": cross-variable propagation found no assignment"
+                     : last_conflict;
+      return false;
+    }
+  }
   return true;
 }
 
@@ -229,33 +536,45 @@ SolveResult Solver::solve() const {
   span.attr("variables", static_cast<std::int64_t>(variables_.size()))
       .attr("constraints", static_cast<std::int64_t>(constraints_.size()));
   SolveResult result;
+  const auto unsat = [&]() -> SolveResult& {
+    result.sat = false;
+    result.model = Model{};
+    span.attr("sat", std::int64_t{0});
+    recordQuery(*this, result);
+    return result;
+  };
   std::map<std::string, std::vector<const Constraint*>> grouped;
+  std::vector<const Constraint*> int_constraints;
   for (const auto& constraint : constraints_) {
     grouped[constraint.variable].push_back(&constraint);
+    switch (constraint.kind) {
+      case Constraint::Kind::kMember:
+      case Constraint::Kind::kNotMember:
+        break;
+      default:
+        int_constraints.push_back(&constraint);
+        break;
+    }
   }
   for (const auto& [name, kind] : variables_) {
+    if (kind != VarKind::kPrefixSet) continue;
     const auto it = grouped.find(name);
     static const std::vector<const Constraint*> kEmpty;
     const auto& constraints = it == grouped.end() ? kEmpty : it->second;
-    if (kind == VarKind::kPrefixSet) {
-      std::vector<net::Prefix> cover;
-      if (!solvePrefixSet(name, constraints, cover, result.conflict)) {
-        result.sat = false;
-        span.attr("sat", std::int64_t{0});
-        recordQuery(*this, result);
-        return result;
-      }
-      result.model.prefix_sets[name] = std::move(cover);
-    } else {
-      std::uint64_t value = 0;
-      if (!solveInt(name, constraints, value, result.conflict)) {
-        result.sat = false;
-        span.attr("sat", std::int64_t{0});
-        recordQuery(*this, result);
-        return result;
-      }
-      result.model.ints[name] = value;
+    const auto preferred = preferred_prefixes_.find(name);
+    std::vector<net::Prefix> cover;
+    if (!solvePrefixSet(
+            name, constraints,
+            preferred == preferred_prefixes_.end() ? nullptr
+                                                   : &preferred->second,
+            cover, result.conflict)) {
+      return unsat();
     }
+    result.model.prefix_sets[name] = std::move(cover);
+  }
+  if (!solveInts(variables_, int_constraints, preferred_ints_,
+                 result.model.ints, result.conflict)) {
+    return unsat();
   }
   result.sat = true;
   span.attr("sat", std::int64_t{1});

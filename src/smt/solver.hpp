@@ -10,7 +10,23 @@
 //     contains every Member prefix and excludes every NotMember prefix,
 //     using exact prefix subtraction when a required prefix contains a
 //     forbidden one.
-//   * Int variables: Eq/Neq/OneOf constraints, solved by propagation.
+//   * Int variables: Eq/Neq/OneOf/Lt/Gt constraints — including ordering
+//     against *other variables* — solved by interval propagation to a
+//     fixpoint and a greedy feasible assignment.
+//
+// The selective-symbolic layer (src/symbolic) extends the single-variable
+// use into conjunctions over several variables at once:
+//   * cross-variable propagation: `a < b` tightens both intervals until the
+//     fixpoint, so multi-device local-pref orderings solve jointly;
+//   * minimal-model preference: a caller may register the *original*
+//     (pre-repair) assignment of each variable via preferInt() /
+//     preferPrefixes(); the solver keeps a variable at its original value
+//     whenever the constraints allow it, and for prefix sets keeps every
+//     original entry that violates no constraint — so a satisfying model
+//     touches the fewest config lines;
+//   * annotate() attaches device/line/original metadata that the flight
+//     recorder emits with every query (`smt` events gain a `vars` list and
+//     a `model_delta` of the assignments that differ from the originals).
 #pragma once
 
 #include <cstdint>
@@ -25,9 +41,20 @@ namespace acr::smt {
 
 enum class VarKind : std::uint8_t { kPrefixSet, kInt };
 
+[[nodiscard]] std::string varKindName(VarKind kind);
+
 struct Variable {
   std::string name;
   VarKind kind = VarKind::kPrefixSet;
+};
+
+/// Recording metadata for one variable: where the symbolized field lives and
+/// what its concrete (pre-repair) value renders as. Purely observational —
+/// annotations never affect solving (preferences do).
+struct VarMeta {
+  std::string device;
+  int line = 0;
+  std::string original;
 };
 
 struct Constraint {
@@ -37,12 +64,17 @@ struct Constraint {
     kIntEq,      // var == value            (Int)
     kIntNeq,     // var != value            (Int)
     kIntOneOf,   // var ∈ values            (Int)
+    kIntLt,      // var < value             (Int)
+    kIntGt,      // var > value             (Int)
+    kIntLtVar,   // var < other             (Int, cross-variable)
+    kIntGtVar,   // var > other             (Int, cross-variable)
   };
   Kind kind = Kind::kMember;
   std::string variable;
   net::Prefix prefix;                 // for Member/NotMember
-  std::uint64_t value = 0;            // for IntEq/IntNeq
+  std::uint64_t value = 0;            // for IntEq/IntNeq/IntLt/IntGt
   std::vector<std::uint64_t> values;  // for IntOneOf
+  std::string other;                  // for IntLtVar/IntGtVar
 
   [[nodiscard]] std::string str() const;
 };
@@ -65,6 +97,17 @@ class Solver {
   /// Declares a variable; re-declaring the same name/kind is a no-op.
   void declare(const std::string& name, VarKind kind);
 
+  /// Attaches recording metadata (declares the variable if needed).
+  void annotate(const std::string& name, VarKind kind, VarMeta meta);
+
+  /// Minimal-model preferences: the variable's original concrete value.
+  /// Int: used verbatim when feasible. PrefixSet: every original entry that
+  /// violates no NotMember constraint is kept, and only uncovered Member
+  /// prefixes add new (minimal) entries — fewest changed lines.
+  void preferInt(const std::string& name, std::uint64_t value);
+  void preferPrefixes(const std::string& name,
+                      std::vector<net::Prefix> prefixes);
+
   void require(Constraint constraint);
 
   /// Convenience constraint builders.
@@ -74,6 +117,11 @@ class Solver {
   void requireIntNeq(const std::string& variable, std::uint64_t value);
   void requireIntOneOf(const std::string& variable,
                        std::vector<std::uint64_t> values);
+  void requireIntLt(const std::string& variable, std::uint64_t value);
+  void requireIntGt(const std::string& variable, std::uint64_t value);
+  /// Cross-variable ordering: `variable < other` / `variable > other`.
+  void requireIntLtVar(const std::string& variable, const std::string& other);
+  void requireIntGtVar(const std::string& variable, const std::string& other);
 
   [[nodiscard]] SolveResult solve() const;
 
@@ -81,9 +129,18 @@ class Solver {
     return constraints_;
   }
   [[nodiscard]] std::size_t variableCount() const { return variables_.size(); }
+  [[nodiscard]] const std::map<std::string, VarKind>& variables() const {
+    return variables_;
+  }
+  [[nodiscard]] const std::map<std::string, VarMeta>& annotations() const {
+    return annotations_;
+  }
 
  private:
   std::map<std::string, VarKind> variables_;
+  std::map<std::string, VarMeta> annotations_;
+  std::map<std::string, std::uint64_t> preferred_ints_;
+  std::map<std::string, std::vector<net::Prefix>> preferred_prefixes_;
   std::vector<Constraint> constraints_;
 };
 

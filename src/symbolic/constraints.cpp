@@ -1,0 +1,287 @@
+// Constraint accumulation along derivation chains.
+//
+// A test's coverage row is the union of config lines on the derivation
+// chains its packet used (positive provenance) plus, for blackholed tests,
+// the lines blamed for the missing route (negative provenance). A variable
+// is "touched" by a test when its line set intersects that row — the
+// selection decisions that produced the observed behaviour flowed through
+// the symbolized field.
+//
+// Polarity:
+//   * Passing test → hard constraint pinning current behaviour (the P side
+//     of P ∧ ¬F): a prefix-list variable must keep classifying the test's
+//     subject the way the concrete list does; a local-pref/MED variable
+//     whose value decided the winning route must keep beating its rivals.
+//   * Failing test → fork-choice constraint demanding a flip (¬F): the
+//     subject's classification inverts, or the winning route loses to its
+//     best rival. When several variables cover one failing test the flip
+//     may live in any one of them (or all), so the test contributes a
+//     ForkGroup rather than a hard constraint.
+//
+// Rival bounds come from route::collectRivals; a rival whose own attributes
+// flow through another symbolic variable's line yields a cross-variable
+// ordering constraint (kIntLtVar/kIntGtVar) instead of a concrete bound.
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "routing/rivals.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace acr::symb {
+
+namespace {
+
+bool touches(const std::set<cfg::LineId>& var_lines,
+             const std::set<cfg::LineId>& coverage) {
+  // var_lines is small (a handful of entries/matches); probe the row.
+  return std::any_of(var_lines.begin(), var_lines.end(),
+                     [&](const cfg::LineId& line) {
+                       return coverage.count(line) != 0;
+                     });
+}
+
+/// The int variable (if any) whose action line appears in `lines`,
+/// excluding `self`. Lets a rival bound become a cross-variable ordering.
+const SymbolicVar* intVarTouching(const std::vector<SymbolicVar>& vars,
+                                  const SymbolicVar& self,
+                                  const std::vector<cfg::LineId>& lines) {
+  for (const SymbolicVar& var : vars) {
+    if (var.kind == SymbolicVar::Kind::kPrefixList) continue;
+    if (var.name == self.name) continue;
+    for (const cfg::LineId& line : lines) {
+      if (var.lines.count(line) != 0) return &var;
+    }
+  }
+  return nullptr;
+}
+
+/// True when every policy match referencing `list` on `device` sits in a
+/// deny node. Such a list can absorb a flip in one direction only: adding
+/// the subject never restores delivery, removing it never restores
+/// isolation (the subject was blocked by *not* matching anything).
+bool denyOnlyContext(const cfg::DeviceConfig& device, const std::string& list) {
+  bool referenced = false;
+  for (const auto& policy : device.policies) {
+    for (const auto& node : policy.nodes) {
+      for (const auto& match : node.matches) {
+        if (match.kind != cfg::MatchKind::kIpPrefixList) continue;
+        if (match.prefix_list != list) continue;
+        referenced = true;
+        if (node.action != cfg::Action::kDeny) return false;
+      }
+    }
+  }
+  return referenced;
+}
+
+smt::Constraint member(const std::string& var, const net::Prefix& prefix,
+                       bool in) {
+  smt::Constraint c;
+  c.kind = in ? smt::Constraint::Kind::kMember
+              : smt::Constraint::Kind::kNotMember;
+  c.variable = var;
+  c.prefix = prefix;
+  return c;
+}
+
+smt::Constraint intBound(const std::string& var, smt::Constraint::Kind kind,
+                         std::uint64_t value) {
+  smt::Constraint c;
+  c.kind = kind;
+  c.variable = var;
+  c.value = value;
+  return c;
+}
+
+smt::Constraint intVsVar(const std::string& var, smt::Constraint::Kind kind,
+                         const std::string& other) {
+  smt::Constraint c;
+  c.kind = kind;
+  c.variable = var;
+  c.other = other;
+  return c;
+}
+
+/// Shared state for rival lookups (memoized per router+prefix).
+struct RivalCache {
+  const fix::RepairContext& context;
+  std::map<std::pair<std::string, net::Prefix>, std::vector<route::Rival>>
+      memo;
+
+  const std::vector<route::Rival>& of(const std::string& router,
+                                      const net::Prefix& prefix) {
+    const auto key = std::make_pair(router, prefix);
+    auto it = memo.find(key);
+    if (it == memo.end()) {
+      it = memo.emplace(key, route::collectRivals(context.network, context.sim,
+                                                  router, prefix))
+               .first;
+    }
+    return it->second;
+  }
+};
+
+/// Constraints for an int (local-pref/MED) variable against one test.
+/// Returns nullopt when the variable cannot be constrained for this test
+/// (no winning route through the action, or no rival to bound against).
+std::optional<std::vector<smt::Constraint>> intConstraints(
+    const fix::RepairContext& context, const std::vector<SymbolicVar>& vars,
+    const SymbolicVar& var, net::Ipv4Address dst, bool failing,
+    RivalCache& rivals_cache) {
+  const route::Route* winner = context.sim.lookup(var.device, dst);
+  if (winner == nullptr) return std::nullopt;
+  // The variable only constrains tests whose winning route at this device
+  // was derived through the symbolized action.
+  if (!context.sim.provenance.chainTouches(winner->derivation, var.lines)) {
+    return std::nullopt;
+  }
+  const bool is_lp = var.kind == SymbolicVar::Kind::kLocalPref;
+  std::vector<smt::Constraint> out;
+  std::optional<std::uint64_t> bound;  // best concrete rival attribute
+  for (const route::Rival& rival : rivals_cache.of(var.device, winner->prefix)) {
+    if (rival.neighbor == winner->learned_from) continue;  // the winner itself
+    if (const SymbolicVar* other = intVarTouching(vars, var, rival.lines)) {
+      // Rival attribute is itself symbolic: emit the ordering directly.
+      out.push_back(intVsVar(var.name,
+                             failing ? smt::Constraint::Kind::kIntLtVar
+                                     : smt::Constraint::Kind::kIntGtVar,
+                             other->name));
+      continue;
+    }
+    const std::uint64_t value =
+        is_lp ? rival.route.local_pref : rival.route.med;
+    if (!bound) {
+      bound = value;
+    } else {
+      // Local-pref: highest wins, the binding rival is the max. MED: lowest
+      // wins, the binding rival is the min.
+      bound = is_lp ? std::max(*bound, value) : std::min(*bound, value);
+    }
+  }
+  if (bound) {
+    if (is_lp) {
+      // Failing: the route must lose → lp strictly below the best rival.
+      // Passing: must keep winning → strictly above (skip on a tie the
+      // concrete value only wins through later tiebreakers).
+      if (failing) {
+        out.push_back(
+            intBound(var.name, smt::Constraint::Kind::kIntLt, *bound));
+      } else if (var.original_value > *bound) {
+        out.push_back(
+            intBound(var.name, smt::Constraint::Kind::kIntGt, *bound));
+      }
+    } else {
+      if (failing) {
+        out.push_back(
+            intBound(var.name, smt::Constraint::Kind::kIntGt, *bound));
+      } else if (var.original_value < *bound) {
+        out.push_back(
+            intBound(var.name, smt::Constraint::Kind::kIntLt, *bound));
+      }
+    }
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+void accumulateConstraints(const fix::RepairContext& context,
+                           const std::vector<SymbolicVar>& vars,
+                           std::vector<SymbolicConstraint>& base,
+                           std::vector<ForkGroup>& forks) {
+  RivalCache rivals_cache{context, {}};
+  // Fork groups keyed by covered-variable signature so failing tests with
+  // the same candidate-fix set share one group (bounding the expansion).
+  std::map<std::string, std::size_t> group_index;
+
+  for (std::size_t i = 0; i < context.results.size(); ++i) {
+    const verify::TestResult& result = context.results[i];
+    const std::set<cfg::LineId>& row = context.coverage[i];
+    const net::Ipv4Address dst = result.test.packet.dst;
+    const net::Prefix subject = fix::subnetPrefixOf(context.network, dst);
+    const verify::Intent& intent = context.intentOf(result);
+
+    // A loop-/blackhole-free test that passes while its packet is dropped
+    // passes *vacuously*: the intent says nothing about the lines that
+    // dropped it, so pinning their behaviour would wrongly freeze the drop
+    // (and contradict the reachability flip the failing tests demand).
+    if (result.passed &&
+        (intent.kind == verify::IntentKind::kLoopFree ||
+         intent.kind == verify::IntentKind::kBlackholeFree) &&
+        !result.trace.delivered()) {
+      continue;
+    }
+
+    // Per-variable constraints for this test.
+    std::vector<std::pair<const SymbolicVar*, std::vector<smt::Constraint>>>
+        touched;
+    for (const SymbolicVar& var : vars) {
+      if (!touches(var.lines, row)) continue;
+      if (var.kind == SymbolicVar::Kind::kPrefixList) {
+        const cfg::DeviceConfig* device = context.network.config(var.device);
+        if (device == nullptr) continue;
+        const cfg::PrefixList* list = device->findPrefixList(var.list);
+        if (list == nullptr) continue;
+        const bool permits = list->permits(subject);
+        // Passing: preserve the classification. Failing: flip it.
+        const bool want_member = result.passed ? permits : !permits;
+        if (!result.passed && denyOnlyContext(*device, var.list)) {
+          // The flip only helps when it removes a deny (delivery wanted)
+          // or introduces one (isolation wanted); skip the var otherwise.
+          const bool want_delivery =
+              intent.kind != verify::IntentKind::kIsolation;
+          if (want_member == want_delivery) continue;
+        }
+        touched.emplace_back(
+            &var, std::vector<smt::Constraint>{
+                      member(var.name, subject, want_member)});
+      } else {
+        auto ints = intConstraints(context, vars, var, dst, !result.passed,
+                                   rivals_cache);
+        if (ints) touched.emplace_back(&var, std::move(*ints));
+      }
+    }
+    if (touched.empty()) continue;
+
+    if (result.passed) {
+      for (auto& [var, constraints] : touched) {
+        for (smt::Constraint& c : constraints) {
+          base.push_back(SymbolicConstraint{std::move(c), false, intent.name});
+        }
+      }
+      continue;
+    }
+
+    // Failing test: one fork group per covered-variable signature.
+    std::string key;
+    for (const auto& [var, constraints] : touched) key += var->name + "|";
+    const auto [it, inserted] = group_index.emplace(key, forks.size());
+    if (inserted) {
+      ForkGroup group;
+      for (const auto& [var, constraints] : touched) {
+        group.variables.push_back(var->name);
+        group.alternatives.emplace_back();
+      }
+      forks.push_back(std::move(group));
+    }
+    ForkGroup& group = forks[it->second];
+    for (std::size_t v = 0; v < touched.size(); ++v) {
+      auto& alternative = group.alternatives[v];
+      for (const smt::Constraint& c : touched[v].second) {
+        // Dedup textually identical constraints (several failing tests of
+        // one intent often demand the same flip).
+        const std::string rendered = c.str();
+        const bool present =
+            std::any_of(alternative.begin(), alternative.end(),
+                        [&](const smt::Constraint& existing) {
+                          return existing.str() == rendered;
+                        });
+        if (!present) alternative.push_back(c);
+      }
+    }
+  }
+}
+
+}  // namespace acr::symb

@@ -1,0 +1,162 @@
+// Orchestration: fork expansion, solving, and model-to-proposal rendering.
+#include <algorithm>
+
+#include "obs/trace.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace acr::symb {
+
+namespace {
+
+std::string renderCover(const std::vector<net::Prefix>& cover) {
+  std::string rendered;
+  for (const auto& prefix : cover) {
+    if (!rendered.empty()) rendered += ",";
+    rendered += prefix.str();
+  }
+  return rendered.empty() ? "(empty)" : rendered;
+}
+
+const SymbolicVar* varByName(const std::vector<SymbolicVar>& vars,
+                             const std::string& name) {
+  for (const SymbolicVar& var : vars) {
+    if (var.name == name) return &var;
+  }
+  return nullptr;
+}
+
+/// One fork = one option index per group. Option 0 is the combined branch
+/// (every covered variable flips); option 1+v flips only variable v. Groups
+/// with a single variable have exactly one option.
+int optionCount(const ForkGroup& group) {
+  return group.variables.size() <= 1
+             ? 1
+             : 1 + static_cast<int>(group.variables.size());
+}
+
+void addGroupConstraints(const ForkGroup& group, int option,
+                         smt::Solver& solver) {
+  if (group.variables.size() <= 1 || option == 0) {
+    for (const auto& alternative : group.alternatives) {
+      for (const smt::Constraint& c : alternative) solver.require(c);
+    }
+    return;
+  }
+  const auto v = static_cast<std::size_t>(option - 1);
+  for (const smt::Constraint& c : group.alternatives[v]) solver.require(c);
+}
+
+}  // namespace
+
+SymbolicOutcome proposeSymbolic(const fix::RepairContext& context,
+                                const std::vector<sbfl::LineScore>& ranked,
+                                const SymbolicOptions& options) {
+  obs::Span span("symbolic.propose");
+  SymbolicOutcome outcome;
+  const std::vector<SymbolicVar> vars =
+      collectVariables(context, ranked, options);
+  outcome.variables = static_cast<int>(vars.size());
+  span.attr("variables", static_cast<std::int64_t>(vars.size()));
+  if (vars.empty()) {
+    outcome.fell_back = true;
+    return outcome;
+  }
+  outcome.anchor_device = vars.front().device;
+  outcome.anchor_line = vars.front().line;
+
+  std::vector<SymbolicConstraint> base;
+  std::vector<ForkGroup> forks;
+  accumulateConstraints(context, vars, base, forks);
+  span.attr("base_constraints", static_cast<std::int64_t>(base.size()));
+  span.attr("fork_groups", static_cast<std::int64_t>(forks.size()));
+  if (forks.empty()) {
+    // No failing test demanded a flip through any variable: nothing for
+    // the symbolic layer to solve — the concrete loop takes over.
+    outcome.fell_back = true;
+    return outcome;
+  }
+
+  // Deterministic odometer over fork options, capped by the budget.
+  long long total = 1;
+  for (const ForkGroup& group : forks) {
+    total *= optionCount(group);
+    if (total > options.fork_budget) {
+      outcome.fell_back = true;  // overflow: expand only the first `budget`
+      break;
+    }
+  }
+
+  std::vector<int> odometer(forks.size(), 0);
+  std::set<std::string> seen;
+  bool exhausted = false;
+  while (!exhausted && outcome.forks < options.fork_budget) {
+    ++outcome.forks;
+    smt::Solver solver;
+    for (const SymbolicVar& var : vars) {
+      smt::VarMeta meta;
+      meta.device = var.device;
+      meta.line = var.line;
+      if (var.kind == SymbolicVar::Kind::kPrefixList) {
+        meta.original = renderCover(var.original_prefixes);
+        solver.annotate(var.name, smt::VarKind::kPrefixSet, std::move(meta));
+        solver.preferPrefixes(var.name, var.original_prefixes);
+      } else {
+        meta.original = std::to_string(var.original_value);
+        solver.annotate(var.name, smt::VarKind::kInt, std::move(meta));
+        solver.preferInt(var.name, var.original_value);
+      }
+    }
+    for (const SymbolicConstraint& c : base) solver.require(c.constraint);
+    for (std::size_t g = 0; g < forks.size(); ++g) {
+      addGroupConstraints(forks[g], odometer[g], solver);
+    }
+    const smt::SolveResult result = solver.solve();
+    if (result.sat) {
+      std::vector<fix::SymbolicListEdit> list_edits;
+      std::vector<fix::SymbolicActionEdit> action_edits;
+      for (const auto& [name, cover] : result.model.prefix_sets) {
+        const SymbolicVar* var = varByName(vars, name);
+        if (var == nullptr) continue;
+        if (renderCover(cover) == renderCover(var->original_prefixes)) {
+          continue;  // unchanged — keep the original lines untouched
+        }
+        list_edits.push_back(
+            fix::SymbolicListEdit{var->device, var->list, cover});
+      }
+      for (const auto& [name, value] : result.model.ints) {
+        const SymbolicVar* var = varByName(vars, name);
+        if (var == nullptr) continue;
+        if (value == var->original_value) continue;
+        fix::SymbolicActionEdit edit;
+        edit.device = var->device;
+        edit.policy = var->policy;
+        edit.node_index = var->node_index;
+        edit.kind = var->kind == SymbolicVar::Kind::kLocalPref
+                        ? cfg::PolicyActionKind::kSetLocalPref
+                        : cfg::PolicyActionKind::kSetMed;
+        edit.value = static_cast<std::uint32_t>(value);
+        action_edits.push_back(edit);
+      }
+      if (!list_edits.empty() || !action_edits.empty()) {
+        fix::ProposedChange change = fix::buildSymbolicModelChange(
+            std::move(list_edits), std::move(action_edits));
+        if (seen.insert(change.description).second) {
+          outcome.proposals.push_back(std::move(change));
+        }
+      }
+    }
+    // Advance the odometer (combined branch first, then singles in order).
+    std::size_t g = 0;
+    for (; g < forks.size(); ++g) {
+      if (++odometer[g] < optionCount(forks[g])) break;
+      odometer[g] = 0;
+    }
+    exhausted = g == forks.size();
+  }
+  if (!exhausted) outcome.fell_back = true;
+  span.attr("forks", static_cast<std::int64_t>(outcome.forks));
+  span.attr("proposals", static_cast<std::int64_t>(outcome.proposals.size()));
+  return outcome;
+}
+
+}  // namespace acr::symb

@@ -1,0 +1,168 @@
+// Variable selection: which config fields become symbolic this round.
+//
+// Devices are gated by sbfl::suspectDevices (suspicion_threshold × top
+// score); on each suspect device the suspicious lines are resolved to
+// symbolizable sites — prefix-lists via fix::reachableLists, local-pref/MED
+// via the policy actions reachable from the line. The cap interleaves
+// devices round-robin (site 0 of every device before site 1 of any), so a
+// fault spanning N devices keeps one variable per device even at small
+// `max_variables`.
+#include <algorithm>
+#include <map>
+
+#include "symbolic/symbolic.hpp"
+
+namespace acr::symb {
+
+namespace {
+
+/// All lines identified with prefix-list `list` on `device`: its entry
+/// lines plus every if-match line referencing it and the node lines of
+/// those matches. Both positive coverage (the entry matched) and negative
+/// blame (the policy evaluated the list and denied) land on these lines.
+std::set<cfg::LineId> linesOfList(const cfg::DeviceConfig& device,
+                                  const cfg::PrefixList& list) {
+  std::set<cfg::LineId> lines;
+  for (const auto& entry : list.entries) {
+    lines.insert(cfg::LineId{device.hostname, entry.line});
+  }
+  for (const auto& policy : device.policies) {
+    for (const auto& node : policy.nodes) {
+      for (const auto& match : node.matches) {
+        if (match.prefix_list != list.name) continue;
+        lines.insert(cfg::LineId{device.hostname, match.line});
+        lines.insert(cfg::LineId{device.hostname, node.line});
+      }
+    }
+  }
+  return lines;
+}
+
+/// Policies reachable from a suspicious line (for local-pref/MED sites):
+/// the policy the line belongs to, or the one its peer/group binding names.
+std::vector<const cfg::RoutePolicy*> policiesForLine(
+    const cfg::DeviceConfig& device, const cfg::LineInfo& info) {
+  std::vector<const cfg::RoutePolicy*> policies;
+  const auto byName = [&](const std::string& name) {
+    const cfg::RoutePolicy* policy = device.findPolicy(name);
+    if (policy != nullptr) policies.push_back(policy);
+  };
+  switch (info.kind) {
+    case cfg::LineKind::kPolicyNode:
+    case cfg::LineKind::kPolicyMatch:
+    case cfg::LineKind::kPolicyAction:
+      policies.push_back(&device.policies[static_cast<std::size_t>(info.a)]);
+      break;
+    case cfg::LineKind::kPeerImport:
+    case cfg::LineKind::kPeerExport: {
+      const auto& peer = device.bgp->peers[static_cast<std::size_t>(info.a)];
+      byName(info.kind == cfg::LineKind::kPeerImport ? peer.import_policy
+                                                     : peer.export_policy);
+      break;
+    }
+    case cfg::LineKind::kGroupImport:
+    case cfg::LineKind::kGroupExport: {
+      const auto& group = device.bgp->groups[static_cast<std::size_t>(info.a)];
+      byName(info.kind == cfg::LineKind::kGroupImport ? group.import_policy
+                                                      : group.export_policy);
+      break;
+    }
+    default:
+      break;
+  }
+  return policies;
+}
+
+}  // namespace
+
+std::vector<SymbolicVar> collectVariables(
+    const fix::RepairContext& context,
+    const std::vector<sbfl::LineScore>& ranked,
+    const SymbolicOptions& options) {
+  const std::vector<std::string> suspects =
+      sbfl::suspectDevices(ranked, options.suspicion_threshold);
+  // Per-device ordered site lists, keyed by suspect rank position.
+  std::map<std::string, std::vector<SymbolicVar>> by_device;
+  std::set<std::string> seen_names;
+  std::map<std::string, std::map<int, cfg::LineInfo>> line_index;
+
+  for (const auto& score : ranked) {
+    if (score.failed_cover == 0) break;  // rank order: failures first
+    if (std::find(suspects.begin(), suspects.end(), score.line.device) ==
+        suspects.end()) {
+      continue;
+    }
+    const cfg::DeviceConfig* device = context.network.config(score.line.device);
+    if (device == nullptr) continue;
+    auto index_it = line_index.find(score.line.device);
+    if (index_it == line_index.end()) {
+      index_it = line_index.emplace(score.line.device, device->buildLineIndex())
+                     .first;
+    }
+    const auto info_it = index_it->second.find(score.line.line);
+    if (info_it == index_it->second.end()) continue;
+    const cfg::LineInfo& info = info_it->second;
+
+    // Prefix-list sites.
+    for (const std::string& list_name : fix::reachableLists(*device, info)) {
+      const cfg::PrefixList* list = device->findPrefixList(list_name);
+      if (list == nullptr) continue;
+      SymbolicVar var;
+      var.kind = SymbolicVar::Kind::kPrefixList;
+      var.name = "pl:" + device->hostname + "/" + list_name;
+      if (!seen_names.insert(var.name).second) continue;
+      var.device = device->hostname;
+      var.line = score.line.line;
+      var.list = list_name;
+      var.lines = linesOfList(*device, *list);
+      for (const auto& entry : list->entries) {
+        if (entry.action == cfg::Action::kPermit) {
+          var.original_prefixes.push_back(entry.prefix);
+        }
+      }
+      by_device[var.device].push_back(std::move(var));
+    }
+
+    // Local-pref / MED sites.
+    for (const cfg::RoutePolicy* policy : policiesForLine(*device, info)) {
+      for (const auto& node : policy->nodes) {
+        for (const auto& action : node.actions) {
+          const bool is_lp = action.kind == cfg::PolicyActionKind::kSetLocalPref;
+          const bool is_med = action.kind == cfg::PolicyActionKind::kSetMed;
+          if (!is_lp && !is_med) continue;
+          SymbolicVar var;
+          var.kind = is_lp ? SymbolicVar::Kind::kLocalPref
+                           : SymbolicVar::Kind::kMed;
+          var.name = std::string(is_lp ? "lp:" : "med:") + device->hostname +
+                     "/" + policy->name + "/" + std::to_string(node.index);
+          if (!seen_names.insert(var.name).second) continue;
+          var.device = device->hostname;
+          var.line = action.line;
+          var.lines.insert(cfg::LineId{device->hostname, action.line});
+          var.policy = policy->name;
+          var.node_index = node.index;
+          var.original_value = action.value;
+          by_device[var.device].push_back(std::move(var));
+        }
+      }
+    }
+  }
+
+  // Round-robin across suspect devices (in rank order) up to the cap.
+  std::vector<SymbolicVar> vars;
+  const auto cap = static_cast<std::size_t>(std::max(0, options.max_variables));
+  for (std::size_t round = 0; vars.size() < cap; ++round) {
+    bool any = false;
+    for (const std::string& device : suspects) {
+      const auto it = by_device.find(device);
+      if (it == by_device.end() || round >= it->second.size()) continue;
+      any = true;
+      if (vars.size() >= cap) break;
+      vars.push_back(std::move(it->second[round]));
+    }
+    if (!any) break;
+  }
+  return vars;
+}
+
+}  // namespace acr::symb

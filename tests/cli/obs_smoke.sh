@@ -47,6 +47,24 @@ python3 "$SRC_DIR/scripts/check_recording.py" \
   "$SRC_DIR/docs/flight_recording.schema.json" "$WORK/rec.jsonl" \
   || fail "recording does not match the schema"
 
+# --- symbolic repair: recorded, schema-valid, explainable ------------------
+"$ACRCTL" repair "$WORK/faulty" --symbolic \
+  --record "$WORK/sym.jsonl" > "$WORK/sym.out" 2> /dev/null \
+  || fail "symbolic repair"
+grep -q "symbolic-model" "$WORK/sym.out" || fail "symbolic template in report"
+grep -q '"vars":' "$WORK/sym.jsonl" || fail "recording missing smt vars"
+grep -q '"model_delta":' "$WORK/sym.jsonl" \
+  || fail "recording missing smt model_delta"
+python3 "$SRC_DIR/scripts/check_recording.py" \
+  "$SRC_DIR/docs/flight_recording.schema.json" "$WORK/sym.jsonl" \
+  || fail "symbolic recording does not match the schema"
+"$ACRCTL" explain "$WORK/sym.jsonl" > "$WORK/sym_explain.out" \
+  || fail "explain (symbolic)"
+grep -q "var " "$WORK/sym_explain.out" || fail "explain symbolic vars"
+"$ACRCTL" explain "$WORK/sym.jsonl" --replay "$WORK/faulty" \
+  > "$WORK/sym_replay.out" || fail "explain --replay (symbolic)"
+grep -q "replay: OK" "$WORK/sym_replay.out" || fail "symbolic replay verdict"
+
 # --- human tree exporter --------------------------------------------------
 "$ACRCTL" repair "$WORK/faulty" --trace --obs-out "$WORK/tree.txt" \
   > /dev/null 2> "$WORK/tree.err" || fail "repair --trace"

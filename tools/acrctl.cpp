@@ -5,8 +5,8 @@
 //   acrctl verify  DIR
 //   acrctl triage  DIR [--metric tarantula|ochiai|jaccard|dstar2]
 //   acrctl repair  DIR [--out DIR2] [--metric M] [--brute-force]
-//                      [--crossover] [--coverage-guided] [--seed S]
-//                      [--jobs N] [--metrics|--metrics-json]
+//                      [--crossover] [--coverage-guided] [--symbolic]
+//                      [--seed S] [--jobs N] [--metrics|--metrics-json]
 //                      [--trace|--trace-json] [--record PATH]
 //                      [--obs-out PATH]
 //   acrctl explain RECORDING [--replay DIR]
@@ -60,6 +60,8 @@ using namespace acr;
       "  acrctl repair  DIR [--out DIR2] [--metric M] [--brute-force]\n"
       "                 [--crossover] [--coverage-guided] [--multipath]\n"
       "                 [--no-batch-validate]\n"
+      "                 [--symbolic] [--symbolic-threshold F]\n"
+      "                 [--symbolic-vars N] [--symbolic-forks N]\n"
       "                 [--report] [--seed S] [--jobs N] [--top-k N]\n"
       "                 [--metrics|--metrics-json] [--trace|--trace-json]\n"
       "                 [--record PATH] [--obs-out PATH]\n"
@@ -164,10 +166,11 @@ FlagSpec specFor(const std::string& command) {
   if (command == "verify") return {{}, {}};
   if (command == "triage") return {{"metric"}, {}};
   if (command == "repair") {
-    return {{"out", "metric", "seed", "jobs", "top-k", "record", "obs-out"},
+    return {{"out", "metric", "seed", "jobs", "top-k", "record", "obs-out",
+             "symbolic-threshold", "symbolic-vars", "symbolic-forks"},
             {"brute-force", "crossover", "coverage-guided", "multipath",
-             "no-batch-validate", "report", "metrics", "metrics-json",
-             "trace", "trace-json"}};
+             "no-batch-validate", "symbolic", "report", "metrics",
+             "metrics-json", "trace", "trace-json"}};
   }
   if (command == "explain") return {{"replay"}, {}};
   if (command == "tolerance") return {{"k"}, {}};
@@ -375,6 +378,17 @@ int cmdRepair(const Args& args) {
   options.coverage_guided_tests = args.has("coverage-guided");
   options.multipath = args.has("multipath");
   options.batch_validate = !args.has("no-batch-validate");
+  // --symbolic: selective symbolic simulation (docs/symbolic.md) — solve
+  // multi-line, multi-device fixes as one SMT conjunction before the
+  // concrete template loop. The value flags tune the device gate and the
+  // path-condition fork budget.
+  options.symbolic = args.has("symbolic");
+  options.symbolic_suspicion = std::stod(
+      args.get("symbolic-threshold", std::to_string(options.symbolic_suspicion)));
+  options.symbolic_max_variables = std::stoi(args.get(
+      "symbolic-vars", std::to_string(options.symbolic_max_variables)));
+  options.symbolic_fork_budget = std::stoi(args.get(
+      "symbolic-forks", std::to_string(options.symbolic_fork_budget)));
   options.seed = std::stoull(args.get("seed", "1"));
   // --top-k widens the FIX stage beyond the default 3 suspicious lines —
   // e.g. to reach value-solving templates on lines that tie below the
